@@ -1,0 +1,116 @@
+"""D1 — the distributed future (§IV / Conclusion), simulated.
+
+Series over rank counts p ∈ {1, 2, 4, 8}: distributed mxv and BFS on a
+row-block layout, reporting wall clock *and* the hardware-independent
+metric — communication volume.  Expected shapes: per-rank local work
+drops ~1/p, allgather volume grows with p (the 1-D SpMV trade), and
+results stay bit-identical to single-node execution.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core import types as T
+from repro.core.context import default_context
+from repro.core.semiring import PLUS_TIMES_SEMIRING
+from repro.distributed import (
+    Cluster,
+    DistMatrix,
+    DistVector,
+    RankHome,
+    dist_bfs_levels,
+    dist_mxv,
+)
+from repro.generators import rmat
+
+SCALE = 11
+RANKS = [1, 2, 4, 8]
+
+
+@pytest.fixture(scope="module")
+def triples():
+    n, rows, cols, vals = rmat(SCALE, 8, seed=33)
+    keep = rows != cols
+    return n, rows[keep], cols[keep], vals[keep]
+
+
+def _dup():
+    from repro.core.binaryop import MAX
+    return MAX[T.FP64]
+
+
+def run_dist_mxv(triples, p: int):
+    n, rows, cols, vals = triples
+    x = np.ones(n)
+    cluster = Cluster(p)
+    top = default_context()
+
+    def prog(comm):
+        home = RankHome.create(comm.rank, top)
+        a = DistMatrix.from_triples(home, n, n, comm.size, T.FP64,
+                                    rows, cols, vals, _dup())
+        u = DistVector.from_global_dense(home, x, comm.size, T.FP64)
+        w = dist_mxv(comm, a, u, PLUS_TIMES_SEMIRING[T.FP64])
+        return w.local.nvals()
+
+    results = cluster.run(prog)
+    return sum(results), cluster.stats.snapshot()
+
+
+def run_dist_bfs(triples, p: int):
+    n, rows, cols, _ = triples
+    cluster = Cluster(p)
+    top = default_context()
+    from repro.core.binaryop import LOR
+
+    def prog(comm):
+        home = RankHome.create(comm.rank, top)
+        a = DistMatrix.from_triples(home, n, n, comm.size, T.BOOL,
+                                    rows, cols, np.ones(len(rows), bool),
+                                    LOR[T.BOOL])
+        lv = dist_bfs_levels(comm, a, 0)
+        return lv.local.nvals()
+
+    results = cluster.run(prog)
+    return sum(results), cluster.stats.snapshot()
+
+
+@pytest.mark.benchmark(group="D1-mxv")
+class TestDistMxv:
+    @pytest.mark.parametrize("p", RANKS, ids=lambda p: f"p{p}")
+    def test_dist_mxv(self, benchmark, triples, p):
+        benchmark(run_dist_mxv, triples, p)
+
+
+@pytest.mark.benchmark(group="D1-bfs")
+class TestDistBfs:
+    @pytest.mark.parametrize("p", [1, 4], ids=lambda p: f"p{p}")
+    def test_dist_bfs(self, benchmark, triples, p):
+        benchmark(run_dist_bfs, triples, p)
+
+
+def test_distributed_report(benchmark, capsys, triples):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows_out = []
+    base_nvals = None
+    for p in RANKS:
+        t0 = time.perf_counter()
+        nvals, stats = run_dist_mxv(triples, p)
+        wall = (time.perf_counter() - t0) * 1e3
+        if base_nvals is None:
+            base_nvals = nvals
+        assert nvals == base_nvals, "distributed result diverged"
+        rows_out.append([
+            f"p={p}", f"{wall:8.1f} ms", f"{stats['bytes'] / 1e6:8.3f} MB",
+            f"{stats['collectives']:4d}",
+        ])
+    with capsys.disabled():
+        print_table(
+            f"Distributed mxv (simulated ranks, RMAT scale {SCALE}; "
+            f"result nvals={base_nvals} at every p)",
+            ["ranks", "wall clock", "comm volume", "collectives"],
+            rows_out,
+        )

@@ -1,0 +1,89 @@
+"""E1 — the hypersparse extension: tall-matrix operations stay O(nnz).
+
+The spec-core CSR carrier caps row counts (dense row pointer); the
+hypersparse extension stores only non-empty rows.  These benches show
+the operations a 2^58-row matrix supports run at the cost of its *nnz*,
+not its nrows — the property the format exists for.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core import types as T
+from repro.core.indexunaryop import ROWGT
+from repro.core.monoid import PLUS_MONOID
+from repro.core.semiring import PLUS_TIMES_SEMIRING
+from repro.core.unaryop import AINV
+from repro.core.vector import Vector
+from repro.extensions import HyperMatrix
+
+TALL = 1 << 58
+NNZ = 20_000
+NCOLS = 64
+
+
+@pytest.fixture(scope="module")
+def tall():
+    rng = np.random.default_rng(7)
+    rows = np.unique(rng.integers(0, TALL, NNZ * 2))[:NNZ]
+    cols = rng.integers(0, NCOLS, len(rows))
+    vals = rng.random(len(rows))
+    return HyperMatrix.from_triples(T.FP64, TALL, NCOLS, rows, cols, vals)
+
+
+@pytest.fixture(scope="module")
+def dense_u():
+    u = Vector.new(T.FP64, NCOLS)
+    u.build(np.arange(NCOLS), np.ones(NCOLS))
+    u.wait()
+    return u
+
+
+@pytest.mark.benchmark(group="E1-hypersparse")
+class TestHypersparseOps:
+    def test_build(self, benchmark):
+        rng = np.random.default_rng(1)
+        rows = np.unique(rng.integers(0, TALL, NNZ))
+        cols = rng.integers(0, NCOLS, len(rows))
+        vals = rng.random(len(rows))
+        benchmark(HyperMatrix.from_triples, T.FP64, TALL, NCOLS,
+                  rows, cols, vals)
+
+    def test_mxv(self, benchmark, tall, dense_u):
+        benchmark(tall.mxv, dense_u, PLUS_TIMES_SEMIRING[T.FP64])
+
+    def test_select_rowgt(self, benchmark, tall):
+        benchmark(tall.select, ROWGT, TALL // 2)
+
+    def test_apply(self, benchmark, tall):
+        benchmark(tall.apply, AINV[T.FP64])
+
+    def test_reduce_rows(self, benchmark, tall):
+        benchmark(tall.reduce_rows, PLUS_MONOID[T.FP64])
+
+
+def test_extensions_report(benchmark, capsys, tall, dense_u):
+    import time
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    def timed(fn, reps=3):
+        best = float("inf")
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best * 1e3
+
+    rows = [
+        ["mxv", f"{timed(lambda: tall.mxv(dense_u, PLUS_TIMES_SEMIRING[T.FP64])):8.2f}"],
+        ["select(ROWGT, 2^57)", f"{timed(lambda: tall.select(ROWGT, TALL // 2)):8.2f}"],
+        ["apply(AINV)", f"{timed(lambda: tall.apply(AINV[T.FP64])):8.2f}"],
+        ["reduce rows", f"{timed(lambda: tall.reduce_rows(PLUS_MONOID[T.FP64])):8.2f}"],
+    ]
+    with capsys.disabled():
+        print_table(
+            f"Hypersparse extension: 2^58-row matrix, {tall.nvals()} nnz "
+            f"(ms — O(nnz), independent of nrows)",
+            ["operation", "ms"], rows,
+        )

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Domain scenario: BFS levels and parents on a road-network-like mesh.
+
+A 2-D grid stands in for a road network (planar, bounded degree — the
+opposite regime from the RMAT social graph).  BFS levels use the
+boolean semiring with complemented structural masks; BFS parents
+showcase §VIII's ``apply(ROWINDEX)``, which under 1.X required packing
+vertex ids into the values array.
+
+Run:  python examples/bfs_roadmap.py [side]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro import grb
+from repro.algorithms import bfs_levels, bfs_parents, connected_components, sssp
+from repro.generators import grid_2d, to_matrix
+
+
+def main() -> None:
+    side = int(sys.argv[1]) if len(sys.argv) > 1 else 48
+    grb.init(grb.Mode.NONBLOCKING)
+
+    n, rows, cols, vals = grid_2d(side, seed=3)
+    A = to_matrix(n, rows, cols, np.ones(len(rows)), grb.BOOL)
+    Aw = to_matrix(n, rows, cols, 1.0 + vals, grb.FP64)
+    print(f"grid {side}x{side}: {n} vertices, {A.nvals()} edges")
+
+    t0 = time.perf_counter()
+    levels = bfs_levels(A, 0)
+    t_lv = time.perf_counter() - t0
+    idx, lv = levels.extract_tuples()
+    # On a grid, BFS level from corner (0,0) is the Manhattan distance.
+    r, c = np.divmod(idx, side)
+    assert np.array_equal(lv, r + c), "grid BFS levels must be L1 distances"
+    print(f"bfs_levels: eccentricity(corner) = {lv.max()} "
+          f"(expected {2 * (side - 1)}), {t_lv * 1e3:.1f} ms")
+
+    t0 = time.perf_counter()
+    parents = bfs_parents(A, 0)
+    t_par = time.perf_counter() - t0
+    pidx, pvals = parents.extract_tuples()
+    assert len(pidx) == n, "grid is connected: every vertex gets a parent"
+    # Verify the parent tree: each parent is one BFS level above its child.
+    lv_dense = np.empty(n, dtype=np.int64)
+    lv_dense[idx] = lv
+    child_lv = lv_dense[pidx]
+    parent_lv = lv_dense[pvals]
+    non_root = pidx != 0
+    assert np.all(parent_lv[non_root] == child_lv[non_root] - 1)
+    print(f"bfs_parents: valid BFS tree over {len(pidx)} vertices, "
+          f"{t_par * 1e3:.1f} ms")
+
+    dist = sssp(Aw, 0)
+    didx, dvals = dist.extract_tuples()
+    print(f"sssp: farthest weighted distance = {dvals.max():.2f}")
+
+    labels = connected_components(A)
+    _, comp = labels.extract_tuples()
+    print(f"connected components: {len(set(comp.tolist()))} (expected 1)")
+
+    grb.finalize()
+
+
+if __name__ == "__main__":
+    main()

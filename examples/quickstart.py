@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Quickstart: the GraphBLAS 2.0 surface in one sitting.
+
+Covers: init/finalize, building a matrix (with the §IX optional-dup
+rule), mxm over a semiring, the new GrB_Scalar (§VI), select and
+index-apply (§VIII), import/export (§VII-A), serialization (§VII-B),
+and wait/error (§III, §V).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import grb
+
+
+def main() -> None:
+    grb.init(grb.Mode.NONBLOCKING)
+
+    # -- build a small weighted digraph -----------------------------------
+    #     0 →(1.5) 1 →(2.5) 2
+    #     0 →(0.5) 2,  2 →(3.0) 0
+    A = grb.Matrix.new(grb.FP64, 3, 3)
+    A.build([0, 0, 1, 2], [1, 2, 2, 0], [1.5, 0.5, 2.5, 3.0], dup=None)
+    print("A =\n", A.to_dense())
+
+    # -- matrix multiply over the arithmetic semiring ----------------------
+    C = grb.Matrix.new(grb.FP64, 3, 3)
+    grb.mxm(C, None, None, grb.PLUS_TIMES_SEMIRING[grb.FP64], A, A)
+    grb.wait(C, grb.WaitMode.MATERIALIZE)   # §V: no more deferred errors
+    print("A @ A =\n", C.to_dense())
+
+    # -- GrB_Scalar: reduce the whole matrix (empty stays empty, §VI) ------
+    total = grb.Scalar.new(grb.FP64)
+    grb.reduce(total, None, grb.PLUS_MONOID[grb.FP64], A)
+    print("sum(A) =", total.extract_element())
+
+    empty = grb.Matrix.new(grb.FP64, 3, 3)
+    empty_sum = grb.Scalar.new(grb.FP64)
+    grb.reduce(empty_sum, None, grb.PLUS_MONOID[grb.FP64], empty)
+    print("reduce(empty matrix) -> nvals =", empty_sum.nvals(), "(empty scalar)")
+
+    # -- select: keep the strict upper triangle (§VIII-C) ------------------
+    U = grb.Matrix.new(grb.FP64, 3, 3)
+    grb.select(U, None, None, grb.TRIU, A, 1)
+    print("triu(A, 1) =\n", U.to_dense())
+
+    # -- index apply: replace weights with source vertex ids (§VIII-B) -----
+    S = grb.Matrix.new(grb.INT64, 3, 3)
+    grb.apply(S, None, None, grb.ROWINDEX_INT64, A, 0)
+    print("rowindex(A) =\n", S.to_dense())
+
+    # -- export to CSR, the three-call protocol (§VII-A) -------------------
+    sizes = grb.matrix_export_size(A, grb.Format.CSR_MATRIX)
+    indptr = np.empty(sizes[0], dtype=np.int64)
+    indices = np.empty(sizes[1], dtype=np.int64)
+    values = np.empty(sizes[2], dtype=np.float64)
+    grb.matrix_export(A, grb.Format.CSR_MATRIX, indptr, indices, values)
+    print("CSR indptr:", indptr, " indices:", indices, " values:", values)
+    print("export hint:", grb.matrix_export_hint(A).name)
+
+    # -- opaque serialization round-trip (§VII-B) ---------------------------
+    blob = grb.matrix_serialize(A)
+    A2 = grb.matrix_deserialize(blob)
+    assert np.allclose(A2.to_dense(), A.to_dense())
+    print(f"serialized {A2.nvals()} values into {len(blob)} opaque bytes")
+
+    # -- the deferred error model (§V) --------------------------------------
+    bad = grb.Matrix.new(grb.FP64, 2, 2)
+    bad.build([0, 0], [0, 0], [1.0, 2.0], dup=None)   # duplicate + NULL dup
+    try:
+        grb.wait(bad, grb.WaitMode.MATERIALIZE)      # error surfaces here
+    except grb.DuplicateIndexError:
+        print("deferred execution error surfaced at wait():",
+              grb.error_string(bad))
+
+    grb.finalize()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Domain scenario: sparse DNN inference (the Graph Challenge workload).
+
+The GraphBLAS community's flagship *non-graph* application: push a
+sparse activation batch through sparse layers where each layer is one
+``mxm`` + bias ``apply`` + **ReLU as §VIII's select(VALUEGT, 0)**.  The
+same building blocks that count triangles run a neural network — the
+generality argument of building on semiring linear algebra.
+
+Run:  python examples/sparse_dnn.py [neurons] [layers]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro import grb
+from repro.algorithms import random_sparse_network, sparse_dnn_inference
+from repro.core.binaryop import PLUS
+
+
+def main() -> None:
+    neurons = int(sys.argv[1]) if len(sys.argv) > 1 else 1024
+    layers = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+    batch = 64
+
+    grb.init(grb.Mode.NONBLOCKING)
+
+    weights, biases = random_sparse_network(neurons, layers, fanin=8, seed=7)
+    wnnz = sum(w.nvals() for w in weights)
+    print(f"network: {layers} layers x {neurons} neurons, "
+          f"{wnnz} total weights (fan-out 8)")
+
+    rng = np.random.default_rng(1)
+    per_row = max(4, neurons // 64)
+    y0 = grb.Matrix.new(grb.FP64, batch, neurons)
+    rows = np.repeat(np.arange(batch), per_row)
+    cols = rng.integers(0, neurons, batch * per_row)
+    y0.build(rows, cols, np.ones(batch * per_row), PLUS[grb.FP64])
+    print(f"input batch: {batch} samples, {y0.nvals()} active inputs "
+          f"({100 * y0.nvals() / (batch * neurons):.1f}% dense)")
+
+    t0 = time.perf_counter()
+    out = sparse_dnn_inference(y0, weights, biases, cap=1.0)
+    elapsed = time.perf_counter() - t0
+
+    _, _, vals = out.extract_tuples()
+    density = 100 * out.nvals() / (batch * neurons)
+    print(f"inference: {elapsed * 1e3:.1f} ms "
+          f"({wnnz * batch / max(elapsed, 1e-9) / 1e6:.1f} M weight-ops/s "
+          f"upper bound)")
+    print(f"output: {out.nvals()} activations ({density:.1f}% dense), "
+          f"values in ({vals.min():.3f}, {vals.max():.3f}]"
+          if len(vals) else "output: batch fully inactive")
+
+    # classify: winner neuron per sample = row argmax via reduce
+    from repro.core.monoid import MAX_MONOID
+    from repro.core.vector import Vector
+    from repro.ops.reduce import reduce_to_vector
+    strongest = Vector.new(grb.FP64, batch)
+    reduce_to_vector(strongest, None, None, MAX_MONOID[grb.FP64], out)
+    print(f"per-sample max activation present for "
+          f"{strongest.nvals()}/{batch} samples")
+
+    grb.finalize()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""repro — a pure-Python implementation of the GraphBLAS 2.0 C API.
+
+Reproduction of *Introduction to GraphBLAS 2.0* (Brock, Buluç, Mattson,
+McMillan, Moreira; IPDPSW 2021).  The package implements the full 2.0
+surface: opaque Scalar/Vector/Matrix containers, the operation set with
+masks/accumulators/descriptors, hierarchical execution contexts,
+nonblocking sequences with ``wait(COMPLETE|MATERIALIZE)``, the two-tier
+error model, Table III import/export, opaque serialization, and the
+§VIII index-aware operations (``IndexUnaryOp``, index ``apply``,
+``select``).
+
+Quick start::
+
+    from repro import grb
+
+    grb.init(grb.Mode.NONBLOCKING)
+    A = grb.Matrix.new(grb.FP64, 4, 4)
+    A.build([0, 1, 2], [1, 2, 3], [1.0, 2.0, 3.0])
+    L = grb.Matrix.new(grb.FP64, 4, 4)
+    grb.select(L, None, None, grb.TRIL, A, 0)
+    grb.wait(L)
+    grb.finalize()
+"""
+
+from . import grb
+from .core import (
+    Context,
+    Matrix,
+    Mode,
+    Scalar,
+    Vector,
+    WaitMode,
+    finalize,
+    init,
+)
+
+__version__ = "2.0.0"
+
+__all__ = [
+    "grb",
+    "Context",
+    "Matrix",
+    "Mode",
+    "Scalar",
+    "Vector",
+    "WaitMode",
+    "finalize",
+    "init",
+    "__version__",
+]

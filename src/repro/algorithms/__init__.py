@@ -1,0 +1,43 @@
+"""LAGraph-style graph algorithms built on the public GraphBLAS API.
+
+The paper positions LAGraph [10] as the algorithm layer above the
+GraphBLAS; this package plays that role for the reproduction, and its
+implementations deliberately lean on the 2.0 features: ``select`` for
+triangle extraction (Fig. 3), ``apply(ROWINDEX)`` for parent/label
+propagation (§VIII), masks + descriptors throughout.
+"""
+
+from .bc import betweenness_centrality
+from .bfs import bfs_levels, bfs_parents
+from .components import connected_components
+from .dnn import random_sparse_network, sparse_dnn_inference
+from .kcore import core_numbers, k_core
+from .ktruss import k_truss
+from .lcc import local_clustering_coefficient
+from .mcl import markov_clustering
+from .mis import maximal_independent_set
+from .msbfs import all_pairs_levels, msbfs_levels
+from .pagerank import pagerank
+from .sssp import sssp
+from .triangles import triangle_count, triangle_count_burkhardt
+
+__all__ = [
+    "betweenness_centrality",
+    "bfs_levels",
+    "bfs_parents",
+    "connected_components",
+    "core_numbers",
+    "sparse_dnn_inference",
+    "random_sparse_network",
+    "k_core",
+    "k_truss",
+    "local_clustering_coefficient",
+    "markov_clustering",
+    "maximal_independent_set",
+    "msbfs_levels",
+    "all_pairs_levels",
+    "pagerank",
+    "sssp",
+    "triangle_count",
+    "triangle_count_burkhardt",
+]

@@ -1,0 +1,86 @@
+"""Breadth-first search in the language of linear algebra.
+
+Two LAGraph-style variants:
+
+* :func:`bfs_levels` — frontier expansion with the boolean
+  LOR_LAND semiring, masked by the set of visited vertices.
+* :func:`bfs_parents` — demonstrates the 2.0 index operations (§VIII):
+  the frontier's values are replaced by *their own indices* with
+  ``apply(ROWINDEX)``, so a MIN_FIRST vxm propagates the smallest
+  parent id to each newly discovered vertex.  Under GraphBLAS 1.X this
+  required packing indices into values by hand (see
+  :mod:`repro.compat.onex`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import types as _t
+from ..core.descriptor import DESC_RSC, DESC_S
+from ..core.errors import InvalidIndexError
+from ..core.indexunaryop import ROWINDEX
+from ..core.matrix import Matrix
+from ..core.semiring import LOR_LAND_SEMIRING_BOOL, MIN_FIRST_SEMIRING
+from ..core.vector import Vector
+from ..ops.apply import apply
+from ..ops.assign import assign
+from ..ops.mxm import vxm
+
+__all__ = ["bfs_levels", "bfs_parents"]
+
+
+def bfs_levels(a: Matrix, source: int) -> Vector:
+    """Level of every reachable vertex (source = 0), INT64.
+
+    ``a`` is a (possibly directed) boolean-interpretable adjacency
+    matrix; edge (i, j) means i → j.
+    """
+    n = a.nrows
+    if not (0 <= source < n):
+        raise InvalidIndexError(f"source {source} out of range [0, {n})")
+    levels = Vector.new(_t.INT64, n, a.context)
+    frontier = Vector.new(_t.BOOL, n, a.context)
+    frontier.set_element(True, source)
+    depth = 0
+    while frontier.nvals():
+        # Record the current frontier's depth.
+        assign(levels, frontier, None, depth, None, desc=DESC_S)
+        # Expand, discarding anything already levelled.
+        vxm(frontier, levels, None, LOR_LAND_SEMIRING_BOOL, frontier, a,
+            desc=DESC_RSC)
+        depth += 1
+    return levels
+
+
+def bfs_parents(a: Matrix, source: int) -> Vector:
+    """Parent of every reachable vertex (source's parent is itself).
+
+    Uses ``apply(ROWINDEX)`` so the frontier carries vertex ids as
+    values — the §VIII pattern replacing the 1.X pack/unpack idiom.
+    """
+    n = a.nrows
+    if not (0 <= source < n):
+        raise InvalidIndexError(f"source {source} out of range [0, {n})")
+    parents = Vector.new(_t.INT64, n, a.context)
+    parents.set_element(source, source)
+    # frontier values: the id of the vertex that discovered the entry.
+    frontier = Vector.new(_t.INT64, n, a.context)
+    frontier.set_element(source, source)
+    while frontier.nvals():
+        # frontier(i) <- i  : each frontier vertex offers itself as parent.
+        apply(frontier, None, None, ROWINDEX[_t.INT64], frontier, 0)
+        # candidates = frontier min.first A, masked to undiscovered vertices.
+        vxm(frontier, parents, None, MIN_FIRST_SEMIRING[_t.INT64], frontier,
+            a, desc=DESC_RSC)
+        # record the new parents
+        assign(parents, frontier, None, frontier, None, desc=DESC_S)
+    return parents
+
+
+def _dense_levels(levels: Vector, n: int) -> np.ndarray:
+    """Testing helper: levels as dense array with -1 for unreached."""
+    out = np.full(n, -1, dtype=np.int64)
+    idx, vals = levels.extract_tuples()
+    out[idx] = vals
+    return out

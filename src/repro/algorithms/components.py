@@ -1,0 +1,42 @@
+"""Connected components by algebraic min-label propagation.
+
+Every vertex starts labelled with its own id (an ``apply(ROWINDEX)``
+over a dense vector — the §VIII index idiom again); labels then flow
+along edges under the MIN_SECOND/MIN semiring until a fixpoint.  On an
+undirected graph the result labels each component by its smallest
+vertex id.
+"""
+
+from __future__ import annotations
+
+from ..core import types as _t
+from ..core.binaryop import MIN
+from ..core.indexunaryop import ROWINDEX
+from ..core.matrix import Matrix
+from ..core.semiring import MIN_FIRST_SEMIRING
+from ..core.vector import Vector
+from ..ops.apply import apply
+from ..ops.assign import assign
+from ..ops.ewise import ewise_add
+from ..ops.mxm import vxm
+
+__all__ = ["connected_components"]
+
+
+def connected_components(a: Matrix, *, max_iters: int | None = None) -> Vector:
+    """Component labels (INT64) for the undirected pattern of ``a``."""
+    n = a.nrows
+    labels = Vector.new(_t.INT64, n, a.context)
+    assign(labels, None, None, 0, None)           # densify
+    apply(labels, None, None, ROWINDEX[_t.INT64], labels, 0)
+
+    limit = max_iters if max_iters is not None else n
+    for _ in range(max(limit, 1)):
+        prev_idx, prev_vals = labels.extract_tuples()
+        incoming = Vector.new(_t.INT64, n, a.context)
+        vxm(incoming, None, None, MIN_FIRST_SEMIRING[_t.INT64], labels, a)
+        ewise_add(labels, None, None, MIN[_t.INT64], labels, incoming)
+        idx, vals = labels.extract_tuples()
+        if len(idx) == len(prev_idx) and (vals == prev_vals).all():
+            break
+    return labels

@@ -1,0 +1,74 @@
+"""k-core decomposition by iterated degree filtering.
+
+The k-core is the maximal subgraph where every vertex has degree ≥ k.
+Algebraically: row-reduce the pattern for degrees, ``select`` the
+surviving vertex set, restrict the matrix, repeat to fixpoint — another
+§VIII select workload (VALUEGE on the degree vector).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import types as T
+from ..core.binaryop import ONEB
+from ..core.errors import InvalidValueError
+from ..core.indexunaryop import VALUEGE
+from ..core.matrix import Matrix
+from ..core.monoid import PLUS_MONOID
+from ..core.vector import Vector
+from ..ops.apply import apply
+from ..ops.extract import extract
+from ..ops.reduce import reduce_to_vector
+from ..ops.select import select
+
+__all__ = ["k_core", "core_numbers"]
+
+
+def k_core(a: Matrix, k: int) -> tuple[Matrix, np.ndarray]:
+    """The k-core of the undirected pattern of ``a``.
+
+    Returns ``(subgraph, vertex_ids)``: the induced adjacency matrix of
+    the core (compacted) and the original ids of its vertices.
+    """
+    if k < 1:
+        raise InvalidValueError(f"k-core needs k >= 1, got {k}")
+    n = a.nrows
+    pat = Matrix.new(T.INT64, n, n, a.context)
+    apply(pat, None, None, ONEB[T.INT64], a, 1)
+    ids = np.arange(n, dtype=np.int64)
+
+    while True:
+        m = pat.nrows
+        if m == 0:
+            break
+        deg = Vector.new(T.INT64, m, a.context)
+        reduce_to_vector(deg, None, None, PLUS_MONOID[T.INT64], pat)
+        survivors = Vector.new(T.INT64, m, a.context)
+        select(survivors, None, None, VALUEGE[T.INT64], deg, k)
+        keep, _ = survivors.extract_tuples()
+        if len(keep) == m:
+            break
+        sub = Matrix.new(T.INT64, len(keep), len(keep), a.context)
+        extract(sub, None, None, pat, keep, keep)
+        sub.wait()
+        pat = sub
+        ids = ids[keep]
+    return pat, ids
+
+
+def core_numbers(a: Matrix) -> Vector:
+    """Core number of every vertex (largest k with v in the k-core)."""
+    n = a.nrows
+    core = Vector.new(T.INT64, n, a.context)
+    core.build(np.arange(n), np.zeros(n, dtype=np.int64))
+    k = 1
+    while True:
+        sub, ids = k_core(a, k)
+        if len(ids) == 0:
+            break
+        for v in ids:
+            core.set_element(k, int(v))
+        k += 1
+    core.wait()
+    return core

@@ -1,0 +1,79 @@
+"""Maximal independent set — Luby's algorithm in the language of masks.
+
+Each round: candidates draw random scores; a candidate joins the set
+when its score beats every candidate neighbour's (computed with one
+MAX_SECOND mxv); winners and their neighbours leave the candidate pool.
+Classic GraphBLAS demo of valued masks + complemented masks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import types as T
+from ..core.binaryop import GT, LOR
+from ..core.descriptor import DESC_RS, DESC_RSC, DESC_S
+from ..core.matrix import Matrix
+from ..core.semiring import LOR_LAND_SEMIRING_BOOL, MAX_SECOND_SEMIRING
+from ..core.vector import Vector
+from ..ops.assign import assign
+from ..ops.ewise import ewise_add, ewise_mult
+from ..ops.mxm import mxv
+
+__all__ = ["maximal_independent_set"]
+
+
+def maximal_independent_set(a: Matrix, *, seed: int = 42) -> Vector:
+    """A maximal independent set of the undirected pattern of ``a``.
+
+    Returns a BOOL vector with ``True`` at member vertices.  Vertices
+    with self-loops are treated as their own neighbours (never chosen
+    unless isolated in the loop-free pattern).
+    """
+    n = a.nrows
+    rng = np.random.default_rng(seed)
+    iset = Vector.new(T.BOOL, n, a.context)
+    candidates = Vector.new(T.BOOL, n, a.context)
+    candidates.build(np.arange(n), np.ones(n, dtype=bool))
+
+    max_rounds = 4 * int(np.log2(n + 1)) + 16
+    for _ in range(max_rounds):
+        cand_idx, _ = candidates.extract_tuples()
+        if len(cand_idx) == 0:
+            break
+        # Random scores on candidates (strictly positive).
+        scores = Vector.new(T.FP64, n, a.context)
+        scores.build(cand_idx, rng.random(len(cand_idx)) + 1e-9)
+        # Best score among candidate neighbours of each vertex.
+        nbr_best = Vector.new(T.FP64, n, a.context)
+        mxv(nbr_best, candidates, None, MAX_SECOND_SEMIRING[T.FP64],
+            a, scores, desc=DESC_RS)
+        # Winners: candidates whose score beats all candidate neighbours
+        # (vertices with no candidate neighbour win outright).
+        winners = Vector.new(T.BOOL, n, a.context)
+        ewise_mult(winners, None, None, GT[T.FP64], scores, nbr_best)
+        # Candidates absent from nbr_best have no candidate neighbours:
+        lonely = Vector.new(T.BOOL, n, a.context)
+        assign(lonely, scores, None, True, None, desc=DESC_S)
+        assign(lonely, nbr_best, None, False, None, desc=DESC_S)
+        winners_full = Vector.new(T.BOOL, n, a.context)
+        ewise_add(winners_full, None, None, LOR[T.BOOL], winners, lonely)
+        # keep only true entries
+        true_w = Vector.new(T.BOOL, n, a.context)
+        from ..core.indexunaryop import VALUEEQ
+        from ..ops.select import select
+        select(true_w, None, None, VALUEEQ[T.BOOL], winners_full, True)
+        if true_w.nvals() == 0:
+            continue
+        # Add winners to the set.
+        assign(iset, true_w, None, True, None, desc=DESC_S)
+        # Remove winners and their neighbours from the candidate pool.
+        nbrs = Vector.new(T.BOOL, n, a.context)
+        mxv(nbrs, None, None, LOR_LAND_SEMIRING_BOOL, a, true_w)
+        removed = Vector.new(T.BOOL, n, a.context)
+        ewise_add(removed, None, None, LOR[T.BOOL], true_w, nbrs)
+        # candidates ← candidates, masked off the removed set.
+        survivors = Vector.new(T.BOOL, n, a.context)
+        assign(survivors, removed, None, candidates, None, desc=DESC_RSC)
+        candidates = survivors
+    return iset

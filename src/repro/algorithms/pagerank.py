@@ -1,0 +1,102 @@
+"""PageRank via repeated vxm over PLUS_TIMES (LAGraph-style)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import types as _t
+from ..core.binaryop import DIV, PLUS, TIMES
+from ..core.errors import InvalidValueError
+from ..core.matrix import Matrix
+from ..core.monoid import PLUS_MONOID
+from ..core.semiring import PLUS_TIMES_SEMIRING
+from ..core.vector import Vector
+from ..ops.apply import apply
+from ..ops.ewise import ewise_add, ewise_mult
+from ..ops.mxm import vxm
+from ..ops.reduce import reduce_scalar, reduce_to_vector
+
+__all__ = ["pagerank"]
+
+
+def pagerank(
+    a: Matrix,
+    damping: float = 0.85,
+    tol: float = 1e-6,
+    max_iters: int = 100,
+) -> tuple[Vector, int]:
+    """(ranks, iterations) for the directed graph ``a``.
+
+    Sinks (zero out-degree vertices) have their rank mass redistributed
+    uniformly, the standard correction.  Iteration is
+    ``r ← (1-d)/n + d·(rᵀ D⁻¹ A + sink_mass/n)`` until the L1 change
+    drops below ``tol``.
+    """
+    if not (0.0 < damping < 1.0):
+        raise InvalidValueError(f"damping must be in (0, 1), got {damping}")
+    if max_iters < 1:
+        raise InvalidValueError("max_iters must be >= 1")
+    n = a.nrows
+    ctx = a.context
+
+    # pattern matrix (weights ignored) and out-degrees (row sums)
+    from ..core.binaryop import ONEB
+    pat = Matrix.new(_t.FP64, n, n, ctx)
+    apply(pat, None, None, ONEB[_t.FP64], a, 1.0)
+    deg = Vector.new(_t.FP64, n, ctx)
+    reduce_to_vector(deg, None, None, PLUS_MONOID[_t.FP64], pat)
+
+    # r0 = 1/n everywhere
+    r = Vector.new(_t.FP64, n, ctx)
+    from ..ops.assign import assign
+    assign(r, None, None, 1.0 / n, None)
+
+    teleport = (1.0 - damping) / n
+    iters = 0
+    for iters in range(1, max_iters + 1):
+        # w = r / deg on vertices with outgoing edges
+        w = Vector.new(_t.FP64, n, ctx)
+        ewise_mult(w, None, None, DIV[_t.FP64], r, deg)
+        # sink mass: rank held by vertices with no outgoing edges
+        total_w = reduce_scalar(PLUS_MONOID[_t.FP64], w)
+        # rank actually propagated = sum over non-sink of r; sinks keep r
+        propagated = Vector.new(_t.FP64, n, ctx)
+        vxm(propagated, None, None, PLUS_TIMES_SEMIRING[_t.FP64], w, pat)
+        r_sum = reduce_scalar(PLUS_MONOID[_t.FP64], r)
+        nonsink_sum = reduce_scalar(
+            PLUS_MONOID[_t.FP64],
+            _masked_copy(r, deg),
+        )
+        sink_mass = r_sum - nonsink_sum
+        base = teleport + damping * sink_mass / n
+
+        r_new = Vector.new(_t.FP64, n, ctx)
+        assign(r_new, None, None, base, None)
+        from ..core.binaryop import PLUS as _PLUS
+        apply(propagated, None, None, TIMES[_t.FP64], propagated, damping)
+        ewise_add(r_new, None, None, _PLUS[_t.FP64], r_new, propagated)
+
+        delta = _l1_delta(r, r_new)
+        r = r_new
+        if delta < tol:
+            break
+    return r, iters
+
+
+def _masked_copy(r: Vector, mask: Vector) -> Vector:
+    """r restricted to the structure of ``mask``."""
+    from ..core.descriptor import DESC_RS
+    out = Vector.new(r.type, r.size, r.context)
+    from ..ops.assign import assign
+    assign(out, mask, None, r, None, desc=DESC_RS)
+    return out
+
+
+def _l1_delta(u: Vector, v: Vector) -> float:
+    ui, uv = u.extract_tuples()
+    vi, vv = v.extract_tuples()
+    du = np.zeros(u.size)
+    dv = np.zeros(v.size)
+    du[ui] = uv
+    dv[vi] = vv
+    return float(np.abs(du - dv).sum())

@@ -1,0 +1,49 @@
+"""Single-source shortest paths: Bellman–Ford over the MIN_PLUS semiring."""
+
+from __future__ import annotations
+
+from ..core import types as _t
+from ..core.errors import InvalidIndexError, InvalidValueError
+from ..core.matrix import Matrix
+from ..core.semiring import MIN_PLUS_SEMIRING
+from ..core.vector import Vector
+from ..ops.ewise import ewise_add
+from ..core.binaryop import MIN
+from ..ops.mxm import vxm
+
+__all__ = ["sssp"]
+
+
+def sssp(a: Matrix, source: int, *, max_iters: int | None = None) -> Vector:
+    """Distances from ``source`` over non-negative edge weights (FP64).
+
+    Classic algebraic Bellman–Ford: relax ``d ← d min.+ A`` until the
+    distance vector reaches a fixpoint (at most n-1 relaxations on a
+    negative-cycle-free graph).
+    """
+    n = a.nrows
+    if not (0 <= source < n):
+        raise InvalidIndexError(f"source {source} out of range [0, {n})")
+    if max_iters is not None and max_iters < 1:
+        raise InvalidValueError("max_iters must be >= 1")
+    limit = max_iters if max_iters is not None else n - 1
+
+    dist = Vector.new(_t.FP64, n, a.context)
+    dist.set_element(0.0, source)
+    for _ in range(max(limit, 1)):
+        prev = dist.dup()
+        # dist = min(dist, dist min.+ A)
+        relaxed = Vector.new(_t.FP64, n, a.context)
+        vxm(relaxed, None, None, MIN_PLUS_SEMIRING[_t.FP64], dist, a)
+        ewise_add(dist, None, None, MIN[_t.FP64], dist, relaxed)
+        if _vectors_equal(prev, dist):
+            break
+    return dist
+
+
+def _vectors_equal(u: Vector, v: Vector) -> bool:
+    ui, uv = u.extract_tuples()
+    vi, vv = v.extract_tuples()
+    if len(ui) != len(vi):
+        return False
+    return bool((ui == vi).all() and (uv == vv).all())

@@ -1,0 +1,258 @@
+"""``GrB_``-prefixed aliases mirroring the C spelling of the 2.0 API.
+
+This module lets programs read like the paper's figures::
+
+    from repro.capi import *
+
+    GrB_init(GrB_NONBLOCKING)
+    A = GrB_Matrix_new(GrB_FP64, 4, 4)
+    GrB_mxm(C, GrB_NULL, GrB_NULL, GrB_PLUS_TIMES_SEMIRING_FP64, A, B)
+    GrB_wait(Esh, GrB_COMPLETE)
+    GrB_finalize()
+
+Only the *spelling* differs from :mod:`repro.grb`: C out-parameters
+become return values, ``GrB_Info`` codes become exceptions, and
+``GrB_NULL`` is ``None``.  ``GrB_error`` returns the string directly
+(the C version fills a ``char**``).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from . import grb as _g
+from .core import binaryop as _binaryop
+from .core import indexunaryop as _indexunaryop
+from .core import monoid as _monoid
+from .core import semiring as _semiring
+from .core import unaryop as _unaryop
+from .core.context import Context as _Context
+from .core.context import Mode as _Mode
+from .core.context import WaitMode as _WaitMode
+
+GrB_NULL = None
+GrB_ALL = None
+
+GrB_BLOCKING = _Mode.BLOCKING
+GrB_NONBLOCKING = _Mode.NONBLOCKING
+GrB_COMPLETE = _WaitMode.COMPLETE
+GrB_MATERIALIZE = _WaitMode.MATERIALIZE
+
+GrB_Type = _g.Type
+GrB_Matrix = _g.Matrix
+GrB_Vector = _g.Vector
+GrB_Scalar = _g.Scalar
+GrB_Descriptor = _g.Descriptor
+GrB_Context = _Context
+GrB_Info = _g.Info
+GrB_Format = _g.Format
+
+GrB_init = _g.init
+GrB_finalize = _g.finalize
+GrB_getVersion = _g.get_version
+GrB_wait = _g.wait
+GrB_error = _g.error_string
+
+
+def GrB_Context_new(mode, parent=None, exec=None):  # noqa: A002 - spec name
+    """``GrB_Context_new(&ctx, mode, parent, exec)`` (Fig. 2)."""
+    return _Context.new(mode, parent, exec)
+
+
+GrB_Context_switch = _g.context_switch
+
+
+def GrB_Matrix_new(d, nrows, ncols, ctx=None):
+    return _g.Matrix.new(d, nrows, ncols, ctx)
+
+
+def GrB_Vector_new(d, nsize, ctx=None):
+    return _g.Vector.new(d, nsize, ctx)
+
+
+def GrB_Scalar_new(d, ctx=None):
+    return _g.Scalar.new(d, ctx)
+
+
+def GrB_Scalar_dup(s):
+    return s.dup()
+
+
+def GrB_Scalar_clear(s):
+    s.clear()
+
+
+def GrB_Scalar_nvals(s):
+    return s.nvals()
+
+
+def GrB_Scalar_setElement(s, value):
+    s.set_element(value)
+
+
+def GrB_Scalar_extractElement(s):
+    return s.extract_element()
+
+
+def GrB_Matrix_dup(a):
+    return a.dup()
+
+
+def GrB_Vector_dup(v):
+    return v.dup()
+
+
+def GrB_Matrix_build(c, rows, cols, vals, dup=None):
+    c.build(rows, cols, vals, dup)
+
+
+def GrB_Vector_build(w, idx, vals, dup=None):
+    w.build(idx, vals, dup)
+
+
+def GrB_Matrix_setElement(c, value, i, j):
+    c.set_element(value, i, j)
+
+
+def GrB_Vector_setElement(w, value, i):
+    w.set_element(value, i)
+
+
+def GrB_Matrix_extractElement(c, i, j, out=None):
+    return c.extract_element(i, j, out)
+
+
+def GrB_Vector_extractElement(w, i, out=None):
+    return w.extract_element(i, out)
+
+
+def GrB_Matrix_extractTuples(c):
+    return c.extract_tuples()
+
+
+def GrB_Vector_extractTuples(w):
+    return w.extract_tuples()
+
+
+def GrB_Matrix_removeElement(c, i, j):
+    c.remove_element(i, j)
+
+
+def GrB_Vector_removeElement(w, i):
+    w.remove_element(i)
+
+
+def GrB_Matrix_clear(c):
+    c.clear()
+
+
+def GrB_Vector_clear(w):
+    w.clear()
+
+
+def GrB_Matrix_nvals(c):
+    return c.nvals()
+
+
+def GrB_Vector_nvals(w):
+    return w.nvals()
+
+
+def GrB_Matrix_nrows(c):
+    return c.nrows
+
+
+def GrB_Matrix_ncols(c):
+    return c.ncols
+
+
+def GrB_Vector_size(w):
+    return w.size
+
+
+def GrB_Matrix_resize(c, nrows, ncols):
+    c.resize(nrows, ncols)
+
+
+def GrB_Vector_resize(w, n):
+    w.resize(n)
+
+
+def GrB_Matrix_diag(v, k=0):
+    return _g.Matrix.diag(v, k)
+
+
+def GrB_free(obj: Any) -> None:
+    obj.free()
+
+
+GrB_Type_new = _g.Type.new
+GrB_UnaryOp_new = _unaryop.UnaryOp.new
+GrB_BinaryOp_new = _binaryop.BinaryOp.new
+GrB_IndexUnaryOp_new = _indexunaryop.IndexUnaryOp.new
+GrB_Monoid_new = _monoid.Monoid.new
+GrB_Semiring_new = _semiring.Semiring.new
+GrB_Descriptor_new = _g.Descriptor.new
+
+GrB_mxm = _g.mxm
+GrB_mxv = _g.mxv
+GrB_vxm = _g.vxm
+GrB_eWiseAdd = _g.ewise_add
+GrB_eWiseMult = _g.ewise_mult
+GrB_extract = _g.extract
+GrB_assign = _g.assign
+GrB_Row_assign = _g.assign_row
+GrB_Col_assign = _g.assign_col
+GrB_apply = _g.apply
+GrB_select = _g.select
+GrB_reduce = _g.reduce
+GrB_transpose = _g.transpose
+GrB_kronecker = _g.kronecker
+
+GrB_Matrix_import = _g.matrix_import
+GrB_Matrix_export = _g.matrix_export
+GrB_Matrix_exportSize = _g.matrix_export_size
+GrB_Matrix_exportHint = _g.matrix_export_hint
+GrB_Vector_import = _g.vector_import
+GrB_Vector_export = _g.vector_export
+GrB_Vector_exportSize = _g.vector_export_size
+GrB_Vector_exportHint = _g.vector_export_hint
+GrB_Matrix_serialize = _g.matrix_serialize
+GrB_Matrix_serializeSize = _g.matrix_serialize_size
+GrB_Matrix_deserialize = _g.matrix_deserialize
+GrB_Vector_serialize = _g.vector_serialize
+GrB_Vector_serializeSize = _g.vector_serialize_size
+GrB_Vector_deserialize = _g.vector_deserialize
+
+# Re-export every predefined typed operator / monoid / semiring under its
+# C name (GrB_PLUS_INT32, GrB_TRIL, GrB_PLUS_TIMES_SEMIRING_FP64, ...).
+_PREDEF_MODULES = (_unaryop, _binaryop, _indexunaryop, _monoid, _semiring)
+for _mod in _PREDEF_MODULES:
+    for _name in _mod.__all__:
+        _obj = getattr(_mod, _name, None)
+        if _obj is None:
+            continue
+        globals()[f"GrB_{_name}"] = _obj
+
+from .core import types as _types  # noqa: E402
+
+for _t in _types.PREDEFINED_TYPES:
+    globals()[_t.name] = _t  # GrB_BOOL, GrB_INT8, ... carry the prefix already
+
+from .core.descriptor import (  # noqa: E402,F401
+    DESC_C as GrB_DESC_C,
+    DESC_R as GrB_DESC_R,
+    DESC_RC as GrB_DESC_RC,
+    DESC_RS as GrB_DESC_RS,
+    DESC_RSC as GrB_DESC_RSC,
+    DESC_RT0 as GrB_DESC_RT0,
+    DESC_RT0T1 as GrB_DESC_RT0T1,
+    DESC_RT1 as GrB_DESC_RT1,
+    DESC_S as GrB_DESC_S,
+    DESC_SC as GrB_DESC_SC,
+    DESC_T0 as GrB_DESC_T0,
+    DESC_T0T1 as GrB_DESC_T0T1,
+    DESC_T1 as GrB_DESC_T1,
+)
+
+__all__ = [name for name in globals() if name.startswith("GrB_")]

@@ -1,0 +1,191 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Release-grade libraries ship a small CLI for smoke-testing an install
+and poking at data files without writing a script:
+
+* ``info``        — version, spec level, predefined-object census.
+* ``mm-info F``   — header + shape/nnz/degree stats of a MatrixMarket file.
+* ``demo NAME``   — run a built-in algorithm demo on a generated graph
+  (``bfs``, ``triangles``, ``pagerank``, ``sssp``, ``components``).
+* ``selftest``    — a fast end-to-end exercise of every subsystem.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Pure-Python GraphBLAS 2.0 (IPDPSW 2021 reproduction)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="version and capability summary")
+
+    mm = sub.add_parser("mm-info", help="describe a MatrixMarket file")
+    mm.add_argument("path")
+
+    demo = sub.add_parser("demo", help="run an algorithm demo")
+    demo.add_argument(
+        "name",
+        choices=["bfs", "triangles", "pagerank", "sssp", "components"],
+    )
+    demo.add_argument("--scale", type=int, default=9,
+                      help="RMAT scale (default 9)")
+    demo.add_argument("--seed", type=int, default=42)
+
+    sub.add_parser("selftest", help="fast end-to-end smoke test")
+    return p
+
+
+def _cmd_info(out) -> int:
+    import repro
+    from repro.core import binaryop, indexunaryop, monoid, semiring, unaryop
+    from repro.core.context import get_version
+    from repro.core.types import PREDEFINED_TYPES
+
+    major, minor = get_version()
+    out.write(f"repro {repro.__version__} — GraphBLAS C API "
+              f"{major}.{minor} (pure Python)\n")
+    out.write(f"  predefined types:      {len(PREDEFINED_TYPES)}\n")
+    out.write(f"  unary op families:     "
+              f"{len(unaryop.PREDEFINED_UNARY_FAMILIES)}\n")
+    out.write(f"  binary op families:    "
+              f"{len(binaryop.PREDEFINED_BINARY_FAMILIES)}\n")
+    out.write(f"  index-unary families:  "
+              f"{len(indexunaryop.PREDEFINED_INDEXUNARY)}\n")
+    out.write(f"  monoid families:       {len(monoid.PREDEFINED_MONOIDS)}\n")
+    out.write(f"  semiring families:     "
+              f"{len(semiring.PREDEFINED_SEMIRINGS)} (+4 boolean)\n")
+    return 0
+
+
+def _cmd_mm_info(path: str, out) -> int:
+    from repro.io import mmread
+
+    m = mmread(path)
+    out.write(f"{path}: {m.nrows} x {m.ncols}, nvals={m.nvals()}, "
+              f"domain={m.type.name}\n")
+    rows, cols, vals = m.extract_tuples()
+    if len(rows):
+        deg = np.bincount(rows, minlength=m.nrows)
+        out.write(f"  out-degree: max={deg.max()}, mean={deg.mean():.2f}\n")
+        if not m.type.is_bool:
+            out.write(f"  values: min={vals.min()}, max={vals.max()}\n")
+        loops = int((rows == cols).sum())
+        out.write(f"  self-loops: {loops}\n")
+    return 0
+
+
+def _cmd_demo(name: str, scale: int, seed: int, out) -> int:
+    from repro import algorithms as alg
+    from repro.core import types as T
+    from repro.generators import rmat, to_matrix
+
+    n, rows, cols, vals = rmat(scale, 8, seed=seed)
+    undirected = name in ("triangles", "components")
+    a = to_matrix(
+        n, rows, cols,
+        np.ones(len(rows)) if name != "sssp" else 1.0 + (vals * 9),
+        T.BOOL if name in ("bfs", "components") else T.FP64,
+        make_undirected=undirected, no_self_loops=True,
+    )
+    out.write(f"RMAT scale {scale}: {n} vertices, {a.nvals()} edges\n")
+    t0 = time.perf_counter()
+    if name == "bfs":
+        lv = alg.bfs_levels(a, 0)
+        idx, depths = lv.extract_tuples()
+        result = (f"reached {len(idx)} vertices, "
+                  f"max depth {depths.max() if len(depths) else 0}")
+    elif name == "triangles":
+        result = f"{alg.triangle_count(a)} triangles"
+    elif name == "pagerank":
+        ranks, iters = alg.pagerank(a)
+        top = max(ranks.to_dict().items(), key=lambda kv: kv[1])
+        result = f"{iters} iterations; top vertex {top[0]}"
+    elif name == "sssp":
+        d = alg.sssp(a, 0, max_iters=64)
+        result = f"reached {d.nvals()} vertices"
+    else:
+        cc = alg.connected_components(a)
+        ncomp = len(set(int(v) for v in cc.to_dict().values()))
+        result = f"{ncomp} components"
+    elapsed = (time.perf_counter() - t0) * 1e3
+    out.write(f"{name}: {result}  ({elapsed:.1f} ms)\n")
+    return 0
+
+
+def _cmd_selftest(out) -> int:
+    from repro import grb
+    from repro.algorithms import triangle_count
+    from repro.generators import rmat, to_matrix
+
+    checks = 0
+    # core round trip
+    a = grb.Matrix.new(grb.FP64, 3, 3)
+    a.build([0, 1, 2], [1, 2, 0], [1.0, 2.0, 3.0])
+    c = grb.Matrix.new(grb.FP64, 3, 3)
+    grb.mxm(c, None, None, grb.PLUS_TIMES_SEMIRING[grb.FP64], a, a)
+    grb.wait(c)
+    assert c.nvals() == 3
+    checks += 1
+    # select + apply (§VIII)
+    u = grb.Matrix.new(grb.FP64, 3, 3)
+    grb.select(u, None, None, grb.TRIU, a, 1)
+    r = grb.Matrix.new(grb.INT64, 3, 3)
+    grb.apply(r, None, None, grb.ROWINDEX_INT64, a, 0)
+    assert r.nvals() == a.nvals()
+    checks += 1
+    # serialize round trip (§VII)
+    blob = grb.matrix_serialize(a)
+    assert grb.matrix_deserialize(blob).nvals() == a.nvals()
+    checks += 1
+    # error model (§V / §IX)
+    bad = grb.Matrix.new(grb.FP64, 2, 2)
+    bad.build([0, 0], [0, 0], [1.0, 2.0], dup=None)
+    try:
+        grb.wait(bad)
+        raise AssertionError("duplicate not detected")
+    except grb.DuplicateIndexError:
+        checks += 1
+    # an algorithm end to end
+    n, rows, cols, _ = rmat(7, 8, seed=1)
+    g = to_matrix(n, rows, cols, np.ones(len(rows)), grb.FP64,
+                  make_undirected=True, no_self_loops=True)
+    assert triangle_count(g) >= 0
+    checks += 1
+    out.write(f"selftest: {checks}/5 subsystem checks passed\n")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+
+    from repro.core.context import Mode, finalize, init, is_initialized
+
+    owned = not is_initialized()
+    if owned:
+        init(Mode.NONBLOCKING)
+    try:
+        if args.command == "info":
+            return _cmd_info(out)
+        if args.command == "mm-info":
+            return _cmd_mm_info(args.path, out)
+        if args.command == "demo":
+            return _cmd_demo(args.name, args.scale, args.seed, out)
+        if args.command == "selftest":
+            return _cmd_selftest(out)
+        return 2  # pragma: no cover - argparse enforces choices
+    finally:
+        if owned and is_initialized():
+            finalize()

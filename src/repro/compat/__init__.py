@@ -1,0 +1,35 @@
+"""GraphBLAS 1.X compatibility idioms and migration helpers.
+
+Two roles:
+
+* :mod:`.onex` implements the 1.X-era *workarounds* for index-aware
+  computation that §II of the paper uses to motivate GraphBLAS 2.0 —
+  packing indices into the values array and unpacking them with
+  user-defined operators, or round-tripping through
+  extractTuples/filter/build.  These are the baselines the motivation
+  benchmark (``benchmarks/bench_motivation_indices.py``) measures
+  against the 2.0 ``select``/``apply``-with-``IndexUnaryOp`` path.
+* :mod:`.migration` documents and shims the backwards-compatibility
+  breaks that make 2.0 a major release.
+"""
+
+from .migration import OneXBehaviour, incompatibilities
+from .onex import (
+    apply_colindex_packed_1x,
+    apply_rowindex_packed_1x,
+    extract_filter_build_select,
+    pack_index_matrix,
+    select_triu_value_packed_1x,
+    unpack_index_matrix,
+)
+
+__all__ = [
+    "OneXBehaviour",
+    "incompatibilities",
+    "pack_index_matrix",
+    "unpack_index_matrix",
+    "select_triu_value_packed_1x",
+    "apply_colindex_packed_1x",
+    "apply_rowindex_packed_1x",
+    "extract_filter_build_select",
+]

@@ -1,0 +1,106 @@
+"""The 1.X → 2.0 backwards-compatibility breaks, documented and shimmed.
+
+The paper calls 2.0 a *major* release because a small number of changes
+violate backwards compatibility.  This module records each break as
+data (so tests can assert the list is honest) and provides shims that
+emulate the 1.X behaviour on top of the 2.0 implementation where that
+is possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from ..core.monoid import Monoid
+from ..core.sequence import OpaqueObject
+from ..core.context import WaitMode
+
+__all__ = ["OneXBehaviour", "incompatibilities", "INCOMPATIBILITIES"]
+
+
+@dataclass(frozen=True)
+class OneXBehaviour:
+    """One backwards-compatibility break between 1.X and 2.0."""
+
+    area: str
+    onex: str
+    twozero: str
+    paper_section: str
+
+
+INCOMPATIBILITIES: tuple[OneXBehaviour, ...] = (
+    OneXBehaviour(
+        area="wait",
+        onex="GrB_wait(void) completed every object in the program",
+        twozero="GrB_wait(obj, GrB_COMPLETE | GrB_MATERIALIZE) is per-object "
+        "and takes a wait mode",
+        paper_section="III / V",
+    ),
+    OneXBehaviour(
+        area="error model",
+        onex="GrB_error() returned a global string for the last error on "
+        "the calling thread",
+        twozero="GrB_error(&str, obj) is per-object and thread safe; "
+        "execution errors may be deferred until a materializing wait",
+        paper_section="V",
+    ),
+    OneXBehaviour(
+        area="build dup",
+        onex="the dup binary operator was a required argument of build",
+        twozero="dup is optional; GrB_NULL dup makes duplicate indices an "
+        "execution error",
+        paper_section="IX",
+    ),
+    OneXBehaviour(
+        area="enumerations",
+        onex="enum members had unspecified values (opaque)",
+        twozero="every spec enumeration fixes explicit values so programs "
+        "link against any conforming library",
+        paper_section="IX",
+    ),
+    OneXBehaviour(
+        area="reduce to scalar",
+        onex="reducing an empty container returned the monoid identity "
+        "into a typed output",
+        twozero="the GrB_Scalar variant returns an *empty* scalar, and a "
+        "plain associative BinaryOp is accepted as the reducer",
+        paper_section="VI",
+    ),
+    OneXBehaviour(
+        area="constructors",
+        onex="GrB_Matrix_new / GrB_Vector_new took no context",
+        twozero="constructors take an optional GrB_Context; all objects in "
+        "a method call must share a context",
+        paper_section="IV",
+    ),
+    OneXBehaviour(
+        area="multithreading",
+        onex="calling GraphBLAS from multiple threads was unspecified",
+        twozero="implementations must be thread safe; cross-thread sharing "
+        "requires completion plus a host-language synchronized-with edge",
+        paper_section="III",
+    ),
+)
+
+
+def incompatibilities() -> tuple[OneXBehaviour, ...]:
+    """The documented 1.X → 2.0 breaks (stable, test-asserted)."""
+    return INCOMPATIBILITIES
+
+
+def wait_all_1x(objects: Iterable[OpaqueObject]) -> None:
+    """Emulate 1.X ``GrB_wait(void)`` over an explicit object set.
+
+    2.0 removed the program-global wait; the closest faithful shim
+    materializes every object the caller still holds.
+    """
+    for obj in objects:
+        obj.wait(WaitMode.MATERIALIZE)
+
+
+def reduce_scalar_1x(monoid: Monoid, container: Any) -> Any:
+    """1.X reduce-to-scalar: empty containers yield the monoid identity."""
+    from ..ops.reduce import reduce_scalar
+
+    return reduce_scalar(monoid, container)

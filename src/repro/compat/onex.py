@@ -1,0 +1,146 @@
+"""GraphBLAS 1.X idioms for index-aware computation (§II baselines).
+
+Before 2.0, operators and semirings could not see element indices.  The
+paper (§II): *"Whenever a graph algorithm needs indices, those index
+values were stored in the values array.  During the computation, these
+index values were unpacked from the values array.  Clearly this is
+inefficient in terms of storage and bandwidth as the same information
+is stored and streamed twice … More importantly … it requires
+user-defined operators and semirings just to be able to unpack the
+index values … because of a function pointer call required for each
+scalar operation."*
+
+This module implements exactly that pattern so it can be measured:
+
+* :func:`pack_index_matrix` rebuilds A with values ``(i, j, a_ij)`` —
+  the doubled storage/bandwidth;
+* the ``*_packed_1x`` operations run a **user-defined operator per
+  stored element** to unpack and compute — the function-pointer cost;
+* :func:`extract_filter_build_select` is the other 1.X workaround:
+  round-trip the data out of the opaque object, filter in user code,
+  and rebuild.
+
+Equivalent 2.0 one-liners: ``select(C, …, TRIU/VALUEGT, A, s)`` and
+``apply(C, …, COLINDEX_INT64, A, s)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..core import types as _t
+from ..core.context import Context
+from ..core.indexunaryop import IndexUnaryOp
+from ..core.matrix import Matrix
+from ..core.types import Type
+from ..core.unaryop import UnaryOp
+from ..ops.apply import apply as _apply
+from ..ops.select import select as _select
+
+__all__ = [
+    "PACKED_TYPE",
+    "pack_index_matrix",
+    "unpack_index_matrix",
+    "select_triu_value_packed_1x",
+    "apply_colindex_packed_1x",
+    "apply_rowindex_packed_1x",
+    "extract_filter_build_select",
+]
+
+#: The user-defined domain holding (row, col, value) triples — the
+#: "indices stored in the values array" of §II.
+PACKED_TYPE = Type.new("Packed_IJV", size=24)
+
+
+def pack_index_matrix(a: Matrix, ctx: Context | None = None) -> Matrix:
+    """Rebuild ``a`` with values ``(i, j, a_ij)`` (storage doubled).
+
+    This is the 1.X preprocessing step; its cost is part of what the
+    2.0 index-unary operations eliminate.
+    """
+    rows, cols, vals = a.extract_tuples()
+    packed = Matrix.new(PACKED_TYPE, a.nrows, a.ncols, ctx)
+    triples = np.empty(len(vals), dtype=object)
+    # Per-element packing: in C this is the user's packing loop.
+    for k in range(len(vals)):
+        triples[k] = (int(rows[k]), int(cols[k]), vals[k])
+    packed.build(rows, cols, triples, None)
+    return packed
+
+
+def unpack_index_matrix(packed: Matrix, t: Type, ctx: Context | None = None) -> Matrix:
+    """Recover a plain-valued matrix from a packed one (UDF per element)."""
+    unpack = UnaryOp.new(lambda ijv: ijv[2], t, PACKED_TYPE, name="unpack_value")
+    out = Matrix.new(t, packed.nrows, packed.ncols, ctx)
+    _apply(out, None, None, unpack, packed)
+    return out
+
+
+def select_triu_value_packed_1x(
+    packed: Matrix, s: Any, t: Type, ctx: Context | None = None
+) -> Matrix:
+    """1.X emulation of Fig. 3's select: keep strict-upper entries > s.
+
+    Pipeline: a user-defined unary op unpacks each (i, j, v) triple and
+    either passes the triple through or flags it; a second user-defined
+    select-like pass cannot exist in 1.X, so the filtered pattern is
+    realized by extracting the boolean decisions and using them as a
+    *valued mask* — the closest 1.X rendering of a functional mask.
+    """
+    decide = IndexUnaryOp.new(
+        lambda ijv, i, j, _s: (ijv[1] > ijv[0]) and (ijv[2] > _s),
+        _t.BOOL, PACKED_TYPE, _t.FP64, name="triu_gt_packed",
+    )
+    # In 1.X the decision op would be a plain UnaryOp; IndexUnaryOp.new
+    # with ignored indices keeps the same per-element call shape while
+    # flowing through one code path.  Crucially the *indices used in the
+    # predicate* come from the packed values, not the operator arguments.
+    kept = Matrix.new(PACKED_TYPE, packed.nrows, packed.ncols, ctx)
+    _select(kept, None, None, decide, packed, 0.0 if s is None else s)
+    return unpack_index_matrix(kept, t, ctx)
+
+
+def apply_colindex_packed_1x(
+    packed: Matrix, s: int, ctx: Context | None = None
+) -> Matrix:
+    """1.X emulation of ``apply(COLINDEX, A, s)`` via packed values."""
+    unpack_col = UnaryOp.new(
+        lambda ijv, _s=int(s): ijv[1] + _s, _t.INT64, PACKED_TYPE,
+        name="unpack_colindex",
+    )
+    out = Matrix.new(_t.INT64, packed.nrows, packed.ncols, ctx)
+    _apply(out, None, None, unpack_col, packed)
+    return out
+
+
+def apply_rowindex_packed_1x(
+    packed: Matrix, s: int, ctx: Context | None = None
+) -> Matrix:
+    """1.X emulation of ``apply(ROWINDEX, A, s)`` via packed values."""
+    unpack_row = UnaryOp.new(
+        lambda ijv, _s=int(s): ijv[0] + _s, _t.INT64, PACKED_TYPE,
+        name="unpack_rowindex",
+    )
+    out = Matrix.new(_t.INT64, packed.nrows, packed.ncols, ctx)
+    _apply(out, None, None, unpack_row, packed)
+    return out
+
+
+def extract_filter_build_select(
+    a: Matrix,
+    predicate,
+    ctx: Context | None = None,
+) -> Matrix:
+    """The other 1.X select workaround: extractTuples → filter → build.
+
+    ``predicate(values, rows, cols) -> bool array`` runs in user space —
+    the data leaves the opaque object entirely (copy out, copy back),
+    which is the bandwidth cost 2.0's ``select`` avoids.
+    """
+    rows, cols, vals = a.extract_tuples()
+    keep = np.asarray(predicate(vals, rows, cols), dtype=bool)
+    out = Matrix.new(a.type, a.nrows, a.ncols, ctx)
+    out.build(rows[keep], cols[keep], vals[keep], None)
+    return out

@@ -1,0 +1,53 @@
+"""Core GraphBLAS 2.0 objects: types, operators, containers, contexts."""
+
+from . import binaryop, indexunaryop, monoid, semiring, types, unaryop
+from .context import (
+    Context,
+    Mode,
+    WaitMode,
+    context_switch,
+    default_context,
+    finalize,
+    get_version,
+    init,
+    is_initialized,
+)
+from .descriptor import DescField, Descriptor, DescValue
+from .errors import (
+    ApiError,
+    DimensionMismatchError,
+    DomainMismatchError,
+    DuplicateIndexError,
+    EmptyObjectError,
+    ExecutionError,
+    GraphBLASError,
+    IndexOutOfBoundsError,
+    InvalidIndexError,
+    InvalidObjectError,
+    InvalidValueError,
+    NoValue,
+    NullPointerError,
+    OutputNotEmptyError,
+    PanicError,
+    UninitializedObjectError,
+)
+from .info import Info
+from .matrix import Matrix
+from .scalar import Scalar
+from .sequence import OpaqueObject, error_string, wait
+from .vector import Vector
+
+__all__ = [
+    "binaryop", "indexunaryop", "monoid", "semiring", "types", "unaryop",
+    "Context", "Mode", "WaitMode", "context_switch", "default_context",
+    "finalize", "get_version", "init", "is_initialized",
+    "DescField", "Descriptor", "DescValue",
+    "Info", "Matrix", "Scalar", "Vector",
+    "OpaqueObject", "error_string", "wait",
+    "ApiError", "DimensionMismatchError", "DomainMismatchError",
+    "DuplicateIndexError", "EmptyObjectError", "ExecutionError",
+    "GraphBLASError", "IndexOutOfBoundsError", "InvalidIndexError",
+    "InvalidObjectError", "InvalidValueError", "NoValue",
+    "NullPointerError", "OutputNotEmptyError", "PanicError",
+    "UninitializedObjectError",
+]

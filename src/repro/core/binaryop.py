@@ -1,0 +1,375 @@
+"""``GrB_BinaryOp`` — binary operators, predefined and user-defined.
+
+Predefined families per the 2.0 specification:
+
+* value-selecting: ``FIRST`` (x), ``SECOND`` (y), ``ONEB`` (1)
+* arithmetic: ``MIN MAX PLUS MINUS TIMES DIV`` over the 11 domains
+* comparison (output BOOL): ``EQ NE GT LT GE LE``
+* logical (BOOL only): ``LOR LAND LXOR LXNOR``
+* bitwise (integer domains): ``BOR BAND BXOR BXNOR``
+
+Typed instances carry a vectorized implementation and, where one exists,
+the backing NumPy ufunc (used by monoids for ``reduceat`` segment
+reductions — the fast path of the ESC SpGEMM kernel).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from . import types as _t
+from .errors import NullPointerError
+from .opbase import TypedOpFamily, elementwise_fallback_2
+from .types import Type
+
+__all__ = [
+    "BinaryOp",
+    "FIRST", "SECOND", "ONEB",
+    "MIN", "MAX", "PLUS", "MINUS", "TIMES", "DIV",
+    "EQ", "NE", "GT", "LT", "GE", "LE",
+    "LOR", "LAND", "LXOR", "LXNOR",
+    "BOR", "BAND", "BXOR", "BXNOR",
+    "PREDEFINED_BINARY_FAMILIES",
+]
+
+
+class BinaryOp:
+    """A monomorphic binary operator: ``out = f(in1, in2)``."""
+
+    __slots__ = (
+        "name", "in1_type", "in2_type", "out_type",
+        "scalar", "vec", "ufunc", "is_builtin", "commutative",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        in1_type: Type,
+        in2_type: Type,
+        out_type: Type,
+        scalar: Callable[[Any, Any], Any],
+        vec: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
+        *,
+        ufunc: np.ufunc | None = None,
+        is_builtin: bool = False,
+        commutative: bool = False,
+    ):
+        self.name = name
+        self.in1_type = in1_type
+        self.in2_type = in2_type
+        self.out_type = out_type
+        self.scalar = scalar
+        self.vec = vec if vec is not None else elementwise_fallback_2(
+            scalar, out_type.np_dtype
+        )
+        self.ufunc = ufunc
+        self.is_builtin = is_builtin
+        self.commutative = commutative
+
+    @classmethod
+    def new(
+        cls,
+        fn: Callable[[Any, Any], Any],
+        out_type: Type,
+        in1_type: Type,
+        in2_type: Type,
+        name: str = "",
+    ) -> "BinaryOp":
+        """``GrB_BinaryOp_new`` — wrap a user function.
+
+        User-defined operators have no vectorized form: kernels call the
+        Python function once per element pair (the §II penalty).
+        """
+        if fn is None:
+            raise NullPointerError("binary function is NULL")
+        return cls(
+            name or getattr(fn, "__name__", "udf"),
+            in1_type, in2_type, out_type, fn,
+        )
+
+    def apply_arrays(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Apply elementwise to aligned value arrays."""
+        return self.vec(x, y)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BinaryOp({self.name}: ({self.in1_type.name}, "
+            f"{self.in2_type.name}) -> {self.out_type.name})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Predefined families
+# ---------------------------------------------------------------------------
+
+def _make_family(
+    name: str,
+    domains: tuple[Type, ...],
+    scalar_factory: Callable[[Type], Callable[[Any, Any], Any]],
+    vec_factory: Callable[[Type], Callable[[np.ndarray, np.ndarray], np.ndarray]],
+    *,
+    out_rule: Callable[[Type], Type] = lambda t: t,
+    ufunc_factory: Callable[[Type], np.ufunc | None] = lambda t: None,
+    commutative: bool = False,
+) -> TypedOpFamily:
+    by_type = {}
+    for t in domains:
+        op = BinaryOp(
+            f"GrB_{name}_{_t.suffix_of(t)}",
+            t, t, out_rule(t),
+            scalar_factory(t),
+            vec_factory(t),
+            ufunc=ufunc_factory(t),
+            is_builtin=True,
+            commutative=commutative,
+        )
+        by_type[t] = op
+        globals()[f"{name}_{_t.suffix_of(t)}"] = op
+        __all__.append(f"{name}_{_t.suffix_of(t)}")
+    return TypedOpFamily(name, by_type)
+
+
+def _np_scalar(t: Type, fn: Callable[[Any, Any], Any]):
+    np_type = t.np_dtype.type
+    return lambda x, y: np_type(fn(x, y))
+
+
+def _bool_and(t):
+    return lambda x, y: bool(x) and bool(y)
+
+
+def _safe_div_vec(t: Type):
+    if t.is_bool:
+        # BOOL DIV: x / y in the 0/1 embedding; define as FIRST.
+        return lambda x, y: x.copy()
+    if t.is_integer:
+        def f(x, y, _dt=t.np_dtype):
+            with np.errstate(divide="ignore", invalid="ignore"):
+                safe_y = np.where(y == 0, 1, y)
+                out = (x / safe_y).astype(_dt)
+                return np.where(y == 0, 0, out).astype(_dt)
+        return f
+    def f(x, y, _dt=t.np_dtype):
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.divide(x, y).astype(_dt, copy=False)
+    return f
+
+
+def _safe_div_scalar(t: Type):
+    np_type = t.np_dtype.type
+    if t.is_bool:
+        return lambda x, y: bool(x)
+    if t.is_integer:
+        def f(x, y):
+            if y == 0:
+                return np_type(0)
+            return np_type(int(x) / int(y))
+        return f
+    def f(x, y):
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np_type(np.divide(np_type(x), np_type(y)))
+    return f
+
+
+def _wrap_arith(t: Type, ufunc: np.ufunc):
+    """Vectorized op with C wraparound semantics for fixed-width ints."""
+    dt = t.np_dtype
+    if t.is_bool:
+        # Arithmetic on BOOL follows the 0/1 embedding and saturates.
+        if ufunc is np.add:
+            return np.logical_or
+        if ufunc is np.multiply:
+            return np.logical_and
+        if ufunc is np.subtract:
+            return np.logical_xor
+        return lambda x, y: ufunc(x, y).astype(np.bool_)
+    def f(x, y, _u=ufunc, _dt=dt):
+        with np.errstate(over="ignore", under="ignore", invalid="ignore"):
+            return _u(x, y, dtype=_dt) if _u in (np.add, np.subtract, np.multiply) \
+                else _u(x, y).astype(_dt, copy=False)
+    return f
+
+
+def _scalar_arith(t: Type, pyfn: Callable[[Any, Any], Any]):
+    np_type = t.np_dtype.type
+    if t.is_bool:
+        table = {"+": lambda x, y: bool(x) or bool(y),
+                 "-": lambda x, y: bool(x) != bool(y),
+                 "*": lambda x, y: bool(x) and bool(y)}
+        tag = getattr(pyfn, "_tag", None)
+        if tag in table:
+            return table[tag]
+        return lambda x, y: bool(pyfn(x, y))
+    def f(x, y):
+        with np.errstate(over="ignore", under="ignore", invalid="ignore"):
+            return np_type(pyfn(np_type(x), np_type(y)))
+    return f
+
+
+def _tagged(fn, tag):
+    fn._tag = tag
+    return fn
+
+
+_ADD = _tagged(lambda x, y: x + y, "+")
+_SUB = _tagged(lambda x, y: x - y, "-")
+_MUL = _tagged(lambda x, y: x * y, "*")
+
+
+FIRST = _make_family(
+    "FIRST", _t.PREDEFINED_TYPES,
+    lambda t: (lambda x, y, _np=t.np_dtype.type: _np(x)),
+    lambda t: (lambda x, y: x.copy()),
+)
+
+SECOND = _make_family(
+    "SECOND", _t.PREDEFINED_TYPES,
+    lambda t: (lambda x, y, _np=t.np_dtype.type: _np(y)),
+    lambda t: (lambda x, y: y.copy()),
+)
+
+ONEB = _make_family(
+    "ONEB", _t.PREDEFINED_TYPES,
+    lambda t: (lambda x, y, _np=t.np_dtype.type: _np(1)),
+    lambda t: (lambda x, y, _dt=t.np_dtype: np.ones(len(x), dtype=_dt)),
+    commutative=True,
+)
+
+MIN = _make_family(
+    "MIN", _t.PREDEFINED_TYPES,
+    lambda t: _np_scalar(t, min),
+    lambda t: np.minimum,
+    ufunc_factory=lambda t: np.minimum,
+    commutative=True,
+)
+
+MAX = _make_family(
+    "MAX", _t.PREDEFINED_TYPES,
+    lambda t: _np_scalar(t, max),
+    lambda t: np.maximum,
+    ufunc_factory=lambda t: np.maximum,
+    commutative=True,
+)
+
+PLUS = _make_family(
+    "PLUS", _t.PREDEFINED_TYPES,
+    lambda t: _scalar_arith(t, _ADD),
+    lambda t: _wrap_arith(t, np.add),
+    ufunc_factory=lambda t: np.logical_or if t.is_bool else np.add,
+    commutative=True,
+)
+
+MINUS = _make_family(
+    "MINUS", _t.PREDEFINED_TYPES,
+    lambda t: _scalar_arith(t, _SUB),
+    lambda t: _wrap_arith(t, np.subtract),
+)
+
+TIMES = _make_family(
+    "TIMES", _t.PREDEFINED_TYPES,
+    lambda t: _scalar_arith(t, _MUL),
+    lambda t: _wrap_arith(t, np.multiply),
+    ufunc_factory=lambda t: np.logical_and if t.is_bool else np.multiply,
+    commutative=True,
+)
+
+DIV = _make_family(
+    "DIV", _t.PREDEFINED_TYPES,
+    _safe_div_scalar,
+    _safe_div_vec,
+)
+
+
+def _cmp_family(name: str, pyop: Callable[[Any, Any], bool], npop) -> TypedOpFamily:
+    return _make_family(
+        name, _t.PREDEFINED_TYPES,
+        lambda t: (lambda x, y: bool(pyop(x, y))),
+        lambda t: npop,
+        out_rule=lambda t: _t.BOOL,
+        commutative=name in ("EQ", "NE"),
+    )
+
+
+EQ = _cmp_family("EQ", lambda x, y: x == y, np.equal)
+NE = _cmp_family("NE", lambda x, y: x != y, np.not_equal)
+GT = _cmp_family("GT", lambda x, y: x > y, np.greater)
+LT = _cmp_family("LT", lambda x, y: x < y, np.less)
+GE = _cmp_family("GE", lambda x, y: x >= y, np.greater_equal)
+LE = _cmp_family("LE", lambda x, y: x <= y, np.less_equal)
+
+
+LOR = _make_family(
+    "LOR", (_t.BOOL,),
+    lambda t: (lambda x, y: bool(x) or bool(y)),
+    lambda t: np.logical_or,
+    ufunc_factory=lambda t: np.logical_or,
+    commutative=True,
+)
+
+LAND = _make_family(
+    "LAND", (_t.BOOL,),
+    lambda t: (lambda x, y: bool(x) and bool(y)),
+    lambda t: np.logical_and,
+    ufunc_factory=lambda t: np.logical_and,
+    commutative=True,
+)
+
+LXOR = _make_family(
+    "LXOR", (_t.BOOL,),
+    lambda t: (lambda x, y: bool(x) != bool(y)),
+    lambda t: np.logical_xor,
+    ufunc_factory=lambda t: np.logical_xor,
+    commutative=True,
+)
+
+LXNOR = _make_family(
+    "LXNOR", (_t.BOOL,),
+    lambda t: (lambda x, y: bool(x) == bool(y)),
+    lambda t: (lambda x, y: np.logical_not(np.logical_xor(x, y))),
+    ufunc_factory=lambda t: np.equal,
+    commutative=True,
+)
+
+
+BOR = _make_family(
+    "BOR", _t.INTEGER_TYPES,
+    lambda t: _np_scalar(t, lambda x, y: int(x) | int(y)),
+    lambda t: np.bitwise_or,
+    ufunc_factory=lambda t: np.bitwise_or,
+    commutative=True,
+)
+
+BAND = _make_family(
+    "BAND", _t.INTEGER_TYPES,
+    lambda t: _np_scalar(t, lambda x, y: int(x) & int(y)),
+    lambda t: np.bitwise_and,
+    ufunc_factory=lambda t: np.bitwise_and,
+    commutative=True,
+)
+
+BXOR = _make_family(
+    "BXOR", _t.INTEGER_TYPES,
+    lambda t: _np_scalar(t, lambda x, y: int(x) ^ int(y)),
+    lambda t: np.bitwise_xor,
+    ufunc_factory=lambda t: np.bitwise_xor,
+    commutative=True,
+)
+
+BXNOR = _make_family(
+    "BXNOR", _t.INTEGER_TYPES,
+    lambda t: _np_scalar(t, lambda x, y: ~(int(x) ^ int(y))),
+    lambda t: (lambda x, y: np.invert(np.bitwise_xor(x, y))),
+    commutative=True,
+)
+
+
+PREDEFINED_BINARY_FAMILIES = {
+    "FIRST": FIRST, "SECOND": SECOND, "ONEB": ONEB,
+    "MIN": MIN, "MAX": MAX, "PLUS": PLUS, "MINUS": MINUS,
+    "TIMES": TIMES, "DIV": DIV,
+    "EQ": EQ, "NE": NE, "GT": GT, "LT": LT, "GE": GE, "LE": LE,
+    "LOR": LOR, "LAND": LAND, "LXOR": LXOR, "LXNOR": LXNOR,
+    "BOR": BOR, "BAND": BAND, "BXOR": BXOR, "BXNOR": BXNOR,
+}

@@ -1,0 +1,242 @@
+"""Execution contexts (§IV, Figure 2).
+
+GraphBLAS 1.X had a single program-wide context established by
+``GrB_init``.  GraphBLAS 2.0 generalizes this into a *hierarchy* of
+``GrB_Context`` objects so that multithreaded (and, in the future,
+distributed) executions can scope resources:
+
+* :func:`init` creates the **top-level context** (unchanged from 1.X).
+* :meth:`Context.new` nests a context inside a parent (``parent=None``
+  means the top-level context), with its own mode and an
+  *implementation-defined* execution spec.  Ours is a mapping with keys:
+
+  - ``nthreads`` — worker threads for row-partitioned kernels,
+  - ``chunk_rows`` — minimum rows per worker block.
+
+* Vectors and matrices are created *in* a context (an optional
+  constructor argument, §IV) and all objects participating in one
+  method call must share a context — enforced as DOMAIN_MISMATCH.
+* :func:`context_switch` re-homes an object (``GrB_Context_switch``).
+* ``free()`` releases a context (it then behaves uninitialized);
+  :func:`finalize` frees every context and tears down the library.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from typing import Any, Mapping
+
+from .errors import (
+    InvalidValueError,
+    PanicError,
+    UninitializedObjectError,
+)
+
+__all__ = [
+    "Mode",
+    "WaitMode",
+    "Context",
+    "init",
+    "finalize",
+    "is_initialized",
+    "default_context",
+    "context_switch",
+    "get_version",
+]
+
+
+class Mode(enum.IntEnum):
+    """``GrB_Mode`` with explicit values."""
+
+    NONBLOCKING = 0
+    BLOCKING = 1
+
+
+class WaitMode(enum.IntEnum):
+    """``GrB_WaitMode`` (§III completion / §V materialization)."""
+
+    COMPLETE = 0
+    MATERIALIZE = 1
+
+
+_state_lock = threading.Lock()
+_top_context: "Context | None" = None
+_all_contexts: "list[Context]" = []
+
+
+class Context:
+    """An opaque execution context (``GrB_Context``)."""
+
+    __slots__ = ("mode", "parent", "_exec", "_freed", "_children", "name")
+
+    def __init__(
+        self,
+        mode: Mode,
+        parent: "Context | None",
+        exec_spec: Mapping[str, Any] | None,
+        name: str = "",
+    ):
+        self.mode = Mode(mode)
+        self.parent = parent
+        self._exec = dict(exec_spec or {})
+        self._freed = False
+        self._children: list[Context] = []
+        self.name = name
+        if parent is not None:
+            parent._children.append(self)
+        self._validate_exec()
+
+    def _validate_exec(self) -> None:
+        nthreads = self._exec.get("nthreads")
+        if nthreads is not None and (not isinstance(nthreads, int) or nthreads < 1):
+            raise InvalidValueError(f"nthreads must be a positive int, got {nthreads!r}")
+        chunk = self._exec.get("chunk_rows")
+        if chunk is not None and (not isinstance(chunk, int) or chunk < 1):
+            raise InvalidValueError(f"chunk_rows must be a positive int, got {chunk!r}")
+        unknown = set(self._exec) - {"nthreads", "chunk_rows"}
+        if unknown:
+            raise InvalidValueError(f"unknown execution-spec keys: {sorted(unknown)}")
+
+    # -- GrB_Context_new ---------------------------------------------------
+
+    @classmethod
+    def new(
+        cls,
+        mode: Mode,
+        parent: "Context | None" = None,
+        exec_spec: Mapping[str, Any] | None = None,
+        name: str = "",
+    ) -> "Context":
+        """``GrB_Context_new(ctx, mode, parent, exec)`` (Fig. 2).
+
+        ``parent=None`` plays the role of ``GrB_NULL``: the new context
+        nests under the top-level context, which must exist.
+        """
+        with _state_lock:
+            if _top_context is None:
+                raise PanicError("GrB_Context_new before GrB_init")
+            actual_parent = parent if parent is not None else _top_context
+        if actual_parent._freed:
+            raise UninitializedObjectError("parent context has been freed")
+        ctx = cls(mode, actual_parent, exec_spec, name)
+        with _state_lock:
+            _all_contexts.append(ctx)
+        return ctx
+
+    # -- resource resolution ------------------------------------------------
+
+    def check_valid(self) -> None:
+        if self._freed:
+            raise UninitializedObjectError("context has been freed")
+
+    @property
+    def is_freed(self) -> bool:
+        return self._freed
+
+    def exec_spec(self) -> dict[str, Any]:
+        """A copy of this context's own execution spec."""
+        return dict(self._exec)
+
+    def effective(self, key: str, default: Any) -> Any:
+        """Resolve a spec key through the ancestor chain."""
+        ctx: Context | None = self
+        while ctx is not None:
+            if key in ctx._exec:
+                return ctx._exec[key]
+            ctx = ctx.parent
+        return default
+
+    @property
+    def nthreads(self) -> int:
+        return int(self.effective("nthreads", 1))
+
+    @property
+    def chunk_rows(self) -> int:
+        return int(self.effective("chunk_rows", 1))
+
+    @property
+    def depth(self) -> int:
+        """Nesting depth (top-level = 0)."""
+        d, ctx = 0, self.parent
+        while ctx is not None:
+            d += 1
+            ctx = ctx.parent
+        return d
+
+    def is_ancestor_of(self, other: "Context") -> bool:
+        ctx: Context | None = other
+        while ctx is not None:
+            if ctx is self:
+                return True
+            ctx = ctx.parent
+        return False
+
+    # -- teardown ------------------------------------------------------------
+
+    def free(self) -> None:
+        """``GrB_free`` on a context: it then behaves uninitialized (§IV)."""
+        self._freed = True
+        for child in self._children:
+            child.free()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or f"depth={self.depth}"
+        state = "freed" if self._freed else self.mode.name
+        return f"Context({label}, {state}, exec={self._exec})"
+
+
+def init(mode: Mode = Mode.NONBLOCKING) -> Context:
+    """``GrB_init`` — create the top-level context.
+
+    Calling it twice without an intervening :func:`finalize` is an
+    error (PANIC per spec: behaviour of double-init is undefined and we
+    choose to fail loudly).
+    """
+    global _top_context
+    with _state_lock:
+        if _top_context is not None:
+            raise PanicError("GrB_init called twice")
+        _top_context = Context(Mode(mode), None, None, name="top-level")
+        _all_contexts.append(_top_context)
+        return _top_context
+
+
+def finalize() -> None:
+    """``GrB_finalize`` — frees all ``GrB_Context`` objects (§IV)."""
+    global _top_context
+    with _state_lock:
+        if _top_context is None:
+            raise PanicError("GrB_finalize without GrB_init")
+        for ctx in _all_contexts:
+            ctx._freed = True
+        _all_contexts.clear()
+        _top_context = None
+
+
+def is_initialized() -> bool:
+    with _state_lock:
+        return _top_context is not None
+
+
+def default_context() -> Context:
+    """The top-level context; PANIC if the library is uninitialized."""
+    with _state_lock:
+        if _top_context is None:
+            raise PanicError("GraphBLAS method called before GrB_init")
+        return _top_context
+
+
+def context_switch(obj: Any, new_ctx: Context) -> None:
+    """``GrB_Context_switch(<GrB Object>, newCtx)`` (Fig. 2).
+
+    Re-homes a vector or matrix into another context.  O(1): data does
+    not move on a shared-memory node; the binding changes.
+    """
+    new_ctx.check_valid()
+    obj._switch_context(new_ctx)
+
+
+def get_version() -> tuple[int, int]:
+    """``GrB_getVersion`` — (major, minor) of the implemented spec."""
+    return (2, 0)

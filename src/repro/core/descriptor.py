@@ -1,0 +1,198 @@
+"""``GrB_Descriptor`` — per-call behaviour modifiers.
+
+A descriptor is a set of (field, value) settings that modulate how an
+operation treats its output, mask, and inputs:
+
+* ``OUTP = REPLACE``  — clear the output before writing results through
+  the mask ("replace" semantics); default is "merge".
+* ``MASK = COMP``     — use the complement of the mask.
+* ``MASK = STRUCTURE``— use the mask's structure (stored-ness) rather
+  than its values; combinable with COMP.
+* ``INP0/INP1 = TRAN``— transpose the first/second matrix input.
+
+Descriptors are opaque in C; here they are small immutable-after-build
+objects.  The predefined descriptor constants (``T0``, ``RC`` …) mirror
+the spec's ``GrB_DESC_*`` family.  Setting the same field twice is the
+``ALREADY_SET`` API error, matching ``GrB_Descriptor_set`` semantics.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from .errors import ApiError, InvalidValueError
+from .info import Info
+
+__all__ = [
+    "DescField",
+    "DescValue",
+    "Descriptor",
+    "NULL_DESC",
+    "DESC_T0",
+    "DESC_T1",
+    "DESC_T0T1",
+    "DESC_C",
+    "DESC_S",
+    "DESC_SC",
+    "DESC_R",
+    "DESC_RT0",
+    "DESC_RT1",
+    "DESC_RT0T1",
+    "DESC_RC",
+    "DESC_RS",
+    "DESC_RSC",
+]
+
+
+class DescField(enum.IntEnum):
+    """``GrB_Desc_Field`` with explicit values (Section IX cleanup)."""
+
+    OUTP = 0
+    MASK = 1
+    INP0 = 2
+    INP1 = 3
+
+
+class DescValue(enum.IntEnum):
+    """``GrB_Desc_Value`` with explicit values."""
+
+    DEFAULT = 0
+    REPLACE = 1
+    COMP = 2
+    TRAN = 3
+    STRUCTURE = 4
+
+
+_VALID = {
+    DescField.OUTP: {DescValue.REPLACE},
+    DescField.MASK: {DescValue.COMP, DescValue.STRUCTURE},
+    DescField.INP0: {DescValue.TRAN},
+    DescField.INP1: {DescValue.TRAN},
+}
+
+
+class Descriptor:
+    """An opaque descriptor object (``GrB_Descriptor``)."""
+
+    __slots__ = ("_fields", "_frozen", "name")
+
+    def __init__(self, name: str = "", **initial: bool):
+        # _fields maps DescField -> set[DescValue]
+        self._fields: dict[DescField, set[DescValue]] = {f: set() for f in DescField}
+        self._frozen = False
+        self.name = name
+        for key, on in initial.items():
+            if on:
+                field, value = _KEYWORDS[key]
+                self._fields[field].add(value)
+
+    @classmethod
+    def new(cls) -> "Descriptor":
+        """``GrB_Descriptor_new``."""
+        return cls()
+
+    def set(self, field: DescField, value: DescValue) -> None:
+        """``GrB_Descriptor_set``.
+
+        Raises ``ALREADY_SET`` if the (field, value) pair is already
+        present and ``INVALID_VALUE`` if the value is not legal for the
+        field.
+        """
+        if self._frozen:
+            raise InvalidValueError("predefined descriptors are immutable")
+        field = DescField(field)
+        value = DescValue(value)
+        if value == DescValue.DEFAULT:
+            self._fields[field].clear()
+            return
+        if value not in _VALID[field]:
+            raise InvalidValueError(f"{value.name} is not valid for field {field.name}")
+        if field == DescField.MASK:
+            # COMP and STRUCTURE are combinable on MASK.
+            if value in self._fields[field]:
+                raise ApiError(f"{field.name}={value.name} already set", Info.ALREADY_SET)
+            self._fields[field].add(value)
+            return
+        if self._fields[field]:
+            raise ApiError(f"{field.name} already set", Info.ALREADY_SET)
+        self._fields[field].add(value)
+
+    def get(self, field: DescField) -> DescValue:
+        """``GrB_Descriptor_get`` for single-valued fields."""
+        vals = self._fields[DescField(field)]
+        if not vals:
+            return DescValue.DEFAULT
+        return next(iter(sorted(vals)))
+
+    def _freeze(self) -> "Descriptor":
+        self._frozen = True
+        return self
+
+    # -- interpretation helpers used by the operations layer --------------
+
+    @property
+    def replace(self) -> bool:
+        return DescValue.REPLACE in self._fields[DescField.OUTP]
+
+    @property
+    def mask_complement(self) -> bool:
+        return DescValue.COMP in self._fields[DescField.MASK]
+
+    @property
+    def mask_structure(self) -> bool:
+        return DescValue.STRUCTURE in self._fields[DescField.MASK]
+
+    @property
+    def transpose0(self) -> bool:
+        return DescValue.TRAN in self._fields[DescField.INP0]
+
+    @property
+    def transpose1(self) -> bool:
+        return DescValue.TRAN in self._fields[DescField.INP1]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        bits = []
+        if self.replace:
+            bits.append("REPLACE")
+        if self.mask_structure:
+            bits.append("STRUCTURE")
+        if self.mask_complement:
+            bits.append("COMP")
+        if self.transpose0:
+            bits.append("TRAN0")
+        if self.transpose1:
+            bits.append("TRAN1")
+        label = self.name or ",".join(bits) or "DEFAULT"
+        return f"Descriptor({label})"
+
+
+_KEYWORDS = {
+    "replace": (DescField.OUTP, DescValue.REPLACE),
+    "comp": (DescField.MASK, DescValue.COMP),
+    "structure": (DescField.MASK, DescValue.STRUCTURE),
+    "tran0": (DescField.INP0, DescValue.TRAN),
+    "tran1": (DescField.INP1, DescValue.TRAN),
+}
+
+
+def _predef(name: str, **kw: bool) -> Descriptor:
+    return Descriptor(name=name, **kw)._freeze()
+
+
+#: The NULL descriptor: defaults everywhere.  Passing ``None`` to any
+#: operation means the same thing.
+NULL_DESC = _predef("GrB_NULL")
+
+DESC_T0 = _predef("GrB_DESC_T0", tran0=True)
+DESC_T1 = _predef("GrB_DESC_T1", tran1=True)
+DESC_T0T1 = _predef("GrB_DESC_T0T1", tran0=True, tran1=True)
+DESC_C = _predef("GrB_DESC_C", comp=True)
+DESC_S = _predef("GrB_DESC_S", structure=True)
+DESC_SC = _predef("GrB_DESC_SC", structure=True, comp=True)
+DESC_R = _predef("GrB_DESC_R", replace=True)
+DESC_RT0 = _predef("GrB_DESC_RT0", replace=True, tran0=True)
+DESC_RT1 = _predef("GrB_DESC_RT1", replace=True, tran1=True)
+DESC_RT0T1 = _predef("GrB_DESC_RT0T1", replace=True, tran0=True, tran1=True)
+DESC_RC = _predef("GrB_DESC_RC", replace=True, comp=True)
+DESC_RS = _predef("GrB_DESC_RS", replace=True, structure=True)
+DESC_RSC = _predef("GrB_DESC_RSC", replace=True, structure=True, comp=True)

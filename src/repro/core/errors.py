@@ -1,0 +1,197 @@
+"""Exception taxonomy implementing the GraphBLAS 2.0 error model (§V).
+
+The C API reports errors through ``GrB_Info`` return codes; in Python we
+raise exceptions that *carry* the corresponding :class:`~repro.core.info.Info`
+code.  The split the paper draws is preserved:
+
+* :class:`ApiError` — raised immediately by every method, in every mode.
+  The specification guarantees that on an API error none of the method's
+  arguments (nor any other program data) have been modified; our
+  operations validate all arguments *before* touching any output.
+* :class:`ExecutionError` — raised when a well-formed invocation fails
+  while executing.  In nonblocking mode the raise happens at the forcing
+  call (``wait``, a value-reading method, or use as an input), and the
+  error text is recorded on the object so that ``error(obj)``
+  (``GrB_error``) can retrieve it afterwards, thread-safely.
+
+Each concrete subclass corresponds to one enum member so tests can assert
+on types rather than codes.
+"""
+
+from __future__ import annotations
+
+from .info import Info
+
+__all__ = [
+    "GraphBLASError",
+    "ApiError",
+    "ExecutionError",
+    "NullPointerError",
+    "InvalidValueError",
+    "InvalidIndexError",
+    "DomainMismatchError",
+    "DimensionMismatchError",
+    "OutputNotEmptyError",
+    "NotImplementedGrBError",
+    "UninitializedObjectError",
+    "PanicError",
+    "OutOfMemoryError",
+    "InsufficientSpaceError",
+    "InvalidObjectError",
+    "IndexOutOfBoundsError",
+    "EmptyObjectError",
+    "DuplicateIndexError",
+    "NoValue",
+    "api_error_for",
+    "execution_error_for",
+]
+
+
+class GraphBLASError(Exception):
+    """Base for all GraphBLAS errors.  Carries the ``GrB_Info`` code."""
+
+    info: Info = Info.PANIC
+
+    def __init__(self, message: str = "", info: Info | None = None):
+        super().__init__(message or self.__class__.__name__)
+        if info is not None:
+            self.info = info
+
+    @property
+    def message(self) -> str:
+        return self.args[0] if self.args else ""
+
+
+class ApiError(GraphBLASError):
+    """Malformed method call.  Never deferred; no data was modified."""
+
+    info = Info.INVALID_VALUE
+
+
+class ExecutionError(GraphBLASError):
+    """Well-formed call failed during execution; may be deferred (§V)."""
+
+    info = Info.PANIC
+
+
+# ---------------------------------------------------------------------------
+# API errors
+# ---------------------------------------------------------------------------
+
+class UninitializedObjectError(ApiError):
+    info = Info.UNINITIALIZED_OBJECT
+
+
+class NullPointerError(ApiError):
+    info = Info.NULL_POINTER
+
+
+class InvalidValueError(ApiError):
+    info = Info.INVALID_VALUE
+
+
+class InvalidIndexError(ApiError):
+    info = Info.INVALID_INDEX
+
+
+class DomainMismatchError(ApiError):
+    info = Info.DOMAIN_MISMATCH
+
+
+class DimensionMismatchError(ApiError):
+    info = Info.DIMENSION_MISMATCH
+
+
+class OutputNotEmptyError(ApiError):
+    info = Info.OUTPUT_NOT_EMPTY
+
+
+class NotImplementedGrBError(ApiError):
+    info = Info.NOT_IMPLEMENTED
+
+
+# ---------------------------------------------------------------------------
+# Execution errors
+# ---------------------------------------------------------------------------
+
+class PanicError(ExecutionError):
+    info = Info.PANIC
+
+
+class OutOfMemoryError(ExecutionError):
+    info = Info.OUT_OF_MEMORY
+
+
+class InsufficientSpaceError(ExecutionError):
+    info = Info.INSUFFICIENT_SPACE
+
+
+class InvalidObjectError(ExecutionError):
+    info = Info.INVALID_OBJECT
+
+
+class IndexOutOfBoundsError(ExecutionError):
+    info = Info.INDEX_OUT_OF_BOUNDS
+
+
+class EmptyObjectError(ExecutionError):
+    info = Info.EMPTY_OBJECT
+
+
+class DuplicateIndexError(ExecutionError):
+    """Duplicate (i, j) supplied to ``build`` with a NULL ``dup``.
+
+    Section IX: ``dup`` became optional in 2.0; passing ``GrB_NULL``
+    means "duplicates are a program error", reported as an *execution*
+    error (so it may be deferred in nonblocking mode).
+    """
+
+    info = Info.INVALID_VALUE
+
+
+class NoValue(Exception):
+    """Pythonic rendering of the informational ``GrB_NO_VALUE`` code.
+
+    Raised by ``extractElement`` on a missing element when the caller used
+    the exception-style API; the C-style wrappers translate it into the
+    ``Info.NO_VALUE`` return instead.  It is *not* a GraphBLASError.
+    """
+
+    info = Info.NO_VALUE
+
+
+_API_BY_INFO = {
+    Info.UNINITIALIZED_OBJECT: UninitializedObjectError,
+    Info.NULL_POINTER: NullPointerError,
+    Info.INVALID_VALUE: InvalidValueError,
+    Info.INVALID_INDEX: InvalidIndexError,
+    Info.DOMAIN_MISMATCH: DomainMismatchError,
+    Info.DIMENSION_MISMATCH: DimensionMismatchError,
+    Info.OUTPUT_NOT_EMPTY: OutputNotEmptyError,
+    Info.NOT_IMPLEMENTED: NotImplementedGrBError,
+}
+
+_EXEC_BY_INFO = {
+    Info.PANIC: PanicError,
+    Info.OUT_OF_MEMORY: OutOfMemoryError,
+    Info.INSUFFICIENT_SPACE: InsufficientSpaceError,
+    Info.INVALID_OBJECT: InvalidObjectError,
+    Info.INDEX_OUT_OF_BOUNDS: IndexOutOfBoundsError,
+    Info.EMPTY_OBJECT: EmptyObjectError,
+}
+
+
+def api_error_for(info: Info, message: str = "") -> ApiError:
+    """Instantiate the API-error subclass for *info*."""
+    try:
+        return _API_BY_INFO[info](message)
+    except KeyError:
+        raise ValueError(f"{info!r} is not an API error code") from None
+
+
+def execution_error_for(info: Info, message: str = "") -> ExecutionError:
+    """Instantiate the execution-error subclass for *info*."""
+    try:
+        return _EXEC_BY_INFO[info](message)
+    except KeyError:
+        raise ValueError(f"{info!r} is not an execution error code") from None

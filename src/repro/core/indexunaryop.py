@@ -1,0 +1,294 @@
+"""``GrB_IndexUnaryOp`` — operators over (value, indices, scalar) (§VIII-A).
+
+GraphBLAS 2.0 lets a few key operations see the *location* of each stored
+element, not just its value.  An index-unary operator computes
+
+    out = f(a_ij, i, j, s)        (matrices)
+    out = f(u_i,  i, 0, s)        (vectors; the column index is 0)
+
+where ``s`` is an extra scalar supplied through the ``apply``/``select``
+call.  Table IV's predefined operators are provided with vectorized
+implementations; user-defined operators (``IndexUnaryOp.new``) run one
+Python call per stored element — exactly the function-pointer penalty the
+paper's §II motivation describes for the 1.X workaround.
+
+Predefined operators (Table IV):
+
+=============== ============================================== =========
+Operator        Meaning                                        Output
+=============== ============================================== =========
+ROWINDEX        i + s                                          INT32/64
+COLINDEX        j + s                                          INT32/64
+DIAGINDEX       j - i + s                                      INT32/64
+TRIL            j <= i + s  (keep at/below diagonal s)         BOOL
+TRIU            j >= i + s  (keep at/above diagonal s)         BOOL
+DIAG            j == i + s  (keep diagonal s)                  BOOL
+OFFDIAG         j != i + s  (remove diagonal s)                BOOL
+ROWLE           i <= s      (keep rows up to s)                BOOL
+ROWGT           i >  s      (keep rows after s)                BOOL
+COLLE           j <= s                                         BOOL
+COLGT           j >  s                                         BOOL
+VALUEEQ/NE/...  compare stored value with s                    BOOL
+=============== ============================================== =========
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from . import types as _t
+from .errors import NullPointerError
+from .opbase import TypedOpFamily
+from .types import Type
+
+__all__ = [
+    "IndexUnaryOp",
+    "ROWINDEX", "COLINDEX", "DIAGINDEX",
+    "TRIL", "TRIU", "DIAG", "OFFDIAG",
+    "ROWLE", "ROWGT", "COLLE", "COLGT",
+    "VALUEEQ", "VALUENE", "VALUELT", "VALUELE", "VALUEGT", "VALUEGE",
+    "PREDEFINED_INDEXUNARY",
+]
+
+
+class IndexUnaryOp:
+    """A monomorphic index-unary operator ``out = f(value, i, j, s)``.
+
+    ``in_type is None`` means the operator ignores the stored value and
+    applies to containers of any domain (the positional operators of
+    Table IV: TRIL, ROWINDEX, ...).
+    """
+
+    __slots__ = (
+        "name", "in_type", "out_type", "s_type",
+        "scalar", "vec", "is_builtin", "uses_value", "uses_column",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        in_type: Type | None,
+        out_type: Type,
+        s_type: Type,
+        scalar: Callable[[Any, int, int, Any], Any],
+        vec: Callable[[np.ndarray, np.ndarray, np.ndarray, Any], np.ndarray] | None = None,
+        *,
+        is_builtin: bool = False,
+        uses_value: bool = True,
+        uses_column: bool = True,
+    ):
+        self.name = name
+        self.in_type = in_type
+        self.out_type = out_type
+        self.s_type = s_type
+        self.scalar = scalar
+        self.vec = vec if vec is not None else self._fallback(scalar, out_type)
+        self.is_builtin = is_builtin
+        self.uses_value = uses_value
+        self.uses_column = uses_column
+
+    @staticmethod
+    def _fallback(scalar_fn, out_type: Type):
+        def apply(values: np.ndarray, rows: np.ndarray, cols: np.ndarray, s: Any):
+            n = len(values)
+            out = np.empty(n, dtype=object)
+            for k in range(n):
+                out[k] = scalar_fn(values[k], int(rows[k]), int(cols[k]), s)
+            if out_type.np_dtype != object:
+                out = out.astype(out_type.np_dtype)
+            return out
+        return apply
+
+    @classmethod
+    def new(
+        cls,
+        fn: Callable[[Any, int, int, Any], Any],
+        out_type: Type,
+        in_type: Type,
+        s_type: Type,
+        name: str = "",
+    ) -> "IndexUnaryOp":
+        """``GrB_IndexUnaryOp_new`` (§VIII-A).
+
+        ``fn(value, i, j, s)`` receives the stored value, its row and
+        column indices (column 0 for vectors), and the user scalar ``s``;
+        it returns a value in ``out_type``.
+        """
+        if fn is None:
+            raise NullPointerError("index unary function is NULL")
+        return cls(
+            name or getattr(fn, "__name__", "udf"),
+            in_type, out_type, s_type, fn,
+        )
+
+    def apply_arrays(
+        self, values: np.ndarray, rows: np.ndarray, cols: np.ndarray, s: Any
+    ) -> np.ndarray:
+        """Apply to parallel (values, rows, cols) arrays."""
+        return self.vec(values, rows, cols, s)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        dom = self.in_type.name if self.in_type is not None else "<any>"
+        return f"IndexUnaryOp({self.name}: {dom} -> {self.out_type.name})"
+
+
+# ---------------------------------------------------------------------------
+# Positional index operators (ROWINDEX / COLINDEX / DIAGINDEX)
+# ---------------------------------------------------------------------------
+
+def _index_family(name: str, expr_vec, expr_scalar) -> TypedOpFamily:
+    by_type = {}
+    for t in (_t.INT32, _t.INT64):
+        op = IndexUnaryOp(
+            f"GrB_{name}_{_t.suffix_of(t)}",
+            None, t, t,
+            expr_scalar(t),
+            _wrap_index_vec(expr_vec, t),
+            is_builtin=True,
+            uses_value=False,
+            uses_column=(name != "ROWINDEX"),
+        )
+        by_type[t] = op
+        globals()[f"{name}_{_t.suffix_of(t)}"] = op
+        __all__.append(f"{name}_{_t.suffix_of(t)}")
+    return TypedOpFamily(name, by_type)
+
+
+def _wrap_index_vec(expr, t: Type):
+    def apply(values, rows, cols, s, _dt=t.np_dtype):
+        return expr(rows, cols, s).astype(_dt, copy=False)
+    return apply
+
+
+ROWINDEX = _index_family(
+    "ROWINDEX",
+    lambda i, j, s: i + int(s),
+    lambda t: (lambda v, i, j, s, _np=t.np_dtype.type: _np(i + int(s))),
+)
+
+COLINDEX = _index_family(
+    "COLINDEX",
+    lambda i, j, s: j + int(s),
+    lambda t: (lambda v, i, j, s, _np=t.np_dtype.type: _np(j + int(s))),
+)
+
+DIAGINDEX = _index_family(
+    "DIAGINDEX",
+    lambda i, j, s: j - i + int(s),
+    lambda t: (lambda v, i, j, s, _np=t.np_dtype.type: _np(j - i + int(s))),
+)
+
+
+# ---------------------------------------------------------------------------
+# Positional selectors (TRIL / TRIU / DIAG / OFFDIAG / ROWLE / ...)
+# ---------------------------------------------------------------------------
+
+def _positional_bool(name: str, expr_vec, expr_scalar, *, uses_column: bool) -> IndexUnaryOp:
+    op = IndexUnaryOp(
+        f"GrB_{name}",
+        None, _t.BOOL, _t.INT64,
+        expr_scalar,
+        lambda values, rows, cols, s: expr_vec(rows, cols, int(s)),
+        is_builtin=True,
+        uses_value=False,
+        uses_column=uses_column,
+    )
+    return op
+
+
+TRIL = _positional_bool(
+    "TRIL",
+    lambda i, j, s: j <= i + s,
+    lambda v, i, j, s: j <= i + int(s),
+    uses_column=True,
+)
+
+TRIU = _positional_bool(
+    "TRIU",
+    lambda i, j, s: j >= i + s,
+    lambda v, i, j, s: j >= i + int(s),
+    uses_column=True,
+)
+
+DIAG = _positional_bool(
+    "DIAG",
+    lambda i, j, s: j == i + s,
+    lambda v, i, j, s: j == i + int(s),
+    uses_column=True,
+)
+
+OFFDIAG = _positional_bool(
+    "OFFDIAG",
+    lambda i, j, s: j != i + s,
+    lambda v, i, j, s: j != i + int(s),
+    uses_column=True,
+)
+
+ROWLE = _positional_bool(
+    "ROWLE",
+    lambda i, j, s: i <= s,
+    lambda v, i, j, s: i <= int(s),
+    uses_column=False,
+)
+
+ROWGT = _positional_bool(
+    "ROWGT",
+    lambda i, j, s: i > s,
+    lambda v, i, j, s: i > int(s),
+    uses_column=False,
+)
+
+COLLE = _positional_bool(
+    "COLLE",
+    lambda i, j, s: j <= s,
+    lambda v, i, j, s: j <= int(s),
+    uses_column=True,
+)
+
+COLGT = _positional_bool(
+    "COLGT",
+    lambda i, j, s: j > s,
+    lambda v, i, j, s: j > int(s),
+    uses_column=True,
+)
+
+
+# ---------------------------------------------------------------------------
+# Value comparators (VALUEEQ .. VALUEGE)
+# ---------------------------------------------------------------------------
+
+def _value_family(name: str, npop, pyop) -> TypedOpFamily:
+    by_type = {}
+    for t in _t.PREDEFINED_TYPES:
+        op = IndexUnaryOp(
+            f"GrB_{name}_{_t.suffix_of(t)}",
+            t, _t.BOOL, t,
+            (lambda v, i, j, s, _op=pyop: bool(_op(v, s))),
+            (lambda values, rows, cols, s, _op=npop: _op(values, s)),
+            is_builtin=True,
+            uses_value=True,
+            uses_column=False,
+        )
+        by_type[t] = op
+        globals()[f"{name}_{_t.suffix_of(t)}"] = op
+        __all__.append(f"{name}_{_t.suffix_of(t)}")
+    return TypedOpFamily(name, by_type)
+
+
+VALUEEQ = _value_family("VALUEEQ", np.equal, lambda a, b: a == b)
+VALUENE = _value_family("VALUENE", np.not_equal, lambda a, b: a != b)
+VALUELT = _value_family("VALUELT", np.less, lambda a, b: a < b)
+VALUELE = _value_family("VALUELE", np.less_equal, lambda a, b: a <= b)
+VALUEGT = _value_family("VALUEGT", np.greater, lambda a, b: a > b)
+VALUEGE = _value_family("VALUEGE", np.greater_equal, lambda a, b: a >= b)
+
+
+PREDEFINED_INDEXUNARY = {
+    "ROWINDEX": ROWINDEX, "COLINDEX": COLINDEX, "DIAGINDEX": DIAGINDEX,
+    "TRIL": TRIL, "TRIU": TRIU, "DIAG": DIAG, "OFFDIAG": OFFDIAG,
+    "ROWLE": ROWLE, "ROWGT": ROWGT, "COLLE": COLLE, "COLGT": COLGT,
+    "VALUEEQ": VALUEEQ, "VALUENE": VALUENE, "VALUELT": VALUELT,
+    "VALUELE": VALUELE, "VALUEGT": VALUEGT, "VALUEGE": VALUEGE,
+}

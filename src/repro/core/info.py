@@ -1,0 +1,94 @@
+"""GrB_Info return codes with explicitly specified values.
+
+Section IX of the paper ("Cleanup and Miscellany") mandates that
+enumerations in the GraphBLAS 2.0 specification carry explicit values so
+that programs can link correctly against different conforming libraries.
+This module defines ``Info`` (the Python rendering of ``GrB_Info``) with
+the values fixed by the 2.0 specification.
+
+Two families exist (Section V, "Error Model"):
+
+* **API errors** — the method call itself was malformed.  They are
+  deterministic, never deferred (even in nonblocking mode), and guarantee
+  that no program data was modified.
+* **Execution errors** — a well-formed call went wrong while executing.
+  In nonblocking mode their reporting may be deferred until a forcing
+  call such as ``wait(obj, Mode.MATERIALIZE)``.
+
+``SUCCESS`` and ``NO_VALUE`` are not errors: ``NO_VALUE`` is an
+informational code (e.g. extracting a non-existent element, or an
+implementation declining to provide an export-format hint).
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Info", "API_ERRORS", "EXECUTION_ERRORS", "is_api_error", "is_execution_error"]
+
+
+class Info(enum.IntEnum):
+    """``GrB_Info`` — explicitly-valued per the 2.0 cleanup (Section IX)."""
+
+    # -- not errors ------------------------------------------------------
+    SUCCESS = 0
+    NO_VALUE = 1
+    #: Returned by non-default resolutions of ``GrB_wait``-like queries in
+    #: some implementations; retained for completeness of the enum table.
+    UNINITIALIZED_OBJECT = 2
+
+    # -- API errors ------------------------------------------------------
+    NULL_POINTER = 3
+    INVALID_VALUE = 4
+    INVALID_INDEX = 5
+    DOMAIN_MISMATCH = 6
+    DIMENSION_MISMATCH = 7
+    OUTPUT_NOT_EMPTY = 8
+    NOT_IMPLEMENTED = 9
+    ALREADY_SET = 10
+
+    # -- execution errors --------------------------------------------------
+    PANIC = 101
+    OUT_OF_MEMORY = 102
+    INSUFFICIENT_SPACE = 103
+    INVALID_OBJECT = 104
+    INDEX_OUT_OF_BOUNDS = 105
+    EMPTY_OBJECT = 106
+
+
+#: API errors are never deferred and never modify program data.
+API_ERRORS = frozenset(
+    {
+        Info.UNINITIALIZED_OBJECT,
+        Info.NULL_POINTER,
+        Info.INVALID_VALUE,
+        Info.INVALID_INDEX,
+        Info.DOMAIN_MISMATCH,
+        Info.DIMENSION_MISMATCH,
+        Info.OUTPUT_NOT_EMPTY,
+        Info.NOT_IMPLEMENTED,
+        Info.ALREADY_SET,
+    }
+)
+
+#: Execution errors may be deferred in nonblocking mode (Section V).
+EXECUTION_ERRORS = frozenset(
+    {
+        Info.PANIC,
+        Info.OUT_OF_MEMORY,
+        Info.INSUFFICIENT_SPACE,
+        Info.INVALID_OBJECT,
+        Info.INDEX_OUT_OF_BOUNDS,
+        Info.EMPTY_OBJECT,
+    }
+)
+
+
+def is_api_error(info: Info) -> bool:
+    """Return True when *info* denotes an API error (Section V)."""
+    return info in API_ERRORS
+
+
+def is_execution_error(info: Info) -> bool:
+    """Return True when *info* denotes an execution error (Section V)."""
+    return info in EXECUTION_ERRORS

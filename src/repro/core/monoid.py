@@ -1,0 +1,204 @@
+"""``GrB_Monoid`` — an associative, commutative binary op with identity.
+
+Monoids drive reductions and the "add" of semirings.  Predefined monoids
+carry the NumPy ufunc of their operator so that segment reductions run as
+a single ``ufunc.reduceat`` call (the compress step of the ESC SpGEMM
+kernel).  User-defined monoids reduce with a per-segment Python loop.
+
+Predefined (per spec): ``PLUS/TIMES/MIN/MAX`` over the ten numeric
+domains and ``LOR/LAND/LXOR/LXNOR`` over BOOL.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from . import binaryop as _b
+from . import types as _t
+from .binaryop import BinaryOp
+from .errors import DomainMismatchError, NullPointerError
+from .opbase import TypedOpFamily
+from .types import Type
+
+__all__ = [
+    "Monoid",
+    "PLUS_MONOID", "TIMES_MONOID", "MIN_MONOID", "MAX_MONOID",
+    "LOR_MONOID", "LAND_MONOID", "LXOR_MONOID", "LXNOR_MONOID",
+    "PREDEFINED_MONOIDS",
+]
+
+
+class Monoid:
+    """A monomorphic monoid ⟨op, identity⟩ (optionally with a terminal).
+
+    The *terminal* (annihilator) is an optimization hint: once a partial
+    reduction reaches it, the remaining elements cannot change the
+    result.  Predefined MIN/MAX/LOR/LAND monoids carry one.
+    """
+
+    __slots__ = ("name", "op", "identity", "terminal", "is_builtin")
+
+    def __init__(
+        self,
+        name: str,
+        op: BinaryOp,
+        identity: Any,
+        terminal: Any = None,
+        *,
+        is_builtin: bool = False,
+    ):
+        if not (op.in1_type == op.in2_type == op.out_type):
+            raise DomainMismatchError(
+                f"monoid operator must be T x T -> T, got {op!r}"
+            )
+        self.name = name
+        self.op = op
+        self.identity = op.out_type.coerce_scalar(identity)
+        self.terminal = (
+            op.out_type.coerce_scalar(terminal) if terminal is not None else None
+        )
+        self.is_builtin = is_builtin
+
+    @classmethod
+    def new(cls, op: BinaryOp, identity: Any, name: str = "") -> "Monoid":
+        """``GrB_Monoid_new`` — also accepts a ``Scalar`` identity
+        (the Table II scalar variant); an *empty* scalar is a
+        DOMAIN_MISMATCH because a monoid requires an identity value."""
+        if op is None:
+            raise NullPointerError("monoid operator is NULL")
+        # Accept the GrB_Scalar variant without importing Scalar (cycle).
+        extract = getattr(identity, "_monoid_identity_value", None)
+        if extract is not None:
+            identity = extract()
+        return cls(name or f"monoid<{op.name}>", op, identity)
+
+    @property
+    def type(self) -> Type:
+        return self.op.out_type
+
+    # -- reduction kernels -------------------------------------------------
+
+    def reduce_array(self, values: np.ndarray) -> Any:
+        """Reduce a 1-D values array to one scalar (identity if empty)."""
+        if len(values) == 0:
+            return self.identity
+        uf = self.op.ufunc
+        if uf is not None and values.dtype != object:
+            return self.type.coerce_scalar(uf.reduce(values))
+        acc = values[0]
+        sc = self.op.scalar
+        for v in values[1:]:
+            acc = sc(acc, v)
+            if self.terminal is not None and acc == self.terminal:
+                break
+        return self.type.coerce_scalar(acc)
+
+    def reduceat(self, values: np.ndarray, starts: np.ndarray) -> np.ndarray:
+        """Segment-reduce: segment k is ``values[starts[k]:starts[k+1]]``.
+
+        ``starts`` excludes the trailing sentinel; all segments must be
+        non-empty (guaranteed by the callers, which derive segment
+        boundaries from runs of equal keys).
+        """
+        if len(starts) == 0:
+            return self.type.empty(0)
+        uf = self.op.ufunc
+        if uf is not None and values.dtype != object:
+            out = uf.reduceat(values, starts)
+            return self.type.coerce_array(out)
+        ends = np.empty(len(starts), dtype=np.int64)
+        ends[:-1] = starts[1:]
+        ends[-1] = len(values)
+        out = np.empty(len(starts), dtype=self.type.np_dtype)
+        sc = self.op.scalar
+        for k in range(len(starts)):
+            acc = values[starts[k]]
+            for idx in range(starts[k] + 1, ends[k]):
+                acc = sc(acc, values[idx])
+            out[k] = acc
+        return out
+
+    def combine(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Pairwise-combine two aligned value arrays."""
+        return self.op.vec(x, y)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Monoid({self.name}, identity={self.identity!r})"
+
+
+def _monoid_family(
+    name: str,
+    family: TypedOpFamily,
+    domains: tuple[Type, ...],
+    identity_of,
+    terminal_of=lambda t: None,
+) -> TypedOpFamily:
+    by_type = {}
+    for t in domains:
+        m = Monoid(
+            f"GrB_{name}_MONOID_{_t.suffix_of(t)}",
+            family[t],
+            identity_of(t),
+            terminal_of(t),
+            is_builtin=True,
+        )
+        by_type[t] = m
+        globals()[f"{name}_MONOID_{_t.suffix_of(t)}"] = m
+        __all__.append(f"{name}_MONOID_{_t.suffix_of(t)}")
+    return TypedOpFamily(f"{name}_MONOID", by_type)
+
+
+def _type_min(t: Type) -> Any:
+    if t.is_float:
+        return -np.inf
+    return np.iinfo(t.np_dtype).min
+
+
+def _type_max(t: Type) -> Any:
+    if t.is_float:
+        return np.inf
+    return np.iinfo(t.np_dtype).max
+
+
+PLUS_MONOID = _monoid_family(
+    "PLUS", _b.PLUS, _t.NUMERIC_TYPES, lambda t: 0
+)
+TIMES_MONOID = _monoid_family(
+    "TIMES", _b.TIMES, _t.NUMERIC_TYPES, lambda t: 1, lambda t: None
+)
+MIN_MONOID = _monoid_family(
+    "MIN", _b.MIN, _t.NUMERIC_TYPES, _type_max, _type_min
+)
+MAX_MONOID = _monoid_family(
+    "MAX", _b.MAX, _t.NUMERIC_TYPES, _type_min, _type_max
+)
+
+LOR_MONOID_BOOL = Monoid(
+    "GrB_LOR_MONOID_BOOL", _b.LOR[_t.BOOL], False, True, is_builtin=True
+)
+LAND_MONOID_BOOL = Monoid(
+    "GrB_LAND_MONOID_BOOL", _b.LAND[_t.BOOL], True, False, is_builtin=True
+)
+LXOR_MONOID_BOOL = Monoid(
+    "GrB_LXOR_MONOID_BOOL", _b.LXOR[_t.BOOL], False, is_builtin=True
+)
+LXNOR_MONOID_BOOL = Monoid(
+    "GrB_LXNOR_MONOID_BOOL", _b.LXNOR[_t.BOOL], True, is_builtin=True
+)
+
+LOR_MONOID = TypedOpFamily("LOR_MONOID", {_t.BOOL: LOR_MONOID_BOOL})
+LAND_MONOID = TypedOpFamily("LAND_MONOID", {_t.BOOL: LAND_MONOID_BOOL})
+LXOR_MONOID = TypedOpFamily("LXOR_MONOID", {_t.BOOL: LXOR_MONOID_BOOL})
+LXNOR_MONOID = TypedOpFamily("LXNOR_MONOID", {_t.BOOL: LXNOR_MONOID_BOOL})
+
+__all__ += ["LOR_MONOID_BOOL", "LAND_MONOID_BOOL", "LXOR_MONOID_BOOL",
+            "LXNOR_MONOID_BOOL"]
+
+PREDEFINED_MONOIDS = {
+    "PLUS": PLUS_MONOID, "TIMES": TIMES_MONOID,
+    "MIN": MIN_MONOID, "MAX": MAX_MONOID,
+    "LOR": LOR_MONOID, "LAND": LAND_MONOID,
+    "LXOR": LXOR_MONOID, "LXNOR": LXNOR_MONOID,
+}

@@ -1,0 +1,102 @@
+"""Shared machinery for GraphBLAS operator objects.
+
+The C API exposes *monomorphic* operators (``GrB_PLUS_INT32``) plus a
+polymorphic macro layer.  We model both: a :class:`TypedOpFamily` is the
+polymorphic name (``PLUS``) and indexing it with a :class:`Type` yields
+the monomorphic instance (``PLUS[INT32]`` ≡ ``PLUS_INT32``).
+
+Every typed operator carries two implementations:
+
+* ``scalar`` — the per-element Python callable (what a C function
+  pointer is to SuiteSparse).
+* ``vec`` — a NumPy-vectorized implementation, present for every
+  *predefined* operator.
+
+User-defined operators only have ``scalar``; the kernels then fall back
+to a per-element loop (`np.frompyfunc`), which reproduces the
+function-pointer-per-scalar penalty the paper's Section II describes —
+and which the motivation benchmark measures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping
+
+import numpy as np
+
+from .errors import DomainMismatchError
+from .types import Type
+
+__all__ = ["TypedOpFamily", "elementwise_fallback_1", "elementwise_fallback_2"]
+
+
+class TypedOpFamily:
+    """A polymorphic operator name resolving to typed instances.
+
+    Supports ``family[INT32]`` lookup and iteration over available
+    domains.  Lookup with an unsupported domain raises
+    ``DOMAIN_MISMATCH`` — e.g. ``LNOT[FP64]`` or ``MINV[BOOL]``.
+    """
+
+    __slots__ = ("name", "_by_type")
+
+    def __init__(self, name: str, by_type: Mapping[Type, Any]):
+        self.name = name
+        self._by_type = dict(by_type)
+
+    def __getitem__(self, t: Type) -> Any:
+        try:
+            return self._by_type[t]
+        except KeyError:
+            raise DomainMismatchError(
+                f"operator {self.name} is not defined on domain {t.name}"
+            ) from None
+
+    def __contains__(self, t: Type) -> bool:
+        return t in self._by_type
+
+    def get(self, t: Type, default: Any = None) -> Any:
+        return self._by_type.get(t, default)
+
+    def domains(self) -> Iterable[Type]:
+        return self._by_type.keys()
+
+    def __iter__(self):
+        return iter(self._by_type.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TypedOpFamily({self.name}, {len(self._by_type)} domains)"
+
+
+def elementwise_fallback_1(
+    fn: Callable[[Any], Any], out_dtype: np.dtype
+) -> Callable[[np.ndarray], np.ndarray]:
+    """Wrap a scalar unary callable into an array→array callable.
+
+    This is the slow path used for user-defined operators: one Python
+    call per stored element.
+    """
+    ufn = np.frompyfunc(fn, 1, 1)
+
+    def apply(x: np.ndarray) -> np.ndarray:
+        out = ufn(x)
+        if out_dtype != object:
+            out = out.astype(out_dtype)
+        return out
+
+    return apply
+
+
+def elementwise_fallback_2(
+    fn: Callable[[Any, Any], Any], out_dtype: np.dtype
+) -> Callable[[np.ndarray, np.ndarray], np.ndarray]:
+    """Wrap a scalar binary callable into an (array, array)→array callable."""
+    ufn = np.frompyfunc(fn, 2, 1)
+
+    def apply(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        out = ufn(x, y)
+        if out_dtype != object:
+            out = out.astype(out_dtype)
+        return out
+
+    return apply

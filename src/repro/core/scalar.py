@@ -1,0 +1,145 @@
+"""``GrB_Scalar`` — the new opaque scalar container (§VI, Table I).
+
+A GraphBLAS scalar holds zero or one element of a domain.  Its two
+purposes per the paper: collapsing nonpolymorphic method variants (the
+scalar argument is always a ``GrB_Scalar`` instead of eleven typed
+overloads plus ``void*``), and making behaviour uniform by allowing
+*emptiness* — e.g. ``extractElement`` into a scalar needs no immediate
+``NO_VALUE`` test and can be deferred; ``reduce`` of an empty container
+yields an empty scalar instead of the monoid identity.
+
+Table I surface: ``new``, ``dup``, ``clear``, ``nvals``, ``setElement``,
+``extractElement`` — all implemented here, plus ``wait``/``error``/
+``free`` inherited from the opaque-object base.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .context import Context
+from .errors import NoValue, NullPointerError
+from .sequence import OpaqueObject
+from .types import Type
+
+__all__ = ["Scalar"]
+
+
+class _ScalarData:
+    """Immutable carrier: empty or holding one coerced value."""
+
+    __slots__ = ("type", "present", "value")
+
+    def __init__(self, t: Type, present: bool, value: Any):
+        self.type = t
+        self.present = present
+        self.value = value
+
+
+class Scalar(OpaqueObject):
+    """An opaque, possibly-empty single-element container."""
+
+    __slots__ = ("_type",)
+
+    def __init__(self, t: Type, ctx: Context | None = None):
+        if t is None:
+            raise NullPointerError("scalar type is NULL")
+        super().__init__(ctx)
+        self._type = t
+        self._data = _ScalarData(t, False, None)
+
+    # -- Table I methods ------------------------------------------------------
+
+    @classmethod
+    def new(cls, t: Type, ctx: Context | None = None) -> "Scalar":
+        """``GrB_Scalar_new(GrB_Scalar*, GrB_Type)``."""
+        return cls(t, ctx)
+
+    def dup(self) -> "Scalar":
+        """``GrB_Scalar_dup`` — duplicate (forces this scalar first)."""
+        data = self._capture()
+        out = Scalar(self._type, self._ctx)
+        out._data = _ScalarData(self._type, data.present, data.value)
+        return out
+
+    def clear(self) -> None:
+        """``GrB_Scalar_clear`` — empty the container."""
+        self._submit(
+            lambda _d, _t=self._type: _ScalarData(_t, False, None),
+            "Scalar_clear",
+        )
+
+    def nvals(self) -> int:
+        """``GrB_Scalar_nvals`` — 0 or 1 (a value-reading method: forces)."""
+        return 1 if self._capture().present else 0
+
+    def set_element(self, value: Any) -> None:
+        """``GrB_Scalar_setElement`` — store (a cast of) ``value``.
+
+        Accepts a plain Python value or another ``Scalar`` (the Table II
+        uniform-argument style); an empty source scalar clears this one.
+        """
+        if isinstance(value, Scalar):
+            src = value._capture()
+            if not src.present:
+                self.clear()
+                return
+            value = src.value
+        coerced = self._type.coerce_scalar(value)
+        self._submit(
+            lambda _d, _t=self._type, _v=coerced: _ScalarData(_t, True, _v),
+            "Scalar_setElement",
+        )
+
+    def extract_element(self) -> Any:
+        """``GrB_Scalar_extractElement`` — the stored value.
+
+        Raises :class:`~repro.core.errors.NoValue` when empty (the
+        C-style wrapper maps that to the ``GrB_NO_VALUE`` return code).
+        """
+        data = self._capture()
+        if not data.present:
+            raise NoValue("scalar is empty")
+        return data.value
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def type(self) -> Type:
+        return self._type
+
+    def is_empty(self) -> bool:
+        return not self._capture().present
+
+    def value_or(self, default: Any = None) -> Any:
+        """Pythonic convenience: the value, or ``default`` when empty."""
+        data = self._capture()
+        return data.value if data.present else default
+
+    # Hook used by Monoid.new for its Table II GrB_Scalar variant without
+    # importing Scalar there (layering).
+    def _monoid_identity_value(self) -> Any:
+        return self.extract_element()
+
+    # -- internal: used by operations writing a scalar output ----------------
+
+    def _store_kernel_result(self, value: Any | None) -> None:
+        """Enqueue 'set to value or empty' (reduce-to-scalar outputs)."""
+        t = self._type
+        if value is None:
+            self._submit(lambda _d: _ScalarData(t, False, None), "reduce(empty)")
+        else:
+            coerced = t.coerce_scalar(value)
+            self._submit(
+                lambda _d: _ScalarData(t, True, coerced), "reduce"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._lock:
+            if not self._valid:
+                return "Scalar(<freed>)"
+            if self._pending:
+                return f"Scalar({self._type.name}, <pending>)"
+            d = self._data
+            body = repr(d.value) if d.present else "<empty>"
+            return f"Scalar({self._type.name}, {body})"

@@ -1,0 +1,147 @@
+"""``GrB_Semiring`` — ⟨add monoid, multiply operator⟩ pairs.
+
+A semiring supplies the two operations of matrix multiplication:
+``C(i,j) = ⊕_k A(i,k) ⊗ B(k,j)``.  The multiply operator's output domain
+must match the monoid's domain (the spec's construction rule, enforced
+here as a DOMAIN_MISMATCH API error).
+
+Predefined semirings follow the spec's ``GrB_<ADD>_<MULT>_SEMIRING_<T>``
+family: PLUS_TIMES, MIN_PLUS, MAX_PLUS, MIN_TIMES, MAX_TIMES, MIN_FIRST,
+MIN_SECOND, MAX_FIRST, MAX_SECOND, MIN_MAX, MAX_MIN over the numeric
+domains, plus the four boolean semirings LOR_LAND, LAND_LOR, LXOR_LAND,
+LXNOR_LOR.
+"""
+
+from __future__ import annotations
+
+from . import binaryop as _b
+from . import monoid as _m
+from . import types as _t
+from .binaryop import BinaryOp
+from .errors import DomainMismatchError, NullPointerError
+from .monoid import Monoid
+from .opbase import TypedOpFamily
+from .types import Type
+
+__all__ = [
+    "Semiring",
+    "PLUS_TIMES_SEMIRING", "MIN_PLUS_SEMIRING", "MAX_PLUS_SEMIRING",
+    "MIN_TIMES_SEMIRING", "MAX_TIMES_SEMIRING",
+    "MIN_FIRST_SEMIRING", "MIN_SECOND_SEMIRING",
+    "MAX_FIRST_SEMIRING", "MAX_SECOND_SEMIRING",
+    "MIN_MAX_SEMIRING", "MAX_MIN_SEMIRING",
+    "PLUS_MIN_SEMIRING", "PLUS_FIRST_SEMIRING", "PLUS_SECOND_SEMIRING",
+    "LOR_LAND_SEMIRING_BOOL", "LAND_LOR_SEMIRING_BOOL",
+    "LXOR_LAND_SEMIRING_BOOL", "LXNOR_LOR_SEMIRING_BOOL",
+    "PREDEFINED_SEMIRINGS",
+]
+
+
+class Semiring:
+    """A monomorphic semiring ⟨⊕ monoid, ⊗ binary op⟩."""
+
+    __slots__ = ("name", "add", "mult", "is_builtin")
+
+    def __init__(self, name: str, add: Monoid, mult: BinaryOp, *, is_builtin: bool = False):
+        if add.type != mult.out_type:
+            raise DomainMismatchError(
+                f"semiring: monoid domain {add.type.name} != multiply output "
+                f"domain {mult.out_type.name}"
+            )
+        self.name = name
+        self.add = add
+        self.mult = mult
+        self.is_builtin = is_builtin
+
+    @classmethod
+    def new(cls, add: Monoid, mult: BinaryOp, name: str = "") -> "Semiring":
+        """``GrB_Semiring_new``."""
+        if add is None or mult is None:
+            raise NullPointerError("semiring components are NULL")
+        return cls(name or f"semiring<{add.name},{mult.name}>", add, mult)
+
+    @property
+    def out_type(self) -> Type:
+        return self.add.type
+
+    @property
+    def in1_type(self) -> Type:
+        return self.mult.in1_type
+
+    @property
+    def in2_type(self) -> Type:
+        return self.mult.in2_type
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Semiring({self.name})"
+
+
+def _semiring_family(
+    add_name: str, mult_name: str,
+    add_family: TypedOpFamily, mult_family: TypedOpFamily,
+    domains: tuple[Type, ...],
+) -> TypedOpFamily:
+    by_type = {}
+    for t in domains:
+        s = Semiring(
+            f"GrB_{add_name}_{mult_name}_SEMIRING_{_t.suffix_of(t)}",
+            add_family[t],
+            mult_family[t],
+            is_builtin=True,
+        )
+        by_type[t] = s
+        globals()[f"{add_name}_{mult_name}_SEMIRING_{_t.suffix_of(t)}"] = s
+        __all__.append(f"{add_name}_{mult_name}_SEMIRING_{_t.suffix_of(t)}")
+    return TypedOpFamily(f"{add_name}_{mult_name}_SEMIRING", by_type)
+
+
+_N = _t.NUMERIC_TYPES
+
+PLUS_TIMES_SEMIRING = _semiring_family("PLUS", "TIMES", _m.PLUS_MONOID, _b.TIMES, _N)
+MIN_PLUS_SEMIRING = _semiring_family("MIN", "PLUS", _m.MIN_MONOID, _b.PLUS, _N)
+MAX_PLUS_SEMIRING = _semiring_family("MAX", "PLUS", _m.MAX_MONOID, _b.PLUS, _N)
+MIN_TIMES_SEMIRING = _semiring_family("MIN", "TIMES", _m.MIN_MONOID, _b.TIMES, _N)
+MAX_TIMES_SEMIRING = _semiring_family("MAX", "TIMES", _m.MAX_MONOID, _b.TIMES, _N)
+MIN_FIRST_SEMIRING = _semiring_family("MIN", "FIRST", _m.MIN_MONOID, _b.FIRST, _N)
+MIN_SECOND_SEMIRING = _semiring_family("MIN", "SECOND", _m.MIN_MONOID, _b.SECOND, _N)
+MAX_FIRST_SEMIRING = _semiring_family("MAX", "FIRST", _m.MAX_MONOID, _b.FIRST, _N)
+MAX_SECOND_SEMIRING = _semiring_family("MAX", "SECOND", _m.MAX_MONOID, _b.SECOND, _N)
+MIN_MAX_SEMIRING = _semiring_family("MIN", "MAX", _m.MIN_MONOID, _b.MAX, _N)
+MAX_MIN_SEMIRING = _semiring_family("MAX", "MIN", _m.MAX_MONOID, _b.MIN, _N)
+PLUS_MIN_SEMIRING = _semiring_family("PLUS", "MIN", _m.PLUS_MONOID, _b.MIN, _N)
+PLUS_FIRST_SEMIRING = _semiring_family("PLUS", "FIRST", _m.PLUS_MONOID, _b.FIRST, _N)
+PLUS_SECOND_SEMIRING = _semiring_family("PLUS", "SECOND", _m.PLUS_MONOID, _b.SECOND, _N)
+
+LOR_LAND_SEMIRING_BOOL = Semiring(
+    "GrB_LOR_LAND_SEMIRING_BOOL", _m.LOR_MONOID_BOOL, _b.LAND[_t.BOOL],
+    is_builtin=True,
+)
+LAND_LOR_SEMIRING_BOOL = Semiring(
+    "GrB_LAND_LOR_SEMIRING_BOOL", _m.LAND_MONOID_BOOL, _b.LOR[_t.BOOL],
+    is_builtin=True,
+)
+LXOR_LAND_SEMIRING_BOOL = Semiring(
+    "GrB_LXOR_LAND_SEMIRING_BOOL", _m.LXOR_MONOID_BOOL, _b.LAND[_t.BOOL],
+    is_builtin=True,
+)
+LXNOR_LOR_SEMIRING_BOOL = Semiring(
+    "GrB_LXNOR_LOR_SEMIRING_BOOL", _m.LXNOR_MONOID_BOOL, _b.LOR[_t.BOOL],
+    is_builtin=True,
+)
+
+PREDEFINED_SEMIRINGS = {
+    "PLUS_TIMES": PLUS_TIMES_SEMIRING,
+    "MIN_PLUS": MIN_PLUS_SEMIRING,
+    "MAX_PLUS": MAX_PLUS_SEMIRING,
+    "MIN_TIMES": MIN_TIMES_SEMIRING,
+    "MAX_TIMES": MAX_TIMES_SEMIRING,
+    "MIN_FIRST": MIN_FIRST_SEMIRING,
+    "MIN_SECOND": MIN_SECOND_SEMIRING,
+    "MAX_FIRST": MAX_FIRST_SEMIRING,
+    "MAX_SECOND": MAX_SECOND_SEMIRING,
+    "MIN_MAX": MIN_MAX_SEMIRING,
+    "MAX_MIN": MAX_MIN_SEMIRING,
+    "PLUS_MIN": PLUS_MIN_SEMIRING,
+    "PLUS_FIRST": PLUS_FIRST_SEMIRING,
+    "PLUS_SECOND": PLUS_SECOND_SEMIRING,
+}

@@ -1,0 +1,214 @@
+"""Deferred sequences, completion, and the opaque-object base (§III, §V).
+
+The paper defines the *sequence* of a GraphBLAS object as the ordered
+collection of method calls that define it at a point in the program.  In
+nonblocking mode an implementation may defer or reorder that sequence;
+the object's state is then ambiguous until it is **complete**.
+
+Our execution model:
+
+* In ``BLOCKING`` mode every operation executes at the call.
+* In ``NONBLOCKING`` mode an operation *captures* its inputs (cheap —
+  carriers are immutable once published) and enqueues a thunk on the
+  output object's sequence.  The sequence is forced, in order, by:
+
+  - ``wait(COMPLETE)`` / ``wait(MATERIALIZE)`` (``GrB_wait``),
+  - any value-reading method (``nvals``, ``extractElement``, export…),
+  - use of the object as an *input* to another operation.
+
+* Execution errors raised while forcing are recorded on the object
+  (retrievable thread-safely via :func:`error_string`, the analogue of
+  ``GrB_error``) and re-raised at the forcing call.  API errors are
+  never deferred: the operations layer validates arguments before
+  enqueueing anything.
+
+Thread safety (§III): every opaque object owns an ``RLock``; sequence
+mutation and forcing happen under it.  Independent method calls from
+different threads therefore serialize per object, giving the
+"sequential execution in some interleaved order" guarantee.  The
+cross-thread hand-off of a *shared* object additionally needs
+``wait()`` plus a host-language synchronized-with edge, exactly as the
+paper's Figure 1 program demonstrates (reproduced in
+``examples/fig1_two_thread_pipeline.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from .context import Context, Mode, WaitMode, default_context
+from .errors import (
+    ExecutionError,
+    GraphBLASError,
+    PanicError,
+    UninitializedObjectError,
+)
+
+__all__ = ["OpaqueObject", "error_string", "wait"]
+
+
+class _Pending:
+    """One deferred method invocation in an object's sequence."""
+
+    __slots__ = ("thunk", "label")
+
+    def __init__(self, thunk: Callable[[Any], Any], label: str):
+        self.thunk = thunk
+        self.label = label
+
+
+class OpaqueObject:
+    """Base for Scalar / Vector / Matrix: sequence + error state + lock."""
+
+    __slots__ = (
+        "_lock", "_pending", "_err", "_ctx",
+        "_data", "_valid", "_materialized",
+    )
+
+    def __init__(self, ctx: Context | None):
+        self._lock = threading.RLock()
+        self._pending: list[_Pending] = []
+        self._err: str = ""
+        self._ctx = ctx if ctx is not None else default_context()
+        self._ctx.check_valid()
+        self._data: Any = None  # set by subclass
+        self._valid = True
+        self._materialized = True
+
+    # -- context -----------------------------------------------------------
+
+    @property
+    def context(self) -> Context:
+        return self._ctx
+
+    def _switch_context(self, new_ctx: Context) -> None:
+        with self._lock:
+            self._check_valid()
+            self._ctx = new_ctx
+
+    @property
+    def _mode(self) -> Mode:
+        return self._ctx.mode
+
+    def _check_valid(self) -> None:
+        if not self._valid:
+            raise UninitializedObjectError(
+                f"{type(self).__name__} has been freed"
+            )
+
+    # -- sequence machinery ---------------------------------------------------
+
+    def _submit(self, thunk: Callable[[Any], Any], label: str) -> None:
+        """Run now (blocking mode) or append to the sequence (nonblocking).
+
+        ``thunk(current_data) -> new_data``.  All argument validation
+        must happen *before* ``_submit`` — API errors are never deferred.
+        """
+        with self._lock:
+            self._check_valid()
+            if self._mode == Mode.BLOCKING:
+                self._run_one(_Pending(thunk, label))
+            else:
+                self._pending.append(_Pending(thunk, label))
+                self._materialized = False
+
+    def _run_one(self, op: _Pending) -> None:
+        try:
+            self._data = op.thunk(self._data)
+        except ExecutionError as exc:
+            # §V: the OUT/INOUT argument's state is undefined after an
+            # execution error; we keep the previous data and record the
+            # error for GrB_error.
+            self._err = f"{op.label}: {exc.message}"
+            raise
+        except GraphBLASError:
+            raise
+        except Exception as exc:
+            # A user-defined operator raised while the kernel ran (in C
+            # this is a crash inside a function pointer).  We give it
+            # defined behaviour: GrB_PANIC, reported like any execution
+            # error — deferred in nonblocking mode, recorded on the
+            # object for GrB_error.
+            message = (
+                f"{op.label}: user-defined function raised "
+                f"{type(exc).__name__}: {exc}"
+            )
+            self._err = message
+            raise PanicError(message) from exc
+
+    def _force(self) -> Any:
+        """Complete the sequence; returns the (now definite) carrier.
+
+        The first execution error raised by a deferred method surfaces
+        here — at the forcing call — and drops the rest of the sequence
+        (the object's state is undefined per §V; we keep the data from
+        before the failing method).
+        """
+        with self._lock:
+            self._check_valid()
+            while self._pending:
+                op = self._pending.pop(0)
+                try:
+                    self._run_one(op)
+                except (ExecutionError, GraphBLASError):
+                    self._pending.clear()
+                    raise
+            return self._data
+
+    def _capture(self) -> Any:
+        """Force and snapshot the carrier (inputs of other operations)."""
+        return self._force()
+
+    # -- the 2.0 wait / error surface -----------------------------------------
+
+    def wait(self, mode: WaitMode = WaitMode.MATERIALIZE) -> None:
+        """``GrB_wait(obj, mode)`` (§III completion, §V materialization).
+
+        ``COMPLETE`` finishes the computations of the object's sequence
+        and resolves internal data structures so the object can be
+        handed to another thread (with a host-language synchronized-with
+        edge).  ``MATERIALIZE`` additionally guarantees that no further
+        errors can be reported from the already-completed methods.  As
+        the spec permits, our completing wait is computationally
+        equivalent to a materializing wait; the two still differ in the
+        state they record.
+        """
+        mode = WaitMode(mode)
+        with self._lock:
+            self._force()
+            if mode == WaitMode.MATERIALIZE:
+                self._materialized = True
+
+    @property
+    def is_materialized(self) -> bool:
+        with self._lock:
+            return self._materialized and not self._pending
+
+    def error(self) -> str:
+        """``GrB_error(&str, obj)`` — last execution-error string (§V).
+
+        Thread safe: two threads may call it concurrently on the same
+        object.  An empty string is always a legal result.
+        """
+        with self._lock:
+            return self._err
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def free(self) -> None:
+        """``GrB_free`` — release; the handle then behaves uninitialized."""
+        with self._lock:
+            self._pending.clear()
+            self._data = None
+            self._valid = False
+
+
+def wait(obj: OpaqueObject, mode: WaitMode = WaitMode.MATERIALIZE) -> None:
+    """Free-function spelling of :meth:`OpaqueObject.wait` (C-style API)."""
+    obj.wait(mode)
+
+
+def error_string(obj: OpaqueObject) -> str:
+    """Free-function spelling of :meth:`OpaqueObject.error` (C-style API)."""
+    return obj.error()

@@ -1,0 +1,251 @@
+"""``GrB_Type`` — GraphBLAS domains, predefined and user-defined.
+
+The GraphBLAS specification defines eleven predefined domains (BOOL, the
+eight fixed-width integers, FP32 and FP64) and lets applications create
+user-defined types (UDTs) of fixed byte size.  We map predefined domains
+to NumPy dtypes so that kernels can run vectorized; UDTs map to the NumPy
+object dtype and flow through the (slower) generic kernel paths, exactly
+like user-defined operators do.
+
+Type objects are opaque handles in the C API; here they are immutable,
+hashable instances usable as dictionary keys in the operator registries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from .errors import DomainMismatchError, NullPointerError
+
+__all__ = [
+    "Type",
+    "BOOL",
+    "INT8",
+    "INT16",
+    "INT32",
+    "INT64",
+    "UINT8",
+    "UINT16",
+    "UINT32",
+    "UINT64",
+    "FP32",
+    "FP64",
+    "PREDEFINED_TYPES",
+    "INTEGER_TYPES",
+    "SIGNED_INTEGER_TYPES",
+    "UNSIGNED_INTEGER_TYPES",
+    "FLOAT_TYPES",
+    "NUMERIC_TYPES",
+    "type_from_pyvalue",
+    "common_type",
+]
+
+
+class Type:
+    """An opaque GraphBLAS domain (``GrB_Type``).
+
+    Parameters
+    ----------
+    name:
+        Spec name, e.g. ``"GrB_INT32"`` for predefined domains.
+    np_dtype:
+        Backing NumPy dtype. UDTs use ``object``.
+    is_udt:
+        True for user-defined types (created via :meth:`new`).
+    default:
+        Zero/identity-like default used when a typed read needs a fill.
+    """
+
+    __slots__ = ("name", "np_dtype", "is_udt", "default", "size", "_cast")
+
+    def __init__(
+        self,
+        name: str,
+        np_dtype: Any,
+        *,
+        is_udt: bool = False,
+        default: Any = 0,
+        size: int | None = None,
+        cast: Callable[[Any], Any] | None = None,
+    ):
+        self.name = name
+        self.np_dtype = np.dtype(np_dtype)
+        self.is_udt = is_udt
+        self.default = default
+        self.size = size if size is not None else self.np_dtype.itemsize
+        self._cast = cast
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def new(cls, name: str, size: int | None = None,
+            cast: Callable[[Any], Any] | None = None) -> "Type":
+        """Create a user-defined type (``GrB_Type_new``).
+
+        ``size`` mirrors the C API's ``sizeof`` argument; it is recorded
+        but Python UDT values are arbitrary objects.  ``cast`` optionally
+        validates/normalizes scalars entering containers of this type.
+        """
+        if not name:
+            raise NullPointerError("UDT requires a name")
+        return cls(name, object, is_udt=True, default=None, size=size, cast=cast)
+
+    # -- behaviour ---------------------------------------------------------
+
+    def coerce_scalar(self, value: Any) -> Any:
+        """Cast a Python value into this domain (C-style implicit cast)."""
+        if self.is_udt:
+            return self._cast(value) if self._cast is not None else value
+        if self._cast is not None:
+            value = self._cast(value)
+        return self.np_dtype.type(value)
+
+    def coerce_array(self, arr: np.ndarray) -> np.ndarray:
+        """Cast an array into this domain; returns the input when no-op."""
+        if self.is_udt:
+            if arr.dtype == object:
+                return arr
+            return arr.astype(object)
+        if arr.dtype == self.np_dtype:
+            return arr
+        return arr.astype(self.np_dtype)
+
+    def empty(self, n: int) -> np.ndarray:
+        """Allocate an uninitialized values array of this domain."""
+        return np.empty(n, dtype=self.np_dtype)
+
+    def zeros(self, n: int) -> np.ndarray:
+        if self.is_udt:
+            out = np.empty(n, dtype=object)
+            out[:] = self.default
+            return out
+        return np.zeros(n, dtype=self.np_dtype)
+
+    @property
+    def is_builtin(self) -> bool:
+        return not self.is_udt
+
+    @property
+    def is_bool(self) -> bool:
+        return self.np_dtype == np.bool_
+
+    @property
+    def is_integer(self) -> bool:
+        return self.np_dtype.kind in "iu"
+
+    @property
+    def is_float(self) -> bool:
+        return self.np_dtype.kind == "f"
+
+    # -- identity semantics --------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Type({self.name})"
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.is_udt))
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Type):
+            return NotImplemented
+        # Predefined types compare by name; UDTs only by identity.
+        if self.is_udt or other.is_udt:
+            return self is other
+        return self.name == other.name
+
+
+BOOL = Type("GrB_BOOL", np.bool_, default=False)
+INT8 = Type("GrB_INT8", np.int8)
+INT16 = Type("GrB_INT16", np.int16)
+INT32 = Type("GrB_INT32", np.int32)
+INT64 = Type("GrB_INT64", np.int64)
+UINT8 = Type("GrB_UINT8", np.uint8)
+UINT16 = Type("GrB_UINT16", np.uint16)
+UINT32 = Type("GrB_UINT32", np.uint32)
+UINT64 = Type("GrB_UINT64", np.uint64)
+FP32 = Type("GrB_FP32", np.float32, default=0.0)
+FP64 = Type("GrB_FP64", np.float64, default=0.0)
+
+PREDEFINED_TYPES: tuple[Type, ...] = (
+    BOOL, INT8, INT16, INT32, INT64, UINT8, UINT16, UINT32, UINT64, FP32, FP64,
+)
+
+SIGNED_INTEGER_TYPES: tuple[Type, ...] = (INT8, INT16, INT32, INT64)
+UNSIGNED_INTEGER_TYPES: tuple[Type, ...] = (UINT8, UINT16, UINT32, UINT64)
+INTEGER_TYPES: tuple[Type, ...] = SIGNED_INTEGER_TYPES + UNSIGNED_INTEGER_TYPES
+FLOAT_TYPES: tuple[Type, ...] = (FP32, FP64)
+NUMERIC_TYPES: tuple[Type, ...] = INTEGER_TYPES + FLOAT_TYPES
+
+_BY_DTYPE = {t.np_dtype: t for t in PREDEFINED_TYPES}
+_BY_NAME = {t.name: t for t in PREDEFINED_TYPES}
+# short aliases used by the typed-suffix registries ("INT32" etc.)
+_SUFFIX = {
+    BOOL: "BOOL", INT8: "INT8", INT16: "INT16", INT32: "INT32",
+    INT64: "INT64", UINT8: "UINT8", UINT16: "UINT16", UINT32: "UINT32",
+    UINT64: "UINT64", FP32: "FP32", FP64: "FP64",
+}
+
+
+def suffix_of(t: Type) -> str:
+    """Spec suffix for a predefined type (e.g. ``INT32``)."""
+    try:
+        return _SUFFIX[t]
+    except KeyError:
+        raise DomainMismatchError(f"{t!r} has no predefined suffix") from None
+
+
+def from_dtype(dtype: Any) -> Type:
+    """Map a NumPy dtype to the predefined GraphBLAS domain."""
+    dt = np.dtype(dtype)
+    try:
+        return _BY_DTYPE[dt]
+    except KeyError:
+        raise DomainMismatchError(f"no GraphBLAS domain for dtype {dt}") from None
+
+
+def from_name(name: str) -> Type:
+    """Look up a predefined domain by spec name (``"GrB_FP64"``)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise DomainMismatchError(f"unknown type name {name!r}") from None
+
+
+def type_from_pyvalue(value: Any) -> Type:
+    """Infer a GraphBLAS domain for a bare Python/NumPy scalar."""
+    if isinstance(value, (bool, np.bool_)):
+        return BOOL
+    if isinstance(value, np.generic):
+        return from_dtype(value.dtype)
+    if isinstance(value, int):
+        return INT64
+    if isinstance(value, float):
+        return FP64
+    raise DomainMismatchError(f"cannot infer GraphBLAS domain for {type(value)!r}")
+
+
+def common_type(a: Type, b: Type) -> Type:
+    """C-style implicit promotion between two domains.
+
+    UDTs never promote: both sides must be the same UDT, otherwise the
+    operation is a DOMAIN_MISMATCH API error, matching the spec rule that
+    no casting is defined to or from user-defined types.
+    """
+    if a.is_udt or b.is_udt:
+        if a is b:
+            return a
+        raise DomainMismatchError(f"no implicit cast between {a.name} and {b.name}")
+    if a == b:
+        return a
+    return from_dtype(np.promote_types(a.np_dtype, b.np_dtype))
+
+
+def cast_allowed(src: Type, dst: Type) -> bool:
+    """Whether the spec's implicit cast from *src* to *dst* exists."""
+    if src.is_udt or dst.is_udt:
+        return src is dst
+    return True

@@ -1,0 +1,204 @@
+"""``GrB_UnaryOp`` — unary operators, predefined and user-defined.
+
+Predefined families (per the 2.0 specification):
+
+========= ======================================= ==================
+Family    Meaning                                 Domains
+========= ======================================= ==================
+IDENTITY  f(x) = x                                all 11
+AINV      f(x) = -x (additive inverse)            all 11
+MINV      f(x) = 1/x (multiplicative inverse)     all 11
+LNOT      f(x) = ¬x (logical not)                 BOOL
+ABS       f(x) = |x|                              all 11
+BNOT      f(x) = ~x (bitwise complement)          integer domains
+========= ======================================= ==================
+
+Each typed instance is exported under its spec-style name
+(``IDENTITY_INT32`` for ``GrB_IDENTITY_INT32``) and reachable
+polymorphically (``IDENTITY[INT32]``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from . import types as _t
+from .errors import NullPointerError
+from .opbase import TypedOpFamily, elementwise_fallback_1
+from .types import Type
+
+__all__ = ["UnaryOp", "IDENTITY", "AINV", "MINV", "LNOT", "ABS", "BNOT",
+           "PREDEFINED_UNARY_FAMILIES"]
+
+
+class UnaryOp:
+    """A monomorphic unary operator: ``out = f(in)``."""
+
+    __slots__ = ("name", "in_type", "out_type", "scalar", "vec", "is_builtin")
+
+    def __init__(
+        self,
+        name: str,
+        in_type: Type,
+        out_type: Type,
+        scalar: Callable[[Any], Any],
+        vec: Callable[[np.ndarray], np.ndarray] | None = None,
+        *,
+        is_builtin: bool = False,
+    ):
+        self.name = name
+        self.in_type = in_type
+        self.out_type = out_type
+        self.scalar = scalar
+        self.vec = vec if vec is not None else elementwise_fallback_1(
+            scalar, out_type.np_dtype
+        )
+        self.is_builtin = is_builtin
+
+    @classmethod
+    def new(
+        cls,
+        fn: Callable[[Any], Any],
+        out_type: Type,
+        in_type: Type,
+        name: str = "",
+    ) -> "UnaryOp":
+        """``GrB_UnaryOp_new`` — wrap a user function.
+
+        The function receives one scalar of ``in_type`` and must return a
+        scalar of ``out_type``.  User-defined operators run one Python
+        call per stored element (the function-pointer cost of §II).
+        """
+        if fn is None:
+            raise NullPointerError("unary function is NULL")
+        return cls(name or getattr(fn, "__name__", "udf"), in_type, out_type, fn)
+
+    def apply_array(self, x: np.ndarray) -> np.ndarray:
+        """Apply to a values array (already in ``in_type``'s dtype)."""
+        return self.vec(x)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UnaryOp({self.name}: {self.in_type.name} -> {self.out_type.name})"
+
+
+def _family(
+    name: str,
+    domains: tuple[Type, ...],
+    scalar_factory: Callable[[Type], Callable[[Any], Any]],
+    vec_factory: Callable[[Type], Callable[[np.ndarray], np.ndarray]],
+    out_rule: Callable[[Type], Type] = lambda t: t,
+) -> TypedOpFamily:
+    by_type = {}
+    for t in domains:
+        out_t = out_rule(t)
+        op = UnaryOp(
+            f"GrB_{name}_{_t.suffix_of(t)}",
+            t,
+            out_t,
+            scalar_factory(t),
+            vec_factory(t),
+            is_builtin=True,
+        )
+        by_type[t] = op
+        globals()[f"{name}_{_t.suffix_of(t)}"] = op
+        __all__.append(f"{name}_{_t.suffix_of(t)}")
+    return TypedOpFamily(name, by_type)
+
+
+def _cast_out(t: Type, arr: np.ndarray) -> np.ndarray:
+    if arr.dtype != t.np_dtype:
+        return arr.astype(t.np_dtype)
+    return arr
+
+
+def _minv_vec(t: Type):
+    if t.is_bool:
+        # 1/x over booleans: MINV(true)=true, MINV(false) divides by zero;
+        # spec maps bool through the 0/1 embedding, so MINV(false) is
+        # implementation-defined; we return true (1/0 saturates to 1≠0).
+        return lambda x: np.ones_like(x, dtype=np.bool_)
+    if t.is_integer:
+        def f(x, _dt=t.np_dtype):
+            with np.errstate(divide="ignore", invalid="ignore"):
+                out = np.where(x == 0, 0, 1 // np.where(x == 0, 1, x))
+            return out.astype(_dt)
+        return f
+    def f(x, _dt=t.np_dtype):
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return _cast_out(t, np.divide(1.0, x.astype(np.float64)).astype(_dt))
+    return f
+
+
+def _minv_scalar(t: Type):
+    if t.is_bool:
+        return lambda x: True
+    if t.is_integer:
+        def f(x, _np=t.np_dtype.type):
+            return _np(0) if x == 0 else _np(1 // int(x))
+        return f
+    return lambda x, _np=t.np_dtype.type: _np(np.inf) if x == 0 else _np(1.0 / x)
+
+
+def _ainv_vec(t: Type):
+    if t.is_bool:
+        return lambda x: x.copy()
+    if t.np_dtype.kind == "u":
+        # Unsigned negation wraps modulo 2^w (C semantics).
+        return lambda x, _dt=t.np_dtype: (-x.astype(_dt)).astype(_dt)
+    return lambda x: -x
+
+
+def _ainv_scalar(t: Type):
+    if t.is_bool:
+        return lambda x: bool(x)
+    return lambda x, _np=t.np_dtype.type: _np(-_np(x))
+
+
+def _abs_vec(t: Type):
+    if t.is_bool:
+        return lambda x: x.copy()
+    return np.abs
+
+
+IDENTITY = _family(
+    "IDENTITY",
+    _t.PREDEFINED_TYPES,
+    lambda t: (lambda x, _np=t.np_dtype.type: _np(x)),
+    lambda t: (lambda x: x.copy()),
+)
+
+AINV = _family("AINV", _t.PREDEFINED_TYPES, _ainv_scalar, _ainv_vec)
+
+MINV = _family("MINV", _t.PREDEFINED_TYPES, _minv_scalar, _minv_vec)
+
+LNOT = _family(
+    "LNOT",
+    (_t.BOOL,),
+    lambda t: (lambda x: not bool(x)),
+    lambda t: np.logical_not,
+)
+
+ABS = _family(
+    "ABS",
+    _t.PREDEFINED_TYPES,
+    lambda t: (lambda x, _np=t.np_dtype.type: _np(abs(x)) if not t.is_bool else bool(x)),
+    _abs_vec,
+)
+
+BNOT = _family(
+    "BNOT",
+    _t.INTEGER_TYPES,
+    lambda t: (lambda x, _np=t.np_dtype.type: _np(~_np(x))),
+    lambda t: np.invert,
+)
+
+PREDEFINED_UNARY_FAMILIES = {
+    "IDENTITY": IDENTITY,
+    "AINV": AINV,
+    "MINV": MINV,
+    "LNOT": LNOT,
+    "ABS": ABS,
+    "BNOT": BNOT,
+}

@@ -1,0 +1,195 @@
+"""An in-process, MPI-shaped communicator for the distributed simulation.
+
+The paper's conclusion: "our work will shift to enhancements to the
+GraphBLAS to support execution on distributed systems", with
+``GrB_Context`` as the scoping mechanism (§IV explicitly lists MPI
+communicators among future context resources).  We do not have a
+cluster, so per the reproduction's substitution rule we simulate one:
+*ranks are threads*, point-to-point channels are queues, and the
+collectives (barrier, bcast, allgather, allreduce) are implemented on
+top — with **byte and message counters**, because communication volume
+is the metric a distributed-GraphBLAS evaluation reports and it is
+hardware-independent.
+
+The semantics preserved: SPMD execution, rank-addressed messaging, and
+collective synchronization — exactly what a future MPI-backed
+implementation would sit on.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from ..core.errors import InvalidValueError
+
+__all__ = ["CommStats", "Communicator", "Cluster"]
+
+
+def _payload_bytes(obj: Any) -> int:
+    """Approximate wire size of a message payload."""
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, (list, tuple)):
+        return sum(_payload_bytes(x) for x in obj)
+    if isinstance(obj, dict):
+        return sum(_payload_bytes(v) for v in obj.values())
+    return 8  # scalar-ish
+
+
+@dataclass
+class CommStats:
+    """Aggregate communication counters for one cluster run."""
+
+    messages: int = 0
+    bytes: int = 0
+    collectives: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False)
+
+    def record(self, nbytes: int) -> None:
+        with self._lock:
+            self.messages += 1
+            self.bytes += nbytes
+
+    def record_collective(self) -> None:
+        with self._lock:
+            self.collectives += 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "messages": self.messages,
+                "bytes": self.bytes,
+                "collectives": self.collectives,
+            }
+
+
+class Communicator:
+    """One rank's endpoint: send/recv plus collectives."""
+
+    def __init__(self, rank: int, size: int, shared: "_Shared"):
+        self.rank = rank
+        self.size = size
+        self._shared = shared
+
+    # -- point to point ------------------------------------------------------
+
+    def send(self, dest: int, payload: Any, tag: int = 0) -> None:
+        if not (0 <= dest < self.size):
+            raise InvalidValueError(f"rank {dest} out of range")
+        self._shared.stats.record(_payload_bytes(payload))
+        self._shared.queues[dest].put((self.rank, tag, payload))
+
+    def recv(self, source: int | None = None, tag: int | None = None) -> Any:
+        """Receive the next matching message (simple ordered matching)."""
+        stash = self._shared.stashes[self.rank]
+        for k, (src, t, payload) in enumerate(stash):
+            if (source is None or src == source) and (tag is None or t == tag):
+                del stash[k]
+                return payload
+        while True:
+            src, t, payload = self._shared.queues[self.rank].get()
+            if (source is None or src == source) and (tag is None or t == tag):
+                return payload
+            stash.append((src, t, payload))
+
+    # -- collectives ------------------------------------------------------------
+
+    def barrier(self) -> None:
+        self._shared.stats.record_collective()
+        self._shared.barrier.wait()
+
+    def bcast(self, payload: Any, root: int = 0) -> Any:
+        self._shared.stats.record_collective()
+        slot = self._shared.blackboard
+        if self.rank == root:
+            self._shared.stats.record(_payload_bytes(payload) * (self.size - 1))
+            slot["bcast"] = payload
+        self._shared.barrier.wait()
+        out = slot["bcast"]
+        self._shared.barrier.wait()
+        return out
+
+    def allgather(self, payload: Any) -> list[Any]:
+        """Every rank contributes; every rank gets the full list."""
+        self._shared.stats.record_collective()
+        self._shared.stats.record(_payload_bytes(payload) * (self.size - 1))
+        slot = self._shared.blackboard.setdefault("allgather", {})
+        with self._shared.bb_lock:
+            slot[self.rank] = payload
+        self._shared.barrier.wait()
+        out = [slot[r] for r in range(self.size)]
+        self._shared.barrier.wait()
+        if self.rank == 0:
+            slot.clear()
+        self._shared.barrier.wait()
+        return out
+
+    def allreduce(self, value: Any, op: Callable[[Any, Any], Any]) -> Any:
+        parts = self.allgather(value)
+        acc = parts[0]
+        for p in parts[1:]:
+            acc = op(acc, p)
+        return acc
+
+
+class _Shared:
+    def __init__(self, size: int):
+        self.queues = [queue.Queue() for _ in range(size)]
+        self.stashes: list[list] = [[] for _ in range(size)]
+        self.barrier = threading.Barrier(size)
+        self.blackboard: dict = {}
+        self.bb_lock = threading.Lock()
+        self.stats = CommStats()
+
+
+class Cluster:
+    """An SPMD launcher: ``cluster.run(fn)`` calls ``fn(comm)`` per rank.
+
+    The simulated analogue of ``mpiexec -n <size>``; exceptions raised
+    on any rank propagate to the caller (with every rank joined first).
+    """
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise InvalidValueError("cluster size must be >= 1")
+        self.size = size
+        self._shared = _Shared(size)
+
+    @property
+    def stats(self) -> CommStats:
+        return self._shared.stats
+
+    def run(self, fn: Callable[[Communicator], Any]) -> list[Any]:
+        """Run ``fn`` on every rank; returns per-rank results."""
+        results: list[Any] = [None] * self.size
+        errors: list[BaseException] = []
+
+        def worker(rank: int) -> None:
+            comm = Communicator(rank, self.size, self._shared)
+            try:
+                results[rank] = fn(comm)
+            except BaseException as exc:  # noqa: BLE001 - rethrown below
+                errors.append(exc)
+                # Unblock peers stuck in a collective.
+                self._shared.barrier.abort()
+
+        threads = [
+            threading.Thread(target=worker, args=(r,), name=f"rank{r}")
+            for r in range(self.size)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        self._shared.barrier.reset()
+        if errors:
+            raise errors[0]
+        return results

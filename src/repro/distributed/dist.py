@@ -1,0 +1,137 @@
+"""Distributed containers: 1-D row-block matrices and block vectors.
+
+The layout the distributed-GraphBLAS considerations paper [3] starts
+from: matrix rows are partitioned into contiguous blocks, one per rank;
+vectors are partitioned conformally.  Each rank's local block is an
+ordinary :class:`~repro.core.matrix.Matrix` bound to a *rank context*
+nested under a shared cluster context — demonstrating exactly the
+hierarchical-context role §IV designs for ("a top level distributed
+execution using MPI with multithreaded execution on each node").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import types as T
+from ..core.context import Context
+from ..core.errors import DimensionMismatchError
+from ..core.matrix import Matrix
+from ..core.types import Type
+from ..core.vector import Vector
+
+__all__ = ["block_bounds", "RankHome", "DistMatrix", "DistVector"]
+
+
+def block_bounds(n: int, size: int) -> np.ndarray:
+    """Partition ``range(n)`` into ``size`` contiguous blocks."""
+    return np.linspace(0, n, size + 1, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class RankHome:
+    """A rank's execution home: its nested context under the cluster."""
+
+    rank: int
+    context: Context
+
+    @classmethod
+    def create(cls, rank: int, cluster_ctx: Context,
+               nthreads: int = 1) -> "RankHome":
+        ctx = Context.new(
+            cluster_ctx.mode, cluster_ctx, {"nthreads": nthreads},
+            name=f"rank{rank}",
+        )
+        return cls(rank, ctx)
+
+
+class DistVector:
+    """A vector partitioned conformally with row blocks."""
+
+    def __init__(self, home: RankHome, size: int, nranks: int, t: Type,
+                 local: Vector | None = None):
+        self.home = home
+        self.size = size
+        self.nranks = nranks
+        self.type = t
+        self.bounds = block_bounds(size, nranks)
+        lo, hi = self.range
+        self.local = local if local is not None else Vector.new(
+            t, int(hi - lo), home.context)
+        if self.local.size != hi - lo:
+            raise DimensionMismatchError(
+                f"local block has size {self.local.size}, want {hi - lo}"
+            )
+
+    @property
+    def range(self) -> tuple[int, int]:
+        r = self.home.rank
+        return int(self.bounds[r]), int(self.bounds[r + 1])
+
+    def local_tuples(self) -> tuple[np.ndarray, np.ndarray]:
+        """(global indices, values) of this rank's stored elements."""
+        idx, vals = self.local.extract_tuples()
+        return idx + self.range[0], vals
+
+    @classmethod
+    def from_global_dense(cls, home: RankHome, dense: np.ndarray,
+                          nranks: int, t: Type) -> "DistVector":
+        bounds = block_bounds(len(dense), nranks)
+        lo, hi = int(bounds[home.rank]), int(bounds[home.rank + 1])
+        chunk = dense[lo:hi]
+        idx = np.flatnonzero(chunk != 0)
+        v = Vector.new(t, hi - lo, home.context)
+        if len(idx):
+            v.build(idx, chunk[idx])
+        v.wait()
+        return cls(home, len(dense), nranks, t, v)
+
+
+class DistMatrix:
+    """A matrix in 1-D row-block distribution."""
+
+    def __init__(self, home: RankHome, nrows: int, ncols: int, nranks: int,
+                 t: Type, local: Matrix | None = None):
+        self.home = home
+        self.nrows = nrows
+        self.ncols = ncols
+        self.nranks = nranks
+        self.type = t
+        self.bounds = block_bounds(nrows, nranks)
+        lo, hi = self.row_range
+        self.local = local if local is not None else Matrix.new(
+            t, int(hi - lo), ncols, home.context)
+        if (self.local.nrows, self.local.ncols) != (hi - lo, ncols):
+            raise DimensionMismatchError("local block shape mismatch")
+
+    @property
+    def row_range(self) -> tuple[int, int]:
+        r = self.home.rank
+        return int(self.bounds[r]), int(self.bounds[r + 1])
+
+    @classmethod
+    def from_triples(
+        cls,
+        home: RankHome,
+        nrows: int,
+        ncols: int,
+        nranks: int,
+        t: Type,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+        dup=None,
+    ) -> "DistMatrix":
+        """Scatter global COO triples onto this rank's row block."""
+        bounds = block_bounds(nrows, nranks)
+        lo, hi = int(bounds[home.rank]), int(bounds[home.rank + 1])
+        mine = (rows >= lo) & (rows < hi)
+        local = Matrix.new(t, hi - lo, ncols, home.context)
+        local.build(rows[mine] - lo, cols[mine], np.asarray(vals)[mine], dup)
+        local.wait()
+        return cls(home, nrows, ncols, nranks, t, local)
+
+    def local_nvals(self) -> int:
+        return self.local.nvals()

@@ -1,0 +1,10 @@
+"""Extensions beyond the 2.0 spec core (SuiteSparse-``GxB`` style).
+
+Clearly separated from the conformant surface: nothing here is required
+by the specification, and nothing in ``repro.core``/``repro.ops``
+depends on it.
+"""
+
+from .hypersparse import HyperMatrix
+
+__all__ = ["HyperMatrix"]

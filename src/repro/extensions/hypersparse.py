@@ -1,0 +1,245 @@
+"""Hypersparse matrices — an extension beyond the 2.0 spec core.
+
+The canonical CSR carrier stores a dense row pointer, which caps row
+counts at :data:`repro.internals.containers.MAX_NROWS` (a 2^60-row
+matrix would need an exabyte of indptr).  Real implementations solve
+this with a *hypersparse* format that stores only non-empty rows —
+SuiteSparse's ``GxB_HYPERSPARSE``.  This module provides that as a
+layered extension: a :class:`HyperMatrix` keeps
+
+* ``row_ids`` — the sorted global ids of non-empty rows, and
+* ``compact`` — an ordinary :class:`~repro.core.matrix.Matrix` with one
+  row per non-empty global row,
+
+and implements the operation subset tall workloads need (mxm, mxv,
+vxm, select, apply, reduce, transpose, extract-tuples) by running the
+existing spec operations on the compact matrix and translating row
+coordinates at the boundary.  Everything reuses the tested kernels —
+no second kernel stack to trust.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..core import types as _t
+from ..core.binaryop import BinaryOp
+from ..core.context import Context
+from ..core.errors import (
+    DimensionMismatchError,
+    InvalidIndexError,
+    InvalidValueError,
+    NoValue,
+)
+from ..core.indexunaryop import IndexUnaryOp
+from ..core.matrix import Matrix
+from ..core.monoid import Monoid
+from ..core.semiring import Semiring
+from ..core.types import Type
+from ..core.unaryop import UnaryOp
+from ..core.vector import Vector
+from ..ops.apply import apply as _apply
+from ..ops.mxm import mxm as _mxm
+from ..ops.mxm import mxv as _mxv
+from ..ops.mxm import vxm as _vxm
+from ..ops.reduce import reduce_scalar as _reduce_scalar
+from ..ops.reduce import reduce_to_vector as _reduce_to_vector
+from ..ops.select import select as _select
+
+__all__ = ["HyperMatrix"]
+
+_INT = np.int64
+
+
+class HyperMatrix:
+    """A matrix with up to 2^60 rows, storing only non-empty ones."""
+
+    def __init__(self, t: Type, nrows: int, ncols: int,
+                 ctx: Context | None = None):
+        if nrows < 0 or ncols < 0:
+            raise InvalidValueError("shape must be >= 0")
+        self.type = t
+        self.nrows = int(nrows)
+        self.ncols = int(ncols)
+        self._ctx = ctx
+        self.row_ids = np.empty(0, dtype=_INT)
+        self.compact = Matrix.new(t, 0, ncols, ctx)
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def from_triples(
+        cls,
+        t: Type,
+        nrows: int,
+        ncols: int,
+        rows: Sequence[int],
+        cols: Sequence[int],
+        values: Sequence[Any],
+        dup: BinaryOp | None = None,
+        ctx: Context | None = None,
+    ) -> "HyperMatrix":
+        rows = np.asarray(rows, dtype=_INT)
+        cols = np.asarray(cols, dtype=_INT)
+        if len(rows) and (rows.min() < 0 or rows.max() >= nrows):
+            raise InvalidIndexError("row index out of range")
+        out = cls(t, nrows, ncols, ctx)
+        if len(rows) == 0:
+            return out
+        out.row_ids = np.unique(rows)
+        compact_rows = np.searchsorted(out.row_ids, rows)
+        out.compact = Matrix.new(t, len(out.row_ids), ncols, ctx)
+        out.compact.build(compact_rows, cols, values, dup)
+        out.compact.wait()
+        return out
+
+    @classmethod
+    def _wrap(cls, nrows: int, row_ids: np.ndarray, compact: Matrix,
+              ctx: Context | None = None) -> "HyperMatrix":
+        out = cls.__new__(cls)
+        out.type = compact.type
+        out.nrows = nrows
+        out.ncols = compact.ncols
+        out._ctx = ctx
+        out.row_ids = row_ids
+        out.compact = compact
+        out._prune()
+        return out
+
+    def _prune(self) -> None:
+        """Drop compact rows that became empty (keeps row_ids exact)."""
+        d = self.compact._capture()
+        lens = d.row_lengths()
+        if (lens > 0).all():
+            return
+        keep = np.flatnonzero(lens > 0).astype(_INT)
+        self.row_ids = self.row_ids[keep]
+        from ..ops.extract import extract as _extract
+        sub = Matrix.new(self.type, len(keep), self.ncols, self._ctx)
+        _extract(sub, None, None, self.compact, keep, None)
+        sub.wait()
+        self.compact = sub
+
+    # -- introspection ------------------------------------------------------------
+
+    def nvals(self) -> int:
+        return self.compact.nvals()
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.nrows, self.ncols)
+
+    @property
+    def nonempty_rows(self) -> int:
+        return len(self.row_ids)
+
+    def extract_tuples(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        r, c, v = self.compact.extract_tuples()
+        return self.row_ids[r], c, v
+
+    def to_dict(self) -> dict:
+        r, c, v = self.extract_tuples()
+        return {(int(i), int(j)): val for i, j, val in zip(r, c, v)}
+
+    def extract_element(self, i: int, j: int):
+        if not (0 <= i < self.nrows and 0 <= j < self.ncols):
+            raise InvalidIndexError(f"({i}, {j}) out of range")
+        pos = int(np.searchsorted(self.row_ids, i))
+        if pos >= len(self.row_ids) or self.row_ids[pos] != i:
+            raise NoValue(f"no element at ({i}, {j})")
+        return self.compact.extract_element(pos, j)
+
+    # -- operations (each reuses the spec ops on the compact form) -------------
+
+    def mxv(self, u: Vector, semiring: Semiring) -> dict:
+        """w = A ⊕.⊗ u, returned as {global row: value}."""
+        if u.size != self.ncols:
+            raise DimensionMismatchError("mxv inner dimension")
+        w = Vector.new(semiring.out_type, self.compact.nrows, self._ctx)
+        _mxv(w, None, None, semiring, self.compact, u)
+        idx, vals = w.extract_tuples()
+        return {int(self.row_ids[i]): v for i, v in zip(idx, vals)}
+
+    def vxm(self, entries: dict, semiring: Semiring) -> Vector:
+        """w' = u' ⊕.⊗ A for a {global row: value} input pattern."""
+        u = Vector.new(semiring.in1_type, self.compact.nrows, self._ctx)
+        keys = sorted(k for k in entries if k in set(self.row_ids.tolist()))
+        if keys:
+            pos = np.searchsorted(self.row_ids, np.asarray(keys, dtype=_INT))
+            u.build(pos, [entries[k] for k in keys])
+        u.wait()
+        w = Vector.new(semiring.out_type, self.ncols, self._ctx)
+        _vxm(w, None, None, semiring, u, self.compact)
+        w.wait()
+        return w
+
+    def mxm_same_rows(self, b: Matrix, semiring: Semiring) -> "HyperMatrix":
+        """C = A ⊕.⊗ B where B is an ordinary (ncols x k) matrix."""
+        if b.nrows != self.ncols:
+            raise DimensionMismatchError("mxm inner dimension")
+        c = Matrix.new(semiring.out_type, self.compact.nrows, b.ncols,
+                       self._ctx)
+        _mxm(c, None, None, semiring, self.compact, b)
+        c.wait()
+        return HyperMatrix._wrap(self.nrows, self.row_ids.copy(), c,
+                                 self._ctx)
+
+    def select(self, op: IndexUnaryOp, s: Any) -> "HyperMatrix":
+        """Positional selects see *global* row indices.
+
+        Implemented with a user-shaped operator that translates the
+        compact row back to its global id before calling ``op``.
+        """
+        row_ids = self.row_ids
+
+        def global_fn(v, i, j, sc):
+            return bool(op.scalar(v, int(row_ids[i]), j, sc))
+
+        translated = IndexUnaryOp.new(
+            global_fn, _t.BOOL,
+            op.in_type if op.in_type is not None else self.type,
+            op.s_type, name=f"hyper<{op.name}>",
+        )
+        out = Matrix.new(self.type, self.compact.nrows, self.ncols, self._ctx)
+        _select(out, None, None, translated, self.compact, s)
+        out.wait()
+        return HyperMatrix._wrap(self.nrows, self.row_ids.copy(), out,
+                                 self._ctx)
+
+    def apply(self, op: UnaryOp) -> "HyperMatrix":
+        out = Matrix.new(op.out_type, self.compact.nrows, self.ncols,
+                         self._ctx)
+        _apply(out, None, None, op, self.compact)
+        out.wait()
+        return HyperMatrix._wrap(self.nrows, self.row_ids.copy(), out,
+                                 self._ctx)
+
+    def reduce_rows(self, monoid: Monoid) -> dict:
+        """Row sums as {global row: value} (only non-empty rows appear)."""
+        w = Vector.new(monoid.type, self.compact.nrows, self._ctx)
+        _reduce_to_vector(w, None, None, monoid, self.compact)
+        idx, vals = w.extract_tuples()
+        return {int(self.row_ids[i]): v for i, v in zip(idx, vals)}
+
+    def reduce_scalar(self, monoid: Monoid):
+        return _reduce_scalar(monoid, self.compact)
+
+    def transpose_to_matrix(self) -> Matrix:
+        """Aᵀ as an ordinary matrix (valid: ncols becomes the row count).
+
+        Only legal when ``ncols`` is within the ordinary CSR limit —
+        the tall-and-skinny case hypersparse exists for.
+        """
+        from ..internals.containers import check_nrows_limit
+        check_nrows_limit(self.ncols)
+        r, c, v = self.extract_tuples()
+        out = Matrix.new(self.type, self.ncols, self.nrows, self._ctx)
+        out.build(c, r, v, None)
+        out.wait()
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"HyperMatrix({self.type.name}, {self.nrows} x {self.ncols}, "
+                f"{self.nonempty_rows} stored rows, nvals={self.nvals()})")

@@ -1,0 +1,41 @@
+"""Data transfer (§VII): Table III import/export and opaque serialization."""
+
+from .formats import MATRIX_FORMATS, VECTOR_FORMATS, Format
+from .import_export import (
+    matrix_export,
+    matrix_export_hint,
+    matrix_export_size,
+    matrix_import,
+    vector_export,
+    vector_export_hint,
+    vector_export_size,
+    vector_import,
+)
+from .serialize import (
+    matrix_deserialize,
+    matrix_serialize,
+    matrix_serialize_size,
+    vector_deserialize,
+    vector_serialize,
+    vector_serialize_size,
+)
+
+__all__ = [
+    "Format",
+    "MATRIX_FORMATS",
+    "VECTOR_FORMATS",
+    "matrix_import",
+    "matrix_export",
+    "matrix_export_size",
+    "matrix_export_hint",
+    "vector_import",
+    "vector_export",
+    "vector_export_size",
+    "vector_export_hint",
+    "matrix_serialize",
+    "matrix_serialize_size",
+    "matrix_deserialize",
+    "vector_serialize",
+    "vector_serialize_size",
+    "vector_deserialize",
+]

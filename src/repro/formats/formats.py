@@ -1,0 +1,51 @@
+"""``GrB_Format`` — the non-opaque data formats of Table III (§VII-A).
+
+Section IX requires enumeration members to carry explicit values so
+programs link consistently across implementations; the values here are
+fixed and serialized into the opaque byte stream as well.
+
+Note the paper's Table III parameter conventions, kept faithfully:
+
+* ``CSR_MATRIX``  — indptr[nrows+1], indices = column indices, values.
+  Elements of a row are *not* required to be sorted by column.
+* ``CSC_MATRIX``  — indptr[ncols+1], indices = row indices, values.
+* ``COO_MATRIX``  — **indptr = column indices**, **indices = row
+  indices** (sic — that is how Table III assigns the three parameter
+  slots), values; no ordering requirement.
+* ``DENSE_ROW_MATRIX`` / ``DENSE_COL_MATRIX`` — indptr and indices
+  unused (may be None); values has nrows·ncols entries, element (i, j)
+  at ``i*ncols + j`` (row) or ``i + j*nrows`` (col).
+* ``SPARSE_VECTOR`` — indices + values of equal length.
+* ``DENSE_VECTOR`` — values of length size; indices unused.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Format", "MATRIX_FORMATS", "VECTOR_FORMATS"]
+
+
+class Format(enum.IntEnum):
+    """``GrB_Format`` with explicit values (§IX)."""
+
+    CSR_MATRIX = 0
+    CSC_MATRIX = 1
+    COO_MATRIX = 2
+    DENSE_ROW_MATRIX = 3
+    DENSE_COL_MATRIX = 4
+    SPARSE_VECTOR = 5
+    DENSE_VECTOR = 6
+
+
+MATRIX_FORMATS = frozenset(
+    {
+        Format.CSR_MATRIX,
+        Format.CSC_MATRIX,
+        Format.COO_MATRIX,
+        Format.DENSE_ROW_MATRIX,
+        Format.DENSE_COL_MATRIX,
+    }
+)
+
+VECTOR_FORMATS = frozenset({Format.SPARSE_VECTOR, Format.DENSE_VECTOR})

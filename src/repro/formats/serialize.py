@@ -1,0 +1,255 @@
+"""Opaque serialization of GraphBLAS containers (§VII-B).
+
+The byte stream is deliberately *opaque*: the spec allows each
+implementation its own encoding (ours is versioned, checksummed, and
+compact) and only guarantees that the same implementation can
+deserialize what it serialized.  The three-call protocol mirrors C:
+
+1. ``matrix_serialize_size(A)`` — bytes needed for the buffer;
+2. ``matrix_serialize(A, buf)`` — fill a user buffer (or return fresh
+   bytes when ``buf`` is ``None``); a too-small buffer is the
+   INSUFFICIENT_SPACE error;
+3. ``matrix_deserialize(data)`` — reconstruct; corruption and
+   version/type mismatches raise INVALID_OBJECT.
+
+Layout (little-endian):
+
+    magic(4) | version(u16) | kind(u8) | flags(u8) | crc32(u32)
+    | header-length(u32) | header(json) | payload arrays
+
+The checksum covers the kind/flags bytes *and* the payload, so no
+single-field corruption can redirect decoding (fuzz-tested).  Values of
+user-defined types are refused — UDT payloads are arbitrary Python
+objects, and shipping them through an opaque byte stream would require
+pickle, which must never run on untrusted input.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+
+import numpy as np
+
+from ..core.context import Context
+from ..core.errors import InsufficientSpaceError, InvalidObjectError
+from ..core.matrix import Matrix
+from ..core.types import Type, from_name
+from ..core.vector import Vector
+from ..internals.containers import MatData, VecData
+
+__all__ = [
+    "matrix_serialize_size",
+    "matrix_serialize",
+    "matrix_deserialize",
+    "vector_serialize_size",
+    "vector_serialize",
+    "vector_deserialize",
+]
+
+_MAGIC = b"RGRB"
+_VERSION = 2  # tracks the GraphBLAS major version we implement
+_KIND_MATRIX = 1
+_KIND_VECTOR = 2
+
+_PREFIX = struct.Struct("<4sHBBII")  # magic, version, kind, flags, crc, hdrlen
+
+
+def _encode_values(t: Type, values: np.ndarray) -> tuple[bytes, int]:
+    if t.is_udt or values.dtype == object:
+        raise InvalidObjectError(
+            "user-defined-type values do not serialize (opaque streams "
+            "must never require unpickling untrusted data); use "
+            "import/export with your own encoding instead"
+        )
+    return np.ascontiguousarray(values).tobytes(), 0
+
+
+def _decode_values(t: Type, raw: bytes, n: int, flags: int) -> np.ndarray:
+    expected = n * t.np_dtype.itemsize
+    if len(raw) < expected:
+        raise InvalidObjectError("serialized values truncated")
+    return np.frombuffer(raw, dtype=t.np_dtype, count=n).copy()
+
+
+def _pack(kind: int, header: dict, arrays: list[bytes], flags: int) -> bytes:
+    hdr = json.dumps(header, separators=(",", ":")).encode()
+    payload = hdr + b"".join(arrays)
+    # The checksum covers kind + flags + payload so no field flip can
+    # redirect decoding undetected.
+    crc = zlib.crc32(bytes([kind, flags]) + payload) & 0xFFFFFFFF
+    return _PREFIX.pack(_MAGIC, _VERSION, kind, flags, crc, len(hdr)) + payload
+
+
+def _unpack(data: bytes, expect_kind: int) -> tuple[dict, bytes, int]:
+    if len(data) < _PREFIX.size:
+        raise InvalidObjectError("serialized stream truncated")
+    magic, version, kind, flags, crc, hdrlen = _PREFIX.unpack_from(data, 0)
+    if magic != _MAGIC:
+        raise InvalidObjectError("not a serialized GraphBLAS object")
+    if version != _VERSION:
+        raise InvalidObjectError(
+            f"serialization version {version} != supported {_VERSION}"
+        )
+    payload = bytes(data[_PREFIX.size:])
+    if (zlib.crc32(bytes([kind, flags]) + payload) & 0xFFFFFFFF) != crc:
+        raise InvalidObjectError("serialized stream corrupt (checksum)")
+    if kind != expect_kind:
+        raise InvalidObjectError("serialized object kind mismatch")
+    try:
+        header = json.loads(payload[:hdrlen].decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise InvalidObjectError(f"serialized header corrupt: {exc}") from None
+    if not isinstance(header, dict):
+        raise InvalidObjectError("serialized header corrupt (not an object)")
+    return header, payload[hdrlen:], flags
+
+
+def _resolve_type(header: dict) -> Type:
+    try:
+        return from_name(header["type"])
+    except Exception as exc:
+        raise InvalidObjectError(f"serialized header invalid: {exc}") from None
+
+
+def _header_int(header: dict, key: str, lo: int = 0) -> int:
+    """Fetch a non-negative integer header field, defensively.
+
+    Reachable only from *crafted* blobs (mutations fail the checksum
+    first), but crafted input must still get INVALID_OBJECT, never a
+    stray TypeError.
+    """
+    value = header.get(key)
+    if not isinstance(value, int) or isinstance(value, bool) or value < lo:
+        raise InvalidObjectError(f"serialized header field {key!r} invalid")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Matrix
+# ---------------------------------------------------------------------------
+
+def _matrix_blob(A: Matrix) -> bytes:
+    d: MatData = A._capture()
+    vals, flags = _encode_values(d.type, d.values)
+    header = {
+        "type": d.type.name,
+        "nrows": d.nrows,
+        "ncols": d.ncols,
+        "nvals": d.nvals,
+        "indptr_len": len(d.indptr),
+        "values_len": len(vals),
+    }
+    if d.type.is_udt:
+        raise InvalidObjectError(
+            "user-defined types serialize only within one process image; "
+            "register a cast or use import/export for portability"
+        )
+    arrays = [
+        np.ascontiguousarray(d.indptr).tobytes(),
+        np.ascontiguousarray(d.col_indices).tobytes(),
+        vals,
+    ]
+    return _pack(_KIND_MATRIX, header, arrays, flags)
+
+
+def matrix_serialize_size(A: Matrix) -> int:
+    """``GrB_Matrix_serializeSize`` — bytes needed for the blob."""
+    return len(_matrix_blob(A))
+
+
+def matrix_serialize(A: Matrix, buf: bytearray | None = None) -> bytes:
+    """``GrB_Matrix_serialize`` — into ``buf`` or a fresh bytes object."""
+    blob = _matrix_blob(A)
+    if buf is None:
+        return blob
+    if len(buf) < len(blob):
+        raise InsufficientSpaceError(
+            f"buffer has {len(buf)} bytes, need {len(blob)}"
+        )
+    buf[: len(blob)] = blob
+    return bytes(buf[: len(blob)])
+
+
+def matrix_deserialize(data: bytes, ctx: Context | None = None) -> Matrix:
+    """``GrB_Matrix_deserialize`` — reconstruct a matrix from a blob."""
+    header, body, flags = _unpack(data, _KIND_MATRIX)
+    t = _resolve_type(header)
+    nrows = _header_int(header, "nrows")
+    ncols = _header_int(header, "ncols")
+    nvals = _header_int(header, "nvals")
+    ilen = _header_int(header, "indptr_len")
+    vlen = _header_int(header, "values_len")
+    if (ilen + nvals) * 8 + vlen > len(body):
+        raise InvalidObjectError("serialized matrix body truncated")
+    off = 0
+    indptr = np.frombuffer(body, dtype=np.int64, count=ilen, offset=off).copy()
+    off += ilen * 8
+    cols = np.frombuffer(body, dtype=np.int64, count=nvals, offset=off).copy()
+    off += nvals * 8
+    values = _decode_values(t, body[off: off + vlen], nvals, flags)
+    data_ = MatData(nrows, ncols, t, indptr, cols, values)
+    try:
+        data_.check()
+    except AssertionError as exc:
+        raise InvalidObjectError(f"deserialized matrix invalid: {exc}") from None
+    return Matrix.from_data(data_, ctx)
+
+
+# ---------------------------------------------------------------------------
+# Vector
+# ---------------------------------------------------------------------------
+
+def _vector_blob(u: Vector) -> bytes:
+    d: VecData = u._capture()
+    if d.type.is_udt:
+        raise InvalidObjectError(
+            "user-defined types serialize only within one process image"
+        )
+    vals, flags = _encode_values(d.type, d.values)
+    header = {
+        "type": d.type.name,
+        "size": d.size,
+        "nvals": d.nvals,
+        "values_len": len(vals),
+    }
+    arrays = [np.ascontiguousarray(d.indices).tobytes(), vals]
+    return _pack(_KIND_VECTOR, header, arrays, flags)
+
+
+def vector_serialize_size(u: Vector) -> int:
+    """``GrB_Vector_serializeSize``."""
+    return len(_vector_blob(u))
+
+
+def vector_serialize(u: Vector, buf: bytearray | None = None) -> bytes:
+    """``GrB_Vector_serialize``."""
+    blob = _vector_blob(u)
+    if buf is None:
+        return blob
+    if len(buf) < len(blob):
+        raise InsufficientSpaceError(
+            f"buffer has {len(buf)} bytes, need {len(blob)}"
+        )
+    buf[: len(blob)] = blob
+    return bytes(buf[: len(blob)])
+
+
+def vector_deserialize(data: bytes, ctx: Context | None = None) -> Vector:
+    """``GrB_Vector_deserialize``."""
+    header, body, flags = _unpack(data, _KIND_VECTOR)
+    t = _resolve_type(header)
+    size = _header_int(header, "size")
+    nvals = _header_int(header, "nvals")
+    vlen = _header_int(header, "values_len")
+    if nvals * 8 + vlen > len(body):
+        raise InvalidObjectError("serialized vector body truncated")
+    indices = np.frombuffer(body, dtype=np.int64, count=nvals).copy()
+    values = _decode_values(t, body[nvals * 8: nvals * 8 + vlen], nvals, flags)
+    data_ = VecData(size, t, indices, values)
+    try:
+        data_.check()
+    except AssertionError as exc:
+        raise InvalidObjectError(f"deserialized vector invalid: {exc}") from None
+    return Vector.from_data(data_, ctx)

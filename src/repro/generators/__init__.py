@@ -1,0 +1,21 @@
+"""Graph workload generators for examples, tests, and benchmarks."""
+
+from .graphs import (
+    erdos_renyi,
+    grid_2d,
+    path_graph,
+    random_matrix_data,
+    ring_graph,
+    rmat,
+    to_matrix,
+)
+
+__all__ = [
+    "erdos_renyi",
+    "grid_2d",
+    "path_graph",
+    "ring_graph",
+    "rmat",
+    "random_matrix_data",
+    "to_matrix",
+]

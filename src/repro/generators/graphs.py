@@ -1,0 +1,188 @@
+"""Reproducible synthetic graph generators.
+
+The paper's ecosystem (LAGraph, GAP, Graph500) evaluates on scale-free
+RMAT graphs, uniform random graphs, and meshes.  These generators cover
+those families deterministically (seeded ``numpy.random.Generator``),
+emitting either raw COO triples or built :class:`~repro.core.matrix.Matrix`
+objects.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..core import binaryop as _b
+from ..core import types as _t
+from ..core.context import Context
+from ..core.matrix import Matrix
+from ..core.types import Type
+
+__all__ = [
+    "rmat",
+    "erdos_renyi",
+    "grid_2d",
+    "path_graph",
+    "ring_graph",
+    "random_matrix_data",
+    "to_matrix",
+]
+
+_INT = np.int64
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 8,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 42,
+    weights: str = "uniform",
+) -> tuple[int, np.ndarray, np.ndarray, np.ndarray]:
+    """Kronecker/RMAT generator (Graph500 parameters by default).
+
+    Returns ``(n, rows, cols, values)`` with ``n = 2**scale`` vertices
+    and ``edge_factor * n`` directed edges (duplicates possible —
+    callers pick a ``dup`` policy, which exercises the §IX build rule).
+    """
+    rng = np.random.default_rng(seed)
+    n = 1 << scale
+    m = edge_factor * n
+    rows = np.zeros(m, dtype=_INT)
+    cols = np.zeros(m, dtype=_INT)
+    ab = a + b
+    c_norm = c / (1.0 - ab)
+    a_norm = a / ab
+    for bit in range(scale):
+        r_bit = rng.random(m) > ab
+        c_bit = rng.random(m) > np.where(r_bit, c_norm, a_norm)
+        rows |= r_bit.astype(_INT) << bit
+        cols |= c_bit.astype(_INT) << bit
+    perm = rng.permutation(n)
+    rows = perm[rows]
+    cols = perm[cols]
+    values = _weights(rng, m, weights)
+    return n, rows, cols, values
+
+
+def erdos_renyi(
+    n: int, p: float, *, seed: int = 42, weights: str = "uniform"
+) -> tuple[int, np.ndarray, np.ndarray, np.ndarray]:
+    """G(n, p) via geometric skipping (memory O(m), not O(n^2))."""
+    rng = np.random.default_rng(seed)
+    total = n * n
+    expected = int(total * p * 1.2) + 16
+    positions = []
+    pos = -1
+    remaining = expected
+    while True:
+        gaps = rng.geometric(p, size=max(remaining, 1024))
+        steps = np.cumsum(gaps)
+        batch = pos + steps
+        batch = batch[batch < total]
+        positions.append(batch)
+        if len(batch) < len(steps):
+            break
+        pos = int(batch[-1]) if len(batch) else pos
+        remaining = 1024
+    flat = np.concatenate(positions).astype(_INT)
+    rows, cols = np.divmod(flat, n)
+    values = _weights(rng, len(flat), weights)
+    return n, rows, cols, values
+
+
+def grid_2d(
+    side: int, *, seed: int = 42, weights: str = "uniform"
+) -> tuple[int, np.ndarray, np.ndarray, np.ndarray]:
+    """4-neighbour 2-D mesh (both edge directions), side x side vertices."""
+    n = side * side
+    idx = np.arange(n, dtype=_INT)
+    r, c = np.divmod(idx, side)
+    srcs, dsts = [], []
+    for dr, dc in ((0, 1), (1, 0), (0, -1), (-1, 0)):
+        ok = (0 <= r + dr) & (r + dr < side) & (0 <= c + dc) & (c + dc < side)
+        srcs.append(idx[ok])
+        dsts.append((r[ok] + dr) * side + (c[ok] + dc))
+    rows = np.concatenate(srcs)
+    cols = np.concatenate(dsts)
+    rng = np.random.default_rng(seed)
+    return n, rows, cols, _weights(rng, len(rows), weights)
+
+
+def path_graph(n: int) -> tuple[int, np.ndarray, np.ndarray, np.ndarray]:
+    """Directed path 0 → 1 → ... → n-1 with unit weights."""
+    rows = np.arange(n - 1, dtype=_INT)
+    cols = rows + 1
+    return n, rows, cols, np.ones(n - 1)
+
+
+def ring_graph(n: int) -> tuple[int, np.ndarray, np.ndarray, np.ndarray]:
+    """Directed ring with unit weights."""
+    rows = np.arange(n, dtype=_INT)
+    cols = (rows + 1) % n
+    return n, rows, cols, np.ones(n)
+
+
+def random_matrix_data(
+    nrows: int,
+    ncols: int,
+    density: float,
+    *,
+    seed: int = 42,
+    weights: str = "uniform",
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Uniform random rectangular sparse matrix triples (no duplicates)."""
+    rng = np.random.default_rng(seed)
+    m = int(nrows * ncols * density)
+    flat = rng.choice(nrows * ncols, size=min(m, nrows * ncols), replace=False)
+    rows, cols = np.divmod(flat.astype(_INT), ncols)
+    return rows, cols, _weights(rng, len(flat), weights)
+
+
+def _weights(rng: np.random.Generator, m: int, kind: str) -> np.ndarray:
+    if kind == "uniform":
+        return rng.random(m)
+    if kind == "ones":
+        return np.ones(m)
+    if kind == "int":
+        return rng.integers(1, 256, size=m).astype(np.float64)
+    raise ValueError(f"unknown weight kind {kind!r}")
+
+
+def to_matrix(
+    n: int,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    values: Any,
+    t: Type = _t.FP64,
+    *,
+    ncols: int | None = None,
+    dedup: bool = True,
+    make_undirected: bool = False,
+    no_self_loops: bool = False,
+    ctx: Context | None = None,
+) -> Matrix:
+    """Build a :class:`Matrix` from generator triples.
+
+    ``dedup=True`` folds duplicate edges with PLUS for float domains /
+    FIRST-like semantics via PLUS for BOOL (keeps the pattern).
+    """
+    rows = np.asarray(rows, dtype=_INT)
+    cols = np.asarray(cols, dtype=_INT)
+    values = np.asarray(values)
+    if no_self_loops:
+        keep = rows != cols
+        rows, cols, values = rows[keep], cols[keep], values[keep]
+    if make_undirected:
+        rows, cols = np.concatenate([rows, cols]), np.concatenate([cols, rows])
+        values = np.concatenate([values, values])
+    a = Matrix.new(t, n, ncols if ncols is not None else n, ctx)
+    dup = None
+    if dedup:
+        dup = _b.MAX[t] if t in _b.MAX else _b.LOR[t]
+    a.build(rows, cols, values, dup)
+    a.wait()
+    return a

@@ -1,0 +1,109 @@
+"""Flat GraphBLAS namespace — the Python rendering of ``GraphBLAS.h``.
+
+One import gives the whole 2.0 surface::
+
+    from repro import grb
+
+    grb.init(grb.Mode.NONBLOCKING)
+    A = grb.Matrix.new(grb.FP64, 4, 4)
+    ...
+    grb.mxm(C, None, None, grb.PLUS_TIMES_SEMIRING[grb.FP64], A, B)
+    grb.wait(C, grb.WaitMode.MATERIALIZE)
+    grb.finalize()
+
+Predefined operators are exported both as polymorphic families
+(``grb.PLUS[grb.INT32]``) and as monomorphic spec names
+(``grb.PLUS_INT32``); see :mod:`repro.capi` for ``GrB_``-prefixed
+aliases that mirror C spelling exactly.
+"""
+
+from .core import binaryop as _binaryop
+from .core import indexunaryop as _indexunaryop
+from .core import monoid as _monoid
+from .core import semiring as _semiring
+from .core import types as _types
+from .core import unaryop as _unaryop
+from .core.binaryop import *  # noqa: F401,F403
+from .core.context import (  # noqa: F401
+    Context,
+    Mode,
+    WaitMode,
+    context_switch,
+    default_context,
+    finalize,
+    get_version,
+    init,
+    is_initialized,
+)
+from .core.descriptor import *  # noqa: F401,F403
+from .core.descriptor import DescField, Descriptor, DescValue  # noqa: F401
+from .core.errors import *  # noqa: F401,F403
+from .core.indexunaryop import *  # noqa: F401,F403
+from .core.info import Info  # noqa: F401
+from .core.matrix import Matrix  # noqa: F401
+from .core.monoid import *  # noqa: F401,F403
+from .core.scalar import Scalar  # noqa: F401
+from .core.semiring import *  # noqa: F401,F403
+from .core.sequence import error_string, wait  # noqa: F401
+from .core.types import (  # noqa: F401
+    BOOL,
+    FP32,
+    FP64,
+    INT8,
+    INT16,
+    INT32,
+    INT64,
+    UINT8,
+    UINT16,
+    UINT32,
+    UINT64,
+    Type,
+)
+from .core.unaryop import *  # noqa: F401,F403
+from .core.vector import Vector  # noqa: F401
+from .formats import (  # noqa: F401
+    Format,
+    matrix_deserialize,
+    matrix_export,
+    matrix_export_hint,
+    matrix_export_size,
+    matrix_import,
+    matrix_serialize,
+    matrix_serialize_size,
+    vector_deserialize,
+    vector_export,
+    vector_export_hint,
+    vector_export_size,
+    vector_import,
+    vector_serialize,
+    vector_serialize_size,
+)
+from .ops import (  # noqa: F401
+    ALL,
+    apply,
+    assign,
+    assign_col,
+    assign_row,
+    ewise_add,
+    ewise_mult,
+    extract,
+    kronecker,
+    mxm,
+    mxv,
+    reduce,
+    reduce_scalar,
+    reduce_to_vector,
+    select,
+    transpose,
+    vxm,
+)
+
+# Polymorphic operator families under their bare names.
+UnaryOp = _unaryop.UnaryOp
+BinaryOp = _binaryop.BinaryOp
+IndexUnaryOp = _indexunaryop.IndexUnaryOp
+Monoid = _monoid.Monoid
+Semiring = _semiring.Semiring
+
+#: ``GrB_NULL`` — descriptor/mask/accum "not provided".
+NULL = None

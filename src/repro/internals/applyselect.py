@@ -1,0 +1,153 @@
+"""Kernels for ``apply`` (unary / bound-binary / index-unary) and ``select``.
+
+These are the Section VIII operations.  Apply maps every stored value;
+select filters the structure using a boolean-returning index-unary
+operator — "the equivalent of a functional input mask" (§VIII-C).
+
+Index-aware kernels receive the stored values *and* their coordinates.
+For vectors the column index passed to the operator is 0, so operators
+like ROWLE work unchanged on vectors while COLINDEX degenerates to ``s``
+(matching the 2.0 treatment that removes the paper's
+undefined-behaviour corner for single-index operators).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..core.binaryop import BinaryOp
+from ..core.indexunaryop import IndexUnaryOp
+from ..core.types import Type
+from ..core.unaryop import UnaryOp
+from .containers import MatData, VecData, csr_to_coo_rows
+
+__all__ = [
+    "vec_apply_unary",
+    "mat_apply_unary",
+    "vec_apply_bind1st",
+    "vec_apply_bind2nd",
+    "mat_apply_bind1st",
+    "mat_apply_bind2nd",
+    "vec_apply_index",
+    "mat_apply_index",
+    "vec_select",
+    "mat_select",
+]
+
+_INT = np.int64
+
+
+# ---------------------------------------------------------------------------
+# Unary apply
+# ---------------------------------------------------------------------------
+
+def vec_apply_unary(u: VecData, op: UnaryOp, out_type: Type) -> VecData:
+    vals = op.vec(op.in_type.coerce_array(u.values))
+    return VecData(u.size, out_type, u.indices, out_type.coerce_array(vals))
+
+
+def mat_apply_unary(a: MatData, op: UnaryOp, out_type: Type) -> MatData:
+    vals = op.vec(op.in_type.coerce_array(a.values))
+    return MatData(
+        a.nrows, a.ncols, out_type,
+        a.indptr, a.col_indices, out_type.coerce_array(vals),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Bound-binary apply (scalar bound to the first or second argument)
+# ---------------------------------------------------------------------------
+
+def _bind1st(op: BinaryOp, s: Any, values: np.ndarray, out_type: Type) -> np.ndarray:
+    x = np.full(len(values), op.in1_type.coerce_scalar(s),
+                dtype=op.in1_type.np_dtype)
+    y = op.in2_type.coerce_array(values)
+    return out_type.coerce_array(op.vec(x, y))
+
+
+def _bind2nd(op: BinaryOp, values: np.ndarray, s: Any, out_type: Type) -> np.ndarray:
+    x = op.in1_type.coerce_array(values)
+    y = np.full(len(values), op.in2_type.coerce_scalar(s),
+                dtype=op.in2_type.np_dtype)
+    return out_type.coerce_array(op.vec(x, y))
+
+
+def vec_apply_bind1st(s: Any, u: VecData, op: BinaryOp, out_type: Type) -> VecData:
+    return VecData(u.size, out_type, u.indices, _bind1st(op, s, u.values, out_type))
+
+
+def vec_apply_bind2nd(u: VecData, s: Any, op: BinaryOp, out_type: Type) -> VecData:
+    return VecData(u.size, out_type, u.indices, _bind2nd(op, u.values, s, out_type))
+
+
+def mat_apply_bind1st(s: Any, a: MatData, op: BinaryOp, out_type: Type) -> MatData:
+    return MatData(a.nrows, a.ncols, out_type, a.indptr, a.col_indices,
+                   _bind1st(op, s, a.values, out_type))
+
+
+def mat_apply_bind2nd(a: MatData, s: Any, op: BinaryOp, out_type: Type) -> MatData:
+    return MatData(a.nrows, a.ncols, out_type, a.indptr, a.col_indices,
+                   _bind2nd(op, a.values, s, out_type))
+
+
+# ---------------------------------------------------------------------------
+# Index-unary apply / select (§VIII)
+# ---------------------------------------------------------------------------
+
+def _index_op_values(
+    op: IndexUnaryOp,
+    values: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    s: Any,
+) -> np.ndarray:
+    if op.in_type is not None:
+        values = op.in_type.coerce_array(values)
+    s = op.s_type.coerce_scalar(s)
+    return op.vec(values, rows, cols, s)
+
+
+def vec_apply_index(
+    u: VecData, op: IndexUnaryOp, s: Any, out_type: Type
+) -> VecData:
+    """w = f(u, ind(u), 1, s) — §VIII-B vector variant."""
+    cols = np.zeros(u.nvals, dtype=_INT)
+    vals = _index_op_values(op, u.values, u.indices, cols, s)
+    return VecData(u.size, out_type, u.indices, out_type.coerce_array(vals))
+
+
+def mat_apply_index(
+    a: MatData, op: IndexUnaryOp, s: Any, out_type: Type
+) -> MatData:
+    """C = f(A, ind(A), 2, s) — §VIII-B matrix variant."""
+    rows = csr_to_coo_rows(a.indptr, a.nrows)
+    vals = _index_op_values(op, a.values, rows, a.col_indices, s)
+    return MatData(a.nrows, a.ncols, out_type, a.indptr, a.col_indices,
+                   out_type.coerce_array(vals))
+
+
+def vec_select(u: VecData, op: IndexUnaryOp, s: Any) -> VecData:
+    """w = u⟨f(u, ind(u), 1, s)⟩ — §VIII-C vector variant."""
+    cols = np.zeros(u.nvals, dtype=_INT)
+    keep = np.asarray(
+        _index_op_values(op, u.values, u.indices, cols, s), dtype=bool
+    )
+    return VecData(u.size, u.type, u.indices[keep], u.values[keep])
+
+
+def mat_select(a: MatData, op: IndexUnaryOp, s: Any) -> MatData:
+    """C = A⟨f(A, ind(A), 2, s)⟩ — §VIII-C matrix variant."""
+    rows = csr_to_coo_rows(a.indptr, a.nrows)
+    keep = np.asarray(
+        _index_op_values(op, a.values, rows, a.col_indices, s), dtype=bool
+    )
+    new_cols = a.col_indices[keep]
+    new_vals = a.values[keep]
+    kept_rows = rows[keep]
+    indptr = np.zeros(a.nrows + 1, dtype=_INT)
+    if len(kept_rows):
+        counts = np.bincount(kept_rows, minlength=a.nrows)
+        np.cumsum(counts, out=indptr[1:])
+    return MatData(a.nrows, a.ncols, a.type, indptr, new_cols, new_vals)

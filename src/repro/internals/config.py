@@ -1,0 +1,56 @@
+"""Kernel-level tuning switches (ablation knobs).
+
+DESIGN.md's ablation benches flip these to measure the design choices:
+
+* ``MASK_PUSHDOWN`` — when a (non-complemented) mask is present on mxm,
+  push its key set into the SpGEMM kernel so products outside the mask
+  are discarded *before* the sort/compress phase.  This is the classic
+  masked-SpGEMM optimization (the reason triangle counting writes
+  ``C⟨L⟩ = L·Lᵀ`` instead of filtering afterwards).
+* ``MULT_SHORTCUTS`` — specialise the expand/multiply phase for
+  FIRST/SECOND/ONEB multiply operators, skipping the gather of the
+  operand whose values the operator ignores.
+
+Both default on; flip via :func:`set_option` (thread-safe enough for
+benchmarks: reads are plain attribute loads).
+"""
+
+from __future__ import annotations
+
+MASK_PUSHDOWN: bool = True
+MULT_SHORTCUTS: bool = True
+
+_KNOWN = ("MASK_PUSHDOWN", "MULT_SHORTCUTS")
+
+
+def set_option(name: str, value: bool) -> bool:
+    """Set a tuning switch; returns the previous value."""
+    if name not in _KNOWN:
+        raise KeyError(f"unknown kernel option {name!r}; known: {_KNOWN}")
+    g = globals()
+    prev = g[name]
+    g[name] = bool(value)
+    return prev
+
+
+def get_option(name: str) -> bool:
+    if name not in _KNOWN:
+        raise KeyError(f"unknown kernel option {name!r}; known: {_KNOWN}")
+    return globals()[name]
+
+
+class option:
+    """Context manager: temporarily set a kernel option."""
+
+    def __init__(self, name: str, value: bool):
+        self.name = name
+        self.value = value
+        self._prev: bool | None = None
+
+    def __enter__(self):
+        self._prev = set_option(self.name, self.value)
+        return self
+
+    def __exit__(self, *exc):
+        set_option(self.name, self._prev)
+        return False

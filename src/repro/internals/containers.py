@@ -1,0 +1,249 @@
+"""Plain sparse data carriers used by the kernel layer.
+
+The opaque GraphBLAS objects (:class:`~repro.core.matrix.Matrix`,
+:class:`~repro.core.vector.Vector`) wrap these carriers.  Kernels consume
+and produce carriers and never see GraphBLAS semantics (masks, modes,
+sequences) — that separation keeps the kernels testable in isolation and
+makes "capturing" an object for deferred execution a cheap reference
+copy: by convention, a published carrier's arrays are **never mutated**;
+every kernel allocates fresh output arrays.
+
+``MatData`` is canonical CSR with column indices sorted within each row,
+which makes the row-major (row, col) stream globally sorted — the
+property the merge-based eWise kernels and mask membership tests rely
+on.  ``VecData`` stores sorted unique indices plus parallel values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..core.types import Type
+
+__all__ = [
+    "VecData",
+    "MatData",
+    "coo_to_csr",
+    "csr_to_coo_rows",
+    "pair_keys",
+    "empty_vec",
+    "empty_mat",
+    "MAX_NROWS",
+    "check_nrows_limit",
+]
+
+_INT = np.int64
+
+#: Implementation limit on matrix row counts.  The canonical storage is
+#: CSR, whose row pointer is dense in ``nrows`` — the representation the
+#: GraphBLAS C API was designed around, and the reason real
+#: implementations add *hypersparse* formats for 2^60-row matrices.
+#: Exceeding the limit raises ``GrB_OUT_OF_MEMORY`` eagerly (an
+#: implementation-defined resource limit, which the spec permits)
+#: instead of attempting a terabyte allocation.  Column counts and
+#: vector sizes are unlimited up to 2^60 (no dense structure in them).
+MAX_NROWS = 1 << 27
+
+
+def check_nrows_limit(nrows: int) -> None:
+    """Reject row counts whose CSR row pointer cannot be allocated."""
+    if nrows > MAX_NROWS:
+        from ..core.errors import OutOfMemoryError
+
+        raise OutOfMemoryError(
+            f"nrows={nrows} exceeds this implementation's CSR limit "
+            f"({MAX_NROWS}); a hypersparse format would be required "
+            "(column counts are unrestricted)"
+        )
+
+
+def _as_index_array(x) -> np.ndarray:
+    arr = np.asarray(x, dtype=_INT)
+    if arr.ndim != 1:
+        arr = arr.reshape(-1)
+    return arr
+
+
+@dataclass(frozen=True)
+class VecData:
+    """Sparse vector: sorted unique ``indices`` with parallel ``values``."""
+
+    size: int
+    type: Type
+    indices: np.ndarray  # int64[nnz], strictly increasing
+    values: np.ndarray   # type.np_dtype[nnz]
+
+    @property
+    def nvals(self) -> int:
+        return len(self.indices)
+
+    def check(self) -> None:
+        """Validate invariants (used by tests and debug paths)."""
+        assert self.indices.dtype == _INT
+        assert len(self.indices) == len(self.values)
+        if len(self.indices):
+            assert self.indices[0] >= 0
+            assert self.indices[-1] < self.size
+            assert np.all(np.diff(self.indices) > 0), "indices not strictly sorted"
+
+    def astype(self, t: Type) -> "VecData":
+        if t == self.type:
+            return self
+        return VecData(self.size, t, self.indices, t.coerce_array(self.values))
+
+    def to_dense(self, fill: Any = None) -> np.ndarray:
+        """Densify (testing/debug helper)."""
+        out = np.full(
+            self.size,
+            self.type.default if fill is None else fill,
+            dtype=self.type.np_dtype,
+        )
+        out[self.indices] = self.values
+        return out
+
+
+@dataclass(frozen=True)
+class MatData:
+    """CSR matrix: ``indptr``/``col_indices``/``values``; cols sorted per row."""
+
+    nrows: int
+    ncols: int
+    type: Type
+    indptr: np.ndarray       # int64[nrows+1]
+    col_indices: np.ndarray  # int64[nnz]
+    values: np.ndarray       # type.np_dtype[nnz]
+
+    @property
+    def nvals(self) -> int:
+        return len(self.col_indices)
+
+    def check(self) -> None:
+        assert self.indptr.dtype == _INT and self.col_indices.dtype == _INT
+        assert len(self.indptr) == self.nrows + 1
+        assert self.indptr[0] == 0 and self.indptr[-1] == len(self.col_indices)
+        assert len(self.col_indices) == len(self.values)
+        assert np.all(np.diff(self.indptr) >= 0)
+        if len(self.col_indices):
+            assert self.col_indices.min() >= 0
+            assert self.col_indices.max() < self.ncols
+        for i in range(self.nrows):
+            seg = self.col_indices[self.indptr[i]:self.indptr[i + 1]]
+            if len(seg) > 1:
+                assert np.all(np.diff(seg) > 0), f"row {i} not strictly sorted"
+
+    def astype(self, t: Type) -> "MatData":
+        if t == self.type:
+            return self
+        return MatData(
+            self.nrows, self.ncols, t,
+            self.indptr, self.col_indices, t.coerce_array(self.values),
+        )
+
+    def row_lengths(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def row_indices(self) -> np.ndarray:
+        """Expand CSR to the parallel row-index array (COO rows)."""
+        return csr_to_coo_rows(self.indptr, self.nrows)
+
+    def row_slice(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.col_indices[lo:hi], self.values[lo:hi]
+
+    def transpose(self) -> "MatData":
+        """Explicit CSR transpose (counting sort by column)."""
+        rows = self.row_indices()
+        return coo_to_csr(
+            self.ncols, self.nrows, self.type,
+            self.col_indices, rows, self.values,
+            presorted=False,
+        )
+
+    def to_dense(self, fill: Any = None) -> np.ndarray:
+        out = np.full(
+            (self.nrows, self.ncols),
+            self.type.default if fill is None else fill,
+            dtype=self.type.np_dtype,
+        )
+        out[self.row_indices(), self.col_indices] = self.values
+        return out
+
+
+def empty_vec(size: int, t: Type) -> VecData:
+    return VecData(size, t, np.empty(0, dtype=_INT), t.empty(0))
+
+
+def empty_mat(nrows: int, ncols: int, t: Type) -> MatData:
+    return MatData(
+        nrows, ncols, t,
+        np.zeros(nrows + 1, dtype=_INT),
+        np.empty(0, dtype=_INT),
+        t.empty(0),
+    )
+
+
+def csr_to_coo_rows(indptr: np.ndarray, nrows: int) -> np.ndarray:
+    """Row index of every stored element, from the CSR row pointer."""
+    return np.repeat(np.arange(nrows, dtype=_INT), np.diff(indptr))
+
+
+def coo_to_csr(
+    nrows: int,
+    ncols: int,
+    t: Type,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    values: np.ndarray,
+    *,
+    presorted: bool = False,
+) -> MatData:
+    """Assemble CSR from COO triples with **unique** (row, col) pairs.
+
+    ``presorted=True`` asserts the triples are already in row-major
+    order (sorted by row, then column) and skips the lexsort.
+    """
+    rows = _as_index_array(rows)
+    cols = _as_index_array(cols)
+    if not presorted and len(rows) > 1:
+        order = np.lexsort((cols, rows))
+        rows = rows[order]
+        cols = cols[order]
+        values = values[order]
+    indptr = np.zeros(nrows + 1, dtype=_INT)
+    if len(rows):
+        counts = np.bincount(rows, minlength=nrows)
+        np.cumsum(counts, out=indptr[1:])
+    return MatData(nrows, ncols, t, indptr, cols, t.coerce_array(values))
+
+
+def insert_value(arr: np.ndarray, pos: int, value: Any, t: Type) -> np.ndarray:
+    """``np.insert`` that is safe for object-dtype (UDT) value arrays.
+
+    ``np.insert`` splats array-like values (a tuple UDT value would be
+    inserted element-wise); object arrays need a manual splice.
+    """
+    if t.is_udt or arr.dtype == object:
+        out = np.empty(len(arr) + 1, dtype=object)
+        out[:pos] = arr[:pos]
+        out[pos] = value
+        out[pos + 1:] = arr[pos:]
+        return out
+    return t.coerce_array(np.insert(arr, pos, value))
+
+
+def pair_keys(rows: np.ndarray, cols: np.ndarray, ncols: int) -> np.ndarray:
+    """Encode (row, col) pairs as sortable scalar keys.
+
+    Uses ``row * ncols + col`` in int64 when it cannot overflow;
+    otherwise falls back to Python-int object keys (exact, slower — only
+    reachable for astronomically-shaped matrices).
+    """
+    if len(rows) == 0:
+        return np.empty(0, dtype=_INT)
+    max_row = int(rows.max()) if len(rows) else 0
+    if (max_row + 1) * ncols < 2 ** 62:
+        return rows * np.int64(ncols) + cols
+    return rows.astype(object) * ncols + cols

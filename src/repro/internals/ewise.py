@@ -1,0 +1,139 @@
+"""Elementwise union (eWiseAdd) and intersection (eWiseMult) kernels.
+
+Both operate on the sorted index streams of the carriers:
+
+* **intersection** — only positions stored in *both* inputs survive;
+  the operator is applied pairwise.
+* **union** — positions stored in either input survive; where only one
+  input has a value it is copied (cast) through unchanged, exactly as
+  the GraphBLAS ``eWiseAdd`` definition requires (the "add" op is only
+  applied where both are present).
+
+The matrix kernels exploit that a canonical CSR's (row, col) stream is
+globally sorted, reducing matrix eWise to the vector merge over scalar
+pair-keys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.binaryop import BinaryOp
+from ..core.types import Type
+from .containers import MatData, VecData, coo_to_csr, csr_to_coo_rows, pair_keys
+
+__all__ = [
+    "vec_intersect",
+    "vec_union",
+    "mat_intersect",
+    "mat_union",
+]
+
+_INT = np.int64
+
+
+def _merged_values(
+    op: BinaryOp,
+    out_type: Type,
+    a_vals: np.ndarray,
+    b_vals: np.ndarray,
+) -> np.ndarray:
+    """Apply op to aligned value arrays, casting per the op's domains."""
+    x = op.in1_type.coerce_array(a_vals)
+    y = op.in2_type.coerce_array(b_vals)
+    return out_type.coerce_array(op.vec(x, y))
+
+
+def _intersect_sorted(
+    a_keys: np.ndarray, b_keys: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Positions of common keys in two sorted unique key arrays.
+
+    Returns (common_keys, idx_in_a, idx_in_b).
+    """
+    common, ia, ib = np.intersect1d(a_keys, b_keys, assume_unique=True,
+                                    return_indices=True)
+    return common, ia, ib
+
+
+def vec_intersect(
+    a: VecData, b: VecData, op: BinaryOp, out_type: Type
+) -> VecData:
+    """w = A .* B over the structural intersection."""
+    common, ia, ib = _intersect_sorted(a.indices, b.indices)
+    vals = _merged_values(op, out_type, a.values[ia], b.values[ib])
+    return VecData(a.size, out_type, common, vals)
+
+
+def vec_union(
+    a: VecData, b: VecData, op: BinaryOp, out_type: Type
+) -> VecData:
+    """w = A + B over the structural union."""
+    if a.nvals == 0:
+        return VecData(a.size, out_type, b.indices, out_type.coerce_array(b.values))
+    if b.nvals == 0:
+        return VecData(a.size, out_type, a.indices, out_type.coerce_array(a.values))
+    union = np.union1d(a.indices, b.indices)
+    in_a = np.isin(union, a.indices, assume_unique=True)
+    in_b = np.isin(union, b.indices, assume_unique=True)
+    both = in_a & in_b
+    out_vals = out_type.empty(len(union))
+
+    only_a = in_a & ~both
+    only_b = in_b & ~both
+    out_vals[only_a] = out_type.coerce_array(
+        a.values[np.searchsorted(a.indices, union[only_a])]
+    )
+    out_vals[only_b] = out_type.coerce_array(
+        b.values[np.searchsorted(b.indices, union[only_b])]
+    )
+    if both.any():
+        av = a.values[np.searchsorted(a.indices, union[both])]
+        bv = b.values[np.searchsorted(b.indices, union[both])]
+        out_vals[both] = _merged_values(op, out_type, av, bv)
+    return VecData(a.size, out_type, union, out_vals)
+
+
+def mat_intersect(
+    a: MatData, b: MatData, op: BinaryOp, out_type: Type
+) -> MatData:
+    """C = A .* B over the structural intersection."""
+    a_keys = pair_keys(csr_to_coo_rows(a.indptr, a.nrows), a.col_indices, a.ncols)
+    b_keys = pair_keys(csr_to_coo_rows(b.indptr, b.nrows), b.col_indices, b.ncols)
+    common, ia, ib = _intersect_sorted(a_keys, b_keys)
+    vals = _merged_values(op, out_type, a.values[ia], b.values[ib])
+    rows = (common // a.ncols).astype(_INT)
+    cols = (common % a.ncols).astype(_INT)
+    return coo_to_csr(a.nrows, a.ncols, out_type, rows, cols, vals, presorted=True)
+
+
+def mat_union(
+    a: MatData, b: MatData, op: BinaryOp, out_type: Type
+) -> MatData:
+    """C = A + B over the structural union."""
+    if a.nvals == 0:
+        return b.astype(out_type)
+    if b.nvals == 0:
+        return a.astype(out_type)
+    a_keys = pair_keys(csr_to_coo_rows(a.indptr, a.nrows), a.col_indices, a.ncols)
+    b_keys = pair_keys(csr_to_coo_rows(b.indptr, b.nrows), b.col_indices, b.ncols)
+    union = np.union1d(a_keys, b_keys)
+    in_a = np.isin(union, a_keys, assume_unique=True)
+    in_b = np.isin(union, b_keys, assume_unique=True)
+    both = in_a & in_b
+    only_a = in_a & ~both
+    only_b = in_b & ~both
+    out_vals = out_type.empty(len(union))
+    out_vals[only_a] = out_type.coerce_array(
+        a.values[np.searchsorted(a_keys, union[only_a])]
+    )
+    out_vals[only_b] = out_type.coerce_array(
+        b.values[np.searchsorted(b_keys, union[only_b])]
+    )
+    if both.any():
+        av = a.values[np.searchsorted(a_keys, union[both])]
+        bv = b.values[np.searchsorted(b_keys, union[both])]
+        out_vals[both] = _merged_values(op, out_type, av, bv)
+    rows = (union // a.ncols).astype(_INT)
+    cols = (union % a.ncols).astype(_INT)
+    return coo_to_csr(a.nrows, a.ncols, out_type, rows, cols, out_vals, presorted=True)

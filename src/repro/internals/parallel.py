@@ -1,0 +1,121 @@
+"""Row-partitioned parallel execution driven by an execution context.
+
+Section IV motivates ``GrB_Context`` with resource management: a context
+carries an execution spec (for us: ``nthreads``, ``chunk_rows``), and
+operations on objects bound to that context may use those threads.  We
+implement the classic row-block decomposition: split the output rows
+into contiguous blocks, run the kernel per block on a thread pool, and
+concatenate the CSR results (an O(blocks) pointer fix-up).
+
+NumPy releases the GIL inside ufunc loops, so moderate speedups are
+real; more importantly this exercises the *scoping* role of contexts —
+two sibling contexts with different thread counts run independently.
+
+The pool is created lazily per call: contexts are lightweight, and
+GraphBLAS objects may outlive the context they were created in only
+until ``free``/``finalize`` (§IV).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.semiring import Semiring
+from .containers import MatData, empty_mat
+from .mxm import mxm
+
+__all__ = ["row_blocks", "parallel_mxm", "concat_row_blocks"]
+
+_INT = np.int64
+
+
+def row_blocks(nrows: int, nblocks: int) -> list[tuple[int, int]]:
+    """Split ``range(nrows)`` into ≤ nblocks contiguous [lo, hi) blocks."""
+    nblocks = max(1, min(nblocks, nrows)) if nrows else 1
+    bounds = np.linspace(0, nrows, nblocks + 1, dtype=_INT)
+    return [
+        (int(bounds[k]), int(bounds[k + 1]))
+        for k in range(nblocks)
+        if bounds[k + 1] > bounds[k]
+    ]
+
+
+def _slice_rows(a: MatData, lo: int, hi: int) -> MatData:
+    """A[lo:hi, :] as a view-backed MatData (no copies of index arrays)."""
+    indptr = a.indptr[lo:hi + 1] - a.indptr[lo]
+    s, e = a.indptr[lo], a.indptr[hi]
+    return MatData(hi - lo, a.ncols, a.type, indptr,
+                   a.col_indices[s:e], a.values[s:e])
+
+
+def concat_row_blocks(blocks: Sequence[MatData], ncols: int) -> MatData:
+    """Vertically stack row-block results back into one CSR matrix."""
+    if not blocks:
+        raise ValueError("no blocks to concatenate")
+    t = blocks[0].type
+    nrows = sum(b.nrows for b in blocks)
+    indptr = np.zeros(nrows + 1, dtype=_INT)
+    col_parts, val_parts = [], []
+    row_off = 0
+    nnz_off = 0
+    for b in blocks:
+        indptr[row_off + 1: row_off + b.nrows + 1] = b.indptr[1:] + nnz_off
+        col_parts.append(b.col_indices)
+        val_parts.append(b.values)
+        row_off += b.nrows
+        nnz_off += b.nvals
+    cols = np.concatenate(col_parts) if col_parts else np.empty(0, dtype=_INT)
+    vals = np.concatenate(val_parts) if val_parts else t.empty(0)
+    return MatData(nrows, ncols, t, indptr, cols, t.coerce_array(vals))
+
+
+def _slice_mask_keys(mask_keys, lo: int, hi: int, ncols: int):
+    """Restrict global pair-keys to rows [lo, hi), re-based to row 0."""
+    if mask_keys is None:
+        return None
+    import numpy as _np
+    start = _np.searchsorted(mask_keys, lo * ncols)
+    end = _np.searchsorted(mask_keys, hi * ncols)
+    return mask_keys[start:end] - lo * ncols
+
+
+def parallel_mxm(
+    a: MatData,
+    b: MatData,
+    semiring: Semiring,
+    nthreads: int,
+    *,
+    chunk_rows: int = 1,
+    mask_keys: np.ndarray | None = None,
+    mask_complement: bool = False,
+    kernel: Callable[..., MatData] = mxm,
+) -> MatData:
+    """C = A ⊕.⊗ B with A's rows partitioned over ``nthreads`` workers.
+
+    ``chunk_rows`` (from the context's exec spec) bounds how finely the
+    rows may be split; ``mask_keys`` (sorted global pair-keys) are
+    re-based per row block so the masked-SpGEMM push-down composes with
+    the parallel split.
+    """
+    if nthreads <= 1 or a.nrows < 2:
+        return kernel(a, b, semiring, mask_keys, mask_complement)
+    # The context's chunk_rows is the minimum rows worth a worker: never
+    # split finer than it (tiny blocks pay more fix-up than they save).
+    max_blocks = max(1, a.nrows // max(chunk_rows, 1))
+    blocks = row_blocks(a.nrows, min(nthreads, max_blocks))
+    if len(blocks) == 1:
+        return kernel(a, b, semiring, mask_keys, mask_complement)
+    slices = [
+        (_slice_rows(a, lo, hi), _slice_mask_keys(mask_keys, lo, hi, b.ncols))
+        for lo, hi in blocks
+    ]
+    with ThreadPoolExecutor(max_workers=len(blocks)) as pool:
+        results = list(pool.map(
+            lambda s: kernel(s[0], b, semiring, s[1], mask_complement),
+            slices))
+    if all(r.nvals == 0 for r in results):
+        return empty_mat(a.nrows, b.ncols, semiring.out_type)
+    return concat_row_blocks(results, b.ncols)

@@ -1,0 +1,16 @@
+"""File I/O for GraphBLAS containers (Matrix Market + edge lists)."""
+
+from .matrixmarket import mmread, mmread_string, mmwrite, mmwrite_string
+from .edgelist import read_edgelist, write_edgelist
+from .grbfiles import load, save
+
+__all__ = [
+    "mmread",
+    "mmread_string",
+    "mmwrite",
+    "mmwrite_string",
+    "read_edgelist",
+    "write_edgelist",
+    "save",
+    "load",
+]

@@ -1,0 +1,89 @@
+"""Plain edge-list I/O (the SNAP / Graph500 text interchange format).
+
+Lines are ``src dst [weight]``; ``#``/``%`` lines are comments.  Vertex
+ids may be arbitrary non-negative integers; the reader compacts or
+preserves them per ``relabel``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..core import types as T
+from ..core.context import Context
+from ..core.errors import InvalidObjectError
+from ..core.matrix import Matrix
+from ..core.types import Type
+
+__all__ = ["read_edgelist", "write_edgelist"]
+
+
+def read_edgelist(
+    path: str | Path,
+    t: Type = T.FP64,
+    *,
+    relabel: bool = False,
+    make_undirected: bool = False,
+    default_weight: float = 1.0,
+    ctx: Context | None = None,
+) -> tuple[Matrix, np.ndarray | None]:
+    """Read ``src dst [w]`` lines into a matrix.
+
+    Returns ``(matrix, vertex_ids)`` where ``vertex_ids`` maps compacted
+    index → original id when ``relabel=True`` (else ``None`` and the
+    matrix is sized by the max id + 1).
+    """
+    srcs, dsts, ws = [], [], []
+    with open(path, "r", encoding="ascii") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line[0] in "#%":
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise InvalidObjectError(
+                    f"malformed edge at line {lineno}: {line!r}"
+                )
+            srcs.append(int(parts[0]))
+            dsts.append(int(parts[1]))
+            ws.append(float(parts[2]) if len(parts) > 2 else default_weight)
+    rows = np.asarray(srcs, dtype=np.int64)
+    cols = np.asarray(dsts, dtype=np.int64)
+    vals = np.asarray(ws)
+
+    ids: np.ndarray | None = None
+    if relabel:
+        ids = np.unique(np.concatenate([rows, cols]))
+        rows = np.searchsorted(ids, rows)
+        cols = np.searchsorted(ids, cols)
+        n = len(ids)
+    else:
+        n = int(max(rows.max(initial=-1), cols.max(initial=-1))) + 1 \
+            if len(rows) else 0
+
+    if make_undirected:
+        rows, cols = np.concatenate([rows, cols]), np.concatenate([cols, rows])
+        vals = np.concatenate([vals, vals])
+
+    from ..core.binaryop import MAX
+
+    m = Matrix.new(t, n, n, ctx)
+    m.build(rows, cols, vals, MAX[t] if t in MAX else None)
+    m.wait()
+    return m, ids
+
+
+def write_edgelist(path: str | Path, m: Matrix, *,
+                   weights: bool = True) -> None:
+    """Write the stored entries as ``src dst [w]`` lines."""
+    rows, cols, vals = m.extract_tuples()
+    with open(path, "w", encoding="ascii") as fh:
+        fh.write(f"# {m.nrows} {m.ncols} {len(rows)}\n")
+        if weights:
+            for i, j, v in zip(rows, cols, vals):
+                fh.write(f"{i} {j} {v}\n")
+        else:
+            for i, j in zip(rows, cols):
+                fh.write(f"{i} {j}\n")

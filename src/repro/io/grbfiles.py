@@ -1,0 +1,59 @@
+"""Binary container files: the opaque serialization (§VII-B) on disk.
+
+``save`` writes any Matrix/Vector as its serialized blob (checksummed,
+versioned — see :mod:`repro.formats.serialize`); ``load`` dispatches on
+the embedded kind byte.  The recommended extension is ``.grb``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from ..core.context import Context
+from ..core.errors import InvalidObjectError
+from ..core.matrix import Matrix
+from ..core.vector import Vector
+from ..formats.serialize import (
+    _KIND_MATRIX,
+    _KIND_VECTOR,
+    _MAGIC,
+    _PREFIX,
+    matrix_deserialize,
+    matrix_serialize,
+    vector_deserialize,
+    vector_serialize,
+)
+
+__all__ = ["save", "load"]
+
+
+def save(path: str | Path, obj: Union[Matrix, Vector]) -> int:
+    """Write a container's opaque blob to ``path``; returns bytes written."""
+    if isinstance(obj, Matrix):
+        blob = matrix_serialize(obj)
+    elif isinstance(obj, Vector):
+        blob = vector_serialize(obj)
+    else:
+        raise InvalidObjectError(
+            f"cannot save object of type {type(obj).__name__}"
+        )
+    with open(path, "wb") as fh:
+        fh.write(blob)
+    return len(blob)
+
+
+def load(path: str | Path, ctx: Context | None = None) -> Union[Matrix, Vector]:
+    """Read a ``.grb`` file back; the kind byte picks Matrix or Vector."""
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    if len(blob) < _PREFIX.size:
+        raise InvalidObjectError(f"{path}: truncated GraphBLAS file")
+    magic, _version, kind, *_ = _PREFIX.unpack_from(blob, 0)
+    if magic != _MAGIC:
+        raise InvalidObjectError(f"{path}: not a serialized GraphBLAS object")
+    if kind == _KIND_MATRIX:
+        return matrix_deserialize(blob, ctx)
+    if kind == _KIND_VECTOR:
+        return vector_deserialize(blob, ctx)
+    raise InvalidObjectError(f"{path}: unknown object kind {kind}")

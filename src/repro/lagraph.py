@@ -1,0 +1,215 @@
+"""A LAGraph-style property graph (the paper's reference [10] layer).
+
+LAGraph wraps a GraphBLAS adjacency matrix in a ``Graph`` object that
+caches derived *properties* — the transpose, degree vectors, symmetry,
+self-loop count — so algorithms don't recompute them, and dispatches
+the algorithm library with those properties pre-supplied.  This module
+plays that role here: every cached property is computed **through the
+public GraphBLAS API** and invalidated when the underlying matrix is
+replaced.
+
+    g = Graph.from_edges(rows, cols, vals, n, kind="undirected")
+    g.out_degree()          # cached reduce
+    g.triangle_count()      # picks the masked algorithm, reuses cache
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Sequence
+
+import numpy as np
+
+from .core import types as _t
+from .core.binaryop import ONEB
+from .core.descriptor import DESC_T0
+from .core.errors import InvalidValueError
+from .core.matrix import Matrix
+from .core.monoid import PLUS_MONOID
+from .core.types import Type
+from .core.vector import Vector
+from .ops.apply import apply
+from .ops.ewise import ewise_mult
+from .ops.reduce import reduce_scalar, reduce_to_vector
+from .ops.select import select
+from .ops.transpose import transpose
+
+__all__ = ["Graph", "GraphKind"]
+
+
+class GraphKind(enum.Enum):
+    DIRECTED = "directed"
+    UNDIRECTED = "undirected"
+
+
+class Graph:
+    """An adjacency matrix plus cached derived properties."""
+
+    def __init__(self, a: Matrix, kind: GraphKind | str = GraphKind.DIRECTED):
+        if a.nrows != a.ncols:
+            raise InvalidValueError("a graph's adjacency matrix must be square")
+        self.a = a
+        self.kind = GraphKind(kind)
+        self._cache: dict[str, Any] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        rows: Sequence[int],
+        cols: Sequence[int],
+        values: Sequence[Any] | None,
+        n: int,
+        *,
+        t: Type = _t.FP64,
+        kind: GraphKind | str = GraphKind.DIRECTED,
+        no_self_loops: bool = False,
+    ) -> "Graph":
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        vals = (np.ones(len(rows)) if values is None
+                else np.asarray(values))
+        if no_self_loops:
+            keep = rows != cols
+            rows, cols, vals = rows[keep], cols[keep], vals[keep]
+        kind = GraphKind(kind)
+        if kind == GraphKind.UNDIRECTED:
+            rows, cols = np.concatenate([rows, cols]), \
+                np.concatenate([cols, rows])
+            vals = np.concatenate([vals, vals])
+        a = Matrix.new(t, n, n)
+        from .core.binaryop import MAX
+        a.build(rows, cols, vals, MAX[t] if t in MAX else None)
+        a.wait()
+        return cls(a, kind)
+
+    # -- cache plumbing ------------------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Drop every cached property (call after mutating ``a``)."""
+        self._cache.clear()
+
+    def set_matrix(self, a: Matrix) -> None:
+        if a.nrows != a.ncols:
+            raise InvalidValueError("adjacency matrix must be square")
+        self.a = a
+        self.invalidate()
+
+    def _cached(self, key: str, compute):
+        if key not in self._cache:
+            self._cache[key] = compute()
+        return self._cache[key]
+
+    # -- properties (LAGraph's "cached properties") ------------------------------
+
+    @property
+    def n(self) -> int:
+        return self.a.nrows
+
+    @property
+    def nedges(self) -> int:
+        m = self.a.nvals()
+        return m // 2 if self.kind == GraphKind.UNDIRECTED else m
+
+    def pattern(self) -> Matrix:
+        """INT64 pattern matrix (all stored values 1)."""
+        def compute():
+            p = Matrix.new(_t.INT64, self.n, self.n, self.a.context)
+            apply(p, None, None, ONEB[_t.INT64], self.a, 1)
+            p.wait()
+            return p
+        return self._cached("pattern", compute)
+
+    def transposed(self) -> Matrix:
+        """Aᵀ, cached (LAGraph's AT property)."""
+        def compute():
+            at = Matrix.new(self.a.type, self.n, self.n, self.a.context)
+            transpose(at, None, None, self.a)
+            at.wait()
+            return at
+        return self._cached("AT", compute)
+
+    def out_degree(self) -> Vector:
+        def compute():
+            d = Vector.new(_t.INT64, self.n, self.a.context)
+            reduce_to_vector(d, None, None, PLUS_MONOID[_t.INT64],
+                             self.pattern())
+            d.wait()
+            return d
+        return self._cached("out_degree", compute)
+
+    def in_degree(self) -> Vector:
+        def compute():
+            d = Vector.new(_t.INT64, self.n, self.a.context)
+            reduce_to_vector(d, None, None, PLUS_MONOID[_t.INT64],
+                             self.pattern(), desc=DESC_T0)
+            d.wait()
+            return d
+        return self._cached("in_degree", compute)
+
+    def is_symmetric(self) -> bool:
+        """Structural+value symmetry, computed algebraically.
+
+        ``A`` is symmetric iff ``A`` and ``Aᵀ`` have the same pattern
+        and equal values on it: checked with eWise machinery only.
+        """
+        def compute():
+            at = self.transposed()
+            if self.a.nvals() != at.nvals():
+                return False
+            from .core.binaryop import EQ
+            from .core.monoid import LAND_MONOID_BOOL
+            eq = Matrix.new(_t.BOOL, self.n, self.n, self.a.context)
+            ewise_mult(eq, None, None, EQ[self.a.type], self.a, at)
+            if eq.nvals() != self.a.nvals():
+                return False   # patterns differ
+            return bool(reduce_scalar(LAND_MONOID_BOOL, eq))
+        return self._cached("symmetric", compute)
+
+    def nself_loops(self) -> int:
+        def compute():
+            from .core.indexunaryop import DIAG
+            d = Matrix.new(self.a.type, self.n, self.n, self.a.context)
+            select(d, None, None, DIAG, self.a, 0)
+            return d.nvals()
+        return self._cached("nself_loops", compute)
+
+    # -- algorithm dispatch (reusing cached properties) ---------------------------
+
+    def bfs_levels(self, source: int) -> Vector:
+        from .algorithms import bfs_levels
+        return bfs_levels(self.a, source)
+
+    def bfs_parents(self, source: int) -> Vector:
+        from .algorithms import bfs_parents
+        return bfs_parents(self.a, source)
+
+    def sssp(self, source: int) -> Vector:
+        from .algorithms import sssp
+        return sssp(self.a, source)
+
+    def triangle_count(self) -> int:
+        if self.kind != GraphKind.UNDIRECTED and not self.is_symmetric():
+            raise InvalidValueError(
+                "triangle counting needs an undirected (symmetric) graph"
+            )
+        from .algorithms import triangle_count
+        return triangle_count(self.a)
+
+    def connected_components(self) -> Vector:
+        from .algorithms import connected_components
+        return connected_components(self.a)
+
+    def pagerank(self, damping: float = 0.85, tol: float = 1e-6,
+                 max_iters: int = 100):
+        from .algorithms import pagerank
+        return pagerank(self.a, damping, tol, max_iters)
+
+    def k_truss(self, k: int) -> Matrix:
+        from .algorithms import k_truss
+        return k_truss(self.a, k)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Graph({self.kind.value}, n={self.n}, "
+                f"nedges={self.nedges}, cached={sorted(self._cache)})")

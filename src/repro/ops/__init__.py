@@ -1,0 +1,36 @@
+"""The GraphBLAS operations layer (C-style argument order).
+
+Every operation validates its arguments eagerly (API errors are never
+deferred), captures its inputs, and defers or executes the computation
+according to the output object's context mode.
+"""
+
+from .apply import apply
+from .assign import assign, assign_col, assign_row
+from .ewise import ewise_add, ewise_mult
+from .extract import ALL, extract
+from .kronecker import kronecker
+from .mxm import mxm, mxv, vxm
+from .reduce import reduce, reduce_scalar, reduce_to_vector
+from .select import select
+from .transpose import transpose
+
+__all__ = [
+    "apply",
+    "assign",
+    "assign_col",
+    "assign_row",
+    "ewise_add",
+    "ewise_mult",
+    "extract",
+    "ALL",
+    "kronecker",
+    "mxm",
+    "mxv",
+    "vxm",
+    "reduce",
+    "reduce_scalar",
+    "reduce_to_vector",
+    "select",
+    "transpose",
+]

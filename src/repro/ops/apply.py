@@ -1,0 +1,202 @@
+"""``GrB_apply`` — elementwise map over stored values, four flavours:
+
+* **unary**: ``apply(w, mask, accum, unop, u, desc)``
+* **bind-first** (Table II scalar variant):
+  ``apply(w, mask, accum, binop, s, u, desc)`` computes ``binop(s, u_i)``
+* **bind-second**: ``apply(w, mask, accum, binop, u, s, desc)``
+* **index-unary** (§VIII-B): ``apply(w, mask, accum, iuop, u, s, desc)``
+  computes ``f(u_i, i, 0, s)`` / ``f(a_ij, i, j, s)``.
+
+Dispatch is positional, mirroring the C polymorphic interface; the
+scalar ``s`` may be a plain value or a ``GrB_Scalar`` (Table II).
+When the input matrix is transposed via the descriptor, index-unary
+operators see post-transpose coordinates (§VIII-B).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.binaryop import BinaryOp
+from ..core.descriptor import Descriptor
+from ..core.errors import DimensionMismatchError, DomainMismatchError
+from ..core.indexunaryop import IndexUnaryOp
+from ..core.matrix import Matrix
+from ..core.unaryop import UnaryOp
+from ..core.vector import Vector
+from ..internals import applyselect as _k
+from ..internals.maskaccum import mat_write_back, vec_write_back
+from .common import (
+    check_accum,
+    check_context,
+    check_output_cast,
+    require,
+    resolve_desc,
+    scalar_value,
+)
+
+__all__ = ["apply"]
+
+
+def _check_output(out, mask, inp, d) -> None:
+    check_context(out, mask, inp)
+    if isinstance(out, Vector):
+        require(isinstance(inp, Vector), DomainMismatchError,
+                "vector apply requires a vector input")
+        require(out.size == inp.size, DimensionMismatchError,
+                f"apply output size {out.size} != input {inp.size}")
+        if mask is not None:
+            require(mask.size == out.size, DimensionMismatchError,
+                    "mask size must match output")
+    else:
+        require(isinstance(inp, Matrix), DomainMismatchError,
+                "matrix apply requires a matrix input")
+        in_shape = (inp.ncols, inp.nrows) if d.transpose0 else (inp.nrows, inp.ncols)
+        require((out.nrows, out.ncols) == in_shape, DimensionMismatchError,
+                f"apply output shape {(out.nrows, out.ncols)} != input {in_shape}")
+        if mask is not None:
+            require((mask.nrows, mask.ncols) == (out.nrows, out.ncols),
+                    DimensionMismatchError, "mask shape must match output")
+
+
+def _writeback_args(d):
+    return dict(
+        complement=d.mask_complement,
+        structure=d.mask_structure,
+        replace=d.replace,
+    )
+
+
+def apply(
+    out,
+    mask,
+    accum,
+    op,
+    arg1,
+    arg2: Any = None,
+    desc: Descriptor | None = None,
+):
+    """Polymorphic ``GrB_apply`` (see module docstring for flavours)."""
+    # Allow the C calling style where desc is the last positional arg of
+    # the unary variant: apply(w, mask, accum, unop, u, desc).
+    if isinstance(arg2, Descriptor) and desc is None:
+        desc, arg2 = arg2, None
+    d = resolve_desc(desc)
+    accum = check_accum(accum)
+
+    if isinstance(op, UnaryOp):
+        require(arg2 is None, DomainMismatchError,
+                "unary apply takes exactly one input container")
+        return _apply_unary(out, mask, accum, op, arg1, d)
+    if isinstance(op, IndexUnaryOp):
+        return _apply_index(out, mask, accum, op, arg1, arg2, d)
+    if isinstance(op, BinaryOp):
+        first_is_container = isinstance(arg1, (Vector, Matrix))
+        second_is_container = isinstance(arg2, (Vector, Matrix))
+        require(first_is_container != second_is_container, DomainMismatchError,
+                "binary apply binds a scalar to exactly one operand side")
+        if first_is_container:
+            return _apply_bind2nd(out, mask, accum, op, arg1, arg2, d)
+        return _apply_bind1st(out, mask, accum, op, arg1, arg2, d)
+    raise DomainMismatchError(f"apply operator of unsupported kind: {op!r}")
+
+
+def _apply_unary(out, mask, accum, op: UnaryOp, u, d):
+    _check_output(out, mask, u, d)
+    check_output_cast(op.out_type, out.type)
+    u_data = u._capture()
+    mask_data = mask._capture() if mask is not None else None
+    out_type = out.type
+    wb = _writeback_args(d)
+    tran = d.transpose0
+
+    if isinstance(out, Vector):
+        def thunk(c):
+            t = _k.vec_apply_unary(u_data, op, op.out_type)
+            return vec_write_back(c, t, out_type, mask_data, accum, **wb)
+    else:
+        def thunk(c):
+            a = u_data.transpose() if tran else u_data
+            t = _k.mat_apply_unary(a, op, op.out_type)
+            return mat_write_back(c, t, out_type, mask_data, accum, **wb)
+
+    out._submit(thunk, "apply(unary)")
+    return out
+
+
+def _apply_bind1st(out, mask, accum, op: BinaryOp, s, u, d):
+    _check_output(out, mask, u, d)
+    check_output_cast(op.out_type, out.type)
+    sval = scalar_value(s, what="bind-first scalar")
+    u_data = u._capture()
+    mask_data = mask._capture() if mask is not None else None
+    out_type = out.type
+    wb = _writeback_args(d)
+    tran = d.transpose0
+
+    if isinstance(out, Vector):
+        def thunk(c):
+            t = _k.vec_apply_bind1st(sval, u_data, op, op.out_type)
+            return vec_write_back(c, t, out_type, mask_data, accum, **wb)
+    else:
+        def thunk(c):
+            a = u_data.transpose() if tran else u_data
+            t = _k.mat_apply_bind1st(sval, a, op, op.out_type)
+            return mat_write_back(c, t, out_type, mask_data, accum, **wb)
+
+    out._submit(thunk, "apply(bind1st)")
+    return out
+
+
+def _apply_bind2nd(out, mask, accum, op: BinaryOp, u, s, d):
+    _check_output(out, mask, u, d)
+    check_output_cast(op.out_type, out.type)
+    sval = scalar_value(s, what="bind-second scalar")
+    u_data = u._capture()
+    mask_data = mask._capture() if mask is not None else None
+    out_type = out.type
+    wb = _writeback_args(d)
+    tran = d.transpose0
+
+    if isinstance(out, Vector):
+        def thunk(c):
+            t = _k.vec_apply_bind2nd(u_data, sval, op, op.out_type)
+            return vec_write_back(c, t, out_type, mask_data, accum, **wb)
+    else:
+        def thunk(c):
+            a = u_data.transpose() if tran else u_data
+            t = _k.mat_apply_bind2nd(a, sval, op, op.out_type)
+            return mat_write_back(c, t, out_type, mask_data, accum, **wb)
+
+    out._submit(thunk, "apply(bind2nd)")
+    return out
+
+
+def _apply_index(out, mask, accum, op: IndexUnaryOp, u, s, d):
+    """§VIII-B: w⟨m,r⟩ = w ⊙ f(u, ind(u), 1, s)."""
+    _check_output(out, mask, u, d)
+    check_output_cast(op.out_type, out.type)
+    if isinstance(out, Vector) and op.uses_column and op.is_builtin:
+        raise DomainMismatchError(
+            f"{op.name} accesses the column index and is only defined for "
+            "matrices (Table IV)"
+        )
+    sval = scalar_value(s, what="index-unary scalar")
+    u_data = u._capture()
+    mask_data = mask._capture() if mask is not None else None
+    out_type = out.type
+    wb = _writeback_args(d)
+    tran = d.transpose0
+
+    if isinstance(out, Vector):
+        def thunk(c):
+            t = _k.vec_apply_index(u_data, op, sval, op.out_type)
+            return vec_write_back(c, t, out_type, mask_data, accum, **wb)
+    else:
+        def thunk(c):
+            a = u_data.transpose() if tran else u_data
+            t = _k.mat_apply_index(a, op, sval, op.out_type)
+            return mat_write_back(c, t, out_type, mask_data, accum, **wb)
+
+    out._submit(thunk, "apply(index)")
+    return out

@@ -1,0 +1,280 @@
+"""``GrB_assign`` — write a container (or scalar fill) into a region.
+
+Variants (C polymorphic interface, dispatched on argument kinds):
+
+* ``assign(w, mask, accum, u, I, desc)``        — w⟨m⟩(I) = u
+* ``assign(C, Mask, accum, A, I, J, desc)``     — C⟨M⟩(I,J) = A
+* ``assign(C, mask, accum, u, i, J, desc)``     — C⟨m'⟩(i,J) = u   (Row_assign)
+* ``assign(C, mask, accum, u, I, j, desc)``     — C⟨m⟩(I,j) = u    (Col_assign)
+* ``assign(w, mask, accum, s, I, desc)``        — w⟨m⟩(I) = s      (scalar fill)
+* ``assign(C, Mask, accum, s, I, J, desc)``     — C⟨M⟩(I,J) = s
+
+The scalar ``s`` may be a plain value or a ``GrB_Scalar`` (Table II); an
+*empty* scalar deletes the region (unaccumulated) or is a no-op
+(accumulated).  For the whole-container variants the mask spans the
+entire output; for Row/Col assign the vector mask spans just that row or
+column, and REPLACE clears only within it — the named helpers
+:func:`assign_row` / :func:`assign_col` disambiguate the rare
+all-integer corner.
+
+Index lists must not contain duplicates (unlike extract).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..core.descriptor import Descriptor
+from ..core.errors import DimensionMismatchError, DomainMismatchError
+from ..core.matrix import Matrix
+from ..core.scalar import Scalar
+from ..core.vector import Vector
+from ..internals import assign as _k
+from ..internals.containers import VecData
+from ..internals.extract import mat_extract_col
+from ..internals.maskaccum import mat_write_back, vec_write_back
+from .common import check_accum, check_context, require, resolve_desc
+
+__all__ = ["assign", "assign_row", "assign_col"]
+
+
+def _idx(indices):
+    return None if indices is None else np.asarray(indices, dtype=np.int64)
+
+
+def _idx_len(indices, full: int) -> int:
+    return full if indices is None else len(np.asarray(indices).reshape(-1))
+
+
+def _scalar_fill_value(s: Any):
+    """Plain value, or None for an empty GrB_Scalar (deletes the region)."""
+    if isinstance(s, Scalar):
+        data = s._capture()
+        return data.value if data.present else None
+    return s
+
+
+def _wb(d):
+    return dict(
+        complement=d.mask_complement,
+        structure=d.mask_structure,
+        replace=d.replace,
+    )
+
+
+def assign(
+    out,
+    mask,
+    accum,
+    value,
+    indices,
+    second: Any = None,
+    desc: Descriptor | None = None,
+):
+    """Polymorphic ``GrB_assign`` (see module docstring)."""
+    if isinstance(second, Descriptor) and desc is None:
+        desc, second = second, None
+    d = resolve_desc(desc)
+    accum = check_accum(accum)
+
+    if isinstance(out, Vector):
+        if isinstance(value, Vector):
+            return _vec_assign(out, mask, accum, value, indices, d)
+        return _vec_assign_scalar(out, mask, accum, value, indices, d)
+
+    if isinstance(out, Matrix):
+        if isinstance(value, Vector):
+            i_is_int = isinstance(indices, (int, np.integer))
+            j_is_int = isinstance(second, (int, np.integer))
+            if i_is_int and j_is_int:
+                raise DomainMismatchError(
+                    "ambiguous row/col assign: use assign_row or assign_col"
+                )
+            if i_is_int:
+                return assign_row(out, mask, accum, value, int(indices), second, d)
+            if j_is_int:
+                return assign_col(out, mask, accum, value, indices, int(second), d)
+            raise DomainMismatchError(
+                "row/col assign requires one integer index"
+            )
+        if isinstance(value, Matrix):
+            return _mat_assign(out, mask, accum, value, indices, second, d)
+        return _mat_assign_scalar(out, mask, accum, value, indices, second, d)
+
+    raise DomainMismatchError(f"assign output must be Vector/Matrix, got {out!r}")
+
+
+# ---------------------------------------------------------------------------
+# Whole-container variants
+# ---------------------------------------------------------------------------
+
+def _vec_assign(w: Vector, mask, accum, u: Vector, indices, d):
+    check_context(w, mask, u)
+    require(u.size == _idx_len(indices, w.size), DimensionMismatchError,
+            "assign source size != |I|")
+    if mask is not None:
+        require(mask.size == w.size, DimensionMismatchError,
+                "assign mask spans the whole output vector")
+    u_data = u._capture()
+    mask_data = mask._capture() if mask is not None else None
+    out_type = w.type
+    idx = _idx(indices)
+    wb = _wb(d)
+
+    def thunk(c):
+        z = _k.vec_assign(c, u_data, idx, accum, out_type)
+        return vec_write_back(c, z, out_type, mask_data, None, **wb)
+
+    w._submit(thunk, "assign(vector)")
+    return w
+
+
+def _vec_assign_scalar(w: Vector, mask, accum, s, indices, d):
+    check_context(w, mask)
+    if mask is not None:
+        require(mask.size == w.size, DimensionMismatchError,
+                "assign mask spans the whole output vector")
+    fill = _scalar_fill_value(s)
+    mask_data = mask._capture() if mask is not None else None
+    out_type = w.type
+    idx = _idx(indices)
+    wb = _wb(d)
+
+    def thunk(c):
+        z = _k.vec_assign_scalar(c, fill, idx, accum, out_type)
+        return vec_write_back(c, z, out_type, mask_data, None, **wb)
+
+    w._submit(thunk, "assign(vector,scalar)")
+    return w
+
+
+def _mat_assign(C: Matrix, Mask, accum, A: Matrix, I, J, d):
+    check_context(C, Mask, A)
+    a_shape = (A.ncols, A.nrows) if d.transpose0 else (A.nrows, A.ncols)
+    require(
+        a_shape == (_idx_len(I, C.nrows), _idx_len(J, C.ncols)),
+        DimensionMismatchError, "assign source shape != region shape",
+    )
+    if Mask is not None:
+        require((Mask.nrows, Mask.ncols) == (C.nrows, C.ncols),
+                DimensionMismatchError, "assign mask spans the whole output")
+    a_data = A._capture()
+    mask_data = Mask._capture() if Mask is not None else None
+    out_type = C.type
+    tran = d.transpose0
+    ridx, cidx = _idx(I), _idx(J)
+    wb = _wb(d)
+
+    def thunk(c):
+        src = a_data.transpose() if tran else a_data
+        z = _k.mat_assign(c, src, ridx, cidx, accum, out_type)
+        return mat_write_back(c, z, out_type, mask_data, None, **wb)
+
+    C._submit(thunk, "assign(matrix)")
+    return C
+
+
+def _mat_assign_scalar(C: Matrix, Mask, accum, s, I, J, d):
+    check_context(C, Mask)
+    if Mask is not None:
+        require((Mask.nrows, Mask.ncols) == (C.nrows, C.ncols),
+                DimensionMismatchError, "assign mask spans the whole output")
+    fill = _scalar_fill_value(s)
+    mask_data = Mask._capture() if Mask is not None else None
+    out_type = C.type
+    ridx, cidx = _idx(I), _idx(J)
+    wb = _wb(d)
+
+    def thunk(c):
+        z = _k.mat_assign_scalar(c, fill, ridx, cidx, accum, out_type)
+        return mat_write_back(c, z, out_type, mask_data, None, **wb)
+
+    C._submit(thunk, "assign(matrix,scalar)")
+    return C
+
+
+# ---------------------------------------------------------------------------
+# Row / column variants (vector mask scoped to the row/column)
+# ---------------------------------------------------------------------------
+
+def assign_row(
+    C: Matrix,
+    mask: Vector | None,
+    accum,
+    u: Vector,
+    row: int,
+    col_indices,
+    desc: Descriptor | None = None,
+) -> Matrix:
+    """``GrB_Row_assign``: C⟨m'⟩(i, J) = accum(C(i, J), u)."""
+    d = desc if isinstance(desc, Descriptor) else resolve_desc(desc)
+    accum = check_accum(accum)
+    check_context(C, mask, u)
+    require(0 <= row < C.nrows, DimensionMismatchError,
+            f"row {row} out of range [0, {C.nrows})")
+    require(u.size == _idx_len(col_indices, C.ncols), DimensionMismatchError,
+            "row-assign source size != |J|")
+    if mask is not None:
+        require(mask.size == C.ncols, DimensionMismatchError,
+                "row-assign mask spans the row (length ncols)")
+    u_data = u._capture()
+    mask_data = mask._capture() if mask is not None else None
+    out_type = C.type
+    cidx = _idx(col_indices)
+    wb = _wb(d)
+    r = int(row)
+
+    def thunk(c):
+        cols, vals = c.row_slice(r)
+        c_row = VecData(c.ncols, c.type, cols.copy(), vals.copy())
+        z_row = _k.vec_assign(c_row, u_data, cidx, accum, out_type)
+        new_row = vec_write_back(c_row, z_row, out_type, mask_data, None, **wb)
+        return _k._mat_region_update(
+            c, np.full(new_row.nvals, r, dtype=np.int64), new_row.indices,
+            new_row.values, np.array([r], dtype=np.int64), None, None, out_type,
+        )
+
+    C._submit(thunk, "assign(row)")
+    return C
+
+
+def assign_col(
+    C: Matrix,
+    mask: Vector | None,
+    accum,
+    u: Vector,
+    row_indices,
+    col: int,
+    desc: Descriptor | None = None,
+) -> Matrix:
+    """``GrB_Col_assign``: C⟨m⟩(I, j) = accum(C(I, j), u)."""
+    d = desc if isinstance(desc, Descriptor) else resolve_desc(desc)
+    accum = check_accum(accum)
+    check_context(C, mask, u)
+    require(0 <= col < C.ncols, DimensionMismatchError,
+            f"column {col} out of range [0, {C.ncols})")
+    require(u.size == _idx_len(row_indices, C.nrows), DimensionMismatchError,
+            "col-assign source size != |I|")
+    if mask is not None:
+        require(mask.size == C.nrows, DimensionMismatchError,
+                "col-assign mask spans the column (length nrows)")
+    u_data = u._capture()
+    mask_data = mask._capture() if mask is not None else None
+    out_type = C.type
+    ridx = _idx(row_indices)
+    wb = _wb(d)
+    j = int(col)
+
+    def thunk(c):
+        c_col = mat_extract_col(c, j, None)
+        z_col = _k.vec_assign(c_col, u_data, ridx, accum, out_type)
+        new_col = vec_write_back(c_col, z_col, out_type, mask_data, None, **wb)
+        return _k._mat_region_update(
+            c, new_col.indices, np.full(new_col.nvals, j, dtype=np.int64),
+            new_col.values, None, np.array([j], dtype=np.int64), None, out_type,
+        )
+
+    C._submit(thunk, "assign(col)")
+    return C

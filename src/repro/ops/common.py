@@ -1,0 +1,121 @@
+"""Shared validation and dispatch helpers for the operations layer.
+
+Every GraphBLAS operation follows the same protocol:
+
+1. **Validate** all arguments (API errors raise here, before anything is
+   modified — the §V guarantee).
+2. **Capture** the input carriers (forcing their sequences — inputs must
+   be definite; output-side work can stay deferred).
+3. **Submit** a thunk to the output object's sequence.  The thunk
+   receives the output's *current* carrier (so accumulation chains
+   deferred in nonblocking mode compose in order), computes the result
+   T, and funnels it through the standard mask/accumulator write-back.
+
+Context rule (§IV): all matrices and vectors participating in one
+method call must share an execution context.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.binaryop import BinaryOp
+from ..core.context import Context
+from ..core.descriptor import NULL_DESC, Descriptor
+from ..core.errors import (
+    DimensionMismatchError,
+    DomainMismatchError,
+    EmptyObjectError,
+    InvalidValueError,
+    NullPointerError,
+)
+from ..core.matrix import Matrix
+from ..core.scalar import Scalar
+from ..core.vector import Vector
+
+__all__ = [
+    "resolve_desc",
+    "check_context",
+    "check_accum",
+    "scalar_value",
+    "require",
+    "check_output_cast",
+]
+
+
+def resolve_desc(desc: Descriptor | None) -> Descriptor:
+    """``None`` plays the role of ``GrB_NULL``: all defaults."""
+    if desc is None:
+        return NULL_DESC
+    if not isinstance(desc, Descriptor):
+        raise InvalidValueError(f"not a descriptor: {desc!r}")
+    return desc
+
+
+def check_context(*objs: Any) -> Context:
+    """Enforce the shared-context rule; returns the common context."""
+    ctx: Context | None = None
+    for obj in objs:
+        if obj is None:
+            continue
+        if isinstance(obj, (Matrix, Vector, Scalar)):
+            obj._check_valid()
+            c = obj.context
+            c.check_valid()
+            if ctx is None:
+                ctx = c
+            elif c is not ctx:
+                raise InvalidValueError(
+                    "all GraphBLAS objects in a method must share a context "
+                    f"(§IV): {ctx!r} vs {c!r}"
+                )
+    if ctx is None:
+        raise NullPointerError("operation requires at least one GraphBLAS object")
+    return ctx
+
+
+def check_accum(accum: BinaryOp | None) -> BinaryOp | None:
+    if accum is None:
+        return None
+    if not isinstance(accum, BinaryOp):
+        raise DomainMismatchError(f"accumulator must be a BinaryOp, got {accum!r}")
+    return accum
+
+
+def scalar_value(s: Any, *, what: str = "scalar") -> Any:
+    """Resolve a ``<type> s`` argument that may be a ``GrB_Scalar``.
+
+    Table II makes the scalar argument uniformly a ``GrB_Scalar``; the
+    typed variants pass plain values.  An *empty* scalar where a value
+    is required is the EMPTY_OBJECT execution error (§VI).
+    """
+    if isinstance(s, Scalar):
+        data = s._capture()
+        if not data.present:
+            raise EmptyObjectError(f"empty GrB_Scalar used as {what}")
+        return data.value
+    if s is None:
+        raise NullPointerError(f"{what} is NULL")
+    return s
+
+
+def require(cond: bool, exc_cls, message: str) -> None:
+    if not cond:
+        raise exc_cls(message)
+
+
+def check_output_cast(result_type, out_type) -> None:
+    """The result domain must cast into the output's domain (API error).
+
+    UDTs have no implicit casts (spec rule), so a UDT-valued result can
+    only land in an output of the very same UDT.
+    """
+    from ..core.types import cast_allowed
+
+    if not cast_allowed(result_type, out_type):
+        raise DomainMismatchError(
+            f"result domain {result_type.name} does not cast to output "
+            f"domain {out_type.name}"
+        )
+
+

@@ -1,0 +1,139 @@
+"""Elementwise operations: ``eWiseAdd`` (union) and ``eWiseMult``
+(intersection), vector and matrix variants.
+
+Per the specification the operator argument may be a ``BinaryOp``, a
+``Monoid`` (its operator is used), or a ``Semiring`` (its additive
+monoid's operator for eWiseAdd, its multiply operator for eWiseMult).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..core.binaryop import BinaryOp
+from ..core.descriptor import Descriptor
+from ..core.errors import DimensionMismatchError, DomainMismatchError
+from ..core.matrix import Matrix
+from ..core.monoid import Monoid
+from ..core.semiring import Semiring
+from ..core.vector import Vector
+from ..internals import ewise as _k
+from ..internals.maskaccum import mat_write_back, vec_write_back
+from .common import (
+    check_accum,
+    check_context,
+    check_output_cast,
+    require,
+    resolve_desc,
+)
+
+__all__ = ["ewise_add", "ewise_mult"]
+
+OpLike = Union[BinaryOp, Monoid, Semiring]
+
+
+def _resolve_op(op: OpLike, *, add: bool) -> BinaryOp:
+    if isinstance(op, BinaryOp):
+        return op
+    if isinstance(op, Monoid):
+        return op.op
+    if isinstance(op, Semiring):
+        return op.add.op if add else op.mult
+    raise DomainMismatchError(
+        f"eWise operator must be BinaryOp/Monoid/Semiring, got {op!r}"
+    )
+
+
+def _ewise_mat(
+    C: Matrix, Mask, accum, op: OpLike, A: Matrix, B: Matrix, desc, *, union: bool
+) -> Matrix:
+    d = resolve_desc(desc)
+    binop = _resolve_op(op, add=union)
+    accum = check_accum(accum)
+    check_output_cast(binop.out_type, C.type)
+    check_context(C, Mask, A, B)
+
+    a_shape = (A.ncols, A.nrows) if d.transpose0 else (A.nrows, A.ncols)
+    b_shape = (B.ncols, B.nrows) if d.transpose1 else (B.nrows, B.ncols)
+    require(a_shape == b_shape, DimensionMismatchError,
+            f"eWise inputs: {a_shape} vs {b_shape}")
+    require((C.nrows, C.ncols) == a_shape, DimensionMismatchError,
+            f"eWise output shape {(C.nrows, C.ncols)} != {a_shape}")
+    if Mask is not None:
+        require((Mask.nrows, Mask.ncols) == (C.nrows, C.ncols),
+                DimensionMismatchError, "mask shape must match output")
+
+    a_data = A._capture()
+    b_data = B._capture() if B is not A else a_data
+    mask_data = Mask._capture() if Mask is not None else None
+    out_type = C.type
+    tran0, tran1 = d.transpose0, d.transpose1
+    comp, struct, repl = d.mask_complement, d.mask_structure, d.replace
+    kern = _k.mat_union if union else _k.mat_intersect
+
+    def thunk(c_data):
+        a = a_data.transpose() if tran0 else a_data
+        b = b_data.transpose() if tran1 else b_data
+        t = kern(a, b, binop, binop.out_type)
+        return mat_write_back(
+            c_data, t, out_type, mask_data, accum,
+            complement=comp, structure=struct, replace=repl,
+        )
+
+    C._submit(thunk, "eWiseAdd" if union else "eWiseMult")
+    return C
+
+
+def _ewise_vec(
+    w: Vector, mask, accum, op: OpLike, u: Vector, v: Vector, desc, *, union: bool
+) -> Vector:
+    d = resolve_desc(desc)
+    binop = _resolve_op(op, add=union)
+    accum = check_accum(accum)
+    check_output_cast(binop.out_type, w.type)
+    check_context(w, mask, u, v)
+    require(u.size == v.size, DimensionMismatchError,
+            f"eWise inputs: {u.size} vs {v.size}")
+    require(w.size == u.size, DimensionMismatchError,
+            f"eWise output size {w.size} != {u.size}")
+    if mask is not None:
+        require(mask.size == w.size, DimensionMismatchError,
+                "mask size must match output")
+
+    u_data = u._capture()
+    v_data = v._capture() if v is not u else u_data
+    mask_data = mask._capture() if mask is not None else None
+    out_type = w.type
+    comp, struct, repl = d.mask_complement, d.mask_structure, d.replace
+    kern = _k.vec_union if union else _k.vec_intersect
+
+    def thunk(w_data):
+        t = kern(u_data, v_data, binop, binop.out_type)
+        return vec_write_back(
+            w_data, t, out_type, mask_data, accum,
+            complement=comp, structure=struct, replace=repl,
+        )
+
+    w._submit(thunk, "eWiseAdd" if union else "eWiseMult")
+    return w
+
+
+def ewise_add(out, mask, accum, op: OpLike, a, b, desc: Descriptor | None = None):
+    """``GrB_eWiseAdd``: result over the structural *union*.
+
+    Dispatches on output type: Vector or Matrix variants.
+    """
+    if isinstance(out, Matrix):
+        return _ewise_mat(out, mask, accum, op, a, b, desc, union=True)
+    if isinstance(out, Vector):
+        return _ewise_vec(out, mask, accum, op, a, b, desc, union=True)
+    raise DomainMismatchError(f"eWiseAdd output must be Vector/Matrix, got {out!r}")
+
+
+def ewise_mult(out, mask, accum, op: OpLike, a, b, desc: Descriptor | None = None):
+    """``GrB_eWiseMult``: result over the structural *intersection*."""
+    if isinstance(out, Matrix):
+        return _ewise_mat(out, mask, accum, op, a, b, desc, union=False)
+    if isinstance(out, Vector):
+        return _ewise_vec(out, mask, accum, op, a, b, desc, union=False)
+    raise DomainMismatchError(f"eWiseMult output must be Vector/Matrix, got {out!r}")

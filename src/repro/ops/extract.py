@@ -1,0 +1,134 @@
+"""``GrB_extract`` — sub-container extraction.
+
+Variants (dispatched on output/input kinds, as in the C polymorphic
+interface):
+
+* ``extract(w, mask, accum, u, I, desc)``          — w = u(I)
+* ``extract(C, Mask, accum, A, I, J, desc)``       — C = A(I, J)
+* ``extract(w, mask, accum, A, I, j, desc)``       — w = A(I, j)  (Col_extract)
+
+Index lists may be ``ALL`` (``None``) and may contain duplicates.
+``Col_extract`` honours INP0-transpose: with ``DESC_T0`` it extracts a
+*row* of A.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..core.descriptor import Descriptor
+from ..core.errors import DimensionMismatchError, DomainMismatchError
+from ..core.matrix import Matrix
+from ..core.vector import Vector
+from ..internals import extract as _k
+from ..internals.maskaccum import mat_write_back, vec_write_back
+from .common import check_accum, check_context, require, resolve_desc
+
+__all__ = ["extract", "ALL"]
+
+#: ``GrB_ALL`` — pass as an index list to mean "all indices".
+ALL = None
+
+
+def _index_len(indices, full: int) -> int:
+    return full if indices is None else len(np.asarray(indices).reshape(-1))
+
+
+def extract(
+    out,
+    mask,
+    accum,
+    a,
+    indices: Sequence[int] | None,
+    second: Any = None,
+    desc: Descriptor | None = None,
+):
+    """Polymorphic ``GrB_extract`` (see module docstring)."""
+    if isinstance(second, Descriptor) and desc is None:
+        desc, second = second, None
+    d = resolve_desc(desc)
+    accum = check_accum(accum)
+    check_context(out, mask, a)
+    wb = dict(
+        complement=d.mask_complement,
+        structure=d.mask_structure,
+        replace=d.replace,
+    )
+
+    # w = u(I)
+    if isinstance(out, Vector) and isinstance(a, Vector):
+        require(second is None, DomainMismatchError,
+                "vector extract takes one index list")
+        require(out.size == _index_len(indices, a.size), DimensionMismatchError,
+                "extract output size != |I|")
+        if mask is not None:
+            require(mask.size == out.size, DimensionMismatchError,
+                    "mask size must match output")
+        u_data = a._capture()
+        mask_data = mask._capture() if mask is not None else None
+        out_type = out.type
+        idx = None if indices is None else np.asarray(indices, dtype=np.int64)
+
+        def thunk(c):
+            t = _k.vec_extract(u_data, idx)
+            return vec_write_back(c, t, out_type, mask_data, accum, **wb)
+
+        out._submit(thunk, "extract(vector)")
+        return out
+
+    # C = A(I, J)
+    if isinstance(out, Matrix) and isinstance(a, Matrix):
+        in_shape = (a.ncols, a.nrows) if d.transpose0 else (a.nrows, a.ncols)
+        nr = _index_len(indices, in_shape[0])
+        nc = _index_len(second, in_shape[1])
+        require((out.nrows, out.ncols) == (nr, nc), DimensionMismatchError,
+                f"extract output shape {(out.nrows, out.ncols)} != {(nr, nc)}")
+        if mask is not None:
+            require((mask.nrows, mask.ncols) == (out.nrows, out.ncols),
+                    DimensionMismatchError, "mask shape must match output")
+        a_data = a._capture()
+        mask_data = mask._capture() if mask is not None else None
+        out_type = out.type
+        tran = d.transpose0
+        ridx = None if indices is None else np.asarray(indices, dtype=np.int64)
+        cidx = None if second is None else np.asarray(second, dtype=np.int64)
+
+        def thunk(c):
+            src = a_data.transpose() if tran else a_data
+            t = _k.mat_extract(src, ridx, cidx)
+            return mat_write_back(c, t, out_type, mask_data, accum, **wb)
+
+        out._submit(thunk, "extract(matrix)")
+        return out
+
+    # w = A(I, j)
+    if isinstance(out, Vector) and isinstance(a, Matrix):
+        require(isinstance(second, (int, np.integer)), DomainMismatchError,
+                "Col_extract requires an integer column index")
+        in_shape = (a.ncols, a.nrows) if d.transpose0 else (a.nrows, a.ncols)
+        require(out.size == _index_len(indices, in_shape[0]),
+                DimensionMismatchError, "extract output size != |I|")
+        if mask is not None:
+            require(mask.size == out.size, DimensionMismatchError,
+                    "mask size must match output")
+        a_data = a._capture()
+        mask_data = mask._capture() if mask is not None else None
+        out_type = out.type
+        tran = d.transpose0
+        col = int(second)
+        ridx = None if indices is None else np.asarray(indices, dtype=np.int64)
+
+        def thunk(c):
+            src = a_data.transpose() if tran else a_data
+            t = _k.mat_extract_col(src, col, ridx)
+            return vec_write_back(c, t, out_type, mask_data, accum, **wb)
+
+        out._submit(thunk, "extract(col)")
+        return out
+
+    raise DomainMismatchError(
+        f"no extract variant for output {type(out).__name__} and "
+        f"input {type(a).__name__}"
+    )

@@ -1,0 +1,74 @@
+"""``GrB_kronecker``: C⟨Mask⟩ = accum(C, kron(A, B)).
+
+The operator may be a ``BinaryOp``, ``Monoid`` (its op), or ``Semiring``
+(its multiply op), as in the specification.
+"""
+
+from __future__ import annotations
+
+from ..core.binaryop import BinaryOp
+from ..core.descriptor import Descriptor
+from ..core.errors import DimensionMismatchError, DomainMismatchError
+from ..core.matrix import Matrix
+from ..core.monoid import Monoid
+from ..core.semiring import Semiring
+from ..internals.kron import kronecker as _kron
+from ..internals.maskaccum import mat_write_back
+from .common import check_accum, check_context, require, resolve_desc
+
+__all__ = ["kronecker"]
+
+
+def _resolve_op(op) -> BinaryOp:
+    if isinstance(op, BinaryOp):
+        return op
+    if isinstance(op, Monoid):
+        return op.op
+    if isinstance(op, Semiring):
+        return op.mult
+    raise DomainMismatchError(
+        f"kronecker operator must be BinaryOp/Monoid/Semiring, got {op!r}"
+    )
+
+
+def kronecker(
+    C: Matrix,
+    Mask: Matrix | None,
+    accum,
+    op,
+    A: Matrix,
+    B: Matrix,
+    desc: Descriptor | None = None,
+) -> Matrix:
+    d = resolve_desc(desc)
+    binop = _resolve_op(op)
+    accum = check_accum(accum)
+    check_context(C, Mask, A, B)
+    a_shape = (A.ncols, A.nrows) if d.transpose0 else (A.nrows, A.ncols)
+    b_shape = (B.ncols, B.nrows) if d.transpose1 else (B.nrows, B.ncols)
+    out_shape = (a_shape[0] * b_shape[0], a_shape[1] * b_shape[1])
+    require((C.nrows, C.ncols) == out_shape, DimensionMismatchError,
+            f"kronecker output shape {(C.nrows, C.ncols)} != {out_shape}")
+    if Mask is not None:
+        require((Mask.nrows, Mask.ncols) == (C.nrows, C.ncols),
+                DimensionMismatchError, "mask shape must match output")
+
+    a_data = A._capture()
+    b_data = B._capture() if B is not A else a_data
+    mask_data = Mask._capture() if Mask is not None else None
+    out_type = C.type
+    tran0, tran1 = d.transpose0, d.transpose1
+    wb = dict(
+        complement=d.mask_complement,
+        structure=d.mask_structure,
+        replace=d.replace,
+    )
+
+    def thunk(c):
+        a = a_data.transpose() if tran0 else a_data
+        b = b_data.transpose() if tran1 else b_data
+        t = _kron(a, b, binop, binop.out_type)
+        return mat_write_back(c, t, out_type, mask_data, accum, **wb)
+
+    C._submit(thunk, "kronecker")
+    return C

@@ -1,0 +1,201 @@
+"""Matrix multiply operations: ``mxm``, ``mxv``, ``vxm``.
+
+C-style argument order matches the specification:
+
+    ``mxm(C, Mask, accum, semiring, A, B, desc)``
+
+Descriptor ``INP0``/``INP1`` transpose the matrix inputs; the mask and
+accumulator follow the standard write-back.  When the shared context
+resolves ``nthreads > 1``, ``mxm`` runs the row-partitioned parallel
+kernel (§IV resource scoping).
+"""
+
+from __future__ import annotations
+
+from ..core.descriptor import Descriptor
+from ..core.errors import DimensionMismatchError, DomainMismatchError
+from ..core.matrix import Matrix
+from ..core.semiring import Semiring
+from ..core.vector import Vector
+from ..internals import config
+from ..internals import mxm as _k
+from ..internals.maskaccum import (
+    mat_mask_keys,
+    mat_write_back,
+    vec_mask_keys,
+    vec_write_back,
+)
+from ..internals.parallel import parallel_mxm
+from .common import (
+    check_accum,
+    check_context,
+    check_output_cast,
+    require,
+    resolve_desc,
+)
+
+__all__ = ["mxm", "mxv", "vxm"]
+
+
+def _check_semiring(semiring: Semiring) -> None:
+    if not isinstance(semiring, Semiring):
+        raise DomainMismatchError(f"expected a Semiring, got {semiring!r}")
+
+
+def mxm(
+    C: Matrix,
+    Mask: Matrix | None,
+    accum,
+    semiring: Semiring,
+    A: Matrix,
+    B: Matrix,
+    desc: Descriptor | None = None,
+) -> Matrix:
+    """``GrB_mxm``: C⟨Mask⟩ = accum(C, A ⊕.⊗ B)."""
+    d = resolve_desc(desc)
+    _check_semiring(semiring)
+    accum = check_accum(accum)
+    check_output_cast(semiring.out_type, C.type)
+    ctx = check_context(C, Mask, A, B)
+
+    a_shape = (A.ncols, A.nrows) if d.transpose0 else (A.nrows, A.ncols)
+    b_shape = (B.ncols, B.nrows) if d.transpose1 else (B.nrows, B.ncols)
+    require(
+        a_shape[1] == b_shape[0], DimensionMismatchError,
+        f"mxm inner dimensions: {a_shape} x {b_shape}",
+    )
+    require(
+        (C.nrows, C.ncols) == (a_shape[0], b_shape[1]), DimensionMismatchError,
+        f"mxm output shape {(C.nrows, C.ncols)} != {(a_shape[0], b_shape[1])}",
+    )
+    if Mask is not None:
+        require(
+            (Mask.nrows, Mask.ncols) == (C.nrows, C.ncols),
+            DimensionMismatchError, "mask shape must match output",
+        )
+
+    a_data = A._capture()
+    b_data = B._capture() if B is not A else a_data
+    mask_data = Mask._capture() if Mask is not None else None
+    out_type = C.type
+    nthreads = ctx.nthreads
+    chunk_rows = ctx.chunk_rows
+    tran0, tran1 = d.transpose0, d.transpose1
+    comp, struct, repl = d.mask_complement, d.mask_structure, d.replace
+
+    def thunk(c_data):
+        a = a_data.transpose() if tran0 else a_data
+        b = b_data.transpose() if tran1 else b_data
+        # Masked-SpGEMM push-down: no product the mask excludes can
+        # reach the output, so filter inside the kernel before the
+        # sort/compress phase (complemented masks filter inverted —
+        # the visited-set pattern of BFS).
+        mask_keys = None
+        if mask_data is not None and config.MASK_PUSHDOWN:
+            mask_keys = mat_mask_keys(mask_data, struct)
+        t = parallel_mxm(a, b, semiring, nthreads, chunk_rows=chunk_rows,
+                         mask_keys=mask_keys, mask_complement=comp)
+        return mat_write_back(
+            c_data, t, out_type, mask_data, accum,
+            complement=comp, structure=struct, replace=repl,
+        )
+
+    C._submit(thunk, "mxm")
+    return C
+
+
+def mxv(
+    w: Vector,
+    mask: Vector | None,
+    accum,
+    semiring: Semiring,
+    A: Matrix,
+    u: Vector,
+    desc: Descriptor | None = None,
+) -> Vector:
+    """``GrB_mxv``: w⟨mask⟩ = accum(w, A ⊕.⊗ u)."""
+    d = resolve_desc(desc)
+    _check_semiring(semiring)
+    accum = check_accum(accum)
+    check_output_cast(semiring.out_type, w.type)
+    check_context(w, mask, A, u)
+
+    a_shape = (A.ncols, A.nrows) if d.transpose0 else (A.nrows, A.ncols)
+    require(a_shape[1] == u.size, DimensionMismatchError,
+            f"mxv inner dimension: {a_shape} x {u.size}")
+    require(w.size == a_shape[0], DimensionMismatchError,
+            f"mxv output size {w.size} != {a_shape[0]}")
+    if mask is not None:
+        require(mask.size == w.size, DimensionMismatchError,
+                "mask size must match output")
+
+    a_data = A._capture()
+    u_data = u._capture()
+    mask_data = mask._capture() if mask is not None else None
+    out_type = w.type
+    tran0 = d.transpose0
+    comp, struct, repl = d.mask_complement, d.mask_structure, d.replace
+
+    def thunk(w_data):
+        a = a_data.transpose() if tran0 else a_data
+        mask_keys = None
+        if mask_data is not None and config.MASK_PUSHDOWN:
+            mask_keys = vec_mask_keys(mask_data, struct)
+        t = _k.mxv(a, u_data, semiring, mask_keys, comp)
+        return vec_write_back(
+            w_data, t, out_type, mask_data, accum,
+            complement=comp, structure=struct, replace=repl,
+        )
+
+    w._submit(thunk, "mxv")
+    return w
+
+
+def vxm(
+    w: Vector,
+    mask: Vector | None,
+    accum,
+    semiring: Semiring,
+    u: Vector,
+    A: Matrix,
+    desc: Descriptor | None = None,
+) -> Vector:
+    """``GrB_vxm``: w'⟨mask'⟩ = accum(w', u' ⊕.⊗ A).
+
+    The descriptor's INP1 transposes A (the second input).
+    """
+    d = resolve_desc(desc)
+    _check_semiring(semiring)
+    accum = check_accum(accum)
+    check_output_cast(semiring.out_type, w.type)
+    check_context(w, mask, u, A)
+
+    a_shape = (A.ncols, A.nrows) if d.transpose1 else (A.nrows, A.ncols)
+    require(u.size == a_shape[0], DimensionMismatchError,
+            f"vxm inner dimension: {u.size} x {a_shape}")
+    require(w.size == a_shape[1], DimensionMismatchError,
+            f"vxm output size {w.size} != {a_shape[1]}")
+    if mask is not None:
+        require(mask.size == w.size, DimensionMismatchError,
+                "mask size must match output")
+
+    a_data = A._capture()
+    u_data = u._capture()
+    mask_data = mask._capture() if mask is not None else None
+    out_type = w.type
+    tran1 = d.transpose1
+    comp, struct, repl = d.mask_complement, d.mask_structure, d.replace
+
+    def thunk(w_data):
+        a = a_data.transpose() if tran1 else a_data
+        mask_keys = None
+        if mask_data is not None and config.MASK_PUSHDOWN:
+            mask_keys = vec_mask_keys(mask_data, struct)
+        t = _k.vxm(u_data, a, semiring, mask_keys, comp)
+        return vec_write_back(
+            w_data, t, out_type, mask_data, accum,
+            complement=comp, structure=struct, replace=repl,
+        )
+
+    w._submit(thunk, "vxm")
+    return w

@@ -1,0 +1,155 @@
+"""``GrB_reduce`` — reductions to vector and to scalar.
+
+Variants:
+
+* ``reduce(w, mask, accum, monoid, A, desc)`` — row-reduce a matrix to a
+  vector: ``w(i) = ⊕_j A(i,j)`` (INP0-transpose gives column reduce).
+* typed scalar: ``reduce_scalar(monoid, u_or_A)`` returns a plain value,
+  the monoid identity when the container is empty (the 1.X behaviour).
+* ``GrB_Scalar`` output (Table II): ``reduce(s, accum, monoid_or_binop,
+  u_or_A, desc)`` stores into an opaque scalar; an empty container
+  yields an **empty** scalar instead of the identity (§VI), and a plain
+  associative ``BinaryOp`` is now acceptable as the reducer because no
+  identity is required.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Union
+
+from ..core.binaryop import BinaryOp
+from ..core.descriptor import Descriptor
+from ..core.errors import DimensionMismatchError, DomainMismatchError
+from ..core.matrix import Matrix
+from ..core.monoid import Monoid
+from ..core.scalar import Scalar
+from ..core.vector import Vector
+from ..internals import reduce as _k
+from ..internals.maskaccum import vec_write_back
+from .common import check_accum, check_context, require, resolve_desc
+
+__all__ = ["reduce", "reduce_to_vector", "reduce_scalar"]
+
+
+def reduce_to_vector(
+    w: Vector,
+    mask: Vector | None,
+    accum,
+    monoid: Monoid,
+    A: Matrix,
+    desc: Descriptor | None = None,
+) -> Vector:
+    """``GrB_Matrix_reduce_Monoid``: w⟨m⟩ = accum(w, ⊕_j A(:,j))."""
+    d = resolve_desc(desc)
+    accum = check_accum(accum)
+    require(isinstance(monoid, Monoid), DomainMismatchError,
+            f"vector reduce requires a Monoid, got {monoid!r}")
+    check_context(w, mask, A)
+    rows = A.ncols if d.transpose0 else A.nrows
+    require(w.size == rows, DimensionMismatchError,
+            f"reduce output size {w.size} != {rows}")
+    if mask is not None:
+        require(mask.size == w.size, DimensionMismatchError,
+                "mask size must match output")
+    a_data = A._capture()
+    mask_data = mask._capture() if mask is not None else None
+    out_type = w.type
+    tran = d.transpose0
+    wb = dict(
+        complement=d.mask_complement,
+        structure=d.mask_structure,
+        replace=d.replace,
+    )
+
+    def thunk(c):
+        src = a_data.transpose() if tran else a_data
+        t = _k.mat_reduce_rows(src, monoid, monoid.type)
+        return vec_write_back(c, t, out_type, mask_data, accum, **wb)
+
+    w._submit(thunk, "reduce(vector)")
+    return w
+
+
+def reduce_scalar(monoid: Monoid, container) -> Any:
+    """Typed scalar reduce — returns the monoid identity when empty."""
+    require(isinstance(monoid, Monoid), DomainMismatchError,
+            f"typed scalar reduce requires a Monoid, got {monoid!r}")
+    check_context(container)
+    if isinstance(container, Matrix):
+        out = _k.mat_reduce_scalar(container._capture(), monoid)
+    elif isinstance(container, Vector):
+        out = _k.vec_reduce_scalar(container._capture(), monoid)
+    else:
+        raise DomainMismatchError(f"cannot reduce {container!r}")
+    return monoid.identity if out is None else out
+
+
+def _reduce_into_scalar(
+    s: Scalar,
+    accum,
+    op: Union[Monoid, BinaryOp],
+    container,
+) -> Scalar:
+    check_context(s, container)
+    if isinstance(container, Matrix):
+        values = container._capture().values
+    elif isinstance(container, Vector):
+        values = container._capture().values
+    else:
+        raise DomainMismatchError(f"cannot reduce {container!r}")
+
+    if isinstance(op, Monoid):
+        folded = None if len(values) == 0 else op.reduce_array(
+            op.type.coerce_array(values)
+        )
+    elif isinstance(op, BinaryOp):
+        require(
+            op.in1_type == op.in2_type == op.out_type, DomainMismatchError,
+            "binop reduce requires an associative T x T -> T operator",
+        )
+        folded = _k.reduce_with_binop(values, op)
+    else:
+        raise DomainMismatchError(f"reducer must be Monoid or BinaryOp, got {op!r}")
+
+    if accum is not None and folded is not None and s.nvals():
+        folded = accum.scalar(
+            accum.in1_type.coerce_scalar(s.extract_element()),
+            accum.in2_type.coerce_scalar(folded),
+        )
+    if accum is not None and folded is None:
+        # Nothing to fold: accumulation leaves the target unchanged.
+        return s
+    s._store_kernel_result(folded)
+    return s
+
+
+def reduce(
+    out,
+    *args,
+    desc: Descriptor | None = None,
+):
+    """Polymorphic ``GrB_reduce``.
+
+    * ``reduce(w, mask, accum, monoid, A[, desc])`` → vector
+    * ``reduce(s, accum, op, u_or_A[, desc])`` → GrB_Scalar (Table II)
+    * ``reduce(monoid, u_or_A)`` → plain value (typed variant)
+    """
+    if isinstance(out, Vector):
+        a = list(args)
+        if len(a) == 5 and isinstance(a[4], (Descriptor, type(None))):
+            desc = a.pop()
+        require(len(a) == 4, DomainMismatchError,
+                "vector reduce: (w, mask, accum, monoid, A[, desc])")
+        return reduce_to_vector(out, a[0], a[1], a[2], a[3], desc)
+    if isinstance(out, Scalar):
+        a = list(args)
+        if len(a) == 4 and isinstance(a[3], (Descriptor, type(None))):
+            desc = a.pop()
+        require(len(a) == 3, DomainMismatchError,
+                "scalar reduce: (s, accum, op, container[, desc])")
+        return _reduce_into_scalar(out, check_accum(a[0]), a[1], a[2])
+    if isinstance(out, Monoid):
+        require(len(args) == 1, DomainMismatchError,
+                "typed reduce: (monoid, container)")
+        return reduce_scalar(out, args[0])
+    raise DomainMismatchError(f"no reduce variant for {out!r}")

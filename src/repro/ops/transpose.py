@@ -1,0 +1,59 @@
+"""``GrB_transpose``: C⟨Mask⟩ = accum(C, A')."""
+
+from __future__ import annotations
+
+from ..core.descriptor import Descriptor
+from ..core.errors import DimensionMismatchError
+from ..core.matrix import Matrix
+from ..internals.maskaccum import mat_write_back
+from .common import (
+    check_accum,
+    check_context,
+    check_output_cast,
+    require,
+    resolve_desc,
+)
+
+__all__ = ["transpose"]
+
+
+def transpose(
+    C: Matrix,
+    Mask: Matrix | None,
+    accum,
+    A: Matrix,
+    desc: Descriptor | None = None,
+) -> Matrix:
+    """``GrB_transpose``.
+
+    Note the droll corner the spec preserves: INP0-transpose on the
+    input of a transpose cancels out — ``DESC_T0`` makes this a masked
+    *copy* of A.
+    """
+    d = resolve_desc(desc)
+    accum = check_accum(accum)
+    check_output_cast(A.type, C.type)
+    check_context(C, Mask, A)
+    in_shape = (A.nrows, A.ncols) if d.transpose0 else (A.ncols, A.nrows)
+    require((C.nrows, C.ncols) == in_shape, DimensionMismatchError,
+            f"transpose output shape {(C.nrows, C.ncols)} != {in_shape}")
+    if Mask is not None:
+        require((Mask.nrows, Mask.ncols) == (C.nrows, C.ncols),
+                DimensionMismatchError, "mask shape must match output")
+
+    a_data = A._capture()
+    mask_data = Mask._capture() if Mask is not None else None
+    out_type = C.type
+    tran = d.transpose0
+    wb = dict(
+        complement=d.mask_complement,
+        structure=d.mask_structure,
+        replace=d.replace,
+    )
+
+    def thunk(c):
+        t = a_data if tran else a_data.transpose()
+        return mat_write_back(c, t, out_type, mask_data, accum, **wb)
+
+    C._submit(thunk, "transpose")
+    return C

@@ -1,0 +1,440 @@
+"""A Pythonic veneer over the C-shaped API (the pygraphblas [12] style).
+
+The paper's reference list includes pygraphblas, "a Python API for
+GraphBLAS and LAGraph" — idiomatic operator overloading layered on the
+spec operations.  This module provides that layer *on top of* the
+faithful API (never bypassing it), so Python users can write
+
+    with semiring(MIN_PLUS_SEMIRING[FP64]):
+        d = d @ A | d            # one SSSP relaxation
+
+while every expression lowers onto the same ``ops`` entry points the
+C-style programs use.
+
+Surface:
+
+* ``PM(A)`` / ``PV(v)`` wrap a Matrix/Vector (zero copy — same object).
+* ``A @ B``, ``A @ v``, ``v @ A`` — mxm/mxv/vxm under the ambient
+  semiring (default PLUS_TIMES of the promoted domain).
+* ``A + B`` (eWiseAdd), ``A * B`` (eWiseMult), ``A | B`` (eWiseAdd with
+  the ambient semiring's ⊕), unary ``-A`` (apply AINV), ``abs(A)``.
+* ``A.T`` — transposed result (materialized).
+* ``A[i, j]`` / ``v[i]`` element reads (``KeyError``-free: returns
+  ``None`` when absent); ``A[i, j] = x`` writes; ``del A[i, j]``.
+* ``A[I, J]`` extract; ``A[I, J] = B`` assign (slices and lists).
+* ``A.select(op, s)``, ``A.apply(op[, s])``, ``A.reduce(monoid)``.
+* ``semiring(sr)`` — context manager setting the ambient semiring
+  (thread-local, nestable).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+import numpy as np
+
+from .core import types as _t
+from .core.binaryop import BinaryOp
+from .core.errors import NoValue
+from .core.indexunaryop import IndexUnaryOp
+from .core.matrix import Matrix
+from .core.monoid import Monoid
+from .core.semiring import PLUS_TIMES_SEMIRING, Semiring
+from .core.types import Type, common_type
+from .core.unaryop import ABS, AINV
+from .core.vector import Vector
+from .ops.apply import apply as _apply
+from .ops.assign import assign as _assign
+from .ops.ewise import ewise_add as _ewise_add
+from .ops.ewise import ewise_mult as _ewise_mult
+from .ops.extract import extract as _extract
+from .ops.mxm import mxm as _mxm
+from .ops.mxm import mxv as _mxv
+from .ops.mxm import vxm as _vxm
+from .ops.reduce import reduce_scalar as _reduce_scalar
+from .ops.select import select as _select
+from .ops.transpose import transpose as _transpose
+
+__all__ = ["PM", "PV", "semiring", "current_semiring"]
+
+_ambient = threading.local()
+
+
+class semiring:
+    """Context manager: set the ambient semiring for ``@`` and ``|``."""
+
+    def __init__(self, sr: Semiring):
+        self.sr = sr
+
+    def __enter__(self) -> "semiring":
+        stack = getattr(_ambient, "stack", None)
+        if stack is None:
+            stack = _ambient.stack = []
+        stack.append(self.sr)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        _ambient.stack.pop()
+        return False
+
+
+def current_semiring(t: Type) -> Semiring:
+    """The ambient semiring, defaulting to PLUS_TIMES over ``t``."""
+    stack = getattr(_ambient, "stack", None)
+    if stack:
+        return stack[-1]
+    if t.is_bool:
+        from .core.semiring import LOR_LAND_SEMIRING_BOOL
+        return LOR_LAND_SEMIRING_BOOL
+    return PLUS_TIMES_SEMIRING[t]
+
+
+def _promote(a: Type, b: Type) -> Type:
+    return common_type(a, b)
+
+
+def _resolve_indices(key, limit: int):
+    """Slice/list/int → (index list or None-for-ALL, output length)."""
+    if isinstance(key, slice):
+        if key == slice(None):
+            return None, limit
+        idx = np.arange(*key.indices(limit), dtype=np.int64)
+        return idx, len(idx)
+    if isinstance(key, (list, np.ndarray)):
+        idx = np.asarray(key, dtype=np.int64)
+        return idx, len(idx)
+    raise TypeError(f"unsupported index {key!r}")
+
+
+class PV:
+    """Pythonic wrapper around a :class:`Vector` (shares the object)."""
+
+    __slots__ = ("v",)
+
+    def __init__(self, v: Vector):
+        self.v = v
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def new(cls, t: Type, size: int) -> "PV":
+        return cls(Vector.new(t, size))
+
+    @classmethod
+    def from_dict(cls, d: dict, size: int, t: Type = _t.FP64) -> "PV":
+        v = Vector.new(t, size)
+        if d:
+            v.build(list(d.keys()), list(d.values()))
+        return cls(v)
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return self.v.size
+
+    @property
+    def type(self) -> Type:
+        return self.v.type
+
+    @property
+    def nvals(self) -> int:
+        return self.v.nvals()
+
+    def to_dict(self) -> dict:
+        return self.v.to_dict()
+
+    def __len__(self) -> int:
+        return self.v.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PV({self.v!r})"
+
+    # -- element / slice access -----------------------------------------------
+
+    def __getitem__(self, key):
+        if isinstance(key, (int, np.integer)):
+            try:
+                return self.v.extract_element(int(key))
+            except NoValue:
+                return None
+        idx, n = _resolve_indices(key, self.v.size)
+        out = Vector.new(self.v.type, n, self.v.context)
+        _extract(out, None, None, self.v, idx)
+        return PV(out)
+
+    def __setitem__(self, key, value) -> None:
+        if isinstance(key, (int, np.integer)):
+            self.v.set_element(value, int(key))
+            return
+        idx, n = _resolve_indices(key, self.v.size)
+        if isinstance(value, PV):
+            _assign(self.v, None, None, value.v, idx)
+        else:
+            _assign(self.v, None, None, value, idx)
+
+    def __delitem__(self, key) -> None:
+        self.v.remove_element(int(key))
+
+    # -- algebra -------------------------------------------------------------
+
+    def __matmul__(self, other):
+        if isinstance(other, PM):
+            sr = current_semiring(_promote(self.type, other.type))
+            out = Vector.new(sr.out_type, other.m.ncols, self.v.context)
+            _vxm(out, None, None, sr, self.v, other.m)
+            return PV(out)
+        return NotImplemented
+
+    def _ewise(self, other: "PV", op: BinaryOp) -> "PV":
+        out = Vector.new(op.out_type, self.v.size, self.v.context)
+        _ewise_add(out, None, None, op, self.v, other.v)
+        return PV(out)
+
+    def __add__(self, other):
+        if isinstance(other, PV):
+            from .core.binaryop import PLUS
+            return self._ewise(other, PLUS[_promote(self.type, other.type)])
+        return NotImplemented
+
+    def __or__(self, other):
+        if isinstance(other, PV):
+            sr = current_semiring(_promote(self.type, other.type))
+            return self._ewise(other, sr.add.op)
+        return NotImplemented
+
+    def __mul__(self, other):
+        if isinstance(other, PV):
+            from .core.binaryop import TIMES
+            t = _promote(self.type, other.type)
+            out = Vector.new(t, self.v.size, self.v.context)
+            _ewise_mult(out, None, None, TIMES[t], self.v, other.v)
+            return PV(out)
+        if isinstance(other, (int, float, np.number)):
+            from .core.binaryop import TIMES
+            out = Vector.new(self.type, self.v.size, self.v.context)
+            _apply(out, None, None, TIMES[self.type], self.v, other)
+            return PV(out)
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "PV":
+        out = Vector.new(self.type, self.v.size, self.v.context)
+        _apply(out, None, None, AINV[self.type], self.v)
+        return PV(out)
+
+    def __abs__(self) -> "PV":
+        out = Vector.new(self.type, self.v.size, self.v.context)
+        _apply(out, None, None, ABS[self.type], self.v)
+        return PV(out)
+
+    # -- named operations -----------------------------------------------------
+
+    def select(self, op: IndexUnaryOp, s: Any = 0) -> "PV":
+        out = Vector.new(self.type, self.v.size, self.v.context)
+        _select(out, None, None, op, self.v, s)
+        return PV(out)
+
+    def apply(self, op, s: Any = None) -> "PV":
+        out_t = op.out_type
+        out = Vector.new(out_t, self.v.size, self.v.context)
+        if s is None:
+            _apply(out, None, None, op, self.v)
+        else:
+            _apply(out, None, None, op, self.v, s)
+        return PV(out)
+
+    def reduce(self, monoid: Monoid) -> Any:
+        return _reduce_scalar(monoid, self.v)
+
+    def wait(self) -> "PV":
+        self.v.wait()
+        return self
+
+
+class PM:
+    """Pythonic wrapper around a :class:`Matrix` (shares the object)."""
+
+    __slots__ = ("m",)
+
+    def __init__(self, m: Matrix):
+        self.m = m
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def new(cls, t: Type, nrows: int, ncols: int) -> "PM":
+        return cls(Matrix.new(t, nrows, ncols))
+
+    @classmethod
+    def from_dict(cls, d: dict, nrows: int, ncols: int,
+                  t: Type = _t.FP64) -> "PM":
+        m = Matrix.new(t, nrows, ncols)
+        if d:
+            rows, cols = zip(*d.keys())
+            m.build(list(rows), list(cols), list(d.values()))
+        return cls(m)
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.m.shape
+
+    @property
+    def type(self) -> Type:
+        return self.m.type
+
+    @property
+    def nvals(self) -> int:
+        return self.m.nvals()
+
+    def to_dict(self) -> dict:
+        return self.m.to_dict()
+
+    def to_dense(self) -> np.ndarray:
+        return self.m.to_dense()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PM({self.m!r})"
+
+    # -- element / slice access ----------------------------------------------------
+
+    def __getitem__(self, key):
+        if not (isinstance(key, tuple) and len(key) == 2):
+            raise TypeError("matrix indexing needs [rows, cols]")
+        ki, kj = key
+        if isinstance(ki, (int, np.integer)) and isinstance(kj, (int, np.integer)):
+            try:
+                return self.m.extract_element(int(ki), int(kj))
+            except NoValue:
+                return None
+        if isinstance(ki, (int, np.integer)):
+            # one row as a vector: transpose trick per the spec idiom
+            from .core.descriptor import DESC_T0
+            out = Vector.new(self.type, self.m.ncols, self.m.context)
+            _extract(out, None, None, self.m, None, int(ki), desc=DESC_T0)
+            return PV(out)
+        if isinstance(kj, (int, np.integer)):
+            out_len = _resolve_indices(ki, self.m.nrows)[1]
+            idx = _resolve_indices(ki, self.m.nrows)[0]
+            out = Vector.new(self.type, out_len, self.m.context)
+            _extract(out, None, None, self.m, idx, int(kj))
+            return PV(out)
+        ridx, nr = _resolve_indices(ki, self.m.nrows)
+        cidx, nc = _resolve_indices(kj, self.m.ncols)
+        out = Matrix.new(self.type, nr, nc, self.m.context)
+        _extract(out, None, None, self.m, ridx, cidx)
+        return PM(out)
+
+    def __setitem__(self, key, value) -> None:
+        ki, kj = key
+        if isinstance(ki, (int, np.integer)) and isinstance(kj, (int, np.integer)):
+            self.m.set_element(value, int(ki), int(kj))
+            return
+        ridx, _ = _resolve_indices(ki, self.m.nrows)
+        cidx, _ = _resolve_indices(kj, self.m.ncols)
+        if isinstance(value, PM):
+            _assign(self.m, None, None, value.m, ridx, cidx)
+        else:
+            _assign(self.m, None, None, value, ridx, cidx)
+
+    def __delitem__(self, key) -> None:
+        ki, kj = key
+        self.m.remove_element(int(ki), int(kj))
+
+    # -- algebra ---------------------------------------------------------------
+
+    @property
+    def T(self) -> "PM":
+        out = Matrix.new(self.type, self.m.ncols, self.m.nrows,
+                         self.m.context)
+        _transpose(out, None, None, self.m)
+        return PM(out)
+
+    def __matmul__(self, other):
+        if isinstance(other, PM):
+            sr = current_semiring(_promote(self.type, other.type))
+            out = Matrix.new(sr.out_type, self.m.nrows, other.m.ncols,
+                             self.m.context)
+            _mxm(out, None, None, sr, self.m, other.m)
+            return PM(out)
+        if isinstance(other, PV):
+            sr = current_semiring(_promote(self.type, other.type))
+            out = Vector.new(sr.out_type, self.m.nrows, self.m.context)
+            _mxv(out, None, None, sr, self.m, other.v)
+            return PV(out)
+        return NotImplemented
+
+    def _ewise(self, other: "PM", op: BinaryOp, *, union: bool) -> "PM":
+        out = Matrix.new(op.out_type, self.m.nrows, self.m.ncols,
+                         self.m.context)
+        fn = _ewise_add if union else _ewise_mult
+        fn(out, None, None, op, self.m, other.m)
+        return PM(out)
+
+    def __add__(self, other):
+        if isinstance(other, PM):
+            from .core.binaryop import PLUS
+            return self._ewise(other, PLUS[_promote(self.type, other.type)],
+                               union=True)
+        return NotImplemented
+
+    def __or__(self, other):
+        if isinstance(other, PM):
+            sr = current_semiring(_promote(self.type, other.type))
+            return self._ewise(other, sr.add.op, union=True)
+        return NotImplemented
+
+    def __mul__(self, other):
+        if isinstance(other, PM):
+            from .core.binaryop import TIMES
+            return self._ewise(other, TIMES[_promote(self.type, other.type)],
+                               union=False)
+        if isinstance(other, (int, float, np.number)):
+            from .core.binaryop import TIMES
+            out = Matrix.new(self.type, self.m.nrows, self.m.ncols,
+                             self.m.context)
+            _apply(out, None, None, TIMES[self.type], self.m, other)
+            return PM(out)
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "PM":
+        out = Matrix.new(self.type, self.m.nrows, self.m.ncols,
+                         self.m.context)
+        _apply(out, None, None, AINV[self.type], self.m)
+        return PM(out)
+
+    def __abs__(self) -> "PM":
+        out = Matrix.new(self.type, self.m.nrows, self.m.ncols,
+                         self.m.context)
+        _apply(out, None, None, ABS[self.type], self.m)
+        return PM(out)
+
+    # -- named operations ---------------------------------------------------------
+
+    def select(self, op: IndexUnaryOp, s: Any = 0) -> "PM":
+        out = Matrix.new(self.type, self.m.nrows, self.m.ncols,
+                         self.m.context)
+        _select(out, None, None, op, self.m, s)
+        return PM(out)
+
+    def apply(self, op, s: Any = None) -> "PM":
+        out = Matrix.new(op.out_type, self.m.nrows, self.m.ncols,
+                         self.m.context)
+        if s is None:
+            _apply(out, None, None, op, self.m)
+        else:
+            _apply(out, None, None, op, self.m, s)
+        return PM(out)
+
+    def reduce(self, monoid: Monoid) -> Any:
+        return _reduce_scalar(monoid, self.m)
+
+    def wait(self) -> "PM":
+        self.m.wait()
+        return self

@@ -1,0 +1,116 @@
+"""Introspection and validation utilities (the ``GxB_fprint`` niche).
+
+SuiteSparse ships ``GxB_*_fprint`` for debugging opaque objects; a
+reproduction needs the same affordance.  :func:`describe` renders any
+GraphBLAS object human-readably (without forcing deferred sequences
+unless asked); :func:`check_object` verifies the internal invariants of
+a container and raises ``INVALID_OBJECT`` on corruption — the check
+``deserialize`` runs on untrusted bytes, exposed for everything.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Any
+
+from .core.context import Context
+from .core.descriptor import Descriptor
+from .core.errors import InvalidObjectError
+from .core.matrix import Matrix
+from .core.scalar import Scalar
+from .core.vector import Vector
+
+__all__ = ["describe", "check_object"]
+
+_PREVIEW = 8
+
+
+def _fmt_entries(pairs, limit=_PREVIEW) -> str:
+    def plain(v):
+        return v.item() if hasattr(v, "item") else v
+
+    shown = ", ".join(f"{k}: {plain(v)!r}" for k, v in pairs[:limit])
+    more = f", … (+{len(pairs) - limit})" if len(pairs) > limit else ""
+    return f"{{{shown}{more}}}"
+
+
+def describe(obj: Any, *, force: bool = False) -> str:
+    """A readable multi-line description of a GraphBLAS object.
+
+    With ``force=False`` (default) a pending nonblocking sequence is
+    reported as pending rather than executed — describing an object
+    must not change the program's completion behaviour.
+    """
+    out = io.StringIO()
+
+    if isinstance(obj, Matrix):
+        out.write(f"GrB_Matrix  {obj.type.name}  "
+                  f"{obj.nrows} x {obj.ncols}\n")
+        _describe_opaque(obj, out, force)
+        if force or obj.is_materialized:
+            pairs = sorted(obj.to_dict().items())
+            out.write(f"  nvals: {len(pairs)}\n")
+            out.write(f"  entries: {_fmt_entries(pairs)}\n")
+    elif isinstance(obj, Vector):
+        out.write(f"GrB_Vector  {obj.type.name}  size {obj.size}\n")
+        _describe_opaque(obj, out, force)
+        if force or obj.is_materialized:
+            pairs = sorted(obj.to_dict().items())
+            out.write(f"  nvals: {len(pairs)}\n")
+            out.write(f"  entries: {_fmt_entries(pairs)}\n")
+    elif isinstance(obj, Scalar):
+        out.write(f"GrB_Scalar  {obj.type.name}\n")
+        _describe_opaque(obj, out, force)
+        if force or obj.is_materialized:
+            n = obj.nvals()
+            out.write(f"  nvals: {n}\n")
+            if n:
+                out.write(f"  value: {obj.extract_element()!r}\n")
+    elif isinstance(obj, Descriptor):
+        out.write(f"GrB_Descriptor  {obj!r}\n")
+    elif isinstance(obj, Context):
+        out.write(f"GrB_Context  {obj!r}\n")
+        out.write(f"  depth: {obj.depth}\n")
+        out.write(f"  effective nthreads: {obj.nthreads}\n")
+    else:
+        out.write(f"{type(obj).__name__}  {obj!r}\n")
+    return out.getvalue()
+
+
+def _describe_opaque(obj, out: io.StringIO, force: bool) -> None:
+    with obj._lock:
+        pending = len(obj._pending)
+        labels = [p.label for p in obj._pending]
+    out.write(f"  context: {obj.context!r}\n")
+    if pending and not force:
+        out.write(f"  state: {pending} pending method(s) "
+                  "(nonblocking; pass force=True to complete)\n")
+        shown = ", ".join(labels[:6]) + (" …" if pending > 6 else "")
+        out.write(f"  sequence: [{shown}]\n")
+    else:
+        out.write("  state: complete")
+        out.write(" / materialized\n" if obj.is_materialized else "\n")
+    err = obj.error()
+    if err:
+        out.write(f"  last error: {err}\n")
+
+
+def check_object(obj: Any) -> None:
+    """Validate a container's internal invariants (forces the sequence).
+
+    Raises :class:`InvalidObjectError` when the internal representation
+    is inconsistent — the analogue of a failed ``GxB_Matrix_check``.
+    """
+    if isinstance(obj, (Matrix, Vector)):
+        data = obj._capture()
+        try:
+            data.check()
+        except AssertionError as exc:
+            raise InvalidObjectError(f"invalid {type(obj).__name__}: {exc}")
+        return
+    if isinstance(obj, Scalar):
+        data = obj._capture()
+        if data.present not in (True, False):
+            raise InvalidObjectError("scalar presence flag corrupt")
+        return
+    raise InvalidObjectError(f"cannot check object of type {type(obj).__name__}")

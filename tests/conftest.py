@@ -1,0 +1,30 @@
+"""Shared fixtures: library lifecycle and mode parametrization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import context as ctx_mod
+from repro.core.context import Mode, finalize, init, is_initialized
+
+
+@pytest.fixture(autouse=True)
+def grb_session():
+    """Init before / finalize after every test (the spec lifecycle).
+
+    Tests that manage the lifecycle themselves (test_context) finalize
+    and re-init; this fixture just guarantees a clean slate.
+    """
+    if is_initialized():
+        finalize()
+    init(Mode.NONBLOCKING)
+    yield
+    if is_initialized():
+        finalize()
+
+
+@pytest.fixture(params=[Mode.BLOCKING, Mode.NONBLOCKING],
+                ids=["blocking", "nonblocking"])
+def mode_ctx(request):
+    """A context in each execution mode, for mode-sensitive batteries."""
+    return ctx_mod.Context.new(request.param, None, None)

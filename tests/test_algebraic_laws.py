@@ -1,0 +1,210 @@
+"""Algebraic laws of the GraphBLAS operations (hypothesis).
+
+These are the identities the linear-algebraic formulation of graph
+algorithms *relies on* — if any fails, algorithms built on the API are
+silently wrong even when individual kernels look right.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import binaryop as B
+from repro.core import monoid as M
+from repro.core import semiring as S
+from repro.core import types as T
+from repro.core.descriptor import DESC_T0, DESC_T1
+from repro.core.matrix import Matrix
+from repro.core.vector import Vector
+from repro.ops.ewise import ewise_add, ewise_mult
+from repro.ops.mxm import mxm, mxv, vxm
+from repro.ops.reduce import reduce_scalar, reduce_to_vector
+from repro.ops.transpose import transpose
+
+from .helpers import assert_mat_equal, mat_from_dict, mat_to_dict, vec_from_dict
+
+SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+# Integer values keep every law exact (no float rounding).
+def dmat(n=4, m=4):
+    return st.dictionaries(
+        st.tuples(st.integers(0, n - 1), st.integers(0, m - 1)),
+        st.integers(0, 7).map(float), max_size=n * m,
+    )
+
+
+def dvec(n=4):
+    return st.dictionaries(st.integers(0, n - 1),
+                           st.integers(0, 7).map(float), max_size=n)
+
+
+def _mm(a, b, sr=S.PLUS_TIMES_SEMIRING[T.FP64], n=4):
+    c = Matrix.new(T.FP64, n, n)
+    mxm(c, None, None, sr, a, b)
+    return c
+
+
+class TestSemiringLaws:
+    @SETTINGS
+    @given(a=dmat(), b=dmat(), c=dmat())
+    def test_left_distributivity(self, a, b, c):
+        """A(B ⊕ C) = AB ⊕ AC over PLUS_TIMES."""
+        A, Bm, Cm = (mat_from_dict(d, 4, 4) for d in (a, b, c))
+        bc = Matrix.new(T.FP64, 4, 4)
+        ewise_add(bc, None, None, B.PLUS[T.FP64], Bm, Cm)
+        lhs = _mm(A, bc)
+        ab, ac = _mm(A, Bm), _mm(A, Cm)
+        rhs = Matrix.new(T.FP64, 4, 4)
+        ewise_add(rhs, None, None, B.PLUS[T.FP64], ab, ac)
+        assert mat_to_dict(lhs) == mat_to_dict(rhs)
+
+    @SETTINGS
+    @given(a=dmat(), b=dmat(), c=dmat())
+    def test_right_distributivity(self, a, b, c):
+        """(B ⊕ C)A = BA ⊕ CA."""
+        A, Bm, Cm = (mat_from_dict(d, 4, 4) for d in (a, b, c))
+        bc = Matrix.new(T.FP64, 4, 4)
+        ewise_add(bc, None, None, B.PLUS[T.FP64], Bm, Cm)
+        lhs = _mm(bc, A)
+        rhs = Matrix.new(T.FP64, 4, 4)
+        ewise_add(rhs, None, None, B.PLUS[T.FP64], _mm(Bm, A), _mm(Cm, A))
+        assert mat_to_dict(lhs) == mat_to_dict(rhs)
+
+    @SETTINGS
+    @given(a=dmat())
+    def test_identity_matrix(self, a):
+        """AI = IA = A over PLUS_TIMES."""
+        A = mat_from_dict(a, 4, 4)
+        eye = mat_from_dict({(i, i): 1.0 for i in range(4)}, 4, 4)
+        assert mat_to_dict(_mm(A, eye)) == a
+        assert mat_to_dict(_mm(eye, A)) == a
+
+    @SETTINGS
+    @given(a=dmat(), b=dmat())
+    def test_transpose_antihomomorphism(self, a, b):
+        """(AB)ᵀ = BᵀAᵀ."""
+        A = mat_from_dict(a, 4, 4)
+        Bm = mat_from_dict(b, 4, 4)
+        ab_t = Matrix.new(T.FP64, 4, 4)
+        transpose(ab_t, None, None, _mm(A, Bm))
+        # BᵀAᵀ via descriptor transposes:
+        rhs = Matrix.new(T.FP64, 4, 4)
+        mxm(rhs, None, None, S.PLUS_TIMES_SEMIRING[T.FP64], Bm, A,
+            desc=_DESC_TT)
+        assert mat_to_dict(ab_t) == mat_to_dict(rhs)
+
+    @SETTINGS
+    @given(a=dmat(), u=dvec())
+    def test_mxv_is_vxm_of_transpose(self, a, u):
+        """A·u = (u'·Aᵀ)'."""
+        A = mat_from_dict(a, 4, 4)
+        U = vec_from_dict(u, 4)
+        w1 = Vector.new(T.FP64, 4)
+        mxv(w1, None, None, S.PLUS_TIMES_SEMIRING[T.FP64], A, U)
+        w2 = Vector.new(T.FP64, 4)
+        vxm(w2, None, None, S.PLUS_TIMES_SEMIRING[T.FP64], U, A,
+            desc=DESC_T1)
+        assert w1.to_dict() == w2.to_dict()
+
+    @SETTINGS
+    @given(a=dmat(), b=dmat())
+    def test_min_plus_associates_with_itself(self, a, b):
+        """min-plus products compose (the SSSP algebra is sound)."""
+        A = mat_from_dict(a, 4, 4)
+        Bm = mat_from_dict(b, 4, 4)
+        sr = S.MIN_PLUS_SEMIRING[T.FP64]
+        ab = _mm(A, Bm, sr)
+        aab = _mm(A, ab, sr)
+        aa = _mm(A, A, sr)
+        aab2 = _mm(aa, Bm, sr)
+        assert mat_to_dict(aab) == mat_to_dict(aab2)
+
+
+from repro.core.descriptor import Descriptor as _Descriptor  # noqa: E402
+
+_DESC_TT = _Descriptor(tran0=True, tran1=True)._freeze()
+
+
+class TestMonoidLaws:
+    @SETTINGS
+    @given(vals=st.lists(st.integers(-50, 50), max_size=20),
+           fam=st.sampled_from(["PLUS", "MIN", "MAX", "TIMES"]))
+    def test_reduce_invariant_under_permutation(self, vals, fam):
+        monoid = getattr(M, f"{fam}_MONOID")[T.INT64]
+        arr = np.array(vals, dtype=np.int64)
+        fwd = monoid.reduce_array(arr)
+        rev = monoid.reduce_array(arr[::-1].copy())
+        assert fwd == rev
+
+    @SETTINGS
+    @given(vals=st.lists(st.integers(-50, 50), min_size=1, max_size=20))
+    def test_identity_is_neutral(self, vals):
+        m = M.PLUS_MONOID[T.INT64]
+        arr = np.array(vals + [int(m.identity)], dtype=np.int64)
+        assert m.reduce_array(arr) == m.reduce_array(
+            np.array(vals, dtype=np.int64))
+
+    @SETTINGS
+    @given(a=dmat())
+    def test_matrix_reduce_equals_row_then_scalar(self, a):
+        """Reducing all of A == reducing its row-reduction."""
+        A = mat_from_dict(a, 4, 4)
+        direct = reduce_scalar(M.PLUS_MONOID[T.FP64], A)
+        rows = Vector.new(T.FP64, 4)
+        reduce_to_vector(rows, None, None, M.PLUS_MONOID[T.FP64], A)
+        staged = reduce_scalar(M.PLUS_MONOID[T.FP64], rows)
+        assert direct == pytest.approx(staged)
+
+    @SETTINGS
+    @given(a=dmat())
+    def test_row_reduce_of_transpose_is_col_reduce(self, a):
+        A = mat_from_dict(a, 4, 4)
+        by_desc = Vector.new(T.FP64, 4)
+        reduce_to_vector(by_desc, None, None, M.PLUS_MONOID[T.FP64], A,
+                         desc=DESC_T0)
+        At = Matrix.new(T.FP64, 4, 4)
+        transpose(At, None, None, A)
+        by_mat = Vector.new(T.FP64, 4)
+        reduce_to_vector(by_mat, None, None, M.PLUS_MONOID[T.FP64], At)
+        assert by_desc.to_dict() == by_mat.to_dict()
+
+
+class TestEwiseLaws:
+    @SETTINGS
+    @given(a=dmat(), b=dmat(), c=dmat())
+    def test_ewise_add_associative(self, a, b, c):
+        A, Bm, Cm = (mat_from_dict(d, 4, 4) for d in (a, b, c))
+        ab = Matrix.new(T.FP64, 4, 4)
+        ewise_add(ab, None, None, B.PLUS[T.FP64], A, Bm)
+        ab_c = Matrix.new(T.FP64, 4, 4)
+        ewise_add(ab_c, None, None, B.PLUS[T.FP64], ab, Cm)
+        bc = Matrix.new(T.FP64, 4, 4)
+        ewise_add(bc, None, None, B.PLUS[T.FP64], Bm, Cm)
+        a_bc = Matrix.new(T.FP64, 4, 4)
+        ewise_add(a_bc, None, None, B.PLUS[T.FP64], A, bc)
+        assert mat_to_dict(ab_c) == mat_to_dict(a_bc)
+
+    @SETTINGS
+    @given(a=dmat(), b=dmat())
+    def test_mult_pattern_is_intersection_add_is_union(self, a, b):
+        A, Bm = mat_from_dict(a, 4, 4), mat_from_dict(b, 4, 4)
+        add = Matrix.new(T.FP64, 4, 4)
+        ewise_add(add, None, None, B.PLUS[T.FP64], A, Bm)
+        mult = Matrix.new(T.FP64, 4, 4)
+        ewise_mult(mult, None, None, B.TIMES[T.FP64], A, Bm)
+        assert set(mat_to_dict(add)) == set(a) | set(b)
+        assert set(mat_to_dict(mult)) == set(a) & set(b)
+
+    @SETTINGS
+    @given(a=dmat())
+    def test_add_with_empty_is_identity(self, a):
+        A = mat_from_dict(a, 4, 4)
+        E = Matrix.new(T.FP64, 4, 4)
+        out = Matrix.new(T.FP64, 4, 4)
+        ewise_add(out, None, None, B.PLUS[T.FP64], A, E)
+        assert mat_to_dict(out) == a

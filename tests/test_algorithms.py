@@ -1,0 +1,196 @@
+"""Algorithm battery: cross-checked against networkx on random graphs."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    bfs_levels,
+    bfs_parents,
+    connected_components,
+    k_truss,
+    pagerank,
+    sssp,
+    triangle_count,
+    triangle_count_burkhardt,
+)
+from repro.core import types as T
+from repro.core.errors import InvalidIndexError, InvalidValueError
+from repro.generators import erdos_renyi, grid_2d, rmat, to_matrix
+
+
+def _nx_from_triples(n, rows, cols, vals=None, directed=True):
+    g = nx.DiGraph() if directed else nx.Graph()
+    g.add_nodes_from(range(n))
+    if vals is None:
+        g.add_edges_from(zip(rows.tolist(), cols.tolist()))
+    else:
+        g.add_weighted_edges_from(
+            zip(rows.tolist(), cols.tolist(), vals.tolist())
+        )
+    return g
+
+
+@pytest.fixture(params=[3, 7, 21], ids=lambda s: f"seed{s}")
+def digraph(request):
+    n, rows, cols, vals = erdos_renyi(40, 0.08, seed=request.param)
+    keep = rows != cols
+    rows, cols, vals = rows[keep], cols[keep], vals[keep]
+    A = to_matrix(40, rows, cols, np.ones(len(rows)), T.BOOL)
+    return A, _nx_from_triples(40, rows, cols)
+
+
+@pytest.fixture(params=[5, 13], ids=lambda s: f"seed{s}")
+def ugraph(request):
+    n, rows, cols, vals = erdos_renyi(36, 0.09, seed=request.param)
+    keep = rows != cols
+    rows, cols = rows[keep], cols[keep]
+    A = to_matrix(36, rows, cols, np.ones(len(rows)), T.FP64,
+                  make_undirected=True)
+    return A, _nx_from_triples(36, rows, cols, directed=False)
+
+
+class TestBFS:
+    def test_levels_match_networkx(self, digraph):
+        A, g = digraph
+        ours = bfs_levels(A, 0).to_dict()
+        theirs = nx.single_source_shortest_path_length(g, 0)
+        assert {k: int(v) for k, v in ours.items()} == dict(theirs)
+
+    def test_parents_form_valid_bfs_tree(self, digraph):
+        A, g = digraph
+        levels = {k: int(v) for k, v in bfs_levels(A, 0).to_dict().items()}
+        parents = bfs_parents(A, 0).to_dict()
+        assert set(parents) == set(levels)
+        for child, parent in parents.items():
+            parent = int(parent)
+            if child == 0:
+                assert parent == 0
+                continue
+            assert g.has_edge(parent, child)
+            assert levels[parent] == levels[child] - 1
+
+    def test_source_out_of_range(self, digraph):
+        A, _ = digraph
+        with pytest.raises(InvalidIndexError):
+            bfs_levels(A, 4096)
+        with pytest.raises(InvalidIndexError):
+            bfs_parents(A, -1)
+
+    def test_isolated_source(self):
+        A = to_matrix(4, np.array([1]), np.array([2]), np.ones(1), T.BOOL)
+        lv = bfs_levels(A, 0)
+        assert lv.to_dict() == {0: 0}
+
+
+class TestSSSP:
+    def test_matches_networkx_dijkstra(self):
+        n, rows, cols, vals = erdos_renyi(30, 0.12, seed=2)
+        keep = rows != cols
+        rows, cols = rows[keep], cols[keep]
+        w = 1.0 + np.round(vals[keep] * 9)
+        A = to_matrix(30, rows, cols, w, T.FP64)
+        g = _nx_from_triples(30, rows, cols, w)
+        ours = {k: float(v) for k, v in sssp(A, 0).to_dict().items()}
+        theirs = nx.single_source_dijkstra_path_length(g, 0)
+        assert ours == {k: float(v) for k, v in theirs.items()}
+
+    def test_max_iters_validation(self):
+        A = to_matrix(3, np.array([0]), np.array([1]), np.ones(1), T.FP64)
+        with pytest.raises(InvalidValueError):
+            sssp(A, 0, max_iters=0)
+
+
+class TestTriangles:
+    def test_matches_networkx(self, ugraph):
+        A, g = ugraph
+        expected = sum(nx.triangles(g).values()) // 3
+        assert triangle_count(A) == expected
+        assert triangle_count_burkhardt(A) == expected
+
+    def test_triangle_free_graph(self):
+        n, rows, cols, _ = grid_2d(5)
+        A = to_matrix(n, rows, cols, np.ones(len(rows)), T.FP64)
+        assert triangle_count(A) == 0   # grid graphs are bipartite
+
+    def test_k4(self):
+        rows, cols = np.nonzero(~np.eye(4, dtype=bool))
+        A = to_matrix(4, rows, cols, np.ones(len(rows)), T.FP64)
+        assert triangle_count(A) == 4
+
+
+class TestComponents:
+    def test_matches_networkx(self, ugraph):
+        A, g = ugraph
+        labels = connected_components(A).to_dict()
+        ours = {}
+        for v, lbl in labels.items():
+            ours.setdefault(int(lbl), set()).add(v)
+        theirs = {frozenset(c) for c in nx.connected_components(g)}
+        assert {frozenset(c) for c in ours.values()} == theirs
+
+    def test_labels_are_component_minima(self, ugraph):
+        A, _ = ugraph
+        labels = connected_components(A).to_dict()
+        for v, lbl in labels.items():
+            assert int(lbl) <= v
+
+
+class TestPageRank:
+    def test_matches_networkx(self, digraph):
+        A, g = digraph
+        Af = to_matrix(
+            A.nrows,
+            *(lambda t: (t[0], t[1], np.ones(len(t[0]))))(A.extract_tuples()[:2]),
+            T.FP64,
+        )
+        ours, _ = pagerank(Af, damping=0.85, tol=1e-10, max_iters=200)
+        theirs = nx.pagerank(g, alpha=0.85, tol=1e-12, max_iter=500)
+        ours_d = {k: float(v) for k, v in ours.to_dict().items()}
+        assert ours_d.keys() == theirs.keys()
+        for k in theirs:
+            assert abs(ours_d[k] - theirs[k]) < 1e-6, k
+
+    def test_ranks_sum_to_one(self, digraph):
+        A, _ = digraph
+        Af = to_matrix(
+            A.nrows,
+            *(lambda t: (t[0], t[1], np.ones(len(t[0]))))(A.extract_tuples()[:2]),
+            T.FP64,
+        )
+        ranks, iters = pagerank(Af)
+        assert iters >= 1
+        total = sum(float(v) for v in ranks.to_dict().values())
+        assert abs(total - 1.0) < 1e-9
+
+    def test_damping_validation(self):
+        A = to_matrix(3, np.array([0]), np.array([1]), np.ones(1), T.FP64)
+        with pytest.raises(InvalidValueError):
+            pagerank(A, damping=1.5)
+
+
+class TestKTruss:
+    def test_k3_keeps_triangle_edges_only(self):
+        # Triangle 0-1-2 plus a pendant edge 2-3.
+        rows = np.array([0, 1, 0, 2, 1, 2, 2, 3])
+        cols = np.array([1, 0, 2, 0, 2, 1, 3, 2])
+        A = to_matrix(4, rows, cols, np.ones(8), T.FP64)
+        kt = k_truss(A, 3)
+        keys = set(kt.to_dict())
+        assert keys == {(0, 1), (1, 0), (0, 2), (2, 0), (1, 2), (2, 1)}
+
+    def test_k5_truss_of_k5(self):
+        rows, cols = np.nonzero(~np.eye(5, dtype=bool))
+        A = to_matrix(5, rows, cols, np.ones(len(rows)), T.FP64)
+        assert k_truss(A, 5).nvals() == 20
+        assert k_truss(A, 3).nvals() == 20
+
+    def test_truss_of_triangle_free_graph_is_empty(self):
+        n, rows, cols, _ = grid_2d(4)
+        A = to_matrix(n, rows, cols, np.ones(len(rows)), T.FP64)
+        assert k_truss(A, 3).nvals() == 0
+
+    def test_k_validation(self):
+        A = to_matrix(3, np.array([0]), np.array([1]), np.ones(1), T.FP64)
+        with pytest.raises(InvalidValueError):
+            k_truss(A, 2)

@@ -1,0 +1,162 @@
+"""Extended-algorithm battery: BC, MIS, k-core, clustering coefficients,
+all cross-checked against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    betweenness_centrality,
+    core_numbers,
+    k_core,
+    local_clustering_coefficient,
+    maximal_independent_set,
+)
+from repro.core import types as T
+from repro.core.errors import InvalidIndexError, InvalidValueError
+from repro.generators import erdos_renyi, grid_2d, to_matrix
+
+
+def _digraph(n=30, p=0.1, seed=7):
+    _, rows, cols, _ = erdos_renyi(n, p, seed=seed)
+    keep = rows != cols
+    rows, cols = rows[keep], cols[keep]
+    A = to_matrix(n, rows, cols, np.ones(len(rows)), T.FP64)
+    g = nx.DiGraph()
+    g.add_nodes_from(range(n))
+    g.add_edges_from(zip(rows.tolist(), cols.tolist()))
+    return A, g
+
+
+def _ugraph(n=30, p=0.1, seed=7):
+    _, rows, cols, _ = erdos_renyi(n, p, seed=seed)
+    keep = rows != cols
+    rows, cols = rows[keep], cols[keep]
+    A = to_matrix(n, rows, cols, np.ones(len(rows)), T.FP64,
+                  make_undirected=True)
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    g.add_edges_from(zip(rows.tolist(), cols.tolist()))
+    return A, g
+
+
+class TestBetweenness:
+    @pytest.mark.parametrize("seed", [3, 11], ids=lambda s: f"seed{s}")
+    def test_exact_matches_networkx(self, seed):
+        A, g = _digraph(seed=seed)
+        ours = {int(k): float(v)
+                for k, v in betweenness_centrality(A).to_dict().items()}
+        theirs = nx.betweenness_centrality(g, normalized=False)
+        for k, v in theirs.items():
+            assert ours.get(k, 0.0) == pytest.approx(v), k
+
+    def test_path_graph_is_quadratic_interior(self):
+        from repro.generators import path_graph
+        n, rows, cols, vals = path_graph(5)
+        A = to_matrix(n, rows, cols, vals, T.FP64)
+        bc = {int(k): float(v)
+              for k, v in betweenness_centrality(A).to_dict().items()}
+        # directed path 0→1→2→3→4: vertex i lies on i*(4-i) shortest paths
+        for i in range(5):
+            assert bc.get(i, 0.0) == pytest.approx(i * (4 - i))
+
+    def test_sampled_sources_subset(self):
+        A, g = _digraph(seed=5)
+        full = betweenness_centrality(A)
+        sampled = betweenness_centrality(A, sources=[0, 1, 2])
+        assert sum(sampled.to_dict().values()) <= \
+            sum(full.to_dict().values()) + 1e-9
+
+    def test_source_validation(self):
+        A, _ = _digraph()
+        with pytest.raises(InvalidIndexError):
+            betweenness_centrality(A, sources=[999])
+
+
+class TestMIS:
+    @pytest.mark.parametrize("seed", [1, 9, 17], ids=lambda s: f"seed{s}")
+    def test_independent_and_maximal(self, seed):
+        A, g = _ugraph(seed=seed)
+        members = {
+            k for k, v in
+            maximal_independent_set(A, seed=seed).to_dict().items() if v
+        }
+        for u, v in g.edges:
+            assert not (u in members and v in members)
+        for v in g.nodes:
+            if v not in members:
+                assert any(u in members for u in g.neighbors(v)) or \
+                    g.degree(v) == 0
+
+    def test_isolated_vertices_always_in_set(self):
+        A = to_matrix(5, np.array([0, 1]), np.array([1, 0]),
+                      np.ones(2, bool), T.BOOL)
+        members = {k for k, v in
+                   maximal_independent_set(A).to_dict().items() if v}
+        assert {2, 3, 4} <= members
+
+    def test_empty_graph(self):
+        from repro.core.matrix import Matrix
+        A = Matrix.new(T.BOOL, 4, 4)
+        members = {k for k, v in
+                   maximal_independent_set(A).to_dict().items() if v}
+        assert members == {0, 1, 2, 3}
+
+
+class TestKCore:
+    @pytest.mark.parametrize("k", [2, 3], ids=lambda k: f"k{k}")
+    def test_matches_networkx(self, k):
+        A, g = _ugraph(n=40, p=0.12, seed=2)
+        sub, ids = k_core(A, k)
+        theirs = set(nx.k_core(g, k).nodes)
+        assert set(ids.tolist()) == theirs
+
+    def test_core_of_clique(self):
+        rows, cols = np.nonzero(~np.eye(5, dtype=bool))
+        A = to_matrix(5, rows, cols, np.ones(len(rows)), T.FP64)
+        sub, ids = k_core(A, 4)
+        assert len(ids) == 5 and sub.nvals() == 20
+        _, ids5 = k_core(A, 5)
+        assert len(ids5) == 0
+
+    def test_core_numbers_match_networkx(self):
+        A, g = _ugraph(n=30, p=0.15, seed=8)
+        ours = {int(k): int(v)
+                for k, v in core_numbers(A).to_dict().items()}
+        theirs = nx.core_number(g)
+        assert ours == {k: v for k, v in theirs.items()}
+
+    def test_k_validation(self):
+        A, _ = _ugraph()
+        with pytest.raises(InvalidValueError):
+            k_core(A, 0)
+
+
+class TestClusteringCoefficient:
+    @pytest.mark.parametrize("seed", [4, 12], ids=lambda s: f"seed{s}")
+    def test_matches_networkx(self, seed):
+        A, g = _ugraph(n=35, p=0.15, seed=seed)
+        ours = {int(k): float(v)
+                for k, v in
+                local_clustering_coefficient(A).to_dict().items()}
+        theirs = nx.clustering(g)
+        for v, c in theirs.items():
+            if g.degree(v) == 0:
+                assert v not in ours
+            else:
+                assert ours[v] == pytest.approx(c), v
+
+    def test_triangle_graph_is_all_ones(self):
+        rows = np.array([0, 1, 1, 2, 2, 0])
+        cols = np.array([1, 0, 2, 1, 0, 2])
+        A = to_matrix(3, rows, cols, np.ones(6), T.FP64)
+        lcc = local_clustering_coefficient(A).to_dict()
+        assert all(float(v) == pytest.approx(1.0) for v in lcc.values())
+
+    def test_star_graph_is_zero(self):
+        rows = np.array([0, 1, 0, 2, 0, 3])
+        cols = np.array([1, 0, 2, 0, 3, 0])
+        A = to_matrix(4, rows, cols, np.ones(6), T.FP64)
+        lcc = local_clustering_coefficient(A).to_dict()
+        assert all(float(v) == 0.0 for v in lcc.values())
+        assert len(lcc) == 4

@@ -1,0 +1,226 @@
+"""apply (all four flavours, §VIII-B) and select (§VIII-C) batteries."""
+
+import numpy as np
+import pytest
+
+from repro.core import binaryop as B
+from repro.core import indexunaryop as IU
+from repro.core import types as T
+from repro.core import unaryop as U
+from repro.core.descriptor import DESC_R, DESC_T0
+from repro.core.errors import (
+    DimensionMismatchError,
+    DomainMismatchError,
+    EmptyObjectError,
+)
+from repro.core.matrix import Matrix
+from repro.core.scalar import Scalar
+from repro.core.vector import Vector
+from repro.ops.apply import apply
+from repro.ops.select import select
+
+from .helpers import (
+    assert_mat_equal,
+    assert_vec_equal,
+    mat_from_dict,
+    mat_to_dict,
+    vec_from_dict,
+    vec_to_dict,
+)
+from .reference import ref_write_back
+
+A_D = {(0, 1): 2.0, (1, 0): -3.0, (1, 2): 4.0, (2, 2): -5.0}
+U_D = {0: 2.0, 2: -3.0, 4: 4.0}
+
+
+class TestUnaryApply:
+    def test_matrix_unary(self):
+        C = Matrix.new(T.FP64, 3, 3)
+        apply(C, None, None, U.ABS[T.FP64], mat_from_dict(A_D, 3, 3))
+        assert_mat_equal(C, {k: abs(v) for k, v in A_D.items()}, "abs")
+
+    def test_vector_unary(self):
+        w = Vector.new(T.FP64, 5)
+        apply(w, None, None, U.AINV[T.FP64], vec_from_dict(U_D, 5))
+        assert_vec_equal(w, {k: -v for k, v in U_D.items()}, "ainv")
+
+    def test_output_domain_cast(self):
+        C = Matrix.new(T.INT32, 3, 3)
+        apply(C, None, None, U.IDENTITY[T.FP64], mat_from_dict(A_D, 3, 3))
+        assert_mat_equal(C, {k: int(v) for k, v in A_D.items()}, "cast")
+
+    def test_apply_with_transpose_desc(self):
+        at = {(j, i): v for (i, j), v in A_D.items()}
+        C = Matrix.new(T.FP64, 3, 3)
+        apply(C, None, None, U.ABS[T.FP64], mat_from_dict(at, 3, 3),
+              desc=DESC_T0)
+        assert_mat_equal(C, {k: abs(v) for k, v in A_D.items()}, "T0")
+
+    def test_apply_desc_positional_style(self):
+        """C calling style: apply(w, mask, accum, op, u, desc)."""
+        C = Matrix.new(T.FP64, 3, 3)
+        apply(C, None, None, U.ABS[T.FP64], mat_from_dict(A_D, 3, 3), DESC_R)
+        assert C.nvals() == len(A_D)
+
+    def test_udf_unary_per_element(self):
+        op = U.UnaryOp.new(lambda x: x * 2 + 1, T.FP64, T.FP64)
+        w = Vector.new(T.FP64, 5)
+        apply(w, None, None, op, vec_from_dict(U_D, 5))
+        assert_vec_equal(w, {k: v * 2 + 1 for k, v in U_D.items()}, "udf")
+
+    def test_mask_accum(self):
+        c0 = {(0, 1): 100.0}
+        mask = {(0, 1): True, (1, 0): True}
+        C = mat_from_dict(c0, 3, 3)
+        apply(C, mat_from_dict(mask, 3, 3, T.BOOL), B.PLUS[T.FP64],
+              U.ABS[T.FP64], mat_from_dict(A_D, 3, 3))
+        t = {k: abs(v) for k, v in A_D.items()}
+        assert_mat_equal(C, ref_write_back(c0, t, mask, lambda x, y: x + y),
+                         "mask accum")
+
+
+class TestBindApply:
+    def test_bind2nd_matrix(self):
+        C = Matrix.new(T.FP64, 3, 3)
+        apply(C, None, None, B.TIMES[T.FP64], mat_from_dict(A_D, 3, 3), 10.0)
+        assert_mat_equal(C, {k: v * 10 for k, v in A_D.items()}, "bind2nd")
+
+    def test_bind1st_matrix(self):
+        C = Matrix.new(T.FP64, 3, 3)
+        apply(C, None, None, B.MINUS[T.FP64], 10.0, mat_from_dict(A_D, 3, 3))
+        assert_mat_equal(C, {k: 10 - v for k, v in A_D.items()}, "bind1st")
+
+    def test_bind_vector_both_sides(self):
+        w1 = Vector.new(T.FP64, 5)
+        apply(w1, None, None, B.MINUS[T.FP64], vec_from_dict(U_D, 5), 1.0)
+        assert_vec_equal(w1, {k: v - 1 for k, v in U_D.items()}, "v bind2nd")
+        w2 = Vector.new(T.FP64, 5)
+        apply(w2, None, None, B.MINUS[T.FP64], 1.0, vec_from_dict(U_D, 5))
+        assert_vec_equal(w2, {k: 1 - v for k, v in U_D.items()}, "v bind1st")
+
+    def test_bind_scalar_may_be_grb_scalar(self):
+        """Table II: GrB_apply(…, GrB_Scalar, …)."""
+        s = Scalar.new(T.FP64)
+        s.set_element(3.0)
+        w = Vector.new(T.FP64, 5)
+        apply(w, None, None, B.TIMES[T.FP64], vec_from_dict(U_D, 5), s)
+        assert_vec_equal(w, {k: v * 3 for k, v in U_D.items()}, "GrB_Scalar")
+
+    def test_bind_empty_scalar_is_empty_object_error(self):
+        s = Scalar.new(T.FP64)
+        w = Vector.new(T.FP64, 5)
+        with pytest.raises(EmptyObjectError):
+            apply(w, None, None, B.TIMES[T.FP64], vec_from_dict(U_D, 5), s)
+
+    def test_bind_with_two_containers_rejected(self):
+        u = vec_from_dict(U_D, 5)
+        w = Vector.new(T.FP64, 5)
+        with pytest.raises(DomainMismatchError):
+            apply(w, None, None, B.TIMES[T.FP64], u, u)
+
+    def test_comparison_bind_gives_bool(self):
+        w = Vector.new(T.BOOL, 5)
+        apply(w, None, None, B.GT[T.FP64], vec_from_dict(U_D, 5), 0.0)
+        assert_vec_equal(w, {k: v > 0 for k, v in U_D.items()}, "gt0")
+
+
+class TestIndexApply:
+    def test_matrix_index_apply_formula(self):
+        """§VIII-B: C⟨M,r⟩ = C ⊙ f(A, ind(A), 2, s)."""
+        C = Matrix.new(T.INT64, 3, 3)
+        apply(C, None, None, IU.ROWINDEX[T.INT64], mat_from_dict(A_D, 3, 3), 7)
+        assert_mat_equal(C, {k: k[0] + 7 for k in A_D}, "rowindex")
+
+    def test_transposed_input_uses_post_transpose_indices(self):
+        """§VIII-B: with A transposed, indices are post-transpose."""
+        at = {(j, i): v for (i, j), v in A_D.items()}
+        C = Matrix.new(T.INT64, 3, 3)
+        apply(C, None, None, IU.COLINDEX[T.INT64], mat_from_dict(at, 3, 3),
+              0, desc=DESC_T0)
+        assert_mat_equal(C, {k: k[1] for k in A_D}, "T0 colindex")
+
+    def test_vector_index_apply_sees_column_zero(self):
+        op = IU.IndexUnaryOp.new(lambda v, i, j, s: i * 100 + j + s,
+                                 T.INT64, T.FP64, T.INT64)
+        w = Vector.new(T.INT64, 5)
+        apply(w, None, None, op, vec_from_dict(U_D, 5), 1)
+        assert_vec_equal(w, {k: k * 100 + 1 for k in U_D}, "vec index")
+
+    def test_index_apply_scalar_arg_grb_scalar(self):
+        s = Scalar.new(T.INT64)
+        s.set_element(5)
+        C = Matrix.new(T.INT64, 3, 3)
+        apply(C, None, None, IU.ROWINDEX[T.INT64], mat_from_dict(A_D, 3, 3), s)
+        assert_mat_equal(C, {k: k[0] + 5 for k in A_D}, "scalar s")
+
+
+class TestSelect:
+    def test_paper_example_shape(self):
+        """Fig. 3's select: user-defined triu-and-greater operator."""
+        op = IU.IndexUnaryOp.new(
+            lambda v, i, j, s: (j > i) and (v > s), T.BOOL, T.FP64, T.FP64,
+            name="my_triu_gt",
+        )
+        C = Matrix.new(T.FP64, 3, 3)
+        select(C, None, None, op, mat_from_dict(A_D, 3, 3), 0.0)
+        assert mat_to_dict(C) == {
+            k: v for k, v in A_D.items() if k[1] > k[0] and v > 0
+        }
+
+    def test_select_keeps_values_unchanged(self):
+        C = Matrix.new(T.FP64, 3, 3)
+        select(C, None, None, IU.VALUELT[T.FP64], mat_from_dict(A_D, 3, 3), 0.0)
+        assert_mat_equal(C, {k: v for k, v in A_D.items() if v < 0}, "vals")
+
+    def test_select_on_vector(self):
+        w = Vector.new(T.FP64, 5)
+        select(w, None, None, IU.VALUEGT[T.FP64], vec_from_dict(U_D, 5), 0.0)
+        assert_vec_equal(w, {k: v for k, v in U_D.items() if v > 0}, "vsel")
+
+    def test_select_with_transpose(self):
+        at = {(j, i): v for (i, j), v in A_D.items()}
+        C = Matrix.new(T.FP64, 3, 3)
+        select(C, None, None, IU.TRIL, mat_from_dict(at, 3, 3), 0, desc=DESC_T0)
+        assert_mat_equal(C, {k: v for k, v in A_D.items() if k[1] <= k[0]},
+                         "T0 tril")
+
+    def test_select_mask_accum_write_back(self):
+        c0 = {(1, 0): 50.0, (2, 2): 60.0}
+        mask = {(1, 0): True, (2, 2): True, (0, 1): True}
+        C = mat_from_dict(c0, 3, 3)
+        select(C, mat_from_dict(mask, 3, 3, T.BOOL), B.PLUS[T.FP64],
+               IU.VALUELT[T.FP64], mat_from_dict(A_D, 3, 3), 0.0)
+        t = {k: v for k, v in A_D.items() if v < 0}
+        assert_mat_equal(C, ref_write_back(c0, t, mask, lambda x, y: x + y),
+                         "select mask accum")
+
+    def test_select_requires_bool_predefined(self):
+        C = Matrix.new(T.INT64, 3, 3)
+        with pytest.raises(DomainMismatchError):
+            select(C, None, None, IU.ROWINDEX[T.INT64],
+                   mat_from_dict(A_D, 3, 3), 0)
+
+    def test_select_requires_indexunaryop(self):
+        C = Matrix.new(T.FP64, 3, 3)
+        with pytest.raises(DomainMismatchError):
+            select(C, None, None, U.ABS[T.FP64], mat_from_dict(A_D, 3, 3), 0)
+
+    def test_select_empty_scalar_rejected(self):
+        C = Matrix.new(T.FP64, 3, 3)
+        with pytest.raises(EmptyObjectError):
+            select(C, None, None, IU.VALUEGT[T.FP64],
+                   mat_from_dict(A_D, 3, 3), Scalar.new(T.FP64))
+
+    def test_select_shape_check(self):
+        C = Matrix.new(T.FP64, 2, 2)
+        with pytest.raises(DimensionMismatchError):
+            select(C, None, None, IU.TRIL, mat_from_dict(A_D, 3, 3), 0)
+
+    def test_select_all_and_none(self):
+        A = mat_from_dict(A_D, 3, 3)
+        C = Matrix.new(T.FP64, 3, 3)
+        select(C, None, None, IU.VALUENE[T.FP64], A, 123456.0)
+        assert C.nvals() == len(A_D)
+        C2 = Matrix.new(T.FP64, 3, 3)
+        select(C2, None, None, IU.VALUEEQ[T.FP64], A, 123456.0)
+        assert C2.nvals() == 0

@@ -1,0 +1,158 @@
+"""The GrB_-prefixed C-spelling surface: names, signatures, figure usage."""
+
+import numpy as np
+import pytest
+
+from repro import capi
+
+
+class TestSpellings:
+    def test_core_lifecycle_names(self):
+        for name in ("GrB_init", "GrB_finalize", "GrB_wait", "GrB_error",
+                     "GrB_getVersion", "GrB_free"):
+            assert hasattr(capi, name), name
+
+    def test_mode_constants(self):
+        assert int(capi.GrB_NONBLOCKING) == 0
+        assert int(capi.GrB_BLOCKING) == 1
+        assert int(capi.GrB_COMPLETE) == 0
+        assert int(capi.GrB_MATERIALIZE) == 1
+        assert capi.GrB_NULL is None
+        assert capi.GrB_ALL is None
+
+    def test_fig2_context_surface(self):
+        for name in ("GrB_Context_new", "GrB_Context_switch",
+                     "GrB_Matrix_new", "GrB_Vector_new"):
+            assert hasattr(capi, name), name
+
+    def test_operation_names(self):
+        for name in ("GrB_mxm", "GrB_mxv", "GrB_vxm", "GrB_eWiseAdd",
+                     "GrB_eWiseMult", "GrB_extract", "GrB_assign",
+                     "GrB_Row_assign", "GrB_Col_assign", "GrB_apply",
+                     "GrB_select", "GrB_reduce", "GrB_transpose",
+                     "GrB_kronecker"):
+            assert hasattr(capi, name), name
+
+    def test_table1_scalar_surface(self):
+        for name in ("GrB_Scalar_new", "GrB_Scalar_dup", "GrB_Scalar_clear",
+                     "GrB_Scalar_nvals", "GrB_Scalar_setElement",
+                     "GrB_Scalar_extractElement"):
+            assert hasattr(capi, name), name
+
+    def test_data_transfer_surface(self):
+        for name in ("GrB_Matrix_import", "GrB_Matrix_export",
+                     "GrB_Matrix_exportSize", "GrB_Matrix_exportHint",
+                     "GrB_Matrix_serialize", "GrB_Matrix_serializeSize",
+                     "GrB_Matrix_deserialize", "GrB_Vector_import",
+                     "GrB_Vector_export", "GrB_Vector_serialize"):
+            assert hasattr(capi, name), name
+
+    def test_predefined_objects_carry_c_names(self):
+        assert capi.GrB_PLUS_INT32.name == "GrB_PLUS_INT32"
+        assert capi.GrB_PLUS_TIMES_SEMIRING_FP64.name == \
+            "GrB_PLUS_TIMES_SEMIRING_FP64"
+        assert capi.GrB_TRIL.name == "GrB_TRIL"
+        assert capi.GrB_MIN_MONOID_FP32.name == "GrB_MIN_MONOID_FP32"
+        assert capi.GrB_BOOL.name == "GrB_BOOL"
+
+    def test_descriptor_constants(self):
+        assert capi.GrB_DESC_RSC.replace
+        assert capi.GrB_DESC_RSC.mask_structure
+        assert capi.GrB_DESC_RSC.mask_complement
+        assert capi.GrB_DESC_T0.transpose0
+
+    def test_op_constructors(self):
+        for name in ("GrB_Type_new", "GrB_UnaryOp_new", "GrB_BinaryOp_new",
+                     "GrB_IndexUnaryOp_new", "GrB_Monoid_new",
+                     "GrB_Semiring_new", "GrB_Descriptor_new"):
+            assert hasattr(capi, name), name
+
+
+class TestUsage:
+    def test_paper_style_program(self):
+        """A Fig. 1-shaped single-thread program in C spelling."""
+        from repro.core.context import finalize, is_initialized
+        if is_initialized():
+            finalize()
+        capi.GrB_init(capi.GrB_NONBLOCKING)
+        A = capi.GrB_Matrix_new(capi.GrB_FP64, 3, 3)
+        capi.GrB_Matrix_build(A, [0, 1, 2], [1, 2, 0], [1.0, 2.0, 3.0])
+        C = capi.GrB_Matrix_new(capi.GrB_FP64, 3, 3)
+        capi.GrB_mxm(C, capi.GrB_NULL, capi.GrB_NULL,
+                     capi.GrB_PLUS_TIMES_SEMIRING_FP64, A, A)
+        capi.GrB_wait(C, capi.GrB_COMPLETE)
+        assert capi.GrB_Matrix_nvals(C) == 3
+        assert capi.GrB_error(C) == ""
+        capi.GrB_free(C)
+        capi.GrB_finalize()
+
+    def test_element_and_tuple_helpers(self):
+        v = capi.GrB_Vector_new(capi.GrB_INT64, 4)
+        capi.GrB_Vector_setElement(v, 9, 2)
+        assert capi.GrB_Vector_extractElement(v, 2) == 9
+        idx, vals = capi.GrB_Vector_extractTuples(v)
+        assert idx.tolist() == [2] and vals.tolist() == [9]
+        capi.GrB_Vector_removeElement(v, 2)
+        assert capi.GrB_Vector_nvals(v) == 0
+        assert capi.GrB_Vector_size(v) == 4
+
+    def test_matrix_shape_helpers(self):
+        m = capi.GrB_Matrix_new(capi.GrB_FP32, 3, 5)
+        assert capi.GrB_Matrix_nrows(m) == 3
+        assert capi.GrB_Matrix_ncols(m) == 5
+        capi.GrB_Matrix_resize(m, 2, 2)
+        assert capi.GrB_Matrix_nrows(m) == 2
+
+    def test_diag_helper(self):
+        v = capi.GrB_Vector_new(capi.GrB_FP64, 2)
+        capi.GrB_Vector_setElement(v, 3.0, 1)
+        d = capi.GrB_Matrix_diag(v)
+        assert capi.GrB_Matrix_extractElement(d, 1, 1) == 3.0
+
+
+class TestThinAliasCoverage:
+    """Every thin GrB_ alias does what its spec name says (one call each)."""
+
+    def test_dup_aliases(self):
+        m = capi.GrB_Matrix_new(capi.GrB_FP64, 2, 2)
+        capi.GrB_Matrix_setElement(m, 1.5, 0, 0)
+        d = capi.GrB_Matrix_dup(m)
+        assert capi.GrB_Matrix_extractElement(d, 0, 0) == 1.5
+        v = capi.GrB_Vector_new(capi.GrB_FP64, 3)
+        capi.GrB_Vector_setElement(v, 2.5, 1)
+        dv = capi.GrB_Vector_dup(v)
+        assert capi.GrB_Vector_extractElement(dv, 1) == 2.5
+
+    def test_vector_build_and_clear(self):
+        v = capi.GrB_Vector_new(capi.GrB_INT64, 4)
+        capi.GrB_Vector_build(v, [0, 2], [10, 20])
+        assert capi.GrB_Vector_nvals(v) == 2
+        capi.GrB_Vector_clear(v)
+        assert capi.GrB_Vector_nvals(v) == 0
+        capi.GrB_Vector_resize(v, 9)
+        assert capi.GrB_Vector_size(v) == 9
+
+    def test_matrix_tuples_remove_clear(self):
+        m = capi.GrB_Matrix_new(capi.GrB_FP64, 2, 2)
+        capi.GrB_Matrix_build(m, [0, 1], [1, 0], [1.0, 2.0])
+        rows, cols, vals = capi.GrB_Matrix_extractTuples(m)
+        assert rows.tolist() == [0, 1] and vals.tolist() == [1.0, 2.0]
+        capi.GrB_Matrix_removeElement(m, 0, 1)
+        assert capi.GrB_Matrix_nvals(m) == 1
+        capi.GrB_Matrix_clear(m)
+        assert capi.GrB_Matrix_nvals(m) == 0
+
+    def test_scalar_is_empty_helper(self):
+        s = capi.GrB_Scalar_new(capi.GrB_FP64)
+        assert s.is_empty()
+        capi.GrB_Scalar_setElement(s, 1.0)
+        assert not s.is_empty()
+
+    def test_context_introspection_helpers(self):
+        from repro.core.context import Context, Mode
+        ctx = Context.new(Mode.NONBLOCKING, None, {"nthreads": 3})
+        ctx.check_valid()                  # no raise while alive
+        assert ctx.exec_spec() == {"nthreads": 3}
+        child = Context.new(Mode.NONBLOCKING, ctx, None)
+        assert child.effective("nthreads", 1) == 3
+        assert child.effective("bogus", "dflt") == "dflt"

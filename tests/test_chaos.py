@@ -1,0 +1,220 @@
+"""Chaos testing: long random operation sequences vs the dict model.
+
+A driver keeps a GraphBLAS matrix and a dictionary model side by side,
+applies hundreds of randomly-chosen operations (mutations, masked
+eWise, select, apply, assign, extract, transpose, mxm, accumulation)
+to both, and compares after every step.  Catches interaction bugs that
+single-operation batteries structurally cannot (state carried between
+operations, nonblocking sequence interleavings, mask/accum chains).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import binaryop as B
+from repro.core import semiring as S
+from repro.core import types as T
+from repro.core.context import Context, Mode
+from repro.core.descriptor import Descriptor
+from repro.core.indexunaryop import OFFDIAG, TRIL, TRIU, VALUEGT
+from repro.core.matrix import Matrix
+from repro.ops.apply import apply
+from repro.ops.assign import assign
+from repro.ops.ewise import ewise_add, ewise_mult
+from repro.ops.extract import extract
+from repro.ops.mxm import mxm
+from repro.ops.select import select
+from repro.ops.transpose import transpose
+
+from .helpers import mat_to_dict
+from .reference import (
+    ref_ewise_add,
+    ref_ewise_mult,
+    ref_mxm,
+    ref_select,
+    ref_transpose,
+    ref_write_back,
+)
+
+N = 5
+
+
+class ChaosDriver:
+    def __init__(self, seed: int, mode: Mode):
+        self.rng = np.random.default_rng(seed)
+        self.ctx = Context.new(mode, None, None)
+        self.m = Matrix.new(T.FP64, N, N, self.ctx)
+        self.model: dict = {}
+        self.ops = [
+            self.op_set, self.op_remove, self.op_ewise_add,
+            self.op_ewise_mult, self.op_select, self.op_apply_bind,
+            self.op_assign_scalar, self.op_transpose, self.op_mxm,
+            self.op_extract_self, self.op_clear,
+        ]
+
+    # -- random ingredients ---------------------------------------------------
+
+    def _coord(self):
+        return int(self.rng.integers(N)), int(self.rng.integers(N))
+
+    def _random_operand(self):
+        d = {}
+        for i in range(N):
+            for j in range(N):
+                if self.rng.random() < 0.3:
+                    d[(i, j)] = float(self.rng.integers(1, 6))
+        other = Matrix.new(T.FP64, N, N, self.ctx)
+        if d:
+            rows, cols = zip(*d.keys())
+            other.build(list(rows), list(cols), list(d.values()))
+        return other, d
+
+    def _random_mask(self):
+        if self.rng.random() < 0.4:
+            return None, None
+        d = {}
+        for i in range(N):
+            for j in range(N):
+                if self.rng.random() < 0.4:
+                    d[(i, j)] = bool(self.rng.random() < 0.7)
+        mask = Matrix.new(T.BOOL, N, N, self.ctx)
+        if d:
+            rows, cols = zip(*d.keys())
+            mask.build(list(rows), list(cols), list(d.values()))
+        return mask, d
+
+    def _random_desc(self):
+        kw = {}
+        if self.rng.random() < 0.3:
+            kw["replace"] = True
+        if self.rng.random() < 0.3:
+            kw["structure"] = True
+        if self.rng.random() < 0.2:
+            kw["comp"] = True
+        desc = Descriptor(**kw) if kw else None
+        return desc, kw
+
+    def _accum(self):
+        return (B.PLUS[T.FP64], lambda x, y: x + y) \
+            if self.rng.random() < 0.4 else (None, None)
+
+    def _write_back(self, t_dict, mask_d, accum_fn, kw):
+        return ref_write_back(
+            self.model, t_dict, mask_d, accum_fn,
+            complement=kw.get("comp", False),
+            structure=kw.get("structure", False),
+            replace=kw.get("replace", False),
+        )
+
+    # -- operations (each mutates both sides) -----------------------------------
+
+    def op_set(self):
+        i, j = self._coord()
+        v = float(self.rng.integers(1, 9))
+        self.m.set_element(v, i, j)
+        self.model[(i, j)] = v
+
+    def op_remove(self):
+        i, j = self._coord()
+        self.m.remove_element(i, j)
+        self.model.pop((i, j), None)
+
+    def op_clear(self):
+        self.m.clear()
+        self.model = {}
+
+    def op_ewise_add(self):
+        other, d = self._random_operand()
+        mask, mask_d = self._random_mask()
+        desc, kw = self._random_desc()
+        accum, accum_fn = self._accum()
+        ewise_add(self.m, mask, accum, B.PLUS[T.FP64], self.m, other,
+                  desc=desc)
+        t = ref_ewise_add(self.model, d, lambda x, y: x + y)
+        self.model = self._write_back(t, mask_d, accum_fn, kw)
+
+    def op_ewise_mult(self):
+        other, d = self._random_operand()
+        ewise_mult(self.m, None, None, B.TIMES[T.FP64], self.m, other)
+        self.model = ref_ewise_mult(self.model, d, lambda x, y: x * y)
+
+    def op_select(self):
+        op, pred, s = {
+            0: (TRIL, lambda v, i, j, sc: j <= i + sc, 0),
+            1: (TRIU, lambda v, i, j, sc: j >= i + sc, 1),
+            2: (OFFDIAG, lambda v, i, j, sc: j != i + sc, 0),
+            3: (VALUEGT[T.FP64], lambda v, i, j, sc: v > sc, 2.0),
+        }[int(self.rng.integers(4))]
+        select(self.m, None, None, op, self.m, s)
+        self.model = ref_select(self.model, pred, s, is_matrix=True)
+
+    def op_apply_bind(self):
+        c = float(self.rng.integers(1, 4))
+        apply(self.m, None, None, B.PLUS[T.FP64], self.m, c)
+        self.model = {k: v + c for k, v in self.model.items()}
+
+    def op_assign_scalar(self):
+        rows = sorted(self.rng.choice(N, size=2, replace=False).tolist())
+        cols = sorted(self.rng.choice(N, size=2, replace=False).tolist())
+        v = float(self.rng.integers(1, 9))
+        assign(self.m, None, None, v, rows, cols)
+        for key in [(i, j) for i in rows for j in cols]:
+            self.model.pop(key, None)
+        for i in rows:
+            for j in cols:
+                self.model[(i, j)] = v
+
+    def op_transpose(self):
+        out = Matrix.new(T.FP64, N, N, self.ctx)
+        transpose(out, None, None, self.m)
+        self.m = out
+        self.model = ref_transpose(self.model)
+
+    def op_mxm(self):
+        other, d = self._random_operand()
+        mask, mask_d = self._random_mask()
+        desc, kw = self._random_desc()
+        mxm(self.m, mask, None, S.PLUS_TIMES_SEMIRING[T.FP64],
+            self.m, other, desc=desc)
+        t = ref_mxm(self.model, d, lambda x, y: x + y,
+                    lambda x, y: x * y, 0.0)
+        accum_fn = None
+        self.model = self._write_back(t, mask_d, accum_fn, kw)
+
+    def op_extract_self(self):
+        idx = sorted(self.rng.choice(N, size=N, replace=False).tolist())
+        out = Matrix.new(T.FP64, N, N, self.ctx)
+        extract(out, None, None, self.m, idx, idx)
+        self.m = out
+        self.model = {
+            (oi, oj): self.model[(i, j)]
+            for oi, i in enumerate(idx)
+            for oj, j in enumerate(idx)
+            if (i, j) in self.model
+        }
+
+    # -- the loop --------------------------------------------------------------
+
+    def run(self, steps: int) -> None:
+        for step in range(steps):
+            op = self.ops[int(self.rng.integers(len(self.ops)))]
+            op()
+            got = mat_to_dict(self.m)
+            want = {k: pytest.approx(v) for k, v in self.model.items()}
+            assert got == want, (
+                f"diverged after step {step} ({op.__name__}): "
+                f"got {got}, want {self.model}"
+            )
+
+
+@pytest.mark.parametrize("seed", [11, 23, 37, 59, 101],
+                         ids=lambda s: f"seed{s}")
+@pytest.mark.parametrize("mode", [Mode.BLOCKING, Mode.NONBLOCKING],
+                         ids=["blocking", "nonblocking"])
+def test_chaos_sequences(seed, mode):
+    ChaosDriver(seed, mode).run(steps=120)
+
+
+def test_chaos_long_nonblocking_run():
+    """One long soak in the mode with the most machinery."""
+    ChaosDriver(7, Mode.NONBLOCKING).run(steps=400)

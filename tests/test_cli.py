@@ -1,0 +1,55 @@
+"""The ``python -m repro`` CLI."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+from .helpers import mat_from_dict
+
+
+def _run(argv) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestCli:
+    def test_info(self):
+        code, text = _run(["info"])
+        assert code == 0
+        assert "GraphBLAS C API 2.0" in text
+        assert "predefined types:      11" in text
+        assert "index-unary families:  17" in text
+
+    def test_selftest(self):
+        code, text = _run(["selftest"])
+        assert code == 0
+        assert "5/5" in text
+
+    @pytest.mark.parametrize(
+        "name", ["bfs", "triangles", "pagerank", "sssp", "components"]
+    )
+    def test_demos(self, name):
+        code, text = _run(["demo", name, "--scale", "6", "--seed", "3"])
+        assert code == 0
+        assert name in text
+
+    def test_mm_info(self, tmp_path):
+        from repro.io import mmwrite
+        m = mat_from_dict({(0, 0): 1.5, (2, 1): 2.0, (1, 1): -3.0}, 3, 3)
+        path = tmp_path / "g.mtx"
+        mmwrite(path, m)
+        code, text = _run(["mm-info", str(path)])
+        assert code == 0
+        assert "3 x 3, nvals=3" in text
+        assert "self-loops: 2" in text
+
+    def test_parser_rejects_unknown_demo(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "nonsense"])
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,95 @@
+"""Compat battery: 1.X idioms equal their 2.0 counterparts (the §II claim
+is about *cost*, not results — results must match exactly)."""
+
+import numpy as np
+import pytest
+
+from repro import compat
+from repro.compat.migration import reduce_scalar_1x, wait_all_1x
+from repro.core import indexunaryop as IU
+from repro.core import monoid as M
+from repro.core import types as T
+from repro.core.context import Context, Mode
+from repro.core.matrix import Matrix
+from repro.generators import rmat, to_matrix
+from repro.ops.apply import apply
+from repro.ops.select import select
+
+from .helpers import mat_from_dict, mat_to_dict
+
+
+@pytest.fixture
+def graph():
+    n, rows, cols, vals = rmat(5, 4, seed=3)
+    return to_matrix(n, rows, cols, vals, T.FP64, no_self_loops=True)
+
+
+class TestPackedIdioms:
+    def test_pack_roundtrip(self, graph):
+        packed = compat.pack_index_matrix(graph)
+        assert packed.nvals() == graph.nvals()
+        back = compat.unpack_index_matrix(packed, T.FP64)
+        assert np.allclose(back.to_dense(), graph.to_dense())
+
+    def test_packed_values_carry_indices(self, graph):
+        packed = compat.pack_index_matrix(graph)
+        for (i, j), (pi, pj, v) in packed.to_dict().items():
+            assert (pi, pj) == (i, j)
+
+    def test_select_triu_matches_20(self, graph):
+        s = 0.5
+        packed = compat.pack_index_matrix(graph)
+        old = compat.select_triu_value_packed_1x(packed, s, T.FP64)
+        new_triu = Matrix.new(T.FP64, graph.nrows, graph.ncols)
+        select(new_triu, None, None, IU.TRIU, graph, 1)
+        new = Matrix.new(T.FP64, graph.nrows, graph.ncols)
+        select(new, None, None, IU.VALUEGT[T.FP64], new_triu, s)
+        assert mat_to_dict(old) == mat_to_dict(new)
+
+    def test_apply_colindex_matches_20(self, graph):
+        packed = compat.pack_index_matrix(graph)
+        old = compat.apply_colindex_packed_1x(packed, 1)
+        new = Matrix.new(T.INT64, graph.nrows, graph.ncols)
+        apply(new, None, None, IU.COLINDEX[T.INT64], graph, 1)
+        assert mat_to_dict(old) == mat_to_dict(new)
+
+    def test_apply_rowindex_matches_20(self, graph):
+        packed = compat.pack_index_matrix(graph)
+        old = compat.apply_rowindex_packed_1x(packed, 0)
+        new = Matrix.new(T.INT64, graph.nrows, graph.ncols)
+        apply(new, None, None, IU.ROWINDEX[T.INT64], graph, 0)
+        assert mat_to_dict(old) == mat_to_dict(new)
+
+    def test_extract_filter_build_matches_select(self, graph):
+        old = compat.extract_filter_build_select(
+            graph, lambda v, i, j: (j <= i) & (v > 0.2)
+        )
+        mid = Matrix.new(T.FP64, graph.nrows, graph.ncols)
+        select(mid, None, None, IU.TRIL, graph, 0)
+        new = Matrix.new(T.FP64, graph.nrows, graph.ncols)
+        select(new, None, None, IU.VALUEGT[T.FP64], mid, 0.2)
+        assert mat_to_dict(old) == mat_to_dict(new)
+
+
+class TestMigrationShims:
+    def test_incompatibility_list_covers_paper_sections(self):
+        areas = {b.area for b in compat.incompatibilities()}
+        assert {"wait", "error model", "build dup", "enumerations",
+                "reduce to scalar", "constructors", "multithreading"} <= areas
+        sections = {b.paper_section for b in compat.incompatibilities()}
+        assert any("IX" in s for s in sections)
+        assert any("IV" in s for s in sections)
+
+    def test_wait_all_shim(self):
+        ctx = Context.new(Mode.NONBLOCKING, None, None)
+        ms = [Matrix.new(T.FP64, 2, 2, ctx) for _ in range(3)]
+        for k, m in enumerate(ms):
+            m.set_element(float(k), 0, 0)
+        assert not any(m.is_materialized for m in ms)
+        wait_all_1x(ms)
+        assert all(m.is_materialized for m in ms)
+
+    def test_reduce_scalar_1x_identity_on_empty(self):
+        empty = Matrix.new(T.FP64, 2, 2)
+        assert reduce_scalar_1x(M.PLUS_MONOID[T.FP64], empty) == 0.0
+        assert reduce_scalar_1x(M.MIN_MONOID[T.FP64], empty) == np.inf

@@ -1,0 +1,115 @@
+"""Descriptor battery: fields, values, ALREADY_SET, predefined constants."""
+
+import pytest
+
+from repro.core import descriptor as D
+from repro.core.errors import ApiError, InvalidValueError
+from repro.core.info import Info
+
+
+class TestEnumValues:
+    def test_field_values_pinned(self):
+        assert D.DescField.OUTP == 0
+        assert D.DescField.MASK == 1
+        assert D.DescField.INP0 == 2
+        assert D.DescField.INP1 == 3
+
+    def test_value_values_pinned(self):
+        assert D.DescValue.DEFAULT == 0
+        assert D.DescValue.REPLACE == 1
+        assert D.DescValue.COMP == 2
+        assert D.DescValue.TRAN == 3
+        assert D.DescValue.STRUCTURE == 4
+
+
+class TestSetGet:
+    def test_default_descriptor(self):
+        d = D.Descriptor.new()
+        assert not d.replace and not d.mask_complement
+        assert not d.mask_structure and not d.transpose0 and not d.transpose1
+        assert d.get(D.DescField.OUTP) == D.DescValue.DEFAULT
+
+    def test_set_each_field(self):
+        d = D.Descriptor.new()
+        d.set(D.DescField.OUTP, D.DescValue.REPLACE)
+        d.set(D.DescField.INP0, D.DescValue.TRAN)
+        d.set(D.DescField.INP1, D.DescValue.TRAN)
+        d.set(D.DescField.MASK, D.DescValue.COMP)
+        assert d.replace and d.transpose0 and d.transpose1 and d.mask_complement
+
+    def test_mask_comp_and_structure_combine(self):
+        d = D.Descriptor.new()
+        d.set(D.DescField.MASK, D.DescValue.COMP)
+        d.set(D.DescField.MASK, D.DescValue.STRUCTURE)
+        assert d.mask_complement and d.mask_structure
+
+    def test_already_set_error(self):
+        d = D.Descriptor.new()
+        d.set(D.DescField.OUTP, D.DescValue.REPLACE)
+        with pytest.raises(ApiError) as ei:
+            d.set(D.DescField.OUTP, D.DescValue.REPLACE)
+        assert ei.value.info == Info.ALREADY_SET
+
+    def test_same_mask_value_twice_is_already_set(self):
+        d = D.Descriptor.new()
+        d.set(D.DescField.MASK, D.DescValue.COMP)
+        with pytest.raises(ApiError):
+            d.set(D.DescField.MASK, D.DescValue.COMP)
+
+    def test_default_clears(self):
+        d = D.Descriptor.new()
+        d.set(D.DescField.OUTP, D.DescValue.REPLACE)
+        d.set(D.DescField.OUTP, D.DescValue.DEFAULT)
+        assert not d.replace
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            (D.DescField.OUTP, D.DescValue.TRAN),
+            (D.DescField.MASK, D.DescValue.REPLACE),
+            (D.DescField.INP0, D.DescValue.COMP),
+            (D.DescField.INP1, D.DescValue.STRUCTURE),
+        ],
+    )
+    def test_invalid_value_for_field(self, field, value):
+        d = D.Descriptor.new()
+        with pytest.raises(InvalidValueError):
+            d.set(field, value)
+
+
+class TestPredefined:
+    @pytest.mark.parametrize(
+        "desc,flags",
+        [
+            (D.DESC_T0, "t0"),
+            (D.DESC_T1, "t1"),
+            (D.DESC_T0T1, "t0 t1"),
+            (D.DESC_C, "c"),
+            (D.DESC_S, "s"),
+            (D.DESC_SC, "s c"),
+            (D.DESC_R, "r"),
+            (D.DESC_RT0, "r t0"),
+            (D.DESC_RT1, "r t1"),
+            (D.DESC_RT0T1, "r t0 t1"),
+            (D.DESC_RC, "r c"),
+            (D.DESC_RS, "r s"),
+            (D.DESC_RSC, "r s c"),
+        ],
+        ids=lambda x: x if isinstance(x, str) else x.name,
+    )
+    def test_predefined_flag_combinations(self, desc, flags):
+        want = set(flags.split())
+        assert desc.replace == ("r" in want)
+        assert desc.mask_complement == ("c" in want)
+        assert desc.mask_structure == ("s" in want)
+        assert desc.transpose0 == ("t0" in want)
+        assert desc.transpose1 == ("t1" in want)
+
+    def test_predefined_are_immutable(self):
+        with pytest.raises(InvalidValueError):
+            D.DESC_T0.set(D.DescField.OUTP, D.DescValue.REPLACE)
+
+    def test_null_desc_is_all_defaults(self):
+        d = D.NULL_DESC
+        assert not any([d.replace, d.mask_complement, d.mask_structure,
+                        d.transpose0, d.transpose1])

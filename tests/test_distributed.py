@@ -1,0 +1,318 @@
+"""Distributed-simulation battery: SPMD equality with single-node results."""
+
+import numpy as np
+import pytest
+
+from repro.core import types as T
+from repro.core.context import Context, Mode, default_context
+from repro.core.errors import InvalidValueError
+from repro.core.semiring import MIN_PLUS_SEMIRING, PLUS_TIMES_SEMIRING
+from repro.distributed import (
+    Cluster,
+    DistMatrix,
+    DistVector,
+    RankHome,
+    block_bounds,
+    dist_bfs_levels,
+    dist_mxm,
+    dist_mxv,
+    dist_vxm,
+)
+from repro.generators import erdos_renyi, path_graph, rmat
+
+
+def _spmd_graph(scale=6, seed=9):
+    n, rows, cols, vals = rmat(scale, 6, seed=seed)
+    keep = rows != cols
+    return n, rows[keep], cols[keep], vals[keep]
+
+
+def _dense(n, rows, cols, vals):
+    out = np.zeros((n, n))
+    out[rows, cols] = vals   # later duplicates overwrite
+    return out
+
+
+class TestCommunicator:
+    def test_point_to_point(self):
+        cluster = Cluster(2)
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(1, np.arange(5))
+                return None
+            return comm.recv(source=0)
+
+        results = cluster.run(prog)
+        assert results[1].tolist() == [0, 1, 2, 3, 4]
+        assert cluster.stats.messages >= 1
+
+    def test_tagged_out_of_order_recv(self):
+        cluster = Cluster(2)
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(1, "a", tag=1)
+                comm.send(1, "b", tag=2)
+                return None
+            second = comm.recv(source=0, tag=2)
+            first = comm.recv(source=0, tag=1)
+            return (first, second)
+
+        assert cluster.run(prog)[1] == ("a", "b")
+
+    def test_bcast(self):
+        cluster = Cluster(4)
+        out = cluster.run(
+            lambda comm: comm.bcast("hello" if comm.rank == 2 else None,
+                                    root=2)
+        )
+        assert out == ["hello"] * 4
+
+    def test_allgather(self):
+        cluster = Cluster(3)
+        out = cluster.run(lambda comm: comm.allgather(comm.rank * 10))
+        assert out == [[0, 10, 20]] * 3
+
+    def test_allreduce(self):
+        cluster = Cluster(4)
+        out = cluster.run(
+            lambda comm: comm.allreduce(comm.rank + 1, lambda a, b: a + b)
+        )
+        assert out == [10] * 4
+
+    def test_stats_accumulate(self):
+        cluster = Cluster(2)
+        cluster.run(lambda comm: comm.allgather(np.zeros(100)))
+        snap = cluster.stats.snapshot()
+        assert snap["bytes"] >= 800
+        assert snap["collectives"] == 2
+
+    def test_rank_error_propagates(self):
+        cluster = Cluster(2)
+
+        def prog(comm):
+            if comm.rank == 1:
+                raise ValueError("rank 1 exploded")
+            comm.barrier()
+
+        with pytest.raises(ValueError):
+            cluster.run(prog)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(InvalidValueError):
+            Cluster(0)
+        cluster = Cluster(1)
+        with pytest.raises(InvalidValueError):
+            cluster.run(lambda comm: comm.send(5, "x"))
+
+
+class TestBlocks:
+    def test_block_bounds_cover(self):
+        b = block_bounds(10, 3)
+        assert b[0] == 0 and b[-1] == 10
+        assert all(b[i] <= b[i + 1] for i in range(3))
+
+    def test_dist_matrix_scatter(self):
+        n, rows, cols, vals = _spmd_graph()
+        cluster = Cluster(3)
+        top = default_context()
+
+        def prog(comm):
+            home = RankHome.create(comm.rank, top)
+            a = DistMatrix.from_triples(home, n, n, comm.size, T.FP64,
+                                        rows, cols, vals,
+                                        dup=None if False else _dup())
+            return a.local_nvals()
+
+        local_counts = cluster.run(prog)
+        # Every edge lives on exactly one rank.
+        full = _to_single(n, rows, cols, vals)
+        assert sum(local_counts) == full.nvals()
+
+    def test_dist_vector_from_dense(self):
+        cluster = Cluster(4)
+        dense = np.array([1.0, 0, 2.0, 0, 0, 3.0, 0, 4.0])
+        top = default_context()
+
+        def prog(comm):
+            home = RankHome.create(comm.rank, top)
+            v = DistVector.from_global_dense(home, dense, comm.size, T.FP64)
+            return v.local_tuples()
+
+        parts = cluster.run(prog)
+        got = {}
+        for idx, vals in parts:
+            got.update(dict(zip(idx.tolist(), vals.tolist())))
+        assert got == {0: 1.0, 2: 2.0, 5: 3.0, 7: 4.0}
+
+
+def _dup():
+    from repro.core.binaryop import MAX
+    from repro.core import types as _T
+    return MAX[_T.FP64]
+
+
+def _to_single(n, rows, cols, vals, t=T.FP64):
+    from repro.core.matrix import Matrix
+    m = Matrix.new(t, n, n)
+    m.build(rows, cols, vals, _dup())
+    m.wait()
+    return m
+
+
+class TestDistOps:
+    @pytest.mark.parametrize("nranks", [1, 2, 4], ids=lambda n: f"p{n}")
+    def test_dist_mxv_matches_single_node(self, nranks):
+        n, rows, cols, vals = _spmd_graph()
+        rng = np.random.default_rng(0)
+        x = rng.random(n) * (rng.random(n) < 0.5)
+        single = _to_single(n, rows, cols, vals)
+        from repro.core.vector import Vector
+        from repro.ops.mxm import mxv
+        xv = Vector.new(T.FP64, n)
+        nz = np.flatnonzero(x)
+        xv.build(nz, x[nz])
+        expect = Vector.new(T.FP64, n)
+        mxv(expect, None, None, PLUS_TIMES_SEMIRING[T.FP64], single, xv)
+        expected = expect.to_dict()
+
+        cluster = Cluster(nranks)
+        top = default_context()
+
+        def prog(comm):
+            home = RankHome.create(comm.rank, top)
+            a = DistMatrix.from_triples(home, n, n, comm.size, T.FP64,
+                                        rows, cols, vals, _dup())
+            u = DistVector.from_global_dense(home, x, comm.size, T.FP64)
+            w = dist_mxv(comm, a, u, PLUS_TIMES_SEMIRING[T.FP64])
+            return w.local_tuples()
+
+        got = {}
+        for idx, vv in cluster.run(prog):
+            got.update({int(i): v for i, v in zip(idx, vv)})
+        assert set(got) == set(expected)
+        for k in expected:
+            assert got[k] == pytest.approx(expected[k])
+
+    @pytest.mark.parametrize("nranks", [2, 3], ids=lambda n: f"p{n}")
+    def test_dist_vxm_matches_single_node(self, nranks):
+        n, rows, cols, vals = _spmd_graph(scale=5)
+        rng = np.random.default_rng(1)
+        x = rng.random(n) * (rng.random(n) < 0.5)
+        single = _to_single(n, rows, cols, vals)
+        from repro.core.vector import Vector
+        from repro.ops.mxm import vxm
+        xv = Vector.new(T.FP64, n)
+        nz = np.flatnonzero(x)
+        xv.build(nz, x[nz])
+        expect = Vector.new(T.FP64, n)
+        vxm(expect, None, None, PLUS_TIMES_SEMIRING[T.FP64], xv, single)
+        expected = {k: pytest.approx(v) for k, v in expect.to_dict().items()}
+
+        cluster = Cluster(nranks)
+        top = default_context()
+
+        def prog(comm):
+            home = RankHome.create(comm.rank, top)
+            a = DistMatrix.from_triples(home, n, n, comm.size, T.FP64,
+                                        rows, cols, vals, _dup())
+            u = DistVector.from_global_dense(home, x, comm.size, T.FP64)
+            w = dist_vxm(comm, u, a, PLUS_TIMES_SEMIRING[T.FP64])
+            return w.local_tuples()
+
+        got = {}
+        for idx, vv in cluster.run(prog):
+            got.update({int(i): v for i, v in zip(idx, vv)})
+        assert got == expected
+
+    @pytest.mark.parametrize("nranks", [2, 4], ids=lambda n: f"p{n}")
+    def test_dist_mxm_matches_single_node(self, nranks):
+        n, rows, cols, vals = _spmd_graph(scale=5)
+        single = _to_single(n, rows, cols, vals)
+        from repro.core.matrix import Matrix
+        from repro.ops.mxm import mxm
+        expect = Matrix.new(T.FP64, n, n)
+        mxm(expect, None, None, PLUS_TIMES_SEMIRING[T.FP64], single, single)
+        expected = expect.to_dict()
+
+        cluster = Cluster(nranks)
+        top = default_context()
+
+        def prog(comm):
+            home = RankHome.create(comm.rank, top)
+            a = DistMatrix.from_triples(home, n, n, comm.size, T.FP64,
+                                        rows, cols, vals, _dup())
+            c = dist_mxm(comm, a, a, PLUS_TIMES_SEMIRING[T.FP64])
+            r, cc, vv = c.local.extract_tuples()
+            lo, _ = c.row_range
+            return r + lo, cc, vv
+
+        got = {}
+        for r, cc, vv in cluster.run(prog):
+            got.update({(int(i), int(j)): v for i, j, v in zip(r, cc, vv)})
+        assert set(got) == set(expected)
+        for k in expected:
+            assert got[k] == pytest.approx(expected[k])
+
+    @pytest.mark.parametrize("nranks", [1, 3], ids=lambda n: f"p{n}")
+    def test_dist_bfs_matches_single_node(self, nranks):
+        n, rows, cols, vals = _spmd_graph(scale=6, seed=4)
+        from repro.algorithms import bfs_levels
+        single = _to_single(n, rows, cols, np.ones(len(rows)), T.BOOL)
+        expected = {int(k): int(v)
+                    for k, v in bfs_levels(single, 0).to_dict().items()}
+
+        cluster = Cluster(nranks)
+        top = default_context()
+
+        def prog(comm):
+            home = RankHome.create(comm.rank, top)
+            a = DistMatrix.from_triples(
+                home, n, n, comm.size, T.BOOL,
+                rows, cols, np.ones(len(rows), dtype=bool),
+                _bool_dup(),
+            )
+            lv = dist_bfs_levels(comm, a, 0)
+            return lv.local_tuples()
+
+        got = {}
+        for idx, vv in cluster.run(prog):
+            got.update({int(i): int(v) for i, v in zip(idx, vv)})
+        assert got == expected
+
+    def test_rank_contexts_are_nested(self):
+        cluster = Cluster(2)
+        top = default_context()
+
+        def prog(comm):
+            home = RankHome.create(comm.rank, top, nthreads=2)
+            return (home.context.parent is top, home.context.nthreads)
+
+        assert cluster.run(prog) == [(True, 2), (True, 2)]
+
+    def test_communication_volume_grows_with_ranks(self):
+        """The 1-D mxv trade: allgather volume scales with p."""
+        n, rows, cols, vals = _spmd_graph(scale=6)
+        x = np.ones(n)
+        volumes = []
+        for p in (2, 4):
+            cluster = Cluster(p)
+            top = default_context()
+
+            def prog(comm):
+                home = RankHome.create(comm.rank, top)
+                a = DistMatrix.from_triples(home, n, n, comm.size, T.FP64,
+                                            rows, cols, vals, _dup())
+                u = DistVector.from_global_dense(home, x, comm.size, T.FP64)
+                dist_mxv(comm, a, u, PLUS_TIMES_SEMIRING[T.FP64])
+
+            cluster.run(prog)
+            volumes.append(cluster.stats.snapshot()["bytes"])
+        assert volumes[1] > volumes[0]
+
+
+def _bool_dup():
+    from repro.core.binaryop import LOR
+    from repro.core import types as _T
+    return LOR[_T.BOOL]

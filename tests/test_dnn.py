@@ -1,0 +1,107 @@
+"""Sparse DNN inference (Graph Challenge workload) battery."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import random_sparse_network, sparse_dnn_inference
+from repro.core import types as T
+from repro.core.errors import InvalidValueError
+from repro.core.matrix import Matrix
+
+NEURONS, BATCH = 128, 16
+
+
+def _input_batch(seed=0, per_row=12):
+    rng = np.random.default_rng(seed)
+    y0 = Matrix.new(T.FP64, BATCH, NEURONS)
+    rows = np.repeat(np.arange(BATCH), per_row)
+    cols = rng.integers(0, NEURONS, BATCH * per_row)
+    from repro.core.binaryop import PLUS
+    y0.build(rows, cols, np.ones(BATCH * per_row), PLUS[T.FP64])
+    y0.wait()
+    return y0
+
+
+def _dense_reference(y0, weights, biases, cap):
+    """NumPy model of the same semantics.
+
+    With a strictly negative bias the sparse convention (bias applied
+    to stored z entries only) and the dense convention agree: z = 0
+    positions get ``bias < 0`` and die in the ReLU either way.
+    """
+    y = y0.to_dense()
+    for w, b in zip(weights, biases):
+        z = y @ w.to_dense() + b
+        z = np.where(y @ (w.to_dense() != 0).astype(float) > 0, z, 0.0)
+        z = np.maximum(z, 0.0)
+        # select keeps strictly-positive entries
+        z = np.where(z > 0, z, 0.0)
+        if cap is not None:
+            z = np.minimum(z, cap)
+        y = z
+    return y
+
+
+class TestSparseDnn:
+    def test_matches_dense_reference(self):
+        weights, biases = random_sparse_network(NEURONS, 4, seed=3)
+        y0 = _input_batch()
+        out = sparse_dnn_inference(y0, weights, biases, cap=1.0)
+        ref = _dense_reference(y0, weights, biases, cap=1.0)
+        assert np.allclose(out.to_dense(), ref)
+
+    def test_activations_bounded_and_positive(self):
+        weights, biases = random_sparse_network(NEURONS, 6, seed=1)
+        out = sparse_dnn_inference(_input_batch(), weights, biases, cap=1.0)
+        _, _, vals = out.extract_tuples()
+        assert len(vals) > 0
+        assert (vals > 0).all() and (vals <= 1.0).all()
+
+    def test_deterministic(self):
+        weights, biases = random_sparse_network(NEURONS, 5, seed=7)
+        a = sparse_dnn_inference(_input_batch(), weights, biases)
+        b = sparse_dnn_inference(_input_batch(), weights, biases)
+        assert a.to_dict() == b.to_dict()
+
+    def test_relu_is_a_select(self):
+        """A layer with all-negative products produces an empty batch."""
+        w = Matrix.new(T.FP64, NEURONS, NEURONS)
+        w.build(np.arange(NEURONS), np.arange(NEURONS),
+                np.full(NEURONS, -1.0))
+        out = sparse_dnn_inference(_input_batch(), [w], [0.0])
+        assert out.nvals() == 0
+
+    def test_cap_none_disables_saturation(self):
+        w = Matrix.new(T.FP64, NEURONS, NEURONS)
+        w.build(np.arange(NEURONS), np.arange(NEURONS),
+                np.full(NEURONS, 100.0))
+        out = sparse_dnn_inference(_input_batch(), [w], [0.0], cap=None)
+        _, _, vals = out.extract_tuples()
+        assert vals.max() >= 100.0   # duplicate input hits can stack to 200
+        capped = sparse_dnn_inference(_input_batch(), [w], [0.0], cap=50.0)
+        assert capped.extract_tuples()[2].max() == 50.0
+
+    def test_validation(self):
+        weights, biases = random_sparse_network(NEURONS, 2)
+        with pytest.raises(InvalidValueError):
+            sparse_dnn_inference(_input_batch(), weights, biases[:1])
+        bad = Matrix.new(T.FP64, 3, 3)
+        with pytest.raises(InvalidValueError):
+            sparse_dnn_inference(_input_batch(), [bad], [0.0])
+        with pytest.raises(InvalidValueError):
+            random_sparse_network(4, 1, fanin=99)
+
+    def test_batch_rows_independent(self):
+        """Each batch row's activations depend only on its own inputs."""
+        weights, biases = random_sparse_network(NEURONS, 3, seed=5)
+        full = sparse_dnn_inference(_input_batch(seed=2), weights, biases)
+        # run a single row through alone
+        y0 = _input_batch(seed=2)
+        row0 = Matrix.new(T.FP64, 1, NEURONS)
+        rows, cols, vals = y0.extract_tuples()
+        keep = rows == 0
+        row0.build(rows[keep], cols[keep], vals[keep])
+        single = sparse_dnn_inference(row0, weights, biases)
+        full_row0 = {j: v for (i, j), v in full.to_dict().items() if i == 0}
+        single_row = {j: v for (i, j), v in single.to_dict().items()}
+        assert full_row0 == single_row

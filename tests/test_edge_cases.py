@@ -1,0 +1,237 @@
+"""Edge-case battery: degenerate shapes, empty structures, deep chains."""
+
+import numpy as np
+import pytest
+
+from repro.core import binaryop as B
+from repro.core import monoid as M
+from repro.core import semiring as S
+from repro.core import types as T
+from repro.core.context import Context, Mode
+from repro.core.descriptor import DESC_C, DESC_R, DESC_RC, DESC_S
+from repro.core.errors import UninitializedObjectError
+from repro.core.indexunaryop import TRIL, VALUEGT
+from repro.core.matrix import Matrix
+from repro.core.scalar import Scalar
+from repro.core.vector import Vector
+from repro.ops.apply import apply
+from repro.ops.assign import assign
+from repro.ops.ewise import ewise_add, ewise_mult
+from repro.ops.extract import ALL, extract
+from repro.ops.kronecker import kronecker
+from repro.ops.mxm import mxm, mxv
+from repro.ops.reduce import reduce, reduce_scalar
+from repro.ops.select import select
+from repro.ops.transpose import transpose
+
+from .helpers import mat_from_dict, mat_to_dict, vec_from_dict
+
+
+class TestDegenerateShapes:
+    def test_zero_dim_matrix_ops(self):
+        a = Matrix.new(T.FP64, 0, 0)
+        c = Matrix.new(T.FP64, 0, 0)
+        mxm(c, None, None, S.PLUS_TIMES_SEMIRING[T.FP64], a, a)
+        ewise_add(c, None, None, B.PLUS[T.FP64], a, a)
+        transpose(c, None, None, a)
+        select(c, None, None, TRIL, a, 0)
+        assert c.nvals() == 0
+
+    def test_zero_by_n_matrix(self):
+        a = Matrix.new(T.FP64, 0, 5)
+        b = Matrix.new(T.FP64, 5, 3)
+        b.set_element(1.0, 2, 2)
+        c = Matrix.new(T.FP64, 0, 3)
+        mxm(c, None, None, S.PLUS_TIMES_SEMIRING[T.FP64], a, b)
+        assert c.nvals() == 0
+
+    def test_zero_size_vector(self):
+        v = Vector.new(T.FP64, 0)
+        assert reduce_scalar(M.PLUS_MONOID[T.FP64], v) == 0.0
+        w = Vector.new(T.FP64, 0)
+        ewise_mult(w, None, None, B.TIMES[T.FP64], v, v)
+        assert w.nvals() == 0
+
+    def test_one_by_one(self):
+        a = mat_from_dict({(0, 0): 3.0}, 1, 1)
+        c = Matrix.new(T.FP64, 1, 1)
+        mxm(c, None, None, S.PLUS_TIMES_SEMIRING[T.FP64], a, a)
+        assert c.extract_element(0, 0) == 9.0
+
+    def test_kron_with_one_by_one_identity(self):
+        a = mat_from_dict({(0, 0): 1.0}, 1, 1)
+        b = mat_from_dict({(0, 1): 2.0, (1, 0): 3.0}, 2, 2)
+        c = Matrix.new(T.FP64, 2, 2)
+        kronecker(c, None, None, B.TIMES[T.FP64], a, b)
+        assert mat_to_dict(c) == mat_to_dict(b)
+
+    def test_extract_with_empty_index_list(self):
+        a = mat_from_dict({(0, 0): 1.0}, 3, 3)
+        c = Matrix.new(T.FP64, 0, 0)
+        extract(c, None, None, a, [], [])
+        assert c.nvals() == 0
+
+    def test_assign_with_empty_index_list(self):
+        w = vec_from_dict({0: 1.0}, 3)
+        u = Vector.new(T.FP64, 0)
+        assign(w, None, None, u, [])
+        assert w.to_dict() == {0: 1.0}
+
+    def test_resize_to_zero_then_back(self):
+        m = mat_from_dict({(1, 1): 5.0}, 3, 3)
+        m.resize(0, 0)
+        assert m.nvals() == 0
+        m.resize(2, 2)
+        assert m.shape == (2, 2) and m.nvals() == 0
+
+
+class TestMaskCorners:
+    def test_empty_mask_blocks_everything(self):
+        a = mat_from_dict({(0, 0): 1.0}, 2, 2)
+        mask = Matrix.new(T.BOOL, 2, 2)
+        c = mat_from_dict({(1, 1): 9.0}, 2, 2)
+        ewise_add(c, mask, None, B.PLUS[T.FP64], a, a)
+        assert mat_to_dict(c) == {(1, 1): 9.0}   # nothing written
+
+    def test_empty_mask_with_replace_clears(self):
+        a = mat_from_dict({(0, 0): 1.0}, 2, 2)
+        mask = Matrix.new(T.BOOL, 2, 2)
+        c = mat_from_dict({(1, 1): 9.0}, 2, 2)
+        ewise_add(c, mask, None, B.PLUS[T.FP64], a, a, desc=DESC_R)
+        assert c.nvals() == 0
+
+    def test_complement_of_empty_mask_is_everything(self):
+        a = mat_from_dict({(0, 0): 1.0}, 2, 2)
+        mask = Matrix.new(T.BOOL, 2, 2)
+        c = Matrix.new(T.FP64, 2, 2)
+        ewise_add(c, mask, None, B.PLUS[T.FP64], a, a, desc=DESC_C)
+        assert mat_to_dict(c) == {(0, 0): 2.0}
+
+    def test_all_false_valued_mask_vs_structure(self):
+        a = mat_from_dict({(0, 0): 1.0, (1, 1): 2.0}, 2, 2)
+        mask = mat_from_dict({(0, 0): False, (1, 1): False}, 2, 2, T.BOOL)
+        c1 = Matrix.new(T.FP64, 2, 2)
+        ewise_add(c1, mask, None, B.PLUS[T.FP64], a, a)
+        assert c1.nvals() == 0                     # valued: all false
+        c2 = Matrix.new(T.FP64, 2, 2)
+        ewise_add(c2, mask, None, B.PLUS[T.FP64], a, a, desc=DESC_S)
+        assert c2.nvals() == 2                     # structural: stored = true
+
+    def test_nonbool_valued_mask_casts(self):
+        """A numeric mask counts entries with value != 0."""
+        a = mat_from_dict({(0, 0): 1.0, (1, 1): 2.0}, 2, 2)
+        mask = mat_from_dict({(0, 0): 0.0, (1, 1): 7.0}, 2, 2, T.FP64)
+        c = Matrix.new(T.FP64, 2, 2)
+        ewise_add(c, mask, None, B.PLUS[T.FP64], a, a)
+        assert set(mat_to_dict(c)) == {(1, 1)}
+
+    def test_complement_and_replace_together(self):
+        a = mat_from_dict({(0, 0): 1.0, (0, 1): 2.0}, 2, 2)
+        mask = mat_from_dict({(0, 0): True}, 2, 2, T.BOOL)
+        c = mat_from_dict({(0, 0): 50.0, (1, 1): 60.0}, 2, 2)
+        ewise_add(c, mask, None, B.PLUS[T.FP64], a, a, desc=DESC_RC)
+        # complement(mask) = everything but (0,0); replace drops old c.
+        assert mat_to_dict(c) == {(0, 1): 4.0}
+
+
+class TestCastingThroughOps:
+    def test_accum_with_cross_type_result(self):
+        c = Matrix.new(T.INT64, 2, 2)
+        c.set_element(10, 0, 0)
+        a = mat_from_dict({(0, 0): 2.5}, 2, 2)
+        ewise_add(c, None, B.PLUS[T.FP64], B.PLUS[T.FP64], a, a)
+        assert c.extract_element(0, 0) == 15   # 10 + (2.5+2.5), cast to int
+
+    def test_bool_output_of_numeric_semiring(self):
+        a = mat_from_dict({(0, 1): 2.0, (1, 0): 2.0}, 2, 2)
+        c = Matrix.new(T.BOOL, 2, 2)
+        mxm(c, None, None, S.PLUS_TIMES_SEMIRING[T.FP64], a, a)
+        assert mat_to_dict(c) == {(0, 0): True, (1, 1): True}
+
+    def test_float_to_int_truncation_on_write(self):
+        u = vec_from_dict({0: 2.9}, 2)
+        w = Vector.new(T.INT8, 2)
+        apply(w, None, None, B.TIMES[T.FP64], u, 1.0)
+        assert w.extract_element(0) == 2
+
+
+class TestDeepChains:
+    def test_long_deferred_chain(self):
+        ctx = Context.new(Mode.NONBLOCKING, None, None)
+        a = mat_from_dict({(0, 0): 1.0}, 2, 2, ctx=ctx)
+        c = Matrix.new(T.FP64, 2, 2, ctx)
+        for _ in range(50):
+            mxm(c, None, B.PLUS[T.FP64], S.PLUS_TIMES_SEMIRING[T.FP64], a, a)
+        assert not c.is_materialized
+        c.wait()
+        assert c.extract_element(0, 0) == 50.0
+
+    def test_interleaved_ops_many_objects(self):
+        ctx = Context.new(Mode.NONBLOCKING, None, None)
+        vs = [Vector.new(T.INT64, 4, ctx) for _ in range(10)]
+        for k, v in enumerate(vs):
+            v.set_element(k, k % 4)
+        for k in range(1, 10):
+            ewise_add(vs[k], None, None, B.PLUS[T.INT64], vs[k], vs[k - 1])
+        vs[-1].wait()
+        total = sum(vs[-1].to_dict().values())
+        assert total == sum(range(10))
+
+    def test_scalar_chain(self):
+        ctx = Context.new(Mode.NONBLOCKING, None, None)
+        s = Scalar.new(T.INT64, ctx)
+        for k in range(20):
+            s.set_element(k)
+        s.clear()
+        s.set_element(99)
+        assert s.extract_element() == 99
+
+
+class TestFreedObjects:
+    def test_every_method_rejects_freed_matrix(self):
+        m = mat_from_dict({(0, 0): 1.0}, 2, 2)
+        m.free()
+        for call in (
+            lambda: m.nvals(),
+            lambda: m.dup(),
+            lambda: m.set_element(1.0, 0, 0),
+            lambda: m.extract_tuples(),
+            lambda: m.clear(),
+            lambda: m.wait(),
+        ):
+            with pytest.raises(UninitializedObjectError):
+                call()
+
+    def test_freed_input_to_operation(self):
+        a = mat_from_dict({(0, 0): 1.0}, 2, 2)
+        c = Matrix.new(T.FP64, 2, 2)
+        a.free()
+        with pytest.raises(UninitializedObjectError):
+            mxm(c, None, None, S.PLUS_TIMES_SEMIRING[T.FP64], a, a)
+
+    def test_double_free_is_harmless(self):
+        m = Matrix.new(T.FP64, 2, 2)
+        m.free()
+        m.free()   # idempotent, like GrB_free on an already-freed handle
+
+
+class TestSelfReferentialOps:
+    def test_output_equals_mask(self):
+        """C⟨C⟩ = A ⊕ A with C as its own structural mask."""
+        a = mat_from_dict({(0, 0): 1.0, (1, 1): 2.0}, 2, 2)
+        c = mat_from_dict({(0, 0): 9.0}, 2, 2)
+        ewise_add(c, c, None, B.PLUS[T.FP64], a, a, desc=DESC_S)
+        assert mat_to_dict(c) == {(0, 0): 2.0}
+
+    def test_vector_output_is_both_inputs(self):
+        v = vec_from_dict({0: 2.0, 1: 3.0}, 3)
+        ewise_mult(v, None, None, B.TIMES[T.FP64], v, v)
+        assert v.to_dict() == {0: 4.0, 1: 9.0}
+
+    def test_reduce_scalar_accum_into_itself_repeatedly(self):
+        v = vec_from_dict({0: 1.0, 1: 2.0}, 3)
+        s = Scalar.new(T.FP64)
+        s.set_element(0.0)
+        for _ in range(3):
+            reduce(s, B.PLUS[T.FP64], M.PLUS_MONOID[T.FP64], v)
+        assert s.extract_element() == 9.0

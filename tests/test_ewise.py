@@ -1,0 +1,173 @@
+"""eWiseAdd / eWiseMult battery: union vs intersection, op kinds, masks."""
+
+import numpy as np
+import pytest
+
+from repro.core import binaryop as B
+from repro.core import monoid as M
+from repro.core import semiring as S
+from repro.core import types as T
+from repro.core.descriptor import DESC_R, DESC_T0
+from repro.core.errors import DimensionMismatchError, DomainMismatchError
+from repro.core.matrix import Matrix
+from repro.core.vector import Vector
+from repro.ops.ewise import ewise_add, ewise_mult
+
+from .helpers import (
+    assert_mat_equal,
+    assert_vec_equal,
+    mat_from_dict,
+    vec_from_dict,
+)
+from .reference import ref_ewise_add, ref_ewise_mult, ref_write_back
+
+A_D = {(0, 0): 1.0, (0, 2): 2.0, (1, 1): 3.0, (2, 0): 4.0}
+B_D = {(0, 0): 10.0, (1, 1): 20.0, (1, 2): 30.0, (2, 2): 40.0}
+
+
+class TestMatrixEwise:
+    def test_add_is_union_with_passthrough(self):
+        A = mat_from_dict(A_D, 3, 3)
+        Bm = mat_from_dict(B_D, 3, 3)
+        C = Matrix.new(T.FP64, 3, 3)
+        ewise_add(C, None, None, B.PLUS[T.FP64], A, Bm)
+        assert_mat_equal(C, ref_ewise_add(A_D, B_D, lambda x, y: x + y), "add")
+
+    def test_mult_is_intersection(self):
+        A = mat_from_dict(A_D, 3, 3)
+        Bm = mat_from_dict(B_D, 3, 3)
+        C = Matrix.new(T.FP64, 3, 3)
+        ewise_mult(C, None, None, B.TIMES[T.FP64], A, Bm)
+        assert_mat_equal(C, ref_ewise_mult(A_D, B_D, lambda x, y: x * y), "mult")
+
+    def test_add_with_non_commutative_op_order(self):
+        A = mat_from_dict(A_D, 3, 3)
+        Bm = mat_from_dict(B_D, 3, 3)
+        C = Matrix.new(T.FP64, 3, 3)
+        ewise_add(C, None, None, B.MINUS[T.FP64], A, Bm)
+        assert_mat_equal(C, ref_ewise_add(A_D, B_D, lambda x, y: x - y), "minus")
+
+    def test_op_may_be_monoid_or_semiring(self):
+        A = mat_from_dict(A_D, 3, 3)
+        Bm = mat_from_dict(B_D, 3, 3)
+        expected_add = ref_ewise_add(A_D, B_D, lambda x, y: x + y)
+
+        C1 = Matrix.new(T.FP64, 3, 3)
+        ewise_add(C1, None, None, M.PLUS_MONOID[T.FP64], A, Bm)
+        assert_mat_equal(C1, expected_add, "monoid add")
+
+        # Semiring: eWiseAdd uses the add monoid, eWiseMult the multiply op.
+        C2 = Matrix.new(T.FP64, 3, 3)
+        ewise_add(C2, None, None, S.PLUS_TIMES_SEMIRING[T.FP64], A, Bm)
+        assert_mat_equal(C2, expected_add, "semiring add")
+
+        C3 = Matrix.new(T.FP64, 3, 3)
+        ewise_mult(C3, None, None, S.PLUS_TIMES_SEMIRING[T.FP64], A, Bm)
+        assert_mat_equal(C3, ref_ewise_mult(A_D, B_D, lambda x, y: x * y),
+                         "semiring mult")
+
+    def test_rejects_other_op_kinds(self):
+        A = mat_from_dict(A_D, 3, 3)
+        C = Matrix.new(T.FP64, 3, 3)
+        with pytest.raises(DomainMismatchError):
+            ewise_add(C, None, None, "PLUS", A, A)
+
+    def test_transpose_first_input(self):
+        A = mat_from_dict(A_D, 3, 3)
+        at = {(j, i): v for (i, j), v in A_D.items()}
+        At = mat_from_dict(at, 3, 3)
+        Bm = mat_from_dict(B_D, 3, 3)
+        C = Matrix.new(T.FP64, 3, 3)
+        ewise_add(C, None, None, B.PLUS[T.FP64], At, Bm, desc=DESC_T0)
+        assert_mat_equal(C, ref_ewise_add(A_D, B_D, lambda x, y: x + y), "T0")
+
+    def test_mask_and_replace(self):
+        A = mat_from_dict(A_D, 3, 3)
+        Bm = mat_from_dict(B_D, 3, 3)
+        c0 = {(2, 2): 99.0, (0, 0): 5.0}
+        mask = {(0, 0): True, (1, 1): True}
+        C = mat_from_dict(c0, 3, 3)
+        Mk = mat_from_dict(mask, 3, 3, T.BOOL)
+        ewise_add(C, Mk, None, B.PLUS[T.FP64], A, Bm, desc=DESC_R)
+        t = ref_ewise_add(A_D, B_D, lambda x, y: x + y)
+        assert_mat_equal(C, ref_write_back(c0, t, mask, None, replace=True),
+                         "mask replace")
+
+    def test_comparison_op_gives_bool_matrix(self):
+        A = mat_from_dict(A_D, 3, 3)
+        Bm = mat_from_dict(B_D, 3, 3)
+        C = Matrix.new(T.BOOL, 3, 3)
+        ewise_mult(C, None, None, B.LT[T.FP64], A, Bm)
+        expected = ref_ewise_mult(A_D, B_D, lambda x, y: x < y)
+        assert_mat_equal(C, expected, "lt")
+
+    def test_shape_mismatch(self):
+        A = Matrix.new(T.FP64, 2, 3)
+        Bm = Matrix.new(T.FP64, 3, 2)
+        C = Matrix.new(T.FP64, 2, 3)
+        with pytest.raises(DimensionMismatchError):
+            ewise_add(C, None, None, B.PLUS[T.FP64], A, Bm)
+
+    def test_empty_operands(self):
+        A = mat_from_dict(A_D, 3, 3)
+        E = Matrix.new(T.FP64, 3, 3)
+        C = Matrix.new(T.FP64, 3, 3)
+        ewise_add(C, None, None, B.PLUS[T.FP64], A, E)
+        assert_mat_equal(C, A_D, "add empty")
+        C2 = Matrix.new(T.FP64, 3, 3)
+        ewise_mult(C2, None, None, B.TIMES[T.FP64], A, E)
+        assert C2.nvals() == 0
+
+
+class TestVectorEwise:
+    U_D = {0: 1.0, 2: 2.0, 4: 3.0}
+    V_D = {0: 10.0, 3: 20.0, 4: 30.0}
+
+    def test_add_union(self):
+        u = vec_from_dict(self.U_D, 5)
+        v = vec_from_dict(self.V_D, 5)
+        w = Vector.new(T.FP64, 5)
+        ewise_add(w, None, None, B.PLUS[T.FP64], u, v)
+        assert_vec_equal(w, ref_ewise_add(self.U_D, self.V_D,
+                                          lambda x, y: x + y), "vadd")
+
+    def test_mult_intersection(self):
+        u = vec_from_dict(self.U_D, 5)
+        v = vec_from_dict(self.V_D, 5)
+        w = Vector.new(T.FP64, 5)
+        ewise_mult(w, None, None, B.TIMES[T.FP64], u, v)
+        assert_vec_equal(w, {0: 10.0, 4: 90.0}, "vmult")
+
+    def test_vector_mask_comp(self):
+        from repro.core.descriptor import DESC_C
+        u = vec_from_dict(self.U_D, 5)
+        v = vec_from_dict(self.V_D, 5)
+        mask = {0: True, 4: True}
+        w = Vector.new(T.FP64, 5)
+        Mv = vec_from_dict(mask, 5, T.BOOL)
+        ewise_add(w, Mv, None, B.PLUS[T.FP64], u, v, desc=DESC_C)
+        t = ref_ewise_add(self.U_D, self.V_D, lambda x, y: x + y)
+        assert_vec_equal(w, ref_write_back({}, t, mask, None, complement=True),
+                         "vmask comp")
+
+    def test_same_vector_both_sides(self):
+        u = vec_from_dict(self.U_D, 5)
+        w = Vector.new(T.FP64, 5)
+        ewise_add(w, None, None, B.PLUS[T.FP64], u, u)
+        assert_vec_equal(w, {k: 2 * v for k, v in self.U_D.items()}, "u+u")
+
+    def test_size_mismatch(self):
+        u = Vector.new(T.FP64, 4)
+        v = Vector.new(T.FP64, 5)
+        w = Vector.new(T.FP64, 4)
+        with pytest.raises(DimensionMismatchError):
+            ewise_mult(w, None, None, B.TIMES[T.FP64], u, v)
+
+    def test_int_udf_op(self):
+        op = B.BinaryOp.new(lambda x, y: max(x, y) - min(x, y),
+                            T.INT64, T.INT64, T.INT64, "absdiff")
+        u = vec_from_dict({0: 5, 1: 2}, 3, T.INT64)
+        v = vec_from_dict({0: 3, 2: 9}, 3, T.INT64)
+        w = Vector.new(T.INT64, 3)
+        ewise_add(w, None, None, op, u, v)
+        assert_vec_equal(w, {0: 2, 1: 2, 2: 9}, "udf")

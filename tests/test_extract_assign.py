@@ -1,0 +1,299 @@
+"""extract and assign batteries: all variants, region semantics, masks."""
+
+import numpy as np
+import pytest
+
+from repro.core import binaryop as B
+from repro.core import types as T
+from repro.core.descriptor import DESC_R, DESC_S, DESC_T0
+from repro.core.errors import (
+    DimensionMismatchError,
+    DomainMismatchError,
+    InvalidIndexError,
+)
+from repro.core.matrix import Matrix
+from repro.core.scalar import Scalar
+from repro.core.vector import Vector
+from repro.ops.assign import assign, assign_col, assign_row
+from repro.ops.extract import ALL, extract
+
+from .helpers import (
+    assert_mat_equal,
+    assert_vec_equal,
+    mat_from_dict,
+    mat_to_dict,
+    vec_from_dict,
+    vec_to_dict,
+)
+from .reference import ref_assign, ref_extract
+
+A_D = {
+    (0, 0): 1.0, (0, 2): 2.0, (1, 1): 3.0,
+    (2, 0): 4.0, (2, 3): 5.0, (3, 2): 6.0,
+}
+U_D = {0: 10.0, 2: 20.0, 3: 30.0}
+
+
+class TestVectorExtract:
+    def test_basic(self):
+        u = vec_from_dict(U_D, 5)
+        w = Vector.new(T.FP64, 3)
+        extract(w, None, None, u, [2, 0, 4])
+        assert_vec_equal(w, {0: 20.0, 1: 10.0}, "perm")
+
+    def test_all(self):
+        u = vec_from_dict(U_D, 5)
+        w = Vector.new(T.FP64, 5)
+        extract(w, None, None, u, ALL)
+        assert_vec_equal(w, U_D, "all")
+
+    def test_duplicate_indices_allowed(self):
+        u = vec_from_dict(U_D, 5)
+        w = Vector.new(T.FP64, 4)
+        extract(w, None, None, u, [0, 0, 3, 3])
+        assert_vec_equal(w, {0: 10.0, 1: 10.0, 2: 30.0, 3: 30.0}, "dups")
+
+    def test_out_of_range_index(self):
+        u = vec_from_dict(U_D, 5)
+        w = Vector.new(T.FP64, 1)
+        with pytest.raises(InvalidIndexError):
+            extract(w, None, None, u, [7])
+            w.wait()
+
+    def test_size_must_match_index_count(self):
+        u = vec_from_dict(U_D, 5)
+        w = Vector.new(T.FP64, 9)
+        with pytest.raises(DimensionMismatchError):
+            extract(w, None, None, u, [0, 1])
+
+
+class TestMatrixExtract:
+    def test_matches_reference(self):
+        A = mat_from_dict(A_D, 4, 4)
+        C = Matrix.new(T.FP64, 3, 2)
+        I, J = [2, 0, 3], [0, 2]
+        extract(C, None, None, A, I, J)
+        assert_mat_equal(C, ref_extract(A_D, I, J, 4, 4), "IJ")
+
+    def test_all_rows_subset_cols(self):
+        A = mat_from_dict(A_D, 4, 4)
+        C = Matrix.new(T.FP64, 4, 2)
+        extract(C, None, None, A, ALL, [2, 3])
+        assert_mat_equal(C, ref_extract(A_D, None, [2, 3], 4, 4), "ALL,J")
+
+    def test_duplicate_rows_and_cols(self):
+        A = mat_from_dict(A_D, 4, 4)
+        C = Matrix.new(T.FP64, 2, 2)
+        extract(C, None, None, A, [0, 0], [2, 2])
+        assert_mat_equal(C, ref_extract(A_D, [0, 0], [2, 2], 4, 4), "dups")
+
+    def test_transpose_then_extract(self):
+        A = mat_from_dict(A_D, 4, 4)
+        at = {(j, i): v for (i, j), v in A_D.items()}
+        C = Matrix.new(T.FP64, 2, 2)
+        extract(C, None, None, A, [0, 2], [2, 0], desc=DESC_T0)
+        assert_mat_equal(C, ref_extract(at, [0, 2], [2, 0], 4, 4), "T0")
+
+    def test_col_extract(self):
+        A = mat_from_dict(A_D, 4, 4)
+        w = Vector.new(T.FP64, 4)
+        extract(w, None, None, A, ALL, 2)
+        assert_vec_equal(w, {0: 2.0, 3: 6.0}, "col2")
+
+    def test_col_extract_with_row_subset(self):
+        A = mat_from_dict(A_D, 4, 4)
+        w = Vector.new(T.FP64, 2)
+        extract(w, None, None, A, [3, 1], 2)
+        assert_vec_equal(w, {0: 6.0}, "col2 rows")
+
+    def test_row_extract_via_transpose(self):
+        """Row i extraction = Col_extract with DESC_T0 (spec idiom)."""
+        A = mat_from_dict(A_D, 4, 4)
+        w = Vector.new(T.FP64, 4)
+        extract(w, None, None, A, ALL, 2, desc=DESC_T0)
+        assert_vec_equal(w, {0: 4.0, 3: 5.0}, "row2")
+
+    def test_extract_with_mask(self):
+        A = mat_from_dict(A_D, 4, 4)
+        mask = {(0, 0): True}
+        C = Matrix.new(T.FP64, 4, 4)
+        extract(C, mat_from_dict(mask, 4, 4, T.BOOL), None, A, ALL, ALL)
+        assert_mat_equal(C, {(0, 0): 1.0}, "masked")
+
+    def test_bad_variant_rejected(self):
+        u = vec_from_dict(U_D, 5)
+        C = Matrix.new(T.FP64, 2, 2)
+        with pytest.raises(DomainMismatchError):
+            extract(C, None, None, u, [0, 1], [0, 1])
+
+
+class TestVectorAssign:
+    def test_overwrite_region(self):
+        w = vec_from_dict({0: 1.0, 1: 2.0, 2: 3.0, 4: 9.0}, 5)
+        u = vec_from_dict({0: 100.0}, 2)          # element for position I[0]=1
+        assign(w, None, None, u, [1, 2])
+        # region {1,2} overwritten: 1 -> 100, 2 erased; outside untouched
+        assert_vec_equal(w, {0: 1.0, 1: 100.0, 4: 9.0}, "region")
+
+    def test_assign_all_replaces_whole_vector(self):
+        w = vec_from_dict({0: 1.0, 3: 4.0}, 4)
+        u = vec_from_dict({2: 7.0}, 4)
+        assign(w, None, None, u, ALL)
+        assert_vec_equal(w, {2: 7.0}, "ALL")
+
+    def test_assign_with_accum_merges(self):
+        w = vec_from_dict({1: 5.0, 2: 6.0}, 5)
+        u = vec_from_dict({0: 1.0}, 2)
+        assign(w, None, B.PLUS[T.FP64], u, [1, 2])
+        assert_vec_equal(w, {1: 6.0, 2: 6.0}, "accum")
+
+    def test_duplicate_indices_rejected(self):
+        w = Vector.new(T.FP64, 5)
+        u = Vector.new(T.FP64, 2)
+        with pytest.raises(InvalidIndexError):
+            assign(w, None, None, u, [1, 1])
+            w.wait()
+
+    def test_scalar_fill(self):
+        w = vec_from_dict({0: 1.0}, 4)
+        assign(w, None, None, 7.5, [1, 3])
+        assert_vec_equal(w, {0: 1.0, 1: 7.5, 3: 7.5}, "fill")
+
+    def test_scalar_fill_all_densifies(self):
+        w = Vector.new(T.FP64, 4)
+        assign(w, None, None, 2.0, ALL)
+        assert w.nvals() == 4
+
+    def test_empty_scalar_deletes_region(self):
+        """Table II scalar variant with an empty GrB_Scalar clears."""
+        w = vec_from_dict({0: 1.0, 1: 2.0, 2: 3.0}, 4)
+        assign(w, None, None, Scalar.new(T.FP64), [0, 2])
+        assert_vec_equal(w, {1: 2.0}, "delete")
+
+    def test_empty_scalar_with_accum_is_noop(self):
+        w = vec_from_dict({0: 1.0}, 4)
+        assign(w, None, B.PLUS[T.FP64], Scalar.new(T.FP64), ALL)
+        assert_vec_equal(w, {0: 1.0}, "noop")
+
+    def test_masked_scalar_fill(self):
+        w = Vector.new(T.FP64, 5)
+        mask = vec_from_dict({1: True, 3: True}, 5, T.BOOL)
+        assign(w, mask, None, 4.0, ALL, desc=DESC_S)
+        assert_vec_equal(w, {1: 4.0, 3: 4.0}, "masked fill")
+
+
+class TestMatrixAssign:
+    def test_matches_reference_no_accum(self):
+        c0 = dict(A_D)
+        a = {(0, 0): 100.0, (1, 1): 200.0}
+        C = mat_from_dict(c0, 4, 4)
+        A = mat_from_dict(a, 2, 2)
+        I, J = [1, 2], [0, 3]
+        assign(C, None, None, A, I, J)
+        assert_mat_equal(C, ref_assign(c0, a, I, J, None, 4, 4), "assign")
+
+    def test_matches_reference_with_accum(self):
+        c0 = dict(A_D)
+        a = {(0, 0): 100.0, (1, 1): 200.0}
+        C = mat_from_dict(c0, 4, 4)
+        A = mat_from_dict(a, 2, 2)
+        I, J = [2, 3], [0, 2]
+        assign(C, None, B.PLUS[T.FP64], A, I, J)
+        assert_mat_equal(
+            C, ref_assign(c0, a, I, J, lambda x, y: x + y, 4, 4), "accum"
+        )
+
+    def test_assign_all_all(self):
+        C = mat_from_dict(A_D, 4, 4)
+        A = mat_from_dict({(3, 3): 1.0}, 4, 4)
+        assign(C, None, None, A, ALL, ALL)
+        assert_mat_equal(C, {(3, 3): 1.0}, "ALL ALL")
+
+    def test_shape_mismatch(self):
+        C = Matrix.new(T.FP64, 4, 4)
+        A = Matrix.new(T.FP64, 3, 3)
+        with pytest.raises(DimensionMismatchError):
+            assign(C, None, None, A, [0, 1], [0, 1])
+
+    def test_scalar_fill_region(self):
+        C = mat_from_dict(A_D, 4, 4)
+        assign(C, None, None, 9.0, [0, 1], [1, 2])
+        expected = dict(A_D)
+        for i in (0, 1):
+            for j in (1, 2):
+                expected[(i, j)] = 9.0
+        # region positions not previously stored also get 9.0; previously
+        # stored region entries overwritten; (0,0) etc untouched.
+        expected.pop((0, 2), None)
+        expected[(0, 2)] = 9.0
+        assert_mat_equal(C, expected, "scalar region")
+
+    def test_scalar_empty_deletes_region(self):
+        C = mat_from_dict(A_D, 4, 4)
+        assign(C, None, None, Scalar.new(T.FP64), [0, 2], ALL)
+        assert_mat_equal(
+            C, {k: v for k, v in A_D.items() if k[0] not in (0, 2)}, "del"
+        )
+
+    def test_masked_assign_spans_whole_output(self):
+        c0 = {(0, 0): 1.0, (3, 3): 2.0}
+        C = mat_from_dict(c0, 4, 4)
+        A = mat_from_dict({(0, 0): 9.0}, 1, 1)
+        mask = {(0, 0): True}   # only (0,0) writable
+        assign(C, mat_from_dict(mask, 4, 4, T.BOOL), None, A, [0], [0],
+               desc=DESC_R)     # replace clears everything outside the mask
+        assert_mat_equal(C, {(0, 0): 9.0}, "mask replace")
+
+    def test_row_assign(self):
+        C = mat_from_dict(A_D, 4, 4)
+        u = vec_from_dict({0: 50.0, 1: 60.0}, 2)
+        assign_row(C, None, None, u, 2, [1, 3])
+        expected = dict(A_D)
+        expected.pop((2, 3))
+        expected[(2, 1)] = 50.0
+        expected[(2, 3)] = 60.0
+        # (2,0) is outside region J=[1,3]: kept
+        assert_mat_equal(C, expected, "row assign")
+
+    def test_row_assign_all_cols_overwrites_row(self):
+        C = mat_from_dict(A_D, 4, 4)
+        u = vec_from_dict({1: 7.0}, 4)
+        assign_row(C, None, None, u, 2, ALL)
+        expected = {k: v for k, v in A_D.items() if k[0] != 2}
+        expected[(2, 1)] = 7.0
+        assert_mat_equal(C, expected, "row ALL")
+
+    def test_col_assign(self):
+        C = mat_from_dict(A_D, 4, 4)
+        u = vec_from_dict({0: 70.0}, 4)
+        assign_col(C, None, None, u, ALL, 2)
+        expected = {k: v for k, v in A_D.items() if k[1] != 2}
+        expected[(0, 2)] = 70.0
+        assert_mat_equal(C, expected, "col ALL")
+
+    def test_row_assign_with_row_scoped_mask(self):
+        """Row_assign's vector mask spans just the row (length ncols)."""
+        C = mat_from_dict(A_D, 4, 4)
+        u = vec_from_dict({0: 1.0, 1: 2.0, 2: 3.0, 3: 4.0}, 4)
+        mask = vec_from_dict({0: True, 2: True}, 4, T.BOOL)
+        assign_row(C, mask, None, u, 0, ALL)
+        expected = dict(A_D)
+        expected[(0, 0)] = 1.0   # mask true
+        expected[(0, 2)] = 3.0   # mask true
+        # (0, 1)/(0, 3) mask false: old content kept (none existed at (0,1))
+        assert_mat_equal(C, expected, "row mask")
+
+    def test_polymorphic_dispatch_row_vs_col(self):
+        C = mat_from_dict(A_D, 4, 4)
+        u = vec_from_dict({0: 1.0}, 4)
+        assign(C, None, None, u, 1, ALL)      # int row => Row_assign
+        assert C.extract_element(1, 0) == 1.0
+        C2 = mat_from_dict(A_D, 4, 4)
+        assign(C2, None, None, u, ALL, 1)     # int col => Col_assign
+        assert C2.extract_element(0, 1) == 1.0
+
+    def test_ambiguous_row_col_dispatch_rejected(self):
+        C = mat_from_dict(A_D, 4, 4)
+        u = vec_from_dict({0: 1.0}, 1)
+        with pytest.raises(DomainMismatchError):
+            assign(C, None, None, u, 1, 1)

@@ -1,0 +1,115 @@
+"""Failure injection: user-defined operators that misbehave (§V PANIC).
+
+In C, a user function that crashes inside a kernel is undefined
+behaviour; this implementation defines it: the invocation reports
+``GrB_PANIC`` like any execution error — deferred in nonblocking mode,
+recorded for ``GrB_error`` — and the output object keeps its
+pre-failure state.
+"""
+
+import pytest
+
+from repro.core import types as T
+from repro.core.binaryop import BinaryOp, PLUS
+from repro.core.context import Context, Mode
+from repro.core.errors import PanicError
+from repro.core.indexunaryop import IndexUnaryOp
+from repro.core.monoid import Monoid
+from repro.core.semiring import Semiring
+from repro.core.unaryop import UnaryOp
+from repro.core.matrix import Matrix
+from repro.core.vector import Vector
+from repro.ops.apply import apply
+from repro.ops.ewise import ewise_add
+from repro.ops.mxm import mxm
+from repro.ops.select import select
+
+from .helpers import mat_from_dict, vec_from_dict
+
+
+def _bomb_unary():
+    def f(x):
+        raise RuntimeError("boom in unary")
+    return UnaryOp.new(f, T.FP64, T.FP64, "bomb")
+
+
+class TestUdfExceptions:
+    def test_unary_udf_exception_becomes_panic(self):
+        u = vec_from_dict({0: 1.0}, 3)
+        w = Vector.new(T.FP64, 3)
+        with pytest.raises(PanicError) as ei:
+            apply(w, None, None, _bomb_unary(), u)
+            w.wait()
+        assert "boom in unary" in str(ei.value)
+
+    def test_panic_deferred_in_nonblocking(self):
+        ctx = Context.new(Mode.NONBLOCKING, None, None)
+        u = vec_from_dict({0: 1.0}, 3, ctx=ctx)
+        w = Vector.new(T.FP64, 3, ctx)
+        apply(w, None, None, _bomb_unary(), u)      # no raise yet
+        with pytest.raises(PanicError):
+            w.wait()
+        assert "boom" in w.error()
+
+    def test_output_keeps_pre_failure_state(self):
+        ctx = Context.new(Mode.NONBLOCKING, None, None)
+        u = vec_from_dict({0: 1.0}, 3, ctx=ctx)
+        w = Vector.new(T.FP64, 3, ctx)
+        w.set_element(42.0, 1)
+        apply(w, None, None, _bomb_unary(), u)
+        with pytest.raises(PanicError):
+            w.wait()
+        assert w.to_dict() == {1: 42.0}
+
+    def test_binary_udf_exception_in_ewise(self):
+        def f(x, y):
+            raise ValueError("bad pair")
+        op = BinaryOp.new(f, T.FP64, T.FP64, T.FP64)
+        a = mat_from_dict({(0, 0): 1.0}, 2, 2)
+        c = Matrix.new(T.FP64, 2, 2)
+        with pytest.raises(PanicError):
+            ewise_add(c, None, None, op, a, a)
+            c.wait()
+
+    def test_udf_semiring_exception_in_mxm(self):
+        def bad_mult(x, y):
+            raise ZeroDivisionError("mult exploded")
+        mult = BinaryOp.new(bad_mult, T.FP64, T.FP64, T.FP64)
+        add = Monoid.new(PLUS[T.FP64], 0.0)
+        sr = Semiring.new(add, mult)
+        a = mat_from_dict({(0, 0): 1.0, (0, 1): 2.0}, 2, 2)
+        c = Matrix.new(T.FP64, 2, 2)
+        with pytest.raises(PanicError):
+            mxm(c, None, None, sr, a, a)
+            c.wait()
+
+    def test_index_udf_exception_in_select(self):
+        def f(v, i, j, s):
+            raise KeyError("select predicate died")
+        op = IndexUnaryOp.new(f, T.BOOL, T.FP64, T.FP64)
+        a = mat_from_dict({(0, 0): 1.0}, 2, 2)
+        c = Matrix.new(T.FP64, 2, 2)
+        with pytest.raises(PanicError):
+            select(c, None, None, op, a, 0.0)
+            c.wait()
+
+    def test_udf_returning_garbage_type(self):
+        op = UnaryOp.new(lambda x: "not a number", T.FP64, T.FP64)
+        u = vec_from_dict({0: 1.0}, 2)
+        w = Vector.new(T.FP64, 2)
+        with pytest.raises(PanicError):
+            apply(w, None, None, op, u)
+            w.wait()
+
+    def test_object_usable_after_panic(self):
+        ctx = Context.new(Mode.NONBLOCKING, None, None)
+        u = vec_from_dict({0: 2.0}, 3, ctx=ctx)
+        w = Vector.new(T.FP64, 3, ctx)
+        apply(w, None, None, _bomb_unary(), u)
+        with pytest.raises(PanicError):
+            w.wait()
+        # Recover: run a healthy operation on the same object.
+        apply(w, None, None, PLUS[T.FP64], u, 1.0)
+        w.wait()
+        assert w.to_dict() == {0: 3.0}
+        assert "boom" in w.error()    # history preserved for GrB_error

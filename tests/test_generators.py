@@ -1,0 +1,109 @@
+"""Workload generator battery: determinism, shape, statistical sanity."""
+
+import numpy as np
+import pytest
+
+from repro.core import types as T
+from repro.generators import (
+    erdos_renyi,
+    grid_2d,
+    path_graph,
+    random_matrix_data,
+    ring_graph,
+    rmat,
+    to_matrix,
+)
+
+
+class TestRmat:
+    def test_shape_and_counts(self):
+        n, rows, cols, vals = rmat(8, 4, seed=1)
+        assert n == 256
+        assert len(rows) == len(cols) == len(vals) == 4 * 256
+        assert rows.min() >= 0 and rows.max() < n
+        assert cols.min() >= 0 and cols.max() < n
+
+    def test_deterministic_per_seed(self):
+        a = rmat(7, 8, seed=5)
+        b = rmat(7, 8, seed=5)
+        assert np.array_equal(a[1], b[1]) and np.array_equal(a[2], b[2])
+        c = rmat(7, 8, seed=6)
+        assert not np.array_equal(a[1], c[1])
+
+    def test_skewed_degree_distribution(self):
+        """RMAT's defining property: heavier-tailed than uniform."""
+        n, rows, _, _ = rmat(10, 16, seed=2)
+        deg = np.bincount(rows, minlength=n)
+        n2, rows2, _, _ = erdos_renyi(1024, 16 / 1024, seed=2)
+        deg2 = np.bincount(rows2, minlength=n2)
+        assert deg.max() > 2 * deg2.max()
+
+    def test_weight_kinds(self):
+        _, _, _, w1 = rmat(5, 4, weights="ones")
+        assert np.all(w1 == 1.0)
+        _, _, _, w2 = rmat(5, 4, weights="int")
+        assert np.all(w2 >= 1)
+        with pytest.raises(ValueError):
+            rmat(5, 4, weights="bogus")
+
+
+class TestOtherGenerators:
+    def test_erdos_renyi_density(self):
+        n, rows, cols, _ = erdos_renyi(200, 0.05, seed=1)
+        got = len(rows) / (n * n)
+        assert 0.04 < got < 0.06
+        # positions strictly increasing => no duplicates
+        flat = rows * n + cols
+        assert np.all(np.diff(flat) > 0)
+
+    def test_grid_2d_edge_count(self):
+        n, rows, cols, _ = grid_2d(10)
+        assert n == 100
+        assert len(rows) == 2 * 2 * 10 * 9   # both directions, two axes
+
+    def test_grid_edges_are_neighbours(self):
+        side = 6
+        _, rows, cols, _ = grid_2d(side)
+        r1, c1 = np.divmod(rows, side)
+        r2, c2 = np.divmod(cols, side)
+        assert np.all(np.abs(r1 - r2) + np.abs(c1 - c2) == 1)
+
+    def test_path_and_ring(self):
+        n, r, c, v = path_graph(5)
+        assert len(r) == 4 and np.all(c == r + 1)
+        n, r, c, v = ring_graph(5)
+        assert len(r) == 5 and c[-1] == 0
+
+    def test_random_matrix_data_no_duplicates(self):
+        rows, cols, vals = random_matrix_data(20, 30, 0.2, seed=4)
+        flat = rows * 30 + cols
+        assert len(np.unique(flat)) == len(flat)
+        assert len(vals) == len(rows)
+
+
+class TestToMatrix:
+    def test_basic_build(self):
+        m = to_matrix(4, [0, 1], [1, 2], [1.0, 2.0], T.FP64)
+        assert m.nvals() == 2 and m.type is T.FP64
+
+    def test_no_self_loops(self):
+        m = to_matrix(4, [0, 1, 2], [0, 2, 2], [1.0, 2.0, 3.0], T.FP64,
+                      no_self_loops=True)
+        assert set(m.to_dict()) == {(1, 2)}
+
+    def test_make_undirected_symmetrizes(self):
+        m = to_matrix(4, [0], [1], [5.0], T.FP64, make_undirected=True)
+        d = m.to_dict()
+        assert d[(0, 1)] == 5.0 and d[(1, 0)] == 5.0
+
+    def test_dedup_folds_duplicates(self):
+        m = to_matrix(4, [0, 0], [1, 1], [2.0, 7.0], T.FP64)
+        assert m.extract_element(0, 1) == 7.0   # MAX dedup
+
+    def test_rectangular(self):
+        m = to_matrix(3, [0], [4], [1.0], T.FP64, ncols=6)
+        assert m.shape == (3, 6)
+
+    def test_bool_matrix(self):
+        m = to_matrix(3, [0, 1], [1, 2], [True, True], T.BOOL)
+        assert m.type is T.BOOL

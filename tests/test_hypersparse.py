@@ -1,0 +1,151 @@
+"""The hypersparse extension: 2^60-row matrices via compact row storage."""
+
+import numpy as np
+import pytest
+
+from repro.core import types as T
+from repro.core.errors import DimensionMismatchError, InvalidIndexError, NoValue
+from repro.core.indexunaryop import ROWGT, ROWLE, TRIL, VALUEGT
+from repro.core.matrix import Matrix
+from repro.core.monoid import PLUS_MONOID
+from repro.core.semiring import PLUS_TIMES_SEMIRING
+from repro.core.unaryop import AINV
+from repro.core.vector import Vector
+from repro.extensions import HyperMatrix
+
+TALL = 1 << 58   # far beyond the ordinary CSR row limit
+ENTRIES = {
+    (0, 0): 1.0,
+    (5, 2): 2.0,
+    (TALL // 2, 1): 3.0,
+    (TALL - 1, 0): 4.0,
+    (TALL - 1, 3): 5.0,
+}
+
+
+def _tall() -> HyperMatrix:
+    rows, cols = zip(*ENTRIES.keys())
+    return HyperMatrix.from_triples(
+        T.FP64, TALL, 4, list(rows), list(cols), list(ENTRIES.values()),
+    )
+
+
+class TestConstruction:
+    def test_from_triples_roundtrip(self):
+        h = _tall()
+        assert h.shape == (TALL, 4)
+        assert h.nvals() == len(ENTRIES)
+        assert h.nonempty_rows == 4     # two entries share row TALL-1
+        assert h.to_dict() == ENTRIES
+
+    def test_element_access(self):
+        h = _tall()
+        assert h.extract_element(TALL - 1, 3) == 5.0
+        with pytest.raises(NoValue):
+            h.extract_element(17, 0)       # row not stored
+        with pytest.raises(NoValue):
+            h.extract_element(5, 3)        # row stored, column not
+        with pytest.raises(InvalidIndexError):
+            h.extract_element(TALL, 0)
+
+    def test_row_bounds_checked(self):
+        with pytest.raises(InvalidIndexError):
+            HyperMatrix.from_triples(T.FP64, 10, 4, [10], [0], [1.0])
+
+    def test_empty(self):
+        h = HyperMatrix(T.FP64, TALL, 4)
+        assert h.nvals() == 0 and h.nonempty_rows == 0
+
+
+class TestOperations:
+    def test_mxv_global_rows(self):
+        h = _tall()
+        u = Vector.new(T.FP64, 4)
+        u.set_element(10.0, 0)
+        u.set_element(100.0, 1)
+        got = h.mxv(u, PLUS_TIMES_SEMIRING[T.FP64])
+        assert got == {0: 10.0, TALL // 2: 300.0, TALL - 1: 40.0}
+
+    def test_vxm_from_sparse_pattern(self):
+        h = _tall()
+        w = h.vxm({TALL - 1: 2.0, 5: 1.0}, PLUS_TIMES_SEMIRING[T.FP64])
+        assert w.to_dict() == {0: 8.0, 2: 2.0, 3: 10.0}
+
+    def test_vxm_ignores_rows_not_stored(self):
+        h = _tall()
+        w = h.vxm({17: 100.0}, PLUS_TIMES_SEMIRING[T.FP64])
+        assert w.nvals() == 0
+
+    def test_mxm_same_rows(self):
+        h = _tall()
+        b = Matrix.new(T.FP64, 4, 2)
+        b.build([0, 1], [0, 1], [10.0, 20.0])
+        c = h.mxm_same_rows(b, PLUS_TIMES_SEMIRING[T.FP64])
+        assert c.to_dict() == {
+            (0, 0): 10.0, (TALL // 2, 1): 60.0, (TALL - 1, 0): 40.0,
+        }
+        assert c.nrows == TALL
+
+    def test_mxm_dimension_check(self):
+        h = _tall()
+        with pytest.raises(DimensionMismatchError):
+            h.mxm_same_rows(Matrix.new(T.FP64, 9, 2),
+                            PLUS_TIMES_SEMIRING[T.FP64])
+
+    def test_select_sees_global_row_indices(self):
+        h = _tall()
+        upper = h.select(ROWLE, 5)            # keep rows <= 5 (global!)
+        assert set(upper.to_dict()) == {(0, 0), (5, 2)}
+        lower = h.select(ROWGT, 5)
+        assert set(lower.to_dict()) == \
+            {k for k in ENTRIES if k[0] > 5}
+
+    def test_select_tril_with_global_rows(self):
+        h = _tall()
+        lo = h.select(TRIL, 0)                 # j <= i at global scale
+        assert set(lo.to_dict()) == {k for k in ENTRIES if k[1] <= k[0]}
+
+    def test_select_value_and_prune(self):
+        h = _tall()
+        big = h.select(VALUEGT[T.FP64], 3.5)
+        assert big.to_dict() == {k: v for k, v in ENTRIES.items() if v > 3.5}
+        # rows that lost all entries were pruned from storage
+        assert big.nonempty_rows == 1
+
+    def test_apply(self):
+        h = _tall()
+        neg = h.apply(AINV[T.FP64])
+        assert neg.to_dict() == {k: -v for k, v in ENTRIES.items()}
+
+    def test_reduce_rows_and_scalar(self):
+        h = _tall()
+        sums = h.reduce_rows(PLUS_MONOID[T.FP64])
+        assert sums == {0: 1.0, 5: 2.0, TALL // 2: 3.0, TALL - 1: 9.0}
+        assert h.reduce_scalar(PLUS_MONOID[T.FP64]) == \
+            pytest.approx(sum(ENTRIES.values()))
+
+    def test_transpose_to_ordinary_matrix(self):
+        h = _tall()
+        t = h.transpose_to_matrix()
+        assert t.shape == (4, TALL)
+        assert t.to_dict() == {(j, i): v for (i, j), v in ENTRIES.items()}
+
+    def test_agrees_with_ordinary_matrix_when_small(self):
+        """On small shapes the extension must equal the spec core."""
+        rng = np.random.default_rng(3)
+        d = {(int(i), int(j)): float(rng.integers(1, 9))
+             for i in rng.integers(0, 30, 12)
+             for j in rng.integers(0, 6, 1)}
+        rows, cols = zip(*d.keys())
+        h = HyperMatrix.from_triples(T.FP64, 30, 6, list(rows), list(cols),
+                                     list(d.values()))
+        m = Matrix.new(T.FP64, 30, 6)
+        m.build(list(rows), list(cols), list(d.values()))
+        u = Vector.new(T.FP64, 6)
+        for j in range(6):
+            u.set_element(float(j + 1), j)
+        from repro.ops.mxm import mxv
+        w = Vector.new(T.FP64, 30)
+        mxv(w, None, None, PLUS_TIMES_SEMIRING[T.FP64], m, u)
+        assert h.mxv(u, PLUS_TIMES_SEMIRING[T.FP64]) == \
+            {int(k): v for k, v in w.to_dict().items()}

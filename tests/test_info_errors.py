@@ -1,0 +1,125 @@
+"""Error-model battery (§V, §IX): explicit Info values, error taxonomy."""
+
+import pytest
+
+from repro.core import errors as E
+from repro.core.info import (
+    API_ERRORS,
+    EXECUTION_ERRORS,
+    Info,
+    is_api_error,
+    is_execution_error,
+)
+
+
+class TestExplicitEnumValues:
+    """§IX: enumerations must specify their values so programs can link."""
+
+    def test_success_and_no_value(self):
+        assert Info.SUCCESS == 0
+        assert Info.NO_VALUE == 1
+
+    @pytest.mark.parametrize(
+        "member,value",
+        [
+            (Info.UNINITIALIZED_OBJECT, 2),
+            (Info.NULL_POINTER, 3),
+            (Info.INVALID_VALUE, 4),
+            (Info.INVALID_INDEX, 5),
+            (Info.DOMAIN_MISMATCH, 6),
+            (Info.DIMENSION_MISMATCH, 7),
+            (Info.OUTPUT_NOT_EMPTY, 8),
+            (Info.NOT_IMPLEMENTED, 9),
+            (Info.PANIC, 101),
+            (Info.OUT_OF_MEMORY, 102),
+            (Info.INSUFFICIENT_SPACE, 103),
+            (Info.INVALID_OBJECT, 104),
+            (Info.INDEX_OUT_OF_BOUNDS, 105),
+            (Info.EMPTY_OBJECT, 106),
+        ],
+    )
+    def test_values_are_pinned(self, member, value):
+        assert int(member) == value
+
+    def test_values_unique(self):
+        values = [int(m) for m in Info]
+        assert len(values) == len(set(values))
+
+
+class TestTaxonomy:
+    def test_api_and_execution_disjoint(self):
+        assert API_ERRORS & EXECUTION_ERRORS == frozenset()
+
+    def test_success_in_neither(self):
+        assert not is_api_error(Info.SUCCESS)
+        assert not is_execution_error(Info.SUCCESS)
+        assert not is_api_error(Info.NO_VALUE)
+
+    def test_predicates(self):
+        assert is_api_error(Info.DIMENSION_MISMATCH)
+        assert is_execution_error(Info.INDEX_OUT_OF_BOUNDS)
+        assert not is_execution_error(Info.DIMENSION_MISMATCH)
+
+
+class TestExceptionClasses:
+    @pytest.mark.parametrize(
+        "cls,info",
+        [
+            (E.NullPointerError, Info.NULL_POINTER),
+            (E.InvalidValueError, Info.INVALID_VALUE),
+            (E.InvalidIndexError, Info.INVALID_INDEX),
+            (E.DomainMismatchError, Info.DOMAIN_MISMATCH),
+            (E.DimensionMismatchError, Info.DIMENSION_MISMATCH),
+            (E.OutputNotEmptyError, Info.OUTPUT_NOT_EMPTY),
+            (E.NotImplementedGrBError, Info.NOT_IMPLEMENTED),
+            (E.UninitializedObjectError, Info.UNINITIALIZED_OBJECT),
+        ],
+    )
+    def test_api_error_subclasses(self, cls, info):
+        exc = cls("boom")
+        assert isinstance(exc, E.ApiError)
+        assert not isinstance(exc, E.ExecutionError)
+        assert exc.info == info
+        assert exc.message == "boom"
+
+    @pytest.mark.parametrize(
+        "cls,info",
+        [
+            (E.PanicError, Info.PANIC),
+            (E.OutOfMemoryError, Info.OUT_OF_MEMORY),
+            (E.InsufficientSpaceError, Info.INSUFFICIENT_SPACE),
+            (E.InvalidObjectError, Info.INVALID_OBJECT),
+            (E.IndexOutOfBoundsError, Info.INDEX_OUT_OF_BOUNDS),
+            (E.EmptyObjectError, Info.EMPTY_OBJECT),
+        ],
+    )
+    def test_execution_error_subclasses(self, cls, info):
+        exc = cls()
+        assert isinstance(exc, E.ExecutionError)
+        assert not isinstance(exc, E.ApiError)
+        assert exc.info == info
+
+    def test_duplicate_index_is_execution_error(self):
+        """§IX: NULL-dup duplicates are an execution error."""
+        exc = E.DuplicateIndexError("dup")
+        assert isinstance(exc, E.ExecutionError)
+
+    def test_no_value_is_not_a_graphblas_error(self):
+        assert not isinstance(E.NoValue("x"), E.GraphBLASError)
+        assert E.NoValue.info == Info.NO_VALUE
+
+    def test_factories(self):
+        assert isinstance(
+            E.api_error_for(Info.DOMAIN_MISMATCH, "m"), E.DomainMismatchError
+        )
+        assert isinstance(
+            E.execution_error_for(Info.PANIC, "m"), E.PanicError
+        )
+        with pytest.raises(ValueError):
+            E.api_error_for(Info.PANIC)
+        with pytest.raises(ValueError):
+            E.execution_error_for(Info.DOMAIN_MISMATCH)
+
+    def test_all_graphblas_errors_carry_info(self):
+        exc = E.GraphBLASError("x", Info.PANIC)
+        assert exc.info == Info.PANIC

@@ -1,0 +1,187 @@
+"""Kernel-layer unit battery: carriers, build, parallel plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.core import binaryop as B
+from repro.core import monoid as M
+from repro.core import semiring as S
+from repro.core import types as T
+from repro.core.errors import DuplicateIndexError, IndexOutOfBoundsError
+from repro.internals import parallel
+from repro.internals.build import build_matrix, build_vector, dedup_sorted
+from repro.internals.containers import (
+    MatData,
+    VecData,
+    coo_to_csr,
+    csr_to_coo_rows,
+    empty_mat,
+    empty_vec,
+    pair_keys,
+)
+
+
+class TestContainers:
+    def test_empty_constructors(self):
+        v = empty_vec(5, T.FP64)
+        v.check()
+        assert v.nvals == 0 and v.size == 5
+        m = empty_mat(3, 4, T.INT32)
+        m.check()
+        assert m.nvals == 0 and (m.nrows, m.ncols) == (3, 4)
+
+    def test_coo_to_csr_sorts(self):
+        m = coo_to_csr(3, 3, T.FP64,
+                       np.array([2, 0, 0]), np.array([1, 2, 0]),
+                       np.array([3.0, 2.0, 1.0]))
+        m.check()
+        assert m.indptr.tolist() == [0, 2, 2, 3]
+        assert m.col_indices.tolist() == [0, 2, 1]
+
+    def test_row_expansion_roundtrip(self):
+        m = coo_to_csr(4, 4, T.FP64,
+                       np.array([0, 0, 2, 3]), np.array([1, 3, 0, 2]),
+                       np.ones(4))
+        rows = csr_to_coo_rows(m.indptr, m.nrows)
+        assert rows.tolist() == [0, 0, 2, 3]
+
+    def test_transpose_involution(self):
+        m = coo_to_csr(3, 5, T.FP64,
+                       np.array([0, 1, 2]), np.array([4, 0, 2]),
+                       np.array([1.0, 2.0, 3.0]))
+        tt = m.transpose().transpose()
+        assert np.array_equal(tt.indptr, m.indptr)
+        assert np.array_equal(tt.col_indices, m.col_indices)
+        assert np.array_equal(tt.values, m.values)
+
+    def test_pair_keys_int64(self):
+        keys = pair_keys(np.array([0, 1]), np.array([2, 3]), 10)
+        assert keys.tolist() == [2, 13]
+        assert keys.dtype == np.int64
+
+    def test_pair_keys_overflow_fallback(self):
+        """Huge shapes switch to exact object keys instead of overflowing."""
+        big = 2 ** 40
+        keys = pair_keys(np.array([big], dtype=np.int64),
+                         np.array([big - 1], dtype=np.int64), 2 ** 41)
+        assert keys.dtype == object
+        assert keys[0] == big * 2 ** 41 + big - 1
+
+    def test_astype(self):
+        v = VecData(3, T.FP64, np.array([1], dtype=np.int64), np.array([2.5]))
+        w = v.astype(T.INT32)
+        assert w.values.dtype == np.int32 and w.values[0] == 2
+        assert v.astype(T.FP64) is v
+
+    def test_to_dense(self):
+        v = VecData(3, T.FP64, np.array([1], dtype=np.int64), np.array([2.5]))
+        assert v.to_dense().tolist() == [0.0, 2.5, 0.0]
+
+
+class TestBuildKernels:
+    def test_dedup_sorted_no_dups_passthrough(self):
+        keys = np.array([1, 3, 5])
+        vals = np.array([1.0, 2.0, 3.0])
+        k, v = dedup_sorted(keys, vals, None, T.FP64)
+        assert k is keys
+
+    def test_dedup_sorted_folds_left_to_right(self):
+        keys = np.array([1, 1, 1, 2])
+        vals = np.array([8.0, 4.0, 2.0, 9.0])
+        k, v = dedup_sorted(keys, vals, B.DIV[T.FP64], T.FP64)
+        assert k.tolist() == [1, 2]
+        assert v.tolist() == [1.0, 9.0]   # (8/4)/2
+
+    def test_dedup_sorted_null_dup_raises(self):
+        with pytest.raises(DuplicateIndexError):
+            dedup_sorted(np.array([1, 1]), np.array([1.0, 2.0]), None, T.FP64)
+
+    def test_build_vector_scalar_broadcast(self):
+        v = build_vector(5, T.FP64, [1, 3], np.asarray(7.0), None)
+        assert v.values.tolist() == [7.0, 7.0]
+
+    def test_build_matrix_bounds(self):
+        with pytest.raises(IndexOutOfBoundsError):
+            build_matrix(2, 2, T.FP64, [0], [5], [1.0], None)
+        with pytest.raises(IndexOutOfBoundsError):
+            build_matrix(2, 2, T.FP64, [-1], [0], [1.0], None)
+
+    def test_build_matrix_udf_dup(self):
+        op = B.BinaryOp.new(lambda x, y: x * 100 + y, T.INT64, T.INT64, T.INT64)
+        m = build_matrix(2, 2, T.INT64, [0, 0, 0], [0, 0, 0], [1, 2, 3], op)
+        assert m.values[0] == 10203
+
+
+class TestParallel:
+    def test_row_blocks_cover_exactly(self):
+        blocks = parallel.row_blocks(10, 3)
+        assert blocks[0][0] == 0 and blocks[-1][1] == 10
+        covered = sum(hi - lo for lo, hi in blocks)
+        assert covered == 10
+
+    def test_row_blocks_more_threads_than_rows(self):
+        blocks = parallel.row_blocks(2, 8)
+        assert len(blocks) == 2
+
+    def test_row_blocks_empty_matrix(self):
+        assert parallel.row_blocks(0, 4) == []
+
+    def test_concat_row_blocks(self):
+        a = coo_to_csr(2, 3, T.FP64, np.array([0, 1]), np.array([0, 2]),
+                       np.array([1.0, 2.0]))
+        b = coo_to_csr(1, 3, T.FP64, np.array([0]), np.array([1]),
+                       np.array([3.0]))
+        m = parallel.concat_row_blocks([a, b], 3)
+        m.check()
+        assert m.nrows == 3
+        assert m.to_dense()[2, 1] == 3.0
+
+    @pytest.mark.parametrize("nthreads", [1, 2, 4, 7])
+    def test_parallel_mxm_matches_serial(self, nthreads):
+        rng = np.random.default_rng(0)
+        d = rng.random((17, 13)) * (rng.random((17, 13)) < 0.3)
+        e = rng.random((13, 11)) * (rng.random((13, 11)) < 0.3)
+        r, c = np.nonzero(d)
+        A = coo_to_csr(17, 13, T.FP64, r, c, d[r, c])
+        r, c = np.nonzero(e)
+        Bm = coo_to_csr(13, 11, T.FP64, r, c, e[r, c])
+        out = parallel.parallel_mxm(A, Bm, S.PLUS_TIMES_SEMIRING[T.FP64],
+                                    nthreads)
+        out.check()
+        assert np.allclose(out.to_dense(), d @ e)
+
+    def test_parallel_mxm_empty_result(self):
+        A = empty_mat(4, 4, T.FP64)
+        out = parallel.parallel_mxm(A, A, S.PLUS_TIMES_SEMIRING[T.FP64], 4)
+        assert out.nvals == 0
+
+    def test_chunk_rows_limits_split(self):
+        """chunk_rows from the exec spec bounds the block granularity."""
+        rng = np.random.default_rng(3)
+        d = rng.random((16, 16)) * (rng.random((16, 16)) < 0.3)
+        r, c = np.nonzero(d)
+        A = coo_to_csr(16, 16, T.FP64, r, c, d[r, c])
+        # chunk_rows=16 forces a single block even with 8 threads.
+        out = parallel.parallel_mxm(
+            A, A, S.PLUS_TIMES_SEMIRING[T.FP64], 8, chunk_rows=16)
+        out.check()
+        assert np.allclose(out.to_dense(), d @ d)
+        # chunk_rows=4 allows at most 4 blocks; results identical.
+        out2 = parallel.parallel_mxm(
+            A, A, S.PLUS_TIMES_SEMIRING[T.FP64], 8, chunk_rows=4)
+        assert np.allclose(out2.to_dense(), d @ d)
+
+    def test_chunk_rows_through_context(self):
+        from repro.core.context import Context, Mode
+        from repro.core.matrix import Matrix
+        from repro.ops.mxm import mxm as op_mxm
+        ctx = Context.new(Mode.NONBLOCKING, None,
+                          {"nthreads": 8, "chunk_rows": 1024})
+        rng = np.random.default_rng(5)
+        d = rng.random((12, 12)) * (rng.random((12, 12)) < 0.4)
+        r, c = np.nonzero(d)
+        A = Matrix.new(T.FP64, 12, 12, ctx)
+        A.build(r, c, d[r, c])
+        C = Matrix.new(T.FP64, 12, 12, ctx)
+        op_mxm(C, None, None, S.PLUS_TIMES_SEMIRING[T.FP64], A, A)
+        assert np.allclose(C.to_dense(), d @ d)

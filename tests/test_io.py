@@ -1,0 +1,220 @@
+"""I/O battery: Matrix Market and edge-list round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.core import types as T
+from repro.core.errors import InvalidObjectError, InvalidValueError
+from repro.io import (
+    mmread,
+    mmread_string,
+    mmwrite,
+    mmwrite_string,
+    read_edgelist,
+    write_edgelist,
+)
+
+from .helpers import mat_from_dict, mat_to_dict
+
+A_D = {(0, 0): 1.5, (0, 2): 2.0, (2, 1): -3.25}
+
+
+class TestMatrixMarketRead:
+    def test_real_general(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n"
+            "3 3 3\n"
+            "1 1 1.5\n"
+            "1 3 2.0\n"
+            "3 2 -3.25\n"
+        )
+        m = mmread_string(text)
+        assert m.type is T.FP64
+        assert mat_to_dict(m) == A_D
+
+    def test_integer_field(self):
+        text = (
+            "%%MatrixMarket matrix coordinate integer general\n"
+            "2 2 2\n1 2 7\n2 1 -4\n"
+        )
+        m = mmread_string(text)
+        assert m.type is T.INT64
+        assert mat_to_dict(m) == {(0, 1): 7, (1, 0): -4}
+
+    def test_pattern_field(self):
+        text = (
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 3 2\n1 2\n2 3\n"
+        )
+        m = mmread_string(text)
+        assert m.type is T.BOOL
+        assert set(mat_to_dict(m)) == {(0, 1), (1, 2)}
+
+    def test_symmetric_expansion(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 2\n2 1 5.0\n3 3 1.0\n"
+        )
+        m = mmread_string(text)
+        assert mat_to_dict(m) == {(1, 0): 5.0, (0, 1): 5.0, (2, 2): 1.0}
+
+    def test_skew_symmetric_expansion(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+            "2 2 1\n2 1 4.0\n"
+        )
+        m = mmread_string(text)
+        assert mat_to_dict(m) == {(1, 0): 4.0, (0, 1): -4.0}
+
+    def test_type_override(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 1\n1 1 2.9\n"
+        )
+        m = mmread_string(text, T.INT32)
+        assert m.type is T.INT32 and m.extract_element(0, 0) == 2
+
+    def test_bad_banner(self):
+        with pytest.raises(InvalidObjectError):
+            mmread_string("%%NotMatrixMarket x y z w\n1 1 0\n")
+
+    def test_unsupported_variants(self):
+        with pytest.raises(InvalidValueError):
+            mmread_string("%%MatrixMarket matrix array real general\n")
+        with pytest.raises(InvalidValueError):
+            mmread_string(
+                "%%MatrixMarket matrix coordinate complex general\n")
+        with pytest.raises(InvalidValueError):
+            mmread_string(
+                "%%MatrixMarket matrix coordinate real hermitian\n")
+
+    def test_malformed_entries(self):
+        with pytest.raises(InvalidObjectError):
+            mmread_string(
+                "%%MatrixMarket matrix coordinate real general\nbogus\n")
+        with pytest.raises(InvalidObjectError):
+            mmread_string(
+                "%%MatrixMarket matrix coordinate real general\n2 2 1\n1\n")
+
+
+class TestMatrixMarketWrite:
+    def test_roundtrip_real(self):
+        m = mat_from_dict(A_D, 3, 3)
+        text = mmwrite_string(m, comment="unit test")
+        assert text.startswith("%%MatrixMarket matrix coordinate real general")
+        assert "% unit test" in text
+        back = mmread_string(text)
+        assert mat_to_dict(back) == A_D
+
+    def test_roundtrip_pattern(self):
+        m = mat_from_dict({(0, 1): True, (1, 0): True}, 2, 2, T.BOOL)
+        back = mmread_string(mmwrite_string(m))
+        assert back.type is T.BOOL
+        assert set(mat_to_dict(back)) == {(0, 1), (1, 0)}
+
+    def test_roundtrip_integer(self):
+        m = mat_from_dict({(1, 1): 42}, 2, 2, T.INT16)
+        text = mmwrite_string(m)
+        assert "integer" in text.splitlines()[0]
+        assert mat_to_dict(mmread_string(text)) == {(1, 1): 42}
+
+    def test_file_roundtrip(self, tmp_path):
+        m = mat_from_dict(A_D, 3, 3)
+        path = tmp_path / "a.mtx"
+        mmwrite(path, m)
+        back = mmread(path)
+        assert mat_to_dict(back) == A_D
+
+    def test_empty_matrix(self, tmp_path):
+        from repro.core.matrix import Matrix
+        m = Matrix.new(T.FP64, 4, 5)
+        path = tmp_path / "e.mtx"
+        mmwrite(path, m)
+        back = mmread(path)
+        assert back.shape == (4, 5) and back.nvals() == 0
+
+    def test_precision_preserved(self):
+        m = mat_from_dict({(0, 0): 1.0 / 3.0}, 1, 1)
+        back = mmread_string(mmwrite_string(m))
+        assert back.extract_element(0, 0) == 1.0 / 3.0
+
+
+class TestEdgeList:
+    def test_read_basic(self, tmp_path):
+        p = tmp_path / "g.el"
+        p.write_text("# comment\n0 1 2.5\n1 2\n% other comment\n2 0 7\n")
+        m, ids = read_edgelist(p)
+        assert ids is None
+        assert mat_to_dict(m) == {(0, 1): 2.5, (1, 2): 1.0, (2, 0): 7.0}
+
+    def test_relabel_compacts(self, tmp_path):
+        p = tmp_path / "g.el"
+        p.write_text("10 20\n20 30\n")
+        m, ids = read_edgelist(p, relabel=True)
+        assert ids.tolist() == [10, 20, 30]
+        assert m.nrows == 3
+        assert set(mat_to_dict(m)) == {(0, 1), (1, 2)}
+
+    def test_undirected(self, tmp_path):
+        p = tmp_path / "g.el"
+        p.write_text("0 1 3.0\n")
+        m, _ = read_edgelist(p, make_undirected=True)
+        assert mat_to_dict(m) == {(0, 1): 3.0, (1, 0): 3.0}
+
+    def test_write_read_roundtrip(self, tmp_path):
+        m = mat_from_dict(A_D, 3, 3)
+        p = tmp_path / "out.el"
+        write_edgelist(p, m)
+        back, _ = read_edgelist(p)
+        assert mat_to_dict(back) == A_D
+
+    def test_malformed_line(self, tmp_path):
+        p = tmp_path / "bad.el"
+        p.write_text("0\n")
+        with pytest.raises(InvalidObjectError):
+            read_edgelist(p)
+
+    def test_empty_file(self, tmp_path):
+        p = tmp_path / "empty.el"
+        p.write_text("# nothing\n")
+        m, _ = read_edgelist(p)
+        assert m.nrows == 0 and m.nvals() == 0
+
+
+class TestGrbFiles:
+    def test_matrix_save_load_roundtrip(self, tmp_path):
+        from repro.io import load, save
+        m = mat_from_dict(A_D, 3, 3)
+        path = tmp_path / "m.grb"
+        nbytes = save(path, m)
+        assert nbytes == path.stat().st_size
+        back = load(path)
+        assert mat_to_dict(back) == A_D
+
+    def test_vector_save_load_roundtrip(self, tmp_path):
+        from repro.core import types as T2
+        from repro.core.vector import Vector
+        from repro.io import load, save
+        v = Vector.new(T2.INT32, 5)
+        v.set_element(7, 3)
+        path = tmp_path / "v.grb"
+        save(path, v)
+        back = load(path)
+        assert back.to_dict() == {3: 7}
+        assert back.type is T2.INT32
+
+    def test_load_rejects_garbage(self, tmp_path):
+        from repro.io import load
+        path = tmp_path / "junk.grb"
+        path.write_bytes(b"this is not a graphblas file at all")
+        with pytest.raises(InvalidObjectError):
+            load(path)
+        path.write_bytes(b"x")
+        with pytest.raises(InvalidObjectError):
+            load(path)
+
+    def test_save_rejects_non_container(self, tmp_path):
+        from repro.io import save
+        with pytest.raises(InvalidObjectError):
+            save(tmp_path / "x.grb", "nope")

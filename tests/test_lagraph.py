@@ -1,0 +1,121 @@
+"""The LAGraph-style Graph wrapper: cached properties + dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.core import types as T
+from repro.core.errors import InvalidValueError
+from repro.core.matrix import Matrix
+from repro.lagraph import Graph, GraphKind
+
+TRIANGLE = ([0, 1, 2], [1, 2, 0])      # directed 3-cycle
+
+
+def _cycle(n=3):
+    rows = list(range(n))
+    cols = [(i + 1) % n for i in rows]
+    return Graph.from_edges(rows, cols, None, n, kind="directed")
+
+
+class TestConstruction:
+    def test_from_edges_directed(self):
+        g = _cycle(4)
+        assert g.n == 4 and g.nedges == 4
+        assert g.kind == GraphKind.DIRECTED
+
+    def test_from_edges_undirected_symmetrizes(self):
+        g = Graph.from_edges([0], [1], [2.5], 3, kind="undirected")
+        assert g.a.nvals() == 2
+        assert g.nedges == 1      # undirected edge counted once
+        assert g.is_symmetric()
+
+    def test_no_self_loops_flag(self):
+        g = Graph.from_edges([0, 1], [0, 2], None, 3, no_self_loops=True)
+        assert g.a.nvals() == 1
+
+    def test_nonsquare_rejected(self):
+        m = Matrix.new(T.FP64, 2, 3)
+        with pytest.raises(InvalidValueError):
+            Graph(m)
+
+
+class TestCachedProperties:
+    def test_degrees(self):
+        g = Graph.from_edges([0, 0, 1], [1, 2, 2], None, 3)
+        assert g.out_degree().to_dict() == {0: 2, 1: 1}
+        assert g.in_degree().to_dict() == {1: 1, 2: 2}
+
+    def test_transposed_cached_and_correct(self):
+        g = _cycle()
+        at1 = g.transposed()
+        at2 = g.transposed()
+        assert at1 is at2            # cached
+        assert at1.to_dict() == {(1, 0): 1.0, (2, 1): 1.0, (0, 2): 1.0}
+
+    def test_pattern_is_int_ones(self):
+        g = Graph.from_edges([0], [1], [7.5], 2)
+        p = g.pattern()
+        assert p.type is T.INT64 and p.extract_element(0, 1) == 1
+
+    def test_is_symmetric(self):
+        assert not _cycle().is_symmetric()
+        g = Graph.from_edges([0, 1], [1, 0], [3.0, 3.0], 2)
+        assert g.is_symmetric()
+
+    def test_value_asymmetry_detected(self):
+        g = Graph.from_edges([0, 1], [1, 0], [3.0, 4.0], 2)
+        assert not g.is_symmetric()
+
+    def test_nself_loops(self):
+        g = Graph.from_edges([0, 1, 1], [0, 1, 2], None, 3)
+        assert g.nself_loops() == 2
+
+    def test_invalidate_clears_cache(self):
+        g = _cycle()
+        g.out_degree()
+        assert g._cache
+        g.invalidate()
+        assert not g._cache
+
+    def test_set_matrix_invalidates(self):
+        g = _cycle()
+        g.transposed()
+        m = Matrix.new(T.FP64, 2, 2)
+        g.set_matrix(m)
+        assert g.n == 2 and not g._cache
+
+
+class TestDispatch:
+    def test_bfs_and_sssp(self):
+        g = _cycle(5)
+        lv = g.bfs_levels(0)
+        assert lv.to_dict() == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+        assert len(g.bfs_parents(0).to_dict()) == 5
+        d = g.sssp(0)
+        assert d.to_dict()[4] == 4.0
+
+    def test_triangle_count_undirected(self):
+        rows, cols = np.nonzero(~np.eye(4, dtype=bool))
+        g = Graph.from_edges(rows, cols, None, 4, kind="undirected")
+        # from_edges symmetrized an already-symmetric list: dedup by MAX
+        assert g.triangle_count() == 4
+
+    def test_triangle_count_rejects_directed_asymmetric(self):
+        with pytest.raises(InvalidValueError):
+            _cycle().triangle_count()
+
+    def test_triangle_count_allows_symmetric_directed(self):
+        g = Graph.from_edges([0, 1], [1, 0], None, 2, kind="directed")
+        assert g.triangle_count() == 0
+
+    def test_components_and_pagerank(self):
+        g = _cycle(6)
+        cc = g.connected_components()
+        assert len(set(int(v) for v in cc.to_dict().values())) == 1
+        ranks, iters = g.pagerank()
+        assert abs(sum(float(v) for v in ranks.to_dict().values()) - 1) < 1e-9
+
+    def test_ktruss(self):
+        rows, cols = np.nonzero(~np.eye(5, dtype=bool))
+        g = Graph.from_edges(rows, cols, None, 5, kind="undirected")
+        assert g.k_truss(5).nvals() == 20

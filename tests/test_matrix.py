@@ -1,0 +1,190 @@
+"""Matrix object battery: constructors, element access, build rules, diag."""
+
+import numpy as np
+import pytest
+
+from repro.core import binaryop as B
+from repro.core import types as T
+from repro.core.errors import (
+    DuplicateIndexError,
+    IndexOutOfBoundsError,
+    InvalidIndexError,
+    InvalidValueError,
+    NoValue,
+    OutputNotEmptyError,
+    UninitializedObjectError,
+)
+from repro.core.matrix import Matrix
+from repro.core.scalar import Scalar
+from repro.core.vector import Vector
+
+
+class TestConstruction:
+    def test_new(self):
+        m = Matrix.new(T.FP64, 3, 5)
+        assert m.shape == (3, 5) and m.nvals() == 0
+
+    def test_negative_shape_rejected(self):
+        with pytest.raises(InvalidValueError):
+            Matrix.new(T.FP64, -1, 2)
+
+    def test_dup_independent(self):
+        m = Matrix.new(T.INT64, 3, 3)
+        m.set_element(1, 0, 0)
+        d = m.dup()
+        d.set_element(2, 0, 0)
+        assert m.extract_element(0, 0) == 1
+
+    def test_diag_main(self):
+        v = Vector.new(T.FP64, 3)
+        v.build([0, 2], [5.0, 7.0])
+        m = Matrix.diag(v)
+        assert m.shape == (3, 3)
+        assert m.to_dict() == {(0, 0): 5.0, (2, 2): 7.0}
+
+    def test_diag_offset(self):
+        v = Vector.new(T.FP64, 2)
+        v.build([0, 1], [1.0, 2.0])
+        up = Matrix.diag(v, 1)
+        assert up.shape == (3, 3)
+        assert up.to_dict() == {(0, 1): 1.0, (1, 2): 2.0}
+        lo = Matrix.diag(v, -1)
+        assert lo.to_dict() == {(1, 0): 1.0, (2, 1): 2.0}
+
+
+class TestBuild:
+    def test_build_row_major_sorted(self):
+        m = Matrix.new(T.FP64, 3, 3)
+        m.build([2, 0, 0], [1, 2, 0], [21.0, 2.0, 0.5])
+        rows, cols, vals = m.extract_tuples()
+        assert rows.tolist() == [0, 0, 2]
+        assert cols.tolist() == [0, 2, 1]
+        assert vals.tolist() == [0.5, 2.0, 21.0]
+
+    def test_build_dup_plus(self):
+        m = Matrix.new(T.INT64, 2, 2)
+        m.build([0, 0, 1], [1, 1, 0], [3, 4, 5], dup=B.PLUS[T.INT64])
+        assert m.to_dict() == {(0, 1): 7, (1, 0): 5}
+
+    def test_build_dup_first_keeps_first_in_input_order(self):
+        m = Matrix.new(T.INT64, 2, 2)
+        m.build([0, 0], [1, 1], [3, 4], dup=B.FIRST[T.INT64])
+        assert m.extract_element(0, 1) == 3
+
+    def test_build_dup_second_keeps_last(self):
+        m = Matrix.new(T.INT64, 2, 2)
+        m.build([0, 0], [1, 1], [3, 4], dup=B.SECOND[T.INT64])
+        assert m.extract_element(0, 1) == 4
+
+    def test_build_null_dup_duplicates_deferred_error(self):
+        m = Matrix.new(T.FP64, 2, 2)
+        m.build([0, 0], [1, 1], [1.0, 2.0], dup=None)
+        with pytest.raises(DuplicateIndexError):
+            m.nvals()     # any value-reading method forces the sequence
+        assert "duplicate" in m.error()
+
+    def test_build_bounds_execution_error(self):
+        m = Matrix.new(T.FP64, 2, 2)
+        m.build([0], [5], [1.0])
+        with pytest.raises(IndexOutOfBoundsError):
+            m.wait()
+
+    def test_build_nonempty_rejected(self):
+        m = Matrix.new(T.FP64, 2, 2)
+        m.set_element(1.0, 0, 0)
+        with pytest.raises(OutputNotEmptyError):
+            m.build([1], [1], [1.0])
+
+
+class TestElementAccess:
+    def test_set_get(self):
+        m = Matrix.new(T.INT32, 4, 4)
+        m.set_element(9, 2, 3)
+        assert m.extract_element(2, 3) == 9
+
+    def test_set_preserves_csr_invariants(self):
+        m = Matrix.new(T.INT32, 4, 4)
+        for i, j in ((2, 3), (0, 1), (2, 0), (3, 3), (0, 0)):
+            m.set_element(i * 10 + j, i, j)
+        m.wait()
+        m._capture().check()
+        assert m.nvals() == 5
+
+    def test_set_element_grb_scalar_and_empty(self):
+        s = Scalar.new(T.INT32)
+        s.set_element(5)
+        m = Matrix.new(T.INT32, 2, 2)
+        m.set_element(s, 0, 0)
+        assert m.extract_element(0, 0) == 5
+        m.set_element(Scalar.new(T.INT32), 0, 0)   # empty deletes
+        assert m.nvals() == 0
+
+    def test_extract_missing_no_value(self):
+        m = Matrix.new(T.FP64, 2, 2)
+        with pytest.raises(NoValue):
+            m.extract_element(0, 0)
+
+    def test_extract_into_scalar_variant(self):
+        m = Matrix.new(T.FP64, 2, 2)
+        m.set_element(1.5, 1, 0)
+        out = Scalar.new(T.FP64)
+        m.extract_element(1, 0, out)
+        assert out.extract_element() == 1.5
+        m.extract_element(0, 0, out)
+        assert out.nvals() == 0
+
+    def test_remove_element(self):
+        m = Matrix.new(T.FP64, 2, 2)
+        m.set_element(1.0, 0, 0)
+        m.set_element(2.0, 0, 1)
+        m.remove_element(0, 0)
+        assert m.to_dict() == {(0, 1): 2.0}
+        m.remove_element(1, 1)  # no-op
+        assert m.nvals() == 1
+
+    def test_coordinate_bounds_api_errors(self):
+        m = Matrix.new(T.FP64, 2, 3)
+        for bad in ((2, 0), (0, 3), (-1, 0), (0, -1)):
+            with pytest.raises(InvalidIndexError):
+                m.set_element(1.0, *bad)
+            with pytest.raises(InvalidIndexError):
+                m.extract_element(*bad)
+
+
+class TestShapeOps:
+    def test_clear(self):
+        m = Matrix.new(T.FP64, 2, 2)
+        m.set_element(1.0, 0, 0)
+        m.clear()
+        assert m.nvals() == 0 and m.shape == (2, 2)
+
+    def test_resize_shrink(self):
+        m = Matrix.new(T.FP64, 4, 4)
+        m.set_element(1.0, 0, 0)
+        m.set_element(2.0, 3, 3)
+        m.set_element(3.0, 1, 3)
+        m.resize(2, 2)
+        assert m.shape == (2, 2)
+        assert m.to_dict() == {(0, 0): 1.0}
+
+    def test_resize_grow(self):
+        m = Matrix.new(T.FP64, 2, 2)
+        m.set_element(1.0, 1, 1)
+        m.resize(5, 5)
+        assert m.extract_element(1, 1) == 1.0
+        m.set_element(2.0, 4, 4)
+        assert m.nvals() == 2
+
+    def test_free(self):
+        m = Matrix.new(T.FP64, 2, 2)
+        m.free()
+        with pytest.raises(UninitializedObjectError):
+            m.nvals()
+
+    def test_to_dense_and_dict_agree(self):
+        m = Matrix.new(T.FP64, 2, 3)
+        m.set_element(4.0, 1, 2)
+        dense = m.to_dense()
+        assert dense[1, 2] == 4.0
+        assert dense.shape == (2, 3)
+        assert m.to_dict() == {(1, 2): 4.0}

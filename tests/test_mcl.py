@@ -1,0 +1,91 @@
+"""Markov clustering battery."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import markov_clustering
+from repro.core import types as T
+from repro.core.errors import InvalidValueError
+from repro.generators import to_matrix
+
+
+def _cliques(sizes, bridges=()):
+    """Disjoint cliques plus optional single bridge edges."""
+    edges = []
+    base = 0
+    blocks = []
+    for s in sizes:
+        blocks.append(set(range(base, base + s)))
+        for i in range(s):
+            for j in range(s):
+                if i != j:
+                    edges.append((base + i, base + j))
+        base += s
+    for u, v in bridges:
+        edges += [(u, v), (v, u)]
+    rows, cols = zip(*edges)
+    n = base
+    return to_matrix(n, np.array(rows), np.array(cols),
+                     np.ones(len(rows)), T.FP64), blocks
+
+
+def _clusters(labels):
+    out = {}
+    for v, lbl in labels.items():
+        out.setdefault(lbl, set()).add(v)
+    return set(frozenset(c) for c in out.values())
+
+
+class TestMCL:
+    def test_two_bridged_cliques_split(self):
+        a, blocks = _cliques([4, 4], bridges=[(3, 4)])
+        labels, flow = markov_clustering(a)
+        assert _clusters(labels) == {frozenset(b) for b in blocks}
+
+    def test_three_cliques_chain(self):
+        a, blocks = _cliques([4, 5, 4], bridges=[(3, 4), (8, 9)])
+        labels, _ = markov_clustering(a)
+        assert _clusters(labels) == {frozenset(b) for b in blocks}
+
+    def test_disconnected_components_stay_separate(self):
+        a, blocks = _cliques([3, 3])
+        labels, _ = markov_clustering(a)
+        assert _clusters(labels) == {frozenset(b) for b in blocks}
+
+    def test_single_clique_is_one_cluster(self):
+        a, blocks = _cliques([6])
+        labels, _ = markov_clustering(a)
+        assert _clusters(labels) == {frozenset(blocks[0])}
+
+    def test_every_vertex_labeled(self):
+        a, _ = _cliques([4, 4], bridges=[(3, 4)])
+        labels, _ = markov_clustering(a)
+        assert set(labels) == set(range(8))
+
+    def test_flow_matrix_is_column_stochastic(self):
+        a, _ = _cliques([4, 4], bridges=[(3, 4)])
+        _, flow = markov_clustering(a)
+        dense = flow.to_dense()
+        sums = dense.sum(axis=0)
+        nonzero_cols = sums > 0
+        assert np.allclose(sums[nonzero_cols], 1.0)
+
+    def test_deterministic(self):
+        a, _ = _cliques([4, 4], bridges=[(3, 4)])
+        l1, _ = markov_clustering(a)
+        l2, _ = markov_clustering(a)
+        assert l1 == l2
+
+    def test_validation(self):
+        a, _ = _cliques([3])
+        with pytest.raises(InvalidValueError):
+            markov_clustering(a, inflation=1.0)
+        with pytest.raises(InvalidValueError):
+            markov_clustering(a, prune=2.0)
+
+    def test_higher_inflation_never_coarser(self):
+        """More inflation ⇒ at least as many clusters (MCL's dial)."""
+        a, _ = _cliques([4, 4], bridges=[(3, 4)])
+        lo, _ = markov_clustering(a, inflation=1.3, max_iters=80)
+        hi, _ = markov_clustering(a, inflation=3.0)
+        assert len(_clusters(hi)) >= len(_clusters(lo))

@@ -1,0 +1,152 @@
+"""Mode transparency: BLOCKING and NONBLOCKING give identical results.
+
+The spec's nonblocking mode is purely an execution-policy freedom — any
+observable difference between modes (other than *when* errors surface)
+is a bug.  This battery runs representative pipelines in both modes and
+compares final states exactly, using the parametrized ``mode_ctx``
+fixture.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import binaryop as B
+from repro.core import monoid as M
+from repro.core import semiring as S
+from repro.core import types as T
+from repro.core.context import Context, Mode
+from repro.core.descriptor import DESC_RSC, DESC_S
+from repro.core.matrix import Matrix
+from repro.core.vector import Vector
+from repro.ops.apply import apply
+from repro.ops.assign import assign
+from repro.ops.ewise import ewise_add, ewise_mult
+from repro.ops.extract import extract
+from repro.ops.mxm import mxm, mxv
+from repro.ops.reduce import reduce_scalar
+from repro.ops.select import select
+from repro.ops.transpose import transpose
+
+
+def _both_modes(pipeline):
+    """Run `pipeline(ctx) -> comparable` in both modes; assert equal."""
+    results = []
+    for mode in (Mode.BLOCKING, Mode.NONBLOCKING):
+        ctx = Context.new(mode, None, None)
+        results.append(pipeline(ctx))
+    assert results[0] == results[1]
+    return results[0]
+
+
+def _graph(ctx, seed=3, n=20):
+    rng = np.random.default_rng(seed)
+    d = rng.random((n, n)) * (rng.random((n, n)) < 0.2)
+    r, c = np.nonzero(d)
+    m = Matrix.new(T.FP64, n, n, ctx)
+    m.build(r, c, d[r, c])
+    return m, n
+
+
+class TestModeParity:
+    def test_mxm_chain(self):
+        def pipeline(ctx):
+            a, n = _graph(ctx)
+            c = Matrix.new(T.FP64, n, n, ctx)
+            mxm(c, None, None, S.PLUS_TIMES_SEMIRING[T.FP64], a, a)
+            mxm(c, None, B.PLUS[T.FP64], S.PLUS_TIMES_SEMIRING[T.FP64], a, a)
+            return sorted(c.to_dict().items())
+        _both_modes(pipeline)
+
+    def test_masked_pipeline(self):
+        def pipeline(ctx):
+            a, n = _graph(ctx, seed=7)
+            from repro.core.indexunaryop import TRIL
+            low = Matrix.new(T.FP64, n, n, ctx)
+            select(low, None, None, TRIL, a, -1)
+            c = Matrix.new(T.FP64, n, n, ctx)
+            mxm(c, low, None, S.PLUS_TIMES_SEMIRING[T.FP64], low, low,
+                desc=DESC_S)
+            return reduce_scalar(M.PLUS_MONOID[T.FP64], c)
+        _both_modes(pipeline)
+
+    def test_element_mutation_interleaving(self):
+        def pipeline(ctx):
+            v = Vector.new(T.INT64, 16, ctx)
+            for i in range(16):
+                v.set_element(i * i, i)
+            for i in range(0, 16, 2):
+                v.remove_element(i)
+            v.set_element(-1, 0)
+            return sorted(v.to_dict().items())
+        _both_modes(pipeline)
+
+    def test_bfs_in_both_modes(self):
+        def pipeline(ctx):
+            rng = np.random.default_rng(11)
+            n = 30
+            d = rng.random((n, n)) < 0.1
+            r, c = np.nonzero(d)
+            a = Matrix.new(T.BOOL, n, n, ctx)
+            a.build(r, c, np.ones(len(r), bool))
+            levels = Vector.new(T.INT64, n, ctx)
+            frontier = Vector.new(T.BOOL, n, ctx)
+            frontier.set_element(True, 0)
+            depth = 0
+            from repro.ops.mxm import vxm
+            from repro.core.semiring import LOR_LAND_SEMIRING_BOOL
+            while frontier.nvals():
+                assign(levels, frontier, None, depth, None, desc=DESC_S)
+                vxm(frontier, levels, None, LOR_LAND_SEMIRING_BOOL,
+                    frontier, a, desc=DESC_RSC)
+                depth += 1
+            return sorted(levels.to_dict().items())
+        _both_modes(pipeline)
+
+    def test_extract_assign_roundtrip(self):
+        def pipeline(ctx):
+            a, n = _graph(ctx, seed=5)
+            sub = Matrix.new(T.FP64, 5, 5, ctx)
+            extract(sub, None, None, a, list(range(5)), list(range(5)))
+            c = Matrix.new(T.FP64, n, n, ctx)
+            assign(c, None, None, sub, list(range(5)), list(range(5)))
+            return sorted(c.to_dict().items())
+        _both_modes(pipeline)
+
+    def test_apply_transpose_reduce(self):
+        def pipeline(ctx):
+            a, n = _graph(ctx, seed=9)
+            at = Matrix.new(T.FP64, n, n, ctx)
+            transpose(at, None, None, a)
+            doubled = Matrix.new(T.FP64, n, n, ctx)
+            apply(doubled, None, None, B.TIMES[T.FP64], at, 2.0)
+            return reduce_scalar(M.PLUS_MONOID[T.FP64], doubled)
+        _both_modes(pipeline)
+
+    def test_error_timing_differs_but_state_agrees(self):
+        """The one sanctioned difference: *when* the error surfaces."""
+        from repro.core.errors import DuplicateIndexError
+
+        # Blocking: raises at build.
+        bl = Context.new(Mode.BLOCKING, None, None)
+        m1 = Matrix.new(T.FP64, 2, 2, bl)
+        with pytest.raises(DuplicateIndexError):
+            m1.build([0, 0], [0, 0], [1.0, 2.0], dup=None)
+
+        # Nonblocking: raises at the forcing call.
+        nb = Context.new(Mode.NONBLOCKING, None, None)
+        m2 = Matrix.new(T.FP64, 2, 2, nb)
+        m2.build([0, 0], [0, 0], [1.0, 2.0], dup=None)
+        with pytest.raises(DuplicateIndexError):
+            m2.wait()
+
+        # Final state agrees: both empty, both with error text.
+        assert m1.nvals() == m2.nvals() == 0
+        assert "duplicate" in m1.error() and "duplicate" in m2.error()
+
+    def test_mode_ctx_fixture(self, mode_ctx):
+        """The shared fixture exposes both modes to any battery."""
+        v = Vector.new(T.FP64, 3, mode_ctx)
+        v.set_element(1.0, 0)
+        expected_materialized = mode_ctx.mode == Mode.BLOCKING
+        assert v.is_materialized == expected_materialized
+        assert v.extract_element(0) == 1.0

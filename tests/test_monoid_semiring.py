@@ -1,0 +1,132 @@
+"""Monoid and semiring battery: identities, reductions, construction rules."""
+
+import numpy as np
+import pytest
+
+from repro.core import binaryop as B
+from repro.core import monoid as M
+from repro.core import semiring as S
+from repro.core import types as T
+from repro.core.errors import DomainMismatchError, NullPointerError
+from repro.core.scalar import Scalar
+
+
+class TestPredefinedMonoids:
+    @pytest.mark.parametrize("t", T.NUMERIC_TYPES, ids=lambda t: t.name)
+    def test_plus_identity_zero(self, t):
+        m = M.PLUS_MONOID[t]
+        assert m.identity == 0
+        assert m.reduce_array(t.coerce_array(np.array([]))) == 0
+
+    def test_times_identity_one(self):
+        assert M.TIMES_MONOID[T.INT32].identity == 1
+
+    def test_min_max_identities(self):
+        assert M.MIN_MONOID[T.FP64].identity == np.inf
+        assert M.MAX_MONOID[T.FP64].identity == -np.inf
+        assert M.MIN_MONOID[T.INT8].identity == 127
+        assert M.MAX_MONOID[T.UINT16].identity == 0
+
+    def test_terminal_values(self):
+        assert M.MIN_MONOID[T.INT32].terminal == np.iinfo(np.int32).min
+        assert M.LOR_MONOID_BOOL.terminal is np.bool_(True)
+        assert M.LAND_MONOID_BOOL.terminal is np.bool_(False)
+        assert M.PLUS_MONOID[T.FP64].terminal is None
+
+    def test_bool_monoids(self):
+        arr = np.array([True, False, True])
+        assert M.LOR_MONOID_BOOL.reduce_array(arr)
+        assert not M.LAND_MONOID_BOOL.reduce_array(arr)
+        assert not M.LXOR_MONOID_BOOL.reduce_array(arr)  # two trues cancel
+        assert M.LXNOR_MONOID_BOOL.identity is np.bool_(True)
+
+    def test_bool_has_no_plus_monoid(self):
+        with pytest.raises(DomainMismatchError):
+            M.PLUS_MONOID[T.BOOL]
+
+
+class TestReduction:
+    def test_reduce_array(self):
+        m = M.PLUS_MONOID[T.INT64]
+        assert m.reduce_array(np.arange(10)) == 45
+
+    def test_reduceat_segments(self):
+        m = M.MAX_MONOID[T.INT64]
+        vals = np.array([3, 1, 4, 1, 5, 9, 2, 6])
+        out = m.reduceat(vals, np.array([0, 3, 5]))
+        assert out.tolist() == [4, 5, 9]
+
+    def test_reduceat_empty(self):
+        m = M.PLUS_MONOID[T.FP64]
+        assert len(m.reduceat(np.array([]), np.array([], dtype=np.int64))) == 0
+
+    def test_udf_monoid_reduces_with_loop(self):
+        op = B.BinaryOp.new(lambda x, y: x * 10 + y, T.INT64, T.INT64, T.INT64)
+        m = M.Monoid.new(op, 0)
+        assert not m.is_builtin
+        assert m.reduce_array(np.array([1, 2, 3], dtype=np.int64)) == 123
+        out = m.reduceat(np.array([1, 2, 3, 4], dtype=np.int64),
+                         np.array([0, 2]))
+        assert out.tolist() == [12, 34]
+
+    def test_combine(self):
+        m = M.MIN_MONOID[T.FP64]
+        out = m.combine(np.array([1.0, 5.0]), np.array([3.0, 2.0]))
+        assert out.tolist() == [1.0, 2.0]
+
+
+class TestMonoidConstruction:
+    def test_new_with_plain_identity(self):
+        m = M.Monoid.new(B.PLUS[T.FP32], 0.0, "my_plus")
+        assert m.type == T.FP32
+        assert m.name == "my_plus"
+
+    def test_new_with_grb_scalar_identity(self):
+        """Table II: GrB_Monoid_new(GrB_Monoid*, GrB_BinaryOp, GrB_Scalar)."""
+        s = Scalar.new(T.FP64)
+        s.set_element(1.0)
+        m = M.Monoid.new(B.TIMES[T.FP64], s)
+        assert m.identity == 1.0
+
+    def test_new_rejects_non_endomorphic_op(self):
+        with pytest.raises(DomainMismatchError):
+            M.Monoid.new(B.EQ[T.FP64], True)  # FP64 x FP64 -> BOOL
+
+    def test_new_rejects_null_op(self):
+        with pytest.raises(NullPointerError):
+            M.Monoid.new(None, 0)
+
+
+class TestSemirings:
+    def test_predefined_families_exist(self):
+        assert S.PLUS_TIMES_SEMIRING[T.FP64].name == \
+            "GrB_PLUS_TIMES_SEMIRING_FP64"
+        assert S.MIN_PLUS_SEMIRING[T.INT32].add is M.MIN_MONOID[T.INT32]
+        assert S.MIN_PLUS_SEMIRING[T.INT32].mult is B.PLUS[T.INT32]
+
+    def test_bool_semirings(self):
+        assert S.LOR_LAND_SEMIRING_BOOL.add is M.LOR_MONOID_BOOL
+        assert S.LXNOR_LOR_SEMIRING_BOOL.mult is B.LOR[T.BOOL]
+
+    def test_type_accessors(self):
+        sr = S.MAX_SECOND_SEMIRING[T.FP32]
+        assert sr.out_type == T.FP32
+        assert sr.in1_type == T.FP32 and sr.in2_type == T.FP32
+
+    def test_new_enforces_domain_rule(self):
+        """Spec: multiply output domain must equal monoid domain."""
+        with pytest.raises(DomainMismatchError):
+            S.Semiring.new(M.PLUS_MONOID[T.FP64], B.PLUS[T.INT32])
+
+    def test_new_custom(self):
+        sr = S.Semiring.new(M.MAX_MONOID[T.INT64], B.PLUS[T.INT64], "maxplus")
+        assert sr.name == "maxplus"
+
+    def test_new_rejects_null(self):
+        with pytest.raises(NullPointerError):
+            S.Semiring.new(None, B.PLUS[T.FP64])
+
+    def test_fourteen_numeric_families(self):
+        assert len(S.PREDEFINED_SEMIRINGS) == 14
+        for fam in S.PREDEFINED_SEMIRINGS.values():
+            assert len(list(fam.domains())) == 10  # numeric domains

@@ -1,0 +1,93 @@
+"""Multi-source BFS battery: batched frontiers equal single-source runs."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import all_pairs_levels, bfs_levels, msbfs_levels
+from repro.core import types as T
+from repro.core.errors import InvalidIndexError, InvalidValueError
+from repro.generators import erdos_renyi, grid_2d, path_graph, to_matrix
+
+
+def _graph(n=35, p=0.1, seed=4):
+    _, rows, cols, _ = erdos_renyi(n, p, seed=seed)
+    keep = rows != cols
+    rows, cols = rows[keep], cols[keep]
+    return to_matrix(n, rows, cols, np.ones(len(rows), bool), T.BOOL)
+
+
+class TestMsbfs:
+    @pytest.mark.parametrize("seed", [1, 8], ids=lambda s: f"seed{s}")
+    def test_each_row_matches_single_source(self, seed):
+        A = _graph(seed=seed)
+        sources = [0, 3, 9, 20]
+        lv = msbfs_levels(A, sources)
+        assert lv.shape == (len(sources), A.nrows)
+        per_row: dict[int, dict] = {r: {} for r in range(len(sources))}
+        for (r, v), d in lv.to_dict().items():
+            per_row[r][v] = d
+        for row, s in enumerate(sources):
+            assert per_row[row] == bfs_levels(A, s).to_dict()
+
+    def test_duplicate_sources_give_identical_rows(self):
+        A = _graph()
+        lv = msbfs_levels(A, [1, 1])
+        rows: dict[int, dict] = {0: {}, 1: {}}
+        for (r, v), d in lv.to_dict().items():
+            rows[int(r)][int(v)] = int(d)
+        assert rows[0] == rows[1]
+
+    def test_single_source_degenerate(self):
+        n, rows, cols, vals = path_graph(6)
+        A = to_matrix(n, rows, cols, vals, T.BOOL)
+        lv = msbfs_levels(A, [0])
+        assert {j: int(v) for (i, j), v in lv.to_dict().items()} == \
+            {j: j for j in range(6)}
+
+    def test_validation(self):
+        A = _graph()
+        with pytest.raises(InvalidValueError):
+            msbfs_levels(A, [])
+        with pytest.raises(InvalidIndexError):
+            msbfs_levels(A, [10_000])
+
+    def test_unreachable_vertices_absent(self):
+        A = to_matrix(5, np.array([0]), np.array([1]), np.ones(1, bool),
+                      T.BOOL)
+        lv = msbfs_levels(A, [0, 4])
+        d = lv.to_dict()
+        assert d == {(0, 0): 0, (0, 1): 1, (1, 4): 0}
+
+
+class TestAllPairs:
+    def test_matches_networkx_all_pairs(self):
+        A = _graph(n=25, seed=2)
+        rows, cols, _ = A.extract_tuples()
+        g = nx.DiGraph()
+        g.add_nodes_from(range(25))
+        g.add_edges_from(zip(rows.tolist(), cols.tolist()))
+        ours = all_pairs_levels(A, batch=7)
+        got: dict[int, dict] = {}
+        for (s, v), d in ours.to_dict().items():
+            got.setdefault(int(s), {})[int(v)] = int(d)
+        for s, lengths in nx.all_pairs_shortest_path_length(g):
+            assert got.get(s, {}) == dict(lengths)
+
+    def test_batch_size_invariance(self):
+        A = _graph(n=20, seed=5)
+        a1 = all_pairs_levels(A, batch=1)
+        a7 = all_pairs_levels(A, batch=7)
+        a99 = all_pairs_levels(A, batch=99)
+        assert a1.to_dict() == a7.to_dict() == a99.to_dict()
+
+    def test_batch_validation(self):
+        with pytest.raises(InvalidValueError):
+            all_pairs_levels(_graph(), batch=0)
+
+    def test_grid_eccentricity(self):
+        n, rows, cols, _ = grid_2d(5)
+        A = to_matrix(n, rows, cols, np.ones(len(rows), bool), T.BOOL)
+        ap = all_pairs_levels(A)
+        diam = max(int(v) for v in ap.to_dict().values())
+        assert diam == 8   # grid diameter = 2*(side-1)

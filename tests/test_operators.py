@@ -1,0 +1,186 @@
+"""Operator battery: unary and binary predefined semantics + UDFs.
+
+For every family the vectorized implementation must agree with the
+per-scalar implementation — the invariant the §II motivation benchmark
+relies on (same answer, different cost).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import binaryop as B
+from repro.core import types as T
+from repro.core import unaryop as U
+from repro.core.errors import DomainMismatchError, NullPointerError
+
+
+def _agree_unary(op, samples):
+    arr = op.in_type.coerce_array(np.array(samples))
+    vec_out = op.vec(arr)
+    for k, x in enumerate(arr):
+        assert vec_out[k] == op.scalar(x), (op.name, x)
+
+
+def _agree_binary(op, xs, ys):
+    x = op.in1_type.coerce_array(np.array(xs))
+    y = op.in2_type.coerce_array(np.array(ys))
+    vec_out = op.vec(x, y)
+    for k in range(len(x)):
+        assert vec_out[k] == op.scalar(x[k], y[k]), (op.name, x[k], y[k])
+
+
+class TestUnaryFamilies:
+    @pytest.mark.parametrize("t", T.PREDEFINED_TYPES, ids=lambda t: t.name)
+    def test_identity(self, t):
+        _agree_unary(U.IDENTITY[t], [0, 1] if t.is_bool else [0, 1, 2])
+
+    def test_ainv_signed(self):
+        op = U.AINV[T.INT32]
+        assert op.scalar(5) == -5
+        assert op.vec(np.array([3, -4], dtype=np.int32)).tolist() == [-3, 4]
+
+    def test_ainv_unsigned_wraps(self):
+        op = U.AINV[T.UINT8]
+        out = op.vec(np.array([1, 2], dtype=np.uint8))
+        assert out.tolist() == [255, 254]
+        assert out.dtype == np.uint8
+
+    def test_minv_float(self):
+        op = U.MINV[T.FP64]
+        assert op.vec(np.array([2.0, 4.0])).tolist() == [0.5, 0.25]
+
+    def test_minv_integer_truncates(self):
+        op = U.MINV[T.INT32]
+        assert op.vec(np.array([1, 2, 3], dtype=np.int32)).tolist() == [1, 0, 0]
+
+    def test_minv_zero_does_not_crash(self):
+        assert U.MINV[T.INT32].vec(np.array([0], dtype=np.int32))[0] == 0
+        out = U.MINV[T.FP64].vec(np.array([0.0]))
+        assert np.isinf(out[0])
+
+    def test_lnot_bool_only(self):
+        assert U.LNOT[T.BOOL].vec(np.array([True, False])).tolist() == [False, True]
+        with pytest.raises(DomainMismatchError):
+            U.LNOT[T.FP64]
+
+    def test_abs(self):
+        assert U.ABS[T.INT16].vec(np.array([-3, 3], dtype=np.int16)).tolist() == [3, 3]
+
+    def test_bnot_integers_only(self):
+        assert U.BNOT[T.UINT8].vec(np.array([0], dtype=np.uint8))[0] == 255
+        with pytest.raises(DomainMismatchError):
+            U.BNOT[T.FP32]
+
+    def test_typed_instances_exported(self):
+        assert U.IDENTITY_FP64 is U.IDENTITY[T.FP64]
+        assert U.AINV_INT8.name == "GrB_AINV_INT8"
+
+
+class TestBinaryFamilies:
+    @pytest.mark.parametrize("t", [T.INT32, T.FP64, T.UINT16],
+                             ids=lambda t: t.name)
+    def test_arith_agree(self, t):
+        for fam in (B.PLUS, B.MINUS, B.TIMES, B.MIN, B.MAX):
+            _agree_binary(fam[t], [1, 5, 7], [2, 5, 3])
+
+    def test_first_second_oneb(self):
+        x = np.array([1.0, 2.0])
+        y = np.array([10.0, 20.0])
+        assert B.FIRST[T.FP64].vec(x, y).tolist() == [1.0, 2.0]
+        assert B.SECOND[T.FP64].vec(x, y).tolist() == [10.0, 20.0]
+        assert B.ONEB[T.FP64].vec(x, y).tolist() == [1.0, 1.0]
+
+    def test_plus_int_overflow_wraps(self):
+        op = B.PLUS[T.INT32]
+        out = op.vec(np.array([2**31 - 1], dtype=np.int32),
+                     np.array([1], dtype=np.int32))
+        assert out[0] == -(2**31)
+
+    def test_div_by_zero_integer_is_zero(self):
+        op = B.DIV[T.INT64]
+        out = op.vec(np.array([7, 8]), np.array([0, 2]))
+        assert out.tolist() == [0, 4]
+        assert op.scalar(7, 0) == 0
+
+    def test_div_by_zero_float_is_inf(self):
+        op = B.DIV[T.FP64]
+        out = op.vec(np.array([1.0]), np.array([0.0]))
+        assert np.isinf(out[0])
+
+    def test_bool_arithmetic_embedding(self):
+        # PLUS on BOOL is saturating OR; TIMES is AND; MINUS is XOR.
+        tv = np.array([True, True, False])
+        fv = np.array([True, False, False])
+        assert B.PLUS[T.BOOL].vec(tv, fv).tolist() == [True, True, False]
+        assert B.TIMES[T.BOOL].vec(tv, fv).tolist() == [True, False, False]
+        assert B.MINUS[T.BOOL].vec(tv, fv).tolist() == [False, True, False]
+
+    @pytest.mark.parametrize(
+        "fam,expected",
+        [
+            (B.EQ, [True, False, False]),
+            (B.NE, [False, True, True]),
+            (B.GT, [False, True, False]),
+            (B.LT, [False, False, True]),
+            (B.GE, [True, True, False]),
+            (B.LE, [True, False, True]),
+        ],
+        ids=["EQ", "NE", "GT", "LT", "GE", "LE"],
+    )
+    def test_comparisons_output_bool(self, fam, expected):
+        op = fam[T.INT32]
+        assert op.out_type == T.BOOL
+        out = op.vec(np.array([5, 6, 2], dtype=np.int32),
+                     np.array([5, 3, 4], dtype=np.int32))
+        assert out.tolist() == expected
+
+    def test_logical_bool_only(self):
+        assert B.LOR[T.BOOL].scalar(True, False) is True
+        assert B.LXNOR[T.BOOL].vec(
+            np.array([True, False]), np.array([True, True])
+        ).tolist() == [True, False]
+        with pytest.raises(DomainMismatchError):
+            B.LAND[T.INT32]
+
+    def test_bitwise_integers(self):
+        assert B.BOR[T.UINT8].scalar(0b1100, 0b1010) == 0b1110
+        assert B.BAND[T.UINT8].scalar(0b1100, 0b1010) == 0b1000
+        assert B.BXOR[T.UINT8].scalar(0b1100, 0b1010) == 0b0110
+        assert B.BXNOR[T.UINT8].vec(
+            np.array([0b1100], dtype=np.uint8), np.array([0b1010], dtype=np.uint8)
+        )[0] == np.uint8((~0b0110) & 0xFF)
+        with pytest.raises(DomainMismatchError):
+            B.BOR[T.FP64]
+
+    def test_commutativity_flags(self):
+        assert B.PLUS[T.FP64].commutative
+        assert not B.MINUS[T.FP64].commutative
+        assert not B.FIRST[T.FP64].commutative
+
+
+class TestUserDefinedOps:
+    def test_udf_unary(self):
+        op = U.UnaryOp.new(lambda x: x * x + 1, T.INT64, T.INT64, "sq1")
+        assert not op.is_builtin
+        out = op.vec(np.array([2, 3], dtype=np.int64))
+        assert out.tolist() == [5, 10]
+        assert out.dtype == np.int64
+
+    def test_udf_binary(self):
+        op = B.BinaryOp.new(lambda x, y: x * 10 + y, T.INT64, T.INT64, T.INT64)
+        assert op.vec(np.array([1, 2]), np.array([3, 4])).tolist() == [13, 24]
+
+    def test_udf_null_function_rejected(self):
+        with pytest.raises(NullPointerError):
+            U.UnaryOp.new(None, T.INT64, T.INT64)
+        with pytest.raises(NullPointerError):
+            B.BinaryOp.new(None, T.INT64, T.INT64, T.INT64)
+
+    def test_udf_cross_domain(self):
+        op = B.BinaryOp.new(lambda x, y: float(x) > y, T.BOOL, T.INT64, T.FP64)
+        assert op.vec(np.array([3]), np.array([2.5]))[0]
+
+    def test_family_lookup_helpers(self):
+        assert T.FP64 in B.PLUS
+        assert B.PLUS.get(T.Type.new("X")) is None
+        assert len(list(B.PLUS.domains())) == 11

@@ -1,0 +1,108 @@
+"""Performance *shape* guards — the paper's claims as CI assertions.
+
+These are deliberately loose (≥2–3× where the benches measure 5–100×)
+so they never flake on a loaded machine, but they fail loudly if a
+regression ever inverts a shape the reproduction stands on:
+
+* §II / Table IV: predefined index-unary ops beat user-defined ones;
+* §II: 2.0 select beats the 1.X packed-values idiom;
+* masks: the masked triangle-count formulation beats the unmasked one.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import compat
+from repro.core import indexunaryop as IU
+from repro.core import types as T
+from repro.core.matrix import Matrix
+from repro.generators import rmat, to_matrix
+from repro.ops.apply import apply
+from repro.ops.select import select
+
+
+def _best(fn, reps=3):
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+@pytest.fixture
+def graph():
+    n, rows, cols, vals = rmat(11, 8, seed=5)
+    return to_matrix(n, rows, cols, vals, T.FP64, no_self_loops=True)
+
+
+class TestHeadlineShapes:
+    def test_predefined_index_op_beats_udf(self, graph):
+        """Table IV / §II: vectorized predefined ≫ per-scalar UDF."""
+        udf = IU.IndexUnaryOp.new(
+            lambda v, i, j, s: j <= i + s, T.BOOL, T.FP64, T.INT64,
+        )
+
+        def run(op):
+            out = Matrix.new(T.FP64, graph.nrows, graph.ncols)
+            select(out, None, None, op, graph, 0)
+            out.wait()
+
+        t_pre = _best(lambda: run(IU.TRIL))
+        t_udf = _best(lambda: run(udf))
+        assert t_udf > 3 * t_pre, (
+            f"predefined TRIL ({t_pre * 1e3:.2f} ms) should beat the UDF "
+            f"equivalent ({t_udf * 1e3:.2f} ms) by > 3x"
+        )
+
+    def test_20_select_beats_1x_packed_idiom(self, graph):
+        """§II: the packed-values workaround pays for itself."""
+        packed = compat.pack_index_matrix(graph)
+
+        def new_way():
+            mid = Matrix.new(T.FP64, graph.nrows, graph.ncols)
+            select(mid, None, None, IU.TRIU, graph, 1)
+            out = Matrix.new(T.FP64, graph.nrows, graph.ncols)
+            select(out, None, None, IU.VALUEGT[T.FP64], mid, 0.0)
+            out.wait()
+
+        def old_way():
+            compat.select_triu_value_packed_1x(packed, 0.0, T.FP64)
+
+        t_new = _best(new_way)
+        t_old = _best(old_way)
+        assert t_old > 2 * t_new, (
+            f"1.X packed idiom ({t_old * 1e3:.2f} ms) should lose to 2.0 "
+            f"select ({t_new * 1e3:.2f} ms) by > 2x"
+        )
+
+    def test_predefined_apply_beats_udf(self, graph):
+        udf = IU.IndexUnaryOp.new(lambda v, i, j, s: i + s,
+                                  T.INT64, T.FP64, T.INT64)
+
+        def run(op):
+            out = Matrix.new(T.INT64, graph.nrows, graph.ncols)
+            apply(out, None, None, op, graph, 0)
+            out.wait()
+
+        t_pre = _best(lambda: run(IU.ROWINDEX[T.INT64]))
+        t_udf = _best(lambda: run(udf))
+        assert t_udf > 3 * t_pre
+
+    def test_masked_triangles_beat_unmasked(self):
+        """Masks exist to prune work: Sandia ≤ Burkhardt wall-clock."""
+        from repro.algorithms import (
+            triangle_count,
+            triangle_count_burkhardt,
+        )
+        n, rows, cols, _ = rmat(10, 8, seed=7)
+        g = to_matrix(n, rows, cols, np.ones(len(rows)), T.FP64,
+                      make_undirected=True, no_self_loops=True)
+        t_masked = _best(lambda: triangle_count(g), reps=2)
+        t_unmasked = _best(lambda: triangle_count_burkhardt(g), reps=2)
+        assert t_masked < t_unmasked, (
+            f"masked {t_masked * 1e3:.1f} ms vs unmasked "
+            f"{t_unmasked * 1e3:.1f} ms"
+        )

@@ -1,0 +1,456 @@
+"""Property-based tests (hypothesis): the sparse implementation against
+the dense reference interpreter, plus structural invariants.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import binaryop as B
+from repro.core import indexunaryop as IU
+from repro.core import monoid as M
+from repro.core import semiring as S
+from repro.core import types as T
+from repro.core.matrix import Matrix
+from repro.core.vector import Vector
+from repro.formats import (
+    Format,
+    matrix_deserialize,
+    matrix_export,
+    matrix_import,
+    matrix_serialize,
+)
+from repro.ops.apply import apply
+from repro.ops.ewise import ewise_add, ewise_mult
+from repro.ops.extract import extract
+from repro.ops.mxm import mxm, mxv
+from repro.ops.reduce import reduce_scalar
+from repro.ops.select import select
+from repro.ops.transpose import transpose
+
+from .helpers import (
+    assert_mat_equal,
+    assert_vec_equal,
+    mat_from_dict,
+    mat_to_dict,
+    vec_from_dict,
+)
+from .reference import (
+    ref_ewise_add,
+    ref_ewise_mult,
+    ref_mxm,
+    ref_mxv,
+    ref_select,
+    ref_transpose,
+    ref_write_back,
+)
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+def dict_matrix(nrows=5, ncols=5, values=st.integers(1, 9)):
+    keys = st.tuples(st.integers(0, nrows - 1), st.integers(0, ncols - 1))
+    return st.dictionaries(keys, values.map(float), max_size=nrows * ncols)
+
+
+def dict_vector(size=8, values=st.integers(1, 9)):
+    return st.dictionaries(st.integers(0, size - 1), values.map(float),
+                           max_size=size)
+
+
+class TestMxmProperties:
+    @SETTINGS
+    @given(a=dict_matrix(4, 5), b=dict_matrix(5, 3))
+    def test_plus_times_vs_reference(self, a, b):
+        C = Matrix.new(T.FP64, 4, 3)
+        mxm(C, None, None, S.PLUS_TIMES_SEMIRING[T.FP64],
+            mat_from_dict(a, 4, 5), mat_from_dict(b, 5, 3))
+        expected = ref_mxm(a, b, lambda x, y: x + y, lambda x, y: x * y, 0.0)
+        assert_mat_equal(C, expected)
+
+    @SETTINGS
+    @given(a=dict_matrix(4, 4), b=dict_matrix(4, 4))
+    def test_min_plus_vs_reference(self, a, b):
+        C = Matrix.new(T.FP64, 4, 4)
+        mxm(C, None, None, S.MIN_PLUS_SEMIRING[T.FP64],
+            mat_from_dict(a, 4, 4), mat_from_dict(b, 4, 4))
+        expected = ref_mxm(a, b, min, lambda x, y: x + y, None)
+        assert_mat_equal(C, expected)
+
+    @SETTINGS
+    @given(a=dict_matrix(4, 4), u=dict_vector(4))
+    def test_mxv_vs_reference(self, a, u):
+        w = Vector.new(T.FP64, 4)
+        mxv(w, None, None, S.PLUS_TIMES_SEMIRING[T.FP64],
+            mat_from_dict(a, 4, 4), vec_from_dict(u, 4))
+        assert_vec_equal(w, ref_mxv(a, u, lambda x, y: x + y,
+                                    lambda x, y: x * y))
+
+    @SETTINGS
+    @given(a=dict_matrix(4, 4), b=dict_matrix(4, 4), c=dict_matrix(4, 4))
+    def test_mxm_associativity(self, a, b, c):
+        """(AB)C == A(BC) over integer-valued PLUS_TIMES."""
+        A, Bm, Cm = (mat_from_dict(d, 4, 4) for d in (a, b, c))
+        sr = S.PLUS_TIMES_SEMIRING[T.FP64]
+        AB = Matrix.new(T.FP64, 4, 4)
+        mxm(AB, None, None, sr, A, Bm)
+        AB_C = Matrix.new(T.FP64, 4, 4)
+        mxm(AB_C, None, None, sr, AB, Cm)
+        BC = Matrix.new(T.FP64, 4, 4)
+        mxm(BC, None, None, sr, Bm, Cm)
+        A_BC = Matrix.new(T.FP64, 4, 4)
+        mxm(A_BC, None, None, sr, A, BC)
+        assert mat_to_dict(AB_C) == mat_to_dict(A_BC)
+
+
+class TestEwiseProperties:
+    @SETTINGS
+    @given(a=dict_matrix(), b=dict_matrix())
+    def test_add_vs_reference(self, a, b):
+        C = Matrix.new(T.FP64, 5, 5)
+        ewise_add(C, None, None, B.PLUS[T.FP64],
+                  mat_from_dict(a, 5, 5), mat_from_dict(b, 5, 5))
+        assert_mat_equal(C, ref_ewise_add(a, b, lambda x, y: x + y))
+
+    @SETTINGS
+    @given(a=dict_matrix(), b=dict_matrix())
+    def test_mult_vs_reference(self, a, b):
+        C = Matrix.new(T.FP64, 5, 5)
+        ewise_mult(C, None, None, B.TIMES[T.FP64],
+                   mat_from_dict(a, 5, 5), mat_from_dict(b, 5, 5))
+        assert_mat_equal(C, ref_ewise_mult(a, b, lambda x, y: x * y))
+
+    @SETTINGS
+    @given(a=dict_matrix(), b=dict_matrix())
+    def test_add_commutes_mult_commutes(self, a, b):
+        C1 = Matrix.new(T.FP64, 5, 5)
+        ewise_add(C1, None, None, B.PLUS[T.FP64],
+                  mat_from_dict(a, 5, 5), mat_from_dict(b, 5, 5))
+        C2 = Matrix.new(T.FP64, 5, 5)
+        ewise_add(C2, None, None, B.PLUS[T.FP64],
+                  mat_from_dict(b, 5, 5), mat_from_dict(a, 5, 5))
+        assert mat_to_dict(C1) == mat_to_dict(C2)
+
+    @SETTINGS
+    @given(a=dict_matrix())
+    def test_mult_with_self_squares(self, a):
+        C = Matrix.new(T.FP64, 5, 5)
+        A = mat_from_dict(a, 5, 5)
+        ewise_mult(C, None, None, B.TIMES[T.FP64], A, A)
+        assert_mat_equal(C, {k: v * v for k, v in a.items()})
+
+
+class TestMaskWriteBackProperties:
+    @SETTINGS
+    @given(
+        a=dict_matrix(4, 4), b=dict_matrix(4, 4), c=dict_matrix(4, 4),
+        mask=st.dictionaries(
+            st.tuples(st.integers(0, 3), st.integers(0, 3)),
+            st.booleans(), max_size=16,
+        ),
+        complement=st.booleans(),
+        structure=st.booleans(),
+        replace=st.booleans(),
+        use_accum=st.booleans(),
+    )
+    def test_full_write_back_rule(self, a, b, c, mask, complement,
+                                  structure, replace, use_accum):
+        """The crown property: every descriptor/mask/accum combination of
+        an eWiseAdd matches the reference write-back rule."""
+        from repro.core.descriptor import Descriptor
+        kw = {}
+        if complement:
+            kw["comp"] = True
+        if structure:
+            kw["structure"] = True
+        if replace:
+            kw["replace"] = True
+        desc = Descriptor(**kw) if kw else None
+
+        C = mat_from_dict(c, 4, 4)
+        ewise_add(C, mat_from_dict(mask, 4, 4, T.BOOL) if mask else None,
+                  B.PLUS[T.FP64] if use_accum else None,
+                  B.PLUS[T.FP64],
+                  mat_from_dict(a, 4, 4), mat_from_dict(b, 4, 4),
+                  desc=desc)
+        t = ref_ewise_add(a, b, lambda x, y: x + y)
+        expected = ref_write_back(
+            c, t, mask if mask else None,
+            (lambda x, y: x + y) if use_accum else None,
+            complement=complement, structure=structure, replace=replace,
+        )
+        assert_mat_equal(C, expected)
+
+
+class TestSelectApplyProperties:
+    @SETTINGS
+    @given(a=dict_matrix(5, 5), s=st.integers(-4, 4))
+    def test_tril_triu_partition(self, a, s):
+        A = mat_from_dict(a, 5, 5)
+        lo = Matrix.new(T.FP64, 5, 5)
+        select(lo, None, None, IU.TRIL, A, s)
+        hi = Matrix.new(T.FP64, 5, 5)
+        select(hi, None, None, IU.TRIU, A, s + 1)
+        keys = set(mat_to_dict(lo)) | set(mat_to_dict(hi))
+        overlap = set(mat_to_dict(lo)) & set(mat_to_dict(hi))
+        assert keys == set(a) and not overlap
+
+    @SETTINGS
+    @given(a=dict_matrix(5, 5), s=st.floats(0, 10))
+    def test_value_select_vs_reference(self, a, s):
+        A = mat_from_dict(a, 5, 5)
+        out = Matrix.new(T.FP64, 5, 5)
+        select(out, None, None, IU.VALUEGT[T.FP64], A, s)
+        expected = ref_select(a, lambda v, i, j, sc: v > sc, s, is_matrix=True)
+        assert_mat_equal(out, expected)
+
+    @SETTINGS
+    @given(a=dict_matrix(5, 5))
+    def test_select_is_subset_preserving_values(self, a):
+        A = mat_from_dict(a, 5, 5)
+        out = Matrix.new(T.FP64, 5, 5)
+        select(out, None, None, IU.OFFDIAG, A, 0)
+        got = mat_to_dict(out)
+        assert set(got) <= set(a)
+        for k, v in got.items():
+            assert v == a[k]
+
+    @SETTINGS
+    @given(a=dict_matrix(5, 5), s=st.integers(0, 5))
+    def test_apply_rowindex_formula(self, a, s):
+        A = mat_from_dict(a, 5, 5)
+        out = Matrix.new(T.INT64, 5, 5)
+        apply(out, None, None, IU.ROWINDEX[T.INT64], A, s)
+        assert mat_to_dict(out) == {k: k[0] + s for k in a}
+
+    @SETTINGS
+    @given(a=dict_matrix(5, 5))
+    def test_apply_preserves_structure(self, a):
+        from repro.core.unaryop import AINV
+        A = mat_from_dict(a, 5, 5)
+        out = Matrix.new(T.FP64, 5, 5)
+        apply(out, None, None, AINV[T.FP64], A)
+        assert set(mat_to_dict(out)) == set(a)
+
+
+class TestStructuralProperties:
+    @SETTINGS
+    @given(a=dict_matrix(5, 4))
+    def test_transpose_involution(self, a):
+        A = mat_from_dict(a, 5, 4)
+        At = Matrix.new(T.FP64, 4, 5)
+        transpose(At, None, None, A)
+        Att = Matrix.new(T.FP64, 5, 4)
+        transpose(Att, None, None, At)
+        assert mat_to_dict(Att) == mat_to_dict(A)
+        assert mat_to_dict(At) == ref_transpose(a)
+
+    @SETTINGS
+    @given(a=dict_matrix(5, 5))
+    def test_reduce_equals_sum_of_values(self, a):
+        A = mat_from_dict(a, 5, 5)
+        got = reduce_scalar(M.PLUS_MONOID[T.FP64], A)
+        assert got == pytest.approx(sum(a.values()))
+
+    @SETTINGS
+    @given(a=dict_matrix(5, 5))
+    def test_csr_invariants_always_hold(self, a):
+        A = mat_from_dict(a, 5, 5)
+        A._capture().check()
+
+    @SETTINGS
+    @given(a=dict_matrix(5, 5))
+    def test_serialize_roundtrip(self, a):
+        A = mat_from_dict(a, 5, 5)
+        back = matrix_deserialize(matrix_serialize(A))
+        assert mat_to_dict(back) == a
+
+    @SETTINGS
+    @given(a=dict_matrix(4, 6), fmt=st.sampled_from([
+        Format.CSR_MATRIX, Format.CSC_MATRIX, Format.COO_MATRIX,
+        Format.DENSE_ROW_MATRIX, Format.DENSE_COL_MATRIX,
+    ]))
+    def test_import_export_roundtrip_all_formats(self, a, fmt):
+        A = mat_from_dict(a, 4, 6)
+        ip, ind, vals = matrix_export(A, fmt)
+        back = matrix_import(T.FP64, 4, 6, ip, ind, vals, fmt)
+        assert np.allclose(back.to_dense(), A.to_dense())
+
+    @SETTINGS
+    @given(
+        u=dict_vector(8),
+        indices=st.lists(st.integers(0, 7), min_size=1, max_size=10),
+    )
+    def test_extract_then_gather_matches_dense(self, u, indices):
+        U = vec_from_dict(u, 8)
+        w = Vector.new(T.FP64, len(indices))
+        extract(w, None, None, U, indices)
+        dense = np.zeros(8)
+        stored = np.zeros(8, dtype=bool)
+        for k, v in u.items():
+            dense[k] = v
+            stored[k] = True
+        got = w.to_dict()
+        for out_pos, src in enumerate(indices):
+            if stored[src]:
+                assert got[out_pos] == dense[src]
+            else:
+                assert out_pos not in got
+
+
+class TestPushdownEquivalence:
+    """The kernel mask push-down must be invisible: identical results
+    with the optimization on and off, for every mask flavour."""
+
+    @SETTINGS
+    @given(
+        a=dict_matrix(4, 4), b=dict_matrix(4, 4),
+        mask=st.dictionaries(
+            st.tuples(st.integers(0, 3), st.integers(0, 3)),
+            st.booleans(), max_size=16,
+        ),
+        complement=st.booleans(),
+        structure=st.booleans(),
+        replace=st.booleans(),
+    )
+    def test_masked_mxm_pushdown_invisible(self, a, b, mask, complement,
+                                           structure, replace):
+        from repro.core.descriptor import Descriptor
+        from repro.internals import config
+        kw = {}
+        if complement:
+            kw["comp"] = True
+        if structure:
+            kw["structure"] = True
+        if replace:
+            kw["replace"] = True
+        desc = Descriptor(**kw) if kw else None
+        Mk = mat_from_dict(mask, 4, 4, T.BOOL) if mask else None
+        outs = []
+        for opt in (True, False):
+            with config.option("MASK_PUSHDOWN", opt):
+                C = Matrix.new(T.FP64, 4, 4)
+                mxm(C, Mk, None, S.PLUS_TIMES_SEMIRING[T.FP64],
+                    mat_from_dict(a, 4, 4), mat_from_dict(b, 4, 4),
+                    desc=desc)
+                outs.append(mat_to_dict(C))
+        assert outs[0] == outs[1]
+
+    @SETTINGS
+    @given(
+        a=dict_matrix(4, 4), u=dict_vector(4),
+        mask=st.dictionaries(st.integers(0, 3), st.booleans(), max_size=4),
+        complement=st.booleans(),
+        structure=st.booleans(),
+    )
+    def test_masked_mxv_pushdown_invisible(self, a, u, mask, complement,
+                                           structure):
+        from repro.core.descriptor import Descriptor
+        from repro.internals import config
+        kw = {}
+        if complement:
+            kw["comp"] = True
+        if structure:
+            kw["structure"] = True
+        desc = Descriptor(**kw) if kw else None
+        Mv = vec_from_dict(mask, 4, T.BOOL) if mask else None
+        outs = []
+        for opt in (True, False):
+            with config.option("MASK_PUSHDOWN", opt):
+                w = Vector.new(T.FP64, 4)
+                mxv(w, Mv, None, S.PLUS_TIMES_SEMIRING[T.FP64],
+                    mat_from_dict(a, 4, 4), vec_from_dict(u, 4), desc=desc)
+                outs.append(w.to_dict())
+        assert outs[0] == outs[1]
+
+
+class TestAssignProperties:
+    @SETTINGS
+    @given(
+        c=dict_matrix(5, 5),
+        a=dict_matrix(3, 2),
+        data=st.data(),
+        use_accum=st.booleans(),
+    )
+    def test_assign_vs_reference(self, c, a, data, use_accum):
+        from repro.ops.assign import assign as _assign
+        from .reference import ref_assign
+        I = data.draw(st.permutations(range(5)))[:3]
+        J = data.draw(st.permutations(range(5)))[:2]
+        C = mat_from_dict(c, 5, 5)
+        A = mat_from_dict(a, 3, 2)
+        _assign(C, None, B.PLUS[T.FP64] if use_accum else None, A,
+                list(I), list(J))
+        expected = ref_assign(
+            c, a, list(I), list(J),
+            (lambda x, y: x + y) if use_accum else None, 5, 5,
+        )
+        assert_mat_equal(C, expected)
+
+    @SETTINGS
+    @given(c=dict_matrix(4, 4), a=dict_matrix(4, 4))
+    def test_assign_all_all_without_accum_replaces(self, c, a):
+        from repro.ops.assign import assign as _assign
+        C = mat_from_dict(c, 4, 4)
+        _assign(C, None, None, mat_from_dict(a, 4, 4), None, None)
+        assert mat_to_dict(C) == a
+
+    @SETTINGS
+    @given(
+        u=dict_vector(6),
+        data=st.data(),
+        fill=st.integers(1, 9).map(float),
+    )
+    def test_vector_scalar_fill_vs_model(self, u, data, fill):
+        from repro.ops.assign import assign as _assign
+        I = data.draw(st.permutations(range(6)))[:3]
+        w = vec_from_dict(u, 6)
+        _assign(w, None, None, fill, list(I))
+        expected = dict(u)
+        for i in I:
+            expected[i] = fill
+        assert_vec_equal(w, expected)
+
+
+class TestBuildProperties:
+    @SETTINGS
+    @given(
+        entries=st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 5),
+                      st.integers(1, 9)),
+            max_size=30,
+        )
+    )
+    def test_build_plus_dup_equals_dict_sum(self, entries):
+        m = Matrix.new(T.INT64, 6, 6)
+        if entries:
+            rows, cols, vals = zip(*entries)
+            m.build(list(rows), list(cols), list(vals), dup=B.PLUS[T.INT64])
+        expected = {}
+        for i, j, v in entries:
+            expected[(i, j)] = expected.get((i, j), 0) + v
+        assert m.to_dict() == expected
+
+    @SETTINGS
+    @given(
+        entries=st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 5),
+                      st.integers(1, 9)),
+            max_size=30,
+        )
+    )
+    def test_build_second_dup_is_last_wins(self, entries):
+        m = Matrix.new(T.INT64, 6, 6)
+        if entries:
+            rows, cols, vals = zip(*entries)
+            m.build(list(rows), list(cols), list(vals),
+                    dup=B.SECOND[T.INT64])
+        expected = {}
+        for i, j, v in entries:
+            expected[(i, j)] = v
+        assert m.to_dict() == expected

@@ -1,0 +1,189 @@
+"""The pygraphblas-style Pythonic layer: operators lower to spec ops."""
+
+import numpy as np
+import pytest
+
+from repro.core import types as T
+from repro.core.indexunaryop import TRIL, VALUEGT
+from repro.core.monoid import MAX_MONOID, PLUS_MONOID
+from repro.core.semiring import MIN_PLUS_SEMIRING
+from repro.core.unaryop import UnaryOp
+from repro.pythonic import PM, PV, current_semiring, semiring
+
+A_D = {(0, 0): 1.0, (0, 2): 2.0, (1, 1): 3.0, (2, 0): 4.0}
+B_D = {(0, 1): 10.0, (1, 1): 20.0, (2, 2): 30.0}
+U_D = {0: 1.0, 2: 5.0}
+
+
+class TestConstruction:
+    def test_from_dict(self):
+        a = PM.from_dict(A_D, 3, 3)
+        assert a.shape == (3, 3)
+        assert a.nvals == len(A_D)
+        v = PV.from_dict(U_D, 4)
+        assert v.size == 4 and v.nvals == 2
+
+    def test_new(self):
+        assert PM.new(T.INT32, 2, 5).type is T.INT32
+        assert len(PV.new(T.BOOL, 7)) == 7
+
+
+class TestElementAccess:
+    def test_scalar_get_set_del(self):
+        a = PM.from_dict(A_D, 3, 3)
+        assert a[0, 2] == 2.0
+        assert a[2, 2] is None          # absent → None, not an exception
+        a[2, 2] = 9.0
+        assert a[2, 2] == 9.0
+        del a[2, 2]
+        assert a[2, 2] is None
+
+    def test_vector_get_set(self):
+        v = PV.from_dict(U_D, 4)
+        assert v[2] == 5.0 and v[1] is None
+        v[1] = 7.0
+        assert v[1] == 7.0
+
+    def test_submatrix_slicing(self):
+        a = PM.from_dict(A_D, 3, 3)
+        sub = a[[0, 2], [0, 2]]
+        assert sub.to_dict() == {(0, 0): 1.0, (0, 1): 2.0, (1, 0): 4.0}
+        full = a[:, :]
+        assert full.to_dict() == A_D
+
+    def test_row_and_column_vectors(self):
+        a = PM.from_dict(A_D, 3, 3)
+        row0 = a[0, :]
+        assert row0.to_dict() == {0: 1.0, 2: 2.0}
+        col0 = a[:, 0]
+        assert col0.to_dict() == {0: 1.0, 2: 4.0}
+
+    def test_region_assign(self):
+        a = PM.from_dict(A_D, 3, 3)
+        b = PM.from_dict({(0, 0): 99.0}, 1, 1)
+        a[[1], [1]] = b
+        assert a[1, 1] == 99.0
+
+    def test_scalar_region_fill(self):
+        v = PV.new(T.FP64, 4)
+        v[[0, 3]] = 2.5
+        assert v.to_dict() == {0: 2.5, 3: 2.5}
+
+    def test_vector_slice_extract(self):
+        v = PV.from_dict({0: 1.0, 2: 3.0, 3: 4.0}, 5)
+        assert v[1:4].to_dict() == {1: 3.0, 2: 4.0}
+
+
+class TestAlgebra:
+    def test_matmul_matrix(self):
+        a = PM.from_dict(A_D, 3, 3)
+        b = PM.from_dict(B_D, 3, 3)
+        c = a @ b
+        assert np.allclose(c.to_dense(), a.to_dense() @ b.to_dense())
+
+    def test_matmul_vector_both_sides(self):
+        a = PM.from_dict(A_D, 3, 3)
+        v = PV.from_dict({0: 1.0, 1: 2.0, 2: 3.0}, 3)
+        dv = np.array([1.0, 2.0, 3.0])
+        got = (a @ v).to_dict()
+        want = a.to_dense() @ dv
+        for i, val in got.items():
+            assert val == pytest.approx(want[i])
+        got2 = (v @ a).to_dict()
+        want2 = dv @ a.to_dense()
+        for i, val in got2.items():
+            assert val == pytest.approx(want2[i])
+
+    def test_semiring_context_manager(self):
+        a = PM.from_dict({(0, 1): 2.0, (1, 2): 3.0}, 3, 3)
+        with semiring(MIN_PLUS_SEMIRING[T.FP64]):
+            c = a @ a
+        assert c.to_dict() == {(0, 2): 5.0}
+
+    def test_semiring_context_nests_and_restores(self):
+        assert current_semiring(T.FP64).name == "GrB_PLUS_TIMES_SEMIRING_FP64"
+        with semiring(MIN_PLUS_SEMIRING[T.FP64]):
+            assert current_semiring(T.FP64).name == \
+                "GrB_MIN_PLUS_SEMIRING_FP64"
+            with semiring(MIN_PLUS_SEMIRING[T.FP32]):
+                assert current_semiring(T.FP64).name == \
+                    "GrB_MIN_PLUS_SEMIRING_FP32"
+            assert current_semiring(T.FP64).name == \
+                "GrB_MIN_PLUS_SEMIRING_FP64"
+        assert current_semiring(T.FP64).name == "GrB_PLUS_TIMES_SEMIRING_FP64"
+
+    def test_bool_default_semiring(self):
+        a = PM.from_dict({(0, 1): True, (1, 2): True}, 3, 3, T.BOOL)
+        c = a @ a
+        assert c.to_dict() == {(0, 2): True}
+
+    def test_add_and_mult(self):
+        a = PM.from_dict(A_D, 3, 3)
+        b = PM.from_dict(B_D, 3, 3)
+        assert (a + b).nvals == len(set(A_D) | set(B_D))
+        assert (a * b).nvals == len(set(A_D) & set(B_D))
+
+    def test_or_uses_ambient_add(self):
+        u = PV.from_dict({0: 5.0}, 3)
+        v = PV.from_dict({0: 2.0}, 3)
+        with semiring(MIN_PLUS_SEMIRING[T.FP64]):
+            w = u | v
+        assert w[0] == 2.0    # MIN
+
+    def test_scalar_multiplication(self):
+        a = PM.from_dict(A_D, 3, 3)
+        assert (2 * a)[0, 2] == 4.0
+        assert (a * 2)[2, 0] == 8.0
+        v = PV.from_dict(U_D, 4)
+        assert (3 * v)[2] == 15.0
+
+    def test_negation_and_abs(self):
+        a = PM.from_dict(A_D, 3, 3)
+        assert (-a)[0, 0] == -1.0
+        assert abs(-a)[0, 0] == 1.0
+        v = PV.from_dict(U_D, 4)
+        assert (-v)[2] == -5.0
+
+    def test_transpose_property(self):
+        a = PM.from_dict(A_D, 3, 3)
+        assert a.T.to_dict() == {(j, i): v for (i, j), v in A_D.items()}
+        assert a.T.T.to_dict() == A_D
+
+    def test_sssp_in_pythonic_style(self):
+        """The one-liner the layer exists for."""
+        from repro.generators import path_graph
+        n, rows, cols, _ = path_graph(5)
+        a = PM.from_dict(
+            {(int(i), int(j)): float(i + 1) for i, j in zip(rows, cols)},
+            5, 5,
+        )
+        d = PV.from_dict({0: 0.0}, 5)
+        with semiring(MIN_PLUS_SEMIRING[T.FP64]):
+            for _ in range(4):
+                d = (d @ a) | d
+        assert d.to_dict() == {0: 0.0, 1: 1.0, 2: 3.0, 3: 6.0, 4: 10.0}
+
+
+class TestNamedOps:
+    def test_select(self):
+        a = PM.from_dict(A_D, 3, 3)
+        assert set(a.select(TRIL, 0).to_dict()) == \
+            {k for k in A_D if k[1] <= k[0]}
+        v = PV.from_dict(U_D, 4)
+        assert v.select(VALUEGT[T.FP64], 2.0).to_dict() == {2: 5.0}
+
+    def test_apply_unary_and_bound(self):
+        a = PM.from_dict(A_D, 3, 3)
+        doubled = a.apply(UnaryOp.new(lambda x: 2 * x, T.FP64, T.FP64))
+        assert doubled[2, 0] == 8.0
+
+    def test_reduce(self):
+        a = PM.from_dict(A_D, 3, 3)
+        assert a.reduce(PLUS_MONOID[T.FP64]) == sum(A_D.values())
+        v = PV.from_dict(U_D, 4)
+        assert v.reduce(MAX_MONOID[T.FP64]) == 5.0
+
+    def test_wrappers_share_underlying_objects(self):
+        a = PM.from_dict(A_D, 3, 3)
+        a.m.set_element(42.0, 2, 2)    # mutate through the raw handle
+        assert a[2, 2] == 42.0

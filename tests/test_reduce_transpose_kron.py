@@ -1,0 +1,226 @@
+"""reduce (all variants, §VI/Table II), transpose, and kronecker batteries."""
+
+import numpy as np
+import pytest
+
+from repro.core import binaryop as B
+from repro.core import monoid as M
+from repro.core import semiring as S
+from repro.core import types as T
+from repro.core.descriptor import DESC_R, DESC_T0
+from repro.core.errors import DimensionMismatchError, DomainMismatchError
+from repro.core.matrix import Matrix
+from repro.core.scalar import Scalar
+from repro.core.vector import Vector
+from repro.ops.kronecker import kronecker
+from repro.ops.reduce import reduce, reduce_scalar, reduce_to_vector
+from repro.ops.transpose import transpose
+
+from .helpers import (
+    assert_mat_equal,
+    assert_vec_equal,
+    mat_from_dict,
+    vec_from_dict,
+)
+from .reference import ref_kron, ref_transpose, ref_write_back
+
+A_D = {(0, 0): 1.0, (0, 2): 2.0, (1, 1): 3.0, (2, 0): 4.0, (2, 2): 5.0}
+
+
+class TestReduceToVector:
+    def test_row_reduce(self):
+        A = mat_from_dict(A_D, 3, 3)
+        w = Vector.new(T.FP64, 3)
+        reduce_to_vector(w, None, None, M.PLUS_MONOID[T.FP64], A)
+        assert_vec_equal(w, {0: 3.0, 1: 3.0, 2: 9.0}, "rows")
+
+    def test_empty_rows_absent(self):
+        A = mat_from_dict({(0, 0): 1.0, (2, 2): 2.0}, 4, 4)
+        w = Vector.new(T.FP64, 4)
+        reduce_to_vector(w, None, None, M.PLUS_MONOID[T.FP64], A)
+        assert set(w.to_dict()) == {0, 2}
+
+    def test_column_reduce_via_transpose(self):
+        A = mat_from_dict(A_D, 3, 3)
+        w = Vector.new(T.FP64, 3)
+        reduce_to_vector(w, None, None, M.PLUS_MONOID[T.FP64], A, desc=DESC_T0)
+        assert_vec_equal(w, {0: 5.0, 1: 3.0, 2: 7.0}, "cols")
+
+    def test_min_monoid_reduce(self):
+        A = mat_from_dict(A_D, 3, 3)
+        w = Vector.new(T.FP64, 3)
+        reduce_to_vector(w, None, None, M.MIN_MONOID[T.FP64], A)
+        assert_vec_equal(w, {0: 1.0, 1: 3.0, 2: 4.0}, "min")
+
+    def test_reduce_mask_accum(self):
+        A = mat_from_dict(A_D, 3, 3)
+        w0 = {0: 10.0}
+        mask = {0: True, 1: True}
+        w = vec_from_dict(w0, 3)
+        reduce_to_vector(w, vec_from_dict(mask, 3, T.BOOL), B.PLUS[T.FP64],
+                         M.PLUS_MONOID[T.FP64], A)
+        t = {0: 3.0, 1: 3.0, 2: 9.0}
+        assert_vec_equal(w, ref_write_back(w0, t, mask, lambda x, y: x + y),
+                         "mask accum")
+
+    def test_requires_monoid(self):
+        A = mat_from_dict(A_D, 3, 3)
+        w = Vector.new(T.FP64, 3)
+        with pytest.raises(DomainMismatchError):
+            reduce_to_vector(w, None, None, B.PLUS[T.FP64], A)
+
+
+class TestReduceToScalar:
+    def test_typed_variant_returns_value(self):
+        A = mat_from_dict(A_D, 3, 3)
+        assert reduce_scalar(M.PLUS_MONOID[T.FP64], A) == 15.0
+
+    def test_typed_variant_empty_returns_identity(self):
+        """1.X behaviour: empty reduce gives the monoid identity."""
+        A = Matrix.new(T.FP64, 3, 3)
+        assert reduce_scalar(M.PLUS_MONOID[T.FP64], A) == 0.0
+        assert reduce_scalar(M.MIN_MONOID[T.FP64], A) == np.inf
+
+    def test_vector_reduce(self):
+        u = vec_from_dict({0: 1.0, 3: 4.0}, 5)
+        assert reduce_scalar(M.MAX_MONOID[T.FP64], u) == 4.0
+
+    def test_grb_scalar_variant_empty_gives_empty(self):
+        """§VI: the GrB_Scalar variant returns an empty container, not
+        the identity, when there is nothing to reduce."""
+        A = Matrix.new(T.FP64, 3, 3)
+        s = Scalar.new(T.FP64)
+        reduce(s, None, M.PLUS_MONOID[T.FP64], A)
+        assert s.nvals() == 0
+
+    def test_grb_scalar_variant_value(self):
+        A = mat_from_dict(A_D, 3, 3)
+        s = Scalar.new(T.FP64)
+        reduce(s, None, M.PLUS_MONOID[T.FP64], A)
+        assert s.extract_element() == 15.0
+
+    def test_grb_scalar_variant_with_binop(self):
+        """§VI: 'we can now define reduction to scalar that takes
+        GrB_BinaryOp as the reducing function.'"""
+        A = mat_from_dict(A_D, 3, 3)
+        s = Scalar.new(T.FP64)
+        reduce(s, None, B.MAX[T.FP64], A)
+        assert s.extract_element() == 5.0
+
+    def test_binop_reduce_empty_gives_empty(self):
+        s = Scalar.new(T.FP64)
+        reduce(s, None, B.PLUS[T.FP64], Matrix.new(T.FP64, 2, 2))
+        assert s.nvals() == 0
+
+    def test_binop_must_be_endomorphic(self):
+        A = mat_from_dict(A_D, 3, 3)
+        s = Scalar.new(T.BOOL)
+        with pytest.raises(DomainMismatchError):
+            reduce(s, None, B.LT[T.FP64], A)
+
+    def test_scalar_reduce_with_accum(self):
+        A = mat_from_dict(A_D, 3, 3)
+        s = Scalar.new(T.FP64)
+        s.set_element(100.0)
+        reduce(s, B.PLUS[T.FP64], M.PLUS_MONOID[T.FP64], A)
+        assert s.extract_element() == 115.0
+
+    def test_scalar_reduce_accum_on_empty_input_keeps_target(self):
+        s = Scalar.new(T.FP64)
+        s.set_element(100.0)
+        reduce(s, B.PLUS[T.FP64], M.PLUS_MONOID[T.FP64],
+               Matrix.new(T.FP64, 2, 2))
+        assert s.extract_element() == 100.0
+
+    def test_polymorphic_monoid_first_form(self):
+        A = mat_from_dict(A_D, 3, 3)
+        assert reduce(M.PLUS_MONOID[T.FP64], A) == 15.0
+
+
+class TestTranspose:
+    def test_basic(self):
+        A = mat_from_dict(A_D, 3, 4)
+        C = Matrix.new(T.FP64, 4, 3)
+        transpose(C, None, None, A)
+        assert_mat_equal(C, ref_transpose(A_D), "T")
+
+    def test_double_transpose_is_identity(self):
+        A = mat_from_dict(A_D, 3, 4)
+        C = Matrix.new(T.FP64, 4, 3)
+        transpose(C, None, None, A)
+        D = Matrix.new(T.FP64, 3, 4)
+        transpose(D, None, None, C)
+        assert_mat_equal(D, A_D, "TT")
+
+    def test_desc_t0_makes_it_a_copy(self):
+        """The spec corner: transpose of the transposed input is A."""
+        A = mat_from_dict(A_D, 3, 4)
+        C = Matrix.new(T.FP64, 3, 4)
+        transpose(C, None, None, A, desc=DESC_T0)
+        assert_mat_equal(C, A_D, "T∘T")
+
+    def test_shape_check(self):
+        A = mat_from_dict(A_D, 3, 4)
+        C = Matrix.new(T.FP64, 3, 4)
+        with pytest.raises(DimensionMismatchError):
+            transpose(C, None, None, A)
+
+    def test_masked_accumulated_transpose(self):
+        A = mat_from_dict(A_D, 3, 3)
+        c0 = {(2, 0): 10.0}
+        mask = {(2, 0): True, (0, 0): True}
+        C = mat_from_dict(c0, 3, 3)
+        transpose(C, mat_from_dict(mask, 3, 3, T.BOOL), B.PLUS[T.FP64], A)
+        t = ref_transpose(A_D)
+        assert_mat_equal(C, ref_write_back(c0, t, mask, lambda x, y: x + y),
+                         "masked T")
+
+
+class TestKronecker:
+    B_D = {(0, 1): 10.0, (1, 0): 20.0}
+
+    def test_matches_reference_and_numpy(self):
+        A = mat_from_dict(A_D, 3, 3)
+        Bm = mat_from_dict(self.B_D, 2, 2)
+        C = Matrix.new(T.FP64, 6, 6)
+        kronecker(C, None, None, B.TIMES[T.FP64], A, Bm)
+        assert_mat_equal(C, ref_kron(A_D, self.B_D, lambda x, y: x * y, 2, 2),
+                         "kron")
+        assert np.allclose(C.to_dense(), np.kron(A.to_dense(), Bm.to_dense()))
+
+    def test_kron_with_plus_op(self):
+        A = mat_from_dict({(0, 0): 1.0}, 1, 1)
+        Bm = mat_from_dict(self.B_D, 2, 2)
+        C = Matrix.new(T.FP64, 2, 2)
+        kronecker(C, None, None, B.PLUS[T.FP64], A, Bm)
+        assert_mat_equal(C, {k: v + 1 for k, v in self.B_D.items()}, "plus")
+
+    def test_kron_semiring_uses_mult(self):
+        A = mat_from_dict({(0, 0): 2.0}, 1, 1)
+        Bm = mat_from_dict(self.B_D, 2, 2)
+        C = Matrix.new(T.FP64, 2, 2)
+        kronecker(C, None, None, S.PLUS_TIMES_SEMIRING[T.FP64], A, Bm)
+        assert_mat_equal(C, {k: v * 2 for k, v in self.B_D.items()}, "sr")
+
+    def test_kron_shape_check(self):
+        A = Matrix.new(T.FP64, 2, 2)
+        Bm = Matrix.new(T.FP64, 3, 3)
+        C = Matrix.new(T.FP64, 5, 5)
+        with pytest.raises(DimensionMismatchError):
+            kronecker(C, None, None, B.TIMES[T.FP64], A, Bm)
+
+    def test_kron_transpose_inputs(self):
+        at = {(j, i): v for (i, j), v in A_D.items()}
+        A_t = mat_from_dict(at, 3, 3)
+        Bm = mat_from_dict(self.B_D, 2, 2)
+        C = Matrix.new(T.FP64, 6, 6)
+        kronecker(C, None, None, B.TIMES[T.FP64], A_t, Bm, desc=DESC_T0)
+        assert_mat_equal(C, ref_kron(A_D, self.B_D, lambda x, y: x * y, 2, 2),
+                         "kron T0")
+
+    def test_kron_empty(self):
+        A = Matrix.new(T.FP64, 2, 2)
+        Bm = mat_from_dict(self.B_D, 2, 2)
+        C = Matrix.new(T.FP64, 4, 4)
+        kronecker(C, None, None, B.TIMES[T.FP64], A, Bm)
+        assert C.nvals() == 0

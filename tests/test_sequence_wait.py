@@ -1,0 +1,164 @@
+"""Experiment F1/§V conformance: sequences, completion, deferred errors."""
+
+import pytest
+
+from repro.core import binaryop as B
+from repro.core import types as T
+from repro.core.context import Context, Mode, WaitMode
+from repro.core.errors import (
+    DimensionMismatchError,
+    DuplicateIndexError,
+    IndexOutOfBoundsError,
+)
+from repro.core.matrix import Matrix
+from repro.core.semiring import PLUS_TIMES_SEMIRING
+from repro.core.sequence import error_string, wait
+from repro.core.vector import Vector
+from repro.ops.mxm import mxm
+
+from .helpers import mat_from_dict
+
+
+@pytest.fixture
+def nb():
+    return Context.new(Mode.NONBLOCKING, None, None)
+
+
+@pytest.fixture
+def bl():
+    return Context.new(Mode.BLOCKING, None, None)
+
+
+class TestDeferral:
+    def test_operations_defer_in_nonblocking(self, nb):
+        A = mat_from_dict({(0, 0): 2.0}, 2, 2, ctx=nb)
+        C = Matrix.new(T.FP64, 2, 2, nb)
+        mxm(C, None, None, PLUS_TIMES_SEMIRING[T.FP64], A, A)
+        assert not C.is_materialized
+        wait(C, WaitMode.COMPLETE)
+        assert C.nvals() == 1
+
+    def test_wait_mode_enum_values(self):
+        assert WaitMode.COMPLETE == 0
+        assert WaitMode.MATERIALIZE == 1
+
+    def test_sequence_order_preserved(self, nb):
+        """Multiple deferred ops on one object run in program order."""
+        v = Vector.new(T.INT64, 3, nb)
+        v.set_element(1, 0)
+        v.set_element(2, 0)     # overwrites
+        v.set_element(3, 1)
+        v.remove_element(1)
+        wait(v)
+        assert v.to_dict() == {0: 2}
+
+    def test_accumulation_chain_defers_and_composes(self, nb):
+        A = mat_from_dict({(0, 0): 1.0}, 2, 2, ctx=nb)
+        C = Matrix.new(T.FP64, 2, 2, nb)
+        mxm(C, None, None, PLUS_TIMES_SEMIRING[T.FP64], A, A)
+        mxm(C, None, B.PLUS[T.FP64], PLUS_TIMES_SEMIRING[T.FP64], A, A)
+        mxm(C, None, B.PLUS[T.FP64], PLUS_TIMES_SEMIRING[T.FP64], A, A)
+        assert not C.is_materialized
+        wait(C)
+        assert C.extract_element(0, 0) == 3.0
+
+    def test_reading_forces(self, nb):
+        v = Vector.new(T.INT64, 3, nb)
+        v.set_element(7, 1)
+        # nvals is a value-reading method: it forces the sequence.
+        assert v.nvals() == 1
+
+    def test_use_as_input_forces(self, nb):
+        A = Matrix.new(T.FP64, 2, 2, nb)
+        A.set_element(3.0, 0, 0)        # pending
+        C = Matrix.new(T.FP64, 2, 2, nb)
+        mxm(C, None, None, PLUS_TIMES_SEMIRING[T.FP64], A, A)
+        wait(C)
+        assert C.extract_element(0, 0) == 9.0
+
+    def test_blocking_mode_never_pends(self, bl):
+        A = mat_from_dict({(0, 0): 2.0}, 2, 2, ctx=bl)
+        C = Matrix.new(T.FP64, 2, 2, bl)
+        mxm(C, None, None, PLUS_TIMES_SEMIRING[T.FP64], A, A)
+        assert C.is_materialized
+
+    def test_capture_snapshot_semantics(self, nb):
+        """An input mutated after the call does not change the result."""
+        A = mat_from_dict({(0, 0): 2.0}, 2, 2, ctx=nb)
+        C = Matrix.new(T.FP64, 2, 2, nb)
+        mxm(C, None, None, PLUS_TIMES_SEMIRING[T.FP64], A, A)
+        A.set_element(100.0, 0, 0)      # after the call
+        wait(C)
+        assert C.extract_element(0, 0) == 4.0
+
+
+class TestErrorModel:
+    def test_api_errors_never_deferred(self, nb):
+        """§V: API errors are raised at the call, even in nonblocking
+        mode, and modify nothing."""
+        A = Matrix.new(T.FP64, 2, 3, nb)
+        C = Matrix.new(T.FP64, 2, 2, nb)
+        with pytest.raises(DimensionMismatchError):
+            mxm(C, None, None, PLUS_TIMES_SEMIRING[T.FP64], A, A)
+        assert C.is_materialized        # nothing was enqueued
+        assert C.nvals() == 0
+
+    def test_execution_error_deferred_to_wait(self, nb):
+        m = Matrix.new(T.FP64, 2, 2, nb)
+        m.build([0, 0], [0, 0], [1.0, 2.0], dup=None)
+        # Not raised yet:
+        assert error_string(m) == ""
+        with pytest.raises(DuplicateIndexError):
+            wait(m, WaitMode.MATERIALIZE)
+
+    def test_execution_error_immediate_in_blocking(self, bl):
+        m = Matrix.new(T.FP64, 2, 2, bl)
+        with pytest.raises(DuplicateIndexError):
+            m.build([0, 0], [0, 0], [1.0, 2.0], dup=None)
+
+    def test_error_string_recorded(self, nb):
+        """§V: GrB_error returns an implementation-defined string."""
+        m = Matrix.new(T.FP64, 2, 2, nb)
+        m.build([0], [9], [1.0])
+        with pytest.raises(IndexOutOfBoundsError):
+            m.nvals()
+        assert "out of range" in error_string(m)
+
+    def test_error_surfaces_once_then_state_remains(self, nb):
+        m = Matrix.new(T.FP64, 2, 2, nb)
+        m.build([0, 0], [0, 0], [1.0, 2.0], dup=None)
+        with pytest.raises(DuplicateIndexError):
+            wait(m)
+        # After surfacing, the object is usable again; its state is the
+        # pre-failure state (defined by our implementation; the spec
+        # leaves it undefined).
+        wait(m, WaitMode.MATERIALIZE)
+        assert m.nvals() == 0
+        assert error_string(m) != ""
+
+    def test_failed_op_drops_rest_of_sequence(self, nb):
+        v = Vector.new(T.FP64, 3, nb)
+        v.build([9], [1.0])            # will fail
+        v.set_element(5.0, 0)          # queued after the failure
+        with pytest.raises(IndexOutOfBoundsError):
+            wait(v)
+        assert v.nvals() == 0          # the set_element was dropped (§V)
+
+    def test_materialize_also_completes(self, nb):
+        """GrB_wait(obj, MATERIALIZE) always includes COMPLETE (§V)."""
+        v = Vector.new(T.FP64, 3, nb)
+        v.set_element(1.0, 0)
+        wait(v, WaitMode.MATERIALIZE)
+        assert v.is_materialized
+
+    def test_complete_then_materialize_split(self, nb):
+        """§V: a thread can COMPLETE, another can continue and MATERIALIZE."""
+        v = Vector.new(T.FP64, 3, nb)
+        v.set_element(1.0, 0)
+        wait(v, WaitMode.COMPLETE)
+        v.set_element(2.0, 1)          # sequence continues
+        wait(v, WaitMode.MATERIALIZE)
+        assert v.to_dict() == {0: 1.0, 1: 2.0}
+
+    def test_error_default_is_empty_string(self, nb):
+        assert error_string(Matrix.new(T.FP64, 2, 2, nb)) == ""

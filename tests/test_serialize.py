@@ -1,0 +1,120 @@
+"""Serialize/deserialize battery (§VII-B): opacity, protocol, corruption."""
+
+import numpy as np
+import pytest
+
+from repro.core import types as T
+from repro.core.errors import InsufficientSpaceError, InvalidObjectError
+from repro.core.matrix import Matrix
+from repro.core.vector import Vector
+from repro.formats import (
+    matrix_deserialize,
+    matrix_serialize,
+    matrix_serialize_size,
+    vector_deserialize,
+    vector_serialize,
+    vector_serialize_size,
+)
+
+from .helpers import mat_from_dict, mat_to_dict, vec_from_dict, vec_to_dict
+
+A_D = {(0, 0): 1.5, (0, 2): -2.0, (1, 1): 3.25, (2, 3): 5.0}
+U_D = {0: 1.0, 4: -4.0, 7: 7.5}
+
+
+class TestMatrixSerialize:
+    def test_roundtrip(self):
+        A = mat_from_dict(A_D, 3, 4)
+        blob = matrix_serialize(A)
+        B = matrix_deserialize(blob)
+        assert B.shape == (3, 4) and B.type is T.FP64
+        assert mat_to_dict(B) == A_D
+
+    def test_serialize_size_matches(self):
+        """§VII-B protocol: serializeSize returns the needed byte count."""
+        A = mat_from_dict(A_D, 3, 4)
+        assert matrix_serialize_size(A) == len(matrix_serialize(A))
+
+    def test_user_buffer_flow(self):
+        A = mat_from_dict(A_D, 3, 4)
+        size = matrix_serialize_size(A)
+        buf = bytearray(size + 10)           # oversize is fine
+        blob = matrix_serialize(A, buf)
+        assert matrix_deserialize(blob).nvals() == len(A_D)
+
+    def test_undersized_buffer(self):
+        A = mat_from_dict(A_D, 3, 4)
+        with pytest.raises(InsufficientSpaceError):
+            matrix_serialize(A, bytearray(4))
+
+    def test_empty_matrix_roundtrip(self):
+        A = Matrix.new(T.INT8, 5, 7)
+        B = matrix_deserialize(matrix_serialize(A))
+        assert B.shape == (5, 7) and B.nvals() == 0 and B.type is T.INT8
+
+    @pytest.mark.parametrize("t", [T.BOOL, T.INT8, T.UINT64, T.FP32],
+                             ids=lambda t: t.name)
+    def test_every_builtin_domain(self, t):
+        A = Matrix.new(t, 2, 2)
+        A.set_element(1, 0, 1)
+        B = matrix_deserialize(matrix_serialize(A))
+        assert B.type is t and B.extract_element(0, 1) == 1
+
+    def test_corruption_detected(self):
+        blob = bytearray(matrix_serialize(mat_from_dict(A_D, 3, 4)))
+        blob[len(blob) // 2] ^= 0x5A
+        with pytest.raises(InvalidObjectError):
+            matrix_deserialize(bytes(blob))
+
+    def test_truncation_detected(self):
+        blob = matrix_serialize(mat_from_dict(A_D, 3, 4))
+        with pytest.raises(InvalidObjectError):
+            matrix_deserialize(blob[:8])
+
+    def test_not_a_blob_detected(self):
+        with pytest.raises(InvalidObjectError):
+            matrix_deserialize(b"definitely not a graphblas object blob")
+
+    def test_kind_mismatch_detected(self):
+        """A vector blob does not deserialize as a matrix."""
+        blob = vector_serialize(vec_from_dict(U_D, 8))
+        with pytest.raises(InvalidObjectError):
+            matrix_deserialize(blob)
+
+    def test_stream_is_opaque_but_stable(self):
+        """Same object serializes to the same bytes (deterministic)."""
+        A = mat_from_dict(A_D, 3, 4)
+        assert matrix_serialize(A) == matrix_serialize(A)
+
+
+class TestVectorSerialize:
+    def test_roundtrip(self):
+        u = vec_from_dict(U_D, 8)
+        v = vector_deserialize(vector_serialize(u))
+        assert v.size == 8 and vec_to_dict(v) == U_D
+
+    def test_size_protocol(self):
+        u = vec_from_dict(U_D, 8)
+        assert vector_serialize_size(u) == len(vector_serialize(u))
+
+    def test_buffer_too_small(self):
+        with pytest.raises(InsufficientSpaceError):
+            vector_serialize(vec_from_dict(U_D, 8), bytearray(2))
+
+    def test_empty_vector(self):
+        v = vector_deserialize(vector_serialize(Vector.new(T.BOOL, 3)))
+        assert v.size == 3 and v.nvals() == 0
+
+    def test_corruption(self):
+        blob = bytearray(vector_serialize(vec_from_dict(U_D, 8)))
+        blob[-1] ^= 0xFF
+        with pytest.raises(InvalidObjectError):
+            vector_deserialize(bytes(blob))
+
+    def test_serialize_forces_pending_sequence(self):
+        from repro.core.context import Context, Mode
+        ctx = Context.new(Mode.NONBLOCKING, None, None)
+        v = Vector.new(T.FP64, 4, ctx)
+        v.set_element(2.5, 1)
+        blob = vector_serialize(v)       # forces
+        assert vec_to_dict(vector_deserialize(blob)) == {1: 2.5}

@@ -1,0 +1,98 @@
+"""Serialization fuzzing: mutated blobs never crash, never corrupt.
+
+Security/robustness property of the §VII-B opaque stream: any byte
+mutation either still deserializes to a *valid* object (checksum
+collision — astronomically unlikely but defined) or raises
+``InvalidObjectError``.  It must never raise anything else, never
+segfault-style explode, and never return an object that fails its own
+invariant check.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import types as T
+from repro.core.errors import InvalidObjectError
+from repro.formats import (
+    matrix_deserialize,
+    matrix_serialize,
+    vector_deserialize,
+    vector_serialize,
+)
+from repro.validate import check_object
+
+from .helpers import mat_from_dict, vec_from_dict
+
+SETTINGS = settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+A_D = {(0, 0): 1.5, (1, 2): -2.25, (3, 1): 4.0, (3, 3): 0.5}
+
+
+def _blob() -> bytes:
+    return matrix_serialize(mat_from_dict(A_D, 4, 4))
+
+
+class TestMutationFuzz:
+    @SETTINGS
+    @given(data=st.data())
+    def test_single_byte_flip(self, data):
+        blob = bytearray(_blob())
+        pos = data.draw(st.integers(0, len(blob) - 1))
+        bit = data.draw(st.integers(0, 7))
+        blob[pos] ^= 1 << bit
+        try:
+            out = matrix_deserialize(bytes(blob))
+        except InvalidObjectError:
+            return
+        check_object(out)   # if accepted, it must be internally valid
+
+    @SETTINGS
+    @given(cut=st.integers(0, 200))
+    def test_truncation(self, cut):
+        blob = _blob()
+        prefix = blob[: min(cut, len(blob) - 1)]
+        with pytest.raises(InvalidObjectError):
+            matrix_deserialize(prefix)
+
+    @SETTINGS
+    @given(junk=st.binary(min_size=0, max_size=300))
+    def test_arbitrary_bytes(self, junk):
+        try:
+            out = matrix_deserialize(junk)
+        except InvalidObjectError:
+            return
+        check_object(out)
+
+    @SETTINGS
+    @given(extra=st.binary(min_size=1, max_size=50))
+    def test_trailing_garbage_detected(self, extra):
+        """Appending bytes breaks the checksum: detected."""
+        blob = _blob() + extra
+        with pytest.raises(InvalidObjectError):
+            matrix_deserialize(blob)
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_vector_blob_mutations(self, data):
+        blob = bytearray(vector_serialize(vec_from_dict({1: 2.5, 4: 7.0}, 8)))
+        pos = data.draw(st.integers(0, len(blob) - 1))
+        blob[pos] ^= data.draw(st.integers(1, 255))
+        try:
+            out = vector_deserialize(bytes(blob))
+        except InvalidObjectError:
+            return
+        check_object(out)
+
+    def test_cross_kind_confusion_rejected(self):
+        v_blob = vector_serialize(vec_from_dict({0: 1.0}, 2))
+        m_blob = _blob()
+        with pytest.raises(InvalidObjectError):
+            matrix_deserialize(v_blob)
+        with pytest.raises(InvalidObjectError):
+            vector_deserialize(m_blob)

@@ -1,0 +1,126 @@
+"""Experiment T1 conformance: the full Table I GrB_Scalar surface (§VI).
+
+Every row of Table I gets a behavioural test, plus the semantics the
+section ascribes to scalars: emptiness, typed-at-creation, deferral.
+"""
+
+import pytest
+
+from repro.core import types as T
+from repro.core.context import Context, Mode, WaitMode
+from repro.core.errors import NoValue, NullPointerError, UninitializedObjectError
+from repro.core.scalar import Scalar
+
+
+class TestTableOneSurface:
+    def test_new_creates_empty_of_domain(self):
+        """GrB_Scalar_new(GrB_Scalar*, GrB_Type)"""
+        s = Scalar.new(T.INT32)
+        assert s.type is T.INT32
+        assert s.nvals() == 0
+
+    def test_new_rejects_null_type(self):
+        with pytest.raises(NullPointerError):
+            Scalar.new(None)
+
+    def test_dup_copies_value_and_type(self):
+        """GrB_Scalar_dup(GrB_Scalar*, const GrB_Scalar)"""
+        s = Scalar.new(T.FP64)
+        s.set_element(2.5)
+        d = s.dup()
+        assert d.type is T.FP64
+        assert d.extract_element() == 2.5
+        # Independent: mutating the dup leaves the original alone.
+        d.set_element(9.0)
+        assert s.extract_element() == 2.5
+
+    def test_dup_of_empty_is_empty(self):
+        assert Scalar.new(T.BOOL).dup().nvals() == 0
+
+    def test_clear_empties(self):
+        """GrB_Scalar_clear(GrB_Scalar)"""
+        s = Scalar.new(T.INT64)
+        s.set_element(7)
+        s.clear()
+        assert s.nvals() == 0
+
+    def test_nvals_zero_or_one(self):
+        """GrB_Scalar_nvals(GrB_Index*, const GrB_Scalar)"""
+        s = Scalar.new(T.INT64)
+        assert s.nvals() == 0
+        s.set_element(1)
+        assert s.nvals() == 1
+        s.set_element(2)   # still one element
+        assert s.nvals() == 1
+
+    def test_set_element_casts_to_domain(self):
+        """GrB_Scalar_setElement(GrB_Scalar, <type>)"""
+        s = Scalar.new(T.INT8)
+        s.set_element(3.9)
+        assert s.extract_element() == 3
+
+    def test_set_element_from_scalar_uniform_argument(self):
+        """§VI: the scalar argument is always a GrB_Scalar in Table II
+        variants — setElement accepts one."""
+        src = Scalar.new(T.FP64)
+        src.set_element(4.5)
+        dst = Scalar.new(T.FP64)
+        dst.set_element(src)
+        assert dst.extract_element() == 4.5
+
+    def test_set_element_from_empty_scalar_clears(self):
+        src = Scalar.new(T.FP64)
+        dst = Scalar.new(T.FP64)
+        dst.set_element(1.0)
+        dst.set_element(src)
+        assert dst.nvals() == 0
+
+    def test_extract_element_present(self):
+        """GrB_Scalar_extractElement(<type>*, const GrB_Scalar)"""
+        s = Scalar.new(T.UINT32)
+        s.set_element(42)
+        assert s.extract_element() == 42
+
+    def test_extract_element_missing_is_no_value(self):
+        """§VI: extracting from an empty scalar reports GrB_NO_VALUE."""
+        with pytest.raises(NoValue):
+            Scalar.new(T.FP32).extract_element()
+
+
+class TestScalarSemantics:
+    def test_udt_scalar(self):
+        udt = T.Type.new("Pair")
+        s = Scalar.new(udt)
+        s.set_element((1, 2))
+        assert s.extract_element() == (1, 2)
+
+    def test_value_or_default(self):
+        s = Scalar.new(T.FP64)
+        assert s.value_or(-1.0) == -1.0
+        s.set_element(3.0)
+        assert s.value_or(-1.0) == 3.0
+
+    def test_deferred_in_nonblocking_context(self):
+        ctx = Context.new(Mode.NONBLOCKING, None, None)
+        s = Scalar.new(T.INT64, ctx)
+        s.set_element(5)
+        assert not s.is_materialized     # still pending
+        s.wait(WaitMode.MATERIALIZE)
+        assert s.is_materialized
+        assert s.extract_element() == 5
+
+    def test_eager_in_blocking_context(self):
+        ctx = Context.new(Mode.BLOCKING, None, None)
+        s = Scalar.new(T.INT64, ctx)
+        s.set_element(5)
+        assert s.is_materialized
+
+    def test_free_then_use_is_uninitialized(self):
+        s = Scalar.new(T.INT64)
+        s.free()
+        with pytest.raises(UninitializedObjectError):
+            s.nvals()
+
+    def test_error_string_default_empty(self):
+        """§V: an empty error string is always legal; default is empty."""
+        assert Scalar.new(T.INT64).error() == ""

@@ -1,0 +1,154 @@
+"""Experiment T2 conformance: every Table II row accepts a GrB_Scalar.
+
+Table II lists the methods "to be extended with GrB_Scalar variants in
+GraphBLAS 2.0 and beyond"; this battery calls each row with an actual
+``Scalar`` argument and checks the §VI semantics.
+"""
+
+import pytest
+
+from repro.core import binaryop as B
+from repro.core import monoid as M
+from repro.core import types as T
+from repro.core.indexunaryop import VALUEGT
+from repro.core.matrix import Matrix
+from repro.core.monoid import Monoid
+from repro.core.scalar import Scalar
+from repro.core.vector import Vector
+from repro.ops.apply import apply
+from repro.ops.assign import assign
+from repro.ops.reduce import reduce
+from repro.ops.select import select
+
+from .helpers import mat_from_dict, vec_from_dict
+
+
+def _scalar(value, t=T.FP64):
+    s = Scalar.new(t)
+    s.set_element(value)
+    return s
+
+
+class TestTableTwoRows:
+    def test_monoid_new_scalar(self):
+        """GrB_Monoid_new(GrB_Monoid*, GrB_BinaryOp, GrB_Scalar)"""
+        m = Monoid.new(B.PLUS[T.FP64], _scalar(0.0))
+        assert m.identity == 0.0
+
+    def test_vector_set_element_scalar(self):
+        """GrB_Vector_setElement(GrB_Vector, GrB_Scalar, GrB_Index)"""
+        v = Vector.new(T.FP64, 3)
+        v.set_element(_scalar(2.5), 1)
+        assert v.extract_element(1) == 2.5
+
+    def test_vector_extract_element_scalar(self):
+        """GrB_Vector_extractElement(GrB_Scalar, GrB_Vector, GrB_Index)"""
+        v = vec_from_dict({1: 4.0}, 3)
+        out = Scalar.new(T.FP64)
+        v.extract_element(1, out)
+        assert out.extract_element() == 4.0
+
+    def test_matrix_set_element_scalar(self):
+        """GrB_Matrix_setElement(GrB_Matrix, GrB_Scalar, i, j)"""
+        m = Matrix.new(T.FP64, 2, 2)
+        m.set_element(_scalar(7.0), 1, 0)
+        assert m.extract_element(1, 0) == 7.0
+
+    def test_matrix_extract_element_scalar(self):
+        """GrB_Matrix_extractElement(GrB_Scalar, GrB_Matrix, i, j)"""
+        m = mat_from_dict({(0, 1): 3.0}, 2, 2)
+        out = Scalar.new(T.FP64)
+        m.extract_element(0, 1, out)
+        assert out.extract_element() == 3.0
+
+    def test_vector_assign_scalar(self):
+        """GrB_assign(Vector, ..., GrB_Scalar, I, ...)"""
+        w = Vector.new(T.FP64, 4)
+        assign(w, None, None, _scalar(1.5), [0, 2])
+        assert w.to_dict() == {0: 1.5, 2: 1.5}
+
+    def test_matrix_assign_scalar(self):
+        """GrB_assign(Matrix, ..., GrB_Scalar, I, J, ...)"""
+        c = Matrix.new(T.FP64, 3, 3)
+        assign(c, None, None, _scalar(2.0), [0], [1, 2])
+        assert c.to_dict() == {(0, 1): 2.0, (0, 2): 2.0}
+
+    def test_vector_apply_bind1st_scalar(self):
+        """GrB_apply(Vector, ..., BinaryOp, GrB_Scalar, Vector, ...)"""
+        u = vec_from_dict({0: 4.0}, 2)
+        w = Vector.new(T.FP64, 2)
+        apply(w, None, None, B.MINUS[T.FP64], _scalar(10.0), u)
+        assert w.extract_element(0) == 6.0
+
+    def test_vector_apply_bind2nd_scalar(self):
+        """GrB_apply(Vector, ..., BinaryOp, Vector, GrB_Scalar, ...)"""
+        u = vec_from_dict({0: 4.0}, 2)
+        w = Vector.new(T.FP64, 2)
+        apply(w, None, None, B.MINUS[T.FP64], u, _scalar(1.0))
+        assert w.extract_element(0) == 3.0
+
+    def test_matrix_apply_bind1st_scalar(self):
+        a = mat_from_dict({(0, 0): 4.0}, 2, 2)
+        c = Matrix.new(T.FP64, 2, 2)
+        apply(c, None, None, B.DIV[T.FP64], _scalar(8.0), a)
+        assert c.extract_element(0, 0) == 2.0
+
+    def test_matrix_apply_bind2nd_scalar(self):
+        a = mat_from_dict({(0, 0): 4.0}, 2, 2)
+        c = Matrix.new(T.FP64, 2, 2)
+        apply(c, None, None, B.DIV[T.FP64], a, _scalar(2.0))
+        assert c.extract_element(0, 0) == 2.0
+
+    def test_vector_apply_indexop_scalar(self):
+        """GrB_apply(Vector, ..., IndexUnaryOp, Vector, GrB_Scalar, ...)"""
+        from repro.core.indexunaryop import ROWINDEX
+        u = vec_from_dict({2: 9.0}, 4)
+        w = Vector.new(T.INT64, 4)
+        apply(w, None, None, ROWINDEX[T.INT64], u, _scalar(5, T.INT64))
+        assert w.extract_element(2) == 7
+
+    def test_matrix_apply_indexop_scalar(self):
+        from repro.core.indexunaryop import COLINDEX
+        a = mat_from_dict({(0, 2): 9.0}, 3, 3)
+        c = Matrix.new(T.INT64, 3, 3)
+        apply(c, None, None, COLINDEX[T.INT64], a, _scalar(1, T.INT64))
+        assert c.extract_element(0, 2) == 3
+
+    def test_vector_select_scalar(self):
+        """GrB_select(Vector, ..., IndexUnaryOp, Vector, GrB_Scalar, ...)"""
+        u = vec_from_dict({0: 1.0, 1: 5.0}, 2)
+        w = Vector.new(T.FP64, 2)
+        select(w, None, None, VALUEGT[T.FP64], u, _scalar(2.0))
+        assert w.to_dict() == {1: 5.0}
+
+    def test_matrix_select_scalar(self):
+        a = mat_from_dict({(0, 0): 1.0, (1, 1): 5.0}, 2, 2)
+        c = Matrix.new(T.FP64, 2, 2)
+        select(c, None, None, VALUEGT[T.FP64], a, _scalar(2.0))
+        assert c.to_dict() == {(1, 1): 5.0}
+
+    def test_reduce_scalar_monoid_vector(self):
+        """GrB_reduce(GrB_Scalar, accum, Monoid, Vector, desc)"""
+        u = vec_from_dict({0: 1.0, 1: 2.0}, 3)
+        s = Scalar.new(T.FP64)
+        reduce(s, None, M.PLUS_MONOID[T.FP64], u)
+        assert s.extract_element() == 3.0
+
+    def test_reduce_scalar_binop_vector(self):
+        """GrB_reduce(GrB_Scalar, accum, BinaryOp, Vector, desc)"""
+        u = vec_from_dict({0: 1.0, 1: 2.0}, 3)
+        s = Scalar.new(T.FP64)
+        reduce(s, None, B.MAX[T.FP64], u)
+        assert s.extract_element() == 2.0
+
+    def test_reduce_scalar_monoid_matrix(self):
+        a = mat_from_dict({(0, 0): 1.0, (1, 1): 2.0}, 2, 2)
+        s = Scalar.new(T.FP64)
+        reduce(s, None, M.PLUS_MONOID[T.FP64], a)
+        assert s.extract_element() == 3.0
+
+    def test_reduce_scalar_binop_matrix(self):
+        a = mat_from_dict({(0, 0): 1.0, (1, 1): 2.0}, 2, 2)
+        s = Scalar.new(T.FP64)
+        reduce(s, None, B.MIN[T.FP64], a)
+        assert s.extract_element() == 1.0

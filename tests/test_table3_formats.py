@@ -1,0 +1,230 @@
+"""Experiment T3 conformance: every Table III format imports/exports
+faithfully, plus exportSize / exportHint / the three-call protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core import types as T
+from repro.core.errors import (
+    DimensionMismatchError,
+    InsufficientSpaceError,
+    InvalidValueError,
+    NoValue,
+)
+from repro.core.matrix import Matrix
+from repro.core.vector import Vector
+from repro.formats import (
+    Format,
+    matrix_export,
+    matrix_export_hint,
+    matrix_export_size,
+    matrix_import,
+    vector_export,
+    vector_export_hint,
+    vector_export_size,
+    vector_import,
+)
+
+from .helpers import mat_from_dict, mat_to_dict, vec_from_dict, vec_to_dict
+
+A_D = {(0, 0): 1.0, (0, 2): 2.0, (1, 1): 3.0, (2, 0): 4.0, (2, 3): 5.0}
+DENSE = np.array([
+    [1.0, 0.0, 2.0, 0.0],
+    [0.0, 3.0, 0.0, 0.0],
+    [4.0, 0.0, 0.0, 5.0],
+])
+
+
+class TestFormatEnum:
+    """§IX: GrB_Format values are explicitly specified."""
+
+    def test_explicit_values(self):
+        assert Format.CSR_MATRIX == 0
+        assert Format.CSC_MATRIX == 1
+        assert Format.COO_MATRIX == 2
+        assert Format.DENSE_ROW_MATRIX == 3
+        assert Format.DENSE_COL_MATRIX == 4
+        assert Format.SPARSE_VECTOR == 5
+        assert Format.DENSE_VECTOR == 6
+
+    def test_matrix_vector_partition(self):
+        from repro.formats import MATRIX_FORMATS, VECTOR_FORMATS
+        assert MATRIX_FORMATS | VECTOR_FORMATS == set(Format)
+        assert MATRIX_FORMATS & VECTOR_FORMATS == set()
+
+
+class TestMatrixImport:
+    def test_csr_import(self):
+        m = matrix_import(
+            T.FP64, 3, 4,
+            [0, 2, 3, 5], [0, 2, 1, 0, 3], [1.0, 2.0, 3.0, 4.0, 5.0],
+            Format.CSR_MATRIX,
+        )
+        assert mat_to_dict(m) == A_D
+
+    def test_csr_unsorted_rows_allowed(self):
+        """Table III: row elements need not be sorted by column index."""
+        m = matrix_import(
+            T.FP64, 3, 4,
+            [0, 2, 3, 5], [2, 0, 1, 3, 0], [2.0, 1.0, 3.0, 5.0, 4.0],
+            Format.CSR_MATRIX,
+        )
+        assert mat_to_dict(m) == A_D
+
+    def test_csc_import(self):
+        m = matrix_import(
+            T.FP64, 3, 4,
+            [0, 2, 3, 4, 5], [0, 2, 1, 0, 2], [1.0, 4.0, 3.0, 2.0, 5.0],
+            Format.CSC_MATRIX,
+        )
+        assert mat_to_dict(m) == A_D
+
+    def test_coo_import_table_iii_slots(self):
+        """Table III COO: indptr = column indices, indices = row indices."""
+        cols = [0, 2, 1, 0, 3]
+        rows = [0, 0, 1, 2, 2]
+        m = matrix_import(T.FP64, 3, 4, cols, rows,
+                          [1.0, 2.0, 3.0, 4.0, 5.0], Format.COO_MATRIX)
+        assert mat_to_dict(m) == A_D
+
+    def test_coo_any_order(self):
+        """Table III: COO elements need not be sorted in any order."""
+        m = matrix_import(T.FP64, 3, 4,
+                          [3, 0, 2, 1, 0],      # cols
+                          [2, 2, 0, 1, 0],      # rows
+                          [5.0, 4.0, 2.0, 3.0, 1.0], Format.COO_MATRIX)
+        assert mat_to_dict(m) == A_D
+
+    def test_dense_row_import(self):
+        m = matrix_import(T.FP64, 3, 4, None, None, DENSE.reshape(-1),
+                          Format.DENSE_ROW_MATRIX)
+        # Dense import stores every position, including zeros.
+        assert m.nvals() == 12
+        assert np.allclose(m.to_dense(), DENSE)
+
+    def test_dense_col_import(self):
+        m = matrix_import(T.FP64, 3, 4, None, None,
+                          DENSE.reshape(-1, order="F"),
+                          Format.DENSE_COL_MATRIX)
+        assert np.allclose(m.to_dense(), DENSE)
+
+    def test_import_validation(self):
+        with pytest.raises(DimensionMismatchError):
+            matrix_import(T.FP64, 3, 4, [0, 1], [0], [1.0], Format.CSR_MATRIX)
+        with pytest.raises(InvalidValueError):
+            matrix_import(T.FP64, 3, 4, [0, 1, 1, 1], [0], [1.0, 2.0],
+                          Format.CSR_MATRIX)
+        with pytest.raises(DimensionMismatchError):
+            matrix_import(T.FP64, 3, 4, None, None, [1.0], Format.DENSE_ROW_MATRIX)
+        with pytest.raises(InvalidValueError):
+            matrix_import(T.FP64, 3, 4, [0], [0], [1.0], Format.SPARSE_VECTOR)
+
+    def test_import_copies_arrays(self):
+        vals = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        m = matrix_import(T.FP64, 3, 4, [0, 2, 3, 5], [0, 2, 1, 0, 3],
+                          vals, Format.CSR_MATRIX)
+        vals[0] = 99.0
+        assert m.extract_element(0, 0) == 1.0
+
+
+class TestMatrixExport:
+    def test_export_size_per_format(self):
+        A = mat_from_dict(A_D, 3, 4)
+        assert matrix_export_size(A, Format.CSR_MATRIX) == (4, 5, 5)
+        assert matrix_export_size(A, Format.CSC_MATRIX) == (5, 5, 5)
+        assert matrix_export_size(A, Format.COO_MATRIX) == (5, 5, 5)
+        assert matrix_export_size(A, Format.DENSE_ROW_MATRIX) == (0, 0, 12)
+
+    @pytest.mark.parametrize("fmt", [
+        Format.CSR_MATRIX, Format.CSC_MATRIX, Format.COO_MATRIX,
+        Format.DENSE_ROW_MATRIX, Format.DENSE_COL_MATRIX,
+    ], ids=lambda f: f.name)
+    def test_roundtrip_every_matrix_format(self, fmt):
+        A = mat_from_dict(A_D, 3, 4)
+        ip, ind, vals = matrix_export(A, fmt)
+        back = matrix_import(T.FP64, 3, 4, ip, ind, vals, fmt)
+        assert np.allclose(back.to_dense(), A.to_dense())
+
+    def test_three_call_protocol_with_user_buffers(self):
+        """§VII-A: exportSize → user allocates → export fills."""
+        A = mat_from_dict(A_D, 3, 4)
+        sizes = matrix_export_size(A, Format.CSR_MATRIX)
+        ip = np.zeros(sizes[0], dtype=np.int64)
+        ind = np.zeros(sizes[1], dtype=np.int64)
+        vals = np.zeros(sizes[2], dtype=np.float64)
+        matrix_export(A, Format.CSR_MATRIX, ip, ind, vals)
+        assert ip.tolist() == [0, 2, 3, 5]
+        assert ind.tolist() == [0, 2, 1, 0, 3]
+
+    def test_undersized_buffer_is_insufficient_space(self):
+        A = mat_from_dict(A_D, 3, 4)
+        with pytest.raises(InsufficientSpaceError):
+            matrix_export(A, Format.CSR_MATRIX,
+                          np.zeros(1, dtype=np.int64), None, None)
+
+    def test_dense_export_unused_slots_none(self):
+        """Table III: dense formats leave indptr/indices unused (NULL)."""
+        A = mat_from_dict(A_D, 3, 4)
+        ip, ind, vals = matrix_export(A, Format.DENSE_ROW_MATRIX)
+        assert ip is None and ind is None
+        assert np.allclose(np.reshape(vals, (3, 4)), DENSE)
+
+    def test_export_hint_is_csr(self):
+        """Our storage is CSR, so the hint is CSR."""
+        A = mat_from_dict(A_D, 3, 4)
+        assert matrix_export_hint(A) == Format.CSR_MATRIX
+
+    def test_export_hint_refusal_is_no_value(self):
+        """§VII-A: an implementation may refuse with GrB_NO_VALUE."""
+        A = mat_from_dict(A_D, 3, 4)
+        with pytest.raises(NoValue):
+            matrix_export_hint(A, refuse=True)
+
+    def test_vector_format_rejected_for_matrix(self):
+        A = mat_from_dict(A_D, 3, 4)
+        with pytest.raises(InvalidValueError):
+            matrix_export(A, Format.DENSE_VECTOR)
+
+
+class TestVectorFormats:
+    U_D = {1: 10.0, 3: 30.0}
+
+    def test_sparse_vector_roundtrip(self):
+        u = vec_from_dict(self.U_D, 5)
+        idx, vals = vector_export(u, Format.SPARSE_VECTOR)
+        back = vector_import(T.FP64, 5, idx, vals, Format.SPARSE_VECTOR)
+        assert vec_to_dict(back) == self.U_D
+
+    def test_dense_vector_roundtrip(self):
+        u = vec_from_dict(self.U_D, 5)
+        idx, vals = vector_export(u, Format.DENSE_VECTOR)
+        assert idx is None
+        assert vals.tolist() == [0.0, 10.0, 0.0, 30.0, 0.0]
+        back = vector_import(T.FP64, 5, None, vals, Format.DENSE_VECTOR)
+        assert back.nvals() == 5      # dense import stores everything
+        assert back.extract_element(3) == 30.0
+
+    def test_vector_export_size(self):
+        u = vec_from_dict(self.U_D, 5)
+        assert vector_export_size(u, Format.SPARSE_VECTOR) == (2, 2)
+        assert vector_export_size(u, Format.DENSE_VECTOR) == (0, 5)
+
+    def test_vector_export_hint(self):
+        u = vec_from_dict(self.U_D, 5)
+        assert vector_export_hint(u) == Format.SPARSE_VECTOR
+        with pytest.raises(NoValue):
+            vector_export_hint(u, refuse=True)
+
+    def test_vector_import_validation(self):
+        with pytest.raises(InvalidValueError):
+            vector_import(T.FP64, 5, [0, 1], [1.0], Format.SPARSE_VECTOR)
+        with pytest.raises(DimensionMismatchError):
+            vector_import(T.FP64, 5, None, [1.0], Format.DENSE_VECTOR)
+        with pytest.raises(InvalidValueError):
+            vector_import(T.FP64, 5, [0], [1.0], Format.CSR_MATRIX)
+
+    def test_typed_imports(self):
+        m = matrix_import(T.INT32, 2, 2, [0, 1, 2], [0, 1], [1.7, 2.9],
+                          Format.CSR_MATRIX)
+        assert m.type is T.INT32
+        assert m.extract_element(0, 0) == 1

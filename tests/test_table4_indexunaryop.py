@@ -1,0 +1,178 @@
+"""Experiment T4 conformance: every predefined index-unary operator
+(Table IV) behaves as specified, on matrices and (where defined) vectors.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import indexunaryop as IU
+from repro.core import types as T
+from repro.core.errors import DomainMismatchError
+from repro.core.matrix import Matrix
+from repro.core.vector import Vector
+from repro.ops.apply import apply
+from repro.ops.select import select
+
+from .helpers import mat_from_dict, mat_to_dict, vec_from_dict, vec_to_dict
+
+# A 4x4 test pattern covering diagonal, both triangles, and value range.
+A_D = {
+    (0, 0): 5.0, (0, 2): 1.0, (0, 3): 8.0,
+    (1, 1): 2.0, (2, 0): 7.0, (2, 2): 3.0,
+    (3, 1): 6.0, (3, 3): 4.0,
+}
+
+
+def _mat():
+    return mat_from_dict(A_D, 4, 4)
+
+
+def _select_keys(op, s):
+    out = Matrix.new(T.FP64, 4, 4)
+    select(out, None, None, op, _mat(), s)
+    return set(mat_to_dict(out))
+
+
+class TestPositionalIndexOps:
+    """ROWINDEX / COLINDEX / DIAGINDEX 'replace with … plus s'."""
+
+    @pytest.mark.parametrize("t", [T.INT32, T.INT64], ids=lambda t: t.name)
+    def test_rowindex(self, t):
+        out = Matrix.new(t, 4, 4)
+        apply(out, None, None, IU.ROWINDEX[t], _mat(), 2)
+        assert mat_to_dict(out) == {k: k[0] + 2 for k in A_D}
+
+    def test_colindex(self):
+        out = Matrix.new(T.INT64, 4, 4)
+        apply(out, None, None, IU.COLINDEX[T.INT64], _mat(), 0)
+        assert mat_to_dict(out) == {k: k[1] for k in A_D}
+
+    def test_diagindex(self):
+        out = Matrix.new(T.INT64, 4, 4)
+        apply(out, None, None, IU.DIAGINDEX[T.INT64], _mat(), 0)
+        assert mat_to_dict(out) == {k: k[1] - k[0] for k in A_D}
+
+    def test_rowindex_on_vector(self):
+        u = vec_from_dict({1: 9.0, 3: 7.0}, 5)
+        out = Vector.new(T.INT64, 5)
+        apply(out, None, None, IU.ROWINDEX[T.INT64], u, 10)
+        assert vec_to_dict(out) == {1: 11, 3: 13}
+
+    def test_colindex_on_vector_rejected(self):
+        """Table IV: COLINDEX/DIAGINDEX access indices[1] — matrices only.
+        The paper calls vector use undefined; we define it as an error."""
+        u = vec_from_dict({0: 1.0}, 3)
+        out = Vector.new(T.INT64, 3)
+        with pytest.raises(DomainMismatchError):
+            apply(out, None, None, IU.COLINDEX[T.INT64], u, 0)
+        with pytest.raises(DomainMismatchError):
+            apply(out, None, None, IU.DIAGINDEX[T.INT64], u, 0)
+
+
+class TestPositionalSelectors:
+    def test_tril_zero(self):
+        assert _select_keys(IU.TRIL, 0) == {k for k in A_D if k[1] <= k[0]}
+
+    def test_tril_offsets(self):
+        assert _select_keys(IU.TRIL, -1) == {k for k in A_D if k[1] <= k[0] - 1}
+        assert _select_keys(IU.TRIL, 2) == {k for k in A_D if k[1] <= k[0] + 2}
+
+    def test_triu(self):
+        assert _select_keys(IU.TRIU, 0) == {k for k in A_D if k[1] >= k[0]}
+        assert _select_keys(IU.TRIU, 1) == {k for k in A_D if k[1] >= k[0] + 1}
+
+    def test_diag_and_offdiag_partition(self):
+        diag = _select_keys(IU.DIAG, 0)
+        off = _select_keys(IU.OFFDIAG, 0)
+        assert diag == {k for k in A_D if k[0] == k[1]}
+        assert diag | off == set(A_D) and diag & off == set()
+
+    def test_diag_offset(self):
+        assert _select_keys(IU.DIAG, 2) == {k for k in A_D if k[1] == k[0] + 2}
+
+    def test_row_col_band_selectors(self):
+        assert _select_keys(IU.ROWLE, 1) == {k for k in A_D if k[0] <= 1}
+        assert _select_keys(IU.ROWGT, 1) == {k for k in A_D if k[0] > 1}
+        assert _select_keys(IU.COLLE, 2) == {k for k in A_D if k[1] <= 2}
+        assert _select_keys(IU.COLGT, 2) == {k for k in A_D if k[1] > 2}
+
+    def test_rowle_rowgt_on_vectors(self):
+        u = vec_from_dict({0: 1.0, 2: 2.0, 4: 3.0}, 5)
+        out = Vector.new(T.FP64, 5)
+        select(out, None, None, IU.ROWLE, u, 2)
+        assert set(vec_to_dict(out)) == {0, 2}
+        out2 = Vector.new(T.FP64, 5)
+        select(out2, None, None, IU.ROWGT, u, 2)
+        assert set(vec_to_dict(out2)) == {4}
+
+    def test_tril_on_vector_rejected(self):
+        u = vec_from_dict({0: 1.0}, 3)
+        out = Vector.new(T.FP64, 3)
+        with pytest.raises(DomainMismatchError):
+            select(out, None, None, IU.TRIL, u, 0)
+
+
+class TestValueComparators:
+    @pytest.mark.parametrize(
+        "fam,pred",
+        [
+            (IU.VALUEEQ, lambda v, s: v == s),
+            (IU.VALUENE, lambda v, s: v != s),
+            (IU.VALUELT, lambda v, s: v < s),
+            (IU.VALUELE, lambda v, s: v <= s),
+            (IU.VALUEGT, lambda v, s: v > s),
+            (IU.VALUEGE, lambda v, s: v >= s),
+        ],
+        ids=["EQ", "NE", "LT", "LE", "GT", "GE"],
+    )
+    def test_value_selects(self, fam, pred):
+        s = 4.0
+        assert _select_keys(fam[T.FP64], s) == \
+            {k for k, v in A_D.items() if pred(v, s)}
+
+    def test_value_ops_work_on_vectors(self):
+        u = vec_from_dict({0: 1.0, 1: 5.0, 2: 3.0}, 3)
+        out = Vector.new(T.FP64, 3)
+        select(out, None, None, IU.VALUEGT[T.FP64], u, 2.0)
+        assert set(vec_to_dict(out)) == {1, 2}
+
+    def test_value_ops_typed_per_domain(self):
+        with pytest.raises(DomainMismatchError):
+            IU.VALUEEQ[T.Type.new("X")]
+        assert IU.VALUEGE[T.INT8].in_type is T.INT8
+
+
+class TestOperatorObjects:
+    def test_table_has_seventeen_families(self):
+        assert len(IU.PREDEFINED_INDEXUNARY) == 17
+
+    def test_names_match_spec(self):
+        assert IU.TRIL.name == "GrB_TRIL"
+        assert IU.ROWINDEX[T.INT32].name == "GrB_ROWINDEX_INT32"
+        assert IU.VALUEEQ[T.FP32].name == "GrB_VALUEEQ_FP32"
+
+    def test_selectors_return_bool(self):
+        for op in (IU.TRIL, IU.TRIU, IU.DIAG, IU.OFFDIAG, IU.ROWLE,
+                   IU.ROWGT, IU.COLLE, IU.COLGT):
+            assert op.out_type is T.BOOL
+            assert not op.uses_value
+
+    def test_index_ops_scalar_vs_vec_agree(self):
+        rows = np.array([0, 1, 2], dtype=np.int64)
+        cols = np.array([2, 1, 0], dtype=np.int64)
+        vals = np.array([1.0, 2.0, 3.0])
+        for op in (IU.TRIL, IU.TRIU, IU.DIAG, IU.OFFDIAG,
+                   IU.DIAGINDEX[T.INT64], IU.VALUEGT[T.FP64]):
+            vec_out = op.vec(vals, rows, cols, 0)
+            for k in range(3):
+                assert vec_out[k] == op.scalar(vals[k], rows[k], cols[k], 0), op.name
+
+    def test_udf_index_op(self):
+        op = IU.IndexUnaryOp.new(
+            lambda v, i, j, s: v * (i + j) + s, T.FP64, T.FP64, T.FP64,
+        )
+        out = Matrix.new(T.FP64, 4, 4)
+        apply(out, None, None, op, _mat(), 1.0)
+        assert mat_to_dict(out) == {
+            k: v * (k[0] + k[1]) + 1.0 for k, v in A_D.items()
+        }

@@ -1,0 +1,143 @@
+"""Type-system battery: predefined domains, promotion, UDTs, casts."""
+
+import numpy as np
+import pytest
+
+from repro.core import types as T
+from repro.core.errors import DomainMismatchError
+
+
+class TestPredefinedDomains:
+    def test_eleven_predefined_types(self):
+        assert len(T.PREDEFINED_TYPES) == 11
+
+    @pytest.mark.parametrize("t", T.PREDEFINED_TYPES, ids=lambda t: t.name)
+    def test_spec_name_prefix(self, t):
+        assert t.name.startswith("GrB_")
+        assert not t.is_udt
+
+    @pytest.mark.parametrize(
+        "t,dtype",
+        [
+            (T.BOOL, np.bool_), (T.INT8, np.int8), (T.INT16, np.int16),
+            (T.INT32, np.int32), (T.INT64, np.int64), (T.UINT8, np.uint8),
+            (T.UINT16, np.uint16), (T.UINT32, np.uint32),
+            (T.UINT64, np.uint64), (T.FP32, np.float32), (T.FP64, np.float64),
+        ],
+        ids=lambda x: getattr(x, "name", getattr(x, "__name__", str(x))),
+    )
+    def test_dtype_mapping(self, t, dtype):
+        assert t.np_dtype == np.dtype(dtype)
+        assert T.from_dtype(dtype) is t
+
+    def test_from_name(self):
+        assert T.from_name("GrB_FP64") is T.FP64
+        with pytest.raises(DomainMismatchError):
+            T.from_name("GrB_COMPLEX")
+
+    def test_sizes_match_c(self):
+        assert T.INT8.size == 1
+        assert T.INT64.size == 8
+        assert T.FP32.size == 4
+
+    def test_kind_predicates(self):
+        assert T.BOOL.is_bool and not T.BOOL.is_integer
+        assert T.UINT16.is_integer and not T.UINT16.is_float
+        assert T.FP32.is_float
+
+    def test_groupings_are_disjoint_and_complete(self):
+        assert set(T.NUMERIC_TYPES) | {T.BOOL} == set(T.PREDEFINED_TYPES)
+        assert set(T.SIGNED_INTEGER_TYPES) & set(T.UNSIGNED_INTEGER_TYPES) == set()
+
+
+class TestCoercion:
+    def test_coerce_scalar_casts(self):
+        assert T.INT32.coerce_scalar(3.9) == 3
+        assert isinstance(T.INT32.coerce_scalar(3.9), np.int32)
+        assert T.BOOL.coerce_scalar(2) is np.bool_(True)
+
+    def test_coerce_array_noop_when_same_dtype(self):
+        arr = np.array([1.0, 2.0])
+        assert T.FP64.coerce_array(arr) is arr
+
+    def test_coerce_array_casts(self):
+        out = T.INT8.coerce_array(np.array([1.5, 2.5]))
+        assert out.dtype == np.int8
+
+    def test_zeros_and_empty(self):
+        assert T.FP32.zeros(3).tolist() == [0.0, 0.0, 0.0]
+        assert len(T.INT64.empty(5)) == 5
+
+
+class TestPromotion:
+    def test_same_type_identity(self):
+        assert T.common_type(T.INT32, T.INT32) is T.INT32
+
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            (T.INT8, T.INT32, T.INT32),
+            (T.INT32, T.FP32, T.FP64),
+            (T.UINT8, T.INT8, T.INT16),
+            (T.BOOL, T.INT8, T.INT8),
+            (T.FP32, T.FP64, T.FP64),
+        ],
+    )
+    def test_c_style_promotion(self, a, b, expected):
+        assert T.common_type(a, b) == expected
+
+    def test_cast_allowed_between_builtins(self):
+        assert T.cast_allowed(T.FP64, T.INT8)
+        assert T.cast_allowed(T.BOOL, T.UINT64)
+
+
+class TestUserDefinedTypes:
+    def test_new_udt(self):
+        udt = T.Type.new("Complex128", size=16)
+        assert udt.is_udt
+        assert udt.np_dtype == np.dtype(object)
+        assert udt.size == 16
+
+    def test_udt_requires_name(self):
+        from repro.core.errors import NullPointerError
+        with pytest.raises(NullPointerError):
+            T.Type.new("")
+
+    def test_udt_identity_equality(self):
+        a = T.Type.new("A")
+        b = T.Type.new("A")
+        assert a == a
+        assert a != b  # UDTs compare by identity, not name
+
+    def test_udt_never_promotes(self):
+        udt = T.Type.new("Pair")
+        with pytest.raises(DomainMismatchError):
+            T.common_type(udt, T.FP64)
+        assert T.common_type(udt, udt) is udt
+        assert not T.cast_allowed(udt, T.FP64)
+
+    def test_udt_cast_hook(self):
+        udt = T.Type.new("Point", cast=lambda v: tuple(v))
+        assert udt.coerce_scalar([1, 2]) == (1, 2)
+
+    def test_udt_coerce_array_to_object(self):
+        udt = T.Type.new("Box")
+        out = udt.coerce_array(np.array([1, 2, 3]))
+        assert out.dtype == object
+
+
+class TestInference:
+    def test_pyvalue_inference(self):
+        assert T.type_from_pyvalue(True) is T.BOOL
+        assert T.type_from_pyvalue(7) is T.INT64
+        assert T.type_from_pyvalue(1.5) is T.FP64
+        assert T.type_from_pyvalue(np.float32(1)) is T.FP32
+
+    def test_pyvalue_inference_rejects_unknown(self):
+        with pytest.raises(DomainMismatchError):
+            T.type_from_pyvalue("nope")
+
+    def test_suffixes(self):
+        assert T.suffix_of(T.UINT32) == "UINT32"
+        with pytest.raises(DomainMismatchError):
+            T.suffix_of(T.Type.new("X"))

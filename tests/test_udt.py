@@ -1,0 +1,174 @@
+"""User-defined types end to end: containers, UDF operators, semirings.
+
+UDTs exercise the generic (per-element) kernel paths everywhere — the
+same code the §II motivation benchmark measures — so this battery
+doubles as a correctness check for the slow paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import types as T
+from repro.core.binaryop import BinaryOp
+from repro.core.errors import DomainMismatchError
+from repro.core.indexunaryop import IndexUnaryOp
+from repro.core.matrix import Matrix
+from repro.core.monoid import Monoid
+from repro.core.scalar import Scalar
+from repro.core.semiring import Semiring
+from repro.core.unaryop import UnaryOp
+from repro.core.vector import Vector
+from repro.ops.apply import apply
+from repro.ops.ewise import ewise_add, ewise_mult
+from repro.ops.mxm import mxm, mxv
+from repro.ops.reduce import reduce
+from repro.ops.select import select
+from repro.ops.transpose import transpose
+
+# A 2-D point domain with component-wise arithmetic.
+POINT = T.Type.new("Point2D", size=16, cast=lambda v: (float(v[0]), float(v[1])))
+
+P_ADD = BinaryOp.new(
+    lambda a, b: (a[0] + b[0], a[1] + b[1]), POINT, POINT, POINT, "p_add"
+)
+P_SCALE_SUM = BinaryOp.new(
+    lambda a, b: (a[0] * b[0] + a[1] * b[1]), T.FP64, POINT, POINT, "p_dot"
+)
+P_MONOID = Monoid.new(P_ADD, (0.0, 0.0))
+
+
+def _pvec(d, size=5):
+    v = Vector.new(POINT, size)
+    for i, p in d.items():
+        v.set_element(p, i)
+    v.wait()
+    return v
+
+
+def _pmat(d, nrows=3, ncols=3):
+    m = Matrix.new(POINT, nrows, ncols)
+    for (i, j), p in d.items():
+        m.set_element(p, i, j)
+    m.wait()
+    return m
+
+
+class TestUdtContainers:
+    def test_scalar_vector_matrix_hold_tuples(self):
+        s = Scalar.new(POINT)
+        s.set_element((1, 2))
+        assert s.extract_element() == (1.0, 2.0)
+        v = _pvec({0: (1, 1), 3: (2, 5)})
+        assert v.extract_element(3) == (2.0, 5.0)
+        m = _pmat({(0, 1): (3, 4)})
+        assert m.extract_element(0, 1) == (3.0, 4.0)
+
+    def test_build_with_udt_values(self):
+        m = Matrix.new(POINT, 2, 2)
+        vals = np.empty(2, dtype=object)
+        vals[0] = (1.0, 0.0)
+        vals[1] = (0.0, 1.0)
+        m.build([0, 1], [1, 0], vals)
+        assert m.extract_element(0, 1) == (1.0, 0.0)
+
+    def test_build_with_udf_dup(self):
+        m = Matrix.new(POINT, 2, 2)
+        vals = np.empty(3, dtype=object)
+        vals[:] = [(1.0, 1.0), (2.0, 2.0), (5.0, 0.0)]
+        m.build([0, 0, 1], [0, 0, 1], vals, dup=P_ADD)
+        assert m.extract_element(0, 0) == (3.0, 3.0)
+
+    def test_dup_and_serialize_restrictions(self):
+        from repro.core.errors import InvalidObjectError
+        from repro.formats import matrix_serialize
+        m = _pmat({(0, 0): (1, 2)})
+        with pytest.raises(InvalidObjectError):
+            matrix_serialize(m)
+
+    def test_no_implicit_cast_to_udt(self):
+        m = _pmat({(0, 0): (1, 2)})
+        out = Matrix.new(T.FP64, 3, 3)
+        with pytest.raises(DomainMismatchError):
+            # FP64 output of a POINT->POINT op: no cast exists
+            op = UnaryOp.new(lambda p: p, POINT, POINT)
+            apply(out, None, None, op, m)
+            out.wait()
+            T.common_type(POINT, T.FP64)
+
+
+class TestUdtOperators:
+    def test_unary_apply(self):
+        flip = UnaryOp.new(lambda p: (p[1], p[0]), POINT, POINT, "flip")
+        v = _pvec({1: (3, 4)})
+        out = Vector.new(POINT, 5)
+        apply(out, None, None, flip, v)
+        assert out.extract_element(1) == (4.0, 3.0)
+
+    def test_unary_apply_udt_to_builtin(self):
+        norm2 = UnaryOp.new(lambda p: p[0] ** 2 + p[1] ** 2, T.FP64, POINT)
+        v = _pvec({2: (3, 4)})
+        out = Vector.new(T.FP64, 5)
+        apply(out, None, None, norm2, v)
+        assert out.extract_element(2) == 25.0
+
+    def test_ewise_add_with_udt_op(self):
+        u = _pvec({0: (1, 2), 1: (5, 5)})
+        v = _pvec({1: (1, 1), 3: (7, 0)})
+        w = Vector.new(POINT, 5)
+        ewise_add(w, None, None, P_ADD, u, v)
+        assert w.to_dict() == {
+            0: (1.0, 2.0), 1: (6.0, 6.0), 3: (7.0, 0.0)
+        }
+
+    def test_index_unary_select_on_udt(self):
+        in_box = IndexUnaryOp.new(
+            lambda p, i, j, s: abs(p[0]) <= s and abs(p[1]) <= s,
+            T.BOOL, POINT, T.FP64,
+        )
+        m = _pmat({(0, 0): (1, 1), (1, 2): (9, 0), (2, 2): (0.5, -0.5)})
+        out = Matrix.new(POINT, 3, 3)
+        select(out, None, None, in_box, m, 1.0)
+        assert set(out.to_dict()) == {(0, 0), (2, 2)}
+
+    def test_udt_monoid_reduce_to_scalar(self):
+        v = _pvec({0: (1, 2), 4: (3, 4)})
+        s = Scalar.new(POINT)
+        reduce(s, None, P_MONOID, v)
+        assert s.extract_element() == (4.0, 6.0)
+
+    def test_transpose_preserves_udt(self):
+        m = _pmat({(0, 2): (1, 2)})
+        out = Matrix.new(POINT, 3, 3)
+        transpose(out, None, None, m)
+        assert out.extract_element(2, 0) == (1.0, 2.0)
+
+
+class TestUdtSemiring:
+    def test_point_dot_semiring_mxv(self):
+        """⊕ = FP64 plus, ⊗ = point dot-product: POINT x POINT -> FP64."""
+        from repro.core.binaryop import PLUS
+        from repro.core.monoid import PLUS_MONOID
+        sr = Semiring.new(PLUS_MONOID[T.FP64], P_SCALE_SUM, "dot")
+        m = _pmat({(0, 0): (1, 0), (0, 1): (0, 2)}, 2, 2)
+        u = Vector.new(POINT, 2)
+        u.set_element((5, 5), 0)
+        u.set_element((3, 3), 1)
+        w = Vector.new(T.FP64, 2)
+        mxv(w, None, None, sr, m, u)
+        # (1,0)·(5,5) + (0,2)·(3,3) = 5 + 6 = 11
+        assert w.extract_element(0) == 11.0
+
+    def test_udt_mxm(self):
+        from repro.core.monoid import PLUS_MONOID
+        sr = Semiring.new(PLUS_MONOID[T.FP64], P_SCALE_SUM, "dot")
+        a = _pmat({(0, 0): (1, 2)}, 2, 2)
+        b = _pmat({(0, 1): (3, 4)}, 2, 2)
+        c = Matrix.new(T.FP64, 2, 2)
+        mxm(c, None, None, sr, a, b)
+        assert c.to_dict() == {(0, 1): 11.0}
+
+    def test_mismatched_udt_semiring_rejected(self):
+        other = T.Type.new("Other")
+        op = BinaryOp.new(lambda a, b: a, other, other, other)
+        with pytest.raises(DomainMismatchError):
+            Monoid.new(BinaryOp.new(lambda a, b: a, other, POINT, POINT), None)

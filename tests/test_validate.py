@@ -1,0 +1,93 @@
+"""describe/check_object introspection utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core import types as T
+from repro.core.context import Context, Mode, default_context
+from repro.core.descriptor import DESC_RSC
+from repro.core.errors import InvalidObjectError
+from repro.core.matrix import Matrix
+from repro.core.scalar import Scalar
+from repro.core.vector import Vector
+from repro.internals.containers import MatData, VecData
+from repro.validate import check_object, describe
+
+from .helpers import mat_from_dict, vec_from_dict
+
+
+class TestDescribe:
+    def test_matrix_description(self):
+        m = mat_from_dict({(0, 1): 2.5}, 2, 3)
+        text = describe(m)
+        assert "GrB_Matrix" in text
+        assert "GrB_FP64" in text and "2 x 3" in text
+        assert "(0, 1): 2.5" in text
+
+    def test_vector_and_scalar(self):
+        v = vec_from_dict({1: 7.0}, 4)
+        assert "size 4" in describe(v)
+        s = Scalar.new(T.INT32)
+        s.set_element(9)
+        s.wait()
+        assert "value: " in describe(s)
+
+    def test_pending_not_forced_by_default(self):
+        ctx = Context.new(Mode.NONBLOCKING, None, None)
+        m = Matrix.new(T.FP64, 2, 2, ctx)
+        m.set_element(1.0, 0, 0)
+        text = describe(m)
+        assert "pending" in text
+        assert not m.is_materialized       # describing did not force
+        forced = describe(m, force=True)
+        assert "entries" in forced
+
+    def test_error_state_shown(self):
+        m = Matrix.new(T.FP64, 2, 2)
+        m.build([0, 0], [0, 0], [1.0, 2.0], dup=None)
+        try:
+            m.wait()
+        except Exception:
+            pass
+        assert "last error" in describe(m)
+
+    def test_descriptor_and_context(self):
+        assert "GrB_Descriptor" in describe(DESC_RSC)
+        text = describe(default_context())
+        assert "GrB_Context" in text and "nthreads" in text
+
+    def test_long_entry_list_truncated(self):
+        m = mat_from_dict({(0, j): float(j) for j in range(20)}, 1, 20)
+        assert "(+12)" in describe(m)
+
+
+class TestCheckObject:
+    def test_valid_objects_pass(self):
+        check_object(mat_from_dict({(0, 0): 1.0}, 2, 2))
+        check_object(vec_from_dict({0: 1.0}, 2))
+        s = Scalar.new(T.FP64)
+        check_object(s)
+
+    def test_corrupt_matrix_detected(self):
+        m = mat_from_dict({(0, 0): 1.0, (1, 1): 2.0}, 2, 2)
+        good = m._capture()
+        # Forge an indptr that disagrees with the entry count.
+        bad = MatData(2, 2, good.type,
+                      np.array([0, 1, 1], dtype=np.int64),
+                      good.col_indices, good.values)
+        m._data = bad
+        with pytest.raises(InvalidObjectError):
+            check_object(m)
+
+    def test_corrupt_vector_detected(self):
+        v = vec_from_dict({0: 1.0, 1: 2.0}, 4)
+        good = v._capture()
+        bad = VecData(4, good.type,
+                      np.array([3, 1], dtype=np.int64), good.values)
+        v._data = bad
+        with pytest.raises(InvalidObjectError):
+            check_object(v)
+
+    def test_unknown_object_rejected(self):
+        with pytest.raises(InvalidObjectError):
+            check_object("not a graphblas object")

@@ -1,0 +1,196 @@
+"""Vector object battery: constructors, element access, build rules."""
+
+import numpy as np
+import pytest
+
+from repro.core import binaryop as B
+from repro.core import types as T
+from repro.core.errors import (
+    DuplicateIndexError,
+    IndexOutOfBoundsError,
+    InvalidIndexError,
+    InvalidValueError,
+    NoValue,
+    OutputNotEmptyError,
+    UninitializedObjectError,
+)
+from repro.core.scalar import Scalar
+from repro.core.vector import Vector
+
+
+class TestConstruction:
+    def test_new(self):
+        v = Vector.new(T.FP64, 10)
+        assert v.size == 10 and v.nvals() == 0 and v.type is T.FP64
+
+    def test_new_zero_size_allowed(self):
+        assert Vector.new(T.FP64, 0).size == 0
+
+    def test_new_negative_size_rejected(self):
+        with pytest.raises(InvalidValueError):
+            Vector.new(T.FP64, -1)
+
+    def test_dup_is_independent(self):
+        v = Vector.new(T.INT64, 5)
+        v.set_element(7, 2)
+        w = v.dup()
+        w.set_element(9, 2)
+        assert v.extract_element(2) == 7
+        assert w.extract_element(2) == 9
+
+
+class TestBuild:
+    def test_build_sorted_output(self):
+        v = Vector.new(T.FP64, 10)
+        v.build([5, 1, 7], [50.0, 10.0, 70.0])
+        idx, vals = v.extract_tuples()
+        assert idx.tolist() == [1, 5, 7]
+        assert vals.tolist() == [10.0, 50.0, 70.0]
+
+    def test_build_with_dup_folds_in_input_order(self):
+        v = Vector.new(T.INT64, 4)
+        # dup MINUS is order-sensitive: ((10 - 3) - 2) = 5
+        v.build([1, 1, 1], [10, 3, 2], dup=B.MINUS[T.INT64])
+        assert v.extract_element(1) == 5
+
+    def test_build_null_dup_duplicates_error(self):
+        """§IX: dup=GrB_NULL makes duplicates an execution error."""
+        v = Vector.new(T.FP64, 4)
+        v.build([0, 0], [1.0, 2.0], dup=None)
+        with pytest.raises(DuplicateIndexError):
+            v.wait()
+
+    def test_build_on_nonempty_is_output_not_empty(self):
+        v = Vector.new(T.FP64, 4)
+        v.set_element(1.0, 0)
+        with pytest.raises(OutputNotEmptyError):
+            v.build([1], [2.0])
+
+    def test_build_out_of_bounds_is_execution_error(self):
+        v = Vector.new(T.FP64, 4)
+        v.build([9], [1.0])
+        with pytest.raises(IndexOutOfBoundsError):
+            v.wait()
+
+    def test_build_length_mismatch(self):
+        v = Vector.new(T.FP64, 4)
+        with pytest.raises(InvalidValueError):
+            v.build([1, 2], [1.0])
+
+    def test_build_after_clear_is_allowed(self):
+        v = Vector.new(T.FP64, 4)
+        v.build([1], [1.0])
+        v.clear()
+        v.build([2], [2.0])
+        assert v.to_dict() == {2: 2.0}
+
+
+class TestElementAccess:
+    def test_set_get_roundtrip(self):
+        v = Vector.new(T.INT32, 8)
+        v.set_element(5, 3)
+        assert v.extract_element(3) == 5
+
+    def test_set_overwrites(self):
+        v = Vector.new(T.INT32, 8)
+        v.set_element(5, 3)
+        v.set_element(6, 3)
+        assert v.extract_element(3) == 6
+        assert v.nvals() == 1
+
+    def test_set_keeps_sorted_invariant(self):
+        v = Vector.new(T.INT32, 8)
+        for i in (5, 1, 7, 3):
+            v.set_element(i, i)
+        idx, _ = v.extract_tuples()
+        assert idx.tolist() == [1, 3, 5, 7]
+
+    def test_set_element_grb_scalar(self):
+        s = Scalar.new(T.INT32)
+        s.set_element(11)
+        v = Vector.new(T.INT32, 4)
+        v.set_element(s, 0)
+        assert v.extract_element(0) == 11
+
+    def test_set_element_empty_scalar_removes(self):
+        v = Vector.new(T.INT32, 4)
+        v.set_element(1, 0)
+        v.set_element(Scalar.new(T.INT32), 0)
+        assert v.nvals() == 0
+
+    def test_extract_missing_is_no_value(self):
+        v = Vector.new(T.FP64, 4)
+        with pytest.raises(NoValue):
+            v.extract_element(2)
+
+    def test_extract_into_grb_scalar_variant(self):
+        """Table II: extractElement(GrB_Scalar, Vector, Index) — a missing
+        element yields an empty scalar, not an error (§VI)."""
+        v = Vector.new(T.FP64, 4)
+        v.set_element(2.5, 1)
+        out = Scalar.new(T.FP64)
+        v.extract_element(1, out)
+        assert out.extract_element() == 2.5
+        v.extract_element(2, out)
+        assert out.nvals() == 0
+
+    def test_index_bounds_are_api_errors(self):
+        v = Vector.new(T.FP64, 4)
+        with pytest.raises(InvalidIndexError):
+            v.set_element(1.0, 4)
+        with pytest.raises(InvalidIndexError):
+            v.extract_element(-1)
+        with pytest.raises(InvalidIndexError):
+            v.remove_element(99)
+
+    def test_remove_element(self):
+        v = Vector.new(T.FP64, 4)
+        v.set_element(1.0, 1)
+        v.set_element(2.0, 2)
+        v.remove_element(1)
+        assert v.to_dict() == {2: 2.0}
+
+    def test_remove_missing_is_noop(self):
+        v = Vector.new(T.FP64, 4)
+        v.set_element(1.0, 1)
+        v.remove_element(2)
+        assert v.nvals() == 1
+
+
+class TestShapeOps:
+    def test_clear_preserves_size_and_type(self):
+        v = Vector.new(T.INT16, 6)
+        v.set_element(1, 0)
+        v.clear()
+        assert v.size == 6 and v.nvals() == 0 and v.type is T.INT16
+
+    def test_resize_grow_keeps_elements(self):
+        v = Vector.new(T.FP64, 4)
+        v.set_element(1.0, 3)
+        v.resize(10)
+        assert v.size == 10
+        assert v.extract_element(3) == 1.0
+
+    def test_resize_shrink_drops_out_of_range(self):
+        v = Vector.new(T.FP64, 10)
+        v.set_element(1.0, 2)
+        v.set_element(2.0, 8)
+        v.resize(5)
+        assert v.to_dict() == {2: 1.0}
+
+    def test_free(self):
+        v = Vector.new(T.FP64, 4)
+        v.free()
+        with pytest.raises(UninitializedObjectError):
+            v.nvals()
+
+    def test_extract_tuples_returns_copies(self):
+        v = Vector.new(T.FP64, 4)
+        v.set_element(1.0, 1)
+        idx, vals = v.extract_tuples()
+        idx[0] = 99
+        vals[0] = 99.0
+        assert v.extract_element(1) == 1.0
+
+    def test_len_is_size(self):
+        assert len(Vector.new(T.FP64, 7)) == 7
