@@ -132,8 +132,6 @@ def test_motivation_report(benchmark, capsys):
             best = min(best, time.perf_counter() - t0)
         return best * 1e3
 
-    import numpy as np
-
     sel_rows, app_rows = [], []
     for scale in SCALES:
         g = rmat_graph(scale)

@@ -11,7 +11,6 @@ reproduction target, not the authors' absolute numbers.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core import types as T

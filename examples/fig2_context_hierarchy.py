@@ -17,7 +17,6 @@ Run:  python examples/fig2_context_hierarchy.py
 
 import time
 
-import numpy as np
 
 from repro import grb
 from repro.capi import (

@@ -16,7 +16,6 @@ from its C form.
 Run:  python examples/fig3_select_apply.py
 """
 
-import numpy as np
 
 from repro.capi import (
     GrB_BOOL,

@@ -57,8 +57,6 @@ def pagerank(
         # w = r / deg on vertices with outgoing edges
         w = Vector.new(_t.FP64, n, ctx)
         ewise_mult(w, None, None, DIV[_t.FP64], r, deg)
-        # sink mass: rank held by vertices with no outgoing edges
-        total_w = reduce_scalar(PLUS_MONOID[_t.FP64], w)
         # rank actually propagated = sum over non-sink of r; sinks keep r
         propagated = Vector.new(_t.FP64, n, ctx)
         vxm(propagated, None, None, PLUS_TIMES_SEMIRING[_t.FP64], w, pat)
@@ -72,9 +70,8 @@ def pagerank(
 
         r_new = Vector.new(_t.FP64, n, ctx)
         assign(r_new, None, None, base, None)
-        from ..core.binaryop import PLUS as _PLUS
         apply(propagated, None, None, TIMES[_t.FP64], propagated, damping)
-        ewise_add(r_new, None, None, _PLUS[_t.FP64], r_new, propagated)
+        ewise_add(r_new, None, None, PLUS[_t.FP64], r_new, propagated)
 
         delta = _l1_delta(r, r_new)
         r = r_new

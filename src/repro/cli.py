@@ -8,6 +8,10 @@ and poking at data files without writing a script:
 * ``demo NAME``   — run a built-in algorithm demo on a generated graph
   (``bfs``, ``triangles``, ``pagerank``, ``sssp``, ``components``).
 * ``selftest``    — a fast end-to-end exercise of every subsystem.
+
+``--engine-stats`` (global flag) dumps the lazy-engine counters — nodes
+built/forced/fused, elisions, per-kernel wall time — after the command
+runs, answering "did nonblocking mode actually optimize anything?".
 """
 
 from __future__ import annotations
@@ -26,6 +30,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
         description="Pure-Python GraphBLAS 2.0 (IPDPSW 2021 reproduction)",
+    )
+    p.add_argument(
+        "--engine-stats", action="store_true",
+        help="dump lazy-engine counters and kernel timings after the command",
     )
     sub = p.add_subparsers(dest="command", required=True)
 
@@ -187,5 +195,9 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             return _cmd_selftest(out)
         return 2  # pragma: no cover - argparse enforces choices
     finally:
+        if args.engine_stats:
+            from repro.engine.stats import STATS
+
+            out.write(STATS.format() + "\n")
         if owned and is_initialized():
             finalize()

@@ -172,6 +172,19 @@ class Context:
             ctx = ctx.parent
         return False
 
+    # -- engine introspection -------------------------------------------------
+
+    def engine_stats(self) -> dict[str, Any]:
+        """Snapshot of the lazy-engine counters and per-kernel timings.
+
+        The engine keeps process-wide statistics (nodes built/forced,
+        fusions, elisions, deferred completes, ...); contexts expose them
+        so tools need not import the engine package directly.
+        """
+        from ..engine.stats import STATS
+
+        return STATS.snapshot()
+
     # -- teardown ------------------------------------------------------------
 
     def free(self) -> None:

@@ -165,7 +165,7 @@ class Matrix(OpaqueObject):
             vals = insert_value(d.values, pos, coerced, t)
             return MatData(d.nrows, d.ncols, t, indptr, cols, vals)
 
-        self._submit(thunk, "Matrix_setElement")
+        self._submit(thunk, "Matrix_setElement", can_raise=False)
 
     def remove_element(self, row: int, col: int) -> None:
         """``GrB_Matrix_removeElement``."""
@@ -185,7 +185,7 @@ class Matrix(OpaqueObject):
                 )
             return d
 
-        self._submit(thunk, "Matrix_removeElement")
+        self._submit(thunk, "Matrix_removeElement", can_raise=False)
 
     def extract_element(self, row: int, col: int, out: Scalar | None = None):
         """``GrB_Matrix_extractElement`` — typed or ``GrB_Scalar`` variant.
@@ -215,7 +215,8 @@ class Matrix(OpaqueObject):
     def clear(self) -> None:
         """``GrB_Matrix_clear``."""
         nrows, ncols, t = self._nrows, self._ncols, self._type
-        self._submit(lambda _d: empty_mat(nrows, ncols, t), "Matrix_clear")
+        self._submit(lambda _d: empty_mat(nrows, ncols, t), "Matrix_clear",
+                     can_raise=False)
 
     def resize(self, nrows: int, ncols: int) -> None:
         """``GrB_Matrix_resize`` — shrink drops out-of-range elements."""
@@ -234,7 +235,7 @@ class Matrix(OpaqueObject):
                 presorted=True,
             )
 
-        self._submit(thunk, "Matrix_resize")
+        self._submit(thunk, "Matrix_resize", can_raise=False)
         self._nrows = nrows
         self._ncols = ncols
 
@@ -261,7 +262,8 @@ class Matrix(OpaqueObject):
         with self._lock:
             if not self._valid:
                 return "Matrix(<freed>)"
-            state = "<pending>" if self._pending else f"nvals={self._data.nvals}"
+            state = ("<pending>" if self._tail is not None
+                     else f"nvals={self._data.nvals}")
             return (
                 f"Matrix({self._type.name}, "
                 f"shape=({self._nrows}, {self._ncols}), {state})"

@@ -67,6 +67,7 @@ class Scalar(OpaqueObject):
         self._submit(
             lambda _d, _t=self._type: _ScalarData(_t, False, None),
             "Scalar_clear",
+            can_raise=False,
         )
 
     def nvals(self) -> int:
@@ -89,6 +90,7 @@ class Scalar(OpaqueObject):
         self._submit(
             lambda _d, _t=self._type, _v=coerced: _ScalarData(_t, True, _v),
             "Scalar_setElement",
+            can_raise=False,
         )
 
     def extract_element(self) -> Any:
@@ -127,18 +129,20 @@ class Scalar(OpaqueObject):
         """Enqueue 'set to value or empty' (reduce-to-scalar outputs)."""
         t = self._type
         if value is None:
-            self._submit(lambda _d: _ScalarData(t, False, None), "reduce(empty)")
+            self._submit(lambda _d: _ScalarData(t, False, None), "reduce(empty)",
+                         can_raise=False)
         else:
             coerced = t.coerce_scalar(value)
             self._submit(
-                lambda _d: _ScalarData(t, True, coerced), "reduce"
+                lambda _d: _ScalarData(t, True, coerced), "reduce",
+                can_raise=False,
             )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         with self._lock:
             if not self._valid:
                 return "Scalar(<freed>)"
-            if self._pending:
+            if self._tail is not None:
                 return f"Scalar({self._type.name}, <pending>)"
             d = self._data
             body = repr(d.value) if d.present else "<empty>"

@@ -2,41 +2,57 @@
 
 The paper defines the *sequence* of a GraphBLAS object as the ordered
 collection of method calls that define it at a point in the program.  In
-nonblocking mode an implementation may defer or reorder that sequence;
-the object's state is then ambiguous until it is **complete**.
+nonblocking mode an implementation may defer, reorder, and optimize that
+sequence; the object's state is then ambiguous until it is **complete**.
 
 Our execution model:
 
 * In ``BLOCKING`` mode every operation executes at the call.
-* In ``NONBLOCKING`` mode an operation *captures* its inputs (cheap —
-  carriers are immutable once published) and enqueues a thunk on the
-  output object's sequence.  The sequence is forced, in order, by:
+* In ``NONBLOCKING`` mode a method call becomes a node in the
+  expression DAG of :mod:`repro.engine`: the object's ``_tail`` points
+  at the node for its latest state, each node's ``prev`` edge is the
+  per-object sequence order, and inputs are captured as :class:`Source`
+  references (cheap — a materialized carrier is immutable, a pending
+  input is captured as a reference to its producing *node*, which is
+  itself a snapshot: later mutations of the input append new nodes and
+  never change the captured one).  The subgraph reachable from a tail
+  is forced — fused and scheduled by the engine — by:
 
   - ``wait(COMPLETE)`` / ``wait(MATERIALIZE)`` (``GrB_wait``),
   - any value-reading method (``nvals``, ``extractElement``, export…),
-  - use of the object as an *input* to another operation.
+  - use of the object as an *input* to another operation *in blocking
+    mode* (nonblocking consumers just add a data edge).
 
 * Execution errors raised while forcing are recorded on the object
   (retrievable thread-safely via :func:`error_string`, the analogue of
-  ``GrB_error``) and re-raised at the forcing call.  API errors are
-  never deferred: the operations layer validates arguments before
-  enqueueing anything.
+  ``GrB_error``) and re-raised at the forcing call; the failing
+  object's remaining sequence is dropped and it keeps its pre-failure
+  state.  API errors are never deferred: the operations layer validates
+  arguments before building any node.
 
-Thread safety (§III): every opaque object owns an ``RLock``; sequence
-mutation and forcing happen under it.  Independent method calls from
-different threads therefore serialize per object, giving the
-"sequential execution in some interleaved order" guarantee.  The
-cross-thread hand-off of a *shared* object additionally needs
-``wait()`` plus a host-language synchronized-with edge, exactly as the
-paper's Figure 1 program demonstrates (reproduced in
-``examples/fig1_two_thread_pipeline.py``).
+* ``wait(COMPLETE)`` is allowed to leave the sequence deferred when no
+  pending ancestor can raise an execution error (§V only requires that
+  errors from the sequence have been surfaced); ``wait(MATERIALIZE)``
+  always forces and marks the object materialized.
+
+Thread safety (§III): every opaque object owns an ``RLock`` guarding
+its tail/error/lifecycle fields; the engine serializes forcings behind
+a process-wide execution lock (kernels inside one forcing still run
+concurrently).  Independent method calls from different threads
+therefore serialize, giving the "sequential execution in some
+interleaved order" guarantee.  The cross-thread hand-off of a *shared*
+object additionally needs ``wait()`` plus a host-language
+synchronized-with edge, exactly as the paper's Figure 1 program
+demonstrates (reproduced in ``examples/fig1_two_thread_pipeline.py``).
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
+from ..engine.dag import DONE, FAILED, Node, Source
+from ..engine.stats import STATS
 from .context import Context, Mode, WaitMode, default_context
 from .errors import (
     ExecutionError,
@@ -48,27 +64,17 @@ from .errors import (
 __all__ = ["OpaqueObject", "error_string", "wait"]
 
 
-class _Pending:
-    """One deferred method invocation in an object's sequence."""
-
-    __slots__ = ("thunk", "label")
-
-    def __init__(self, thunk: Callable[[Any], Any], label: str):
-        self.thunk = thunk
-        self.label = label
-
-
 class OpaqueObject:
     """Base for Scalar / Vector / Matrix: sequence + error state + lock."""
 
     __slots__ = (
-        "_lock", "_pending", "_err", "_ctx",
+        "_lock", "_tail", "_err", "_ctx",
         "_data", "_valid", "_materialized",
     )
 
     def __init__(self, ctx: Context | None):
         self._lock = threading.RLock()
-        self._pending: list[_Pending] = []
+        self._tail: Node | None = None
         self._err: str = ""
         self._ctx = ctx if ctx is not None else default_context()
         self._ctx.check_valid()
@@ -99,28 +105,122 @@ class OpaqueObject:
 
     # -- sequence machinery ---------------------------------------------------
 
-    def _submit(self, thunk: Callable[[Any], Any], label: str) -> None:
-        """Run now (blocking mode) or append to the sequence (nonblocking).
+    def _prev_source(self) -> Source:
+        """Sequence edge to this object's current state (lock held)."""
+        if self._tail is not None:
+            return Source.of_node(self._tail)
+        return Source.of_data(self._data)
+
+    def _as_source(self) -> Source:
+        """Capture this object as an *input* of a deferred operation.
+
+        A snapshot by construction: a pending object is captured as its
+        current tail node, a materialized one as its immutable carrier.
+        """
+        with self._lock:
+            self._check_valid()
+            return self._prev_source()
+
+    def _submit(
+        self,
+        thunk: Callable[[Any], Any],
+        label: str,
+        *,
+        can_raise: bool = True,
+        inputs: Sequence[Source] = (),
+    ) -> None:
+        """Run now (blocking mode) or append a DAG node (nonblocking).
 
         ``thunk(current_data) -> new_data``.  All argument validation
-        must happen *before* ``_submit`` — API errors are never deferred.
+        must happen *before* ``_submit`` — API errors are never
+        deferred.  ``can_raise=False`` marks methods that cannot raise
+        an execution error (element writes, clear, resize…), which lets
+        ``wait(COMPLETE)`` leave them legally deferred.  ``inputs`` are
+        engine sources the thunk resolves internally (the scheduler
+        settles them first).
         """
         with self._lock:
             self._check_valid()
             if self._mode == Mode.BLOCKING:
-                self._run_one(_Pending(thunk, label))
-            else:
-                self._pending.append(_Pending(thunk, label))
-                self._materialized = False
+                self._data = self._run_now(label, lambda: thunk(self._data))
+                return
+            self._tail = Node(
+                kind="method",
+                label=label,
+                owner=self,
+                prev=self._prev_source(),
+                inputs=inputs,
+                thunk=thunk,
+                complete_safe=not can_raise,
+            )
+            self._materialized = False
 
-    def _run_one(self, op: _Pending) -> None:
+    def _submit_op(
+        self,
+        *,
+        kind: str,
+        label: str,
+        inputs: Sequence[Source] = (),
+        compute: Callable[[list], Any] | None = None,
+        writeback: Callable[[Any, Any], Any] | None = None,
+        stages: list | None = None,
+        pipe_input: int = 0,
+        out_type: Any = None,
+        pure: bool = False,
+        complete_safe: bool = False,
+    ) -> None:
+        """Submit an operations-layer method (the fusable node shape).
+
+        ``compute(datas) -> T`` produces the unmasked result from the
+        resolved input carriers (or ``stages`` describe a fusable
+        pipeline over ``inputs[pipe_input]``); ``writeback(prev, T)``
+        applies mask/accumulator/replace against the previous state.
+        ``pure`` asserts the write-back ignores ``prev`` entirely (no
+        mask, no complement, no accumulator) — the property fusion needs.
+        """
+        if self._mode == Mode.BLOCKING:
+            # Inputs are concrete in blocking mode (captures force).
+            def _run():
+                if stages is not None:
+                    from ..internals.applyselect import run_stages
+
+                    t = run_stages(inputs[pipe_input].resolve(), stages)
+                else:
+                    t = compute([s.resolve() for s in inputs])
+                prev = None if pure else self._data
+                return writeback(prev, t)
+
+            with self._lock:
+                self._check_valid()
+                self._data = self._run_now(label, _run)
+            return
+        with self._lock:
+            self._check_valid()
+            self._tail = Node(
+                kind=kind,
+                label=label,
+                owner=self,
+                prev=self._prev_source(),
+                inputs=inputs,
+                compute=compute,
+                writeback=writeback,
+                stages=stages,
+                pipe_input=pipe_input,
+                out_type=out_type,
+                pure=pure,
+                complete_safe=complete_safe,
+            )
+            self._materialized = False
+
+    def _run_now(self, label: str, fn: Callable[[], Any]) -> Any:
+        """Blocking-mode execution with the §V error wrapping."""
         try:
-            self._data = op.thunk(self._data)
+            return fn()
         except ExecutionError as exc:
             # §V: the OUT/INOUT argument's state is undefined after an
             # execution error; we keep the previous data and record the
             # error for GrB_error.
-            self._err = f"{op.label}: {exc.message}"
+            self._err = f"{label}: {exc.message}"
             raise
         except GraphBLASError:
             raise
@@ -131,7 +231,7 @@ class OpaqueObject:
             # error — deferred in nonblocking mode, recorded on the
             # object for GrB_error.
             message = (
-                f"{op.label}: user-defined function raised "
+                f"{label}: user-defined function raised "
                 f"{type(exc).__name__}: {exc}"
             )
             self._err = message
@@ -147,43 +247,77 @@ class OpaqueObject:
         """
         with self._lock:
             self._check_valid()
-            while self._pending:
-                op = self._pending.pop(0)
-                try:
-                    self._run_one(op)
-                except (ExecutionError, GraphBLASError):
-                    self._pending.clear()
-                    raise
+            tail = self._tail
+        if tail is None:
             return self._data
+        from ..engine import scheduler
+
+        try:
+            result = scheduler.force(tail)
+        except (ExecutionError, GraphBLASError):
+            with self._lock:
+                if self._tail is tail:
+                    # Drop the rest of the sequence; keep the
+                    # pre-failure carrier the engine recorded.
+                    self._data = tail.result
+                    self._tail = None
+            raise
+        with self._lock:
+            if self._tail is tail:
+                self._data = result
+                self._tail = None
+            return result
 
     def _capture(self) -> Any:
-        """Force and snapshot the carrier (inputs of other operations)."""
+        """Force and snapshot the carrier (eager readers, exports)."""
         return self._force()
+
+    def _sequence_labels(self) -> list[str]:
+        """Labels of still-deferred methods, oldest first (diagnostics)."""
+        with self._lock:
+            labels: list[str] = []
+            node = self._tail
+            while node is not None and node.state not in (DONE, FAILED):
+                labels.append(node.label)
+                node = node.prev.node
+            labels.reverse()
+            return labels
 
     # -- the 2.0 wait / error surface -----------------------------------------
 
     def wait(self, mode: WaitMode = WaitMode.MATERIALIZE) -> None:
         """``GrB_wait(obj, mode)`` (§III completion, §V materialization).
 
-        ``COMPLETE`` finishes the computations of the object's sequence
-        and resolves internal data structures so the object can be
-        handed to another thread (with a host-language synchronized-with
-        edge).  ``MATERIALIZE`` additionally guarantees that no further
-        errors can be reported from the already-completed methods.  As
-        the spec permits, our completing wait is computationally
-        equivalent to a materializing wait; the two still differ in the
-        state they record.
+        ``COMPLETE`` guarantees all execution errors of the sequence
+        have been surfaced and the object can be handed to another
+        thread (with a host-language synchronized-with edge); when every
+        pending method is statically error-free the engine may leave the
+        sequence deferred — the optimization freedom §III grants.
+        ``MATERIALIZE`` additionally forces evaluation and pins the
+        internal representation.
         """
         mode = WaitMode(mode)
         with self._lock:
+            self._check_valid()
+            tail = self._tail
+        if mode == WaitMode.COMPLETE:
+            if tail is None:
+                return
+            from ..engine import scheduler
+
+            if scheduler.chain_complete_safe(tail):
+                STATS.bump("completes_deferred")
+                return
             self._force()
-            if mode == WaitMode.MATERIALIZE:
-                self._materialized = True
+            return
+        self._force()
+        with self._lock:
+            self._materialized = True
 
     @property
     def is_materialized(self) -> bool:
         with self._lock:
-            return self._materialized and not self._pending
+            return self._materialized and self._tail is None
 
     def error(self) -> str:
         """``GrB_error(&str, obj)`` — last execution-error string (§V).
@@ -199,7 +333,7 @@ class OpaqueObject:
     def free(self) -> None:
         """``GrB_free`` — release; the handle then behaves uninitialized."""
         with self._lock:
-            self._pending.clear()
+            self._tail = None
             self._data = None
             self._valid = False
 

@@ -137,7 +137,7 @@ class Vector(OpaqueObject):
             new_vals = insert_value(d.values, pos, coerced, t)
             return VecData(d.size, t, new_idx, new_vals)
 
-        self._submit(thunk, "Vector_setElement")
+        self._submit(thunk, "Vector_setElement", can_raise=False)
 
     def remove_element(self, index: int) -> None:
         """``GrB_Vector_removeElement``."""
@@ -155,7 +155,7 @@ class Vector(OpaqueObject):
                 )
             return d
 
-        self._submit(thunk, "Vector_removeElement")
+        self._submit(thunk, "Vector_removeElement", can_raise=False)
 
     def extract_element(self, index: int, out: Scalar | None = None):
         """``GrB_Vector_extractElement``.
@@ -186,7 +186,8 @@ class Vector(OpaqueObject):
     def clear(self) -> None:
         """``GrB_Vector_clear``."""
         size, t = self._size, self._type
-        self._submit(lambda _d: empty_vec(size, t), "Vector_clear")
+        self._submit(lambda _d: empty_vec(size, t), "Vector_clear",
+                     can_raise=False)
 
     def resize(self, new_size: int) -> None:
         """``GrB_Vector_resize`` — shrink drops out-of-range elements."""
@@ -199,7 +200,7 @@ class Vector(OpaqueObject):
             keep = d.indices < new_size
             return VecData(new_size, t, d.indices[keep], d.values[keep])
 
-        self._submit(thunk, "Vector_resize")
+        self._submit(thunk, "Vector_resize", can_raise=False)
         self._size = new_size
 
     # -- pythonic conveniences (not part of the C surface) -------------------
@@ -215,5 +216,6 @@ class Vector(OpaqueObject):
         with self._lock:
             if not self._valid:
                 return "Vector(<freed>)"
-            state = "<pending>" if self._pending else f"nvals={self._data.nvals}"
+            state = ("<pending>" if self._tail is not None
+                     else f"nvals={self._data.nvals}")
             return f"Vector({self._type.name}, size={self._size}, {state})"

@@ -15,7 +15,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core import types as T
 from ..core.context import Context
 from ..core.errors import DimensionMismatchError
 from ..core.matrix import Matrix

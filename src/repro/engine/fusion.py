@@ -1,0 +1,214 @@
+"""Kernel fusion over the expression DAG (§III/§V optimization freedom).
+
+Nonblocking mode lets the implementation *optimize* the sequence of
+method calls, not just defer it.  This pass runs on the pending
+subgraph collected by a forcing call, before anything executes, and
+rewrites chains of operations into single fused pipelines:
+
+* ``apply`` → ``apply`` and ``apply``/``select`` chains collapse into
+  one pass over the stored values — no intermediate carrier, no
+  intermediate mask/accumulator write-back.
+* ``select`` after ``eWiseMult``/``mxm`` (or any *pure* producer, e.g.
+  ``reduce``/``extract``) filters the kernel's result before it is ever
+  materialized as an object state.
+* Transpose pairs separated only by value maps cancel (the
+  double-transpose a descriptor chain can produce is elided outright).
+* Value-independent selects (``TRIL``, ``ROWLE`` … — ``uses_value`` is
+  false) are hoisted ahead of value maps, so the maps touch only the
+  entries that survive: filter-before-map.
+
+Legality: a producer is absorbed only when (1) its write-back is *pure*
+(no mask, no complement, no accumulator — the write-back is a plain
+domain cast, so its result is independent of the output's prior state),
+(2) **every** reference to it comes from the absorbing consumer (its
+global refcount equals the consumer's pipe-input reference plus, for a
+pure consumer, the sequence edge), and (3) it is no longer the tail of
+its owner's sequence, i.e. a later method already overwrote the owner
+and the intermediate state can never be observed by a read or a future
+capture.  Condition (3) is what makes fusion safe under the sequence
+semantics: tails can only advance, so a node that is not a tail now can
+never be captured again.
+"""
+
+from __future__ import annotations
+
+from .dag import GRAPH_LOCK, PENDING, Node, Source
+from .stats import STATS
+
+__all__ = ["FusionPlan", "plan_fusion", "optimize_stages"]
+
+#: Stage kinds that neither read coordinates nor change structure; these
+#: commute with transposition and with structural filters.
+_VALUE_ONLY = {"unary", "bind1st", "bind2nd", "cast"}
+#: Stage kinds that map values (possibly from coordinates) 1:1.
+_MAP_KINDS = {"unary", "bind1st", "bind2nd", "index", "cast"}
+
+
+class FusionPlan:
+    """Execution recipe for a consumer that absorbed its producers.
+
+    ``head`` — an absorbed non-stage producer (mxm/eWise/…) whose
+    ``compute`` seeds the pipeline, else ``None`` and ``start`` is the
+    source (carrier or executed node) the pipeline begins from.
+    ``stages`` — the fused, optimized stage list ending with the
+    consumer's own stages; the consumer's write-back runs afterwards.
+    ``chain`` — the absorbed producers in execution order (furthest
+    upstream first), kept so a failing fused kernel can transparently
+    fall back to unfused execution with exact §V failure state.
+    """
+
+    __slots__ = ("head", "start", "stages", "chain")
+
+    def __init__(
+        self,
+        head: Node | None,
+        start: Source | None,
+        stages: list,
+        chain: list,
+    ):
+        self.head = head
+        self.start = start
+        self.stages = stages
+        self.chain = chain
+
+
+def _is_value_independent_select(stage) -> bool:
+    return stage[0] == "select" and not stage[1].uses_value
+
+
+def optimize_stages(stages: list) -> tuple[list, int, int]:
+    """Elide transpose pairs and hoist value-independent selects.
+
+    Returns ``(stages, selects_hoisted, transposes_elided)``.
+    """
+    stages = list(stages)
+
+    # Cancel ('transpose', …, 'transpose') pairs separated only by value
+    # maps (which commute with transposition; coordinate-reading stages
+    # between the pair pin it in place).
+    elided = 0
+    changed = True
+    while changed:
+        changed = False
+        for i, st in enumerate(stages):
+            if st[0] != "transpose":
+                continue
+            j = i + 1
+            while j < len(stages) and stages[j][0] in _VALUE_ONLY:
+                j += 1
+            if j < len(stages) and stages[j][0] == "transpose":
+                stages = stages[:i] + stages[i + 1:j] + stages[j + 1:]
+                elided += 1
+                changed = True
+                break
+
+    # Within each transpose-free segment, move selects whose predicate
+    # reads only coordinates ahead of the maps: the surviving set is
+    # identical (maps are structure-preserving and the predicate ignores
+    # values), but the maps then run on fewer stored entries.
+    hoisted = 0
+    out: list = []
+    seg: list = []
+
+    def _flush() -> None:
+        nonlocal hoisted
+        front = [s for s in seg if _is_value_independent_select(s)]
+        rest = [s for s in seg if not _is_value_independent_select(s)]
+        seen_map = False
+        for s in seg:
+            if _is_value_independent_select(s):
+                hoisted += seen_map
+            elif s[0] in _MAP_KINDS:
+                seen_map = True
+        out.extend(front)
+        out.extend(rest)
+
+    for st in stages:
+        if st[0] == "transpose":
+            _flush()
+            seg = []
+            out.append(st)
+        else:
+            seg.append(st)
+    _flush()
+    return out, hoisted, elided
+
+
+def _absorbable(consumer: Node, x: Node) -> bool:
+    """May *consumer* absorb producer *x*?  (Caller holds GRAPH_LOCK.)"""
+    if x.state != PENDING or not x.is_fusable_producer():
+        return False
+    # The intermediate value must be unobservable: a later method must
+    # already have overwritten the owner (tails only move forward).
+    if x.owner is not None and getattr(x.owner, "_tail", None) is x:
+        return False
+    # Every reference to x must come from this consumer, and only via
+    # the pipe input (plus the sequence edge when the consumer's
+    # write-back is pure and therefore never reads it).
+    allowed = 1 + (1 if consumer.prev.node is x else 0)
+    if consumer.prev.node is x and not consumer.pure:
+        return False
+    refs = consumer.refs_to(x)
+    return refs == allowed and x.nrefs == refs
+
+
+def plan_fusion(nodes: list) -> None:
+    """Attach fusion plans to stage-form consumers in *nodes*.
+
+    *nodes* is the pending subgraph in topological order.  Consumers are
+    visited in reverse order so the downstream end of a chain absorbs as
+    far upstream as legality allows; absorbed producers are flagged
+    ELIDED and become no-ops for the scheduler (their dependency edges
+    still order the graph).
+    """
+    from .dag import ELIDED  # late import to keep constants in one place
+    from ..internals import config
+
+    if not config.ENGINE_FUSION:
+        return
+    in_graph = set(nodes)
+    with GRAPH_LOCK:
+        for y in reversed(nodes):
+            if y.state != PENDING or y.stages is None:
+                continue
+            chain: list[Node] = []
+            stages = list(y.stages)
+            consumer = y
+            src = y.inputs[y.pipe_input]
+            head: Node | None = None
+            while True:
+                x = src.node
+                if (
+                    x is None
+                    or x not in in_graph
+                    or not _absorbable(consumer, x)
+                ):
+                    break
+                if x.stages is not None:
+                    chain.append(x)
+                    stages = (
+                        list(x.stages) + [("cast", x.out_type)] + stages
+                    )
+                    consumer = x
+                    src = x.inputs[x.pipe_input]
+                    continue
+                # Non-stage pure producer (mxm, eWise, reduce, …): it
+                # seeds the pipeline and the chain ends here.
+                chain.append(x)
+                head = x
+                break
+            if not chain:
+                continue
+            stages, hoisted, elided = optimize_stages(stages)
+            y.plan = FusionPlan(
+                head, None if head is not None else src, stages,
+                list(reversed(chain)),
+            )
+            for x in chain:
+                x.state = ELIDED
+            STATS.bump("chains_fused")
+            STATS.bump("nodes_fused", len(chain))
+            if hoisted:
+                STATS.bump("selects_hoisted", hoisted)
+            if elided:
+                STATS.bump("transposes_elided", elided)

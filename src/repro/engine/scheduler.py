@@ -1,0 +1,340 @@
+"""Topological forcing of the expression DAG (§III, §V).
+
+``force(tail)`` is the single entry point: it collects the pending
+ancestors of *tail* (exactly the subgraph the spec says a forcing call
+must complete — unrelated pending work stays deferred), hands them to
+the fusion planner, then executes them in dependency order.  When a
+Context allows more than one thread, independent ready nodes run
+concurrently on a shared thread pool, throttled per Context by its
+effective ``nthreads``.
+
+Error contract (§V): execution errors raised by a kernel are recorded
+on the node, the output object's error string is set, and the first
+not-yet-raised failure in the forced subgraph is re-raised *from the
+forcing call*.  Dependents of a failed node never run — they propagate
+the failure and carry the pre-failure state forward, which is how the
+old runtime's "a failed op drops the rest of the sequence" behaviour is
+preserved across objects.
+
+A process-wide execution lock serializes whole forcings; kernels inside
+one forcing still run in parallel with each other.  This keeps the §VI
+single-writer discipline trivially safe without per-object locks held
+across kernel calls.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor
+from concurrent.futures import wait as _futures_wait
+
+from ..core.errors import ExecutionError, GraphBLASError, PanicError
+from ..internals.applyselect import run_stages
+from .dag import DONE, ELIDED, FAILED, PENDING, Node
+from .stats import STATS
+
+__all__ = ["force", "chain_complete_safe"]
+
+#: Serializes forcings end to end (reentrant: a kernel that forces a
+#: scalar input mid-forcing must not deadlock).
+_EXEC_LOCK = threading.RLock()
+
+_pool: ThreadPoolExecutor | None = None
+_POOL_MAX = 16
+
+
+def _get_pool() -> ThreadPoolExecutor:
+    global _pool
+    if _pool is None:
+        _pool = ThreadPoolExecutor(
+            max_workers=_POOL_MAX, thread_name_prefix="grb-engine"
+        )
+    return _pool
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared worker pool (finalize / test isolation)."""
+    global _pool
+    with _EXEC_LOCK:
+        if _pool is not None:
+            _pool.shutdown(wait=True)
+            _pool = None
+
+
+# -- public API ---------------------------------------------------------------
+
+
+def force(tail: Node):
+    """Execute everything *tail* depends on; return its result carrier.
+
+    Raises the first not-yet-surfaced execution error in the forced
+    subgraph (marking it raised, so each deferred error surfaces from
+    exactly one forcing call — §V).
+    """
+    with _EXEC_LOCK:
+        STATS.bump("forces")
+        executed: list[Node] = []
+        if tail.state == PENDING:
+            from .fusion import plan_fusion
+
+            executed = _collect(tail)
+            plan_fusion(executed)
+            _execute(executed)
+        for node in executed:
+            if node.state == FAILED and not node.exc_raised:
+                node.exc_raised = True
+                raise node.exc
+        if tail.state == FAILED and not tail.exc_raised:
+            tail.exc_raised = True
+            raise tail.exc
+        return tail.result
+
+
+def chain_complete_safe(tail: Node) -> bool:
+    """True when every pending ancestor of *tail* is guaranteed not to
+    raise an execution error — the condition under which
+    ``wait(COMPLETE)`` may legally leave the sequence deferred (§V:
+    COMPLETE only promises errors have been surfaced)."""
+    stack = [tail]
+    seen: set[int] = set()
+    while stack:
+        node = stack.pop()
+        if id(node) in seen or node.state != PENDING:
+            continue
+        if not node.complete_safe:
+            return False
+        seen.add(id(node))
+        stack.extend(node.dep_nodes())
+    return True
+
+
+# -- subgraph collection ------------------------------------------------------
+
+
+def _collect(tail: Node) -> list[Node]:
+    """Pending ancestors of *tail* in topological (deps-first) order."""
+    order: list[Node] = []
+    seen: set[int] = set()
+    stack: list[tuple[Node, bool]] = [(tail, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            order.append(node)
+            continue
+        if id(node) in seen or node.state != PENDING:
+            continue
+        seen.add(id(node))
+        stack.append((node, True))
+        for dep in node.dep_nodes():
+            if dep.state == PENDING and id(dep) not in seen:
+                stack.append((dep, False))
+    return order
+
+
+# -- execution ----------------------------------------------------------------
+
+
+def _node_cap(node: Node) -> int:
+    ctx = getattr(node.owner, "_ctx", None)
+    if ctx is None:
+        return 1
+    try:
+        return max(1, int(ctx.nthreads))
+    except Exception:
+        return 1
+
+
+def _execute(nodes: list[Node]) -> None:
+    n = len(nodes)
+    if n == 0:
+        return
+    if n == 1 or max(_node_cap(node) for node in nodes) <= 1:
+        for node in nodes:  # topo order: deps already settled
+            _run_node(node)
+        return
+    _execute_parallel(nodes)
+
+
+def _execute_parallel(nodes: list[Node]) -> None:
+    in_graph = {id(node) for node in nodes}
+    indeg: dict[int, int] = {}
+    dependents: dict[int, list[Node]] = {}
+    for node in nodes:
+        deps = [
+            d
+            for d in dict.fromkeys(node.dep_nodes())
+            if id(d) in in_graph and d.state in (PENDING, ELIDED)
+        ]
+        indeg[id(node)] = len(deps)
+        for d in deps:
+            dependents.setdefault(id(d), []).append(node)
+
+    ready = [node for node in nodes if indeg[id(node)] == 0]
+    running: dict[int, int] = {}
+    inflight: dict = {}
+    remaining = len(nodes)
+    pool = _get_pool()
+
+    def _finish(node: Node) -> None:
+        nonlocal remaining
+        remaining -= 1
+        ctx_id = id(getattr(node.owner, "_ctx", None))
+        running[ctx_id] = running.get(ctx_id, 0) - 1
+        for dep in dependents.get(id(node), ()):
+            indeg[id(dep)] -= 1
+            if indeg[id(dep)] == 0:
+                ready.append(dep)
+
+    while remaining:
+        batch: list[Node] = []
+        held: list[Node] = []
+        for node in ready:
+            ctx_id = id(getattr(node.owner, "_ctx", None))
+            if running.get(ctx_id, 0) < _node_cap(node):
+                running[ctx_id] = running.get(ctx_id, 0) + 1
+                batch.append(node)
+            else:
+                held.append(node)
+        ready = held
+        if not batch and not inflight:
+            # Every ready node is throttled and nothing is running:
+            # dispatch one anyway to guarantee progress.
+            node = ready.pop(0)
+            ctx_id = id(getattr(node.owner, "_ctx", None))
+            running[ctx_id] = running.get(ctx_id, 0) + 1
+            batch = [node]
+        if len(batch) == 1 and not inflight:
+            node = batch[0]
+            _run_node(node)
+            _finish(node)
+            continue
+        if len(batch) > 1:
+            STATS.bump("parallel_batches")
+            STATS.bump("parallel_nodes", len(batch))
+        for node in batch:
+            inflight[pool.submit(_run_node, node)] = node
+        done, _ = _futures_wait(inflight, return_when=FIRST_COMPLETED)
+        for fut in done:
+            node = inflight.pop(fut)
+            fut.result()  # _run_node never raises
+            _finish(node)
+
+
+# -- single-node execution ----------------------------------------------------
+
+
+def _resolve_prev(node: Node):
+    """The carrier of the output object's previous state, skipping over
+    producers that were fused away (their value lives inside a pipeline
+    and was, by construction, never observable)."""
+    src = node.prev
+    while src.node is not None and src.node.state == ELIDED:
+        src = src.node.prev
+    return src.resolve()
+
+
+def _run_node(node: Node) -> None:
+    """Execute one node.  Never raises: failures are recorded on the
+    node (and the owner's error string, per §V) for ``force`` to surface."""
+    for dep in node.dep_nodes():
+        if dep.state == FAILED:
+            node.state = FAILED
+            node.exc = dep.exc
+            node.result = _carrier_before(node)
+            return
+    if node.state == ELIDED:
+        return  # absorbed into a consumer's pipeline; nothing to run
+    t0 = time.perf_counter()
+    if node.plan is not None:
+        try:
+            node.result = _evaluate(node)
+            node.state = DONE
+            STATS.kernel(f"fused:{node.kind}", time.perf_counter() - t0)
+        except Exception:
+            # A fused pipeline failed.  Fusion must be transparent even
+            # on failure: unfused execution would have preserved every
+            # intermediate state before the op that actually raises, so
+            # re-run the chain node by node (they are pure — re-running
+            # is safe) and let the normal §V machinery attribute the
+            # error to the node that actually fails.
+            _run_unfused_fallback(node)
+        return
+    try:
+        result = _evaluate(node)
+    except ExecutionError as exc:
+        _record_failure(node, exc, f"{node.label}: {exc.message}")
+        return
+    except GraphBLASError as exc:
+        # API errors are never deferred by the ops layer; one escaping a
+        # kernel is still surfaced but not recorded as a deferred error.
+        node.exc = exc
+        node.state = FAILED
+        node.result = _carrier_before(node)
+        return
+    except Exception as exc:  # user-defined operator blew up: §V panic
+        message = (
+            f"{node.label}: user-defined function raised "
+            f"{type(exc).__name__}: {exc}"
+        )
+        wrapped = PanicError(message)
+        wrapped.__cause__ = exc
+        _record_failure(node, wrapped, message)
+        return
+    node.result = result
+    node.state = DONE
+    STATS.kernel(node.kind, time.perf_counter() - t0)
+
+
+def _run_unfused_fallback(node: Node) -> None:
+    """Re-execute a failed fused chain without fusion.
+
+    The absorbed producers flip back to PENDING and run standalone in
+    dependency order; dependent-failure propagation then reproduces the
+    exact unfused outcome — every node before the failing one leaves its
+    result for the pre-failure carrier walk, and the failing node gets
+    the error recorded under its own label.
+    """
+    plan, node.plan = node.plan, None
+    for x in plan.chain:
+        x.state = PENDING
+    for x in plan.chain:
+        _run_node(x)
+    _run_node(node)
+
+
+def _record_failure(node: Node, exc: BaseException, message: str) -> None:
+    if node.owner is not None:
+        node.owner._err = message
+    STATS.bump("errors_deferred")
+    node.exc = exc
+    node.state = FAILED
+    node.result = _carrier_before(node)
+
+
+def _carrier_before(node: Node):
+    """Pre-failure state: what the owner held before this node ran."""
+    src = node.prev
+    while src.node is not None and src.node.state == ELIDED:
+        src = src.node.prev
+    if src.node is None:
+        return src.data
+    return src.node.result
+
+
+def _evaluate(node: Node):
+    if node.thunk is not None:
+        return node.thunk(_resolve_prev(node))
+    plan = node.plan
+    if plan is not None:
+        if plan.head is not None:
+            t = plan.head.compute([s.resolve() for s in plan.head.inputs])
+        else:
+            t = plan.start.resolve()
+        t = run_stages(t, plan.stages)
+    elif node.stages is not None:
+        t = run_stages(node.inputs[node.pipe_input].resolve(), node.stages)
+    else:
+        t = node.compute([s.resolve() for s in node.inputs])
+    prev = None if node.pure else _resolve_prev(node)
+    return node.writeback(prev, t)

@@ -1,0 +1,108 @@
+"""Engine observability: counters and per-kernel wall time (§III/§V).
+
+The lazy engine's whole value proposition — defer, fuse, elide, run
+independent work concurrently — is invisible from the API surface, so
+the engine keeps a process-wide counter block that answers "did the
+optimizer actually do anything?".  Counters:
+
+* ``nodes_built``      — DAG nodes created (one per deferred method).
+* ``nodes_forced``     — nodes whose kernel actually ran.
+* ``nodes_fused``      — producer nodes absorbed into a consumer's
+  fused pipeline (their standalone kernel + write-back never ran).
+* ``chains_fused``     — fused pipelines constructed (≥1 absorption).
+* ``transposes_elided``— transpose pairs cancelled inside a pipeline.
+* ``selects_hoisted``  — value-independent selects moved ahead of maps
+  (filter-before-map: the map then touches fewer stored values).
+* ``forces``           — subgraph forcings (``wait``/read/input use).
+* ``completes_deferred`` — ``wait(COMPLETE)`` calls that legally left a
+  fused-but-unforced sequence in place (§V deferral freedom).
+* ``parallel_batches`` / ``parallel_nodes`` — scheduler dispatches that
+  ran ≥2 independent ready nodes concurrently, and how many nodes.
+* ``errors_deferred``  — execution errors recorded during a forcing.
+
+Per-kernel timing lives in ``kernel_time``/``kernel_count`` keyed by
+node kind (``mxm``, ``apply``, ``fused``…).  Query via
+:meth:`EngineStats.snapshot`, :meth:`repro.core.context.Context.engine_stats`,
+or the CLI's ``--engine-stats`` flag.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["EngineStats", "STATS"]
+
+_COUNTERS = (
+    "nodes_built",
+    "nodes_forced",
+    "nodes_fused",
+    "chains_fused",
+    "transposes_elided",
+    "selects_hoisted",
+    "forces",
+    "completes_deferred",
+    "parallel_batches",
+    "parallel_nodes",
+    "errors_deferred",
+)
+
+
+class EngineStats:
+    """Thread-safe counter block for one engine (process-wide singleton)."""
+
+    __slots__ = ("_lock", "kernel_time", "kernel_count") + _COUNTERS
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.kernel_time: dict[str, float] = {}
+        self.kernel_count: dict[str, int] = {}
+        for name in _COUNTERS:
+            setattr(self, name, 0)
+
+    # -- recording -----------------------------------------------------------
+
+    def bump(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + n)
+
+    def kernel(self, kind: str, seconds: float) -> None:
+        """Record one executed kernel of *kind* taking *seconds*."""
+        with self._lock:
+            self.nodes_forced += 1
+            self.kernel_time[kind] = self.kernel_time.get(kind, 0.0) + seconds
+            self.kernel_count[kind] = self.kernel_count.get(kind, 0) + 1
+
+    # -- querying ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A point-in-time copy of every counter (safe to mutate)."""
+        with self._lock:
+            snap = {name: getattr(self, name) for name in _COUNTERS}
+            snap["kernel_time"] = dict(self.kernel_time)
+            snap["kernel_count"] = dict(self.kernel_count)
+            return snap
+
+    def reset(self) -> None:
+        with self._lock:
+            for name in _COUNTERS:
+                setattr(self, name, 0)
+            self.kernel_time.clear()
+            self.kernel_count.clear()
+
+    def format(self) -> str:
+        """Human-readable dump (used by ``repro --engine-stats``)."""
+        snap = self.snapshot()
+        lines = ["engine stats:"]
+        for name in _COUNTERS:
+            lines.append(f"  {name:<18} {snap[name]}")
+        if snap["kernel_count"]:
+            lines.append("  kernel wall time:")
+            for kind in sorted(snap["kernel_count"]):
+                t = snap["kernel_time"].get(kind, 0.0) * 1e3
+                n = snap["kernel_count"][kind]
+                lines.append(f"    {kind:<16} {n:>6} calls  {t:>9.2f} ms")
+        return "\n".join(lines)
+
+
+#: The process-wide engine stats block.
+STATS = EngineStats()

@@ -34,6 +34,9 @@ __all__ = [
     "mat_apply_index",
     "vec_select",
     "mat_select",
+    "run_stages",
+    "vec_pipeline",
+    "mat_pipeline",
 ]
 
 _INT = np.int64
@@ -151,3 +154,143 @@ def mat_select(a: MatData, op: IndexUnaryOp, s: Any) -> MatData:
         counts = np.bincount(kept_rows, minlength=a.nrows)
         np.cumsum(counts, out=indptr[1:])
     return MatData(a.nrows, a.ncols, a.type, indptr, new_cols, new_vals)
+
+
+# ---------------------------------------------------------------------------
+# Fused stage pipelines (engine kernel fusion entry points)
+# ---------------------------------------------------------------------------
+#
+# The execution engine's fusion pass collapses apply/select/transpose
+# chains into a *stage list* and runs it here in one pass over the
+# stored entries — no intermediate carriers, and for matrices the CSR
+# row pointer is rebuilt at most once at the end (plus at explicit
+# transposes) instead of once per operation.  Stage tuples:
+#
+#   ('unary',   op, out_type)       elementwise unary apply
+#   ('bind1st', op, s, out_type)    binary apply, scalar bound first
+#   ('bind2nd', op, s, out_type)    binary apply, scalar bound second
+#   ('index',   op, s, out_type)    index-unary apply (reads coords)
+#   ('select',  op, s)              structural filter (§VIII-C)
+#   ('transpose',)                  matrix transpose (matrix only)
+#   ('cast',    out_type)           domain cast (no-op when equal)
+
+def vec_pipeline(u: VecData, stages: list) -> VecData:
+    """Run a fused stage list over a vector carrier in one pass."""
+    t = u.type
+    indices, values = u.indices, u.values
+    for st in stages:
+        kind = st[0]
+        if kind == "unary":
+            op, out_t = st[1], st[2]
+            values = out_t.coerce_array(op.vec(op.in_type.coerce_array(values)))
+            t = out_t
+        elif kind == "bind1st":
+            op, s, out_t = st[1], st[2], st[3]
+            values = _bind1st(op, s, values, out_t)
+            t = out_t
+        elif kind == "bind2nd":
+            op, s, out_t = st[1], st[2], st[3]
+            values = _bind2nd(op, values, s, out_t)
+            t = out_t
+        elif kind == "index":
+            op, s, out_t = st[1], st[2], st[3]
+            cols = np.zeros(len(indices), dtype=_INT)
+            values = out_t.coerce_array(
+                _index_op_values(op, values, indices, cols, s)
+            )
+            t = out_t
+        elif kind == "select":
+            op, s = st[1], st[2]
+            cols = np.zeros(len(indices), dtype=_INT)
+            keep = np.asarray(
+                _index_op_values(op, values, indices, cols, s), dtype=bool
+            )
+            indices = indices[keep]
+            values = values[keep]
+        elif kind == "cast":
+            out_t = st[1]
+            if out_t != t:
+                values = out_t.coerce_array(values)
+                t = out_t
+        else:
+            raise ValueError(f"vector pipeline cannot run stage {kind!r}")
+    return VecData(u.size, t, indices, values)
+
+
+def mat_pipeline(a: MatData, stages: list) -> MatData:
+    """Run a fused stage list over a matrix carrier.
+
+    COO row indices are materialized lazily (first coordinate-reading
+    stage) and the CSR row pointer is rebuilt only when a filter changed
+    the structure — once at the end, or at a transpose boundary.
+    """
+    nrows, ncols, t = a.nrows, a.ncols, a.type
+    indptr, cols, values = a.indptr, a.col_indices, a.values
+    rows = None     # COO rows; materialized on demand while indptr is valid
+    dirty = False   # True once a select invalidated indptr
+
+    def _coo_rows():
+        nonlocal rows
+        if rows is None:
+            rows = csr_to_coo_rows(indptr, nrows)
+        return rows
+
+    def _finalize() -> MatData:
+        nonlocal indptr
+        if dirty:
+            indptr = np.zeros(nrows + 1, dtype=_INT)
+            if len(rows):
+                counts = np.bincount(rows, minlength=nrows)
+                np.cumsum(counts, out=indptr[1:])
+        return MatData(nrows, ncols, t, indptr, cols, values)
+
+    for st in stages:
+        kind = st[0]
+        if kind == "unary":
+            op, out_t = st[1], st[2]
+            values = out_t.coerce_array(op.vec(op.in_type.coerce_array(values)))
+            t = out_t
+        elif kind == "bind1st":
+            op, s, out_t = st[1], st[2], st[3]
+            values = _bind1st(op, s, values, out_t)
+            t = out_t
+        elif kind == "bind2nd":
+            op, s, out_t = st[1], st[2], st[3]
+            values = _bind2nd(op, values, s, out_t)
+            t = out_t
+        elif kind == "index":
+            op, s, out_t = st[1], st[2], st[3]
+            values = out_t.coerce_array(
+                _index_op_values(op, values, _coo_rows(), cols, s)
+            )
+            t = out_t
+        elif kind == "select":
+            op, s = st[1], st[2]
+            keep = np.asarray(
+                _index_op_values(op, values, _coo_rows(), cols, s), dtype=bool
+            )
+            rows = rows[keep]
+            cols = cols[keep]
+            values = values[keep]
+            dirty = True
+        elif kind == "transpose":
+            m = _finalize().transpose()
+            nrows, ncols, t = m.nrows, m.ncols, m.type
+            indptr, cols, values = m.indptr, m.col_indices, m.values
+            rows = None
+            dirty = False
+        elif kind == "cast":
+            out_t = st[1]
+            if out_t != t:
+                values = out_t.coerce_array(values)
+                t = out_t
+        else:
+            raise ValueError(f"matrix pipeline cannot run stage {kind!r}")
+    return _finalize()
+
+
+def run_stages(carrier, stages: list):
+    """Dispatch a fused stage list to the right pipeline runner."""
+    if isinstance(carrier, VecData):
+        return vec_pipeline(carrier, stages)
+    return mat_pipeline(carrier, stages)

@@ -10,8 +10,12 @@ DESIGN.md's ablation benches flip these to measure the design choices:
 * ``MULT_SHORTCUTS`` — specialise the expand/multiply phase for
   FIRST/SECOND/ONEB multiply operators, skipping the gather of the
   operand whose values the operator ignores.
+* ``ENGINE_FUSION`` — let the lazy engine's fusion planner absorb
+  producer chains into single-pass pipelines (off = every deferred node
+  runs as a standalone kernel with its own write-back; execution is
+  still lazy and topological).
 
-Both default on; flip via :func:`set_option` (thread-safe enough for
+All default on; flip via :func:`set_option` (thread-safe enough for
 benchmarks: reads are plain attribute loads).
 """
 
@@ -19,8 +23,9 @@ from __future__ import annotations
 
 MASK_PUSHDOWN: bool = True
 MULT_SHORTCUTS: bool = True
+ENGINE_FUSION: bool = True
 
-_KNOWN = ("MASK_PUSHDOWN", "MULT_SHORTCUTS")
+_KNOWN = ("MASK_PUSHDOWN", "MULT_SHORTCUTS", "ENGINE_FUSION")
 
 
 def set_option(name: str, value: bool) -> bool:

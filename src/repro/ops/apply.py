@@ -24,15 +24,15 @@ from ..core.indexunaryop import IndexUnaryOp
 from ..core.matrix import Matrix
 from ..core.unaryop import UnaryOp
 from ..core.vector import Vector
-from ..internals import applyselect as _k
-from ..internals.maskaccum import mat_write_back, vec_write_back
 from .common import (
+    capture_source,
     check_accum,
     check_context,
     check_output_cast,
     require,
     resolve_desc,
     scalar_value,
+    writeback_closure,
 )
 
 __all__ = ["apply"]
@@ -59,12 +59,36 @@ def _check_output(out, mask, inp, d) -> None:
                     DimensionMismatchError, "mask shape must match output")
 
 
-def _writeback_args(d):
-    return dict(
+def _submit_stages(out, mask, accum, u, d, stages, label, *, op, kind="apply"):
+    """Submit an apply/select-style node: a fusable stage pipeline over
+    the input, then the standard write-back."""
+    u_src = capture_source(u)
+    mask_src = capture_source(mask)
+    is_vec = isinstance(out, Vector)
+    if not is_vec and d.transpose0:
+        stages = [("transpose",)] + stages
+    writeback, pure = writeback_closure(
+        is_vec, out.type, mask_src, accum,
         complement=d.mask_complement,
         structure=d.mask_structure,
         replace=d.replace,
     )
+    inputs = [u_src] if mask_src is None else [u_src, mask_src]
+    out._submit_op(
+        kind=kind,
+        label=label,
+        inputs=inputs,
+        writeback=writeback,
+        stages=stages,
+        pipe_input=0,
+        out_type=out.type,
+        pure=pure,
+        # Built-in operators are numpy ufuncs over already-validated
+        # carriers: they cannot raise an execution error, so a COMPLETE
+        # wait may leave the node deferred.
+        complete_safe=pure and op.is_builtin,
+    )
+    return out
 
 
 def apply(
@@ -104,72 +128,30 @@ def apply(
 def _apply_unary(out, mask, accum, op: UnaryOp, u, d):
     _check_output(out, mask, u, d)
     check_output_cast(op.out_type, out.type)
-    u_data = u._capture()
-    mask_data = mask._capture() if mask is not None else None
-    out_type = out.type
-    wb = _writeback_args(d)
-    tran = d.transpose0
-
-    if isinstance(out, Vector):
-        def thunk(c):
-            t = _k.vec_apply_unary(u_data, op, op.out_type)
-            return vec_write_back(c, t, out_type, mask_data, accum, **wb)
-    else:
-        def thunk(c):
-            a = u_data.transpose() if tran else u_data
-            t = _k.mat_apply_unary(a, op, op.out_type)
-            return mat_write_back(c, t, out_type, mask_data, accum, **wb)
-
-    out._submit(thunk, "apply(unary)")
-    return out
+    return _submit_stages(
+        out, mask, accum, u, d,
+        [("unary", op, op.out_type)], "apply(unary)", op=op,
+    )
 
 
 def _apply_bind1st(out, mask, accum, op: BinaryOp, s, u, d):
     _check_output(out, mask, u, d)
     check_output_cast(op.out_type, out.type)
     sval = scalar_value(s, what="bind-first scalar")
-    u_data = u._capture()
-    mask_data = mask._capture() if mask is not None else None
-    out_type = out.type
-    wb = _writeback_args(d)
-    tran = d.transpose0
-
-    if isinstance(out, Vector):
-        def thunk(c):
-            t = _k.vec_apply_bind1st(sval, u_data, op, op.out_type)
-            return vec_write_back(c, t, out_type, mask_data, accum, **wb)
-    else:
-        def thunk(c):
-            a = u_data.transpose() if tran else u_data
-            t = _k.mat_apply_bind1st(sval, a, op, op.out_type)
-            return mat_write_back(c, t, out_type, mask_data, accum, **wb)
-
-    out._submit(thunk, "apply(bind1st)")
-    return out
+    return _submit_stages(
+        out, mask, accum, u, d,
+        [("bind1st", op, sval, op.out_type)], "apply(bind1st)", op=op,
+    )
 
 
 def _apply_bind2nd(out, mask, accum, op: BinaryOp, u, s, d):
     _check_output(out, mask, u, d)
     check_output_cast(op.out_type, out.type)
     sval = scalar_value(s, what="bind-second scalar")
-    u_data = u._capture()
-    mask_data = mask._capture() if mask is not None else None
-    out_type = out.type
-    wb = _writeback_args(d)
-    tran = d.transpose0
-
-    if isinstance(out, Vector):
-        def thunk(c):
-            t = _k.vec_apply_bind2nd(u_data, sval, op, op.out_type)
-            return vec_write_back(c, t, out_type, mask_data, accum, **wb)
-    else:
-        def thunk(c):
-            a = u_data.transpose() if tran else u_data
-            t = _k.mat_apply_bind2nd(a, sval, op, op.out_type)
-            return mat_write_back(c, t, out_type, mask_data, accum, **wb)
-
-    out._submit(thunk, "apply(bind2nd)")
-    return out
+    return _submit_stages(
+        out, mask, accum, u, d,
+        [("bind2nd", op, sval, op.out_type)], "apply(bind2nd)", op=op,
+    )
 
 
 def _apply_index(out, mask, accum, op: IndexUnaryOp, u, s, d):
@@ -182,21 +164,7 @@ def _apply_index(out, mask, accum, op: IndexUnaryOp, u, s, d):
             "matrices (Table IV)"
         )
     sval = scalar_value(s, what="index-unary scalar")
-    u_data = u._capture()
-    mask_data = mask._capture() if mask is not None else None
-    out_type = out.type
-    wb = _writeback_args(d)
-    tran = d.transpose0
-
-    if isinstance(out, Vector):
-        def thunk(c):
-            t = _k.vec_apply_index(u_data, op, sval, op.out_type)
-            return vec_write_back(c, t, out_type, mask_data, accum, **wb)
-    else:
-        def thunk(c):
-            a = u_data.transpose() if tran else u_data
-            t = _k.mat_apply_index(a, op, sval, op.out_type)
-            return mat_write_back(c, t, out_type, mask_data, accum, **wb)
-
-    out._submit(thunk, "apply(index)")
-    return out
+    return _submit_stages(
+        out, mask, accum, u, d,
+        [("index", op, sval, op.out_type)], "apply(index)", op=op,
+    )

@@ -35,7 +35,13 @@ from ..internals import assign as _k
 from ..internals.containers import VecData
 from ..internals.extract import mat_extract_col
 from ..internals.maskaccum import mat_write_back, vec_write_back
-from .common import check_accum, check_context, require, resolve_desc
+from .common import (
+    capture_source,
+    check_accum,
+    check_context,
+    require,
+    resolve_desc,
+)
 
 __all__ = ["assign", "assign_row", "assign_col"]
 
@@ -117,17 +123,19 @@ def _vec_assign(w: Vector, mask, accum, u: Vector, indices, d):
     if mask is not None:
         require(mask.size == w.size, DimensionMismatchError,
                 "assign mask spans the whole output vector")
-    u_data = u._capture()
-    mask_data = mask._capture() if mask is not None else None
+    u_src = capture_source(u)
+    mask_src = capture_source(mask)
     out_type = w.type
     idx = _idx(indices)
     wb = _wb(d)
 
     def thunk(c):
-        z = _k.vec_assign(c, u_data, idx, accum, out_type)
+        mask_data = mask_src.resolve() if mask_src is not None else None
+        z = _k.vec_assign(c, u_src.resolve(), idx, accum, out_type)
         return vec_write_back(c, z, out_type, mask_data, None, **wb)
 
-    w._submit(thunk, "assign(vector)")
+    w._submit(thunk, "assign(vector)",
+              inputs=[u_src] if mask_src is None else [u_src, mask_src])
     return w
 
 
@@ -137,16 +145,18 @@ def _vec_assign_scalar(w: Vector, mask, accum, s, indices, d):
         require(mask.size == w.size, DimensionMismatchError,
                 "assign mask spans the whole output vector")
     fill = _scalar_fill_value(s)
-    mask_data = mask._capture() if mask is not None else None
+    mask_src = capture_source(mask)
     out_type = w.type
     idx = _idx(indices)
     wb = _wb(d)
 
     def thunk(c):
+        mask_data = mask_src.resolve() if mask_src is not None else None
         z = _k.vec_assign_scalar(c, fill, idx, accum, out_type)
         return vec_write_back(c, z, out_type, mask_data, None, **wb)
 
-    w._submit(thunk, "assign(vector,scalar)")
+    w._submit(thunk, "assign(vector,scalar)",
+              inputs=[] if mask_src is None else [mask_src])
     return w
 
 
@@ -160,19 +170,22 @@ def _mat_assign(C: Matrix, Mask, accum, A: Matrix, I, J, d):
     if Mask is not None:
         require((Mask.nrows, Mask.ncols) == (C.nrows, C.ncols),
                 DimensionMismatchError, "assign mask spans the whole output")
-    a_data = A._capture()
-    mask_data = Mask._capture() if Mask is not None else None
+    a_src = capture_source(A)
+    mask_src = capture_source(Mask)
     out_type = C.type
     tran = d.transpose0
     ridx, cidx = _idx(I), _idx(J)
     wb = _wb(d)
 
     def thunk(c):
+        a_data = a_src.resolve()
+        mask_data = mask_src.resolve() if mask_src is not None else None
         src = a_data.transpose() if tran else a_data
         z = _k.mat_assign(c, src, ridx, cidx, accum, out_type)
         return mat_write_back(c, z, out_type, mask_data, None, **wb)
 
-    C._submit(thunk, "assign(matrix)")
+    C._submit(thunk, "assign(matrix)",
+              inputs=[a_src] if mask_src is None else [a_src, mask_src])
     return C
 
 
@@ -182,16 +195,18 @@ def _mat_assign_scalar(C: Matrix, Mask, accum, s, I, J, d):
         require((Mask.nrows, Mask.ncols) == (C.nrows, C.ncols),
                 DimensionMismatchError, "assign mask spans the whole output")
     fill = _scalar_fill_value(s)
-    mask_data = Mask._capture() if Mask is not None else None
+    mask_src = capture_source(Mask)
     out_type = C.type
     ridx, cidx = _idx(I), _idx(J)
     wb = _wb(d)
 
     def thunk(c):
+        mask_data = mask_src.resolve() if mask_src is not None else None
         z = _k.mat_assign_scalar(c, fill, ridx, cidx, accum, out_type)
         return mat_write_back(c, z, out_type, mask_data, None, **wb)
 
-    C._submit(thunk, "assign(matrix,scalar)")
+    C._submit(thunk, "assign(matrix,scalar)",
+              inputs=[] if mask_src is None else [mask_src])
     return C
 
 
@@ -219,24 +234,26 @@ def assign_row(
     if mask is not None:
         require(mask.size == C.ncols, DimensionMismatchError,
                 "row-assign mask spans the row (length ncols)")
-    u_data = u._capture()
-    mask_data = mask._capture() if mask is not None else None
+    u_src = capture_source(u)
+    mask_src = capture_source(mask)
     out_type = C.type
     cidx = _idx(col_indices)
     wb = _wb(d)
     r = int(row)
 
     def thunk(c):
+        mask_data = mask_src.resolve() if mask_src is not None else None
         cols, vals = c.row_slice(r)
         c_row = VecData(c.ncols, c.type, cols.copy(), vals.copy())
-        z_row = _k.vec_assign(c_row, u_data, cidx, accum, out_type)
+        z_row = _k.vec_assign(c_row, u_src.resolve(), cidx, accum, out_type)
         new_row = vec_write_back(c_row, z_row, out_type, mask_data, None, **wb)
         return _k._mat_region_update(
             c, np.full(new_row.nvals, r, dtype=np.int64), new_row.indices,
             new_row.values, np.array([r], dtype=np.int64), None, None, out_type,
         )
 
-    C._submit(thunk, "assign(row)")
+    C._submit(thunk, "assign(row)",
+              inputs=[u_src] if mask_src is None else [u_src, mask_src])
     return C
 
 
@@ -260,21 +277,23 @@ def assign_col(
     if mask is not None:
         require(mask.size == C.nrows, DimensionMismatchError,
                 "col-assign mask spans the column (length nrows)")
-    u_data = u._capture()
-    mask_data = mask._capture() if mask is not None else None
+    u_src = capture_source(u)
+    mask_src = capture_source(mask)
     out_type = C.type
     ridx = _idx(row_indices)
     wb = _wb(d)
     j = int(col)
 
     def thunk(c):
+        mask_data = mask_src.resolve() if mask_src is not None else None
         c_col = mat_extract_col(c, j, None)
-        z_col = _k.vec_assign(c_col, u_data, ridx, accum, out_type)
+        z_col = _k.vec_assign(c_col, u_src.resolve(), ridx, accum, out_type)
         new_col = vec_write_back(c_col, z_col, out_type, mask_data, None, **wb)
         return _k._mat_region_update(
             c, new_col.indices, np.full(new_col.nvals, j, dtype=np.int64),
             new_col.values, None, np.array([j], dtype=np.int64), None, out_type,
         )
 
-    C._submit(thunk, "assign(col)")
+    C._submit(thunk, "assign(col)",
+              inputs=[u_src] if mask_src is None else [u_src, mask_src])
     return C

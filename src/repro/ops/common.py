@@ -23,7 +23,6 @@ from ..core.binaryop import BinaryOp
 from ..core.context import Context
 from ..core.descriptor import NULL_DESC, Descriptor
 from ..core.errors import (
-    DimensionMismatchError,
     DomainMismatchError,
     EmptyObjectError,
     InvalidValueError,
@@ -40,6 +39,8 @@ __all__ = [
     "scalar_value",
     "require",
     "check_output_cast",
+    "capture_source",
+    "writeback_closure",
 ]
 
 
@@ -102,6 +103,58 @@ def scalar_value(s: Any, *, what: str = "scalar") -> Any:
 def require(cond: bool, exc_cls, message: str) -> None:
     if not cond:
         raise exc_cls(message)
+
+
+def capture_source(obj):
+    """Capture an input container as an engine :class:`Source`.
+
+    In nonblocking mode a pending input is captured as a reference to
+    its producing DAG node — a snapshot, without forcing its sequence
+    (§III: using an object as an input adds a data edge; only
+    value-*reads* force).  Materialized inputs capture their immutable
+    carrier directly, which is also the blocking-mode path.
+    """
+    if obj is None:
+        return None
+    return obj._as_source()
+
+
+def writeback_closure(
+    is_vec: bool,
+    out_type,
+    mask_src,
+    accum: BinaryOp | None,
+    *,
+    complement: bool = False,
+    structure: bool = False,
+    replace: bool = False,
+):
+    """Build ``(writeback, pure)`` for the standard ``C⟨M, r⟩ = C ⊙ T``
+    funnel.
+
+    ``pure`` is true when the write-back ignores the output's previous
+    state entirely (no mask, no complement, no accumulator — the funnel
+    degenerates to a domain cast of T).  Purity is what entitles the
+    engine's fusion pass to absorb the node into a consumer.
+    """
+    if mask_src is None and not complement and accum is None:
+        def writeback(prev, t):
+            return t.astype(out_type)
+
+        return writeback, True
+
+    from ..internals.maskaccum import mat_write_back, vec_write_back
+
+    funnel = vec_write_back if is_vec else mat_write_back
+
+    def writeback(prev, t):
+        mask_data = mask_src.resolve() if mask_src is not None else None
+        return funnel(
+            prev, t, out_type, mask_data, accum,
+            complement=complement, structure=structure, replace=replace,
+        )
+
+    return writeback, False
 
 
 def check_output_cast(result_type, out_type) -> None:

@@ -18,13 +18,14 @@ from ..core.monoid import Monoid
 from ..core.semiring import Semiring
 from ..core.vector import Vector
 from ..internals import ewise as _k
-from ..internals.maskaccum import mat_write_back, vec_write_back
 from .common import (
+    capture_source,
     check_accum,
     check_context,
     check_output_cast,
     require,
     resolve_desc,
+    writeback_closure,
 )
 
 __all__ = ["ewise_add", "ewise_mult"]
@@ -63,24 +64,31 @@ def _ewise_mat(
         require((Mask.nrows, Mask.ncols) == (C.nrows, C.ncols),
                 DimensionMismatchError, "mask shape must match output")
 
-    a_data = A._capture()
-    b_data = B._capture() if B is not A else a_data
-    mask_data = Mask._capture() if Mask is not None else None
-    out_type = C.type
+    a_src = capture_source(A)
+    b_src = capture_source(B) if B is not A else a_src
+    mask_src = capture_source(Mask)
     tran0, tran1 = d.transpose0, d.transpose1
-    comp, struct, repl = d.mask_complement, d.mask_structure, d.replace
     kern = _k.mat_union if union else _k.mat_intersect
 
-    def thunk(c_data):
-        a = a_data.transpose() if tran0 else a_data
-        b = b_data.transpose() if tran1 else b_data
-        t = kern(a, b, binop, binop.out_type)
-        return mat_write_back(
-            c_data, t, out_type, mask_data, accum,
-            complement=comp, structure=struct, replace=repl,
-        )
+    def compute(datas):
+        a = datas[0].transpose() if tran0 else datas[0]
+        b = datas[1].transpose() if tran1 else datas[1]
+        return kern(a, b, binop, binop.out_type)
 
-    C._submit(thunk, "eWiseAdd" if union else "eWiseMult")
+    writeback, pure = writeback_closure(
+        False, C.type, mask_src, accum,
+        complement=d.mask_complement,
+        structure=d.mask_structure,
+        replace=d.replace,
+    )
+    inputs = [a_src, b_src] if mask_src is None else [a_src, b_src, mask_src]
+    C._submit_op(
+        kind="eWiseAdd" if union else "eWiseMult",
+        label="eWiseAdd" if union else "eWiseMult",
+        inputs=inputs, compute=compute, writeback=writeback,
+        out_type=C.type, pure=pure,
+        complete_safe=pure and binop.is_builtin,
+    )
     return C
 
 
@@ -100,21 +108,28 @@ def _ewise_vec(
         require(mask.size == w.size, DimensionMismatchError,
                 "mask size must match output")
 
-    u_data = u._capture()
-    v_data = v._capture() if v is not u else u_data
-    mask_data = mask._capture() if mask is not None else None
-    out_type = w.type
-    comp, struct, repl = d.mask_complement, d.mask_structure, d.replace
+    u_src = capture_source(u)
+    v_src = capture_source(v) if v is not u else u_src
+    mask_src = capture_source(mask)
     kern = _k.vec_union if union else _k.vec_intersect
 
-    def thunk(w_data):
-        t = kern(u_data, v_data, binop, binop.out_type)
-        return vec_write_back(
-            w_data, t, out_type, mask_data, accum,
-            complement=comp, structure=struct, replace=repl,
-        )
+    def compute(datas):
+        return kern(datas[0], datas[1], binop, binop.out_type)
 
-    w._submit(thunk, "eWiseAdd" if union else "eWiseMult")
+    writeback, pure = writeback_closure(
+        True, w.type, mask_src, accum,
+        complement=d.mask_complement,
+        structure=d.mask_structure,
+        replace=d.replace,
+    )
+    inputs = [u_src, v_src] if mask_src is None else [u_src, v_src, mask_src]
+    w._submit_op(
+        kind="eWiseAdd" if union else "eWiseMult",
+        label="eWiseAdd" if union else "eWiseMult",
+        inputs=inputs, compute=compute, writeback=writeback,
+        out_type=w.type, pure=pure,
+        complete_safe=pure and binop.is_builtin,
+    )
     return w
 
 

@@ -23,8 +23,14 @@ from ..core.errors import DimensionMismatchError, DomainMismatchError
 from ..core.matrix import Matrix
 from ..core.vector import Vector
 from ..internals import extract as _k
-from ..internals.maskaccum import mat_write_back, vec_write_back
-from .common import check_accum, check_context, require, resolve_desc
+from .common import (
+    capture_source,
+    check_accum,
+    check_context,
+    require,
+    resolve_desc,
+    writeback_closure,
+)
 
 __all__ = ["extract", "ALL"]
 
@@ -51,11 +57,20 @@ def extract(
     d = resolve_desc(desc)
     accum = check_accum(accum)
     check_context(out, mask, a)
-    wb = dict(
-        complement=d.mask_complement,
-        structure=d.mask_structure,
-        replace=d.replace,
-    )
+
+    def _submit(is_vec, label, inputs, compute, mask_src):
+        writeback, pure = writeback_closure(
+            is_vec, out.type, mask_src, accum,
+            complement=d.mask_complement,
+            structure=d.mask_structure,
+            replace=d.replace,
+        )
+        out._submit_op(
+            kind="extract", label=label, inputs=inputs,
+            compute=compute, writeback=writeback,
+            out_type=out.type, pure=pure,
+        )
+        return out
 
     # w = u(I)
     if isinstance(out, Vector) and isinstance(a, Vector):
@@ -66,17 +81,15 @@ def extract(
         if mask is not None:
             require(mask.size == out.size, DimensionMismatchError,
                     "mask size must match output")
-        u_data = a._capture()
-        mask_data = mask._capture() if mask is not None else None
-        out_type = out.type
+        u_src = capture_source(a)
+        mask_src = capture_source(mask)
         idx = None if indices is None else np.asarray(indices, dtype=np.int64)
 
-        def thunk(c):
-            t = _k.vec_extract(u_data, idx)
-            return vec_write_back(c, t, out_type, mask_data, accum, **wb)
+        def compute(datas):
+            return _k.vec_extract(datas[0], idx)
 
-        out._submit(thunk, "extract(vector)")
-        return out
+        inputs = [u_src] if mask_src is None else [u_src, mask_src]
+        return _submit(True, "extract(vector)", inputs, compute, mask_src)
 
     # C = A(I, J)
     if isinstance(out, Matrix) and isinstance(a, Matrix):
@@ -88,20 +101,18 @@ def extract(
         if mask is not None:
             require((mask.nrows, mask.ncols) == (out.nrows, out.ncols),
                     DimensionMismatchError, "mask shape must match output")
-        a_data = a._capture()
-        mask_data = mask._capture() if mask is not None else None
-        out_type = out.type
+        a_src = capture_source(a)
+        mask_src = capture_source(mask)
         tran = d.transpose0
         ridx = None if indices is None else np.asarray(indices, dtype=np.int64)
         cidx = None if second is None else np.asarray(second, dtype=np.int64)
 
-        def thunk(c):
-            src = a_data.transpose() if tran else a_data
-            t = _k.mat_extract(src, ridx, cidx)
-            return mat_write_back(c, t, out_type, mask_data, accum, **wb)
+        def compute(datas):
+            src = datas[0].transpose() if tran else datas[0]
+            return _k.mat_extract(src, ridx, cidx)
 
-        out._submit(thunk, "extract(matrix)")
-        return out
+        inputs = [a_src] if mask_src is None else [a_src, mask_src]
+        return _submit(False, "extract(matrix)", inputs, compute, mask_src)
 
     # w = A(I, j)
     if isinstance(out, Vector) and isinstance(a, Matrix):
@@ -113,20 +124,18 @@ def extract(
         if mask is not None:
             require(mask.size == out.size, DimensionMismatchError,
                     "mask size must match output")
-        a_data = a._capture()
-        mask_data = mask._capture() if mask is not None else None
-        out_type = out.type
+        a_src = capture_source(a)
+        mask_src = capture_source(mask)
         tran = d.transpose0
         col = int(second)
         ridx = None if indices is None else np.asarray(indices, dtype=np.int64)
 
-        def thunk(c):
-            src = a_data.transpose() if tran else a_data
-            t = _k.mat_extract_col(src, col, ridx)
-            return vec_write_back(c, t, out_type, mask_data, accum, **wb)
+        def compute(datas):
+            src = datas[0].transpose() if tran else datas[0]
+            return _k.mat_extract_col(src, col, ridx)
 
-        out._submit(thunk, "extract(col)")
-        return out
+        inputs = [a_src] if mask_src is None else [a_src, mask_src]
+        return _submit(True, "extract(col)", inputs, compute, mask_src)
 
     raise DomainMismatchError(
         f"no extract variant for output {type(out).__name__} and "

@@ -13,8 +13,14 @@ from ..core.matrix import Matrix
 from ..core.monoid import Monoid
 from ..core.semiring import Semiring
 from ..internals.kron import kronecker as _kron
-from ..internals.maskaccum import mat_write_back
-from .common import check_accum, check_context, require, resolve_desc
+from .common import (
+    capture_source,
+    check_accum,
+    check_context,
+    require,
+    resolve_desc,
+    writeback_closure,
+)
 
 __all__ = ["kronecker"]
 
@@ -53,22 +59,26 @@ def kronecker(
         require((Mask.nrows, Mask.ncols) == (C.nrows, C.ncols),
                 DimensionMismatchError, "mask shape must match output")
 
-    a_data = A._capture()
-    b_data = B._capture() if B is not A else a_data
-    mask_data = Mask._capture() if Mask is not None else None
-    out_type = C.type
+    a_src = capture_source(A)
+    b_src = capture_source(B) if B is not A else a_src
+    mask_src = capture_source(Mask)
     tran0, tran1 = d.transpose0, d.transpose1
-    wb = dict(
+
+    def compute(datas):
+        a = datas[0].transpose() if tran0 else datas[0]
+        b = datas[1].transpose() if tran1 else datas[1]
+        return _kron(a, b, binop, binop.out_type)
+
+    writeback, pure = writeback_closure(
+        False, C.type, mask_src, accum,
         complement=d.mask_complement,
         structure=d.mask_structure,
         replace=d.replace,
     )
-
-    def thunk(c):
-        a = a_data.transpose() if tran0 else a_data
-        b = b_data.transpose() if tran1 else b_data
-        t = _kron(a, b, binop, binop.out_type)
-        return mat_write_back(c, t, out_type, mask_data, accum, **wb)
-
-    C._submit(thunk, "kronecker")
+    inputs = [a_src, b_src] if mask_src is None else [a_src, b_src, mask_src]
+    C._submit_op(
+        kind="kronecker", label="kronecker", inputs=inputs,
+        compute=compute, writeback=writeback,
+        out_type=C.type, pure=pure,
+    )
     return C

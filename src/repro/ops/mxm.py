@@ -19,19 +19,16 @@ from ..core.semiring import Semiring
 from ..core.vector import Vector
 from ..internals import config
 from ..internals import mxm as _k
-from ..internals.maskaccum import (
-    mat_mask_keys,
-    mat_write_back,
-    vec_mask_keys,
-    vec_write_back,
-)
+from ..internals.maskaccum import mat_mask_keys, vec_mask_keys
 from ..internals.parallel import parallel_mxm
 from .common import (
+    capture_source,
     check_accum,
     check_context,
     check_output_cast,
     require,
     resolve_desc,
+    writeback_closure,
 )
 
 __all__ = ["mxm", "mxv", "vxm"]
@@ -74,33 +71,37 @@ def mxm(
             DimensionMismatchError, "mask shape must match output",
         )
 
-    a_data = A._capture()
-    b_data = B._capture() if B is not A else a_data
-    mask_data = Mask._capture() if Mask is not None else None
-    out_type = C.type
+    a_src = capture_source(A)
+    b_src = capture_source(B) if B is not A else a_src
+    mask_src = capture_source(Mask)
     nthreads = ctx.nthreads
     chunk_rows = ctx.chunk_rows
     tran0, tran1 = d.transpose0, d.transpose1
-    comp, struct, repl = d.mask_complement, d.mask_structure, d.replace
+    comp, struct = d.mask_complement, d.mask_structure
 
-    def thunk(c_data):
-        a = a_data.transpose() if tran0 else a_data
-        b = b_data.transpose() if tran1 else b_data
+    def compute(datas):
+        a = datas[0].transpose() if tran0 else datas[0]
+        b = datas[1].transpose() if tran1 else datas[1]
         # Masked-SpGEMM push-down: no product the mask excludes can
         # reach the output, so filter inside the kernel before the
         # sort/compress phase (complemented masks filter inverted —
         # the visited-set pattern of BFS).
         mask_keys = None
-        if mask_data is not None and config.MASK_PUSHDOWN:
-            mask_keys = mat_mask_keys(mask_data, struct)
-        t = parallel_mxm(a, b, semiring, nthreads, chunk_rows=chunk_rows,
-                         mask_keys=mask_keys, mask_complement=comp)
-        return mat_write_back(
-            c_data, t, out_type, mask_data, accum,
-            complement=comp, structure=struct, replace=repl,
-        )
+        if mask_src is not None and config.MASK_PUSHDOWN:
+            mask_keys = mat_mask_keys(mask_src.resolve(), struct)
+        return parallel_mxm(a, b, semiring, nthreads, chunk_rows=chunk_rows,
+                            mask_keys=mask_keys, mask_complement=comp)
 
-    C._submit(thunk, "mxm")
+    writeback, pure = writeback_closure(
+        False, C.type, mask_src, accum,
+        complement=comp, structure=struct, replace=d.replace,
+    )
+    inputs = [a_src, b_src] if mask_src is None else [a_src, b_src, mask_src]
+    C._submit_op(
+        kind="mxm", label="mxm", inputs=inputs,
+        compute=compute, writeback=writeback,
+        out_type=C.type, pure=pure,
+    )
     return C
 
 
@@ -129,25 +130,29 @@ def mxv(
         require(mask.size == w.size, DimensionMismatchError,
                 "mask size must match output")
 
-    a_data = A._capture()
-    u_data = u._capture()
-    mask_data = mask._capture() if mask is not None else None
-    out_type = w.type
+    a_src = capture_source(A)
+    u_src = capture_source(u)
+    mask_src = capture_source(mask)
     tran0 = d.transpose0
-    comp, struct, repl = d.mask_complement, d.mask_structure, d.replace
+    comp, struct = d.mask_complement, d.mask_structure
 
-    def thunk(w_data):
-        a = a_data.transpose() if tran0 else a_data
+    def compute(datas):
+        a = datas[0].transpose() if tran0 else datas[0]
         mask_keys = None
-        if mask_data is not None and config.MASK_PUSHDOWN:
-            mask_keys = vec_mask_keys(mask_data, struct)
-        t = _k.mxv(a, u_data, semiring, mask_keys, comp)
-        return vec_write_back(
-            w_data, t, out_type, mask_data, accum,
-            complement=comp, structure=struct, replace=repl,
-        )
+        if mask_src is not None and config.MASK_PUSHDOWN:
+            mask_keys = vec_mask_keys(mask_src.resolve(), struct)
+        return _k.mxv(a, datas[1], semiring, mask_keys, comp)
 
-    w._submit(thunk, "mxv")
+    writeback, pure = writeback_closure(
+        True, w.type, mask_src, accum,
+        complement=comp, structure=struct, replace=d.replace,
+    )
+    inputs = [a_src, u_src] if mask_src is None else [a_src, u_src, mask_src]
+    w._submit_op(
+        kind="mxv", label="mxv", inputs=inputs,
+        compute=compute, writeback=writeback,
+        out_type=w.type, pure=pure,
+    )
     return w
 
 
@@ -179,23 +184,27 @@ def vxm(
         require(mask.size == w.size, DimensionMismatchError,
                 "mask size must match output")
 
-    a_data = A._capture()
-    u_data = u._capture()
-    mask_data = mask._capture() if mask is not None else None
-    out_type = w.type
+    a_src = capture_source(A)
+    u_src = capture_source(u)
+    mask_src = capture_source(mask)
     tran1 = d.transpose1
-    comp, struct, repl = d.mask_complement, d.mask_structure, d.replace
+    comp, struct = d.mask_complement, d.mask_structure
 
-    def thunk(w_data):
-        a = a_data.transpose() if tran1 else a_data
+    def compute(datas):
+        a = datas[0].transpose() if tran1 else datas[0]
         mask_keys = None
-        if mask_data is not None and config.MASK_PUSHDOWN:
-            mask_keys = vec_mask_keys(mask_data, struct)
-        t = _k.vxm(u_data, a, semiring, mask_keys, comp)
-        return vec_write_back(
-            w_data, t, out_type, mask_data, accum,
-            complement=comp, structure=struct, replace=repl,
-        )
+        if mask_src is not None and config.MASK_PUSHDOWN:
+            mask_keys = vec_mask_keys(mask_src.resolve(), struct)
+        return _k.vxm(datas[1], a, semiring, mask_keys, comp)
 
-    w._submit(thunk, "vxm")
+    writeback, pure = writeback_closure(
+        True, w.type, mask_src, accum,
+        complement=comp, structure=struct, replace=d.replace,
+    )
+    inputs = [a_src, u_src] if mask_src is None else [a_src, u_src, mask_src]
+    w._submit_op(
+        kind="vxm", label="vxm", inputs=inputs,
+        compute=compute, writeback=writeback,
+        out_type=w.type, pure=pure,
+    )
     return w

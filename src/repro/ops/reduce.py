@@ -25,8 +25,14 @@ from ..core.monoid import Monoid
 from ..core.scalar import Scalar
 from ..core.vector import Vector
 from ..internals import reduce as _k
-from ..internals.maskaccum import vec_write_back
-from .common import check_accum, check_context, require, resolve_desc
+from .common import (
+    capture_source,
+    check_accum,
+    check_context,
+    require,
+    resolve_desc,
+    writeback_closure,
+)
 
 __all__ = ["reduce", "reduce_to_vector", "reduce_scalar"]
 
@@ -51,22 +57,26 @@ def reduce_to_vector(
     if mask is not None:
         require(mask.size == w.size, DimensionMismatchError,
                 "mask size must match output")
-    a_data = A._capture()
-    mask_data = mask._capture() if mask is not None else None
-    out_type = w.type
+    a_src = capture_source(A)
+    mask_src = capture_source(mask)
     tran = d.transpose0
-    wb = dict(
+
+    def compute(datas):
+        src = datas[0].transpose() if tran else datas[0]
+        return _k.mat_reduce_rows(src, monoid, monoid.type)
+
+    writeback, pure = writeback_closure(
+        True, w.type, mask_src, accum,
         complement=d.mask_complement,
         structure=d.mask_structure,
         replace=d.replace,
     )
-
-    def thunk(c):
-        src = a_data.transpose() if tran else a_data
-        t = _k.mat_reduce_rows(src, monoid, monoid.type)
-        return vec_write_back(c, t, out_type, mask_data, accum, **wb)
-
-    w._submit(thunk, "reduce(vector)")
+    inputs = [a_src] if mask_src is None else [a_src, mask_src]
+    w._submit_op(
+        kind="reduce", label="reduce(vector)", inputs=inputs,
+        compute=compute, writeback=writeback,
+        out_type=w.type, pure=pure,
+    )
     return w
 
 

@@ -17,8 +17,7 @@ from ..core.indexunaryop import IndexUnaryOp
 from ..core.matrix import Matrix
 from ..core.types import BOOL
 from ..core.vector import Vector
-from ..internals import applyselect as _k
-from ..internals.maskaccum import mat_write_back, vec_write_back
+from .apply import _submit_stages
 from .common import (
     check_accum,
     check_context,
@@ -76,25 +75,7 @@ def select(
         raise DomainMismatchError(f"select output must be Vector/Matrix, got {out!r}")
 
     sval = scalar_value(s, what="select scalar")
-    a_data = a._capture()
-    mask_data = mask._capture() if mask is not None else None
-    out_type = out.type
-    tran = d.transpose0
-    wb = dict(
-        complement=d.mask_complement,
-        structure=d.mask_structure,
-        replace=d.replace,
+    return _submit_stages(
+        out, mask, accum, a, d,
+        [("select", op, sval)], "select", op=op, kind="select",
     )
-
-    if isinstance(out, Vector):
-        def thunk(c):
-            t = _k.vec_select(a_data, op, sval)
-            return vec_write_back(c, t, out_type, mask_data, accum, **wb)
-    else:
-        def thunk(c):
-            src = a_data.transpose() if tran else a_data
-            t = _k.mat_select(src, op, sval)
-            return mat_write_back(c, t, out_type, mask_data, accum, **wb)
-
-    out._submit(thunk, "select")
-    return out

@@ -5,13 +5,14 @@ from __future__ import annotations
 from ..core.descriptor import Descriptor
 from ..core.errors import DimensionMismatchError
 from ..core.matrix import Matrix
-from ..internals.maskaccum import mat_write_back
 from .common import (
+    capture_source,
     check_accum,
     check_context,
     check_output_cast,
     require,
     resolve_desc,
+    writeback_closure,
 )
 
 __all__ = ["transpose"]
@@ -41,19 +42,27 @@ def transpose(
         require((Mask.nrows, Mask.ncols) == (C.nrows, C.ncols),
                 DimensionMismatchError, "mask shape must match output")
 
-    a_data = A._capture()
-    mask_data = Mask._capture() if Mask is not None else None
-    out_type = C.type
-    tran = d.transpose0
-    wb = dict(
+    a_src = capture_source(A)
+    mask_src = capture_source(Mask)
+    writeback, pure = writeback_closure(
+        False, C.type, mask_src, accum,
         complement=d.mask_complement,
         structure=d.mask_structure,
         replace=d.replace,
     )
-
-    def thunk(c):
-        t = a_data if tran else a_data.transpose()
-        return mat_write_back(c, t, out_type, mask_data, accum, **wb)
-
-    C._submit(thunk, "transpose")
+    # INP0-transpose cancels the operation's own transpose; the empty
+    # stage list is a (masked) copy, and explicit transpose stages can
+    # further cancel against neighbouring chain links in fusion.
+    stages = [] if d.transpose0 else [("transpose",)]
+    C._submit_op(
+        kind="transpose",
+        label="transpose",
+        inputs=[a_src] if mask_src is None else [a_src, mask_src],
+        writeback=writeback,
+        stages=stages,
+        pipe_input=0,
+        out_type=C.type,
+        pure=pure,
+        complete_safe=pure,
+    )
     return C

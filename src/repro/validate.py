@@ -78,9 +78,8 @@ def describe(obj: Any, *, force: bool = False) -> str:
 
 
 def _describe_opaque(obj, out: io.StringIO, force: bool) -> None:
-    with obj._lock:
-        pending = len(obj._pending)
-        labels = [p.label for p in obj._pending]
+    labels = obj._sequence_labels()
+    pending = len(labels)
     out.write(f"  context: {obj.context!r}\n")
     if pending and not force:
         out.write(f"  state: {pending} pending method(s) "

@@ -22,7 +22,7 @@ from repro.ops.mxm import mxm, mxv, vxm
 from repro.ops.reduce import reduce_scalar, reduce_to_vector
 from repro.ops.transpose import transpose
 
-from .helpers import assert_mat_equal, mat_from_dict, mat_to_dict, vec_from_dict
+from .helpers import mat_from_dict, mat_to_dict, vec_from_dict
 
 SETTINGS = settings(
     max_examples=30,

@@ -16,7 +16,7 @@ from repro.algorithms import (
 )
 from repro.core import types as T
 from repro.core.errors import InvalidIndexError, InvalidValueError
-from repro.generators import erdos_renyi, grid_2d, rmat, to_matrix
+from repro.generators import erdos_renyi, grid_2d, to_matrix
 
 
 def _nx_from_triples(n, rows, cols, vals=None, directed=True):

@@ -14,7 +14,7 @@ from repro.algorithms import (
 )
 from repro.core import types as T
 from repro.core.errors import InvalidIndexError, InvalidValueError
-from repro.generators import erdos_renyi, grid_2d, to_matrix
+from repro.generators import erdos_renyi, to_matrix
 
 
 def _digraph(n=30, p=0.1, seed=7):

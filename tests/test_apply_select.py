@@ -1,6 +1,5 @@
 """apply (all four flavours, §VIII-B) and select (§VIII-C) batteries."""
 
-import numpy as np
 import pytest
 
 from repro.core import binaryop as B
@@ -25,7 +24,6 @@ from .helpers import (
     mat_from_dict,
     mat_to_dict,
     vec_from_dict,
-    vec_to_dict,
 )
 from .reference import ref_write_back
 

@@ -1,7 +1,5 @@
 """The GrB_-prefixed C-spelling surface: names, signatures, figure usage."""
 
-import numpy as np
-import pytest
 
 from repro import capi
 

@@ -1,6 +1,5 @@
 """The nonpolymorphic typed surface, and the §VI variant-count argument."""
 
-import numpy as np
 import pytest
 
 from repro import capi_typed as ct

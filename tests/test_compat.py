@@ -15,7 +15,7 @@ from repro.generators import rmat, to_matrix
 from repro.ops.apply import apply
 from repro.ops.select import select
 
-from .helpers import mat_from_dict, mat_to_dict
+from .helpers import mat_to_dict
 
 
 @pytest.fixture

@@ -4,9 +4,9 @@ import numpy as np
 import pytest
 
 from repro.core import types as T
-from repro.core.context import Context, Mode, default_context
+from repro.core.context import default_context
 from repro.core.errors import InvalidValueError
-from repro.core.semiring import MIN_PLUS_SEMIRING, PLUS_TIMES_SEMIRING
+from repro.core.semiring import PLUS_TIMES_SEMIRING
 from repro.distributed import (
     Cluster,
     DistMatrix,
@@ -18,7 +18,7 @@ from repro.distributed import (
     dist_mxv,
     dist_vxm,
 )
-from repro.generators import erdos_renyi, path_graph, rmat
+from repro.generators import rmat
 
 
 def _spmd_graph(scale=6, seed=9):

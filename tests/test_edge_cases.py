@@ -1,6 +1,5 @@
 """Edge-case battery: degenerate shapes, empty structures, deep chains."""
 
-import numpy as np
 import pytest
 
 from repro.core import binaryop as B
@@ -10,16 +9,16 @@ from repro.core import types as T
 from repro.core.context import Context, Mode
 from repro.core.descriptor import DESC_C, DESC_R, DESC_RC, DESC_S
 from repro.core.errors import UninitializedObjectError
-from repro.core.indexunaryop import TRIL, VALUEGT
+from repro.core.indexunaryop import TRIL
 from repro.core.matrix import Matrix
 from repro.core.scalar import Scalar
 from repro.core.vector import Vector
 from repro.ops.apply import apply
 from repro.ops.assign import assign
 from repro.ops.ewise import ewise_add, ewise_mult
-from repro.ops.extract import ALL, extract
+from repro.ops.extract import extract
 from repro.ops.kronecker import kronecker
-from repro.ops.mxm import mxm, mxv
+from repro.ops.mxm import mxm
 from repro.ops.reduce import reduce, reduce_scalar
 from repro.ops.select import select
 from repro.ops.transpose import transpose

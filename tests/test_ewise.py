@@ -1,6 +1,5 @@
 """eWiseAdd / eWiseMult battery: union vs intersection, op kinds, masks."""
 
-import numpy as np
 import pytest
 
 from repro.core import binaryop as B
@@ -73,7 +72,6 @@ class TestMatrixEwise:
             ewise_add(C, None, None, "PLUS", A, A)
 
     def test_transpose_first_input(self):
-        A = mat_from_dict(A_D, 3, 3)
         at = {(j, i): v for (i, j), v in A_D.items()}
         At = mat_from_dict(at, 3, 3)
         Bm = mat_from_dict(B_D, 3, 3)

@@ -1,6 +1,5 @@
 """extract and assign batteries: all variants, region semantics, masks."""
 
-import numpy as np
 import pytest
 
 from repro.core import binaryop as B
@@ -21,9 +20,7 @@ from .helpers import (
     assert_mat_equal,
     assert_vec_equal,
     mat_from_dict,
-    mat_to_dict,
     vec_from_dict,
-    vec_to_dict,
 )
 from .reference import ref_assign, ref_extract
 

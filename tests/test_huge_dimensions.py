@@ -15,14 +15,14 @@ from repro.core import monoid as M
 from repro.core import semiring as S
 from repro.core import types as T
 from repro.core.errors import OutOfMemoryError
-from repro.core.indexunaryop import COLGT, TRIL
+from repro.core.indexunaryop import COLGT
 from repro.core.matrix import Matrix
 from repro.core.vector import Vector
 from repro.internals.containers import MAX_NROWS, pair_keys
 from repro.ops.apply import apply
 from repro.ops.ewise import ewise_add, ewise_mult
 from repro.ops.extract import extract
-from repro.ops.mxm import mxm, mxv, vxm
+from repro.ops.mxm import mxm, vxm
 from repro.ops.reduce import reduce_scalar
 from repro.ops.select import select
 

@@ -4,14 +4,12 @@ import numpy as np
 import pytest
 
 from repro.core import binaryop as B
-from repro.core import monoid as M
 from repro.core import semiring as S
 from repro.core import types as T
 from repro.core.errors import DuplicateIndexError, IndexOutOfBoundsError
 from repro.internals import parallel
 from repro.internals.build import build_matrix, build_vector, dedup_sorted
 from repro.internals.containers import (
-    MatData,
     VecData,
     coo_to_csr,
     csr_to_coo_rows,

@@ -1,6 +1,5 @@
 """I/O battery: Matrix Market and edge-list round-trips."""
 
-import numpy as np
 import pytest
 
 from repro.core import types as T

@@ -1,6 +1,5 @@
 """Matrix object battery: constructors, element access, build rules, diag."""
 
-import numpy as np
 import pytest
 
 from repro.core import binaryop as B

@@ -22,7 +22,7 @@ from repro.ops.apply import apply
 from repro.ops.assign import assign
 from repro.ops.ewise import ewise_add, ewise_mult
 from repro.ops.extract import extract
-from repro.ops.mxm import mxm, mxv
+from repro.ops.mxm import mxm
 from repro.ops.reduce import reduce_scalar
 from repro.ops.select import select
 from repro.ops.transpose import transpose
@@ -150,3 +150,133 @@ class TestModeParity:
         expected_materialized = mode_ctx.mode == Mode.BLOCKING
         assert v.is_materialized == expected_materialized
         assert v.extract_element(0) == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Property-based parity: random op chains, both modes, exact agreement.
+# ---------------------------------------------------------------------------
+
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.core.context import WaitMode  # noqa: E402
+from repro.core.errors import GraphBLASError  # noqa: E402
+from repro.core.indexunaryop import TRIL, TRIU, VALUEGT  # noqa: E402
+from repro.core.unaryop import AINV, UnaryOp  # noqa: E402
+
+_N = 8
+
+#: Op menu for generated chains.  Each entry takes (c, a, ctx, p) where
+#: ``p`` is a small integer parameter from the strategy.
+_OP_NAMES = (
+    "apply_ainv",
+    "apply_times",
+    "select_tril",
+    "select_triu",
+    "select_valuegt",
+    "transpose",
+    "ewise_mult",
+    "ewise_add",
+    "mxm",
+    "set_element",
+    "remove_element",
+    "clear",
+    "assign_scalar",
+    "wait_complete",
+    "wait_materialize",
+    "read_nvals",
+)
+
+_chain = st.lists(
+    st.tuples(st.sampled_from(_OP_NAMES), st.integers(0, _N * _N - 1)),
+    min_size=1, max_size=10,
+)
+
+
+def _apply_op(name, p, c, a, ctx):
+    if name == "apply_ainv":
+        apply(c, None, None, AINV[T.FP64], c)
+    elif name == "apply_times":
+        apply(c, None, None, B.TIMES[T.FP64], c, float((p % 5) - 2))
+    elif name == "select_tril":
+        select(c, None, None, TRIL, c, (p % 5) - 2)
+    elif name == "select_triu":
+        select(c, None, None, TRIU, c, (p % 5) - 2)
+    elif name == "select_valuegt":
+        select(c, None, None, VALUEGT[T.FP64], c, (p % 7) / 7.0 - 0.5)
+    elif name == "transpose":
+        transpose(c, None, None, c)
+    elif name == "ewise_mult":
+        ewise_mult(c, None, None, B.TIMES[T.FP64], c, a)
+    elif name == "ewise_add":
+        ewise_add(c, None, None, B.PLUS[T.FP64], c, a)
+    elif name == "mxm":
+        mxm(c, None, None, S.PLUS_TIMES_SEMIRING[T.FP64], c, a)
+    elif name == "set_element":
+        c.set_element(float(p), p // _N, p % _N)
+    elif name == "remove_element":
+        c.remove_element(p // _N, p % _N)
+    elif name == "clear":
+        c.clear()
+    elif name == "assign_scalar":
+        assign(c, None, None, float(p), [p // _N], [p % _N])
+    elif name == "wait_complete":
+        c.wait(WaitMode.COMPLETE)
+    elif name == "wait_materialize":
+        c.wait(WaitMode.MATERIALIZE)
+    elif name == "read_nvals":
+        c.nvals()
+    else:  # pragma: no cover - menu is exhaustive
+        raise AssertionError(name)
+
+
+def _run_chain(ctx, ops):
+    a, _ = _graph(ctx, seed=13, n=_N)
+    c = Matrix.new(T.FP64, _N, _N, ctx)
+    mxm(c, None, None, S.PLUS_TIMES_SEMIRING[T.FP64], a, a)
+    for name, p in ops:
+        _apply_op(name, p, c, a, ctx)
+    c.wait(WaitMode.MATERIALIZE)
+    return sorted(c.to_dict().items())
+
+
+class TestModeParityProperties:
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(ops=_chain)
+    def test_random_chain_parity(self, ops):
+        """Any generated op chain gives bit-identical results in both
+        modes — deferral, fusion, and elision are unobservable."""
+        results = [_run_chain(Context.new(mode, None, None), ops)
+                   for mode in (Mode.BLOCKING, Mode.NONBLOCKING)]
+        assert results[0] == results[1]
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(ops=_chain)
+    def test_error_parity(self, ops):
+        """A failing op at the end of any chain leaves the same error
+        text and the same final state in both modes; only the raise
+        site differs (§V)."""
+
+        def boom(x):
+            raise ValueError("deliberate failure")
+
+        bad = UnaryOp.new(boom, T.FP64, T.FP64, name="boom")
+
+        outcomes = []
+        for mode in (Mode.BLOCKING, Mode.NONBLOCKING):
+            ctx = Context.new(mode, None, None)
+            a, _ = _graph(ctx, seed=13, n=_N)
+            c = Matrix.new(T.FP64, _N, _N, ctx)
+            mxm(c, None, None, S.PLUS_TIMES_SEMIRING[T.FP64], a, a)
+            for name, p in ops:
+                _apply_op(name, p, c, a, ctx)
+            err = None
+            try:
+                apply(c, None, None, bad, c)
+                c.wait(WaitMode.MATERIALIZE)
+            except GraphBLASError as exc:
+                err = type(exc).__name__
+            outcomes.append((err, c.error(), sorted(c.to_dict().items())))
+        assert outcomes[0] == outcomes[1]

@@ -17,6 +17,7 @@ import pytest
 from repro import compat
 from repro.core import indexunaryop as IU
 from repro.core import types as T
+from repro.core.context import WaitMode
 from repro.core.matrix import Matrix
 from repro.generators import rmat, to_matrix
 from repro.ops.apply import apply
@@ -48,7 +49,7 @@ class TestHeadlineShapes:
         def run(op):
             out = Matrix.new(T.FP64, graph.nrows, graph.ncols)
             select(out, None, None, op, graph, 0)
-            out.wait()
+            out.wait(WaitMode.MATERIALIZE)
 
         t_pre = _best(lambda: run(IU.TRIL))
         t_udf = _best(lambda: run(udf))
@@ -66,10 +67,11 @@ class TestHeadlineShapes:
             select(mid, None, None, IU.TRIU, graph, 1)
             out = Matrix.new(T.FP64, graph.nrows, graph.ncols)
             select(out, None, None, IU.VALUEGT[T.FP64], mid, 0.0)
-            out.wait()
+            out.wait(WaitMode.MATERIALIZE)
 
         def old_way():
-            compat.select_triu_value_packed_1x(packed, 0.0, T.FP64)
+            out = compat.select_triu_value_packed_1x(packed, 0.0, T.FP64)
+            out.wait(WaitMode.MATERIALIZE)
 
         t_new = _best(new_way)
         t_old = _best(old_way)
@@ -85,7 +87,7 @@ class TestHeadlineShapes:
         def run(op):
             out = Matrix.new(T.INT64, graph.nrows, graph.ncols)
             apply(out, None, None, op, graph, 0)
-            out.wait()
+            out.wait(WaitMode.MATERIALIZE)
 
         t_pre = _best(lambda: run(IU.ROWINDEX[T.INT64]))
         t_udf = _best(lambda: run(udf))

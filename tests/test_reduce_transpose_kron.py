@@ -7,7 +7,7 @@ from repro.core import binaryop as B
 from repro.core import monoid as M
 from repro.core import semiring as S
 from repro.core import types as T
-from repro.core.descriptor import DESC_R, DESC_T0
+from repro.core.descriptor import DESC_T0
 from repro.core.errors import DimensionMismatchError, DomainMismatchError
 from repro.core.matrix import Matrix
 from repro.core.scalar import Scalar

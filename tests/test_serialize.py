@@ -1,6 +1,5 @@
 """Serialize/deserialize battery (§VII-B): opacity, protocol, corruption."""
 
-import numpy as np
 import pytest
 
 from repro.core import types as T

@@ -8,12 +8,10 @@ segfault-style explode, and never return an object that fails its own
 invariant check.
 """
 
-import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.core import types as T
 from repro.core.errors import InvalidObjectError
 from repro.formats import (
     matrix_deserialize,

@@ -5,7 +5,6 @@ GraphBLAS 2.0 and beyond"; this battery calls each row with an actual
 ``Scalar`` argument and checks the §VI semantics.
 """
 
-import pytest
 
 from repro.core import binaryop as B
 from repro.core import monoid as M

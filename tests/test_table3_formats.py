@@ -11,8 +11,6 @@ from repro.core.errors import (
     InvalidValueError,
     NoValue,
 )
-from repro.core.matrix import Matrix
-from repro.core.vector import Vector
 from repro.formats import (
     Format,
     matrix_export,

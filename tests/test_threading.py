@@ -3,7 +3,6 @@
 import threading
 
 import numpy as np
-import pytest
 
 from repro.core import types as T
 from repro.core.context import Context, Mode, WaitMode
@@ -91,12 +90,13 @@ class TestFigOnePattern:
 
     def test_shared_object_handoff(self):
         n = 24
-        rng = np.random.default_rng(0)
-        mk = lambda seed: {
-            (i, j): float(np.random.default_rng(seed).integers(1, 5))
-            for i in range(n) for j in range(n)
-            if np.random.default_rng(seed * 977 + i * n + j).random() < 0.2
-        }
+
+        def mk(seed):
+            return {
+                (i, j): float(np.random.default_rng(seed).integers(1, 5))
+                for i in range(n) for j in range(n)
+                if np.random.default_rng(seed * 977 + i * n + j).random() < 0.2
+            }
         a_d, b_d, d_d, e_d, f_d = (mk(s) for s in range(5))
         flag = threading.Event()
         Esh = Matrix.new(T.FP64, n, n)
@@ -129,7 +129,6 @@ class TestFigOnePattern:
         wait(Hres, WaitMode.MATERIALIZE)
 
         # sequential reference
-        dense = {k: None for k in "abdef"}
         import numpy as _np
         def to_dense(d):
             out = _np.zeros((n, n))

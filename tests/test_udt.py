@@ -19,7 +19,7 @@ from repro.core.semiring import Semiring
 from repro.core.unaryop import UnaryOp
 from repro.core.vector import Vector
 from repro.ops.apply import apply
-from repro.ops.ewise import ewise_add, ewise_mult
+from repro.ops.ewise import ewise_add
 from repro.ops.mxm import mxm, mxv
 from repro.ops.reduce import reduce
 from repro.ops.select import select
@@ -146,7 +146,6 @@ class TestUdtOperators:
 class TestUdtSemiring:
     def test_point_dot_semiring_mxv(self):
         """⊕ = FP64 plus, ⊗ = point dot-product: POINT x POINT -> FP64."""
-        from repro.core.binaryop import PLUS
         from repro.core.monoid import PLUS_MONOID
         sr = Semiring.new(PLUS_MONOID[T.FP64], P_SCALE_SUM, "dot")
         m = _pmat({(0, 0): (1, 0), (0, 1): (0, 2)}, 2, 2)
@@ -169,6 +168,5 @@ class TestUdtSemiring:
 
     def test_mismatched_udt_semiring_rejected(self):
         other = T.Type.new("Other")
-        op = BinaryOp.new(lambda a, b: a, other, other, other)
         with pytest.raises(DomainMismatchError):
             Monoid.new(BinaryOp.new(lambda a, b: a, other, POINT, POINT), None)

@@ -9,7 +9,6 @@ from repro.core.descriptor import DESC_RSC
 from repro.core.errors import InvalidObjectError
 from repro.core.matrix import Matrix
 from repro.core.scalar import Scalar
-from repro.core.vector import Vector
 from repro.internals.containers import MatData, VecData
 from repro.validate import check_object, describe
 

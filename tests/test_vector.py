@@ -1,6 +1,5 @@
 """Vector object battery: constructors, element access, build rules."""
 
-import numpy as np
 import pytest
 
 from repro.core import binaryop as B
