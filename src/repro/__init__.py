@@ -22,8 +22,7 @@ Quick start::
     grb.finalize()
 """
 
-from . import grb
-from .core import (
+from .core import (  # noqa: I001 - core must initialize before faults
     Context,
     Matrix,
     Mode,
@@ -33,10 +32,17 @@ from .core import (
     finalize,
     init,
 )
+from . import faults, grb
+
+# Chaos mode: REPRO_CHAOS_SEED in the environment activates
+# low-probability transient fault injection for the whole process (the
+# CI chaos job sets it; see repro.faults.plane.configure_from_env).
+faults.configure_from_env()
 
 __version__ = "2.0.0"
 
 __all__ = [
+    "faults",
     "grb",
     "Context",
     "Matrix",

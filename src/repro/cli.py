@@ -12,6 +12,12 @@ and poking at data files without writing a script:
 ``--engine-stats`` (global flag) dumps the lazy-engine counters — nodes
 built/forced/fused, elisions, per-kernel wall time — after the command
 runs, answering "did nonblocking mode actually optimize anything?".
+
+``--chaos SEED`` (global flag) runs the command under low-probability
+transient fault injection (:mod:`repro.faults`): kernels randomly fail
+with retryable errors and the resilience machinery must recover every
+one — results stay exact.  ``--chaos-rate`` tunes the per-site
+injection probability; an injection summary prints afterwards.
 """
 
 from __future__ import annotations
@@ -34,6 +40,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--engine-stats", action="store_true",
         help="dump lazy-engine counters and kernel timings after the command",
+    )
+    p.add_argument(
+        "--chaos", type=int, metavar="SEED", default=None,
+        help="run under deterministic transient fault injection with this "
+             "seed (results must still be exact)",
+    )
+    p.add_argument(
+        "--chaos-rate", type=float, metavar="P", default=0.05,
+        help="per-site injection probability for --chaos (default 0.05)",
     )
     sub = p.add_subparsers(dest="command", required=True)
 
@@ -184,6 +199,10 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     owned = not is_initialized()
     if owned:
         init(Mode.NONBLOCKING)
+    if args.chaos is not None:
+        from repro import faults
+
+        faults.enable_chaos(args.chaos, rate=args.chaos_rate)
     try:
         if args.command == "info":
             return _cmd_info(out)
@@ -199,5 +218,10 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             from repro.engine.stats import STATS
 
             out.write(STATS.format() + "\n")
+        if args.chaos is not None:
+            from repro.faults import PLANE
+
+            out.write(PLANE.format() + "\n")
+            PLANE.disable()
         if owned and is_initialized():
             finalize()

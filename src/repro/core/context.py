@@ -68,7 +68,10 @@ _all_contexts: "list[Context]" = []
 class Context:
     """An opaque execution context (``GrB_Context``)."""
 
-    __slots__ = ("mode", "parent", "_exec", "_freed", "_children", "name")
+    __slots__ = (
+        "mode", "parent", "_exec", "_freed", "_children", "name",
+        "_degraded", "_worker_faults",
+    )
 
     def __init__(
         self,
@@ -83,6 +86,8 @@ class Context:
         self._freed = False
         self._children: list[Context] = []
         self.name = name
+        self._degraded = False
+        self._worker_faults = 0
         if parent is not None:
             parent._children.append(self)
         self._validate_exec()
@@ -172,6 +177,38 @@ class Context:
             ctx = ctx.parent
         return False
 
+    # -- graceful degradation (fault plane) -----------------------------------
+
+    @property
+    def is_degraded(self) -> bool:
+        """True once this context's parallel paths have been demoted to
+        serial execution after repeated worker faults."""
+        return self._degraded
+
+    def record_worker_fault(self) -> bool:
+        """Count one absorbed worker fault against this context.
+
+        Returns True exactly once — when the count crosses the
+        ``DEGRADE_WORKER_FAULTS`` threshold and the context flips to
+        degraded (serial) execution.
+        """
+        from ..internals import config
+
+        with _state_lock:
+            self._worker_faults += 1
+            if (not self._degraded
+                    and self._worker_faults
+                    >= config.get_option("DEGRADE_WORKER_FAULTS")):
+                self._degraded = True
+                return True
+        return False
+
+    def restore(self) -> None:
+        """Clear degraded state (operator action after the fault cleared)."""
+        with _state_lock:
+            self._degraded = False
+            self._worker_faults = 0
+
     # -- engine introspection -------------------------------------------------
 
     def engine_stats(self) -> dict[str, Any]:
@@ -179,11 +216,16 @@ class Context:
 
         The engine keeps process-wide statistics (nodes built/forced,
         fusions, elisions, deferred completes, ...); contexts expose them
-        so tools need not import the engine package directly.
+        so tools need not import the engine package directly.  Fault
+        plane counters ride along under ``fault_sites``.
         """
         from ..engine.stats import STATS
+        from ..faults.plane import PLANE
 
-        return STATS.snapshot()
+        snap = STATS.snapshot()
+        snap["fault_sites"] = PLANE.snapshot()["injected"]
+        snap["context_degraded"] = self._degraded
+        return snap
 
     # -- teardown ------------------------------------------------------------
 

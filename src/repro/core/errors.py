@@ -178,6 +178,10 @@ _EXEC_BY_INFO = {
     Info.INVALID_OBJECT: InvalidObjectError,
     Info.INDEX_OUT_OF_BOUNDS: IndexOutOfBoundsError,
     Info.EMPTY_OBJECT: EmptyObjectError,
+    # INVALID_VALUE doubles as an execution-error code in §IX: build
+    # with a NULL ``dup`` reports duplicates as a (deferrable)
+    # DuplicateIndexError carrying GrB_INVALID_VALUE.
+    Info.INVALID_VALUE: DuplicateIndexError,
 }
 
 

@@ -53,6 +53,8 @@ from typing import Any, Callable, Sequence
 
 from ..engine.dag import DONE, FAILED, Node, Source
 from ..engine.stats import STATS
+from ..engine.txn import commit as _txn_commit
+from ..faults.retry import with_retry
 from .context import Context, Mode, WaitMode, default_context
 from .errors import (
     ExecutionError,
@@ -213,9 +215,16 @@ class OpaqueObject:
             self._materialized = False
 
     def _run_now(self, label: str, fn: Callable[[], Any]) -> Any:
-        """Blocking-mode execution with the §V error wrapping."""
+        """Blocking-mode execution with the §V error wrapping.
+
+        Runs as a *transaction*: the method's scratch result passes the
+        commit gate inside the transient-fault retry envelope, so a
+        mid-kernel fault leaves ``_data`` untouched (the reference store
+        below never happens) and transient faults are retried with
+        backoff before they surface.
+        """
         try:
-            return fn()
+            return with_retry(lambda: _txn_commit(label, fn()), label)
         except ExecutionError as exc:
             # §V: the OUT/INOUT argument's state is undefined after an
             # execution error; we keep the previous data and record the

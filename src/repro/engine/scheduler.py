@@ -30,9 +30,12 @@ from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor
 from concurrent.futures import wait as _futures_wait
 
 from ..core.errors import ExecutionError, GraphBLASError, PanicError
+from ..faults.plane import armed, maybe_inject
+from ..faults.retry import with_retry
 from ..internals.applyselect import run_stages
 from .dag import DONE, ELIDED, FAILED, PENDING, Node
 from .stats import STATS
+from .txn import commit as _txn_commit
 
 __all__ = ["force", "chain_complete_safe"]
 
@@ -140,6 +143,8 @@ def _node_cap(node: Node) -> int:
     if ctx is None:
         return 1
     try:
+        if getattr(ctx, "is_degraded", False):
+            return 1  # persistent faults demoted this context to serial
         return max(1, int(ctx.nthreads))
     except Exception:
         return 1
@@ -213,12 +218,45 @@ def _execute_parallel(nodes: list[Node]) -> None:
             STATS.bump("parallel_batches")
             STATS.bump("parallel_nodes", len(batch))
         for node in batch:
-            inflight[pool.submit(_run_node, node)] = node
+            inflight[pool.submit(_pool_run, node)] = node
         done, _ = _futures_wait(inflight, return_when=FIRST_COMPLETED)
         for fut in done:
             node = inflight.pop(fut)
-            fut.result()  # _run_node never raises
+            try:
+                fut.result()  # _pool_run only raises _WorkerCrash
+            except _WorkerCrash:
+                _absorb_worker_crash(node)
             _finish(node)
+
+
+class _WorkerCrash(Exception):
+    """A simulated engine-pool node failure: the worker died before the
+    node ran.  Absorbed by the dispatcher — never user-visible."""
+
+
+def _pool_run(node: Node) -> None:
+    """Pool-worker entry: give the fault plane its shot at this worker
+    (a straggler via ``scheduler.slow``, a node failure via
+    ``scheduler.worker``), then run the node normally."""
+    try:
+        maybe_inject("scheduler.slow", label=node.label)
+        with armed():  # the dispatcher's crash recovery protects this site
+            maybe_inject("scheduler.worker", label=node.label)
+    except ExecutionError as exc:
+        raise _WorkerCrash(node.label) from exc
+    _run_node(node)
+
+
+def _absorb_worker_crash(node: Node) -> None:
+    """Recover from a simulated worker failure by re-running the node on
+    the dispatcher thread; repeated faults degrade the owning context's
+    parallel paths to serial."""
+    STATS.bump("worker_faults")
+    ctx = getattr(node.owner, "_ctx", None)
+    if ctx is not None and getattr(ctx, "record_worker_fault", None):
+        if ctx.record_worker_fault():
+            STATS.bump("degraded_serial")
+    _run_node(node)
 
 
 # -- single-node execution ----------------------------------------------------
@@ -248,7 +286,7 @@ def _run_node(node: Node) -> None:
     t0 = time.perf_counter()
     if node.plan is not None:
         try:
-            node.result = _evaluate(node)
+            node.result = _checked_evaluate(node)
             node.state = DONE
             STATS.kernel(f"fused:{node.kind}", time.perf_counter() - t0)
         except Exception:
@@ -261,7 +299,7 @@ def _run_node(node: Node) -> None:
             _run_unfused_fallback(node)
         return
     try:
-        result = _evaluate(node)
+        result = _checked_evaluate(node)
     except ExecutionError as exc:
         _record_failure(node, exc, f"{node.label}: {exc.message}")
         return
@@ -320,6 +358,17 @@ def _carrier_before(node: Node):
     if src.node is None:
         return src.data
     return src.node.result
+
+
+def _checked_evaluate(node: Node):
+    """Evaluate a node as a *transaction*: the kernel runs inside the
+    transient-fault retry envelope and its scratch result must pass the
+    commit gate (:mod:`repro.engine.txn`) before it is published as the
+    node's result.  Kernels are pure over immutable carriers, so a
+    retried evaluation is indistinguishable from a first run."""
+    return with_retry(
+        lambda: _txn_commit(node.label, _evaluate(node)), node.label
+    )
 
 
 def _evaluate(node: Node):

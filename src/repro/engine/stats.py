@@ -19,6 +19,19 @@ optimizer actually do anything?".  Counters:
 * ``parallel_batches`` / ``parallel_nodes`` — scheduler dispatches that
   ran ≥2 independent ready nodes concurrently, and how many nodes.
 * ``errors_deferred``  — execution errors recorded during a forcing.
+* ``faults_injected``  — faults fired by the injection plane
+  (:mod:`repro.faults`).
+* ``retries`` / ``retries_recovered`` / ``retries_exhausted`` —
+  transient-fault retry attempts, operations that succeeded after ≥1
+  retry, and operations that burned the whole retry budget.
+* ``worker_faults``    — simulated engine-pool node failures absorbed
+  by re-running the node on the dispatcher thread.
+* ``degraded_serial``  — parallel batch paths that fell back to serial
+  execution after persistent faults.
+* ``degraded_local``   — distributed ops that fell back to
+  single-process execution on an unhealthy cluster.
+* ``comm_timeouts``    — communicator receives/collectives that timed
+  out (dead-rank detection).
 
 Per-kernel timing lives in ``kernel_time``/``kernel_count`` keyed by
 node kind (``mxm``, ``apply``, ``fused``…).  Query via
@@ -44,6 +57,14 @@ _COUNTERS = (
     "parallel_batches",
     "parallel_nodes",
     "errors_deferred",
+    "faults_injected",
+    "retries",
+    "retries_recovered",
+    "retries_exhausted",
+    "worker_faults",
+    "degraded_serial",
+    "degraded_local",
+    "comm_timeouts",
 )
 
 

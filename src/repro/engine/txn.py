@@ -1,0 +1,68 @@
+"""Transactional kernel commits (§V "well-defined state on failure").
+
+Kernels in this codebase assemble their outputs into *scratch* state:
+fresh carriers (immutable dataclasses over fresh numpy arrays) that no
+GraphBLAS object references until execution finishes.  The commit point
+— where a scratch carrier becomes the output object's visible state —
+is therefore a single reference store, and :func:`commit` makes that
+point explicit and guarded:
+
+* a fault injected at ``txn.commit`` (or anywhere earlier in the
+  kernel) aborts the transaction *before* the store, so the output
+  object keeps its last-materialized value exactly as §V requires;
+* a cheap structural validation refuses to publish a corrupt carrier
+  (raising :class:`InvalidObjectError` instead), turning silent
+  corruption into the §V error path.
+
+Both execution funnels route through here: blocking mode via
+``OpaqueObject._run_now`` and the nonblocking scheduler via
+``_checked_evaluate``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.errors import InvalidObjectError
+from ..faults.plane import maybe_inject
+
+__all__ = ["commit", "validate_carrier"]
+
+
+def validate_carrier(carrier: Any) -> None:
+    """Cheap structural invariants on a scratch carrier (O(1) checks —
+    full value validation is ``validate.check_object``'s job)."""
+    indptr = getattr(carrier, "indptr", None)
+    if indptr is not None:  # MatData-shaped
+        nrows = carrier.nrows
+        if len(indptr) != nrows + 1:
+            raise InvalidObjectError(
+                f"refusing to commit corrupt scratch state: indptr length "
+                f"{len(indptr)} != nrows+1 ({nrows + 1})"
+            )
+        if len(indptr) and (indptr[0] != 0 or indptr[-1] != len(carrier.col_indices)):
+            raise InvalidObjectError(
+                "refusing to commit corrupt scratch state: indptr does not "
+                "span col_indices"
+            )
+        if len(carrier.col_indices) != len(carrier.values):
+            raise InvalidObjectError(
+                "refusing to commit corrupt scratch state: col/value length "
+                "mismatch"
+            )
+        return
+    indices = getattr(carrier, "indices", None)
+    if indices is not None:  # VecData-shaped
+        if len(indices) != len(carrier.values):
+            raise InvalidObjectError(
+                "refusing to commit corrupt scratch state: index/value "
+                "length mismatch"
+            )
+
+
+def commit(label: str, carrier: Any) -> Any:
+    """The transaction's commit gate: fault point + validation, then
+    hand the scratch carrier back for the (atomic) reference store."""
+    maybe_inject("txn.commit", label=label)
+    validate_carrier(carrier)
+    return carrier

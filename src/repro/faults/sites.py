@@ -1,0 +1,46 @@
+"""Registry of known fault-injection site names.
+
+Purely documentary — :func:`repro.faults.plane.maybe_inject` accepts
+any string — but keeping the canonical list in one place lets tests
+assert coverage and lets the CLI/docs enumerate what a fault schedule
+can target.  Site names are hierarchical (``layer.point``) so fnmatch
+patterns like ``kernel.*`` or ``comm.*`` select a whole layer.
+"""
+
+from __future__ import annotations
+
+#: site name -> (layer, description)
+SITES: dict[str, tuple[str, str]] = {
+    # -- kernel boundaries (internals/*) -----------------------------------
+    "kernel.mxm": ("kernel", "SpGEMM entry (internals/mxm.mxm)"),
+    "kernel.mxv": ("kernel", "SpMV entry (internals/mxm.mxv)"),
+    "kernel.vxm": ("kernel", "vector-matrix entry (internals/mxm.vxm)"),
+    "kernel.build": ("kernel", "tuple assembly (internals/build)"),
+    "kernel.apply": ("kernel", "unary map kernels (internals/applyselect)"),
+    "kernel.select": ("kernel", "filter kernels (internals/applyselect)"),
+    "kernel.pipeline": ("kernel", "fused stage pipelines (internals/applyselect)"),
+    "kernel.ewise": ("kernel", "eWise merge/intersect (internals/ewise)"),
+    "kernel.reduce": ("kernel", "monoid reductions (internals/reduce)"),
+    "kernel.extract": ("kernel", "sub-container extract (internals/extract)"),
+    "kernel.assign": ("kernel", "sub-container assign (internals/assign)"),
+    "kernel.kron": ("kernel", "Kronecker product (internals/kron)"),
+    # -- engine (engine/*) --------------------------------------------------
+    "txn.commit": ("engine", "transactional commit gate (engine/txn)"),
+    "scheduler.worker": ("engine", "pool worker node failure (engine/scheduler)"),
+    "scheduler.slow": ("engine", "straggling pool worker (kind='slow')"),
+    "parallel.worker": ("engine", "row-block worker (internals/parallel)"),
+    # -- distributed (distributed/comm.py) ----------------------------------
+    "comm.send": ("comm", "point-to-point send"),
+    "comm.recv": ("comm", "point-to-point receive"),
+    "comm.drop": ("comm", "message silently dropped (kind='drop')"),
+    "comm.collective": ("comm", "collective entry (bcast/allgather/allreduce)"),
+    "comm.barrier": ("comm", "barrier entry"),
+    "comm.slow": ("comm", "slow link / slow collective (kind='slow')"),
+}
+
+
+def layer(site: str) -> str:
+    """The layer a (possibly unregistered) site name belongs to."""
+    if site in SITES:
+        return SITES[site][0]
+    return site.split(".", 1)[0]

@@ -21,6 +21,7 @@ from ..core.binaryop import BinaryOp
 from ..core.indexunaryop import IndexUnaryOp
 from ..core.types import Type
 from ..core.unaryop import UnaryOp
+from ..faults.plane import maybe_inject
 from .containers import MatData, VecData, csr_to_coo_rows
 
 __all__ = [
@@ -47,11 +48,13 @@ _INT = np.int64
 # ---------------------------------------------------------------------------
 
 def vec_apply_unary(u: VecData, op: UnaryOp, out_type: Type) -> VecData:
+    maybe_inject("kernel.apply")
     vals = op.vec(op.in_type.coerce_array(u.values))
     return VecData(u.size, out_type, u.indices, out_type.coerce_array(vals))
 
 
 def mat_apply_unary(a: MatData, op: UnaryOp, out_type: Type) -> MatData:
+    maybe_inject("kernel.apply")
     vals = op.vec(op.in_type.coerce_array(a.values))
     return MatData(
         a.nrows, a.ncols, out_type,
@@ -78,19 +81,23 @@ def _bind2nd(op: BinaryOp, values: np.ndarray, s: Any, out_type: Type) -> np.nda
 
 
 def vec_apply_bind1st(s: Any, u: VecData, op: BinaryOp, out_type: Type) -> VecData:
+    maybe_inject("kernel.apply")
     return VecData(u.size, out_type, u.indices, _bind1st(op, s, u.values, out_type))
 
 
 def vec_apply_bind2nd(u: VecData, s: Any, op: BinaryOp, out_type: Type) -> VecData:
+    maybe_inject("kernel.apply")
     return VecData(u.size, out_type, u.indices, _bind2nd(op, u.values, s, out_type))
 
 
 def mat_apply_bind1st(s: Any, a: MatData, op: BinaryOp, out_type: Type) -> MatData:
+    maybe_inject("kernel.apply")
     return MatData(a.nrows, a.ncols, out_type, a.indptr, a.col_indices,
                    _bind1st(op, s, a.values, out_type))
 
 
 def mat_apply_bind2nd(a: MatData, s: Any, op: BinaryOp, out_type: Type) -> MatData:
+    maybe_inject("kernel.apply")
     return MatData(a.nrows, a.ncols, out_type, a.indptr, a.col_indices,
                    _bind2nd(op, a.values, s, out_type))
 
@@ -116,6 +123,7 @@ def vec_apply_index(
     u: VecData, op: IndexUnaryOp, s: Any, out_type: Type
 ) -> VecData:
     """w = f(u, ind(u), 1, s) — §VIII-B vector variant."""
+    maybe_inject("kernel.apply")
     cols = np.zeros(u.nvals, dtype=_INT)
     vals = _index_op_values(op, u.values, u.indices, cols, s)
     return VecData(u.size, out_type, u.indices, out_type.coerce_array(vals))
@@ -125,6 +133,7 @@ def mat_apply_index(
     a: MatData, op: IndexUnaryOp, s: Any, out_type: Type
 ) -> MatData:
     """C = f(A, ind(A), 2, s) — §VIII-B matrix variant."""
+    maybe_inject("kernel.apply")
     rows = csr_to_coo_rows(a.indptr, a.nrows)
     vals = _index_op_values(op, a.values, rows, a.col_indices, s)
     return MatData(a.nrows, a.ncols, out_type, a.indptr, a.col_indices,
@@ -133,6 +142,7 @@ def mat_apply_index(
 
 def vec_select(u: VecData, op: IndexUnaryOp, s: Any) -> VecData:
     """w = u⟨f(u, ind(u), 1, s)⟩ — §VIII-C vector variant."""
+    maybe_inject("kernel.select")
     cols = np.zeros(u.nvals, dtype=_INT)
     keep = np.asarray(
         _index_op_values(op, u.values, u.indices, cols, s), dtype=bool
@@ -142,6 +152,7 @@ def vec_select(u: VecData, op: IndexUnaryOp, s: Any) -> VecData:
 
 def mat_select(a: MatData, op: IndexUnaryOp, s: Any) -> MatData:
     """C = A⟨f(A, ind(A), 2, s)⟩ — §VIII-C matrix variant."""
+    maybe_inject("kernel.select")
     rows = csr_to_coo_rows(a.indptr, a.nrows)
     keep = np.asarray(
         _index_op_values(op, a.values, rows, a.col_indices, s), dtype=bool
@@ -176,6 +187,7 @@ def mat_select(a: MatData, op: IndexUnaryOp, s: Any) -> MatData:
 
 def vec_pipeline(u: VecData, stages: list) -> VecData:
     """Run a fused stage list over a vector carrier in one pass."""
+    maybe_inject("kernel.pipeline")
     t = u.type
     indices, values = u.indices, u.values
     for st in stages:
@@ -224,6 +236,7 @@ def mat_pipeline(a: MatData, stages: list) -> MatData:
     stage) and the CSR row pointer is rebuilt only when a filter changed
     the structure — once at the end, or at a transpose boundary.
     """
+    maybe_inject("kernel.pipeline")
     nrows, ncols, t = a.nrows, a.ncols, a.type
     indptr, cols, values = a.indptr, a.col_indices, a.values
     rows = None     # COO rows; materialized on demand while indptr is valid

@@ -27,6 +27,7 @@ import numpy as np
 from ..core.binaryop import BinaryOp
 from ..core.errors import InvalidIndexError
 from ..core.types import Type
+from ..faults.plane import maybe_inject
 from .containers import MatData, VecData, coo_to_csr, csr_to_coo_rows
 from .ewise import mat_union, vec_union
 
@@ -67,6 +68,7 @@ def vec_assign(
     out_type: Type,
 ) -> VecData:
     """Z for ``w(I) = [accum] u``; len(I) must equal u.size."""
+    maybe_inject("kernel.assign")
     idx = _indices_or_all(indices, c.size, "vector")
     region_len = c.size if idx is None else len(idx)
     if u.size != region_len:
@@ -108,6 +110,7 @@ def vec_assign_scalar(
     ``value=None`` (an empty GrB_Scalar) deletes the region when
     unaccumulated and is a no-op when accumulated.
     """
+    maybe_inject("kernel.assign")
     idx = _indices_or_all(indices, c.size, "vector")
     region = np.arange(c.size, dtype=_INT) if idx is None else np.sort(idx)
     if value is None:
@@ -175,6 +178,7 @@ def mat_assign(
     out_type: Type,
 ) -> MatData:
     """Z for ``C(I,J) = [accum] A``."""
+    maybe_inject("kernel.assign")
     ridx = _indices_or_all(row_indices, c.nrows, "row")
     cidx = _indices_or_all(col_indices, c.ncols, "column")
     nr = c.nrows if ridx is None else len(ridx)
@@ -201,6 +205,7 @@ def mat_assign_scalar(
     out_type: Type,
 ) -> MatData:
     """Z for ``C(I,J) = [accum] s`` — the region densifies to |I|·|J|."""
+    maybe_inject("kernel.assign")
     ridx = _indices_or_all(row_indices, c.nrows, "row")
     cidx = _indices_or_all(col_indices, c.ncols, "column")
     rows_arr = np.arange(c.nrows, dtype=_INT) if ridx is None else ridx
@@ -230,6 +235,7 @@ def mat_assign_row(
     out_type: Type,
 ) -> MatData:
     """Z for ``C(i, J) = [accum] u`` (``GrB_Row_assign``)."""
+    maybe_inject("kernel.assign")
     if not (0 <= row < c.nrows):
         raise InvalidIndexError(f"row {row} out of range [0, {c.nrows})")
     cidx = _indices_or_all(col_indices, c.ncols, "column")
@@ -255,6 +261,7 @@ def mat_assign_col(
     out_type: Type,
 ) -> MatData:
     """Z for ``C(I, j) = [accum] u`` (``GrB_Col_assign``)."""
+    maybe_inject("kernel.assign")
     if not (0 <= col < c.ncols):
         raise InvalidIndexError(f"column {col} out of range [0, {c.ncols})")
     ridx = _indices_or_all(row_indices, c.nrows, "row")

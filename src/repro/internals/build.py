@@ -17,6 +17,7 @@ import numpy as np
 from ..core.binaryop import BinaryOp
 from ..core.errors import DuplicateIndexError, IndexOutOfBoundsError
 from ..core.types import Type
+from ..faults.plane import maybe_inject
 from .containers import MatData, VecData, coo_to_csr, pair_keys
 
 __all__ = ["build_vector", "build_matrix", "dedup_sorted"]
@@ -93,6 +94,7 @@ def build_vector(
     dup: BinaryOp | None,
 ) -> VecData:
     """``GrB_Vector_build`` kernel."""
+    maybe_inject("kernel.build")
     idx = np.asarray(indices, dtype=_INT).reshape(-1)
     vals = np.asarray(values)
     if vals.ndim == 0:
@@ -121,6 +123,7 @@ def build_matrix(
     dup: BinaryOp | None,
 ) -> MatData:
     """``GrB_Matrix_build`` kernel."""
+    maybe_inject("kernel.build")
     r = np.asarray(rows, dtype=_INT).reshape(-1)
     c = np.asarray(cols, dtype=_INT).reshape(-1)
     vals = np.asarray(values)

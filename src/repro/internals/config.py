@@ -15,8 +15,21 @@ DESIGN.md's ablation benches flip these to measure the design choices:
   runs as a standalone kernel with its own write-back; execution is
   still lazy and topological).
 
+Resilience knobs (the fault plane's retry/degradation policy,
+:mod:`repro.faults`):
+
+* ``RETRY_MAX`` — retries (after the first attempt) granted to a
+  transient execution failure before it surfaces.
+* ``RETRY_BASE_DELAY`` — base of the exponential backoff sleep
+  (``RETRY_BASE_DELAY * 2**attempt`` seconds).
+* ``COMM_TIMEOUT`` — seconds a ``Communicator`` receive/collective
+  waits before declaring the peer dead (``GrB_PANIC``).
+* ``DEGRADE_WORKER_FAULTS`` — worker faults a Context absorbs before
+  degrading its parallel paths to serial execution.
+
 All default on; flip via :func:`set_option` (thread-safe enough for
-benchmarks: reads are plain attribute loads).
+benchmarks: reads are plain attribute loads).  Values are coerced to
+the type of the option's default.
 """
 
 from __future__ import annotations
@@ -24,21 +37,34 @@ from __future__ import annotations
 MASK_PUSHDOWN: bool = True
 MULT_SHORTCUTS: bool = True
 ENGINE_FUSION: bool = True
+RETRY_MAX: int = 3
+RETRY_BASE_DELAY: float = 0.002
+COMM_TIMEOUT: float = 10.0
+DEGRADE_WORKER_FAULTS: int = 2
 
-_KNOWN = ("MASK_PUSHDOWN", "MULT_SHORTCUTS", "ENGINE_FUSION")
+_DEFAULTS = {
+    "MASK_PUSHDOWN": True,
+    "MULT_SHORTCUTS": True,
+    "ENGINE_FUSION": True,
+    "RETRY_MAX": 3,
+    "RETRY_BASE_DELAY": 0.002,
+    "COMM_TIMEOUT": 10.0,
+    "DEGRADE_WORKER_FAULTS": 2,
+}
+_KNOWN = tuple(_DEFAULTS)
 
 
-def set_option(name: str, value: bool) -> bool:
+def set_option(name: str, value):
     """Set a tuning switch; returns the previous value."""
     if name not in _KNOWN:
         raise KeyError(f"unknown kernel option {name!r}; known: {_KNOWN}")
     g = globals()
     prev = g[name]
-    g[name] = bool(value)
+    g[name] = type(_DEFAULTS[name])(value)
     return prev
 
 
-def get_option(name: str) -> bool:
+def get_option(name: str):
     if name not in _KNOWN:
         raise KeyError(f"unknown kernel option {name!r}; known: {_KNOWN}")
     return globals()[name]
@@ -47,10 +73,10 @@ def get_option(name: str) -> bool:
 class option:
     """Context manager: temporarily set a kernel option."""
 
-    def __init__(self, name: str, value: bool):
+    def __init__(self, name: str, value):
         self.name = name
         self.value = value
-        self._prev: bool | None = None
+        self._prev = None
 
     def __enter__(self):
         self._prev = set_option(self.name, self.value)

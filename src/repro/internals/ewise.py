@@ -20,6 +20,7 @@ import numpy as np
 
 from ..core.binaryop import BinaryOp
 from ..core.types import Type
+from ..faults.plane import maybe_inject
 from .containers import MatData, VecData, coo_to_csr, csr_to_coo_rows, pair_keys
 
 __all__ = [
@@ -60,6 +61,7 @@ def vec_intersect(
     a: VecData, b: VecData, op: BinaryOp, out_type: Type
 ) -> VecData:
     """w = A .* B over the structural intersection."""
+    maybe_inject("kernel.ewise")
     common, ia, ib = _intersect_sorted(a.indices, b.indices)
     vals = _merged_values(op, out_type, a.values[ia], b.values[ib])
     return VecData(a.size, out_type, common, vals)
@@ -69,6 +71,7 @@ def vec_union(
     a: VecData, b: VecData, op: BinaryOp, out_type: Type
 ) -> VecData:
     """w = A + B over the structural union."""
+    maybe_inject("kernel.ewise")
     if a.nvals == 0:
         return VecData(a.size, out_type, b.indices, out_type.coerce_array(b.values))
     if b.nvals == 0:
@@ -98,6 +101,7 @@ def mat_intersect(
     a: MatData, b: MatData, op: BinaryOp, out_type: Type
 ) -> MatData:
     """C = A .* B over the structural intersection."""
+    maybe_inject("kernel.ewise")
     a_keys = pair_keys(csr_to_coo_rows(a.indptr, a.nrows), a.col_indices, a.ncols)
     b_keys = pair_keys(csr_to_coo_rows(b.indptr, b.nrows), b.col_indices, b.ncols)
     common, ia, ib = _intersect_sorted(a_keys, b_keys)
@@ -111,6 +115,7 @@ def mat_union(
     a: MatData, b: MatData, op: BinaryOp, out_type: Type
 ) -> MatData:
     """C = A + B over the structural union."""
+    maybe_inject("kernel.ewise")
     if a.nvals == 0:
         return b.astype(out_type)
     if b.nvals == 0:

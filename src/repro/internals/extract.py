@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.errors import InvalidIndexError
+from ..faults.plane import maybe_inject
 from .containers import MatData, VecData, coo_to_csr, csr_to_coo_rows
 
 __all__ = ["vec_extract", "mat_extract", "mat_extract_col"]
@@ -54,6 +55,7 @@ def _expand_matches(
 
 def vec_extract(u: VecData, indices: np.ndarray | None) -> VecData:
     """w = u(I); ``indices=None`` means GrB_ALL (a full copy)."""
+    maybe_inject("kernel.extract")
     if indices is None:
         return VecData(u.size, u.type, u.indices, u.values)
     idx = _validate(indices, u.size, "vector")
@@ -74,6 +76,7 @@ def mat_extract(
     col_indices: np.ndarray | None,
 ) -> MatData:
     """C = A(I, J) with duplicates allowed in both index lists."""
+    maybe_inject("kernel.extract")
     if row_indices is None and col_indices is None:
         return MatData(a.nrows, a.ncols, a.type, a.indptr, a.col_indices, a.values)
 
@@ -121,6 +124,7 @@ def mat_extract(
 
 def mat_extract_col(a: MatData, col: int, row_indices: np.ndarray | None) -> VecData:
     """w = A(I, j) — one column as a vector (``Col_extract``)."""
+    maybe_inject("kernel.extract")
     if not (0 <= col < a.ncols):
         raise InvalidIndexError(f"column {col} out of range [0, {a.ncols})")
     hit = a.col_indices == col

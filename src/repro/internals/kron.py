@@ -11,6 +11,7 @@ import numpy as np
 
 from ..core.binaryop import BinaryOp
 from ..core.types import Type
+from ..faults.plane import maybe_inject
 from .containers import MatData, coo_to_csr, csr_to_coo_rows, empty_mat
 
 __all__ = ["kronecker"]
@@ -19,6 +20,7 @@ _INT = np.int64
 
 
 def kronecker(a: MatData, b: MatData, op: BinaryOp, out_type: Type) -> MatData:
+    maybe_inject("kernel.kron")
     nrows = a.nrows * b.nrows
     ncols = a.ncols * b.ncols
     if a.nvals == 0 or b.nvals == 0:

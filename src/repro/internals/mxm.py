@@ -26,6 +26,7 @@ import numpy as np
 from ..core.monoid import Monoid
 from ..core.semiring import Semiring
 from ..core.types import Type
+from ..faults.plane import maybe_inject
 from . import config
 from .containers import (
     MatData,
@@ -101,6 +102,7 @@ def mxm(
     ``mask_complement`` inverts the filter — the BFS pattern where the
     mask is the visited set).
     """
+    maybe_inject("kernel.mxm")
     out_type = semiring.out_type
     if a.nvals == 0 or b.nvals == 0:
         return empty_mat(a.nrows, b.ncols, out_type)
@@ -169,6 +171,7 @@ def mxv(
     mask_complement: bool = False,
 ) -> VecData:
     """w = A ⊕.⊗ u (optional row-index mask push-down)."""
+    maybe_inject("kernel.mxv")
     out_type = semiring.out_type
     if a.nvals == 0 or u.nvals == 0:
         return empty_vec(a.nrows, out_type)
@@ -201,6 +204,7 @@ def vxm(
 ) -> VecData:
     """w' = u' ⊕.⊗ A (gather the A rows selected by u's pattern;
     optional column-index mask push-down — the masked-BFS hot path)."""
+    maybe_inject("kernel.vxm")
     out_type = semiring.out_type
     if a.nvals == 0 or u.nvals == 0:
         return empty_vec(a.ncols, out_type)

@@ -23,7 +23,11 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..core.errors import ExecutionError
 from ..core.semiring import Semiring
+from ..engine.stats import STATS
+from ..faults.plane import armed, maybe_inject
+from ..faults.retry import with_retry
 from .containers import MatData, empty_mat
 from .mxm import mxm
 
@@ -112,10 +116,28 @@ def parallel_mxm(
         (_slice_rows(a, lo, hi), _slice_mask_keys(mask_keys, lo, hi, b.ncols))
         for lo, hi in blocks
     ]
-    with ThreadPoolExecutor(max_workers=len(blocks)) as pool:
-        results = list(pool.map(
-            lambda s: kernel(s[0], b, semiring, s[1], mask_complement),
-            slices))
+
+    def _block(s):
+        # Pool threads start unarmed (arming is thread-local); arm this
+        # worker explicitly — the ladder below protects it.
+        with armed():
+            maybe_inject("parallel.worker")
+            return kernel(s[0], b, semiring, s[1], mask_complement)
+
+    def _batch():
+        with ThreadPoolExecutor(max_workers=len(blocks)) as pool:
+            return list(pool.map(_block, slices))
+
+    try:
+        # Blocks are pure over immutable carriers, so the whole batch is
+        # safely re-runnable: transient faults retry here with backoff.
+        results = with_retry(_batch, "parallel.mxm")
+    except ExecutionError:
+        # Persistent (or retry-exhausted) fault in the parallel path:
+        # degrade to one serial kernel call over the unsplit operands
+        # (correct, just slower).
+        STATS.bump("degraded_serial")
+        return kernel(a, b, semiring, mask_keys, mask_complement)
     if all(r.nvals == 0 for r in results):
         return empty_mat(a.nrows, b.ncols, semiring.out_type)
     return concat_row_blocks(results, b.ncols)

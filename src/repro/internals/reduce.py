@@ -20,6 +20,7 @@ import numpy as np
 from ..core.binaryop import BinaryOp
 from ..core.monoid import Monoid
 from ..core.types import Type
+from ..faults.plane import maybe_inject
 from .containers import MatData, VecData
 
 __all__ = [
@@ -34,6 +35,7 @@ _INT = np.int64
 
 def mat_reduce_rows(a: MatData, monoid: Monoid, out_type: Type) -> VecData:
     """w(i) = ⊕_j A(i,j): fold each CSR row segment (empty rows absent)."""
+    maybe_inject("kernel.reduce")
     lens = a.row_lengths()
     nonempty = np.flatnonzero(lens > 0).astype(_INT)
     if len(nonempty) == 0:
@@ -45,6 +47,7 @@ def mat_reduce_rows(a: MatData, monoid: Monoid, out_type: Type) -> VecData:
 
 def mat_reduce_scalar(a: MatData, monoid: Monoid) -> Any | None:
     """⊕ over all stored values; ``None`` when the matrix is empty."""
+    maybe_inject("kernel.reduce")
     if a.nvals == 0:
         return None
     return monoid.reduce_array(monoid.type.coerce_array(a.values))
@@ -52,6 +55,7 @@ def mat_reduce_scalar(a: MatData, monoid: Monoid) -> Any | None:
 
 def vec_reduce_scalar(u: VecData, monoid: Monoid) -> Any | None:
     """⊕ over all stored values; ``None`` when the vector is empty."""
+    maybe_inject("kernel.reduce")
     if u.nvals == 0:
         return None
     return monoid.reduce_array(monoid.type.coerce_array(u.values))

@@ -74,7 +74,6 @@ def mxm(
     a_src = capture_source(A)
     b_src = capture_source(B) if B is not A else a_src
     mask_src = capture_source(Mask)
-    nthreads = ctx.nthreads
     chunk_rows = ctx.chunk_rows
     tran0, tran1 = d.transpose0, d.transpose1
     comp, struct = d.mask_complement, d.mask_structure
@@ -89,6 +88,10 @@ def mxm(
         mask_keys = None
         if mask_src is not None and config.MASK_PUSHDOWN:
             mask_keys = mat_mask_keys(mask_src.resolve(), struct)
+        # Resolved at execution time (not submit time): a context that
+        # degraded to serial while this node was deferred must not
+        # re-enter the parallel path.
+        nthreads = 1 if ctx.is_degraded else ctx.nthreads
         return parallel_mxm(a, b, semiring, nthreads, chunk_rows=chunk_rows,
                             mask_keys=mask_keys, mask_complement=comp)
 

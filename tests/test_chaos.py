@@ -218,3 +218,219 @@ def test_chaos_sequences(seed, mode):
 def test_chaos_long_nonblocking_run():
     """One long soak in the mode with the most machinery."""
     ChaosDriver(7, Mode.NONBLOCKING).run(steps=400)
+
+
+# ---------------------------------------------------------------------------
+# Fault-schedule chaos harness (§V resilience invariants)
+# ---------------------------------------------------------------------------
+#
+# Random op programs under random fault schedules, checked against the
+# fault-free blocking run of the same program.  The §V invariant:
+# every run either produces *exactly* the fault-free result (faults
+# absorbed by retry / fallback) or raises the correct deferred
+# ExecutionError with ``error(obj)`` populated and the object left at a
+# previously-materialized state.
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.context import WaitMode
+from repro.core.errors import (
+    ExecutionError,
+    InsufficientSpaceError,
+    OutOfMemoryError,
+)
+from repro.core.sequence import wait
+from repro.engine.stats import STATS
+from repro.faults import PLANE, FaultSpec, configure_from_env, suspended
+from repro.validate import check_object
+
+
+def _plane_reset():
+    """Drop the test's schedule; re-arm ambient env chaos if CI set it."""
+    PLANE.disable()
+    configure_from_env()
+
+_INIT = {(0, 1): 2.0, (1, 2): 3.0, (2, 0): 4.0, (3, 3): 1.0, (4, 2): 2.0}
+_N_OPS = 6
+
+
+def _fresh_chaos_matrix(ctx):
+    m = Matrix.new(T.FP64, N, N, ctx)
+    rows, cols = zip(*_INIT.keys())
+    m.build(list(rows), list(cols), list(_INIT.values()))
+    wait(m, WaitMode.MATERIALIZE)
+    return m
+
+
+def _chaos_operand(ctx, prng):
+    d = {(i, j): float(prng.integers(1, 5))
+         for i in range(N) for j in range(N) if prng.random() < 0.35}
+    other = Matrix.new(T.FP64, N, N, ctx)
+    if d:
+        rows, cols = zip(*d.keys())
+        other.build(list(rows), list(cols), list(d.values()))
+    wait(other, WaitMode.MATERIALIZE)
+    return other
+
+
+def _fault_apply_op(m, ctx, code, prng):
+    """Apply program op *code* in place on *m*.
+
+    Operand construction is always fault-free (``suspended``): the
+    schedules target the program's own kernels, not scaffolding.
+    """
+    if code in (0, 1, 2):
+        with suspended():
+            other = _chaos_operand(ctx, prng)
+    if code == 0:
+        mxm(m, None, None, S.PLUS_TIMES_SEMIRING[T.FP64], m, other)
+    elif code == 1:
+        ewise_add(m, None, None, B.PLUS[T.FP64], m, other)
+    elif code == 2:
+        ewise_mult(m, None, None, B.TIMES[T.FP64], m, other)
+    elif code == 3:
+        select(m, None, None, TRIU, m, int(prng.integers(-1, 2)))
+    elif code == 4:
+        apply(m, None, None, B.PLUS[T.FP64], m, float(prng.integers(1, 4)))
+    else:
+        rows = sorted(prng.choice(N, size=2, replace=False).tolist())
+        cols = sorted(prng.choice(N, size=2, replace=False).tolist())
+        assign(m, None, None, float(prng.integers(1, 9)), rows, cols)
+
+
+def _reference_states(program):
+    """Fault-free blocking run; state snapshot after every step."""
+    with suspended():
+        ctx = Context.new(Mode.BLOCKING, None, None)
+        m = _fresh_chaos_matrix(ctx)
+        states = [mat_to_dict(m)]
+        for code, pseed in program:
+            _fault_apply_op(m, ctx, code, np.random.default_rng(pseed))
+            states.append(mat_to_dict(m))
+    return states
+
+
+_PROGRAMS = st.lists(
+    st.tuples(st.integers(0, _N_OPS - 1), st.integers(0, 2 ** 16)),
+    min_size=2, max_size=6,
+)
+
+_CHAOS_SETTINGS = dict(
+    deadline=None,
+    derandomize=True,  # CI must not explore fresh schedules per run
+    suppress_health_check=[
+        HealthCheck.function_scoped_fixture,
+        HealthCheck.too_slow,
+    ],
+)
+
+
+@settings(max_examples=120, **_CHAOS_SETTINGS)
+@given(
+    program=_PROGRAMS,
+    seed=st.integers(0, 2 ** 16),
+    rate=st.sampled_from([0.05, 0.15, 0.4, 1.0]),
+    mode=st.sampled_from([Mode.BLOCKING, Mode.NONBLOCKING]),
+)
+def test_chaos_fault_schedule_stepwise(program, seed, rate, mode):
+    """Persistent faults, materializing after every step: each step
+    either matches the fault-free reference or fails cleanly with the
+    object at the previous step's state."""
+    states = _reference_states(program)
+    ctx = Context.new(mode, None, None)
+    with suspended():
+        m = _fresh_chaos_matrix(ctx)
+    PLANE.configure(seed, [
+        FaultSpec(site="kernel.*", rate=rate, error=OutOfMemoryError),
+    ])
+    try:
+        for k, (code, pseed) in enumerate(program, start=1):
+            try:
+                _fault_apply_op(m, ctx, code, np.random.default_rng(pseed))
+                wait(m, WaitMode.MATERIALIZE)
+            except ExecutionError as exc:
+                PLANE.disable()
+                assert getattr(exc, "injected", False)
+                assert mat_to_dict(m) == states[k - 1], (
+                    f"failed step {k} did not preserve pre-op state"
+                )
+                assert m.error() != ""
+                check_object(m)
+                return
+            assert mat_to_dict(m) == states[k], (
+                f"survived step {k} but diverged from fault-free run"
+            )
+    finally:
+        _plane_reset()
+
+
+@settings(max_examples=60, **_CHAOS_SETTINGS)
+@given(
+    program=_PROGRAMS,
+    seed=st.integers(0, 2 ** 16),
+    rate=st.sampled_from([0.1, 0.3, 1.0]),
+)
+def test_chaos_fault_schedule_deferred(program, seed, rate):
+    """Persistent faults with one forcing call at the end of the whole
+    nonblocking chain: either the exact fault-free result, or a deferred
+    error with the object at *some* previously-materialized program
+    state (a prefix of the fault-free run)."""
+    states = _reference_states(program)
+    ctx = Context.new(Mode.NONBLOCKING, None, None)
+    with suspended():
+        m = _fresh_chaos_matrix(ctx)
+    PLANE.configure(seed, [
+        FaultSpec(site="kernel.*", rate=rate, error=InsufficientSpaceError),
+    ])
+    try:
+        for code, pseed in program:
+            _fault_apply_op(m, ctx, code, np.random.default_rng(pseed))
+        try:
+            wait(m)
+        except ExecutionError:
+            PLANE.disable()
+            assert m.error() != ""
+            assert mat_to_dict(m) in states, (
+                "post-failure state is not any materialized program state"
+            )
+            check_object(m)
+            return
+        PLANE.disable()
+        assert mat_to_dict(m) == states[-1]
+    finally:
+        _plane_reset()
+
+
+@settings(max_examples=40, **_CHAOS_SETTINGS)
+@given(
+    program=_PROGRAMS,
+    seed=st.integers(0, 2 ** 16),
+    max_hits=st.integers(1, 2),
+    mode=st.sampled_from([Mode.BLOCKING, Mode.NONBLOCKING]),
+)
+def test_chaos_transient_recovery(program, seed, max_hits, mode):
+    """Transient faults within the retry budget are invisible: the run
+    must always equal the fault-free reference, and any injection must
+    show up as a recovery in the counters."""
+    states = _reference_states(program)
+    ctx = Context.new(mode, None, None)
+    with suspended():
+        m = _fresh_chaos_matrix(ctx)
+    before = STATS.snapshot()
+    PLANE.configure(seed, [
+        FaultSpec(site="kernel.*", rate=1.0, transient=True,
+                  max_hits=max_hits),
+    ])
+    try:
+        for k, (code, pseed) in enumerate(program, start=1):
+            _fault_apply_op(m, ctx, code, np.random.default_rng(pseed))
+            wait(m, WaitMode.MATERIALIZE)
+            assert mat_to_dict(m) == states[k]
+    finally:
+        _plane_reset()
+    after = STATS.snapshot()
+    injected = after["faults_injected"] - before["faults_injected"]
+    assert injected >= 1  # rate=1.0: the very first kernel visit faults
+    assert after["retries_recovered"] > before["retries_recovered"]
+    assert m.error() == ""

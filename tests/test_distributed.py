@@ -316,3 +316,187 @@ def _bool_dup():
     from repro.core.binaryop import LOR
     from repro.core import types as _T
     return LOR[_T.BOOL]
+
+
+# ---------------------------------------------------------------------------
+# Comm-layer fault tolerance (timeouts, drops, retries, degradation)
+# ---------------------------------------------------------------------------
+
+from repro.core.errors import OutOfMemoryError, PanicError  # noqa: E402
+from repro.engine.stats import STATS  # noqa: E402
+from repro.faults import PLANE, FaultSpec, configure_from_env  # noqa: E402
+from repro.internals import config  # noqa: E402
+
+
+@pytest.fixture(autouse=True)
+def _plane_off():
+    PLANE.disable()
+    yield
+    PLANE.disable()
+    configure_from_env()  # re-arm ambient env chaos if CI set it
+
+
+def _stat(name):
+    return STATS.snapshot()[name]
+
+
+class TestCommFaultTolerance:
+    def test_dead_rank_mid_allreduce_surfaces_panic(self):
+        """The satellite scenario: one rank dies before joining the
+        collective; survivors must get GrB_PANIC within the timeout,
+        not a deadlock, and the cluster turns unhealthy."""
+        cluster = Cluster(3)
+        before = _stat("comm_timeouts")
+
+        def prog(comm):
+            if comm.rank == 2:
+                return None  # dies without ever entering the collective
+            return comm.allreduce(comm.rank + 1, lambda a, b: a + b,
+                                  timeout=0.3)
+
+        with config.option("COMM_TIMEOUT", 0.3):
+            with pytest.raises(PanicError, match="presumed dead"):
+                cluster.run(prog)
+        assert not cluster.healthy
+        assert _stat("comm_timeouts") > before
+
+    def test_recv_timeout_is_panic_not_deadlock(self):
+        cluster = Cluster(2)
+
+        def prog(comm):
+            if comm.rank == 1:
+                return comm.recv(source=0, timeout=0.2)  # nothing coming
+            return None
+
+        with pytest.raises(PanicError, match="recv"):
+            cluster.run(prog)
+        assert cluster.stats.snapshot()["timeouts"] >= 1
+
+    def test_dropped_message_times_out_receiver(self):
+        cluster = Cluster(2)
+        PLANE.configure(1, [FaultSpec(site="comm.drop", kind="drop",
+                                      max_hits=1)])
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(1, "swallowed by the wire")
+                return None
+            return comm.recv(source=0, timeout=0.2)
+
+        with pytest.raises(PanicError):
+            cluster.run(prog)
+        PLANE.disable()
+        assert cluster.stats.snapshot()["drops"] == 1
+        assert PLANE.dropped == 1
+
+    def test_transient_send_fault_retried_inline(self):
+        cluster = Cluster(2)
+        before = _stat("retries_recovered")
+        PLANE.configure(1, [FaultSpec(site="comm.send", transient=True,
+                                      max_hits=1)])
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(1, np.arange(3))
+                return None
+            return comm.recv(source=0)
+
+        results = cluster.run(prog)
+        PLANE.disable()
+        assert results[1].tolist() == [0, 1, 2]
+        assert cluster.healthy
+        assert _stat("retries_recovered") == before + 1
+
+    def test_slow_collective_spec_still_correct(self):
+        cluster = Cluster(2)
+        PLANE.configure(1, [FaultSpec(site="comm.collective", kind="slow",
+                                      delay=0.01)])
+        out = cluster.run(
+            lambda comm: comm.allreduce(comm.rank + 1, lambda a, b: a + b)
+        )
+        PLANE.disable()
+        assert out == [3, 3]
+        assert PLANE.snapshot()["injected_total"] >= 1
+
+    def test_run_resilient_transient_revive_and_retry(self):
+        cluster = Cluster(2)
+        before = _stat("retries_recovered")
+        crashed = []
+
+        def prog(comm):
+            if comm.rank == 1 and not crashed:
+                crashed.append(True)
+                exc = OutOfMemoryError("transient rank blip")
+                exc.transient = True
+                raise exc
+            return comm.allgather(comm.rank)
+
+        out = cluster.run_resilient(prog)
+        assert out == [[0, 1], [0, 1]]
+        assert cluster.healthy  # revived
+        assert _stat("retries_recovered") == before + 1
+
+    def test_run_resilient_persistent_degrades_to_local(self):
+        cluster = Cluster(2)
+        before = _stat("degraded_local")
+
+        def prog(comm):
+            raise PanicError("rank wedged for good")
+
+        out = cluster.run_resilient(prog, local_fallback=lambda: "local")
+        assert out == "local"
+        assert not cluster.healthy
+        assert _stat("degraded_local") == before + 1
+        # while unhealthy, further resilient runs degrade immediately
+        out2 = cluster.run_resilient(lambda comm: comm.allgather(1),
+                                     local_fallback=lambda: "local2")
+        assert out2 == "local2"
+        # a persistent failure with no fallback propagates
+        cluster.revive()
+        with pytest.raises(PanicError):
+            cluster.run_resilient(prog)
+
+    def test_revive_preserves_counters(self):
+        cluster = Cluster(2)
+        cluster.run(lambda comm: comm.allgather(comm.rank))
+        bytes_before = cluster.stats.snapshot()["bytes"]
+        assert bytes_before > 0
+        cluster._healthy = False
+        cluster.revive()
+        assert cluster.healthy
+        assert cluster.stats.snapshot()["bytes"] == bytes_before
+
+    def test_faulted_dist_mxv_still_matches_single_node(self):
+        """End to end: transient comm faults under a real distributed
+        op must not change the numbers."""
+        n, rows, cols, vals = _spmd_graph(scale=5)
+        x = np.ones(n)
+        single = _to_single(n, rows, cols, vals)
+        from repro.core.vector import Vector
+        from repro.ops.mxm import mxv
+        xv = Vector.new(T.FP64, n)
+        xv.build(np.arange(n), x)
+        expect = Vector.new(T.FP64, n)
+        mxv(expect, None, None, PLUS_TIMES_SEMIRING[T.FP64], single, xv)
+        expected = expect.to_dict()
+
+        cluster = Cluster(2)
+        top = default_context()
+        PLANE.configure(6, [FaultSpec(site="comm.collective", transient=True,
+                                      max_hits=2)])
+
+        def prog(comm):
+            home = RankHome.create(comm.rank, top)
+            a = DistMatrix.from_triples(home, n, n, comm.size, T.FP64,
+                                        rows, cols, vals, _dup())
+            u = DistVector.from_global_dense(home, x, comm.size, T.FP64)
+            w = dist_mxv(comm, a, u, PLUS_TIMES_SEMIRING[T.FP64])
+            return w.local_tuples()
+
+        got = {}
+        for idx, vv in cluster.run(prog):
+            got.update({int(i): v for i, v in zip(idx, vv)})
+        PLANE.disable()
+        assert set(got) == set(expected)
+        for k in expected:
+            assert got[k] == pytest.approx(expected[k])

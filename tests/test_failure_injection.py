@@ -113,3 +113,57 @@ class TestUdfExceptions:
         w.wait()
         assert w.to_dict() == {0: 3.0}
         assert "boom" in w.error()    # history preserved for GrB_error
+
+
+class TestConcurrentErrorReads:
+    def test_error_readable_while_chain_fails(self):
+        """``GrB_error`` is thread-safe (§V): readers polling
+        ``error(obj)`` while another thread forces a failing deferred
+        chain must only ever observe the empty string or the final
+        message — never garbage or an exception."""
+        import threading
+
+        ctx = Context.new(Mode.NONBLOCKING, None, None)
+        u = vec_from_dict({0: 1.0, 1: 2.0}, 4, ctx=ctx)
+        w = Vector.new(T.FP64, 4, ctx)
+        # A chain with healthy links before the bomb, so forcing does
+        # real work while the readers poll.
+        apply(w, None, None, PLUS[T.FP64], u, 1.0)
+        apply(w, None, None, PLUS[T.FP64], w, 1.0)
+        apply(w, None, None, _bomb_unary(), w)
+
+        start = threading.Barrier(5)
+        stop = threading.Event()
+        seen: list[set] = [set() for _ in range(3)]
+        oops: list[BaseException] = []
+
+        def reader(k):
+            start.wait()
+            while not stop.is_set():
+                try:
+                    seen[k].add(w.error())
+                except BaseException as exc:  # noqa: BLE001
+                    oops.append(exc)
+                    return
+
+        def forcer():
+            start.wait()
+            with pytest.raises(PanicError):
+                w.wait()
+            stop.set()
+
+        threads = [threading.Thread(target=reader, args=(k,))
+                   for k in range(3)]
+        threads.append(threading.Thread(target=forcer))
+        for t in threads:
+            t.start()
+        start.wait()
+        for t in threads:
+            t.join(timeout=30)
+        assert not oops, f"error() raised concurrently: {oops!r}"
+        final = w.error()
+        assert "boom" in final
+        observed = set().union(*seen)
+        assert observed <= {"", final}, f"unexpected values: {observed}"
+        # and the text stays stable on repeated reads
+        assert w.error() == final

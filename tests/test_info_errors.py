@@ -123,3 +123,37 @@ class TestExceptionClasses:
     def test_all_graphblas_errors_carry_info(self):
         exc = E.GraphBLASError("x", Info.PANIC)
         assert exc.info == Info.PANIC
+
+
+class TestInfoRoundTrip:
+    """Regression for the code<->class mapping, both directions, for
+    every registered execution error — including the §IX special case
+    where GrB_INVALID_VALUE maps to DuplicateIndexError."""
+
+    def test_every_exec_code_round_trips(self):
+        for info, cls in E._EXEC_BY_INFO.items():
+            exc = E.execution_error_for(info, "msg")
+            assert type(exc) is cls
+            assert exc.info == info          # class -> code
+            assert cls.info == info or info == Info.INVALID_VALUE
+
+    def test_duplicate_index_round_trip(self):
+        # code -> class
+        exc = E.execution_error_for(Info.INVALID_VALUE, "dup at (0,0)")
+        assert type(exc) is E.DuplicateIndexError
+        assert isinstance(exc, E.ExecutionError)
+        # class -> code
+        assert E.DuplicateIndexError("x").info == Info.INVALID_VALUE
+
+    def test_invalid_value_stays_api_error_on_api_side(self):
+        """The same code means InvalidValueError when raised as an API
+        error — the dual mapping must not leak across factories."""
+        exc = E.api_error_for(Info.INVALID_VALUE, "bad arg")
+        assert type(exc) is E.InvalidValueError
+        assert not isinstance(exc, E.ExecutionError)
+
+    def test_every_api_code_round_trips(self):
+        for info, cls in E._API_BY_INFO.items():
+            exc = E.api_error_for(info, "msg")
+            assert type(exc) is cls
+            assert exc.info == info
