@@ -1,0 +1,221 @@
+"""E3 — planner mask pushdown and CSE on BFS-shaped workloads.
+
+PR-3's planner pushes a masked consumer's key filter down into the
+producing mxm-family kernel, so off-mask products die *before* the
+SpGEMM sort/compress phase, and hash-conses textually repeated
+subexpressions so the duplicate publishes the shared result instead of
+recomputing it.  This bench measures both on the shape that motivates
+them — BFS over a scale-free graph, where the complemented "visited"
+mask kills the vast majority of products by the middle levels:
+
+* **masked mxm** — ``C = A ⊕.⊗ A`` then ``C⟨¬V, s, r⟩ = C`` in place,
+  with a dense visited set V.  Three ways: blocking, nonblocking with
+  ``ENGINE_PUSHDOWN`` off (write-back filtering only), and the full
+  planner.  The pushed run must beat both.
+* **masked vxm sweep** — an actual BFS frontier expansion loop
+  (``DESC_RSC``), exercising the complemented-mask fast path inside
+  the kernel (sorted-key ``searchsorted`` membership, empty-complement
+  keep-all skip).
+* **repeated subexpression** — ``(A ⊕.⊗ A) + (A ⊕.⊗ A)``: CSE runs the
+  product once; the duplicate costs one commit.
+
+Results land in ``BENCH_planner.json`` (CI's perf-smoke artifact).
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table, rmat_graph
+from repro.core import binaryop as B
+from repro.core import types as T
+from repro.core.context import Context, Mode, WaitMode
+from repro.core.descriptor import DESC_RSC
+from repro.core.matrix import Matrix
+from repro.core.semiring import LOR_LAND_SEMIRING_BOOL, PLUS_TIMES_SEMIRING
+from repro.core.unaryop import IDENTITY
+from repro.core.vector import Vector
+from repro.engine.stats import STATS
+from repro.internals import config
+from repro.ops.apply import apply
+from repro.ops.assign import assign
+from repro.ops.ewise import ewise_add
+from repro.ops.mxm import mxm, vxm
+
+SCALE = 10
+EDGE_FACTOR = 8
+VISITED_DENSITY = 0.9   # mid-BFS: most vertices already visited
+REPS = 5
+
+_RESULTS: dict = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_results():
+    yield
+    if _RESULTS:
+        Path("BENCH_planner.json").write_text(
+            json.dumps(_RESULTS, indent=2, sort_keys=True) + "\n"
+        )
+
+
+def _ctx_graph(ctx, scale=SCALE, edge_factor=EDGE_FACTOR):
+    base = rmat_graph(scale, edge_factor)
+    r, c, v = base.extract_tuples()
+    m = Matrix.new(T.FP64, base.nrows, base.ncols, ctx)
+    m.build(r, c, v)
+    m.wait(WaitMode.MATERIALIZE)
+    return m
+
+
+def _visited_mask(ctx, n, density=VISITED_DENSITY, seed=7):
+    rng = np.random.default_rng(seed)
+    d = rng.random((n, n)) < density
+    r, c = np.nonzero(d)
+    m = Matrix.new(T.BOOL, n, n, ctx)
+    m.build(r, c, np.ones(len(r), bool))
+    m.wait(WaitMode.MATERIALIZE)
+    return m
+
+
+def _best(fn, *args):
+    best = float("inf")
+    out = None
+    for _ in range(REPS):
+        t0 = time.perf_counter()
+        out = fn(*args)
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def _masked_product(ctx, a, visited):
+    """C = A ⊕.⊗ A, then keep only the *unvisited* positions, in place —
+    the planner's pushdown shape."""
+    c = Matrix.new(T.FP64, a.nrows, a.ncols, ctx)
+    mxm(c, None, None, PLUS_TIMES_SEMIRING[T.FP64], a, a)
+    apply(c, visited, None, IDENTITY[T.FP64], c, DESC_RSC)
+    c.wait(WaitMode.MATERIALIZE)
+    return c
+
+
+def _dup_sum(ctx, a):
+    x1 = Matrix.new(T.FP64, a.nrows, a.ncols, ctx)
+    mxm(x1, None, None, PLUS_TIMES_SEMIRING[T.FP64], a, a)
+    x2 = Matrix.new(T.FP64, a.nrows, a.ncols, ctx)
+    mxm(x2, None, None, PLUS_TIMES_SEMIRING[T.FP64], a, a)
+    s = Matrix.new(T.FP64, a.nrows, a.ncols, ctx)
+    ewise_add(s, None, None, B.PLUS[T.FP64], x1, x2)
+    s.wait(WaitMode.MATERIALIZE)
+    return s
+
+
+def _bfs_sweep(ctx, a, source=0):
+    levels = Vector.new(T.INT64, a.nrows, ctx)
+    frontier = Vector.new(T.BOOL, a.nrows, ctx)
+    frontier.set_element(True, source)
+    depth = 0
+    while frontier.nvals():
+        assign(levels, frontier, None, depth, None)
+        vxm(frontier, levels, None, LOR_LAND_SEMIRING_BOOL, frontier, a,
+            desc=DESC_RSC)
+        depth += 1
+    return levels
+
+
+@pytest.fixture(scope="module")
+def contexts():
+    bl = Context.new(Mode.BLOCKING, None, None)
+    nb = Context.new(Mode.NONBLOCKING, None, None)
+    return bl, nb
+
+
+@pytest.mark.benchmark(group="E3-planner")
+class TestMaskedMxm:
+    def test_masked_mxm_pushdown(self, contexts):
+        bl, nb = contexts
+        a_bl, a_nb = _ctx_graph(bl), _ctx_graph(nb)
+        v_bl = _visited_mask(bl, a_bl.nrows)
+        v_nb = _visited_mask(nb, a_nb.nrows)
+
+        t_blocking, r0 = _best(_masked_product, bl, a_bl, v_bl)
+        with config.option("ENGINE_PUSHDOWN", False):
+            t_unpushed, r1 = _best(_masked_product, nb, a_nb, v_nb)
+        STATS.reset()
+        t_pushed, r2 = _best(_masked_product, nb, a_nb, v_nb)
+        snap = STATS.snapshot()
+
+        assert sorted(r0.to_dict()) == sorted(r1.to_dict()) \
+            == sorted(r2.to_dict())
+        assert snap["masks_pushed"] >= 1, "pushdown never fired"
+
+        _RESULTS["masked_mxm"] = {
+            "blocking_ms": t_blocking * 1e3,
+            "nb_unpushed_ms": t_unpushed * 1e3,
+            "nb_pushed_ms": t_pushed * 1e3,
+            "masks_pushed": snap["masks_pushed"],
+        }
+        print_table(
+            "E3a  C⟨¬visited, s, r⟩ = A ⊕.⊗ A, in place",
+            ["variant", "best ms"],
+            [["blocking", f"{t_blocking * 1e3:.2f}"],
+             ["nb-unpushed", f"{t_unpushed * 1e3:.2f}"],
+             ["nb-pushed", f"{t_pushed * 1e3:.2f}"],
+             ["masks_pushed", snap["masks_pushed"]]],
+        )
+        # The perf contract: filtering before sort/compress must beat
+        # filtering at write-back, in either execution mode.
+        assert t_pushed < t_blocking, "pushdown lost to blocking"
+        assert t_pushed < t_unpushed, "pushdown lost to unpushed nonblocking"
+
+    def test_bfs_vxm_complemented_mask(self, contexts):
+        bl, nb = contexts
+        a_bl, a_nb = _ctx_graph(bl), _ctx_graph(nb)
+        t_blocking, l0 = _best(_bfs_sweep, bl, a_bl)
+        t_nb, l1 = _best(_bfs_sweep, nb, a_nb)
+        assert sorted(l0.to_dict().items()) == sorted(l1.to_dict().items())
+        _RESULTS["bfs_vxm"] = {
+            "blocking_ms": t_blocking * 1e3,
+            "nonblocking_ms": t_nb * 1e3,
+            "levels": len(l0.to_dict()),
+        }
+        print_table(
+            "E3b  BFS sweep (vxm, DESC_RSC complemented mask)",
+            ["variant", "best ms"],
+            [["blocking", f"{t_blocking * 1e3:.2f}"],
+             ["nonblocking", f"{t_nb * 1e3:.2f}"]],
+        )
+        # Loose guard: the nonblocking engine must not tax the hot loop.
+        assert t_nb < t_blocking * 1.25
+
+    def test_repeated_subexpression_cse(self, contexts):
+        bl, nb = contexts
+        a_bl, a_nb = _ctx_graph(bl), _ctx_graph(nb)
+        t_blocking, r0 = _best(_dup_sum, bl, a_bl)
+        with config.option("ENGINE_CSE", False):
+            t_nocse, r1 = _best(_dup_sum, nb, a_nb)
+        STATS.reset()
+        t_cse, r2 = _best(_dup_sum, nb, a_nb)
+        snap = STATS.snapshot()
+        assert sorted(r0.to_dict()) == sorted(r1.to_dict()) \
+            == sorted(r2.to_dict())
+        assert snap["cse_reused"] >= 1, "CSE never fired"
+        assert snap["kernel_count"].get("mxm") == REPS, \
+            "duplicate product was recomputed"
+        _RESULTS["dup_subexpression"] = {
+            "blocking_ms": t_blocking * 1e3,
+            "nb_no_cse_ms": t_nocse * 1e3,
+            "nb_cse_ms": t_cse * 1e3,
+            "cse_reused": snap["cse_reused"],
+        }
+        print_table(
+            "E3c  (A ⊕.⊗ A) + (A ⊕.⊗ A): shared subexpression",
+            ["variant", "best ms"],
+            [["blocking", f"{t_blocking * 1e3:.2f}"],
+             ["nb-no-cse", f"{t_nocse * 1e3:.2f}"],
+             ["nb-cse", f"{t_cse * 1e3:.2f}"],
+             ["cse_reused", snap["cse_reused"]]],
+        )
+        assert t_cse < t_blocking, "CSE lost to blocking"

@@ -10,8 +10,10 @@ and poking at data files without writing a script:
 * ``selftest``    — a fast end-to-end exercise of every subsystem.
 
 ``--engine-stats`` (global flag) dumps the lazy-engine counters — nodes
-built/forced/fused, elisions, per-kernel wall time — after the command
-runs, answering "did nonblocking mode actually optimize anything?".
+built/forced/fused, CSE hits, pushed masks, per-kernel wall time —
+after the command runs, answering "did nonblocking mode actually
+optimize anything?".  ``--trace-out PATH`` writes the engine's planner
+and kernel spans as Chrome trace JSON for chrome://tracing / Perfetto.
 
 ``--chaos SEED`` (global flag) runs the command under low-probability
 transient fault injection (:mod:`repro.faults`): kernels randomly fail
@@ -40,6 +42,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--engine-stats", action="store_true",
         help="dump lazy-engine counters and kernel timings after the command",
+    )
+    p.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write the engine's planner/kernel spans as Chrome trace "
+             "JSON (load in chrome://tracing or Perfetto)",
     )
     p.add_argument(
         "--chaos", type=int, metavar="SEED", default=None,
@@ -218,6 +225,11 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             from repro.engine.stats import STATS
 
             out.write(STATS.format() + "\n")
+        if args.trace_out:
+            from repro.engine.stats import STATS
+
+            n = STATS.write_trace(args.trace_out)
+            out.write(f"wrote {n} trace events to {args.trace_out}\n")
         if args.chaos is not None:
             from repro.faults import PLANE
 

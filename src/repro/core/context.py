@@ -211,20 +211,30 @@ class Context:
 
     # -- engine introspection -------------------------------------------------
 
-    def engine_stats(self) -> dict[str, Any]:
+    def engine_stats(self, include_spans: bool = False) -> dict[str, Any]:
         """Snapshot of the lazy-engine counters and per-kernel timings.
 
         The engine keeps process-wide statistics (nodes built/forced,
-        fusions, elisions, deferred completes, ...); contexts expose them
-        so tools need not import the engine package directly.  Fault
-        plane counters ride along under ``fault_sites``.
+        fusions, CSE hits/reuses, pushed masks, deferred completes, ...);
+        contexts expose them so tools need not import the engine package
+        directly.  Fault plane counters ride along under ``fault_sites``
+        (with the planner-pass subset repeated under ``planner_faults``),
+        and ``include_spans=True`` adds the Chrome-trace event list under
+        ``trace_events`` (what the CLI's ``--trace-out`` writes).
         """
         from ..engine.stats import STATS
         from ..faults.plane import PLANE
 
         snap = STATS.snapshot()
-        snap["fault_sites"] = PLANE.snapshot()["injected"]
+        injected = PLANE.snapshot()["injected"]
+        snap["fault_sites"] = injected
+        snap["planner_faults"] = {
+            site: n for site, n in injected.items()
+            if site.startswith("planner.")
+        }
         snap["context_degraded"] = self._degraded
+        if include_spans:
+            snap["trace_events"] = STATS.trace_events()
         return snap
 
     # -- teardown ------------------------------------------------------------

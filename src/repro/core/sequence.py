@@ -170,6 +170,10 @@ class OpaqueObject:
         out_type: Any = None,
         pure: bool = False,
         complete_safe: bool = False,
+        opkey: tuple | None = None,
+        cse_safe: bool = False,
+        mask_info: Any = None,
+        pushable: bool = False,
     ) -> None:
         """Submit an operations-layer method (the fusable node shape).
 
@@ -179,6 +183,9 @@ class OpaqueObject:
         applies mask/accumulator/replace against the previous state.
         ``pure`` asserts the write-back ignores ``prev`` entirely (no
         mask, no complement, no accumulator) — the property fusion needs.
+        ``opkey``/``cse_safe``/``mask_info``/``pushable`` are planner
+        metadata (structural identity for hash-consing, write-back shape
+        for mask pushdown); blocking mode ignores them.
         """
         if self._mode == Mode.BLOCKING:
             # Inputs are concrete in blocking mode (captures force).
@@ -211,6 +218,10 @@ class OpaqueObject:
                 out_type=out_type,
                 pure=pure,
                 complete_safe=complete_safe,
+                opkey=opkey,
+                cse_safe=cse_safe,
+                mask_info=mask_info,
+                pushable=pushable,
             )
             self._materialized = False
 

@@ -45,7 +45,8 @@ from .stats import STATS
 
 __all__ = [
     "PENDING", "DONE", "FAILED", "ELIDED",
-    "Source", "Node", "GRAPH_LOCK",
+    "Source", "Node", "MaskInfo", "GRAPH_LOCK",
+    "source_identity", "structural_key",
 ]
 
 # Node states.
@@ -91,6 +92,34 @@ class Source:
         return self.node.result
 
 
+class MaskInfo:
+    """Write-back metadata an op submits for the planner's benefit.
+
+    The write-back closure itself is opaque to the engine; this record
+    is what lets the pushdown pass reason about it: which mask source
+    filters the output, whether it is complemented/structural, whether
+    REPLACE clears unwritten positions, and whether an accumulator
+    reads the previous state.
+    """
+
+    __slots__ = ("source", "complement", "structure", "replace", "has_accum")
+
+    def __init__(
+        self,
+        source: "Source | None",
+        *,
+        complement: bool = False,
+        structure: bool = False,
+        replace: bool = False,
+        has_accum: bool = False,
+    ):
+        self.source = source
+        self.complement = complement
+        self.structure = structure
+        self.replace = replace
+        self.has_accum = has_accum
+
+
 class Node:
     """One deferred method invocation in the expression DAG."""
 
@@ -98,7 +127,9 @@ class Node:
         "kind", "label", "owner", "prev", "inputs",
         "thunk", "compute", "writeback", "stages", "pipe_input",
         "out_type", "pure", "complete_safe",
-        "state", "result", "exc", "exc_raised", "nrefs", "plan",
+        "opkey", "cse_safe", "mask_info", "pushable",
+        "state", "result", "exc", "exc_raised", "nrefs",
+        "plan", "alias_of", "pushed_mask", "pushed_into",
     )
 
     def __init__(
@@ -117,6 +148,10 @@ class Node:
         out_type: Any = None,
         pure: bool = False,
         complete_safe: bool = False,
+        opkey: tuple | None = None,
+        cse_safe: bool = False,
+        mask_info: MaskInfo | None = None,
+        pushable: bool = False,
     ):
         self.kind = kind
         self.label = label
@@ -131,12 +166,19 @@ class Node:
         self.out_type = out_type
         self.pure = pure
         self.complete_safe = complete_safe
+        self.opkey = opkey
+        self.cse_safe = cse_safe
+        self.mask_info = mask_info
+        self.pushable = pushable
         self.state = PENDING
         self.result: Any = None
         self.exc: BaseException | None = None
         self.exc_raised = False
         self.nrefs = 0
-        self.plan = None  # set by fusion: FusionPlan for absorbed producers
+        self.plan = None       # FusionPlan (fuse pass) for absorbing consumers
+        self.alias_of = None   # representative Node (CSE pass)
+        self.pushed_mask = None  # (mask Source, complement, structure)
+        self.pushed_into = None  # producer Node our mask was pushed into
         STATS.bump("nodes_built")
 
     # -- graph helpers -------------------------------------------------------
@@ -171,3 +213,88 @@ class Node:
         st = {PENDING: "pending", DONE: "done",
               FAILED: "failed", ELIDED: "elided"}[self.state]
         return f"Node({self.label}, {st}, refs={self.nrefs})"
+
+
+# -- structural identity (hash-consing support) -------------------------------
+#
+# Two pending nodes compute the same value when they run the same pure
+# operation over the same captured inputs.  ``structural_key`` derives a
+# stable, hashable identity for that statement: the node kind, an
+# operation key (the op layer's ``opkey``, or a key derived from the
+# stage list), the output domain, and the *identity* of each captured
+# input.  Carriers are immutable once published and node results are
+# written exactly once, so ``id()`` is a sound identity for both — equal
+# keys imply equal results.  The CSE pass hash-conses on these keys; the
+# optional ``canon`` map routes input identities through already-found
+# aliases so transitive duplicates (f(g(a)) vs f(g'(a)) with g ≡ g')
+# still collide.
+
+
+def source_identity(src: Source, canon: dict[int, int] | None = None) -> tuple:
+    """Hashable identity of a captured input."""
+    if src.node is not None:
+        nid = id(src.node)
+        if canon is not None:
+            nid = canon.get(nid, nid)
+        return ("n", nid)
+    return ("d", id(src.data))
+
+
+def _scalar_key(s: Any) -> tuple:
+    """Value-based key for bound scalars when hashable, else identity."""
+    if isinstance(s, (bool, int, float, complex, str, bytes, type(None))):
+        return (type(s).__name__, s)
+    item = getattr(s, "item", None)  # 0-d numpy scalars
+    if callable(item):
+        try:
+            return (type(s).__name__, item())
+        except Exception:
+            pass
+    return ("id", id(s))
+
+
+def _stage_key(stage: tuple) -> tuple | None:
+    """Key for one pipeline stage; ``None`` marks it non-consable."""
+    kind = stage[0]
+    if kind == "transpose":
+        return ("transpose",)
+    if kind == "cast":
+        return ("cast", id(stage[1]))
+    op = stage[1]
+    if not getattr(op, "is_builtin", False):
+        return None  # user-defined op: no determinism guarantee
+    if kind == "unary":
+        return ("unary", id(op), id(stage[2]))
+    if kind == "select":
+        return ("select", id(op), _scalar_key(stage[2]))
+    if kind in ("bind1st", "bind2nd", "index"):
+        return (kind, id(op), _scalar_key(stage[2]), id(stage[3]))
+    return None
+
+
+def structural_key(
+    node: Node, canon: dict[int, int] | None = None
+) -> tuple | None:
+    """Stable identity of the value *node* computes, or ``None`` when
+    the node must not be hash-consed (impure, thunk-form, user-defined
+    op, or an op the layer didn't describe)."""
+    if not node.pure or node.thunk is not None:
+        return None
+    if node.opkey is not None:
+        if not node.cse_safe:
+            return None
+        base: tuple = ("op", node.opkey)
+    elif node.stages is not None:
+        skeys = []
+        for stage in node.stages:
+            sk = _stage_key(stage)
+            if sk is None:
+                return None
+            skeys.append(sk)
+        base = ("stages", tuple(skeys))
+    else:
+        return None
+    return (
+        node.kind, base, id(node.out_type),
+        tuple(source_identity(s, canon) for s in node.inputs),
+    )

@@ -1,41 +1,41 @@
-"""Kernel fusion over the expression DAG (§III/§V optimization freedom).
+"""Planner driver: the multi-pass optimizing pipeline (§III/§V).
 
 Nonblocking mode lets the implementation *optimize* the sequence of
-method calls, not just defer it.  This pass runs on the pending
-subgraph collected by a forcing call, before anything executes, and
-rewrites chains of operations into single fused pipelines:
+method calls, not just defer it.  This module used to be a single
+monolithic rewrite pass; it is now a thin driver over the staged
+pipeline in :mod:`repro.engine.passes`:
 
-* ``apply`` → ``apply`` and ``apply``/``select`` chains collapse into
-  one pass over the stored values — no intermediate carrier, no
-  intermediate mask/accumulator write-back.
-* ``select`` after ``eWiseMult``/``mxm`` (or any *pure* producer, e.g.
-  ``reduce``/``extract``) filters the kernel's result before it is ever
-  materialized as an object state.
-* Transpose pairs separated only by value maps cancel (the
-  double-transpose a descriptor chain can produce is elided outright).
-* Value-independent selects (``TRIL``, ``ROWLE`` … — ``uses_value`` is
-  false) are hoisted ahead of value maps, so the maps touch only the
-  entries that survive: filter-before-map.
+``normalize`` (canonicalize stage lists, compute structural keys) →
+``cse`` (hash-cons identical pending subtrees so a repeated
+subexpression runs its kernel once) → ``pushdown`` (absorb a masked
+consumer's filter into the producing mxm/mxv/vxm kernel) → ``fuse``
+(absorb producer chains into single-pass pipelines) → ``schedule``
+(commit all decisions onto the nodes).
 
-Legality: a producer is absorbed only when (1) its write-back is *pure*
-(no mask, no complement, no accumulator — the write-back is a plain
-domain cast, so its result is independent of the output's prior state),
-(2) **every** reference to it comes from the absorbing consumer (its
-global refcount equals the consumer's pipe-input reference plus, for a
-pure consumer, the sequence edge), and (3) it is no longer the tail of
-its owner's sequence, i.e. a later method already overwrote the owner
-and the intermediate state can never be observed by a read or a future
-capture.  Condition (3) is what makes fusion safe under the sequence
-semantics: tails can only advance, so a node that is not a tail now can
-never be captured again.
+Each pass is a pure function over one shared immutable
+:class:`~repro.engine.passes.ir.PlanIR`; the driver runs the sequence
+under ``GRAPH_LOCK`` (planning reads refcounts and tails), records a
+trace span per pass, and gives the fault plane a ``planner.<pass>``
+site at every boundary.  A faulting pass is *skipped* — the previous
+IR is still valid, the forcing proceeds without that pass's rewrites,
+and ``planner_pass_failures`` counts the skip.  Because decisions only
+take effect in the terminal schedule pass, a skipped schedule degrades
+cleanly to plain unoptimized execution.
+
+:class:`FusionPlan` and :func:`optimize_stages` (the stage-list
+peephole: transpose pairs cancel, value-independent selects hoist
+ahead of maps) live here unchanged — the passes import them.
 """
 
 from __future__ import annotations
 
-from .dag import GRAPH_LOCK, PENDING, Node, Source
+import time
+
+from ..faults.plane import armed, maybe_inject
+from .dag import GRAPH_LOCK, Node, Source
 from .stats import STATS
 
-__all__ = ["FusionPlan", "plan_fusion", "optimize_stages"]
+__all__ = ["FusionPlan", "plan_subgraph", "plan_fusion", "optimize_stages"]
 
 #: Stage kinds that neither read coordinates nor change structure; these
 #: commute with transposition and with structural filters.
@@ -134,81 +134,57 @@ def optimize_stages(stages: list) -> tuple[list, int, int]:
     return out, hoisted, elided
 
 
-def _absorbable(consumer: Node, x: Node) -> bool:
-    """May *consumer* absorb producer *x*?  (Caller holds GRAPH_LOCK.)"""
-    if x.state != PENDING or not x.is_fusable_producer():
-        return False
-    # The intermediate value must be unobservable: a later method must
-    # already have overwritten the owner (tails only move forward).
-    if x.owner is not None and getattr(x.owner, "_tail", None) is x:
-        return False
-    # Every reference to x must come from this consumer, and only via
-    # the pipe input (plus the sequence edge when the consumer's
-    # write-back is pure and therefore never reads it).
-    allowed = 1 + (1 if consumer.prev.node is x else 0)
-    if consumer.prev.node is x and not consumer.pure:
-        return False
-    refs = consumer.refs_to(x)
-    return refs == allowed and x.nrefs == refs
+# -- the pass pipeline --------------------------------------------------------
+
+
+def _passes():
+    from .passes import cse, fuse, normalize, pushdown, schedule
+
+    return (
+        ("normalize", normalize.run),
+        ("cse", cse.run),
+        ("pushdown", pushdown.run),
+        ("fuse", fuse.run),
+        ("schedule", schedule.run),
+    )
+
+
+def plan_subgraph(nodes: list) -> None:
+    """Run the full planner pipeline over one forcing's pending subgraph.
+
+    *nodes* is the subgraph in topological order.  On return the nodes
+    carry whatever decisions survived: ``alias_of`` on CSE duplicates,
+    ``pushed_mask``/``pushed_into`` on pushdown pairs, ``plan`` on
+    fusion consumers and ELIDED on their absorbed producers.  Planner
+    faults never fail the forcing — the affected pass is skipped.
+    """
+    from .passes.ir import PlanIR
+
+    if len(nodes) < 2:
+        # Every pass needs at least a producer/consumer (or duplicate)
+        # pair to rewrite anything; skip the pipeline so one-node
+        # forcings — BFS inner loops force one kernel at a time — pay
+        # zero planning overhead.
+        return
+
+    ir = PlanIR.initial(nodes)
+    with GRAPH_LOCK:
+        for name, pass_fn in _passes():
+            t0 = time.perf_counter()
+            try:
+                with armed():  # the skip below is this site's recovery
+                    maybe_inject(f"planner.{name}", nodes=len(nodes))
+                ir = pass_fn(ir)
+            except Exception:
+                STATS.bump("planner_pass_failures")
+            STATS.span(
+                f"planner.{name}", "planner", t0,
+                time.perf_counter() - t0,
+                {"nodes": len(ir.nodes), "aliases": len(ir.aliases),
+                 "pushdowns": len(ir.pushdowns), "fusions": len(ir.fusions)},
+            )
 
 
 def plan_fusion(nodes: list) -> None:
-    """Attach fusion plans to stage-form consumers in *nodes*.
-
-    *nodes* is the pending subgraph in topological order.  Consumers are
-    visited in reverse order so the downstream end of a chain absorbs as
-    far upstream as legality allows; absorbed producers are flagged
-    ELIDED and become no-ops for the scheduler (their dependency edges
-    still order the graph).
-    """
-    from .dag import ELIDED  # late import to keep constants in one place
-    from ..internals import config
-
-    if not config.ENGINE_FUSION:
-        return
-    in_graph = set(nodes)
-    with GRAPH_LOCK:
-        for y in reversed(nodes):
-            if y.state != PENDING or y.stages is None:
-                continue
-            chain: list[Node] = []
-            stages = list(y.stages)
-            consumer = y
-            src = y.inputs[y.pipe_input]
-            head: Node | None = None
-            while True:
-                x = src.node
-                if (
-                    x is None
-                    or x not in in_graph
-                    or not _absorbable(consumer, x)
-                ):
-                    break
-                if x.stages is not None:
-                    chain.append(x)
-                    stages = (
-                        list(x.stages) + [("cast", x.out_type)] + stages
-                    )
-                    consumer = x
-                    src = x.inputs[x.pipe_input]
-                    continue
-                # Non-stage pure producer (mxm, eWise, reduce, …): it
-                # seeds the pipeline and the chain ends here.
-                chain.append(x)
-                head = x
-                break
-            if not chain:
-                continue
-            stages, hoisted, elided = optimize_stages(stages)
-            y.plan = FusionPlan(
-                head, None if head is not None else src, stages,
-                list(reversed(chain)),
-            )
-            for x in chain:
-                x.state = ELIDED
-            STATS.bump("chains_fused")
-            STATS.bump("nodes_fused", len(chain))
-            if hoisted:
-                STATS.bump("selects_hoisted", hoisted)
-            if elided:
-                STATS.bump("transposes_elided", elided)
+    """Backwards-compatible alias for :func:`plan_subgraph`."""
+    plan_subgraph(nodes)

@@ -1,0 +1,59 @@
+"""Pass 2 — hash-cons common subexpression elimination.
+
+Two pending nodes with identical structural keys (same pure operation,
+same captured inputs, same output domain — see
+:func:`repro.engine.dag.structural_key`) compute the same carrier, so
+only the first (the *representative*) need run its kernel; every later
+duplicate becomes an alias that publishes the representative's result
+through the normal commit gate.  Input identities are canonicalized
+through the aliases found so far, so transitive duplicates
+(``f(g(a))`` vs ``f(g′(a))`` with ``g ≡ g′``) collide too.
+
+Eligibility is deliberately narrow: pure nodes built from *built-in*
+operators only (user-defined functions carry no determinism guarantee),
+and never a node another pass has claimed.  Aliases and representatives
+are locked against pushdown and fusion — an elided or mask-filtered
+representative would no longer hold the unfiltered shared value.
+
+§V transparency: if the representative fails, each alias falls back to
+running its own kernel under its own label (the scheduler's
+``cse_fallbacks`` path), which is exactly the blocking-mode outcome.
+"""
+
+from __future__ import annotations
+
+from ...internals import config
+from ..dag import PENDING, Node, structural_key
+from .ir import PlanIR
+
+__all__ = ["run"]
+
+
+def run(ir: PlanIR) -> PlanIR:
+    if not config.ENGINE_CSE:
+        return ir
+    seen: dict[tuple, Node] = {}
+    aliases: dict[int, Node] = {}
+    canon: dict[int, int] = {}
+    for node in ir.nodes:
+        if node.state != PENDING or id(node) in ir.locked:
+            continue
+        inf = ir.node_info(node)
+        if inf is None or inf.key is None:
+            continue
+        key = structural_key(node, canon)
+        if key is None:
+            continue
+        rep = seen.get(key)
+        if rep is None:
+            seen[key] = node
+        else:
+            aliases[id(node)] = rep
+            canon[id(node)] = canon.get(id(rep), id(rep))
+    if not aliases:
+        return ir
+    locked = set(ir.locked)
+    for nid, rep in aliases.items():
+        locked.add(nid)
+        locked.add(id(rep))
+    return ir.replace(aliases=aliases, locked=frozenset(locked))

@@ -1,0 +1,84 @@
+"""Pass 3 — mask/structure pushdown into producing kernels.
+
+The write-back rule ``C⟨M, r⟩ = C ⊙ T`` never reads T's values at
+positions where the (possibly complemented) mask is false: those output
+positions take old-C content or are cleared.  So when a *masked
+consumer*'s sole data input is a pending, pure, otherwise-unreferenced
+mxm/mxv/vxm node, the mask's key filter may run **inside** the
+producing kernel — products outside the mask die before the SpGEMM
+sort/compress phase (the CombBLAS masked-SpGEMM win) instead of being
+materialized and then discarded by the write-back.
+
+Legality conditions, checked per candidate pair (consumer ``y``,
+producer ``x``):
+
+* ``x`` is pushable (an mxm-family node that accepts ``mask_keys``),
+  pure, pending, inside this forcing's subgraph, unclaimed by another
+  pass, and no longer its owner's sequence tail (its unfiltered value
+  can never be observed later — tails only advance).
+* every reference to ``x`` comes from ``y`` (``x.nrefs`` equals
+  ``y.refs_to(x)``), so no third party sees the filtered carrier.
+* ``y`` is a stage-form consumer whose pipeline contains no transpose
+  (a transpose would move the mask into a different coordinate space
+  than the producer's output).
+* ``y``'s mask source is materialized or already-executed — pushing a
+  *pending* mask would add a new dependency edge mid-plan.
+* when ``y``'s sequence edge is ``x`` itself (the in-place pattern
+  ``mxm(c, …); apply(c⟨m⟩, …, c)``), the consumer must REPLACE:
+  without replace, write-back merges old-``c`` — which *is* ``x``'s
+  unfiltered result — at mask-false positions, so filtering ``x``
+  would change the outcome.
+
+The consumer keeps its full write-back; only provably-dead products
+are skipped.  §V transparency: a pushed chain that fails re-runs
+unpushed (scheduler ``pushdown_fallbacks``).
+"""
+
+from __future__ import annotations
+
+from ...internals import config
+from ..dag import PENDING
+from .ir import PlanIR
+
+__all__ = ["run"]
+
+
+def run(ir: PlanIR) -> PlanIR:
+    if not (config.ENGINE_PUSHDOWN and config.MASK_PUSHDOWN):
+        return ir
+    in_graph = {id(n) for n in ir.nodes}
+    locked = set(ir.locked)
+    pushdowns = list(ir.pushdowns)
+    for y in ir.nodes:
+        if y.state != PENDING or y.stages is None or id(y) in locked:
+            continue
+        inf = ir.node_info(y)
+        m = y.mask_info
+        if inf is None or m is None or m.source is None:
+            continue
+        if inf.has_transpose:
+            continue
+        if m.source.node is not None and m.source.node.state == PENDING:
+            continue
+        x = y.inputs[y.pipe_input].node
+        if (
+            x is None
+            or id(x) not in in_graph
+            or id(x) in locked
+            or x.state != PENDING
+            or not x.pushable
+            or not x.pure
+        ):
+            continue
+        if x.owner is not None and getattr(x.owner, "_tail", None) is x:
+            continue
+        if x.nrefs != y.refs_to(x):
+            continue
+        if y.prev.node is x and not m.replace:
+            continue
+        pushdowns.append((x, y, (m.source, m.complement, m.structure)))
+        locked.add(id(x))
+        locked.add(id(y))
+    if len(pushdowns) == len(ir.pushdowns):
+        return ir
+    return ir.replace(pushdowns=tuple(pushdowns), locked=frozenset(locked))

@@ -33,6 +33,8 @@ from ..core.errors import ExecutionError, GraphBLASError, PanicError
 from ..faults.plane import armed, maybe_inject
 from ..faults.retry import with_retry
 from ..internals.applyselect import run_stages
+from ..internals.containers import VecData
+from ..internals.maskaccum import mat_mask_keys, vec_mask_keys
 from .dag import DONE, ELIDED, FAILED, PENDING, Node
 from .stats import STATS
 from .txn import commit as _txn_commit
@@ -79,11 +81,16 @@ def force(tail: Node):
         STATS.bump("forces")
         executed: list[Node] = []
         if tail.state == PENDING:
-            from .fusion import plan_fusion
+            from .fusion import plan_subgraph
 
+            t0 = time.perf_counter()
             executed = _collect(tail)
-            plan_fusion(executed)
+            plan_subgraph(executed)
             _execute(executed)
+            STATS.span(
+                f"force:{tail.label}", "force", t0,
+                time.perf_counter() - t0, {"nodes": len(executed)},
+            )
         for node in executed:
             if node.state == FAILED and not node.exc_raised:
                 node.exc_raised = True
@@ -166,9 +173,14 @@ def _execute_parallel(nodes: list[Node]) -> None:
     indeg: dict[int, int] = {}
     dependents: dict[int, list[Node]] = {}
     for node in nodes:
+        all_deps = list(node.dep_nodes())
+        if node.alias_of is not None:
+            # A CSE alias publishes its representative's result: the
+            # representative must settle first, like any data edge.
+            all_deps.append(node.alias_of)
         deps = [
             d
-            for d in dict.fromkeys(node.dep_nodes())
+            for d in dict.fromkeys(all_deps)
             if id(d) in in_graph and d.state in (PENDING, ELIDED)
         ]
         indeg[id(node)] = len(deps)
@@ -284,19 +296,49 @@ def _run_node(node: Node) -> None:
     if node.state == ELIDED:
         return  # absorbed into a consumer's pipeline; nothing to run
     t0 = time.perf_counter()
-    if node.plan is not None:
+    if node.alias_of is not None:
+        # CSE duplicate: publish the representative's carrier through
+        # the same commit gate a kernel result would pass.  Any failure
+        # (representative failed, commit rejected) falls back to running
+        # this node's own kernel — exactly the blocking-mode outcome.
+        rep, node.alias_of = node.alias_of, None
+        if rep.state == DONE:
+            try:
+                node.result = with_retry(
+                    lambda: _txn_commit(node.label, rep.result), node.label
+                )
+                node.state = DONE
+                STATS.bump("cse_reused")
+                STATS.span(
+                    f"cse:{node.kind}", "kernel", t0,
+                    time.perf_counter() - t0,
+                    {"node": node.label, "rep": rep.label},
+                )
+                return
+            except Exception:
+                pass
+        STATS.bump("cse_fallbacks")
+    if node.plan is not None or node.pushed_mask is not None \
+            or node.pushed_into is not None:
         try:
             node.result = _checked_evaluate(node)
             node.state = DONE
-            STATS.kernel(f"fused:{node.kind}", time.perf_counter() - t0)
+            kind = f"fused:{node.kind}" if node.plan is not None \
+                else node.kind
+            STATS.kernel(kind, time.perf_counter() - t0)
+            STATS.span(
+                kind, "kernel", t0, time.perf_counter() - t0,
+                {"node": node.label},
+            )
         except Exception:
-            # A fused pipeline failed.  Fusion must be transparent even
-            # on failure: unfused execution would have preserved every
-            # intermediate state before the op that actually raises, so
-            # re-run the chain node by node (they are pure — re-running
-            # is safe) and let the normal §V machinery attribute the
-            # error to the node that actually fails.
-            _run_unfused_fallback(node)
+            # An optimized (fused and/or mask-pushed) evaluation failed.
+            # Optimization must be transparent even on failure: unfused,
+            # unpushed execution would have preserved every intermediate
+            # state before the op that actually raises, so re-run the
+            # chain node by node without the optimizations (they are
+            # pure — re-running is safe) and let the normal §V machinery
+            # attribute the error to the node that actually fails.
+            _run_deoptimized_fallback(node)
         return
     try:
         result = _checked_evaluate(node)
@@ -322,21 +364,42 @@ def _run_node(node: Node) -> None:
     node.result = result
     node.state = DONE
     STATS.kernel(node.kind, time.perf_counter() - t0)
+    STATS.span(
+        node.kind, "kernel", t0, time.perf_counter() - t0,
+        {"node": node.label},
+    )
 
 
-def _run_unfused_fallback(node: Node) -> None:
-    """Re-execute a failed fused chain without fusion.
+def _run_deoptimized_fallback(node: Node) -> None:
+    """Re-execute a failed optimized chain without its optimizations.
 
-    The absorbed producers flip back to PENDING and run standalone in
-    dependency order; dependent-failure propagation then reproduces the
-    exact unfused outcome — every node before the failing one leaves its
-    result for the pre-failure carrier walk, and the failing node gets
-    the error recorded under its own label.
+    The absorbed/filtered producers flip back to PENDING and run
+    standalone in dependency order; dependent-failure propagation then
+    reproduces the exact unoptimized outcome — every node before the
+    failing one leaves its result for the pre-failure carrier walk, and
+    the failing node gets the error recorded under its own label.  For a
+    pushed chain this also restores the §V pre-failure state: blocking
+    mode would have left the producer's *unfiltered* result behind, so
+    the producer re-runs with the mask filter stripped.
     """
     plan, node.plan = node.plan, None
-    for x in plan.chain:
+    chain: list[Node] = list(plan.chain) if plan is not None else []
+    producer, node.pushed_into = node.pushed_into, None
+    if producer is not None and producer.pushed_mask is not None:
+        # The consumer of a pushed mask failed: the producer's committed
+        # result is mask-filtered, which blocking mode would never have
+        # produced.  Strip the filter and recompute it clean.
+        producer.pushed_mask = None
+        if producer not in chain:
+            chain.insert(0, producer)
+        STATS.bump("pushdown_fallbacks")
+    if node.pushed_mask is not None:
+        # This node *is* a pushed producer whose filtered run failed.
+        node.pushed_mask = None
+        STATS.bump("pushdown_fallbacks")
+    for x in chain:
         x.state = PENDING
-    for x in plan.chain:
+    for x in chain:
         _run_node(x)
     _run_node(node)
 
@@ -371,19 +434,36 @@ def _checked_evaluate(node: Node):
     )
 
 
+def _run_compute(node: Node, datas: list):
+    """Invoke a compute-form node's kernel closure, threading through a
+    planner-pushed mask filter when one was attached (the kernel then
+    discards off-mask products before its sort/compress phase)."""
+    if node.pushed_mask is not None:
+        mask_src, complement, structure = node.pushed_mask
+        mask_data = mask_src.resolve()
+        if isinstance(mask_data, VecData):
+            keys = vec_mask_keys(mask_data, structure)
+        else:
+            keys = mat_mask_keys(mask_data, structure)
+        return node.compute(datas, pushed_keys=keys, pushed_comp=complement)
+    return node.compute(datas)
+
+
 def _evaluate(node: Node):
     if node.thunk is not None:
         return node.thunk(_resolve_prev(node))
     plan = node.plan
     if plan is not None:
         if plan.head is not None:
-            t = plan.head.compute([s.resolve() for s in plan.head.inputs])
+            t = _run_compute(
+                plan.head, [s.resolve() for s in plan.head.inputs]
+            )
         else:
             t = plan.start.resolve()
         t = run_stages(t, plan.stages)
     elif node.stages is not None:
         t = run_stages(node.inputs[node.pipe_input].resolve(), node.stages)
     else:
-        t = node.compute([s.resolve() for s in node.inputs])
+        t = _run_compute(node, [s.resolve() for s in node.inputs])
     prev = None if node.pure else _resolve_prev(node)
     return node.writeback(prev, t)

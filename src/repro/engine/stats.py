@@ -1,8 +1,8 @@
-"""Engine observability: counters and per-kernel wall time (§III/§V).
+"""Engine observability: counters, per-kernel wall time, trace spans.
 
-The lazy engine's whole value proposition — defer, fuse, elide, run
-independent work concurrently — is invisible from the API surface, so
-the engine keeps a process-wide counter block that answers "did the
+The lazy engine's whole value proposition — defer, fuse, elide, share,
+run independent work concurrently — is invisible from the API surface,
+so the engine keeps a process-wide counter block that answers "did the
 optimizer actually do anything?".  Counters:
 
 * ``nodes_built``      — DAG nodes created (one per deferred method).
@@ -13,6 +13,18 @@ optimizer actually do anything?".  Counters:
 * ``transposes_elided``— transpose pairs cancelled inside a pipeline.
 * ``selects_hoisted``  — value-independent selects moved ahead of maps
   (filter-before-map: the map then touches fewer stored values).
+* ``cse_hits``         — pending nodes recognised as structurally
+  identical to an earlier node (hash-cons pass) and aliased to it.
+* ``cse_reused``       — aliases that actually published the shared
+  result (the duplicate kernel never ran).
+* ``cse_fallbacks``    — aliases whose representative failed (or whose
+  commit was rejected) and that re-ran their own kernel instead.
+* ``masks_pushed``     — masked consumers whose mask filter was pushed
+  into the producing mxm/mxv/vxm kernel (pushdown pass).
+* ``pushdown_fallbacks`` — pushed chains that failed and transparently
+  re-ran unpushed for exact §V state.
+* ``planner_pass_failures`` — planner passes skipped after an injected
+  or real fault (the forcing proceeds without that pass's rewrites).
 * ``forces``           — subgraph forcings (``wait``/read/input use).
 * ``completes_deferred`` — ``wait(COMPLETE)`` calls that legally left a
   fused-but-unforced sequence in place (§V deferral freedom).
@@ -32,18 +44,34 @@ optimizer actually do anything?".  Counters:
   single-process execution on an unhealthy cluster.
 * ``comm_timeouts``    — communicator receives/collectives that timed
   out (dead-rank detection).
+* ``spans_dropped``    — trace spans discarded after the in-memory
+  buffer filled (the counters above are never dropped).
 
 Per-kernel timing lives in ``kernel_time``/``kernel_count`` keyed by
-node kind (``mxm``, ``apply``, ``fused``…).  Query via
+node kind (``mxm``, ``apply``, ``fused:…``).  Query via
 :meth:`EngineStats.snapshot`, :meth:`repro.core.context.Context.engine_stats`,
 or the CLI's ``--engine-stats`` flag.
+
+Trace spans
+-----------
+
+Every planner pass and every executed kernel records a span (name,
+category, start, duration, thread); planner *decisions* (a CSE alias, a
+pushed mask, a fused chain) record instant events.  The buffer renders
+to the Chrome trace event format — ``{"traceEvents": [...]}`` with
+``ph="X"`` complete events in microseconds — so ``chrome://tracing`` or
+Perfetto can load a dump directly.  ``Context.engine_stats(
+include_spans=True)`` returns the events; the CLI's ``--trace-out
+PATH`` writes the JSON file.
 """
 
 from __future__ import annotations
 
+import json
 import threading
+import time
 
-__all__ = ["EngineStats", "STATS"]
+__all__ = ["EngineStats", "STATS", "SPAN_CAP"]
 
 _COUNTERS = (
     "nodes_built",
@@ -52,6 +80,12 @@ _COUNTERS = (
     "chains_fused",
     "transposes_elided",
     "selects_hoisted",
+    "cse_hits",
+    "cse_reused",
+    "cse_fallbacks",
+    "masks_pushed",
+    "pushdown_fallbacks",
+    "planner_pass_failures",
     "forces",
     "completes_deferred",
     "parallel_batches",
@@ -65,18 +99,30 @@ _COUNTERS = (
     "degraded_serial",
     "degraded_local",
     "comm_timeouts",
+    "spans_dropped",
 )
+
+#: Trace-span buffer bound; past it spans are counted in
+#: ``spans_dropped`` instead of stored (counters are never dropped).
+SPAN_CAP = 50_000
+
+#: Process start reference for trace timestamps (µs since this moment).
+_T0 = time.perf_counter()
 
 
 class EngineStats:
-    """Thread-safe counter block for one engine (process-wide singleton)."""
+    """Thread-safe counter + span block (process-wide singleton)."""
 
-    __slots__ = ("_lock", "kernel_time", "kernel_count") + _COUNTERS
+    __slots__ = (
+        "_lock", "kernel_time", "kernel_count", "_spans", "_threads",
+    ) + _COUNTERS
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self.kernel_time: dict[str, float] = {}
         self.kernel_count: dict[str, int] = {}
+        self._spans: list[dict] = []
+        self._threads: dict[int, tuple[int, str]] = {}  # ident -> (tid, name)
         for name in _COUNTERS:
             setattr(self, name, 0)
 
@@ -93,6 +139,47 @@ class EngineStats:
             self.kernel_time[kind] = self.kernel_time.get(kind, 0.0) + seconds
             self.kernel_count[kind] = self.kernel_count.get(kind, 0) + 1
 
+    def _tid(self) -> int:
+        # Caller holds self._lock.
+        th = threading.current_thread()
+        entry = self._threads.get(th.ident)
+        if entry is None:
+            entry = (len(self._threads), th.name)
+            self._threads[th.ident] = entry
+        return entry[0]
+
+    def span(
+        self, name: str, cat: str, start: float, duration: float,
+        args: dict | None = None,
+    ) -> None:
+        """Record a complete ("X") trace event.
+
+        *start* is a ``time.perf_counter()`` reading; *duration* is in
+        seconds.  Event timestamps are microseconds relative to engine
+        start, which is what the Chrome trace format expects.
+        """
+        with self._lock:
+            if len(self._spans) >= SPAN_CAP:
+                self.spans_dropped += 1
+                return
+            self._spans.append({
+                "name": name, "cat": cat, "ph": "X",
+                "ts": (start - _T0) * 1e6, "dur": max(duration, 0.0) * 1e6,
+                "pid": 1, "tid": self._tid(), "args": args or {},
+            })
+
+    def instant(self, name: str, cat: str, args: dict | None = None) -> None:
+        """Record an instant ("i") event — a point-in-time decision."""
+        with self._lock:
+            if len(self._spans) >= SPAN_CAP:
+                self.spans_dropped += 1
+                return
+            self._spans.append({
+                "name": name, "cat": cat, "ph": "i", "s": "t",
+                "ts": (time.perf_counter() - _T0) * 1e6,
+                "pid": 1, "tid": self._tid(), "args": args or {},
+            })
+
     # -- querying ------------------------------------------------------------
 
     def snapshot(self) -> dict:
@@ -101,7 +188,32 @@ class EngineStats:
             snap = {name: getattr(self, name) for name in _COUNTERS}
             snap["kernel_time"] = dict(self.kernel_time)
             snap["kernel_count"] = dict(self.kernel_count)
+            snap["spans_recorded"] = len(self._spans)
             return snap
+
+    def trace_events(self) -> list[dict]:
+        """The recorded spans as Chrome trace events (copy), prefixed
+        with thread-name metadata so viewers label the tracks."""
+        with self._lock:
+            meta = [
+                {
+                    "name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+                    "args": {"name": name},
+                }
+                for tid, name in sorted(self._threads.values())
+            ]
+            return meta + [dict(ev) for ev in self._spans]
+
+    def write_trace(self, path: str) -> int:
+        """Dump the span buffer as a Chrome-trace JSON file; returns the
+        number of events written (metadata rows excluded)."""
+        events = self.trace_events()
+        with open(path, "w") as fh:
+            json.dump(
+                {"traceEvents": events, "displayTimeUnit": "ms"},
+                fh, default=str,
+            )
+        return sum(1 for ev in events if ev.get("ph") != "M")
 
     def reset(self) -> None:
         with self._lock:
@@ -109,13 +221,15 @@ class EngineStats:
                 setattr(self, name, 0)
             self.kernel_time.clear()
             self.kernel_count.clear()
+            self._spans.clear()
+            self._threads.clear()
 
     def format(self) -> str:
         """Human-readable dump (used by ``repro --engine-stats``)."""
         snap = self.snapshot()
         lines = ["engine stats:"]
         for name in _COUNTERS:
-            lines.append(f"  {name:<18} {snap[name]}")
+            lines.append(f"  {name:<22} {snap[name]}")
         if snap["kernel_count"]:
             lines.append("  kernel wall time:")
             for kind in sorted(snap["kernel_count"]):

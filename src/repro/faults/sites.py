@@ -24,6 +24,12 @@ SITES: dict[str, tuple[str, str]] = {
     "kernel.extract": ("kernel", "sub-container extract (internals/extract)"),
     "kernel.assign": ("kernel", "sub-container assign (internals/assign)"),
     "kernel.kron": ("kernel", "Kronecker product (internals/kron)"),
+    # -- planner pass boundaries (engine/passes/*) --------------------------
+    "planner.normalize": ("planner", "stage canonicalization pass (engine/passes/normalize)"),
+    "planner.cse": ("planner", "hash-cons CSE pass (engine/passes/cse)"),
+    "planner.pushdown": ("planner", "mask pushdown pass (engine/passes/pushdown)"),
+    "planner.fuse": ("planner", "fusion grouping pass (engine/passes/fuse)"),
+    "planner.schedule": ("planner", "decision-commit pass (engine/passes/schedule)"),
     # -- engine (engine/*) --------------------------------------------------
     "txn.commit": ("engine", "transactional commit gate (engine/txn)"),
     "scheduler.worker": ("engine", "pool worker node failure (engine/scheduler)"),

@@ -14,6 +14,12 @@ DESIGN.md's ablation benches flip these to measure the design choices:
   producer chains into single-pass pipelines (off = every deferred node
   runs as a standalone kernel with its own write-back; execution is
   still lazy and topological).
+* ``ENGINE_CSE`` — hash-cons structurally identical pending nodes so a
+  repeated subexpression executes its kernel once and every duplicate
+  aliases the shared result (planner CSE pass).
+* ``ENGINE_PUSHDOWN`` — absorb a masked consumer's mask filter into the
+  producing mxm/mxv/vxm kernel (planner pushdown pass; also requires
+  ``MASK_PUSHDOWN`` since it reuses the same kernel-level key filter).
 
 Resilience knobs (the fault plane's retry/degradation policy,
 :mod:`repro.faults`):
@@ -37,6 +43,8 @@ from __future__ import annotations
 MASK_PUSHDOWN: bool = True
 MULT_SHORTCUTS: bool = True
 ENGINE_FUSION: bool = True
+ENGINE_CSE: bool = True
+ENGINE_PUSHDOWN: bool = True
 RETRY_MAX: int = 3
 RETRY_BASE_DELAY: float = 0.002
 COMM_TIMEOUT: float = 10.0
@@ -46,6 +54,8 @@ _DEFAULTS = {
     "MASK_PUSHDOWN": True,
     "MULT_SHORTCUTS": True,
     "ENGINE_FUSION": True,
+    "ENGINE_CSE": True,
+    "ENGINE_PUSHDOWN": True,
     "RETRY_MAX": 3,
     "RETRY_BASE_DELAY": 0.002,
     "COMM_TIMEOUT": 10.0,

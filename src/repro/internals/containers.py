@@ -29,6 +29,7 @@ __all__ = [
     "coo_to_csr",
     "csr_to_coo_rows",
     "pair_keys",
+    "in_sorted",
     "empty_vec",
     "empty_mat",
     "MAX_NROWS",
@@ -247,3 +248,40 @@ def pair_keys(rows: np.ndarray, cols: np.ndarray, ncols: int) -> np.ndarray:
     if (max_row + 1) * ncols < 2 ** 62:
         return rows * np.int64(ncols) + cols
     return rows.astype(object) * ncols + cols
+
+
+#: Largest key universe for which membership may allocate a dense
+#: boolean lookup table (one byte per slot: 64 MiB).
+MAX_MEMBERSHIP_LUT = 1 << 26
+
+
+def in_sorted(
+    keys: np.ndarray, table: np.ndarray, invert: bool = False,
+    space: int | None = None,
+) -> np.ndarray:
+    """Membership of *keys* in the **sorted** array *table*.
+
+    Equivalent to ``np.isin(keys, table, invert=invert)`` but O(n log m)
+    via binary search instead of isin's internal sort — the mask key
+    sets this is used for (CSR pair keys, vector index arrays) are
+    already sorted by construction.
+
+    When the caller knows the key universe (``space``: all keys and
+    table entries lie in ``[0, space)``) and the workload is large
+    enough to amortize it, membership switches to a dense boolean
+    lookup table: one scatter plus one gather, beating binary search's
+    ``n log m`` cache-missing probes into a large table.  This is the
+    masked-SpGEMM hot path — a BFS visited set easily reaches millions
+    of pair keys.
+    """
+    if len(table) == 0:
+        base = np.zeros(len(keys), dtype=bool)
+    elif (space is not None and space <= MAX_MEMBERSHIP_LUT
+            and (len(keys) + len(table)) * 8 >= space):
+        lut = np.zeros(space, dtype=bool)
+        lut[table] = True
+        base = lut[keys]
+    else:
+        pos = np.minimum(np.searchsorted(table, keys), len(table) - 1)
+        base = table[pos] == keys
+    return ~base if invert else base

@@ -23,7 +23,14 @@ import numpy as np
 
 from ..core.binaryop import BinaryOp
 from ..core.types import BOOL, Type
-from .containers import MatData, VecData, coo_to_csr, csr_to_coo_rows, pair_keys
+from .containers import (
+    MatData,
+    VecData,
+    coo_to_csr,
+    csr_to_coo_rows,
+    in_sorted,
+    pair_keys,
+)
 from .ewise import mat_union, vec_union
 
 __all__ = [
@@ -37,6 +44,25 @@ __all__ = [
 _INT = np.int64
 
 
+def _memo(carrier, structure: bool, compute):
+    """Cache a mask's key set on its (immutable) carrier.
+
+    The same mask carrier is typically consulted repeatedly — every BFS
+    level re-filters through the visited set, and a planner-pushed mask
+    is keyed once for the producing kernel and once at the consumer's
+    write-back.  Carriers are frozen, so the keys can never go stale;
+    ``object.__setattr__`` sidesteps the frozen-dataclass guard.
+    """
+    cache = getattr(carrier, "_mask_keys", None)
+    if cache is None:
+        cache = {}
+        object.__setattr__(carrier, "_mask_keys", cache)
+    keys = cache.get(structure)
+    if keys is None:
+        keys = cache[structure] = compute()
+    return keys
+
+
 def vec_mask_keys(mask: VecData | None, structure: bool) -> np.ndarray | None:
     """Sorted indices where the (uncomplemented) vector mask is true.
 
@@ -46,34 +72,48 @@ def vec_mask_keys(mask: VecData | None, structure: bool) -> np.ndarray | None:
         return None
     if structure:
         return mask.indices
-    truth = np.asarray(BOOL.coerce_array(mask.values), dtype=bool)
-    return mask.indices[truth]
+
+    def compute():
+        truth = np.asarray(BOOL.coerce_array(mask.values), dtype=bool)
+        return mask.indices[truth]
+
+    return _memo(mask, structure, compute)
 
 
 def mat_mask_keys(mask: MatData | None, structure: bool) -> np.ndarray | None:
     """Sorted pair-keys where the (uncomplemented) matrix mask is true."""
     if mask is None:
         return None
-    rows = csr_to_coo_rows(mask.indptr, mask.nrows)
-    keys = pair_keys(rows, mask.col_indices, mask.ncols)
-    if structure:
-        return keys
-    truth = np.asarray(BOOL.coerce_array(mask.values), dtype=bool)
-    return keys[truth]
+
+    def compute():
+        rows = csr_to_coo_rows(mask.indptr, mask.nrows)
+        keys = pair_keys(rows, mask.col_indices, mask.ncols)
+        if structure:
+            return keys
+        truth = np.asarray(BOOL.coerce_array(mask.values), dtype=bool)
+        return keys[truth]
+
+    return _memo(mask, structure, compute)
 
 
 def membership(
-    keys: np.ndarray, mask_keys: np.ndarray | None, complement: bool
+    keys: np.ndarray, mask_keys: np.ndarray | None, complement: bool,
+    space: int | None = None,
 ) -> np.ndarray:
     """Boolean mask-truth per key, honouring the complement flag.
 
     With no mask, truth is all-true; a complemented missing mask is
     all-false (so REPLACE then clears the output — the spec corner).
+    ``space`` bounds the key universe so large workloads can use the
+    dense-LUT membership fast path.
     """
     if mask_keys is None:
         base = np.ones(len(keys), dtype=bool)
     else:
-        base = np.isin(keys, mask_keys)
+        # Mask key sets are sorted by construction (CSR pair keys,
+        # strictly-increasing vector indices): binary-search membership,
+        # or a dense lookup table when the universe is small enough.
+        base = in_sorted(keys, mask_keys, space=space)
     return ~base if complement else base
 
 
@@ -95,11 +135,11 @@ def vec_write_back(
     if mask is None and not complement:
         return z
     mk = vec_mask_keys(mask, structure)
-    keep_z = membership(z.indices, mk, complement)
+    keep_z = membership(z.indices, mk, complement, space=c.size)
     new_idx = z.indices[keep_z]
     new_vals = z.values[keep_z]
     if not replace:
-        keep_c = ~membership(c.indices, mk, complement)
+        keep_c = ~membership(c.indices, mk, complement, space=c.size)
         if keep_c.any():
             c_idx = c.indices[keep_c]
             c_vals = out_type.coerce_array(c.values[keep_c])
@@ -132,16 +172,17 @@ def mat_write_back(
     if mask is None and not complement:
         return z
     mk = mat_mask_keys(mask, structure)
+    space = c.nrows * c.ncols
     z_rows = csr_to_coo_rows(z.indptr, z.nrows)
     z_keys = pair_keys(z_rows, z.col_indices, z.ncols)
-    keep_z = membership(z_keys, mk, complement)
+    keep_z = membership(z_keys, mk, complement, space=space)
     new_rows = z_rows[keep_z]
     new_cols = z.col_indices[keep_z]
     new_vals = out_type.coerce_array(z.values[keep_z])
     if not replace:
         c_rows = csr_to_coo_rows(c.indptr, c.nrows)
         c_keys = pair_keys(c_rows, c.col_indices, c.ncols)
-        keep_c = ~membership(c_keys, mk, complement)
+        keep_c = ~membership(c_keys, mk, complement, space=space)
         if keep_c.any():
             new_rows = np.concatenate([new_rows, c_rows[keep_c]])
             new_cols = np.concatenate([new_cols, c.col_indices[keep_c]])

@@ -35,6 +35,7 @@ from .containers import (
     csr_to_coo_rows,
     empty_mat,
     empty_vec,
+    in_sorted,
     pair_keys,
 )
 
@@ -106,8 +107,11 @@ def mxm(
     out_type = semiring.out_type
     if a.nvals == 0 or b.nvals == 0:
         return empty_mat(a.nrows, b.ncols, out_type)
-    if mask_keys is not None and len(mask_keys) == 0 and not mask_complement:
-        return empty_mat(a.nrows, b.ncols, out_type)
+    if mask_keys is not None and len(mask_keys) == 0:
+        if mask_complement:
+            mask_keys = None  # complement of nothing keeps everything
+        else:
+            return empty_mat(a.nrows, b.ncols, out_type)
 
     a_rows = csr_to_coo_rows(a.indptr, a.nrows)
     flat, counts = _gather_expand(b.indptr, a.col_indices)
@@ -120,7 +124,10 @@ def mxm(
 
     keep: np.ndarray | None = None
     if mask_keys is not None:
-        keep = np.isin(keys, mask_keys, invert=mask_complement)
+        # mask_keys come from CSR/vector carriers and are pre-sorted, so
+        # binary-search membership beats np.isin's internal sort.
+        keep = in_sorted(keys, mask_keys, invert=mask_complement,
+                         space=a.nrows * b.ncols)
         if not keep.any():
             return empty_mat(a.nrows, b.ncols, out_type)
         keys = keys[keep]
@@ -179,9 +186,10 @@ def mxv(
     pos = np.searchsorted(u.indices, a.col_indices)
     pos_clamped = np.minimum(pos, len(u.indices) - 1)
     hit = u.indices[pos_clamped] == a.col_indices
-    if mask_keys is not None:
+    if mask_keys is not None and not (len(mask_keys) == 0 and mask_complement):
         all_rows = csr_to_coo_rows(a.indptr, a.nrows)
-        hit &= np.isin(all_rows, mask_keys, invert=mask_complement)
+        hit &= in_sorted(all_rows, mask_keys, invert=mask_complement,
+                         space=a.nrows)
     if not hit.any():
         return empty_vec(a.nrows, out_type)
     rows = csr_to_coo_rows(a.indptr, a.nrows)[hit]
@@ -216,8 +224,9 @@ def vxm(
     av = semiring.mult.in2_type.coerce_array(a.values)
     u_exp = np.repeat(uv, counts)
     a_exp = av[flat]
-    if mask_keys is not None:
-        keep = np.isin(out_cols, mask_keys, invert=mask_complement)
+    if mask_keys is not None and not (len(mask_keys) == 0 and mask_complement):
+        keep = in_sorted(out_cols, mask_keys, invert=mask_complement,
+                         space=a.ncols)
         if not keep.any():
             return empty_vec(a.ncols, out_type)
         out_cols = out_cols[keep]

@@ -29,6 +29,7 @@ from .common import (
     check_accum,
     check_context,
     check_output_cast,
+    mask_metadata,
     require,
     resolve_desc,
     scalar_value,
@@ -87,6 +88,14 @@ def _submit_stages(out, mask, accum, u, d, stages, label, *, op, kind="apply"):
         # carriers: they cannot raise an execution error, so a COMPLETE
         # wait may leave the node deferred.
         complete_safe=pure and op.is_builtin,
+        # Planner metadata: the write-back shape lets the pushdown pass
+        # absorb this node's mask into a producing mxm-family kernel.
+        mask_info=mask_metadata(
+            mask_src, accum,
+            complement=d.mask_complement,
+            structure=d.mask_structure,
+            replace=d.replace,
+        ),
     )
     return out
 

@@ -41,6 +41,7 @@ __all__ = [
     "check_output_cast",
     "capture_source",
     "writeback_closure",
+    "mask_metadata",
 ]
 
 
@@ -155,6 +156,30 @@ def writeback_closure(
         )
 
     return writeback, False
+
+
+def mask_metadata(
+    mask_src,
+    accum: BinaryOp | None,
+    *,
+    complement: bool = False,
+    structure: bool = False,
+    replace: bool = False,
+):
+    """Describe a write-back for the planner (``None`` when pure).
+
+    The write-back closure is opaque to the engine; this record is what
+    the mask-pushdown pass reasons about.  It must describe the same
+    funnel :func:`writeback_closure` builds from the same arguments.
+    """
+    if mask_src is None and not complement and accum is None:
+        return None
+    from ..engine.dag import MaskInfo
+
+    return MaskInfo(
+        mask_src, complement=complement, structure=structure,
+        replace=replace, has_accum=accum is not None,
+    )
 
 
 def check_output_cast(result_type, out_type) -> None:

@@ -23,6 +23,7 @@ from .common import (
     check_accum,
     check_context,
     check_output_cast,
+    mask_metadata,
     require,
     resolve_desc,
     writeback_closure,
@@ -88,6 +89,15 @@ def _ewise_mat(
         inputs=inputs, compute=compute, writeback=writeback,
         out_type=C.type, pure=pure,
         complete_safe=pure and binop.is_builtin,
+        opkey=("eWiseAdd" if union else "eWiseMult",
+               id(binop), tran0, tran1),
+        cse_safe=binop.is_builtin,
+        mask_info=mask_metadata(
+            mask_src, accum,
+            complement=d.mask_complement,
+            structure=d.mask_structure,
+            replace=d.replace,
+        ),
     )
     return C
 
@@ -129,6 +139,14 @@ def _ewise_vec(
         inputs=inputs, compute=compute, writeback=writeback,
         out_type=w.type, pure=pure,
         complete_safe=pure and binop.is_builtin,
+        opkey=("eWiseAdd" if union else "eWiseMult", id(binop)),
+        cse_safe=binop.is_builtin,
+        mask_info=mask_metadata(
+            mask_src, accum,
+            complement=d.mask_complement,
+            structure=d.mask_structure,
+            replace=d.replace,
+        ),
     )
     return w
 

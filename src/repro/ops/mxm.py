@@ -26,6 +26,7 @@ from .common import (
     check_accum,
     check_context,
     check_output_cast,
+    mask_metadata,
     require,
     resolve_desc,
     writeback_closure,
@@ -78,22 +79,26 @@ def mxm(
     tran0, tran1 = d.transpose0, d.transpose1
     comp, struct = d.mask_complement, d.mask_structure
 
-    def compute(datas):
+    def compute(datas, pushed_keys=None, pushed_comp=False):
         a = datas[0].transpose() if tran0 else datas[0]
         b = datas[1].transpose() if tran1 else datas[1]
         # Masked-SpGEMM push-down: no product the mask excludes can
         # reach the output, so filter inside the kernel before the
         # sort/compress phase (complemented masks filter inverted —
-        # the visited-set pattern of BFS).
-        mask_keys = None
+        # the visited-set pattern of BFS).  The filter is either this
+        # op's own mask or one the planner pushed down from a masked
+        # consumer (``pushed_keys``; never both — the pushdown pass
+        # only targets unmasked pure producers).
+        mask_keys, mask_comp = pushed_keys, pushed_comp
         if mask_src is not None and config.MASK_PUSHDOWN:
             mask_keys = mat_mask_keys(mask_src.resolve(), struct)
+            mask_comp = comp
         # Resolved at execution time (not submit time): a context that
         # degraded to serial while this node was deferred must not
         # re-enter the parallel path.
         nthreads = 1 if ctx.is_degraded else ctx.nthreads
         return parallel_mxm(a, b, semiring, nthreads, chunk_rows=chunk_rows,
-                            mask_keys=mask_keys, mask_complement=comp)
+                            mask_keys=mask_keys, mask_complement=mask_comp)
 
     writeback, pure = writeback_closure(
         False, C.type, mask_src, accum,
@@ -104,6 +109,13 @@ def mxm(
         kind="mxm", label="mxm", inputs=inputs,
         compute=compute, writeback=writeback,
         out_type=C.type, pure=pure,
+        opkey=("mxm", id(semiring), tran0, tran1),
+        cse_safe=semiring.is_builtin,
+        mask_info=mask_metadata(
+            mask_src, accum,
+            complement=comp, structure=struct, replace=d.replace,
+        ),
+        pushable=True,
     )
     return C
 
@@ -139,12 +151,13 @@ def mxv(
     tran0 = d.transpose0
     comp, struct = d.mask_complement, d.mask_structure
 
-    def compute(datas):
+    def compute(datas, pushed_keys=None, pushed_comp=False):
         a = datas[0].transpose() if tran0 else datas[0]
-        mask_keys = None
+        mask_keys, mask_comp = pushed_keys, pushed_comp
         if mask_src is not None and config.MASK_PUSHDOWN:
             mask_keys = vec_mask_keys(mask_src.resolve(), struct)
-        return _k.mxv(a, datas[1], semiring, mask_keys, comp)
+            mask_comp = comp
+        return _k.mxv(a, datas[1], semiring, mask_keys, mask_comp)
 
     writeback, pure = writeback_closure(
         True, w.type, mask_src, accum,
@@ -155,6 +168,13 @@ def mxv(
         kind="mxv", label="mxv", inputs=inputs,
         compute=compute, writeback=writeback,
         out_type=w.type, pure=pure,
+        opkey=("mxv", id(semiring), tran0),
+        cse_safe=semiring.is_builtin,
+        mask_info=mask_metadata(
+            mask_src, accum,
+            complement=comp, structure=struct, replace=d.replace,
+        ),
+        pushable=True,
     )
     return w
 
@@ -193,12 +213,13 @@ def vxm(
     tran1 = d.transpose1
     comp, struct = d.mask_complement, d.mask_structure
 
-    def compute(datas):
+    def compute(datas, pushed_keys=None, pushed_comp=False):
         a = datas[0].transpose() if tran1 else datas[0]
-        mask_keys = None
+        mask_keys, mask_comp = pushed_keys, pushed_comp
         if mask_src is not None and config.MASK_PUSHDOWN:
             mask_keys = vec_mask_keys(mask_src.resolve(), struct)
-        return _k.vxm(datas[1], a, semiring, mask_keys, comp)
+            mask_comp = comp
+        return _k.vxm(datas[1], a, semiring, mask_keys, mask_comp)
 
     writeback, pure = writeback_closure(
         True, w.type, mask_src, accum,
@@ -209,5 +230,12 @@ def vxm(
         kind="vxm", label="vxm", inputs=inputs,
         compute=compute, writeback=writeback,
         out_type=w.type, pure=pure,
+        opkey=("vxm", id(semiring), tran1),
+        cse_safe=semiring.is_builtin,
+        mask_info=mask_metadata(
+            mask_src, accum,
+            complement=comp, structure=struct, replace=d.replace,
+        ),
+        pushable=True,
     )
     return w

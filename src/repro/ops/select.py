@@ -75,6 +75,9 @@ def select(
         raise DomainMismatchError(f"select output must be Vector/Matrix, got {out!r}")
 
     sval = scalar_value(s, what="select scalar")
+    # _submit_stages attaches the planner metadata (mask/accum shape)
+    # that lets a masked select's filter be pushed into a producing
+    # mxm-family kernel by the planner's pushdown pass.
     return _submit_stages(
         out, mask, accum, a, d,
         [("select", op, sval)], "select", op=op, kind="select",

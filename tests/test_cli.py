@@ -28,6 +28,18 @@ class TestCli:
         assert code == 0
         assert "5/5" in text
 
+    def test_trace_out_writes_chrome_trace_json(self, tmp_path):
+        import json
+
+        path = tmp_path / "trace.json"
+        code, text = _run(["--trace-out", str(path), "selftest"])
+        assert code == 0
+        assert f"trace events to {path}" in text
+        doc = json.loads(path.read_text())
+        assert isinstance(doc["traceEvents"], list)
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert "X" in phases  # at least one complete event (a kernel)
+
     @pytest.mark.parametrize(
         "name", ["bfs", "triangles", "pagerank", "sssp", "components"]
     )

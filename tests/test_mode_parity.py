@@ -178,6 +178,9 @@ _OP_NAMES = (
     "ewise_mult",
     "ewise_add",
     "mxm",
+    "mxm_masked_rsc",
+    "apply_masked_rsc",
+    "dup_mxm_sum",
     "set_element",
     "remove_element",
     "clear",
@@ -212,6 +215,22 @@ def _apply_op(name, p, c, a, ctx):
         ewise_add(c, None, None, B.PLUS[T.FP64], c, a)
     elif name == "mxm":
         mxm(c, None, None, S.PLUS_TIMES_SEMIRING[T.FP64], c, a)
+    elif name == "mxm_masked_rsc":
+        # Masked in-place product: the planner's mask-pushdown shape.
+        mxm(c, a, None, S.PLUS_TIMES_SEMIRING[T.FP64], c, a, desc=DESC_RSC)
+    elif name == "apply_masked_rsc":
+        # Masked in-place map right after whatever produced c — when the
+        # producer is an unreferenced mxm this pushes; otherwise the
+        # legality guards must refuse without changing the result.
+        apply(c, a, None, AINV[T.FP64], c, DESC_RSC)
+    elif name == "dup_mxm_sum":
+        # Textually repeated subexpression: hash-cons CSE shares one
+        # kernel between t1 and t2 in nonblocking mode.
+        t1 = Matrix.new(T.FP64, _N, _N, ctx)
+        mxm(t1, None, None, S.PLUS_TIMES_SEMIRING[T.FP64], c, a)
+        t2 = Matrix.new(T.FP64, _N, _N, ctx)
+        mxm(t2, None, None, S.PLUS_TIMES_SEMIRING[T.FP64], c, a)
+        ewise_add(c, None, None, B.PLUS[T.FP64], t1, t2)
     elif name == "set_element":
         c.set_element(float(p), p // _N, p % _N)
     elif name == "remove_element":
@@ -280,3 +299,27 @@ class TestModeParityProperties:
                 err = type(exc).__name__
             outcomes.append((err, c.error(), sorted(c.to_dict().items())))
         assert outcomes[0] == outcomes[1]
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(ops=_chain, seed=st.integers(0, 2**20))
+    def test_chaos_chain_parity(self, ops, seed):
+        """Low-probability transient faults at every kernel — plus
+        non-transient faults at every planner pass boundary — must be
+        absorbed without changing any chain's result: retries recover
+        the kernels, and a faulted pass is skipped, degrading the plan,
+        never the answer."""
+        from repro.faults.plane import PLANE, FaultSpec
+
+        oracle = _run_chain(Context.new(Mode.BLOCKING, None, None), ops)
+        PLANE.configure(
+            seed,
+            [FaultSpec(site="kernel.*", rate=0.05, transient=True),
+             FaultSpec(site="planner.*", rate=0.25)],
+            armed_only=True,
+        )
+        try:
+            got = _run_chain(Context.new(Mode.NONBLOCKING, None, None), ops)
+        finally:
+            PLANE.disable()
+        assert got == oracle

@@ -61,7 +61,11 @@ The spec rows that are *behaviour*, not symbols, and where each lives:
 | spec row | meaning | implementation |
 |---|---|---|
 | §III blocking mode | every method executes before it returns | `core/sequence.py` (submit + immediate force) |
-| §III nonblocking mode | methods may be delayed, reordered, optimized | `engine/dag.py` nodes + `engine/fusion.py` rewrite pass |
+| §III nonblocking mode | methods may be delayed, reordered, optimized | `engine/dag.py` nodes + `engine/fusion.py::plan_subgraph` planner |
+| §III "optimize" freedom: common subexpressions | a repeated pending subexpression may execute once | `engine/passes/cse.py` hash-cons over `dag.structural_key`; shared result republished via `engine/txn.py` |
+| §III "optimize" freedom: masked products | `C⟨M⟩ = A ⊕.⊗ B` may skip off-mask products entirely | `engine/passes/pushdown.py` → `internals/mxm.py` `mask_keys` filter (§VIII `GrB_STRUCTURE`/`GrB_COMP` honoured in-kernel) |
+| §III "optimize" freedom: chain fusion | producer chains may run as one pass | `engine/passes/fuse.py` + `internals/applyselect.py` pipelines |
+| §VIII masked-kernel fast paths | complemented/structural mask filters at kernel entry | `internals/mxm.py` (`in_sorted` membership, empty-complement keep-all) + `internals/maskaccum.py` memoized mask keys |
 | §III "sequence of methods that define an object" | per-object defining sequence | sequence edges (`Node.prev`) threaded through `engine/dag.py` |
 | §V forcing call | a read/`wait` completes exactly the pending subgraph it observes | `engine/scheduler.py::force` (topological, per-Context threads) |
 | §V `GrB_wait(COMPLETE)` | errors surfaced; execution may stay deferred | `engine/scheduler.py::chain_complete_safe` |
@@ -71,7 +75,8 @@ The spec rows that are *behaviour*, not symbols, and where each lives:
 | §V failed-op output state | output keeps its last-materialized value | transactional commit gate `engine/txn.py::commit` (validate, then one reference store) |
 | §V transient execution errors | `GrB_OUT_OF_MEMORY` / `GrB_INSUFFICIENT_SPACE` may succeed on re-invocation | `faults/retry.py::with_retry` (bounded retry, exponential backoff) around every node evaluation |
 | §V persistent faults | exhaust the ladder, then defer like any execution error | scheduler/parallel/cluster degradation: `Context.is_degraded`, serial mxm fallback, `Cluster.run_resilient` |
-| §V fault observability | error handling must be testable deterministically | `faults/plane.py` seeded site injection + `Context.engine_stats()` fault counters |
+| §V fault observability | error handling must be testable deterministically | `faults/plane.py` seeded site injection (incl. `planner.*` pass-boundary sites) + `Context.engine_stats()` fault counters |
+| §V optimization transparency on failure | an optimized chain that fails re-runs unoptimized with exact deferred-error state | `engine/scheduler.py::_run_deoptimized_fallback` (unfuse, strip pushed masks, recompute filtered producers clean) |
 """
 
 
