@@ -49,6 +49,11 @@ def build_parser() -> argparse.ArgumentParser:
              "JSON (load in chrome://tracing or Perfetto)",
     )
     p.add_argument(
+        "--no-result-cache", action="store_true",
+        help="disable the cross-forcing result memo (ablation; same as "
+             "REPRO_RESULT_CACHE=0)",
+    )
+    p.add_argument(
         "--chaos", type=int, metavar="SEED", default=None,
         help="run under deterministic transient fault injection with this "
              "seed (results must still be exact)",
@@ -206,6 +211,12 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     owned = not is_initialized()
     if owned:
         init(Mode.NONBLOCKING)
+    memo_was = None
+    if args.no_result_cache:
+        from repro.internals import config
+
+        memo_was = config.get_option("ENGINE_MEMO")
+        config.set_option("ENGINE_MEMO", False)
     if args.chaos is not None:
         from repro import faults
 
@@ -235,5 +246,9 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
 
             out.write(PLANE.format() + "\n")
             PLANE.disable()
+        if memo_was is not None:
+            from repro.internals import config
+
+            config.set_option("ENGINE_MEMO", memo_was)
         if owned and is_initialized():
             finalize()

@@ -71,6 +71,7 @@ class Context:
     __slots__ = (
         "mode", "parent", "_exec", "_freed", "_children", "name",
         "_degraded", "_worker_faults",
+        "_result_memo", "_pool", "_pool_nthreads",
     )
 
     def __init__(
@@ -88,6 +89,9 @@ class Context:
         self.name = name
         self._degraded = False
         self._worker_faults = 0
+        self._result_memo = None  # lazy ResultMemo (nonblocking planner)
+        self._pool = None         # lazy ThreadPoolExecutor (parallel mxm)
+        self._pool_nthreads = 0
         if parent is not None:
             parent._children.append(self)
         self._validate_exec()
@@ -177,6 +181,60 @@ class Context:
             ctx = ctx.parent
         return False
 
+    # -- scoped engine resources ----------------------------------------------
+
+    def result_memo(self, create: bool = True):
+        """This context's cross-forcing result memo (lazily created).
+
+        Scoping the memo to the context is what makes "never serve
+        across mode or context boundaries" structural: a lookup made
+        while planning an object's forcing can only see entries stored
+        by sequences in the very same context.
+        """
+        with _state_lock:
+            if self._result_memo is None and create and not self._freed:
+                from ..engine.memo import ResultMemo
+
+                self._result_memo = ResultMemo()
+            return self._result_memo
+
+    def worker_pool(self):
+        """The context's cached kernel thread pool, sized ``nthreads``.
+
+        Replaces the fresh ``ThreadPoolExecutor`` the parallel kernels
+        used to spin up per call: one pool per context, rebuilt only
+        when the effective thread count changes, shut down on
+        ``free``/``finalize``/degradation.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        nthreads = max(1, self.nthreads)
+        with _state_lock:
+            pool = self._pool
+            if (pool is None or self._pool_nthreads != nthreads
+                    or getattr(pool, "_shutdown", False)):
+                if pool is not None and not getattr(pool, "_shutdown", False):
+                    pool.shutdown(wait=False)
+                name = self.name or f"ctx{id(self) & 0xFFFF:x}"
+                pool = ThreadPoolExecutor(
+                    max_workers=nthreads,
+                    thread_name_prefix=f"grb-{name}",
+                )
+                self._pool = pool
+                self._pool_nthreads = nthreads
+            return pool
+
+    def _release_resources(self) -> None:
+        """Drop memo entries and stop the worker pool (free/finalize)."""
+        with _state_lock:
+            memo, self._result_memo = self._result_memo, None
+            pool, self._pool = self._pool, None
+            self._pool_nthreads = 0
+        if memo is not None:
+            memo.clear()
+        if pool is not None:
+            pool.shutdown(wait=False)
+
     # -- graceful degradation (fault plane) -----------------------------------
 
     @property
@@ -196,12 +254,22 @@ class Context:
 
         with _state_lock:
             self._worker_faults += 1
-            if (not self._degraded
-                    and self._worker_faults
-                    >= config.get_option("DEGRADE_WORKER_FAULTS")):
+            degraded_now = (
+                not self._degraded
+                and self._worker_faults
+                >= config.get_option("DEGRADE_WORKER_FAULTS")
+            )
+            if degraded_now:
                 self._degraded = True
-                return True
-        return False
+            pool = None
+            if degraded_now:
+                # Serial execution from here on: stop the cached kernel
+                # pool (workers may be wedged — don't wait on them).
+                pool, self._pool = self._pool, None
+                self._pool_nthreads = 0
+        if pool is not None:
+            pool.shutdown(wait=False)
+        return degraded_now
 
     def restore(self) -> None:
         """Clear degraded state (operator action after the fault cleared)."""
@@ -233,6 +301,11 @@ class Context:
             if site.startswith("planner.")
         }
         snap["context_degraded"] = self._degraded
+        memo = self._result_memo
+        snap["memo_entries"] = 0 if memo is None else len(memo)
+        snap["memo_capacity"] = (
+            0 if memo is None else memo.capacity
+        )
         if include_spans:
             snap["trace_events"] = STATS.trace_events()
         return snap
@@ -240,8 +313,13 @@ class Context:
     # -- teardown ------------------------------------------------------------
 
     def free(self) -> None:
-        """``GrB_free`` on a context: it then behaves uninitialized (§IV)."""
+        """``GrB_free`` on a context: it then behaves uninitialized (§IV).
+
+        Scoped resources die with the context: the result memo's cached
+        carriers are dropped and the kernel thread pool is stopped.
+        """
         self._freed = True
+        self._release_resources()
         for child in self._children:
             child.free()
 
@@ -273,10 +351,13 @@ def finalize() -> None:
     with _state_lock:
         if _top_context is None:
             raise PanicError("GrB_finalize without GrB_init")
-        for ctx in _all_contexts:
+        released = list(_all_contexts)
+        for ctx in released:
             ctx._freed = True
         _all_contexts.clear()
         _top_context = None
+    for ctx in released:
+        ctx._release_resources()
 
 
 def is_initialized() -> bool:

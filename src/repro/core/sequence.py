@@ -48,10 +48,12 @@ demonstrates (reproduced in ``examples/fig1_two_thread_pipeline.py``).
 
 from __future__ import annotations
 
+import itertools
 import threading
 from typing import Any, Callable, Sequence
 
 from ..engine.dag import DONE, FAILED, Node, Source
+from ..engine.memo import invalidate_handle, release_handle
 from ..engine.stats import STATS
 from ..engine.txn import commit as _txn_commit
 from ..faults.retry import with_retry
@@ -65,6 +67,10 @@ from .errors import (
 
 __all__ = ["OpaqueObject", "error_string", "wait"]
 
+#: Monotonic handle identity: unlike ``id()``, a uid is never reused,
+#: so the result memo's versioned keys can never alias a dead handle.
+_UIDS = itertools.count(1)
+
 
 class OpaqueObject:
     """Base for Scalar / Vector / Matrix: sequence + error state + lock."""
@@ -72,6 +78,7 @@ class OpaqueObject:
     __slots__ = (
         "_lock", "_tail", "_err", "_ctx",
         "_data", "_valid", "_materialized",
+        "_uid", "_version",
     )
 
     def __init__(self, ctx: Context | None):
@@ -83,6 +90,8 @@ class OpaqueObject:
         self._data: Any = None  # set by subclass
         self._valid = True
         self._materialized = True
+        self._uid = next(_UIDS)
+        self._version = 0
 
     # -- context -----------------------------------------------------------
 
@@ -108,10 +117,21 @@ class OpaqueObject:
     # -- sequence machinery ---------------------------------------------------
 
     def _prev_source(self) -> Source:
-        """Sequence edge to this object's current state (lock held)."""
+        """Sequence edge to this object's current state (lock held).
+
+        A materialized capture carries the handle's versioned identity
+        (``vkey``) so the cross-forcing result memo can recognise the
+        same committed carrier in a later sequence.
+        """
         if self._tail is not None:
             return Source.of_node(self._tail)
-        return Source.of_data(self._data)
+        return Source.of_data(self._data, vkey=(self._uid, self._version))
+
+    def _advance(self) -> None:
+        """A write happened: bump the handle version and drop memo
+        entries that depended on the previous committed state."""
+        self._version += 1
+        invalidate_handle(self._uid)
 
     def _as_source(self) -> Source:
         """Capture this object as an *input* of a deferred operation.
@@ -145,6 +165,7 @@ class OpaqueObject:
             self._check_valid()
             if self._mode == Mode.BLOCKING:
                 self._data = self._run_now(label, lambda: thunk(self._data))
+                self._advance()
                 return
             self._tail = Node(
                 kind="method",
@@ -156,6 +177,7 @@ class OpaqueObject:
                 complete_safe=not can_raise,
             )
             self._materialized = False
+            self._advance()
 
     def _submit_op(
         self,
@@ -174,6 +196,7 @@ class OpaqueObject:
         cse_safe: bool = False,
         mask_info: Any = None,
         pushable: bool = False,
+        push_targets: tuple | None = None,
     ) -> None:
         """Submit an operations-layer method (the fusable node shape).
 
@@ -202,6 +225,7 @@ class OpaqueObject:
             with self._lock:
                 self._check_valid()
                 self._data = self._run_now(label, _run)
+                self._advance()
             return
         with self._lock:
             self._check_valid()
@@ -222,8 +246,10 @@ class OpaqueObject:
                 cse_safe=cse_safe,
                 mask_info=mask_info,
                 pushable=pushable,
+                push_targets=push_targets,
             )
             self._materialized = False
+            self._advance()
 
     def _run_now(self, label: str, fn: Callable[[], Any]) -> Any:
         """Blocking-mode execution with the §V error wrapping.
@@ -351,11 +377,17 @@ class OpaqueObject:
     # -- lifecycle -------------------------------------------------------------
 
     def free(self) -> None:
-        """``GrB_free`` — release; the handle then behaves uninitialized."""
+        """``GrB_free`` — release; the handle then behaves uninitialized.
+
+        Dropping the handle also drops every result-memo entry that
+        depends on it — both entries computed *from* it and entries
+        cached *for* it — so freed carriers stay collectable.
+        """
         with self._lock:
             self._tail = None
             self._data = None
             self._valid = False
+        release_handle(self._uid)
 
 
 def wait(obj: OpaqueObject, mode: WaitMode = WaitMode.MATERIALIZE) -> None:

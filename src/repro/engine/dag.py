@@ -46,7 +46,7 @@ from .stats import STATS
 __all__ = [
     "PENDING", "DONE", "FAILED", "ELIDED",
     "Source", "Node", "MaskInfo", "GRAPH_LOCK",
-    "source_identity", "structural_key",
+    "source_identity", "structural_key", "memo_key",
 ]
 
 # Node states.
@@ -61,17 +61,28 @@ GRAPH_LOCK = threading.Lock()
 
 
 class Source:
-    """A captured operation input: concrete carrier or producing node."""
+    """A captured operation input: concrete carrier or producing node.
 
-    __slots__ = ("node", "data")
+    ``vkey`` is the *versioned identity* of the captured handle at
+    capture time — ``(handle uid, handle version)`` for a data capture
+    made through ``OpaqueObject._prev_source``.  Handle uids are drawn
+    from a monotonic counter (never reused, unlike ``id()``) and the
+    version advances on every write, so equal vkeys imply the very same
+    committed carrier.  This is what the cross-forcing result memo keys
+    on; captures made without a vkey are simply memo-ineligible.
+    """
 
-    def __init__(self, node: "Node | None", data: Any):
+    __slots__ = ("node", "data", "vkey")
+
+    def __init__(self, node: "Node | None", data: Any,
+                 vkey: tuple | None = None):
         self.node = node
         self.data = data
+        self.vkey = vkey
 
     @classmethod
-    def of_data(cls, data: Any) -> "Source":
-        return cls(None, data)
+    def of_data(cls, data: Any, vkey: tuple | None = None) -> "Source":
+        return cls(None, data, vkey)
 
     @classmethod
     def of_node(cls, node: "Node") -> "Source":
@@ -127,9 +138,10 @@ class Node:
         "kind", "label", "owner", "prev", "inputs",
         "thunk", "compute", "writeback", "stages", "pipe_input",
         "out_type", "pure", "complete_safe",
-        "opkey", "cse_safe", "mask_info", "pushable",
+        "opkey", "cse_safe", "mask_info", "pushable", "push_targets",
         "state", "result", "exc", "exc_raised", "nrefs",
         "plan", "alias_of", "pushed_mask", "pushed_into",
+        "memo_result", "memo_entry",
     )
 
     def __init__(
@@ -152,6 +164,7 @@ class Node:
         cse_safe: bool = False,
         mask_info: MaskInfo | None = None,
         pushable: bool = False,
+        push_targets: tuple | None = None,
     ):
         self.kind = kind
         self.label = label
@@ -170,6 +183,7 @@ class Node:
         self.cse_safe = cse_safe
         self.mask_info = mask_info
         self.pushable = pushable
+        self.push_targets = push_targets
         self.state = PENDING
         self.result: Any = None
         self.exc: BaseException | None = None
@@ -179,6 +193,8 @@ class Node:
         self.alias_of = None   # representative Node (CSE pass)
         self.pushed_mask = None  # (mask Source, complement, structure)
         self.pushed_into = None  # producer Node our mask was pushed into
+        self.memo_result = None  # cached carrier to republish (memo hit)
+        self.memo_entry = None   # (memo key, dep uids) for post-run store
         STATS.bump("nodes_built")
 
     # -- graph helpers -------------------------------------------------------
@@ -297,4 +313,59 @@ def structural_key(
     return (
         node.kind, base, id(node.out_type),
         tuple(source_identity(s, canon) for s in node.inputs),
+    )
+
+
+# -- cross-forcing identity (result-memo support) -----------------------------
+#
+# ``structural_key`` identifies a statement *within one forcing* via
+# ``id()``-based input identities, which are only stable while the
+# captured objects are alive.  The result memo outlives a forcing, so it
+# keys on *versioned handle identities* instead: each data capture made
+# through the sequence layer carries ``(uid, version)`` (``Source.vkey``)
+# where the uid is never reused and the version advances on every write.
+# A pending input recurses into its producing node — its sources are
+# snapshots too — so whole re-submitted chains collide.  Equal memo keys
+# therefore imply the same pure computation over the same committed
+# carrier contents, across forcings and across output objects.
+
+
+def memo_key(node: Node) -> tuple[tuple, frozenset] | None:
+    """Cross-forcing identity of the value *node* computes, plus the
+    handle uids the cached entry depends on — or ``None`` when the node
+    must not be memoized (impure, thunk-form, user-defined op, or any
+    input captured without a versioned identity)."""
+    if not node.pure or node.thunk is not None:
+        return None
+    if node.opkey is not None:
+        if not node.cse_safe:
+            return None
+        base: tuple = ("op", node.opkey)
+    elif node.stages is not None:
+        skeys = []
+        for stage in node.stages:
+            sk = _stage_key(stage)
+            if sk is None:
+                return None
+            skeys.append(sk)
+        base = ("stages", tuple(skeys))
+    else:
+        return None
+    deps: set = set()
+    idents = []
+    for src in node.inputs:
+        if src.node is not None:
+            sub = memo_key(src.node)
+            if sub is None:
+                return None
+            idents.append(("n", sub[0]))
+            deps.update(sub[1])
+        elif src.vkey is not None:
+            idents.append(("d", src.vkey))
+            deps.add(src.vkey[0])
+        else:
+            return None  # anonymous capture: no cross-forcing identity
+    return (
+        (node.kind, base, id(node.out_type), tuple(idents)),
+        frozenset(deps),
     )

@@ -7,10 +7,12 @@ pipeline in :mod:`repro.engine.passes`:
 
 ``normalize`` (canonicalize stage lists, compute structural keys) →
 ``cse`` (hash-cons identical pending subtrees so a repeated
-subexpression runs its kernel once) → ``pushdown`` (absorb a masked
-consumer's filter into the producing mxm/mxv/vxm kernel) → ``fuse``
-(absorb producer chains into single-pass pipelines) → ``schedule``
-(commit all decisions onto the nodes).
+subexpression runs its kernel once, and consult the context's
+cross-forcing result memo) → ``cost`` (arbitrate pushdown-vs-fusion
+conflicts by estimated kernel savings) → ``pushdown`` (absorb a masked
+consumer's filter into the producing mxm/mxv/vxm/eWiseMult kernel) →
+``fuse`` (absorb producer chains into single-pass pipelines) →
+``schedule`` (commit all decisions onto the nodes).
 
 Each pass is a pure function over one shared immutable
 :class:`~repro.engine.passes.ir.PlanIR`; the driver runs the sequence
@@ -32,7 +34,7 @@ from __future__ import annotations
 import time
 
 from ..faults.plane import armed, maybe_inject
-from .dag import GRAPH_LOCK, Node, Source
+from .dag import GRAPH_LOCK, PENDING, Node, Source
 from .stats import STATS
 
 __all__ = ["FusionPlan", "plan_subgraph", "plan_fusion", "optimize_stages"]
@@ -138,15 +140,31 @@ def optimize_stages(stages: list) -> tuple[list, int, int]:
 
 
 def _passes():
-    from .passes import cse, fuse, normalize, pushdown, schedule
+    from .passes import cost, cse, fuse, normalize, pushdown, schedule
 
     return (
         ("normalize", normalize.run),
         ("cse", cse.run),
+        ("cost", cost.run),
         ("pushdown", pushdown.run),
         ("fuse", fuse.run),
         ("schedule", schedule.run),
     )
+
+
+def _memo_worthwhile(node: Node) -> bool:
+    """Cheap pre-filter: could a one-node forcing hit the result memo?
+
+    Mirrors :func:`~repro.engine.dag.memo_key` eligibility without
+    building the key — impure, thunk-form, and user-defined-op nodes
+    (BFS hot-loop shapes are masked, hence impure) still skip the
+    pipeline entirely and pay zero planning overhead.
+    """
+    if not node.pure or node.thunk is not None or node.owner is None:
+        return False
+    if node.opkey is not None:
+        return node.cse_safe
+    return node.stages is not None
 
 
 def plan_subgraph(nodes: list) -> None:
@@ -158,13 +176,30 @@ def plan_subgraph(nodes: list) -> None:
     fusion consumers and ELIDED on their absorbed producers.  Planner
     faults never fail the forcing — the affected pass is skipped.
     """
+    from ..internals import config
     from .passes.ir import PlanIR
 
     if len(nodes) < 2:
-        # Every pass needs at least a producer/consumer (or duplicate)
-        # pair to rewrite anything; skip the pipeline so one-node
-        # forcings — BFS inner loops force one kernel at a time — pay
+        # Every rewrite pass needs at least a producer/consumer (or
+        # duplicate) pair; a one-node forcing only goes through the
+        # pipeline when the cross-forcing memo could serve it — a
+        # re-submitted ``C = A ⊕.⊗ A`` is exactly a one-node forcing.
+        # BFS inner loops (masked, impure nodes) still skip and pay
         # zero planning overhead.
+        if not nodes:
+            return
+        if not (config.ENGINE_MEMO and _memo_worthwhile(nodes[0])):
+            return
+    elif not any(
+        n.state == PENDING and (n.pure or n.stages is not None)
+        for n in nodes
+    ):
+        # Every rewrite needs a pure pending node (CSE duplicate, memo
+        # candidate, pushdown/fusion producer) or a stage-form consumer
+        # to absorb into; an all-impure compute subgraph — the masked
+        # assign + masked vxm pair a BFS inner loop forces every level —
+        # cannot be optimized by any pass, so skip the pipeline and its
+        # fixed per-forcing cost entirely.
         return
 
     ir = PlanIR.initial(nodes)

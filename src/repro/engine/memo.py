@@ -1,0 +1,209 @@
+"""Cross-forcing result cache (§III optimization latitude).
+
+The planner's CSE pass hash-conses duplicates *within* one forcing;
+this module extends the same idea across API calls: a bounded LRU memo
+of ``memo key → committed carrier`` per :class:`~repro.core.context.
+Context`, where the key (:func:`repro.engine.dag.memo_key`) identifies
+a pure built-in computation over *versioned* input handles.  When a
+later sequence re-submits ``C = A ⊕.⊗ A``, the CSE pass finds the
+committed product here and the scheduler republishes it through the
+transactional commit gate (:mod:`repro.engine.txn`) instead of
+re-running the kernel — the Julia-GraphBLAS "reuse materialized results
+across calls" win.
+
+Soundness rests on three invariants:
+
+* **Versioned keys** — every captured input carries ``(uid, version)``;
+  uids come from a monotonic counter (never reused, unlike ``id()``)
+  and versions advance on every write, so a key can never alias a
+  different committed value.
+* **Eager invalidation** — every write to a handle calls
+  :func:`invalidate_handle`, dropping all entries that *depend* on
+  that uid in every live memo.  ``GrB_free`` calls
+  :func:`release_handle`, which additionally drops entries whose
+  cached carrier was committed *to* that handle (tracked separately —
+  the output is not a value dependency, or re-submitting
+  ``C = A ⊕.⊗ A`` would invalidate its own hit), so freeing the object
+  whose result was cached releases the carrier (the gc/weakref
+  property ``GrB_free`` demands).
+* **Scoped stores** — the memo lives on the Context, so a hit can never
+  cross a context (and hence never a mode) boundary; descriptor
+  settings that change the computed value (transposes) are part of the
+  op key, and masked/accumulated nodes are impure and never eligible.
+
+Entries are (capacity-bounded) strong references: a cached carrier must
+stay alive to be republished.  The LRU bound plus eager invalidation
+keep retention proportional to ``MEMO_CAPACITY``, and a context's
+``free``/``finalize`` clears its memo outright.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from collections import OrderedDict
+from typing import Any, Iterable
+
+from ..internals import config
+from .stats import STATS
+
+__all__ = ["ResultMemo", "invalidate_handle", "release_handle"]
+
+#: Every live memo, so handle writes can invalidate eagerly without the
+#: sequence layer knowing which contexts cached what (an object may be
+#: re-homed across contexts via ``GrB_Context_switch``).
+_MEMOS: "weakref.WeakSet[ResultMemo]" = weakref.WeakSet()
+_MEMOS_LOCK = threading.Lock()
+
+#: Uids any live entry has ever named (dep or owner) — the O(1) fast
+#: path that keeps :func:`invalidate_handle` free for the overwhelming
+#: majority of submits (BFS hot loops never store).  Deliberately an
+#: over-approximation that only grows: uids are monotonic and never
+#: reused, and a *missed* drop is mere delayed reclamation — keys carry
+#: input versions, so a stale entry can never be served after a write.
+_TRACKED_UIDS: set[int] = set()
+
+
+class ResultMemo:
+    """A bounded LRU map of memo key → committed result carrier."""
+
+    def __init__(self, capacity: int | None = None):
+        self._lock = threading.Lock()
+        self._capacity = capacity
+        #: key -> (carrier, frozenset of dep uids, owner uid | None)
+        self._entries: "OrderedDict[tuple, tuple[Any, frozenset, int | None]]" = (
+            OrderedDict()
+        )
+        #: dep uid -> set of keys depending on it (write invalidation)
+        self._by_dep: dict[int, set[tuple]] = {}
+        #: owner uid -> set of keys whose carrier was committed to it
+        #: (dropped only on ``GrB_free`` of that handle)
+        self._by_owner: dict[int, set[tuple]] = {}
+        with _MEMOS_LOCK:
+            _MEMOS.add(self)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def capacity(self) -> int:
+        cap = self._capacity
+        if cap is None:
+            cap = int(config.get_option("MEMO_CAPACITY"))
+        return max(1, cap)
+
+    # -- the cache protocol ---------------------------------------------------
+
+    def lookup(self, key: tuple) -> Any | None:
+        """The cached carrier for *key*, or ``None`` (counted as a miss).
+        A hit refreshes the entry's LRU position; the *hit* counter is
+        bumped by the schedule pass when the decision is committed."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                STATS.bump("memo_misses")
+                return None
+            self._entries.move_to_end(key)
+            return entry[0]
+
+    def store(
+        self,
+        key: tuple,
+        carrier: Any,
+        deps: Iterable[int],
+        owner_uid: int | None = None,
+    ) -> None:
+        """Record a committed carrier, evicting LRU past capacity."""
+        deps = frozenset(deps)
+        with self._lock:
+            if key in self._entries:
+                self._drop(key)
+            self._entries[key] = (carrier, deps, owner_uid)
+            for uid in deps:
+                self._by_dep.setdefault(uid, set()).add(key)
+                _TRACKED_UIDS.add(uid)
+            if owner_uid is not None:
+                self._by_owner.setdefault(owner_uid, set()).add(key)
+                _TRACKED_UIDS.add(owner_uid)
+            STATS.bump("memo_stores")
+            cap = self.capacity
+            while len(self._entries) > cap:
+                old_key = next(iter(self._entries))
+                self._drop(old_key)
+                STATS.bump("memo_evictions")
+
+    def invalidate(self, uid: int) -> int:
+        """Drop every entry depending on handle *uid*; returns count."""
+        with self._lock:
+            return self._invalidate_index(self._by_dep, uid)
+
+    def release(self, uid: int) -> int:
+        """Handle *uid* was freed: drop entries depending on it *and*
+        entries whose cached carrier was committed to it."""
+        with self._lock:
+            n = self._invalidate_index(self._by_dep, uid)
+            n += self._invalidate_index(self._by_owner, uid)
+            return n
+
+    def clear(self) -> None:
+        """Drop everything (context ``free``/``finalize``)."""
+        with self._lock:
+            self._entries.clear()
+            self._by_dep.clear()
+            self._by_owner.clear()
+
+    def _invalidate_index(self, index: dict, uid: int) -> int:
+        # Caller holds self._lock.
+        keys = index.pop(uid, None)
+        if not keys:
+            return 0
+        n = 0
+        for key in list(keys):
+            if key in self._entries:
+                self._drop(key)
+                n += 1
+        if n:
+            STATS.bump("memo_invalidations", n)
+        return n
+
+    def _drop(self, key: tuple) -> None:
+        # Caller holds self._lock.
+        _, deps, owner_uid = self._entries.pop(key)
+        for uid in deps:
+            bucket = self._by_dep.get(uid)
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del self._by_dep[uid]
+        if owner_uid is not None:
+            bucket = self._by_owner.get(owner_uid)
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del self._by_owner[owner_uid]
+
+
+def invalidate_handle(uid: int) -> None:
+    """A handle advanced (write): drop dependent entries from every
+    live memo.  Called from the sequence layer on *every* submit, so
+    the common case (no entry anywhere names this uid) must stay
+    O(1) — one set probe, no locks."""
+    if uid not in _TRACKED_UIDS:
+        return
+    with _MEMOS_LOCK:
+        memos = list(_MEMOS)
+    for memo in memos:
+        memo.invalidate(uid)
+
+
+def release_handle(uid: int) -> None:
+    """A handle died (``GrB_free``): drop entries depending on it and
+    entries caching *its* committed carrier, so the carrier becomes
+    collectable once the application drops its own references."""
+    if uid not in _TRACKED_UIDS:
+        return
+    with _MEMOS_LOCK:
+        memos = list(_MEMOS)
+    for memo in memos:
+        memo.release(uid)

@@ -1,4 +1,4 @@
-"""Pass 2 — hash-cons common subexpression elimination.
+"""Pass 2 — hash-cons common subexpression elimination + result memo.
 
 Two pending nodes with identical structural keys (same pure operation,
 same captured inputs, same output domain — see
@@ -9,6 +9,16 @@ through the normal commit gate.  Input identities are canonicalized
 through the aliases found so far, so transitive duplicates
 (``f(g(a))`` vs ``f(g′(a))`` with ``g ≡ g′``) collide too.
 
+The same pass also consults the owning context's **cross-forcing result
+memo** (:mod:`repro.engine.memo`): a node whose
+:func:`~repro.engine.dag.memo_key` matches a carrier committed by an
+*earlier* forcing becomes a memo hit — the scheduler republishes the
+cached carrier through the commit gate and the kernel never runs.
+Misses record the key so the scheduler can store the committed result
+for later forcings.  Memo hits are locked exactly like CSE endpoints: a
+fused-away or mask-filtered node would no longer publish the cached
+(unfiltered) value.
+
 Eligibility is deliberately narrow: pure nodes built from *built-in*
 operators only (user-defined functions carry no determinism guarantee),
 and never a node another pass has claimed.  Aliases and representatives
@@ -17,19 +27,64 @@ representative would no longer hold the unfiltered shared value.
 
 §V transparency: if the representative fails, each alias falls back to
 running its own kernel under its own label (the scheduler's
-``cse_fallbacks`` path), which is exactly the blocking-mode outcome.
+``cse_fallbacks`` path); a memo republish that fails the commit gate
+re-runs its own kernel too (``memo_fallbacks``) — both exactly the
+blocking-mode outcome.
 """
 
 from __future__ import annotations
 
 from ...internals import config
-from ..dag import PENDING, Node, structural_key
+from ..dag import PENDING, Node, memo_key, structural_key
 from .ir import PlanIR
 
 __all__ = ["run"]
 
 
+def _consult_memo(ir: PlanIR) -> tuple[dict, dict, set]:
+    """Look up every eligible node in its context's result memo.
+
+    Returns (hits: id -> carrier, entries: id -> (key, deps), locked
+    additions).  Planning never *writes* the memo — stores happen in
+    the scheduler after the carrier passes the commit gate.
+    """
+    hits: dict[int, object] = {}
+    entries: dict[int, tuple] = {}
+    locked: set[int] = set()
+    memos: dict[int, object] = {}
+    for node in ir.nodes:
+        if node.state != PENDING or id(node) in ir.locked:
+            continue
+        ctx = getattr(node.owner, "_ctx", None)
+        if ctx is None:
+            continue
+        keyed = memo_key(node)
+        if keyed is None:
+            continue
+        memo = memos.get(id(ctx))
+        if memo is None:
+            memo = memos[id(ctx)] = ctx.result_memo()
+        if memo is None:
+            continue
+        key, deps = keyed
+        carrier = memo.lookup(key)
+        if carrier is not None:
+            hits[id(node)] = carrier
+            locked.add(id(node))
+        else:
+            entries[id(node)] = (key, deps)
+    return hits, entries, locked
+
+
 def run(ir: PlanIR) -> PlanIR:
+    if config.ENGINE_MEMO:
+        memo_hits, memo_entries, memo_locked = _consult_memo(ir)
+        if memo_hits or memo_entries:
+            ir = ir.replace(
+                memo_hits=memo_hits,
+                memo_entries=memo_entries,
+                locked=frozenset(set(ir.locked) | memo_locked),
+            )
     if not config.ENGINE_CSE:
         return ir
     seen: dict[tuple, Node] = {}

@@ -8,11 +8,17 @@ is re-optimized as a whole, so transpose pairs that only meet across
 node boundaries cancel and value-independent selects hoist over
 upstream maps.
 
-Legality (unchanged from the original single-pass planner): the
-producer's write-back is pure, every reference to it comes from the
-absorbing consumer, and it is no longer its owner's sequence tail.  New
-here: nodes claimed by CSE or pushdown are skipped — an aliased or
-mask-filtered node must run (or publish) exactly its own value.
+Legality: the producer's write-back is pure, every reference to it
+comes from the absorbing consumer, and it is no longer its owner's
+sequence tail.  Nodes claimed by CSE, the result memo, or pushdown are
+skipped — an aliased or mask-filtered node must run (or publish)
+exactly its own value.  A consumer whose sequence edge *is* the
+producer (the in-place ``mxm(c); apply(c⟨m⟩, …, c)`` pattern) may
+absorb it only when its write-back never reads the previous value:
+either the write-back is pure, or it masks with REPLACE and no
+accumulator (the funnel then only needs ``prev``'s shape).  That last
+shape is exactly the one mask pushdown also wants — the cost pass
+arbitrates who gets the producer.
 
 This pass only *decides*; absorbed producers are recorded in
 ``ir.elided`` and flipped to ELIDED by the schedule pass.
@@ -27,6 +33,16 @@ from .ir import PlanIR
 __all__ = ["run"]
 
 
+def _prev_value_free(consumer: Node) -> bool:
+    """True when the consumer's write-back never reads the previous
+    *values* of its output: pure, or masked with REPLACE and no
+    accumulator (the funnel then only uses ``prev`` for its shape)."""
+    if consumer.pure:
+        return True
+    m = consumer.mask_info
+    return m is not None and m.replace and not m.has_accum
+
+
 def _absorbable(consumer: Node, x: Node) -> bool:
     """May *consumer* absorb producer *x*?  (Driver holds GRAPH_LOCK.)"""
     if x.state != PENDING or not x.is_fusable_producer():
@@ -37,9 +53,9 @@ def _absorbable(consumer: Node, x: Node) -> bool:
         return False
     # Every reference to x must come from this consumer, and only via
     # the pipe input (plus the sequence edge when the consumer's
-    # write-back is pure and therefore never reads it).
+    # write-back never reads the previous value).
     allowed = 1 + (1 if consumer.prev.node is x else 0)
-    if consumer.prev.node is x and not consumer.pure:
+    if consumer.prev.node is x and not _prev_value_free(consumer):
         return False
     refs = consumer.refs_to(x)
     return refs == allowed and x.nrefs == refs

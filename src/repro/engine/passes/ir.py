@@ -55,6 +55,7 @@ class PlanIR:
     __slots__ = (
         "nodes", "info", "aliases", "pushdowns",
         "fusions", "elided", "locked", "stage_counts",
+        "memo_hits", "memo_entries", "decisions",
     )
 
     def __init__(
@@ -67,6 +68,9 @@ class PlanIR:
         elided: frozenset[int] = frozenset(),
         locked: frozenset[int] = frozenset(),
         stage_counts: tuple[int, int] = (0, 0),
+        memo_hits: Mapping[int, Any] = (),
+        memo_entries: Mapping[int, tuple] = (),
+        decisions: Mapping[int, str] = (),
     ):
         self.nodes = tuple(nodes)
         self.info = dict(info)
@@ -82,6 +86,12 @@ class PlanIR:
         self.locked = frozenset(locked)
         #: (selects_hoisted, transposes_elided) across fusion splices
         self.stage_counts = stage_counts
+        #: id(node) -> cached carrier to republish (cross-forcing memo)
+        self.memo_hits = dict(memo_hits)
+        #: id(node) -> (memo key, dep uids) for the post-run store
+        self.memo_entries = dict(memo_entries)
+        #: id(producer) -> "pushdown" | "fuse" (cost-model arbitration)
+        self.decisions = dict(decisions)
 
     @classmethod
     def initial(cls, nodes: list[Node]) -> "PlanIR":
@@ -95,6 +105,9 @@ class PlanIR:
             "pushdowns": self.pushdowns, "fusions": self.fusions,
             "elided": self.elided, "locked": self.locked,
             "stage_counts": self.stage_counts,
+            "memo_hits": self.memo_hits,
+            "memo_entries": self.memo_entries,
+            "decisions": self.decisions,
         }
         fields.update(kw)
         return PlanIR(**fields)

@@ -3,6 +3,9 @@
 The terminal pass is the single point where planning state leaves the
 immutable IR and lands on the nodes the scheduler executes:
 
+* each cross-forcing memo hit gets ``memo_result`` (the cached carrier
+  to republish) and each miss gets ``memo_entry`` (the key the
+  scheduler stores the committed carrier under),
 * each CSE duplicate gets ``alias_of`` → its representative,
 * each pushdown producer gets ``pushed_mask`` (and its consumer
   ``pushed_into``, for the failure fallback),
@@ -29,6 +32,16 @@ __all__ = ["run"]
 
 def run(ir: PlanIR) -> PlanIR:
     by_id = {id(n): n for n in ir.nodes}
+    for nid, carrier in ir.memo_hits.items():
+        node = by_id[nid]
+        node.memo_result = carrier
+        STATS.bump("memo_hits")
+        STATS.instant(
+            f"memo:{node.label}", "planner",
+            {"node": node.label, "nvals": getattr(carrier, "nvals", None)},
+        )
+    for nid, entry in ir.memo_entries.items():
+        by_id[nid].memo_entry = entry
     for nid, rep in ir.aliases.items():
         node = by_id[nid]
         node.alias_of = rep

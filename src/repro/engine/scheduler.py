@@ -296,6 +296,28 @@ def _run_node(node: Node) -> None:
     if node.state == ELIDED:
         return  # absorbed into a consumer's pipeline; nothing to run
     t0 = time.perf_counter()
+    if node.memo_result is not None:
+        # Cross-forcing memo hit: republish the cached committed carrier
+        # through the same transactional gate a fresh kernel result
+        # would pass.  A rejected commit (or any other failure) falls
+        # back to running this node's own kernel — the §V-transparent
+        # outcome, mirroring the CSE alias fallback below.
+        cached, node.memo_result = node.memo_result, None
+        try:
+            node.result = with_retry(
+                lambda: _txn_commit(node.label, cached), node.label
+            )
+            node.state = DONE
+            STATS.bump("memo_reused")
+            STATS.span(
+                f"memo:{node.kind}", "kernel", t0,
+                time.perf_counter() - t0,
+                {"node": node.label,
+                 "nvals": getattr(cached, "nvals", None)},
+            )
+            return
+        except Exception:
+            STATS.bump("memo_fallbacks")
     if node.alias_of is not None:
         # CSE duplicate: publish the representative's carrier through
         # the same commit gate a kernel result would pass.  Any failure
@@ -314,6 +336,7 @@ def _run_node(node: Node) -> None:
                     time.perf_counter() - t0,
                     {"node": node.label, "rep": rep.label},
                 )
+                _memo_store(node)
                 return
             except Exception:
                 pass
@@ -330,6 +353,7 @@ def _run_node(node: Node) -> None:
                 kind, "kernel", t0, time.perf_counter() - t0,
                 {"node": node.label},
             )
+            _memo_store(node)
         except Exception:
             # An optimized (fused and/or mask-pushed) evaluation failed.
             # Optimization must be transparent even on failure: unfused,
@@ -368,6 +392,36 @@ def _run_node(node: Node) -> None:
         node.kind, "kernel", t0, time.perf_counter() - t0,
         {"node": node.label},
     )
+    _memo_store(node)
+
+
+def _memo_store(node: Node) -> None:
+    """Record a freshly committed carrier in the owning context's
+    cross-forcing memo (the planner attached the key at plan time).
+
+    Mask-filtered producers are never stored: a pushed result holds a
+    subset of the true value and must not be served to an unmasked
+    resubmission.  The store is best-effort — a failure here can't be
+    allowed to fail a forcing that already committed."""
+    entry, node.memo_entry = node.memo_entry, None
+    if entry is None or node.pushed_mask is not None:
+        return
+    from ..internals import config
+
+    if not config.ENGINE_MEMO:
+        return
+    try:
+        ctx = getattr(node.owner, "_ctx", None)
+        if ctx is None:
+            return
+        memo = ctx.result_memo()
+        if memo is None:
+            return
+        key, deps = entry
+        memo.store(key, node.result, deps,
+                   owner_uid=getattr(node.owner, "_uid", None))
+    except Exception:
+        pass
 
 
 def _run_deoptimized_fallback(node: Node) -> None:

@@ -20,9 +20,23 @@ optimizer actually do anything?".  Counters:
 * ``cse_fallbacks``    — aliases whose representative failed (or whose
   commit was rejected) and that re-ran their own kernel instead.
 * ``masks_pushed``     — masked consumers whose mask filter was pushed
-  into the producing mxm/mxv/vxm kernel (pushdown pass).
+  into the producing mxm/mxv/vxm/eWiseMult kernel (pushdown pass).
 * ``pushdown_fallbacks`` — pushed chains that failed and transparently
   re-ran unpushed for exact §V state.
+* ``memo_hits`` / ``memo_misses`` — cross-forcing result-memo lookups
+  (CSE pass) that found / did not find a committed carrier for a
+  re-submitted expression.
+* ``memo_reused``      — memo hits that actually republished the cached
+  carrier through the commit gate (the kernel never ran).
+* ``memo_fallbacks``   — memo hits whose republish was rejected (commit
+  gate) and that re-ran their own kernel instead.
+* ``memo_stores``      — committed results recorded into a context's
+  result memo for later forcings.
+* ``memo_evictions``   — LRU evictions from a full result memo.
+* ``memo_invalidations`` — memo entries dropped because an input handle
+  advanced (write) or was freed.
+* ``cost_decisions``   — pushdown-vs-fusion conflicts arbitrated by the
+  cost model (each also emits a ``cost:`` trace instant).
 * ``planner_pass_failures`` — planner passes skipped after an injected
   or real fault (the forcing proceeds without that pass's rewrites).
 * ``forces``           — subgraph forcings (``wait``/read/input use).
@@ -85,6 +99,14 @@ _COUNTERS = (
     "cse_fallbacks",
     "masks_pushed",
     "pushdown_fallbacks",
+    "memo_hits",
+    "memo_misses",
+    "memo_reused",
+    "memo_fallbacks",
+    "memo_stores",
+    "memo_evictions",
+    "memo_invalidations",
+    "cost_decisions",
     "planner_pass_failures",
     "forces",
     "completes_deferred",

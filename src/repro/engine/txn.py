@@ -14,9 +14,12 @@ point explicit and guarded:
   (raising :class:`InvalidObjectError` instead), turning silent
   corruption into the §V error path.
 
-Both execution funnels route through here: blocking mode via
-``OpaqueObject._run_now`` and the nonblocking scheduler via
-``_checked_evaluate``.
+Every execution funnel routes through here: blocking mode via
+``OpaqueObject._run_now``, the nonblocking scheduler via
+``_checked_evaluate``, and *republished* carriers — CSE alias reuse
+and cross-forcing result-memo hits — which pass the same gate as a
+fresh kernel result so a cached value can never dodge the fault plane
+or publish corrupt state.
 """
 
 from __future__ import annotations

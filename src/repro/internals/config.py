@@ -18,8 +18,19 @@ DESIGN.md's ablation benches flip these to measure the design choices:
   repeated subexpression executes its kernel once and every duplicate
   aliases the shared result (planner CSE pass).
 * ``ENGINE_PUSHDOWN`` — absorb a masked consumer's mask filter into the
-  producing mxm/mxv/vxm kernel (planner pushdown pass; also requires
-  ``MASK_PUSHDOWN`` since it reuses the same kernel-level key filter).
+  producing mxm/mxv/vxm/eWiseMult kernel (planner pushdown pass; also
+  requires ``MASK_PUSHDOWN`` since it reuses the same kernel-level key
+  filter).
+* ``ENGINE_MEMO`` — the cross-forcing result cache: a bounded LRU memo
+  of (structural key over committed input versions → committed carrier)
+  per Context, consulted by the planner's CSE pass so a re-submitted
+  expression republishes the cached carrier instead of re-running its
+  kernel.  Env-overridable at import time via ``REPRO_RESULT_CACHE``
+  (or ``ENGINE_MEMO``) — the CI ablation matrix sets it to ``0``.
+* ``MEMO_CAPACITY`` — LRU bound on entries per Context result memo.
+* ``ENGINE_COSTMODEL`` — let the planner's cost pass arbitrate the
+  pushdown-vs-fusion conflict on shared producers by estimated kernel
+  savings (off = the fixed pass order decides: pushdown claims first).
 
 Resilience knobs (the fault plane's retry/degradation policy,
 :mod:`repro.faults`):
@@ -40,11 +51,26 @@ the type of the option's default.
 
 from __future__ import annotations
 
+import os
+
+
+def _env_flag(names: tuple[str, ...], default: bool) -> bool:
+    """Resolve a boolean knob from the first set environment variable."""
+    for name in names:
+        raw = os.environ.get(name)
+        if raw is not None:
+            return raw.strip().lower() not in ("0", "false", "no", "off", "")
+    return default
+
+
 MASK_PUSHDOWN: bool = True
 MULT_SHORTCUTS: bool = True
 ENGINE_FUSION: bool = True
 ENGINE_CSE: bool = True
 ENGINE_PUSHDOWN: bool = True
+ENGINE_MEMO: bool = _env_flag(("REPRO_RESULT_CACHE", "ENGINE_MEMO"), True)
+MEMO_CAPACITY: int = 64
+ENGINE_COSTMODEL: bool = True
 RETRY_MAX: int = 3
 RETRY_BASE_DELAY: float = 0.002
 COMM_TIMEOUT: float = 10.0
@@ -56,6 +82,9 @@ _DEFAULTS = {
     "ENGINE_FUSION": True,
     "ENGINE_CSE": True,
     "ENGINE_PUSHDOWN": True,
+    "ENGINE_MEMO": ENGINE_MEMO,
+    "MEMO_CAPACITY": 64,
+    "ENGINE_COSTMODEL": True,
     "RETRY_MAX": 3,
     "RETRY_BASE_DELAY": 0.002,
     "COMM_TIMEOUT": 10.0,

@@ -12,6 +12,14 @@ Both operate on the sorted index streams of the carriers:
 The matrix kernels exploit that a canonical CSR's (row, col) stream is
 globally sorted, reducing matrix eWise to the vector merge over scalar
 pair-keys.
+
+The *intersection* kernels accept an optional planner-pushed mask
+filter (``mask_keys`` — sorted keys in the output coordinate space,
+``mask_complement``): surviving keys are membership-tested right after
+the merge, before the operator runs, so off-mask entries never have
+values computed — the eWise analogue of the masked-SpGEMM push-down.
+The mxm convention applies: ``mask_keys=None`` means no filter, and an
+*empty* key set with ``complement=True`` keeps everything.
 """
 
 from __future__ import annotations
@@ -21,7 +29,14 @@ import numpy as np
 from ..core.binaryop import BinaryOp
 from ..core.types import Type
 from ..faults.plane import maybe_inject
-from .containers import MatData, VecData, coo_to_csr, csr_to_coo_rows, pair_keys
+from .containers import (
+    MatData,
+    VecData,
+    coo_to_csr,
+    csr_to_coo_rows,
+    in_sorted,
+    pair_keys,
+)
 
 __all__ = [
     "vec_intersect",
@@ -57,12 +72,28 @@ def _intersect_sorted(
     return common, ia, ib
 
 
+def _filter_common(common, ia, ib, mask_keys, mask_complement, space):
+    """Drop merged keys the pushed mask filter rules out (pre-values)."""
+    if mask_keys is None or (len(mask_keys) == 0 and mask_complement):
+        return common, ia, ib
+    keep = in_sorted(common, mask_keys, invert=mask_complement, space=space)
+    return common[keep], ia[keep], ib[keep]
+
+
 def vec_intersect(
-    a: VecData, b: VecData, op: BinaryOp, out_type: Type
+    a: VecData,
+    b: VecData,
+    op: BinaryOp,
+    out_type: Type,
+    mask_keys: np.ndarray | None = None,
+    mask_complement: bool = False,
 ) -> VecData:
     """w = A .* B over the structural intersection."""
     maybe_inject("kernel.ewise")
     common, ia, ib = _intersect_sorted(a.indices, b.indices)
+    common, ia, ib = _filter_common(
+        common, ia, ib, mask_keys, mask_complement, a.size
+    )
     vals = _merged_values(op, out_type, a.values[ia], b.values[ib])
     return VecData(a.size, out_type, common, vals)
 
@@ -98,13 +129,21 @@ def vec_union(
 
 
 def mat_intersect(
-    a: MatData, b: MatData, op: BinaryOp, out_type: Type
+    a: MatData,
+    b: MatData,
+    op: BinaryOp,
+    out_type: Type,
+    mask_keys: np.ndarray | None = None,
+    mask_complement: bool = False,
 ) -> MatData:
     """C = A .* B over the structural intersection."""
     maybe_inject("kernel.ewise")
     a_keys = pair_keys(csr_to_coo_rows(a.indptr, a.nrows), a.col_indices, a.ncols)
     b_keys = pair_keys(csr_to_coo_rows(b.indptr, b.nrows), b.col_indices, b.ncols)
     common, ia, ib = _intersect_sorted(a_keys, b_keys)
+    common, ia, ib = _filter_common(
+        common, ia, ib, mask_keys, mask_complement, a.nrows * a.ncols
+    )
     vals = _merged_values(op, out_type, a.values[ia], b.values[ib])
     rows = (common // a.ncols).astype(_INT)
     cols = (common % a.ncols).astype(_INT)

@@ -52,6 +52,12 @@ def _memo(carrier, structure: bool, compute):
     is keyed once for the producing kernel and once at the consumer's
     write-back.  Carriers are frozen, so the keys can never go stale;
     ``object.__setattr__`` sidesteps the frozen-dataclass guard.
+
+    Storing the cache *on* the carrier (rather than in a side table
+    keyed by it) is also what makes it free-safe: no global structure
+    references the carrier, so after ``GrB_free`` the keys die with it
+    and the arrays stay gc-collectable
+    (``tests/test_result_cache.py::TestCollectability``).
     """
     cache = getattr(carrier, "_mask_keys", None)
     if cache is None:

@@ -11,9 +11,13 @@ NumPy releases the GIL inside ufunc loops, so moderate speedups are
 real; more importantly this exercises the *scoping* role of contexts —
 two sibling contexts with different thread counts run independently.
 
-The pool is created lazily per call: contexts are lightweight, and
-GraphBLAS objects may outlive the context they were created in only
-until ``free``/``finalize`` (§IV).
+Worker threads come from the owning context's cached pool
+(:meth:`~repro.core.context.Context.worker_pool`): one executor per
+context, sized to its effective ``nthreads``, shut down on
+``free``/``finalize`` and on degradation to serial.  The old behaviour
+— a fresh ``ThreadPoolExecutor`` spun up and torn down per kernel call
+— paid thread start-up on *every* parallel mxm; callers without a
+context (direct kernel tests) still get an ephemeral pool.
 """
 
 from __future__ import annotations
@@ -96,6 +100,7 @@ def parallel_mxm(
     mask_keys: np.ndarray | None = None,
     mask_complement: bool = False,
     kernel: Callable[..., MatData] = mxm,
+    ctx=None,
 ) -> MatData:
     """C = A ⊕.⊗ B with A's rows partitioned over ``nthreads`` workers.
 
@@ -125,6 +130,10 @@ def parallel_mxm(
             return kernel(s[0], b, semiring, s[1], mask_complement)
 
     def _batch():
+        if ctx is not None:
+            pool = ctx.worker_pool()
+            return list(pool.map(_block, slices))
+        # No owning context (direct kernel tests): ephemeral pool.
         with ThreadPoolExecutor(max_workers=len(blocks)) as pool:
             return list(pool.map(_block, slices))
 
@@ -132,10 +141,11 @@ def parallel_mxm(
         # Blocks are pure over immutable carriers, so the whole batch is
         # safely re-runnable: transient faults retry here with backoff.
         results = with_retry(_batch, "parallel.mxm")
-    except ExecutionError:
-        # Persistent (or retry-exhausted) fault in the parallel path:
-        # degrade to one serial kernel call over the unsplit operands
-        # (correct, just slower).
+    except (ExecutionError, RuntimeError):
+        # Persistent (or retry-exhausted) fault in the parallel path —
+        # or the context's pool was shut down under us (free/finalize/
+        # degradation racing a deferred forcing): degrade to one serial
+        # kernel call over the unsplit operands (correct, just slower).
         STATS.bump("degraded_serial")
         return kernel(a, b, semiring, mask_keys, mask_complement)
     if all(r.nvals == 0 for r in results):

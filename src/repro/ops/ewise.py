@@ -69,12 +69,33 @@ def _ewise_mat(
     b_src = capture_source(B) if B is not A else a_src
     mask_src = capture_source(Mask)
     tran0, tran1 = d.transpose0, d.transpose1
-    kern = _k.mat_union if union else _k.mat_intersect
 
-    def compute(datas):
-        a = datas[0].transpose() if tran0 else datas[0]
-        b = datas[1].transpose() if tran1 else datas[1]
-        return kern(a, b, binop, binop.out_type)
+    if union:
+        def compute(datas):
+            a = datas[0].transpose() if tran0 else datas[0]
+            b = datas[1].transpose() if tran1 else datas[1]
+            return _k.mat_union(a, b, binop, binop.out_type)
+    else:
+        def compute(datas, pushed_keys=None, pushed_comp=False):
+            a = datas[0].transpose() if tran0 else datas[0]
+            b = datas[1].transpose() if tran1 else datas[1]
+            return _k.mat_intersect(
+                a, b, binop, binop.out_type,
+                mask_keys=pushed_keys, mask_complement=pushed_comp,
+            )
+
+    # Which inputs a mask filter may be pushed *through* (producer-side
+    # pushdown): a transposed input lives in the wrong coordinate space;
+    # a union only behaves like an intersection when both inputs are the
+    # same untransposed source (then filtering it filters the union).
+    if union:
+        push_targets = (
+            (0,) if b_src is a_src and not (tran0 or tran1) else None
+        )
+    else:
+        push_targets = tuple(
+            i for i, t in ((0, tran0), (1, tran1)) if not t
+        ) or None
 
     writeback, pure = writeback_closure(
         False, C.type, mask_src, accum,
@@ -98,6 +119,8 @@ def _ewise_mat(
             structure=d.mask_structure,
             replace=d.replace,
         ),
+        pushable=not union,
+        push_targets=push_targets,
     )
     return C
 
@@ -121,10 +144,20 @@ def _ewise_vec(
     u_src = capture_source(u)
     v_src = capture_source(v) if v is not u else u_src
     mask_src = capture_source(mask)
-    kern = _k.vec_union if union else _k.vec_intersect
 
-    def compute(datas):
-        return kern(datas[0], datas[1], binop, binop.out_type)
+    if union:
+        def compute(datas):
+            return _k.vec_union(datas[0], datas[1], binop, binop.out_type)
+
+        push_targets = (0,) if v_src is u_src else None
+    else:
+        def compute(datas, pushed_keys=None, pushed_comp=False):
+            return _k.vec_intersect(
+                datas[0], datas[1], binop, binop.out_type,
+                mask_keys=pushed_keys, mask_complement=pushed_comp,
+            )
+
+        push_targets = (0, 1)
 
     writeback, pure = writeback_closure(
         True, w.type, mask_src, accum,
@@ -147,6 +180,8 @@ def _ewise_vec(
             structure=d.mask_structure,
             replace=d.replace,
         ),
+        pushable=not union,
+        push_targets=push_targets,
     )
     return w
 

@@ -98,7 +98,8 @@ def mxm(
         # re-enter the parallel path.
         nthreads = 1 if ctx.is_degraded else ctx.nthreads
         return parallel_mxm(a, b, semiring, nthreads, chunk_rows=chunk_rows,
-                            mask_keys=mask_keys, mask_complement=mask_comp)
+                            mask_keys=mask_keys, mask_complement=mask_comp,
+                            ctx=ctx)
 
     writeback, pure = writeback_closure(
         False, C.type, mask_src, accum,

@@ -455,8 +455,12 @@ class TestParallelDegradation:
         c = Matrix.new(T.FP64, 16, 16, ctx)
         PLANE.configure(4, [FaultSpec(site="parallel.worker", transient=True,
                                       max_hits=1)])
-        mxm(c, None, None, PT, a, a)
-        wait(c)
+        # The reference run above committed the same A ⊕.⊗ A in this
+        # context: keep the result memo out of the way so the kernel
+        # (and the injected fault) actually re-runs.
+        with config.option("ENGINE_MEMO", False):
+            mxm(c, None, None, PT, a, a)
+            wait(c)
         PLANE.disable()
         assert c.to_dict() == expected
         assert _stat("retries_recovered") >= before + 1

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Perf regression gate over the planner benchmark results.
+
+``benchmarks/bench_masked_mxm.py`` writes ``BENCH_planner.json`` with
+wall times for each planner workload in blocking and nonblocking mode.
+Raw milliseconds are machine-dependent, so the gate compares the
+*ratio* of each optimized nonblocking path to the blocking run from the
+same file — a machine-independent measure of what the planner buys —
+against the committed baseline ratios in
+``benchmarks/BENCH_planner.json``:
+
+* ``masked_mxm.nb_pushed_ms / blocking_ms``   — mask pushdown
+* ``dup_subexpression.nb_cse_ms / blocking_ms`` — hash-consing (CSE)
+
+The gate fails (exit 1) when a fresh ratio regresses more than the
+tolerance (default 25%) over the baseline ratio, or when the workload's
+optimizer counters show the optimization did not fire at all.  Run from
+the repository root after the benchmarks:
+
+    PYTHONPATH=src python -m pytest -q benchmarks/bench_masked_mxm.py
+    python tools/bench_gate.py
+
+CI's perf-smoke job runs exactly this pair.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: (workload, optimized-ms key, counter that proves the rewrite fired)
+GATED = (
+    ("masked_mxm", "nb_pushed_ms", "masks_pushed"),
+    ("dup_subexpression", "nb_cse_ms", "cse_reused"),
+)
+
+
+def _ratio(results: dict, workload: str, key: str) -> float:
+    entry = results[workload]
+    blocking = float(entry["blocking_ms"])
+    if blocking <= 0:
+        raise ValueError(f"{workload}: nonpositive blocking_ms")
+    return float(entry[key]) / blocking
+
+
+def check(fresh: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Return a list of human-readable failures (empty = gate passes)."""
+    failures = []
+    for workload, key, counter in GATED:
+        if workload not in fresh:
+            failures.append(f"{workload}: missing from fresh results")
+            continue
+        if workload not in baseline:
+            failures.append(f"{workload}: missing from baseline")
+            continue
+        fired = int(fresh[workload].get(counter, 0))
+        if fired < 1:
+            failures.append(
+                f"{workload}: {counter}={fired} — the optimization never fired"
+            )
+        r_fresh = _ratio(fresh, workload, key)
+        r_base = _ratio(baseline, workload, key)
+        limit = r_base * (1.0 + tolerance)
+        verdict = "ok" if r_fresh <= limit else "REGRESSED"
+        print(
+            f"  {workload:>20s}.{key}: {r_fresh:.3f}x blocking "
+            f"(baseline {r_base:.3f}x, limit {limit:.3f}x) {verdict}"
+        )
+        if r_fresh > limit:
+            failures.append(
+                f"{workload}: {key} is {r_fresh:.3f}x blocking, "
+                f"worse than baseline {r_base:.3f}x by more than "
+                f"{tolerance:.0%}"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument(
+        "--fresh", type=Path, default=Path("BENCH_planner.json"),
+        help="results from the benchmark run under test",
+    )
+    p.add_argument(
+        "--baseline", type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "benchmarks" / "BENCH_planner.json",
+        help="committed baseline results",
+    )
+    p.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed relative regression of each ratio (default 0.25)",
+    )
+    args = p.parse_args(argv)
+
+    try:
+        fresh = json.loads(args.fresh.read_text())
+    except OSError as exc:
+        print(f"bench_gate: cannot read fresh results: {exc}", file=sys.stderr)
+        return 2
+    try:
+        baseline = json.loads(args.baseline.read_text())
+    except OSError as exc:
+        print(f"bench_gate: cannot read baseline: {exc}", file=sys.stderr)
+        return 2
+
+    print(f"bench_gate: {args.fresh} vs {args.baseline} "
+          f"(tolerance {args.tolerance:.0%})")
+    failures = check(fresh, baseline, args.tolerance)
+    if failures:
+        for f in failures:
+            print(f"bench_gate: FAIL: {f}", file=sys.stderr)
+        return 1
+    print("bench_gate: all gated ratios within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
