@@ -32,7 +32,11 @@ __all__ = ["betweenness_centrality"]
 
 
 def _bc_from_source(a: Matrix, source: int) -> Vector:
-    """Unnormalized dependency scores δ for one source vertex."""
+    """Unnormalized dependency scores δ for one source vertex.
+
+    ``a`` must already be a pattern (all-ones) matrix: σ counts *paths*,
+    so PLUS_TIMES must multiply 1s, not edge weights.
+    """
     n = a.nrows
     sr = PLUS_TIMES_SEMIRING[T.FP64]
 
@@ -85,13 +89,18 @@ def betweenness_centrality(
     """
     n = a.nrows
     srcs: Iterable[int] = range(n) if sources is None else sources
+    # One memoized pattern shared by every source (and by repeated BC
+    # calls on the unchanged graph); also keeps σ correct when the
+    # input carries non-unit edge weights.
+    from ._blocks import pattern_matrix
+    pat = pattern_matrix(a, T.FP64)
     total = Vector.new(T.FP64, n, a.context)
     zeros = np.zeros(n)
     total.build(np.arange(n), zeros)
     for s in srcs:
         if not (0 <= s < n):
             raise InvalidIndexError(f"source {s} out of range [0, {n})")
-        delta = _bc_from_source(a, int(s))
+        delta = _bc_from_source(pat, int(s))
         # exclude the source's own entry (endpoints don't count)
         delta.remove_element(int(s))
         ewise_add(total, None, None, PLUS[T.FP64], total, delta)

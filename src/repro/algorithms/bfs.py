@@ -39,6 +39,8 @@ def bfs_levels(a: Matrix, source: int) -> Vector:
     n = a.nrows
     if not (0 <= source < n):
         raise InvalidIndexError(f"source {source} out of range [0, {n})")
+    from ._blocks import pattern_matrix
+    pat = pattern_matrix(a, _t.BOOL)   # memoized structure block
     levels = Vector.new(_t.INT64, n, a.context)
     frontier = Vector.new(_t.BOOL, n, a.context)
     frontier.set_element(True, source)
@@ -47,7 +49,7 @@ def bfs_levels(a: Matrix, source: int) -> Vector:
         # Record the current frontier's depth.
         assign(levels, frontier, None, depth, None, desc=DESC_S)
         # Expand, discarding anything already levelled.
-        vxm(frontier, levels, None, LOR_LAND_SEMIRING_BOOL, frontier, a,
+        vxm(frontier, levels, None, LOR_LAND_SEMIRING_BOOL, frontier, pat,
             desc=DESC_RSC)
         depth += 1
     return levels
@@ -62,6 +64,8 @@ def bfs_parents(a: Matrix, source: int) -> Vector:
     n = a.nrows
     if not (0 <= source < n):
         raise InvalidIndexError(f"source {source} out of range [0, {n})")
+    from ._blocks import pattern_matrix
+    pat = pattern_matrix(a, _t.BOOL)   # MIN_FIRST ignores matrix values
     parents = Vector.new(_t.INT64, n, a.context)
     parents.set_element(source, source)
     # frontier values: the id of the vertex that discovered the entry.
@@ -72,7 +76,7 @@ def bfs_parents(a: Matrix, source: int) -> Vector:
         apply(frontier, None, None, ROWINDEX[_t.INT64], frontier, 0)
         # candidates = frontier min.first A, masked to undiscovered vertices.
         vxm(frontier, parents, None, MIN_FIRST_SEMIRING[_t.INT64], frontier,
-            a, desc=DESC_RSC)
+            pat, desc=DESC_RSC)
         # record the new parents
         assign(parents, frontier, None, frontier, None, desc=DESC_S)
     return parents

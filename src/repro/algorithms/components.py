@@ -26,6 +26,8 @@ __all__ = ["connected_components"]
 def connected_components(a: Matrix, *, max_iters: int | None = None) -> Vector:
     """Component labels (INT64) for the undirected pattern of ``a``."""
     n = a.nrows
+    from ._blocks import pattern_matrix
+    pat = pattern_matrix(a, _t.BOOL)   # MIN_FIRST ignores matrix values
     labels = Vector.new(_t.INT64, n, a.context)
     assign(labels, None, None, 0, None)           # densify
     apply(labels, None, None, ROWINDEX[_t.INT64], labels, 0)
@@ -34,7 +36,7 @@ def connected_components(a: Matrix, *, max_iters: int | None = None) -> Vector:
     for _ in range(max(limit, 1)):
         prev_idx, prev_vals = labels.extract_tuples()
         incoming = Vector.new(_t.INT64, n, a.context)
-        vxm(incoming, None, None, MIN_FIRST_SEMIRING[_t.INT64], labels, a)
+        vxm(incoming, None, None, MIN_FIRST_SEMIRING[_t.INT64], labels, pat)
         ewise_add(labels, None, None, MIN[_t.INT64], labels, incoming)
         idx, vals = labels.extract_tuples()
         if len(idx) == len(prev_idx) and (vals == prev_vals).all():

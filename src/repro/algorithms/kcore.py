@@ -11,13 +11,11 @@ from __future__ import annotations
 import numpy as np
 
 from ..core import types as T
-from ..core.binaryop import ONEB
 from ..core.errors import InvalidValueError
 from ..core.indexunaryop import VALUEGE
 from ..core.matrix import Matrix
 from ..core.monoid import PLUS_MONOID
 from ..core.vector import Vector
-from ..ops.apply import apply
 from ..ops.extract import extract
 from ..ops.reduce import reduce_to_vector
 from ..ops.select import select
@@ -33,9 +31,13 @@ def k_core(a: Matrix, k: int) -> tuple[Matrix, np.ndarray]:
     """
     if k < 1:
         raise InvalidValueError(f"k-core needs k >= 1, got {k}")
+    from ._blocks import pattern_matrix
+
     n = a.nrows
-    pat = Matrix.new(T.INT64, n, n, a.context)
-    apply(pat, None, None, ONEB[T.INT64], a, 1)
+    # Memoized: ``core_numbers`` calls this once per k on the same
+    # graph, so every call after the first starts from the cached
+    # pattern carrier instead of re-running the apply.
+    pat = pattern_matrix(a, T.INT64)
     ids = np.arange(n, dtype=np.int64)
 
     while True:

@@ -15,7 +15,6 @@ from ..core.indexunaryop import VALUEGE
 from ..core.matrix import Matrix
 from ..core.semiring import PLUS_TIMES_SEMIRING
 from ..core.descriptor import DESC_RS
-from ..ops.apply import apply
 from ..ops.mxm import mxm
 from ..ops.select import select
 
@@ -30,11 +29,12 @@ def k_truss(a: Matrix, k: int, *, max_iters: int | None = None) -> Matrix:
     """
     if k < 3:
         raise InvalidValueError(f"k-truss needs k >= 3, got {k}")
-    from ..core.binaryop import ONEB
+    from ._blocks import pattern_matrix
 
     n = a.nrows
-    c = Matrix.new(_t.INT64, n, n, a.context)
-    apply(c, None, None, ONEB[_t.INT64], a, 1)
+    # Memoized seed; the loop's select writes go to fresh carriers, so
+    # the cached pattern stays valid for the next k_truss call.
+    c = pattern_matrix(a, _t.INT64)
 
     limit = max_iters if max_iters is not None else n
     last_nvals = c.nvals()

@@ -9,7 +9,7 @@ two reductions — Fig. 3's masked-product idiom again.
 from __future__ import annotations
 
 from ..core import types as T
-from ..core.binaryop import DIV, MINUS, ONEB, TIMES
+from ..core.binaryop import DIV, MINUS, TIMES
 from ..core.descriptor import DESC_S
 from ..core.matrix import Matrix
 from ..core.monoid import PLUS_MONOID
@@ -30,20 +30,27 @@ def local_clustering_coefficient(a: Matrix) -> Vector:
     Every vertex with at least one edge gets an entry; vertices in no
     triangle (including degree-1 vertices) get 0.
     """
-    n = a.nrows
-    pat = Matrix.new(T.FP64, n, n, a.context)
-    apply(pat, None, None, ONEB[T.FP64], a, 1.0)
+    from . import _blocks
 
-    # closed wedges: row sums of (pat·pat) masked to pat's structure.
-    closed_m = Matrix.new(T.FP64, n, n, a.context)
-    mxm(closed_m, pat, None, PLUS_TIMES_SEMIRING[T.FP64], pat, pat,
-        desc=DESC_S)
-    closed = Vector.new(T.FP64, n, a.context)
-    reduce_to_vector(closed, None, None, PLUS_MONOID[T.FP64], closed_m)
+    n = a.nrows
+
+    # Closed wedges: row sums of (pat·pat) masked to pat's structure —
+    # the dominant cost of the whole algorithm (one masked SpGEMM), so
+    # it is memoized as a building block: a repeated lcc call on the
+    # unchanged graph skips the product entirely.
+    def _closed_wedges():
+        pat_ = _blocks.pattern_matrix(a, T.FP64)
+        closed_m = Matrix.new(T.FP64, n, n, a.context)
+        mxm(closed_m, pat_, None, PLUS_TIMES_SEMIRING[T.FP64], pat_, pat_,
+            desc=DESC_S)
+        closed_ = Vector.new(T.FP64, n, a.context)
+        reduce_to_vector(closed_, None, None, PLUS_MONOID[T.FP64], closed_m)
+        return closed_
+
+    closed = _blocks.memoized_vector(a, "lcc_closed", _closed_wedges)
 
     # possible wedges: deg·(deg−1).
-    deg = Vector.new(T.FP64, n, a.context)
-    reduce_to_vector(deg, None, None, PLUS_MONOID[T.FP64], pat)
+    deg = _blocks.degree_vector(a, T.FP64)
     deg_m1 = Vector.new(T.FP64, n, a.context)
     apply(deg_m1, None, None, MINUS[T.FP64], deg, 1.0)
     possible = Vector.new(T.FP64, n, a.context)

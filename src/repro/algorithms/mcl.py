@@ -68,16 +68,22 @@ def markov_clustering(
         raise InvalidValueError("prune threshold must be in (0, 1)")
     n = a.nrows
 
-    # M0: pattern + self loops, column-normalized.
-    m = Matrix.new(T.FP64, n, n, a.context)
-    from ..core.binaryop import ONEB
-    apply(m, None, None, ONEB[T.FP64], a, 1.0)
-    eye = Vector.new(T.FP64, n, a.context)
-    from ..ops.assign import assign
-    assign(eye, None, None, 1.0, None)
-    from ..ops.ewise import ewise_add
-    ewise_add(m, None, None, PLUS[T.FP64], m, Matrix.diag(eye))
-    m = _column_normalize(m)
+    # M0: pattern + self loops, column-normalized — the normalized
+    # adjacency building block, memoized across calls on unchanged a.
+    from . import _blocks
+
+    def _m0():
+        from ..ops.assign import assign
+        from ..ops.ewise import ewise_add
+
+        m0 = _blocks.pattern_matrix(a, T.FP64)
+        eye = Vector.new(T.FP64, n, a.context)
+        assign(eye, None, None, 1.0, None)
+        looped = Matrix.new(T.FP64, n, n, a.context)
+        ewise_add(looped, None, None, PLUS[T.FP64], m0, Matrix.diag(eye))
+        return _column_normalize(looped)
+
+    m = _blocks.memoized_matrix(a, "mcl_m0", _m0)
 
     power = BinaryOp.new(lambda x, r: float(x) ** float(r),
                          T.FP64, T.FP64, T.FP64, "pow")

@@ -31,6 +31,8 @@ def maximal_independent_set(a: Matrix, *, seed: int = 42) -> Vector:
     unless isolated in the loop-free pattern).
     """
     n = a.nrows
+    from ._blocks import pattern_matrix
+    pat = pattern_matrix(a, T.BOOL)   # both semirings ignore edge values
     rng = np.random.default_rng(seed)
     iset = Vector.new(T.BOOL, n, a.context)
     candidates = Vector.new(T.BOOL, n, a.context)
@@ -47,7 +49,7 @@ def maximal_independent_set(a: Matrix, *, seed: int = 42) -> Vector:
         # Best score among candidate neighbours of each vertex.
         nbr_best = Vector.new(T.FP64, n, a.context)
         mxv(nbr_best, candidates, None, MAX_SECOND_SEMIRING[T.FP64],
-            a, scores, desc=DESC_RS)
+            pat, scores, desc=DESC_RS)
         # Winners: candidates whose score beats all candidate neighbours
         # (vertices with no candidate neighbour win outright).
         winners = Vector.new(T.BOOL, n, a.context)
@@ -69,7 +71,7 @@ def maximal_independent_set(a: Matrix, *, seed: int = 42) -> Vector:
         assign(iset, true_w, None, True, None, desc=DESC_S)
         # Remove winners and their neighbours from the candidate pool.
         nbrs = Vector.new(T.BOOL, n, a.context)
-        mxv(nbrs, None, None, LOR_LAND_SEMIRING_BOOL, a, true_w)
+        mxv(nbrs, None, None, LOR_LAND_SEMIRING_BOOL, pat, true_w)
         removed = Vector.new(T.BOOL, n, a.context)
         ewise_add(removed, None, None, LOR[T.BOOL], true_w, nbrs)
         # candidates ← candidates, masked off the removed set.

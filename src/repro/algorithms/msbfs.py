@@ -40,6 +40,10 @@ def msbfs_levels(a: Matrix, sources: Sequence[int]) -> Matrix:
         if not (0 <= s < n):
             raise InvalidIndexError(f"source {s} out of range [0, {n})")
     k = len(sources)
+    from ._blocks import pattern_matrix
+    # Memoized: all_pairs_levels calls this once per batch on the same
+    # graph, so batches after the first reuse the cached pattern.
+    pat = pattern_matrix(a, T.BOOL)
 
     levels = Matrix.new(T.INT64, k, n, a.context)
     frontier = Matrix.new(T.BOOL, k, n, a.context)
@@ -52,7 +56,7 @@ def msbfs_levels(a: Matrix, sources: Sequence[int]) -> Matrix:
         assign(levels, frontier, None, depth, None, None, desc=DESC_S)
         # Expand all k frontiers with one boolean mxm, keeping only
         # vertices not yet levelled (complemented structural mask).
-        mxm(frontier, levels, None, LOR_LAND_SEMIRING_BOOL, frontier, a,
+        mxm(frontier, levels, None, LOR_LAND_SEMIRING_BOOL, frontier, pat,
             desc=DESC_RSC)
         depth += 1
     return levels

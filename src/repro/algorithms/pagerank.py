@@ -14,7 +14,7 @@ from ..core.vector import Vector
 from ..ops.apply import apply
 from ..ops.ewise import ewise_add, ewise_mult
 from ..ops.mxm import vxm
-from ..ops.reduce import reduce_scalar, reduce_to_vector
+from ..ops.reduce import reduce_scalar
 
 __all__ = ["pagerank"]
 
@@ -39,12 +39,12 @@ def pagerank(
     n = a.nrows
     ctx = a.context
 
-    # pattern matrix (weights ignored) and out-degrees (row sums)
-    from ..core.binaryop import ONEB
-    pat = Matrix.new(_t.FP64, n, n, ctx)
-    apply(pat, None, None, ONEB[_t.FP64], a, 1.0)
-    deg = Vector.new(_t.FP64, n, ctx)
-    reduce_to_vector(deg, None, None, PLUS_MONOID[_t.FP64], pat)
+    # Pattern matrix (weights ignored) and out-degrees (row sums) —
+    # memoized building blocks: a repeated pagerank on an unchanged
+    # graph wraps the cached carriers and runs zero setup kernels.
+    from . import _blocks
+    pat = _blocks.pattern_matrix(a, _t.FP64)
+    deg = _blocks.degree_vector(a, _t.FP64)
 
     # r0 = 1/n everywhere
     r = Vector.new(_t.FP64, n, ctx)

@@ -28,6 +28,9 @@ def sssp(a: Matrix, source: int, *, max_iters: int | None = None) -> Vector:
         raise InvalidValueError("max_iters must be >= 1")
     limit = max_iters if max_iters is not None else n - 1
 
+    # No memoized structure block here on purpose: MIN_PLUS *reads the
+    # edge weights*, so there is no pure pattern-of-a preprocessing step
+    # to cache (unlike the counting/boolean algorithms in this package).
     dist = Vector.new(_t.FP64, n, a.context)
     dist.set_element(0.0, source)
     for _ in range(max(limit, 1)):

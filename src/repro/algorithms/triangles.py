@@ -15,25 +15,20 @@ from __future__ import annotations
 
 from ..core import types as _t
 from ..core.descriptor import DESC_S
-from ..core.indexunaryop import TRIL
 from ..core.matrix import Matrix
 from ..core.monoid import PLUS_MONOID
 from ..core.semiring import PLUS_TIMES_SEMIRING
-from ..ops.apply import apply
 from ..ops.mxm import mxm
 from ..ops.reduce import reduce_scalar
-from ..ops.select import select
 
 __all__ = ["triangle_count", "triangle_count_burkhardt"]
 
 
 def _pattern(a: Matrix) -> Matrix:
-    """INT64 pattern copy of a (all stored values become 1)."""
-    from ..core.binaryop import ONEB
+    """INT64 pattern copy of a (memoized across calls on unchanged a)."""
+    from ._blocks import pattern_matrix
 
-    pat = Matrix.new(_t.INT64, a.nrows, a.ncols, a.context)
-    apply(pat, None, None, ONEB[_t.INT64], a, 1)
-    return pat
+    return pattern_matrix(a, _t.INT64)
 
 
 def triangle_count(a: Matrix) -> int:
@@ -41,9 +36,9 @@ def triangle_count(a: Matrix) -> int:
 
     Sandia variant: L = tril(A, -1); count = sum(L .* (L Lᵀ)).
     """
-    pat = _pattern(a)
-    low = Matrix.new(_t.INT64, a.nrows, a.ncols, a.context)
-    select(low, None, None, TRIL, pat, -1)           # Fig. 3 idiom
+    from ._blocks import lower_triangle
+
+    low = lower_triangle(a, _t.INT64, -1)            # Fig. 3 idiom
     c = Matrix.new(_t.INT64, a.nrows, a.ncols, a.context)
     # C⟨L,structure⟩ = L ⊕.⊗ Lᵀ — mask prunes the product to wedges that
     # close a triangle.

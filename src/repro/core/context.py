@@ -205,11 +205,18 @@ class Context:
         used to spin up per call: one pool per context, rebuilt only
         when the effective thread count changes, shut down on
         ``free``/``finalize``/degradation.
+
+        Returns ``None`` once the context is freed: a deferred forcing
+        (or a memo republish) that outlives ``free`` must not resurrect
+        an executor nothing will ever shut down — callers fall back to
+        serial execution instead.
         """
         from concurrent.futures import ThreadPoolExecutor
 
         nthreads = max(1, self.nthreads)
         with _state_lock:
+            if self._freed:
+                return None
             pool = self._pool
             if (pool is None or self._pool_nthreads != nthreads
                     or getattr(pool, "_shutdown", False)):

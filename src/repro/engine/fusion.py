@@ -202,19 +202,29 @@ def plan_subgraph(nodes: list) -> None:
         # fixed per-forcing cost entirely.
         return
 
+    from .passes import cost
+
     ir = PlanIR.initial(nodes)
     with GRAPH_LOCK:
         for name, pass_fn in _passes():
             t0 = time.perf_counter()
+            fusions_before = len(ir.fusions)
             try:
                 with armed():  # the skip below is this site's recovery
                     maybe_inject(f"planner.{name}", nodes=len(nodes))
                 ir = pass_fn(ir)
             except Exception:
                 STATS.bump("planner_pass_failures")
+            elapsed = time.perf_counter() - t0
+            if name == "fuse" and len(ir.fusions) > fusions_before:
+                # Feed the adaptive cost model the measured bookkeeping
+                # of actually constructing chains, so it can veto
+                # fusions whose saving is smaller than this very cost.
+                cost.record_plan_overhead(
+                    elapsed, len(ir.fusions) - fusions_before,
+                )
             STATS.span(
-                f"planner.{name}", "planner", t0,
-                time.perf_counter() - t0,
+                f"planner.{name}", "planner", t0, elapsed,
                 {"nodes": len(ir.nodes), "aliases": len(ir.aliases),
                  "pushdowns": len(ir.pushdowns), "fusions": len(ir.fusions)},
             )

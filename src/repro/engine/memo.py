@@ -32,9 +32,21 @@ Soundness rests on three invariants:
   op key, and masked/accumulated nodes are impure and never eligible.
 
 Entries are (capacity-bounded) strong references: a cached carrier must
-stay alive to be republished.  The LRU bound plus eager invalidation
-keep retention proportional to ``MEMO_CAPACITY``, and a context's
-``free``/``finalize`` clears its memo outright.
+stay alive to be republished.  The capacity bound plus eager
+invalidation keep retention proportional to ``MEMO_CAPACITY``, and a
+context's ``free``/``finalize`` clears its memo outright.
+
+Eviction policy (``MEMO_EVICTION``): capacity pressure used to evict by
+recency alone, which throws away an expensive SpGEMM product to keep a
+trivial apply just because the apply came later.  The default ``cost``
+policy instead scores each entry by what evicting it would *cost to
+rebuild* — the calibrated savings estimate recorded at store time
+(products avoided × observed kernel rate, or the measured build time
+for algorithm building blocks) — exponentially aged by how many
+lookups/stores ago the entry was last touched (half-life = one
+capacity's worth of touches, so a stale expensive entry does eventually
+yield to fresh cheap ones).  The victim is the minimum-score entry;
+``MEMO_EVICTION=lru`` restores the pure recency order bit-for-bit.
 """
 
 from __future__ import annotations
@@ -70,10 +82,12 @@ class ResultMemo:
     def __init__(self, capacity: int | None = None):
         self._lock = threading.Lock()
         self._capacity = capacity
-        #: key -> (carrier, frozenset of dep uids, owner uid | None)
-        self._entries: "OrderedDict[tuple, tuple[Any, frozenset, int | None]]" = (
-            OrderedDict()
-        )
+        #: monotonic touch clock: advances on every hit and store; the
+        #: cost policy ages scores by touches-since-last-use.
+        self._tick = 0
+        #: key -> [carrier, frozenset of dep uids, owner uid | None,
+        #:         rebuild-cost estimate (ms), last-touched tick]
+        self._entries: "OrderedDict[tuple, list]" = OrderedDict()
         #: dep uid -> set of keys depending on it (write invalidation)
         self._by_dep: dict[int, set[tuple]] = {}
         #: owner uid -> set of keys whose carrier was committed to it
@@ -97,14 +111,17 @@ class ResultMemo:
 
     def lookup(self, key: tuple) -> Any | None:
         """The cached carrier for *key*, or ``None`` (counted as a miss).
-        A hit refreshes the entry's LRU position; the *hit* counter is
-        bumped by the schedule pass when the decision is committed."""
+        A hit refreshes the entry's recency (LRU position and cost-score
+        age); the *hit* counter is bumped by the schedule pass when the
+        decision is committed."""
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 STATS.bump("memo_misses")
                 return None
             self._entries.move_to_end(key)
+            self._tick += 1
+            entry[4] = self._tick
             return entry[0]
 
     def store(
@@ -113,13 +130,23 @@ class ResultMemo:
         carrier: Any,
         deps: Iterable[int],
         owner_uid: int | None = None,
+        cost_ms: float = 0.0,
     ) -> None:
-        """Record a committed carrier, evicting LRU past capacity."""
+        """Record a committed carrier, evicting past capacity.
+
+        ``cost_ms`` is the estimated cost of rebuilding this entry (the
+        savings a future hit buys); the cost eviction policy keeps the
+        entries whose aged estimate is highest.
+        """
         deps = frozenset(deps)
         with self._lock:
             if key in self._entries:
                 self._drop(key)
-            self._entries[key] = (carrier, deps, owner_uid)
+            self._tick += 1
+            self._entries[key] = [
+                carrier, deps, owner_uid, max(0.0, float(cost_ms)),
+                self._tick,
+            ]
             for uid in deps:
                 self._by_dep.setdefault(uid, set()).add(key)
                 _TRACKED_UIDS.add(uid)
@@ -129,9 +156,39 @@ class ResultMemo:
             STATS.bump("memo_stores")
             cap = self.capacity
             while len(self._entries) > cap:
-                old_key = next(iter(self._entries))
-                self._drop(old_key)
-                STATS.bump("memo_evictions")
+                self._evict_one(key)
+
+    def _evict_one(self, just_stored: tuple) -> None:
+        # Caller holds self._lock; len(self._entries) > 1 is guaranteed
+        # (capacity >= 1 and we are past it).
+        policy = config.get_option("MEMO_EVICTION")
+        if policy == "lru":
+            victim = next(iter(self._entries))
+        else:
+            victim = min(
+                (k for k in self._entries if k != just_stored),
+                key=self._score,
+            )
+        score = self._score(victim)
+        cost_ms = self._entries[victim][3]
+        self._drop(victim)
+        STATS.bump("memo_evictions")
+        STATS.instant(
+            "memo:evict", "memo",
+            {"policy": policy, "cost_ms": round(cost_ms, 6),
+             "score_ms": round(score, 6)},
+        )
+
+    def _score(self, key: tuple) -> float:
+        """Aged rebuild-savings estimate: the stored cost decayed by a
+        half-life of one capacity's worth of touches since last use.
+        Entries stored with no estimate keep a tiny floor so ties still
+        break by recency.  Caller holds ``self._lock``."""
+        entry = self._entries[key]
+        cost_ms, last_tick = entry[3], entry[4]
+        age = max(0, self._tick - last_tick)
+        half_life = float(max(1, self.capacity))
+        return max(cost_ms, 1e-9) * 0.5 ** (age / half_life)
 
     def invalidate(self, uid: int) -> int:
         """Drop every entry depending on handle *uid*; returns count."""
@@ -169,7 +226,7 @@ class ResultMemo:
 
     def _drop(self, key: tuple) -> None:
         # Caller holds self._lock.
-        _, deps, owner_uid = self._entries.pop(key)
+        _, deps, owner_uid, _, _ = self._entries.pop(key)
         for uid in deps:
             bucket = self._by_dep.get(uid)
             if bucket is not None:

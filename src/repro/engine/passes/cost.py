@@ -31,6 +31,25 @@ decision emits a ``cost:`` trace instant with both estimates — so
 ``--trace-out`` shows *why* a producer was pushed into vs fused.  A
 skipped or disabled cost pass (``ENGINE_COSTMODEL=0``) degrades to the
 fixed order.
+
+Beyond the arbitration, the same calibrated model now drives three more
+decisions:
+
+* **memo entry scoring** (:func:`entry_savings_ms`) — what a result-memo
+  hit on a node would save, feeding the cost-weighted eviction policy
+  in :mod:`repro.engine.memo`.
+* **adaptive fusion veto** (``COST_ADAPTIVE_FUSION``) — the planner
+  driver reports how long the fuse pass spends per constructed chain
+  (:func:`record_plan_overhead`); once that is measured, a producer
+  whose estimated fusion saving is a small fraction of the per-chain
+  bookkeeping is decided ``"nofuse"`` and runs standalone.  No static
+  prior: until a chain has actually been built (and timed) in this
+  stats epoch, nothing is vetoed.
+* **adaptive SpGEMM partitioning** (``COST_ADAPTIVE_PARTITIONS``) —
+  :func:`partition_count` picks the row-block count for
+  ``internals/parallel.py`` per context from measured throughput
+  (elements/second) of previous splits, exploring the power-of-two
+  ladder below ``nthreads`` before settling on the best observed.
 """
 
 from __future__ import annotations
@@ -39,10 +58,13 @@ import threading
 
 from ...internals import config
 from ..dag import PENDING, Node
-from ..stats import STATS
+from ..stats import STATS, register_reset_hook
 from .ir import PlanIR
 
-__all__ = ["run", "estimate_nnz", "calibrated_rates"]
+__all__ = [
+    "run", "estimate_nnz", "calibrated_rates", "entry_savings_ms",
+    "record_plan_overhead", "partition_count", "record_partition_sample",
+]
 
 #: Static per-element rates (ms) used until calibration has data:
 #: accumulating + sorting + compressing one SpGEMM product vs pushing
@@ -53,10 +75,35 @@ __all__ = ["run", "estimate_nnz", "calibrated_rates"]
 _BASE_PRODUCT_MS = 5e-6
 _BASE_STAGE_MS = 1e-6
 
+#: Fusion is vetoed only when the measured per-chain bookkeeping
+#: exceeds this multiple of the estimated saving — a deliberate bias
+#: toward fusing, so only genuinely tiny producers run standalone.
+_NOFUSE_MARGIN = 4.0
+
 _cal_lock = threading.Lock()
 #: Cumulative elements this pass estimated per bucket, matched against
 #: the cumulative kernel wall time STATS records for the same kinds.
 _estimated_elems = {"product": 0.0, "stage": 0.0}
+#: Measured plan bookkeeping: cumulative fuse-pass wall time attributed
+#: to forcings that built chains, and how many chains they built.
+_plan_overhead = {"ms": 0.0, "chains": 0}
+#: Per-context SpGEMM split telemetry: ctx key -> {nblocks: [elems, s]}.
+_partition_samples: dict = {}
+
+
+def _reset_calibration() -> None:
+    """Stats epoch rolled over (``STATS.reset``): drop the estimate
+    accumulators so the ratio against the freshly-zeroed kernel times
+    stays consistent, along with the bookkeeping/split telemetry."""
+    with _cal_lock:
+        _estimated_elems["product"] = 0.0
+        _estimated_elems["stage"] = 0.0
+        _plan_overhead["ms"] = 0.0
+        _plan_overhead["chains"] = 0
+        _partition_samples.clear()
+
+
+register_reset_hook(_reset_calibration)
 
 
 def _source_nnz(src, depth: int) -> float:
@@ -172,6 +219,85 @@ def _record_estimates(products: float, stage_elems: float) -> None:
         _estimated_elems["stage"] += stage_elems
 
 
+def entry_savings_ms(node: Node) -> float:
+    """What a future result-memo hit on *node* is worth: the products
+    its kernel would stream (mxm family) or the entries it would
+    rewrite, priced at the calibrated rates.  Used as the entry's
+    rebuild-cost score by the cost-weighted eviction policy."""
+    try:
+        product_ms, stage_ms = calibrated_rates()
+        products = estimate_products(node)
+        if products > 0:
+            return products * product_ms
+        return _node_nnz(node) * stage_ms
+    except Exception:
+        return 0.0
+
+
+def record_plan_overhead(seconds: float, chains: int) -> None:
+    """The planner driver measured the fuse pass taking *seconds* while
+    constructing *chains* new fused chains (only called when > 0)."""
+    with _cal_lock:
+        _plan_overhead["ms"] += seconds * 1e3
+        _plan_overhead["chains"] += chains
+
+
+def _overhead_per_chain_ms() -> float:
+    with _cal_lock:
+        if _plan_overhead["chains"] < 1:
+            return 0.0
+        return _plan_overhead["ms"] / _plan_overhead["chains"]
+
+
+def record_partition_sample(
+    ctx_key: int, nblocks: int, elems: float, seconds: float,
+) -> None:
+    """One parallel SpGEMM finished: *nblocks*-way split pushed an
+    estimated *elems* products in *seconds* on context *ctx_key*."""
+    if seconds <= 0 or elems <= 0:
+        return
+    with _cal_lock:
+        bucket = _partition_samples.setdefault(ctx_key, {})
+        cell = bucket.setdefault(nblocks, [0.0, 0.0])
+        cell[0] += elems
+        cell[1] += seconds
+
+
+def partition_count(ctx_key: int, nthreads: int, est_elems: float) -> int:
+    """Row-block count for a parallel SpGEMM on context *ctx_key*.
+
+    Explores the power-of-two ladder ``nthreads, nthreads/2, …, 2``
+    (each candidate must be measured once before the model judges),
+    then exploits the split with the best observed throughput.  Falls
+    back to ``nthreads`` — the static policy — when adaptivity is off
+    or nothing is measured yet.
+    """
+    nthreads = max(1, nthreads)
+    if not config.COST_ADAPTIVE_PARTITIONS or nthreads <= 2:
+        return nthreads
+    candidates = []
+    c = nthreads
+    while c >= 2:
+        candidates.append(c)
+        if c == 2:
+            break
+        c = max(2, c // 2)
+    with _cal_lock:
+        bucket = _partition_samples.get(ctx_key, {})
+        for cand in candidates:
+            if cand not in bucket:
+                return cand  # explore: measure this split at least once
+        best = max(candidates, key=lambda k: bucket[k][0] / bucket[k][1])
+    if best != nthreads:
+        STATS.bump("cost_partition_decisions")
+        STATS.instant(
+            "cost:partition", "planner",
+            {"nthreads": nthreads, "chosen": best,
+             "est_elems": round(est_elems, 1)},
+        )
+    return best
+
+
 def _conflict_pairs(ir: PlanIR):
     """(consumer, producer, mask_info) pairs both pushdown and fusion
     could claim — mirror of the two passes' legality preconditions."""
@@ -211,14 +337,63 @@ def _conflict_pairs(ir: PlanIR):
         yield y, x, m
 
 
+def _veto_tiny_fusions(ir: PlanIR, decisions: dict) -> None:
+    """Decide ``"nofuse"`` for producers whose estimated fusion saving
+    is dwarfed by the *measured* per-chain plan bookkeeping.
+
+    Evidence-gated: until this stats epoch has timed the fuse pass
+    building at least one chain, nothing is vetoed — so isolated
+    forcings (and freshly reset test fixtures) always fuse.
+    """
+    from .fuse import _absorbable
+
+    overhead_ms = _overhead_per_chain_ms()
+    if overhead_ms <= 0.0:
+        return
+    in_graph = {id(n) for n in ir.nodes}
+    _, stage_ms = calibrated_rates()
+    for y in ir.nodes:
+        if y.state != PENDING or y.stages is None or id(y) in ir.locked:
+            continue
+        x = y.inputs[y.pipe_input].node
+        if (
+            x is None
+            or id(x) not in in_graph
+            or id(x) in ir.locked
+            or id(x) in decisions
+            or not _absorbable(y, x)
+        ):
+            continue
+        fuse_gain = _node_nnz(x) * stage_ms
+        if fuse_gain * _NOFUSE_MARGIN >= overhead_ms:
+            continue
+        decisions[id(x)] = "nofuse"
+        STATS.bump("cost_fusions_skipped")
+        STATS.instant(
+            f"cost:nofuse:{x.label}", "planner",
+            {
+                "producer": x.label, "consumer": y.label,
+                "fuse_gain_ms": round(fuse_gain, 6),
+                "plan_overhead_ms": round(overhead_ms, 6),
+            },
+        )
+
+
 def run(ir: PlanIR) -> PlanIR:
     if not config.ENGINE_COSTMODEL:
         return ir
+    decisions = dict(ir.decisions)
+    if config.COST_ADAPTIVE_FUSION and config.ENGINE_FUSION:
+        _veto_tiny_fusions(ir, decisions)
     if not (config.ENGINE_PUSHDOWN and config.MASK_PUSHDOWN
             and config.ENGINE_FUSION):
-        return ir  # only one contender enabled: nothing to arbitrate
-    decisions = dict(ir.decisions)
+        # Only one contender enabled: nothing to arbitrate.
+        if len(decisions) == len(ir.decisions):
+            return ir
+        return ir.replace(decisions=decisions)
     for y, x, m in _conflict_pairs(ir):
+        if decisions.get(id(x)) == "nofuse":
+            continue  # already vetoed: pushdown may still claim it
         products = estimate_products(x)
         out_nnz = _node_nnz(x)
         kill = _mask_kill_fraction(m.source, m.complement)

@@ -98,6 +98,9 @@ def run(ir: PlanIR) -> PlanIR:
                 or id(x) not in in_graph
                 or id(x) in locked
                 or id(x) in elided
+                # Adaptive cost veto: a producer this tiny loses more
+                # to plan bookkeeping than fusing it saves.
+                or ir.decisions.get(id(x)) == "nofuse"
                 or not _absorbable(consumer, x)
             ):
                 break

@@ -418,8 +418,11 @@ def _memo_store(node: Node) -> None:
         if memo is None:
             return
         key, deps = entry
+        from .passes import cost
+
         memo.store(key, node.result, deps,
-                   owner_uid=getattr(node.owner, "_uid", None))
+                   owner_uid=getattr(node.owner, "_uid", None),
+                   cost_ms=cost.entry_savings_ms(node))
     except Exception:
         pass
 

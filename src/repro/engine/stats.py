@@ -32,11 +32,26 @@ optimizer actually do anything?".  Counters:
   gate) and that re-ran their own kernel instead.
 * ``memo_stores``      — committed results recorded into a context's
   result memo for later forcings.
-* ``memo_evictions``   — LRU evictions from a full result memo.
+* ``memo_evictions``   — evictions from a full result memo (the victim
+  is the LRU entry or the lowest cost-score entry, per
+  ``MEMO_EVICTION``; each eviction emits a ``memo:evict`` instant).
 * ``memo_invalidations`` — memo entries dropped because an input handle
   advanced (write) or was freed.
+* ``algo_memo_hits`` / ``algo_memo_misses`` — algorithm building-block
+  lookups (pattern matrices, degree vectors, …) served from / absent
+  from the context's result memo.
+* ``algo_memo_stores`` — building blocks materialized and recorded for
+  later algorithm calls.
+* ``algo_memo_fallbacks`` — cached building blocks whose republish was
+  rejected at the commit gate and that were rebuilt instead.
 * ``cost_decisions``   — pushdown-vs-fusion conflicts arbitrated by the
   cost model (each also emits a ``cost:`` trace instant).
+* ``cost_fusions_skipped`` — fusions vetoed by the adaptive cost model
+  because the measured per-chain plan bookkeeping exceeded the
+  estimated saving (tiny producers ran standalone).
+* ``cost_partition_decisions`` — SpGEMM row-partition counts chosen by
+  the per-context measured-scaling model instead of the static
+  ``nthreads`` split.
 * ``planner_pass_failures`` — planner passes skipped after an injected
   or real fault (the forcing proceeds without that pass's rewrites).
 * ``forces``           — subgraph forcings (``wait``/read/input use).
@@ -85,7 +100,17 @@ import json
 import threading
 import time
 
-__all__ = ["EngineStats", "STATS", "SPAN_CAP"]
+__all__ = ["EngineStats", "STATS", "SPAN_CAP", "register_reset_hook"]
+
+#: Callables invoked after :meth:`EngineStats.reset` — modules keeping
+#: calibration state *derived from* these counters (the cost model's
+#: estimate accumulators) register here so a stats reset cannot leave
+#: their numerator/denominator pairs inconsistent.
+_RESET_HOOKS: list = []
+
+
+def register_reset_hook(fn) -> None:
+    _RESET_HOOKS.append(fn)
 
 _COUNTERS = (
     "nodes_built",
@@ -106,7 +131,13 @@ _COUNTERS = (
     "memo_stores",
     "memo_evictions",
     "memo_invalidations",
+    "algo_memo_hits",
+    "algo_memo_misses",
+    "algo_memo_stores",
+    "algo_memo_fallbacks",
     "cost_decisions",
+    "cost_fusions_skipped",
+    "cost_partition_decisions",
     "planner_pass_failures",
     "forces",
     "completes_deferred",
@@ -245,6 +276,11 @@ class EngineStats:
             self.kernel_count.clear()
             self._spans.clear()
             self._threads.clear()
+        for hook in _RESET_HOOKS:
+            try:
+                hook()
+            except Exception:
+                pass
 
     def format(self) -> str:
         """Human-readable dump (used by ``repro --engine-stats``)."""

@@ -31,6 +31,20 @@ DESIGN.md's ablation benches flip these to measure the design choices:
 * ``ENGINE_COSTMODEL`` — let the planner's cost pass arbitrate the
   pushdown-vs-fusion conflict on shared producers by estimated kernel
   savings (off = the fixed pass order decides: pushdown claims first).
+* ``ENGINE_ALGO_MEMO`` — route the pure preprocessing blocks of the
+  ``algorithms/`` layer (pattern/normalized adjacency, degree vectors,
+  lower triangles, wedge counts) through the per-Context result memo,
+  so a repeated pagerank/BFS/triangle call on an unchanged graph wraps
+  the cached carriers instead of re-running the setup kernels.
+* ``MEMO_EVICTION`` — result-memo eviction policy: ``"cost"`` (default)
+  evicts the entry with the lowest recency-aged rebuild-savings
+  estimate; ``"lru"`` reproduces the PR-4 recency-only order.
+* ``COST_ADAPTIVE_FUSION`` — let the cost pass veto a fusion whose
+  estimated saving is dwarfed by the measured per-chain plan
+  bookkeeping (tiny producers run standalone instead).
+* ``COST_ADAPTIVE_PARTITIONS`` — pick SpGEMM row-partition counts per
+  Context from measured span scaling instead of always using
+  ``nthreads`` blocks.
 
 Resilience knobs (the fault plane's retry/degradation policy,
 :mod:`repro.faults`):
@@ -63,14 +77,30 @@ def _env_flag(names: tuple[str, ...], default: bool) -> bool:
     return default
 
 
+def _env_str(name: str, default: str, allowed: tuple[str, ...]) -> str:
+    """Resolve a string knob from the environment (unknown → default)."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    raw = raw.strip().lower()
+    return raw if raw in allowed else default
+
+
+# Every engine knob reads its own environment variable at import so the
+# CI ablation matrix (and ad-hoc `ENGINE_CSE=0 pytest` runs) can flip a
+# single optimization off without touching code.
 MASK_PUSHDOWN: bool = True
 MULT_SHORTCUTS: bool = True
-ENGINE_FUSION: bool = True
-ENGINE_CSE: bool = True
-ENGINE_PUSHDOWN: bool = True
+ENGINE_FUSION: bool = _env_flag(("ENGINE_FUSION",), True)
+ENGINE_CSE: bool = _env_flag(("ENGINE_CSE",), True)
+ENGINE_PUSHDOWN: bool = _env_flag(("ENGINE_PUSHDOWN",), True)
 ENGINE_MEMO: bool = _env_flag(("REPRO_RESULT_CACHE", "ENGINE_MEMO"), True)
 MEMO_CAPACITY: int = 64
-ENGINE_COSTMODEL: bool = True
+MEMO_EVICTION: str = _env_str("MEMO_EVICTION", "cost", ("cost", "lru"))
+ENGINE_COSTMODEL: bool = _env_flag(("ENGINE_COSTMODEL",), True)
+ENGINE_ALGO_MEMO: bool = _env_flag(("ENGINE_ALGO_MEMO",), True)
+COST_ADAPTIVE_FUSION: bool = _env_flag(("COST_ADAPTIVE_FUSION",), True)
+COST_ADAPTIVE_PARTITIONS: bool = _env_flag(("COST_ADAPTIVE_PARTITIONS",), True)
 RETRY_MAX: int = 3
 RETRY_BASE_DELAY: float = 0.002
 COMM_TIMEOUT: float = 10.0
@@ -79,12 +109,16 @@ DEGRADE_WORKER_FAULTS: int = 2
 _DEFAULTS = {
     "MASK_PUSHDOWN": True,
     "MULT_SHORTCUTS": True,
-    "ENGINE_FUSION": True,
-    "ENGINE_CSE": True,
-    "ENGINE_PUSHDOWN": True,
+    "ENGINE_FUSION": ENGINE_FUSION,
+    "ENGINE_CSE": ENGINE_CSE,
+    "ENGINE_PUSHDOWN": ENGINE_PUSHDOWN,
     "ENGINE_MEMO": ENGINE_MEMO,
     "MEMO_CAPACITY": 64,
-    "ENGINE_COSTMODEL": True,
+    "MEMO_EVICTION": MEMO_EVICTION,
+    "ENGINE_COSTMODEL": ENGINE_COSTMODEL,
+    "ENGINE_ALGO_MEMO": ENGINE_ALGO_MEMO,
+    "COST_ADAPTIVE_FUSION": COST_ADAPTIVE_FUSION,
+    "COST_ADAPTIVE_PARTITIONS": COST_ADAPTIVE_PARTITIONS,
     "RETRY_MAX": 3,
     "RETRY_BASE_DELAY": 0.002,
     "COMM_TIMEOUT": 10.0,

@@ -194,3 +194,100 @@ class TestKTruss:
         A = to_matrix(3, np.array([0]), np.array([1]), np.ones(1), T.FP64)
         with pytest.raises(InvalidValueError):
             k_truss(A, 2)
+
+
+@pytest.fixture()
+def algo_memo_on():
+    # Counter asserts need the plumbing on even under the CI ablation
+    # matrix (REPRO_RESULT_CACHE=0 / ENGINE_ALGO_MEMO=0 full-suite runs).
+    # Eviction is pinned to cost-weighted too: under plain LRU the
+    # per-iteration expression stores can push an algo block out of the
+    # default-capacity memo, and the zero-setup-kernel warm-call
+    # guarantee is specifically a property of the cost policy keeping
+    # expensive blocks resident.
+    from repro.internals import config
+
+    with config.option("ENGINE_MEMO", True), \
+            config.option("ENGINE_ALGO_MEMO", True), \
+            config.option("MEMO_EVICTION", "cost"):
+        yield
+
+
+class TestAlgoMemoIncrementality:
+    """§III amortized setup: a repeated algorithm call on an unchanged
+    graph serves its preprocessing from the context result memo and
+    submits **zero** setup kernels the second time around."""
+
+    def _graph(self, ctx):
+        from repro.core.context import WaitMode
+        from repro.core.matrix import Matrix
+
+        n, rows, cols, _ = erdos_renyi(40, 0.08, seed=3)
+        keep = rows != cols
+        a = Matrix.new(T.FP64, n, n, ctx)
+        a.build(rows[keep], cols[keep], np.ones(int(keep.sum())))
+        a.wait(WaitMode.MATERIALIZE)
+        return a
+
+    def test_second_pagerank_runs_zero_setup_kernels(self, algo_memo_on):
+        from repro.core.context import Context, Mode
+        from repro.engine.stats import STATS
+
+        ctx = Context.new(Mode.NONBLOCKING, None, None)
+        a = self._graph(ctx)
+
+        STATS.reset()
+        r1, it1 = pagerank(a)
+        snap1 = STATS.snapshot()
+        k1 = sum(snap1["kernel_count"].values())
+        # cold call: pattern and degree blocks built and stored (the
+        # degree builder hits the just-stored pattern)
+        assert snap1["algo_memo_misses"] == 2
+        assert snap1["algo_memo_stores"] == 2
+        assert snap1["algo_memo_hits"] == 1
+
+        STATS.reset()
+        r2, it2 = pagerank(a)
+        snap2 = STATS.snapshot()
+        k2 = sum(snap2["kernel_count"].values())
+        # warm call: both blocks served from the memo, nothing rebuilt
+        assert snap2["algo_memo_hits"] == 2
+        assert snap2["algo_memo_misses"] == 0
+        assert snap2["algo_memo_stores"] == 0
+        # ... and the only kernels saved are exactly the setup pair
+        # (pattern apply + degree reduce); the iteration count is
+        # deterministic, so the delta is exact.
+        assert it2 == it1
+        assert k2 == k1 - 2
+        assert r1.to_dict() == r2.to_dict()
+
+    def test_write_to_graph_rebuilds_blocks(self, algo_memo_on):
+        from repro.core.context import Context, Mode, WaitMode
+        from repro.engine.stats import STATS
+
+        ctx = Context.new(Mode.NONBLOCKING, None, None)
+        a = self._graph(ctx)
+        pagerank(a)
+        a.set_element(1.0, 0, 1)     # version bump: blocks are stale
+        a.wait(WaitMode.MATERIALIZE)
+        STATS.reset()
+        pagerank(a)
+        snap = STATS.snapshot()
+        assert snap["algo_memo_hits"] == 1   # nested pattern hit only
+        assert snap["algo_memo_misses"] == 2
+
+    def test_algo_memo_knob_disables(self):
+        from repro.core.context import Context, Mode
+        from repro.engine.stats import STATS
+        from repro.internals import config
+
+        ctx = Context.new(Mode.NONBLOCKING, None, None)
+        a = self._graph(ctx)
+        STATS.reset()
+        with config.option("ENGINE_ALGO_MEMO", False):
+            r1, _ = pagerank(a)
+            r2, _ = pagerank(a)
+        snap = STATS.snapshot()
+        assert snap["algo_memo_hits"] == 0
+        assert snap["algo_memo_stores"] == 0
+        assert r1.to_dict() == r2.to_dict()

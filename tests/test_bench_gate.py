@@ -1,0 +1,129 @@
+"""Unit battery for the perf gate's ratio checks and drift rule.
+
+``tools/bench_gate.py`` is CI's arbiter of planner performance; its two
+failure modes (per-run ratio regression vs the committed baseline, and
+sustained monotonic drift across the persistent history) are pure
+functions over dicts — tested here without running any benchmark.
+"""
+
+import importlib.util
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "bench_gate", ROOT / "tools" / "bench_gate.py"
+)
+bench_gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_gate)
+
+
+def _results(mm=0.5, cse=0.8, algo=0.1):
+    """A full fresh/baseline results dict with the given gated ratios
+    (blocking_ms pinned to 100 so ratio == optimized ms / 100)."""
+    return {
+        "masked_mxm": {
+            "blocking_ms": 100.0, "nb_pushed_ms": mm * 100.0,
+            "masks_pushed": 5,
+        },
+        "dup_subexpression": {
+            "blocking_ms": 100.0, "nb_cse_ms": cse * 100.0,
+            "cse_reused": 5,
+        },
+        "repeated_algorithm": {
+            "blocking_ms": 100.0, "nb_warm_ms": algo * 100.0,
+            "algo_memo_hits": 10,
+        },
+    }
+
+
+def _history(series, metric="repeated_algorithm.nb_warm_ms"):
+    return {"runs": [{metric: r} for r in series]}
+
+
+class TestRatioGate:
+    def test_within_tolerance_passes(self):
+        assert bench_gate.check(_results(), _results(), 0.25) == []
+
+    def test_regressed_ratio_fails(self):
+        fresh = _results(algo=0.2)       # 2x the baseline ratio
+        failures = bench_gate.check(fresh, _results(), 0.25)
+        assert any("repeated_algorithm" in f for f in failures)
+
+    def test_counter_not_fired_fails(self):
+        fresh = _results()
+        fresh["repeated_algorithm"]["algo_memo_hits"] = 0
+        failures = bench_gate.check(fresh, _results(), 0.25)
+        assert any("never fired" in f for f in failures)
+
+    def test_fresh_ratios_covers_every_gated_metric(self):
+        ratios = bench_gate.fresh_ratios(_results())
+        assert set(ratios) == {
+            f"{w}.{k}" for w, k, _ in bench_gate.GATED
+        }
+
+
+class TestDriftRule:
+    def test_short_history_never_drifts(self):
+        h = _history([0.1, 0.2, 0.4, 0.8])          # 4 < window
+        assert bench_gate.check_drift(h, window=5, limit=0.10) == []
+
+    def test_monotonic_creep_beyond_limit_fails(self):
+        h = _history([0.10, 0.105, 0.108, 0.11, 0.115])   # +15%, no dip
+        failures = bench_gate.check_drift(h, window=5, limit=0.10)
+        assert len(failures) == 1
+        assert "drifted" in failures[0]
+
+    def test_any_dip_resets_the_rule(self):
+        h = _history([0.10, 0.105, 0.09, 0.11, 0.115])    # one improvement
+        assert bench_gate.check_drift(h, window=5, limit=0.10) == []
+
+    def test_monotonic_but_within_limit_passes(self):
+        h = _history([0.10, 0.101, 0.102, 0.103, 0.105])  # +5% only
+        assert bench_gate.check_drift(h, window=5, limit=0.10) == []
+
+    def test_flat_history_passes(self):
+        h = _history([0.1] * 8)
+        assert bench_gate.check_drift(h, window=5, limit=0.10) == []
+
+    def test_only_the_window_tail_counts(self):
+        # Ancient growth followed by a stable tail must not fire.
+        h = _history([0.01, 0.02, 0.1, 0.1, 0.1, 0.1, 0.1])
+        assert bench_gate.check_drift(h, window=5, limit=0.10) == []
+
+    def test_append_history_accumulates_rounded_runs(self):
+        h = {}
+        bench_gate.append_history(h, {"m": 0.123456789})
+        bench_gate.append_history(h, {"m": 0.2})
+        assert h == {"runs": [{"m": 0.123457}, {"m": 0.2}]}
+
+
+class TestCliHistory:
+    def test_history_file_roundtrip_and_drift_exit(self, tmp_path):
+        fresh = tmp_path / "fresh.json"
+        base = tmp_path / "base.json"
+        hist = tmp_path / "hist" / "ratios.json"
+        base.write_text(json.dumps(_results()))
+
+        def run(algo):
+            fresh.write_text(json.dumps(_results(algo=algo)))
+            return subprocess.run(
+                [sys.executable, str(ROOT / "tools" / "bench_gate.py"),
+                 "--fresh", str(fresh), "--baseline", str(base),
+                 "--tolerance", "10.0",          # per-run gate out of the way
+                 "--append-history", str(hist)],
+                capture_output=True, text=True,
+            )
+
+        # Four monotonically growing runs: not enough history to drift.
+        for algo in (0.10, 0.105, 0.108, 0.11):
+            assert run(algo).returncode == 0
+        # The fifth completes a monotonic +15% window: drift failure.
+        proc = run(0.115)
+        assert proc.returncode == 1
+        assert "drifted" in proc.stderr
+        history = json.loads(hist.read_text())
+        assert len(history["runs"]) == 5

@@ -495,3 +495,31 @@ class TestObservability:
         assert "selftest: 5/5" in text
         assert "fault plane: seed=7" in text
         assert not PLANE.active  # CLI turns the plane off afterwards
+
+
+class TestPoolAfterFree:
+    def test_deferred_forcing_after_free_does_not_resurrect_pool(self):
+        # Regression: ``worker_pool()`` used to rebuild a fresh executor
+        # when called after ``free()`` (the release path had already
+        # shut the old one down), leaking threads nothing would ever
+        # join.  A deferred forcing that outlives the context must now
+        # degrade to the serial kernel instead.
+        ctx = Context.new(Mode.NONBLOCKING, None, {"nthreads": 4})
+        rng = np.random.default_rng(2)
+        d = {(i, j): float(rng.integers(1, 5))
+             for i in range(16) for j in range(16) if rng.random() < 0.4}
+        a = _mat(d, n=16, ctx=ctx)
+        ref = Matrix.new(T.FP64, 16, 16, ctx)
+        mxm(ref, None, None, PT, a, a)
+        wait(ref)
+        expected = ref.to_dict()
+        c = Matrix.new(T.FP64, 16, 16, ctx)
+        with config.option("ENGINE_MEMO", False):
+            mxm(c, None, None, PT, a, a)     # deferred
+            before = _stat("degraded_serial")
+            ctx.free()                       # pool finalized, work in flight
+            assert ctx.worker_pool() is None
+            wait(c)                          # forcing outlives the context
+        assert _stat("degraded_serial") == before + 1
+        assert c.to_dict() == expected
+        assert ctx._pool is None, "free() left a resurrectable worker pool"

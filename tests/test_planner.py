@@ -42,8 +42,14 @@ N = 24
 
 @pytest.fixture(autouse=True)
 def clean_plane_and_stats():
+    # This module asserts the CSE / pushdown pass counters, so pin both
+    # passes on: the CI ablation matrix runs the whole suite with each
+    # knob exported off, and these contracts are knob-on behaviour (the
+    # explicit knob tests below override with their own inner option()).
     STATS.reset()
-    yield
+    with config.option("ENGINE_CSE", True), \
+            config.option("ENGINE_PUSHDOWN", True):
+        yield
     PLANE.disable()
 
 

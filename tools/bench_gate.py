@@ -11,6 +11,7 @@ against the committed baseline ratios in
 
 * ``masked_mxm.nb_pushed_ms / blocking_ms``   — mask pushdown
 * ``dup_subexpression.nb_cse_ms / blocking_ms`` — hash-consing (CSE)
+* ``repeated_algorithm.nb_warm_ms / blocking_ms`` — algo-block memo
 
 The gate fails (exit 1) when a fresh ratio regresses more than the
 tolerance (default 25%) over the baseline ratio, or when the workload's
@@ -21,6 +22,15 @@ the repository root after the benchmarks:
     python tools/bench_gate.py
 
 CI's perf-smoke job runs exactly this pair.
+
+``--append-history PATH`` additionally records this run's ratios in a
+persistent JSON history (CI keeps it in an actions cache keyed across
+runs) and applies the **drift rule**: a single run inside the 25%
+tolerance can still be the fourth small regression in a row, so the
+gate also fails when a ratio's last ``--drift-window`` recorded values
+are monotonically non-decreasing AND the newest is more than
+``--drift-limit`` (default 10%) above the oldest — slow creep that the
+per-run tolerance is blind to.
 """
 
 from __future__ import annotations
@@ -34,6 +44,7 @@ from pathlib import Path
 GATED = (
     ("masked_mxm", "nb_pushed_ms", "masks_pushed"),
     ("dup_subexpression", "nb_cse_ms", "cse_reused"),
+    ("repeated_algorithm", "nb_warm_ms", "algo_memo_hits"),
 )
 
 
@@ -77,6 +88,54 @@ def check(fresh: dict, baseline: dict, tolerance: float) -> list[str]:
     return failures
 
 
+def fresh_ratios(fresh: dict) -> dict[str, float]:
+    """The gated ratios of one benchmark run, keyed ``workload.key``."""
+    out = {}
+    for workload, key, _ in GATED:
+        if workload in fresh:
+            out[f"{workload}.{key}"] = _ratio(fresh, workload, key)
+    return out
+
+
+def append_history(history: dict, ratios: dict[str, float]) -> dict:
+    """Append one run's ratios to the history structure (in place).
+
+    The history is ``{"runs": [{"workload.key": ratio, ...}, ...]}`` —
+    one dict per gate invocation, oldest first.
+    """
+    runs = history.setdefault("runs", [])
+    runs.append({k: round(float(v), 6) for k, v in ratios.items()})
+    return history
+
+
+def check_drift(history: dict, window: int = 5,
+                limit: float = 0.10) -> list[str]:
+    """Return drift failures over the recorded history.
+
+    A metric drifts when its last ``window`` recorded ratios are
+    monotonically non-decreasing and the newest exceeds the oldest by
+    more than ``limit``.  Fewer than ``window`` recordings, any dip in
+    the window, or total growth within ``limit`` all pass — the rule
+    only fires on sustained one-directional creep.
+    """
+    failures = []
+    runs = history.get("runs", [])
+    for workload, key, _ in GATED:
+        metric = f"{workload}.{key}"
+        series = [r[metric] for r in runs if metric in r]
+        if len(series) < window:
+            continue
+        tail = series[-window:]
+        monotonic = all(b >= a for a, b in zip(tail, tail[1:]))
+        if monotonic and tail[-1] > tail[0] * (1.0 + limit):
+            failures.append(
+                f"{metric}: drifted {tail[0]:.3f}x -> {tail[-1]:.3f}x "
+                f"over the last {window} runs (monotonic, "
+                f"+{(tail[-1] / tail[0] - 1.0):.0%} > {limit:.0%})"
+            )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     p.add_argument(
@@ -92,6 +151,19 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument(
         "--tolerance", type=float, default=0.25,
         help="allowed relative regression of each ratio (default 0.25)",
+    )
+    p.add_argument(
+        "--append-history", type=Path, default=None, metavar="PATH",
+        help="append this run's ratios to a persistent JSON history and "
+             "fail on sustained drift (see module docstring)",
+    )
+    p.add_argument(
+        "--drift-window", type=int, default=5,
+        help="history length the drift rule inspects (default 5)",
+    )
+    p.add_argument(
+        "--drift-limit", type=float, default=0.10,
+        help="allowed total growth across the drift window (default 0.10)",
     )
     args = p.parse_args(argv)
 
@@ -109,6 +181,25 @@ def main(argv: list[str] | None = None) -> int:
     print(f"bench_gate: {args.fresh} vs {args.baseline} "
           f"(tolerance {args.tolerance:.0%})")
     failures = check(fresh, baseline, args.tolerance)
+
+    if args.append_history is not None:
+        try:
+            history = json.loads(args.append_history.read_text())
+        except (OSError, ValueError):
+            history = {}
+        append_history(history, fresh_ratios(fresh))
+        args.append_history.parent.mkdir(parents=True, exist_ok=True)
+        args.append_history.write_text(
+            json.dumps(history, indent=2, sort_keys=True) + "\n"
+        )
+        n_runs = len(history["runs"])
+        drift = check_drift(history, args.drift_window, args.drift_limit)
+        print(f"bench_gate: history {args.append_history} now holds "
+              f"{n_runs} run(s); drift rule "
+              f"({args.drift_window}-run window, {args.drift_limit:.0%}): "
+              f"{len(drift)} failure(s)")
+        failures.extend(drift)
+
     if failures:
         for f in failures:
             print(f"bench_gate: FAIL: {f}", file=sys.stderr)

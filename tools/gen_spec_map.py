@@ -67,7 +67,8 @@ The spec rows that are *behaviour*, not symbols, and where each lives:
 | §III "optimize" freedom: masked eWise consumers | a masked `eWiseMult` (or intersect-shaped `eWiseAdd`) over a pending product filters inside the producer | `ops/ewise.py` push targets → `engine/passes/pushdown.py` → `internals/ewise.py` intersect `mask_keys` filter |
 | §III "optimize" freedom: chain fusion | producer chains may run as one pass | `engine/passes/fuse.py` + `internals/applyselect.py` pipelines |
 | §III "optimize" freedom: cross-call reuse | a re-submitted computation over unchanged inputs may republish its committed result | `engine/memo.py` per-Context LRU keyed on `dag.memo_key` (uid+version inputs); consulted in `engine/passes/cse.py`, republished via `engine/txn.py` |
-| §III optimization arbitration | conflicting rewrites decided by estimated kernel savings | `engine/passes/cost.py` nnz-based model calibrated from `engine/stats.py` kernel spans; `cost:` trace instants |
+| §III optimization arbitration | conflicting rewrites decided by estimated kernel savings | `engine/passes/cost.py` nnz-based model calibrated from `engine/stats.py` kernel spans; `cost:` trace instants; adaptive fusion veto + SpGEMM partition sizing (`COST_ADAPTIVE_*`) |
+| §III amortized algorithm setup | repeated algorithm calls on an unchanged graph reuse their pure preprocessing | `algorithms/_blocks.py` memoized building blocks (`("algo", kind, (uid, version), params)` keys) in the per-Context `engine/memo.py` cache with cost-weighted eviction (`MEMO_EVICTION`); republished via `engine/txn.py` |
 | §VIII masked-kernel fast paths | complemented/structural mask filters at kernel entry | `internals/mxm.py` (`in_sorted` membership, empty-complement keep-all) + `internals/maskaccum.py` memoized mask keys |
 | §III "sequence of methods that define an object" | per-object defining sequence | sequence edges (`Node.prev`) threaded through `engine/dag.py` |
 | §V forcing call | a read/`wait` completes exactly the pending subgraph it observes | `engine/scheduler.py::force` (topological, per-Context threads) |
