@@ -1,0 +1,194 @@
+"""S1 — the multi-tenant serving layer under concurrent mixed load.
+
+The ROADMAP's north star is GraphBLAS serving "heavy traffic from
+millions of users".  This bench measures the serving stack's two
+claims on a mixed workload (BFS + pagerank + triangles across four
+tenants, every query logically arriving at once):
+
+* **throughput** — the batched concurrent path (admission → coalesce →
+  one planner pass per window) must beat naive one-fresh-context-per-
+  query serial dispatch on total wall;
+* **tail latency under load** — per-query latency measured from
+  *arrival* (so the serial baseline pays realistic queue wait), p50
+  and p99 compared.
+
+Results land in ``BENCH_serving.json``; ``tools/bench_gate.py`` gates
+the two ratios (``serving.nb_batched_ms / blocking_ms`` and
+``serving_p99.nb_batched_ms / blocking_ms``) against the committed
+baseline in ``benchmarks/BENCH_serving.json``.
+"""
+
+import asyncio
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import print_table, rmat_graph
+from repro.algorithms import bfs_levels, pagerank, triangle_count
+from repro.core.context import Context, Mode
+from repro.engine.stats import STATS
+from repro.serve import GraphServer, GraphService, Query
+from repro.serve.session import percentile
+
+SCALE = 9
+TENANTS = 4
+QUERIES = 48
+REPS = 2
+
+_RESULTS: dict = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_results():
+    yield
+    if _RESULTS:
+        Path("BENCH_serving.json").write_text(
+            json.dumps(_RESULTS, indent=2, sort_keys=True) + "\n"
+        )
+
+
+def _graph():
+    return rmat_graph(SCALE, undirected=True)
+
+
+def _plan(i: int, n: int) -> Query:
+    # The CLI's mixed load: mostly BFS (batchable), some analytics
+    # (dedup-able: repeated identical pagerank/triangle submissions).
+    if i % 4 == 3:
+        return Query.make("triangles", "g") if i % 8 == 3 else \
+            Query.make("pagerank", "g", tol=1e-6)
+    return Query.make("bfs", "g", (i * 37) % n)
+
+
+def _naive_dispatch(service, query: Query):
+    """The pre-serving idiom: a fresh context per query, no sharing."""
+    ctx = Context.new(Mode.NONBLOCKING, None, {"nthreads": 2})
+    try:
+        view = service.graph_view(query.graph, ctx)
+        if query.kind == "bfs":
+            return {int(k): int(v) for k, v in
+                    bfs_levels(view, query.source).to_dict().items()}
+        if query.kind == "pagerank":
+            ranks, _ = pagerank(view, **dict(query.params))
+            return {int(k): round(float(v), 9)
+                    for k, v in ranks.to_dict().items()}
+        return int(triangle_count(view))
+    finally:
+        ctx.free()
+
+
+def _serial_run(graph, n):
+    """All queries arrive at t0, drain one at a time through fresh
+    contexts; latency is completion time *from arrival*."""
+    service = GraphService(name="naive")
+    service.register_graph("g", graph)
+    latencies, values = [], []
+    t0 = time.perf_counter()
+    for i in range(QUERIES):
+        values.append(_naive_dispatch(service, _plan(i, n)))
+        latencies.append((time.perf_counter() - t0) * 1e3)
+    wall = (time.perf_counter() - t0) * 1e3
+    service.close()
+    return wall, sorted(latencies), values
+
+
+def _batched_run(graph, n):
+    """The same load through the serving front door: admission,
+    window coalescing (msbfs + dedup), per-tenant contexts."""
+    service = GraphService(name="bench")
+    service.register_graph("g", graph)
+    sessions = [
+        service.open_session(f"t{i}", nthreads=2, memo_capacity=32)
+        for i in range(TENANTS)
+    ]
+
+    async def load():
+        async with GraphServer(service, max_pending=QUERIES * 2,
+                               per_tenant=QUERIES, batch_window=16) as srv:
+            jobs = [
+                srv.submit(sessions[i % TENANTS], _plan(i, n))
+                for i in range(QUERIES)
+            ]
+            return await asyncio.gather(*jobs)
+
+    before = STATS.snapshot()
+    t0 = time.perf_counter()
+    results = asyncio.run(load())
+    wall = (time.perf_counter() - t0) * 1e3
+    after = STATS.snapshot()
+    values = [
+        {k: round(v, 9) for k, v in r.value["ranks"].items()}
+        if r.query.kind == "pagerank" else r.value
+        for r in results
+    ]
+    latencies = sorted(r.total_ms for r in results)
+    counters = {
+        k: after[k] - before[k]
+        for k in ("serve_batches", "serve_batched_queries")
+    }
+    service.close()
+    return wall, latencies, values, counters
+
+
+@pytest.mark.benchmark(group="S1-serving")
+class TestServingThroughput:
+    def test_batched_concurrent_vs_serial_dispatch(self):
+        graph = _graph()
+        n = graph.nrows
+
+        serial_wall, serial_lat, serial_vals = None, None, None
+        for _ in range(REPS):
+            wall, lat, vals = _serial_run(graph, n)
+            if serial_wall is None or wall < serial_wall:
+                serial_wall, serial_lat, serial_vals = wall, lat, vals
+
+        batch_wall, batch_lat, counters = None, None, None
+        for _ in range(REPS):
+            wall, lat, vals, ctr = _batched_run(graph, n)
+            # Parity first: coalesced answers equal the naive oracle.
+            assert vals == serial_vals, "batched serving diverged"
+            if batch_wall is None or wall < batch_wall:
+                batch_wall, batch_lat, counters = wall, lat, ctr
+
+        assert counters["serve_batched_queries"] >= QUERIES // 3, \
+            "window coalescing barely fired"
+
+        _RESULTS["serving"] = {
+            "blocking_ms": serial_wall,
+            "nb_batched_ms": batch_wall,
+            "serve_batched_queries": counters["serve_batched_queries"],
+            "queries": QUERIES,
+            "tenants": TENANTS,
+            "qps_serial": QUERIES / (serial_wall / 1e3),
+            "qps_batched": QUERIES / (batch_wall / 1e3),
+        }
+        _RESULTS["serving_p99"] = {
+            "blocking_ms": percentile(serial_lat, 99.0),
+            "nb_batched_ms": percentile(batch_lat, 99.0),
+            "serial_p50_ms": percentile(serial_lat, 50.0),
+            "batched_p50_ms": percentile(batch_lat, 50.0),
+            "serve_batches": counters["serve_batches"],
+        }
+        print_table(
+            f"S1  {QUERIES} mixed queries, {TENANTS} tenants "
+            f"(rmat scale {SCALE})",
+            ["variant", "wall ms", "p50 ms", "p99 ms", "q/s"],
+            [["serial fresh-ctx", f"{serial_wall:.1f}",
+              f"{percentile(serial_lat, 50.0):.1f}",
+              f"{percentile(serial_lat, 99.0):.1f}",
+              f"{QUERIES / (serial_wall / 1e3):.0f}"],
+             ["batched serving", f"{batch_wall:.1f}",
+              f"{percentile(batch_lat, 50.0):.1f}",
+              f"{percentile(batch_lat, 99.0):.1f}",
+              f"{QUERIES / (batch_wall / 1e3):.0f}"],
+             ["serve_batches", counters["serve_batches"], "", "", ""],
+             ["serve_batched_queries",
+              counters["serve_batched_queries"], "", "", ""]],
+        )
+        # The serving contract: coalescing + per-tenant reuse must beat
+        # naive serial dispatch on throughput AND tail latency.
+        assert batch_wall < serial_wall, "serving lost on throughput"
+        assert percentile(batch_lat, 99.0) < percentile(serial_lat, 99.0), \
+            "serving lost on p99 under load"

@@ -8,6 +8,9 @@ and poking at data files without writing a script:
 * ``demo NAME``   — run a built-in algorithm demo on a generated graph
   (``bfs``, ``triangles``, ``pagerank``, ``sssp``, ``components``).
 * ``selftest``    — a fast end-to-end exercise of every subsystem.
+* ``serve``       — host a demo graph behind the multi-tenant serving
+  layer (:mod:`repro.serve`), push a scripted mixed query load through
+  the asyncio front door, and print per-tenant stats on shutdown.
 
 ``--engine-stats`` (global flag) dumps the lazy-engine counters — nodes
 built/forced/fused, CSE hits, pushed masks, per-kernel wall time —
@@ -79,6 +82,17 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--seed", type=int, default=42)
 
     sub.add_parser("selftest", help="fast end-to-end smoke test")
+
+    serve = sub.add_parser(
+        "serve", help="host a demo graph through the serving layer"
+    )
+    serve.add_argument("--scale", type=int, default=8,
+                       help="RMAT scale of the hosted graph (default 8)")
+    serve.add_argument("--seed", type=int, default=42)
+    serve.add_argument("--tenants", type=int, default=3,
+                       help="concurrent tenant sessions (default 3)")
+    serve.add_argument("--queries", type=int, default=24,
+                       help="total queries in the scripted load (default 24)")
     return p
 
 
@@ -202,6 +216,65 @@ def _cmd_selftest(out) -> int:
     return 0
 
 
+def _cmd_serve(scale: int, seed: int, tenants: int, queries: int, out) -> int:
+    import asyncio
+
+    from repro.core import types as T
+    from repro.generators import rmat, to_matrix
+    from repro.serve import GraphServer, GraphService, Query
+
+    n, rows, cols, _ = rmat(scale, 8, seed=seed)
+    graph = to_matrix(n, rows, cols, np.ones(len(rows)), T.FP64,
+                      make_undirected=True, no_self_loops=True)
+    service = GraphService()
+    meta = service.register_graph("demo", graph)
+    out.write(f"serving graph 'demo': {meta['nrows']} vertices, "
+              f"{meta['nvals']} edges\n")
+    sessions = [
+        service.open_session(f"tenant-{i}", nthreads=2, memo_capacity=16)
+        for i in range(max(1, tenants))
+    ]
+
+    def plan(i: int) -> Query:
+        # Mixed load: mostly BFS (batchable), some analytics.
+        if i % 4 == 3:
+            return Query.make("triangles", "demo") if i % 8 == 3 else \
+                Query.make("pagerank", "demo", tol=1e-6)
+        return Query.make("bfs", "demo", (i * 37) % n)
+
+    async def run_load() -> list:
+        async with GraphServer(service, batch_window=8) as server:
+            jobs = [
+                server.submit(sessions[i % len(sessions)], plan(i))
+                for i in range(max(1, queries))
+            ]
+            return await asyncio.gather(*jobs, return_exceptions=True)
+
+    t0 = time.perf_counter()
+    results = asyncio.run(run_load())
+    wall = time.perf_counter() - t0
+    ok = sum(1 for r in results if not isinstance(r, BaseException))
+    batched = sum(
+        1 for r in results
+        if not isinstance(r, BaseException) and r.batched
+    )
+    out.write(f"served {ok}/{len(results)} queries in {wall * 1e3:.1f} ms "
+              f"({ok / wall:.0f} q/s, {batched} batched)\n")
+    out.write("per-tenant stats:\n")
+    for tenant, snap in sorted(service.tenant_stats().items()):
+        out.write(
+            f"  {tenant:<12} completed={snap.get('queries_completed', 0)} "
+            f"batched={snap.get('queries_batched', 0)} "
+            f"kernels={snap.get('kernels', 0)} "
+            f"kernel_ms={snap.get('kernel_time_ms', 0.0):.1f} "
+            f"p99_ms={snap.get('latency_p99_ms', 0.0):.1f} "
+            f"memo={snap.get('memo_entries', 0)} "
+            f"degraded={snap.get('degraded', False)}\n"
+        )
+    service.close()
+    return 0 if ok == len(results) else 1
+
+
 def main(argv: Sequence[str] | None = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
@@ -230,6 +303,10 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             return _cmd_demo(args.name, args.scale, args.seed, out)
         if args.command == "selftest":
             return _cmd_selftest(out)
+        if args.command == "serve":
+            return _cmd_serve(
+                args.scale, args.seed, args.tenants, args.queries, out
+            )
         return 2  # pragma: no cover - argparse enforces choices
     finally:
         if args.engine_stats:

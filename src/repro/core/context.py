@@ -8,10 +8,16 @@ distributed) executions can scope resources:
 * :func:`init` creates the **top-level context** (unchanged from 1.X).
 * :meth:`Context.new` nests a context inside a parent (``parent=None``
   means the top-level context), with its own mode and an
-  *implementation-defined* execution spec.  Ours is a mapping with keys:
+  *implementation-defined* execution spec.  Ours is a
+  :class:`ResourceSpec` — a validated mapping with keys:
 
   - ``nthreads`` — worker threads for row-partitioned kernels,
-  - ``chunk_rows`` — minimum rows per worker block.
+  - ``chunk_rows`` — minimum rows per worker block,
+  - ``memo_capacity`` — entry bound for this context's result memo
+    (a tenant's cache quota in the serving layer),
+  - ``fault_domain`` — label matched by targeted fault injection
+    (``FaultSpec(where={"domain": ...})``) so chaos in one tenant
+    cannot leak into a sibling.
 
 * Vectors and matrices are created *in* a context (an optional
   constructor argument, §IV) and all objects participating in one
@@ -19,6 +25,14 @@ distributed) executions can scope resources:
 * :func:`context_switch` re-homes an object (``GrB_Context_switch``).
 * ``free()`` releases a context (it then behaves uninitialized);
   :func:`finalize` frees every context and tears down the library.
+
+The class is split along the line the serving layer needs: the
+**resource spec** (immutable :class:`ResourceSpec`, shared vocabulary
+between §IV and admission control) versus the **per-session state**
+(degradation, worker-fault count, result memo, kernel pool, local
+stats), which is mutable and guarded by a per-instance lock so
+concurrent sessions on sibling contexts never contend on — or corrupt —
+each other's bookkeeping.
 """
 
 from __future__ import annotations
@@ -37,6 +51,7 @@ __all__ = [
     "Mode",
     "WaitMode",
     "Context",
+    "ResourceSpec",
     "init",
     "finalize",
     "is_initialized",
@@ -65,47 +80,99 @@ _top_context: "Context | None" = None
 _all_contexts: "list[Context]" = []
 
 
+class ResourceSpec:
+    """The immutable resource half of a context (§IV execution spec).
+
+    Validated once at construction; contexts resolve unset keys through
+    their ancestor chain (:meth:`Context.effective`), so a spec only
+    names what this level *overrides*.
+    """
+
+    __slots__ = ("_values",)
+
+    #: Every key an execution spec may set.
+    KEYS = ("nthreads", "chunk_rows", "memo_capacity", "fault_domain")
+
+    def __init__(self, spec: "Mapping[str, Any] | ResourceSpec | None" = None):
+        if isinstance(spec, ResourceSpec):
+            values = dict(spec._values)
+        else:
+            values = dict(spec or {})
+        for key in ("nthreads", "chunk_rows", "memo_capacity"):
+            val = values.get(key)
+            if val is not None and (not isinstance(val, int) or val < 1):
+                raise InvalidValueError(
+                    f"{key} must be a positive int, got {val!r}"
+                )
+        domain = values.get("fault_domain")
+        if domain is not None and (
+                not isinstance(domain, str) or not domain):
+            raise InvalidValueError(
+                f"fault_domain must be a non-empty string, got {domain!r}"
+            )
+        unknown = set(values) - set(self.KEYS)
+        if unknown:
+            raise InvalidValueError(
+                f"unknown execution-spec keys: {sorted(unknown)}"
+            )
+        self._values = values
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._values
+
+    def __getitem__(self, key: str) -> Any:
+        return self._values[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._values.get(key, default)
+
+    def as_dict(self) -> dict[str, Any]:
+        return dict(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ResourceSpec):
+            return self._values == other._values
+        if isinstance(other, Mapping):
+            return self._values == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResourceSpec({self._values})"
+
+
 class Context:
     """An opaque execution context (``GrB_Context``)."""
 
     __slots__ = (
-        "mode", "parent", "_exec", "_freed", "_children", "name",
-        "_degraded", "_worker_faults",
-        "_result_memo", "_pool", "_pool_nthreads",
+        "mode", "parent", "_spec", "_freed", "_children", "name",
+        "_lock", "_degraded", "_worker_faults",
+        "_result_memo", "_pool", "_pool_nthreads", "_local_stats",
     )
 
     def __init__(
         self,
         mode: Mode,
         parent: "Context | None",
-        exec_spec: Mapping[str, Any] | None,
+        exec_spec: "Mapping[str, Any] | ResourceSpec | None",
         name: str = "",
     ):
         self.mode = Mode(mode)
         self.parent = parent
-        self._exec = dict(exec_spec or {})
+        self._spec = ResourceSpec(exec_spec)
         self._freed = False
         self._children: list[Context] = []
         self.name = name
+        #: Guards the mutable per-session state below.  An RLock so the
+        #: degradation path may consult config while holding it.
+        self._lock = threading.RLock()
         self._degraded = False
         self._worker_faults = 0
         self._result_memo = None  # lazy ResultMemo (nonblocking planner)
         self._pool = None         # lazy ThreadPoolExecutor (parallel mxm)
         self._pool_nthreads = 0
+        self._local_stats = None  # lazy ContextStats (tenant rollup)
         if parent is not None:
             parent._children.append(self)
-        self._validate_exec()
-
-    def _validate_exec(self) -> None:
-        nthreads = self._exec.get("nthreads")
-        if nthreads is not None and (not isinstance(nthreads, int) or nthreads < 1):
-            raise InvalidValueError(f"nthreads must be a positive int, got {nthreads!r}")
-        chunk = self._exec.get("chunk_rows")
-        if chunk is not None and (not isinstance(chunk, int) or chunk < 1):
-            raise InvalidValueError(f"chunk_rows must be a positive int, got {chunk!r}")
-        unknown = set(self._exec) - {"nthreads", "chunk_rows"}
-        if unknown:
-            raise InvalidValueError(f"unknown execution-spec keys: {sorted(unknown)}")
 
     # -- GrB_Context_new ---------------------------------------------------
 
@@ -114,7 +181,7 @@ class Context:
         cls,
         mode: Mode,
         parent: "Context | None" = None,
-        exec_spec: Mapping[str, Any] | None = None,
+        exec_spec: "Mapping[str, Any] | ResourceSpec | None" = None,
         name: str = "",
     ) -> "Context":
         """``GrB_Context_new(ctx, mode, parent, exec)`` (Fig. 2).
@@ -143,16 +210,21 @@ class Context:
     def is_freed(self) -> bool:
         return self._freed
 
+    @property
+    def spec(self) -> ResourceSpec:
+        """This context's own (immutable) resource spec."""
+        return self._spec
+
     def exec_spec(self) -> dict[str, Any]:
         """A copy of this context's own execution spec."""
-        return dict(self._exec)
+        return self._spec.as_dict()
 
     def effective(self, key: str, default: Any) -> Any:
         """Resolve a spec key through the ancestor chain."""
         ctx: Context | None = self
         while ctx is not None:
-            if key in ctx._exec:
-                return ctx._exec[key]
+            if key in ctx._spec:
+                return ctx._spec[key]
             ctx = ctx.parent
         return default
 
@@ -163,6 +235,17 @@ class Context:
     @property
     def chunk_rows(self) -> int:
         return int(self.effective("chunk_rows", 1))
+
+    @property
+    def memo_capacity(self) -> int | None:
+        """Result-memo entry bound, or ``None`` for the global default."""
+        cap = self.effective("memo_capacity", None)
+        return None if cap is None else int(cap)
+
+    @property
+    def fault_domain(self) -> str | None:
+        """The fault-injection domain label, or ``None`` if unscoped."""
+        return self.effective("fault_domain", None)
 
     @property
     def depth(self) -> int:
@@ -189,14 +272,30 @@ class Context:
         Scoping the memo to the context is what makes "never serve
         across mode or context boundaries" structural: a lookup made
         while planning an object's forcing can only see entries stored
-        by sequences in the very same context.
+        by sequences in the very same context.  The spec's
+        ``memo_capacity`` (resolved through the ancestor chain) bounds
+        it — a serving tenant's cache quota.
         """
-        with _state_lock:
+        with self._lock:
             if self._result_memo is None and create and not self._freed:
                 from ..engine.memo import ResultMemo
 
-                self._result_memo = ResultMemo()
+                self._result_memo = ResultMemo(capacity=self.memo_capacity)
             return self._result_memo
+
+    def local_stats(self, create: bool = True):
+        """This context's tenant-local stats rollup (lazily created).
+
+        The scheduler attributes kernel time and reuse/fault events to
+        the context owning each forced node; the serving layer reads
+        the rollup back per tenant (``engine_stats()["tenant"]``).
+        """
+        with self._lock:
+            if self._local_stats is None and create and not self._freed:
+                from ..engine.stats import ContextStats
+
+                self._local_stats = ContextStats()
+            return self._local_stats
 
     def worker_pool(self):
         """The context's cached kernel thread pool, sized ``nthreads``.
@@ -214,7 +313,7 @@ class Context:
         from concurrent.futures import ThreadPoolExecutor
 
         nthreads = max(1, self.nthreads)
-        with _state_lock:
+        with self._lock:
             if self._freed:
                 return None
             pool = self._pool
@@ -233,7 +332,7 @@ class Context:
 
     def _release_resources(self) -> None:
         """Drop memo entries and stop the worker pool (free/finalize)."""
-        with _state_lock:
+        with self._lock:
             memo, self._result_memo = self._result_memo, None
             pool, self._pool = self._pool, None
             self._pool_nthreads = 0
@@ -255,11 +354,12 @@ class Context:
 
         Returns True exactly once — when the count crosses the
         ``DEGRADE_WORKER_FAULTS`` threshold and the context flips to
-        degraded (serial) execution.
+        degraded (serial) execution.  Strictly per-context: a sibling
+        tenant's count and pool are untouched.
         """
         from ..internals import config
 
-        with _state_lock:
+        with self._lock:
             self._worker_faults += 1
             degraded_now = (
                 not self._degraded
@@ -274,13 +374,16 @@ class Context:
                 # pool (workers may be wedged — don't wait on them).
                 pool, self._pool = self._pool, None
                 self._pool_nthreads = 0
+        stats = self._local_stats
+        if stats is not None:
+            stats.bump("worker_faults")
         if pool is not None:
             pool.shutdown(wait=False)
         return degraded_now
 
     def restore(self) -> None:
         """Clear degraded state (operator action after the fault cleared)."""
-        with _state_lock:
+        with self._lock:
             self._degraded = False
             self._worker_faults = 0
 
@@ -296,23 +399,36 @@ class Context:
         (with the planner-pass subset repeated under ``planner_faults``),
         and ``include_spans=True`` adds the Chrome-trace event list under
         ``trace_events`` (what the CLI's ``--trace-out`` writes).
+
+        The ``tenant`` key carries this context's *local* rollup —
+        kernels, kernel wall time, reuse events, worker faults, serving
+        counters — attributed by the scheduler to the context owning
+        each forced node.  Process-wide counters answer "did the
+        optimizer do anything?"; the tenant rollup answers "who
+        consumed it?".
         """
         from ..engine.stats import STATS
         from ..faults.plane import PLANE
 
         snap = STATS.snapshot()
-        injected = PLANE.snapshot()["injected"]
+        plane_snap = PLANE.snapshot()
+        injected = plane_snap["injected"]
         snap["fault_sites"] = injected
         snap["planner_faults"] = {
             site: n for site, n in injected.items()
             if site.startswith("planner.")
         }
-        snap["context_degraded"] = self._degraded
-        memo = self._result_memo
+        snap["fault_domains"] = plane_snap.get("by_domain", {})
+        with self._lock:
+            memo = self._result_memo
+            stats = self._local_stats
+            snap["context_degraded"] = self._degraded
         snap["memo_entries"] = 0 if memo is None else len(memo)
         snap["memo_capacity"] = (
             0 if memo is None else memo.capacity
         )
+        snap["fault_domain"] = self.fault_domain
+        snap["tenant"] = {} if stats is None else stats.snapshot()
         if include_spans:
             snap["trace_events"] = STATS.trace_events()
         return snap
@@ -333,7 +449,7 @@ class Context:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         label = self.name or f"depth={self.depth}"
         state = "freed" if self._freed else self.mode.name
-        return f"Context({label}, {state}, exec={self._exec})"
+        return f"Context({label}, {state}, exec={self._spec.as_dict()})"
 
 
 def init(mode: Mode = Mode.NONBLOCKING) -> Context:

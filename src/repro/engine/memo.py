@@ -36,6 +36,20 @@ stay alive to be republished.  The capacity bound plus eager
 invalidation keep retention proportional to ``MEMO_CAPACITY``, and a
 context's ``free``/``finalize`` clears its memo outright.
 
+Admission policy (``MEMO_ADMISSION``): storing an entry is not free —
+a future hit pays the transactional republish (commit-gate validation
+plus the reference store), so caching a result cheaper to recompute
+than to republish is a strict loss.  The gate compares each *estimated*
+store's rebuild-savings estimate against a measured exponential moving
+average of republish overhead (:func:`record_commit_ms`, fed by the
+scheduler's memo-republish path) and skips the store when the savings
+are smaller (``memo_admission_skips`` counts them).  Evidence-gated:
+the overhead average starts at zero and only grows from real measured
+republishes, so nothing is ever skipped before the cost is observed;
+algorithm building blocks store *measured* build times and bypass the
+gate entirely.  A stats reset clears the average (reset hook), keeping
+tests and benches deterministic.
+
 Eviction policy (``MEMO_EVICTION``): capacity pressure used to evict by
 recency alone, which throws away an expensive SpGEMM product to keep a
 trivial apply just because the apply came later.  The default ``cost``
@@ -57,9 +71,50 @@ from collections import OrderedDict
 from typing import Any, Iterable
 
 from ..internals import config
-from .stats import STATS
+from .stats import STATS, register_reset_hook
 
-__all__ = ["ResultMemo", "invalidate_handle", "release_handle"]
+__all__ = [
+    "ResultMemo", "invalidate_handle", "release_handle",
+    "record_commit_ms", "commit_overhead_ms",
+]
+
+#: EWMA of measured memo-republish (commit) overhead in ms, and the
+#: number of observations behind it.  Guarded by ``_OVERHEAD_LOCK``.
+_OVERHEAD_LOCK = threading.Lock()
+_commit_overhead_ms = 0.0
+_commit_samples = 0
+
+#: EWMA smoothing: each new sample carries this weight.
+_OVERHEAD_ALPHA = 0.3
+
+
+def record_commit_ms(ms: float) -> None:
+    """Feed one measured memo-republish wall time into the admission
+    model (called by the scheduler after a successful republish)."""
+    global _commit_overhead_ms, _commit_samples
+    ms = max(0.0, float(ms))
+    with _OVERHEAD_LOCK:
+        if _commit_samples == 0:
+            _commit_overhead_ms = ms
+        else:
+            _commit_overhead_ms += _OVERHEAD_ALPHA * (ms - _commit_overhead_ms)
+        _commit_samples += 1
+
+
+def commit_overhead_ms() -> float:
+    """The measured republish overhead (0.0 until first observation)."""
+    with _OVERHEAD_LOCK:
+        return _commit_overhead_ms if _commit_samples else 0.0
+
+
+def _reset_overhead() -> None:
+    global _commit_overhead_ms, _commit_samples
+    with _OVERHEAD_LOCK:
+        _commit_overhead_ms = 0.0
+        _commit_samples = 0
+
+
+register_reset_hook(_reset_overhead)
 
 #: Every live memo, so handle writes can invalidate eagerly without the
 #: sequence layer knowing which contexts cached what (an object may be
@@ -131,13 +186,27 @@ class ResultMemo:
         deps: Iterable[int],
         owner_uid: int | None = None,
         cost_ms: float = 0.0,
+        estimated: bool = False,
     ) -> None:
         """Record a committed carrier, evicting past capacity.
 
         ``cost_ms`` is the estimated cost of rebuilding this entry (the
         savings a future hit buys); the cost eviction policy keeps the
-        entries whose aged estimate is highest.
+        entries whose aged estimate is highest.  ``estimated=True``
+        marks a cost-model estimate (expression stores) rather than a
+        measured build time — only those are subject to the
+        ``MEMO_ADMISSION`` gate, which skips the store outright when
+        the estimate is below the measured republish overhead.
         """
+        if (estimated and config.get_option("MEMO_ADMISSION")
+                and 0.0 < cost_ms < commit_overhead_ms()):
+            STATS.bump("memo_admission_skips")
+            STATS.instant(
+                "memo:admission-skip", "memo",
+                {"cost_ms": round(float(cost_ms), 6),
+                 "overhead_ms": round(commit_overhead_ms(), 6)},
+            )
+            return
         deps = frozenset(deps)
         with self._lock:
             if key in self._entries:

@@ -249,14 +249,35 @@ class _WorkerCrash(Exception):
 def _pool_run(node: Node) -> None:
     """Pool-worker entry: give the fault plane its shot at this worker
     (a straggler via ``scheduler.slow``, a node failure via
-    ``scheduler.worker``), then run the node normally."""
+    ``scheduler.worker``), then run the node normally.  The owning
+    context's fault domain rides along so targeted chaos
+    (``FaultSpec(where={"domain": ...})``) hits one tenant only."""
+    domain = _node_domain(node)
     try:
-        maybe_inject("scheduler.slow", label=node.label)
+        maybe_inject("scheduler.slow", label=node.label, domain=domain)
         with armed():  # the dispatcher's crash recovery protects this site
-            maybe_inject("scheduler.worker", label=node.label)
+            maybe_inject("scheduler.worker", label=node.label, domain=domain)
     except ExecutionError as exc:
         raise _WorkerCrash(node.label) from exc
     _run_node(node)
+
+
+def _node_domain(node: Node) -> str | None:
+    """The fault domain of the context owning *node* (None = unscoped)."""
+    ctx = getattr(node.owner, "_ctx", None)
+    try:
+        return None if ctx is None else ctx.fault_domain
+    except Exception:
+        return None
+
+
+def _node_stats(node: Node):
+    """The owning context's tenant rollup, if one was ever created.
+
+    Attribution never *creates* the rollup: non-serving workloads pay a
+    single attribute probe and nothing else."""
+    ctx = getattr(node.owner, "_ctx", None)
+    return None if ctx is None else getattr(ctx, "_local_stats", None)
 
 
 def _absorb_worker_crash(node: Node) -> None:
@@ -308,10 +329,18 @@ def _run_node(node: Node) -> None:
                 lambda: _txn_commit(node.label, cached), node.label
             )
             node.state = DONE
+            elapsed = time.perf_counter() - t0
             STATS.bump("memo_reused")
+            # Feed the measured republish cost into the admission gate:
+            # a future store cheaper to rebuild than this is a loss.
+            from .memo import record_commit_ms
+
+            record_commit_ms(elapsed * 1e3)
+            local = _node_stats(node)
+            if local is not None:
+                local.bump("memo_reused")
             STATS.span(
-                f"memo:{node.kind}", "kernel", t0,
-                time.perf_counter() - t0,
+                f"memo:{node.kind}", "kernel", t0, elapsed,
                 {"node": node.label,
                  "nvals": getattr(cached, "nvals", None)},
             )
@@ -331,6 +360,9 @@ def _run_node(node: Node) -> None:
                 )
                 node.state = DONE
                 STATS.bump("cse_reused")
+                local = _node_stats(node)
+                if local is not None:
+                    local.bump("cse_reused")
                 STATS.span(
                     f"cse:{node.kind}", "kernel", t0,
                     time.perf_counter() - t0,
@@ -348,9 +380,13 @@ def _run_node(node: Node) -> None:
             node.state = DONE
             kind = f"fused:{node.kind}" if node.plan is not None \
                 else node.kind
-            STATS.kernel(kind, time.perf_counter() - t0)
+            elapsed = time.perf_counter() - t0
+            STATS.kernel(kind, elapsed)
+            local = _node_stats(node)
+            if local is not None:
+                local.kernel(elapsed)
             STATS.span(
-                kind, "kernel", t0, time.perf_counter() - t0,
+                kind, "kernel", t0, elapsed,
                 {"node": node.label},
             )
             _memo_store(node)
@@ -387,9 +423,13 @@ def _run_node(node: Node) -> None:
         return
     node.result = result
     node.state = DONE
-    STATS.kernel(node.kind, time.perf_counter() - t0)
+    elapsed = time.perf_counter() - t0
+    STATS.kernel(node.kind, elapsed)
+    local = _node_stats(node)
+    if local is not None:
+        local.kernel(elapsed)
     STATS.span(
-        node.kind, "kernel", t0, time.perf_counter() - t0,
+        node.kind, "kernel", t0, elapsed,
         {"node": node.label},
     )
     _memo_store(node)
@@ -422,7 +462,8 @@ def _memo_store(node: Node) -> None:
 
         memo.store(key, node.result, deps,
                    owner_uid=getattr(node.owner, "_uid", None),
-                   cost_ms=cost.entry_savings_ms(node))
+                   cost_ms=cost.entry_savings_ms(node),
+                   estimated=True)
     except Exception:
         pass
 
@@ -465,6 +506,9 @@ def _record_failure(node: Node, exc: BaseException, message: str) -> None:
     if node.owner is not None:
         node.owner._err = message
     STATS.bump("errors_deferred")
+    local = _node_stats(node)
+    if local is not None:
+        local.bump("errors_deferred")
     node.exc = exc
     node.state = FAILED
     node.result = _carrier_before(node)

@@ -35,6 +35,10 @@ optimizer actually do anything?".  Counters:
 * ``memo_evictions``   — evictions from a full result memo (the victim
   is the LRU entry or the lowest cost-score entry, per
   ``MEMO_EVICTION``; each eviction emits a ``memo:evict`` instant).
+* ``memo_admission_skips`` — expression stores rejected by the
+  cost-model admission gate (``MEMO_ADMISSION``): the estimated rebuild
+  savings were below the measured commit overhead, so caching would
+  cost more than recomputing.
 * ``memo_invalidations`` — memo entries dropped because an input handle
   advanced (write) or was freed.
 * ``algo_memo_hits`` / ``algo_memo_misses`` — algorithm building-block
@@ -73,8 +77,25 @@ optimizer actually do anything?".  Counters:
   single-process execution on an unhealthy cluster.
 * ``comm_timeouts``    — communicator receives/collectives that timed
   out (dead-rank detection).
+* ``serve_submitted`` / ``serve_completed`` / ``serve_rejected`` —
+  serving-layer queries admitted, finished, and shed by admission
+  control (:mod:`repro.serve`).
+* ``serve_batches`` / ``serve_batched_queries`` — coalesced
+  multi-source submissions the serving batcher formed, and how many
+  client queries rode in them.
 * ``spans_dropped``    — trace spans discarded after the in-memory
   buffer filled (the counters above are never dropped).
+
+Per-context rollups
+-------------------
+
+The block above is process-wide; the serving layer additionally needs
+"what did *this tenant* consume?".  :class:`ContextStats` is the
+per-:class:`~repro.core.context.Context` counterpart — a small
+lock-guarded counter block the scheduler attributes kernel time and
+reuse events to, keyed by the owning object's context.  It is created
+lazily (``Context.local_stats()``) so non-serving workloads pay one
+``None`` check and nothing else.
 
 Per-kernel timing lives in ``kernel_time``/``kernel_count`` keyed by
 node kind (``mxm``, ``apply``, ``fused:…``).  Query via
@@ -100,7 +121,10 @@ import json
 import threading
 import time
 
-__all__ = ["EngineStats", "STATS", "SPAN_CAP", "register_reset_hook"]
+__all__ = [
+    "EngineStats", "ContextStats", "STATS", "SPAN_CAP",
+    "register_reset_hook",
+]
 
 #: Callables invoked after :meth:`EngineStats.reset` — modules keeping
 #: calibration state *derived from* these counters (the cost model's
@@ -130,6 +154,7 @@ _COUNTERS = (
     "memo_fallbacks",
     "memo_stores",
     "memo_evictions",
+    "memo_admission_skips",
     "memo_invalidations",
     "algo_memo_hits",
     "algo_memo_misses",
@@ -152,7 +177,26 @@ _COUNTERS = (
     "degraded_serial",
     "degraded_local",
     "comm_timeouts",
+    "serve_submitted",
+    "serve_completed",
+    "serve_rejected",
+    "serve_batches",
+    "serve_batched_queries",
     "spans_dropped",
+)
+
+#: Counters a :class:`ContextStats` rollup tracks per context/tenant.
+CTX_COUNTERS = (
+    "kernels",
+    "memo_reused",
+    "cse_reused",
+    "algo_memo_hits",
+    "errors_deferred",
+    "worker_faults",
+    "queries_submitted",
+    "queries_completed",
+    "queries_rejected",
+    "queries_batched",
 )
 
 #: Trace-span buffer bound; past it spans are counted in
@@ -295,6 +339,39 @@ class EngineStats:
                 n = snap["kernel_count"][kind]
                 lines.append(f"    {kind:<16} {n:>6} calls  {t:>9.2f} ms")
         return "\n".join(lines)
+
+
+class ContextStats:
+    """Per-context tenant rollup of engine activity.
+
+    Every mutation takes the instance lock — concurrent serving
+    sessions bump these from scheduler worker threads, so a bare
+    ``+=`` on instance attributes would lose updates.
+    """
+
+    __slots__ = ("_lock", "kernel_seconds") + CTX_COUNTERS
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.kernel_seconds = 0.0
+        for name in CTX_COUNTERS:
+            setattr(self, name, 0)
+
+    def bump(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + n)
+
+    def kernel(self, seconds: float) -> None:
+        """Attribute one executed kernel of *seconds* to this context."""
+        with self._lock:
+            self.kernels += 1
+            self.kernel_seconds += seconds
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            snap = {name: getattr(self, name) for name in CTX_COUNTERS}
+            snap["kernel_time_ms"] = self.kernel_seconds * 1e3
+            return snap
 
 
 #: The process-wide engine stats block.

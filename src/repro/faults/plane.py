@@ -160,6 +160,7 @@ class FaultPlane:
         self._seed = 0
         self._visits: dict[str, int] = {}
         self.injected: dict[str, int] = {}   # site -> injection count
+        self.by_domain: dict[str, int] = {}  # fault domain -> injections
         self.dropped = 0
         self.active = False
         self.armed_only = False
@@ -181,6 +182,7 @@ class FaultPlane:
                 spec.hits = 0
             self._visits.clear()
             self.injected.clear()
+            self.by_domain.clear()
             self.dropped = 0
             self.armed_only = armed_only
             self.active = True
@@ -198,6 +200,7 @@ class FaultPlane:
                 "seed": self._seed,
                 "injected": dict(self.injected),
                 "injected_total": sum(self.injected.values()),
+                "by_domain": dict(self.by_domain),
                 "dropped": self.dropped,
             }
 
@@ -256,6 +259,12 @@ class FaultPlane:
                     continue
                 spec.hits += 1
                 self.injected[site] = self.injected.get(site, 0) + 1
+                domain = ctx.get("domain")
+                if domain is not None:
+                    # Per-tenant chaos accounting: sites tagged with the
+                    # owning context's fault domain roll up here, so a
+                    # serving test can prove where faults landed.
+                    self.by_domain[domain] = self.by_domain.get(domain, 0) + 1
                 if spec.kind == "drop":
                     self.dropped += 1
                 todo = spec

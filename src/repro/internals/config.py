@@ -39,6 +39,16 @@ DESIGN.md's ablation benches flip these to measure the design choices:
 * ``MEMO_EVICTION`` — result-memo eviction policy: ``"cost"`` (default)
   evicts the entry with the lowest recency-aged rebuild-savings
   estimate; ``"lru"`` reproduces the PR-4 recency-only order.
+* ``MEMO_ADMISSION`` — cost-model admission gate on *expression* memo
+  stores: skip caching a result whose estimated rebuild savings are
+  below the measured commit (republish) overhead — caching it would
+  cost more than recomputing.  Evidence-gated: nothing is skipped until
+  at least one republish has actually been measured.
+* ``SERVE_BATCH`` — let the serving layer's batcher coalesce compatible
+  queries (same-graph BFS → one multi-source ``msbfs`` submission;
+  identical analytics → one shared execution) instead of dispatching
+  each query alone.  Env-overridable via ``REPRO_SERVE_BATCH`` for the
+  CI ablation matrix.
 * ``COST_ADAPTIVE_FUSION`` — let the cost pass veto a fusion whose
   estimated saving is dwarfed by the measured per-chain plan
   bookkeeping (tiny producers run standalone instead).
@@ -97,6 +107,8 @@ ENGINE_PUSHDOWN: bool = _env_flag(("ENGINE_PUSHDOWN",), True)
 ENGINE_MEMO: bool = _env_flag(("REPRO_RESULT_CACHE", "ENGINE_MEMO"), True)
 MEMO_CAPACITY: int = 64
 MEMO_EVICTION: str = _env_str("MEMO_EVICTION", "cost", ("cost", "lru"))
+MEMO_ADMISSION: bool = _env_flag(("MEMO_ADMISSION",), True)
+SERVE_BATCH: bool = _env_flag(("REPRO_SERVE_BATCH", "SERVE_BATCH"), True)
 ENGINE_COSTMODEL: bool = _env_flag(("ENGINE_COSTMODEL",), True)
 ENGINE_ALGO_MEMO: bool = _env_flag(("ENGINE_ALGO_MEMO",), True)
 COST_ADAPTIVE_FUSION: bool = _env_flag(("COST_ADAPTIVE_FUSION",), True)
@@ -115,6 +127,8 @@ _DEFAULTS = {
     "ENGINE_MEMO": ENGINE_MEMO,
     "MEMO_CAPACITY": 64,
     "MEMO_EVICTION": MEMO_EVICTION,
+    "MEMO_ADMISSION": MEMO_ADMISSION,
+    "SERVE_BATCH": SERVE_BATCH,
     "ENGINE_COSTMODEL": ENGINE_COSTMODEL,
     "ENGINE_ALGO_MEMO": ENGINE_ALGO_MEMO,
     "COST_ADAPTIVE_FUSION": COST_ADAPTIVE_FUSION,

@@ -1,0 +1,44 @@
+"""Multi-tenant graph serving on hierarchical contexts (§IV applied).
+
+The ROADMAP's north star is GraphBLAS under "heavy traffic from
+millions of users"; this package is the serving layer that the §IV
+context hierarchy was designed to carry:
+
+* :class:`~repro.serve.service.GraphService` hosts N resident named
+  graphs (immutable committed carriers) under one root context.
+* :class:`~repro.serve.session.Session` binds one client/tenant to a
+  child :class:`~repro.core.context.Context` with its own memo quota,
+  worker share, and fault domain — §IV resource scoping as isolation.
+* :class:`~repro.serve.server.GraphServer` is the asyncio front door:
+  bounded queue, per-tenant concurrency caps, and load shedding with a
+  typed ``GrB_INSUFFICIENT_SPACE``-style rejection
+  (:class:`~repro.serve.admission.ServiceOverloadError`).
+* :mod:`~repro.serve.batch` coalesces compatible queued queries —
+  same-graph BFS into one multi-source ``msbfs`` submission, identical
+  analytics into one shared execution — so one planner pass serves
+  many clients (the Julia nonblocking-GraphBLAS motivation).
+
+Isolation story: graph carriers are immutable, so per-tenant views
+(``Matrix.from_data``) share the bytes while every derived object,
+memo entry, worker pool, and degradation flag lives in the tenant's
+own context.  A worker crash degrades *that* tenant to serial
+execution; its siblings keep their threads, caches, and results.
+"""
+
+from .admission import AdmissionController, ServiceOverloadError
+from .batch import coalesce
+from .query import Query, QueryResult
+from .server import GraphServer
+from .service import GraphService
+from .session import Session
+
+__all__ = [
+    "AdmissionController",
+    "ServiceOverloadError",
+    "coalesce",
+    "Query",
+    "QueryResult",
+    "GraphServer",
+    "GraphService",
+    "Session",
+]

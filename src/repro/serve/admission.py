@@ -1,0 +1,96 @@
+"""Admission control: bounded queue + per-tenant caps + load shedding.
+
+The §V error model already has the right shape for an overloaded
+server: ``GrB_INSUFFICIENT_SPACE`` is a *transient* execution error —
+"may succeed on re-invocation" — so a shed query raises
+:class:`ServiceOverloadError` (a subclass) instead of queueing forever.
+Clients see the same typed, retryable signal a kernel under memory
+pressure produces, and the retry ladder semantics carry over unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..core.errors import InsufficientSpaceError
+from ..engine.stats import STATS
+
+__all__ = ["ServiceOverloadError", "AdmissionController"]
+
+
+class ServiceOverloadError(InsufficientSpaceError):
+    """Typed load-shed rejection (``GrB_INSUFFICIENT_SPACE`` flavour).
+
+    Marked transient: by §V a re-invocation may succeed, which is
+    exactly the client contract for shed load.
+    """
+
+    def __init__(self, message: str, tenant: str = "", reason: str = ""):
+        super().__init__(message)
+        self.transient = True
+        self.tenant = tenant
+        self.reason = reason
+
+
+class AdmissionController:
+    """Bounded in-flight accounting, globally and per tenant.
+
+    ``try_admit`` either reserves a slot or raises
+    :class:`ServiceOverloadError` immediately — there is no unbounded
+    wait state.  Callers must pair every successful admit with a
+    ``release`` (the server does so in its dispatcher).
+    """
+
+    def __init__(self, max_pending: int = 64, per_tenant: int = 8):
+        if max_pending < 1 or per_tenant < 1:
+            raise ValueError("admission bounds must be positive")
+        self.max_pending = int(max_pending)
+        self.per_tenant = int(per_tenant)
+        self._lock = threading.Lock()
+        self._pending = 0
+        self._by_tenant: dict[str, int] = {}
+        self.rejected_total = 0
+        self.rejected_by_tenant: dict[str, int] = {}
+
+    def try_admit(self, tenant: str) -> None:
+        """Reserve one slot for *tenant* or raise (shed) without queueing."""
+        with self._lock:
+            if self._pending >= self.max_pending:
+                reason = "queue-full"
+            elif self._by_tenant.get(tenant, 0) >= self.per_tenant:
+                reason = "tenant-cap"
+            else:
+                self._pending += 1
+                self._by_tenant[tenant] = self._by_tenant.get(tenant, 0) + 1
+                return
+            self.rejected_total += 1
+            self.rejected_by_tenant[tenant] = (
+                self.rejected_by_tenant.get(tenant, 0) + 1
+            )
+        STATS.bump("serve_rejected")
+        raise ServiceOverloadError(
+            f"query shed ({reason}): tenant {tenant!r} "
+            f"[pending={self._pending}/{self.max_pending}, "
+            f"tenant-cap={self.per_tenant}]",
+            tenant=tenant, reason=reason,
+        )
+
+    def release(self, tenant: str) -> None:
+        with self._lock:
+            self._pending = max(0, self._pending - 1)
+            n = self._by_tenant.get(tenant, 0) - 1
+            if n > 0:
+                self._by_tenant[tenant] = n
+            else:
+                self._by_tenant.pop(tenant, None)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "pending": self._pending,
+                "max_pending": self.max_pending,
+                "per_tenant": self.per_tenant,
+                "by_tenant": dict(self._by_tenant),
+                "rejected_total": self.rejected_total,
+                "rejected_by_tenant": dict(self.rejected_by_tenant),
+            }

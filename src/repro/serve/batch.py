@@ -1,0 +1,91 @@
+"""Query coalescing: many compatible requests, one planner pass.
+
+The batcher inspects a window of admitted queries and groups them:
+
+* **msbfs** — ≥2 BFS queries over the same resident graph collapse
+  into one multi-source traversal (:func:`repro.algorithms.
+  msbfs_levels`): a k×n frontier matrix expanded by one masked ``mxm``
+  per level, so k clients' traversals cost one planner pass and one
+  kernel sequence instead of k.
+* **dedup** — ≥2 *identical* analytic queries (same kind, graph, and
+  params) execute once; every rider shares the plain-data answer.
+* **single** — everything else runs alone in its tenant's context.
+
+Degraded tenants are excluded from shared groups: their queries run
+serially in their own (demoted) context so a faulted tenant can never
+slow — or fault — a shared submission its healthy siblings ride on.
+``SERVE_BATCH=0`` (env ``REPRO_SERVE_BATCH``) disables coalescing for
+the ablation matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..engine.stats import STATS
+from ..internals import config
+from .query import Query
+
+__all__ = ["Group", "coalesce"]
+
+
+@dataclass
+class Group:
+    """One dispatch unit: entries are ``(index, session, query)`` where
+    *index* is the position in the original submission window."""
+
+    mode: str  # "msbfs" | "dedup" | "single"
+    entries: list = field(default_factory=list)
+
+    @property
+    def queries(self) -> list[Query]:
+        return [q for _, _, q in self.entries]
+
+
+def coalesce(entries: list, enabled: bool | None = None) -> list[Group]:
+    """Partition a submission window into dispatch groups.
+
+    *entries* is a list of ``(session, query)``; the returned groups
+    carry ``(index, session, query)`` triples so the executor can map
+    results back to submission order.  Counters: each shared group
+    bumps ``serve_batches`` once and ``serve_batched_queries`` by its
+    rider count.
+    """
+    if enabled is None:
+        enabled = bool(config.get_option("SERVE_BATCH"))
+    indexed = [(i, s, q) for i, (s, q) in enumerate(entries)]
+    if not enabled:
+        return [Group("single", [e]) for e in indexed]
+
+    groups: list[Group] = []
+    bfs_by_graph: dict[str, Group] = {}
+    dedup_by_key: dict[tuple, Group] = {}
+    for entry in indexed:
+        _, session, query = entry
+        if session.is_degraded:
+            # Demoted tenants run alone: no shared submission may
+            # depend on a context that faults or crawls.
+            groups.append(Group("single", [entry]))
+            continue
+        if query.kind == "bfs":
+            g = bfs_by_graph.get(query.graph)
+            if g is None:
+                g = Group("msbfs")
+                bfs_by_graph[query.graph] = g
+                groups.append(g)
+            g.entries.append(entry)
+        else:
+            g = dedup_by_key.get(query.dedup_key)
+            if g is None:
+                g = Group("dedup")
+                dedup_by_key[query.dedup_key] = g
+                groups.append(g)
+            g.entries.append(entry)
+
+    for g in groups:
+        if len(g.entries) < 2:
+            g.mode = "single"
+        else:
+            STATS.bump("serve_batches")
+            STATS.bump("serve_batched_queries", len(g.entries))
+    return groups

@@ -1,0 +1,72 @@
+"""Serving-layer query descriptions (plain data, no GrB objects).
+
+A query names a resident graph and an algorithm over it; results come
+back as plain Python values (dicts/ints/floats).  Keeping GrB objects
+out of the wire format is what lets the batcher run one query's work
+in whatever context wins (the tenant's own, or the service's shared
+batch context) without ever violating the §IV same-context rule
+(`ops/common.py::check_context`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.errors import InvalidValueError
+
+__all__ = ["Query", "QueryResult", "KINDS"]
+
+#: Algorithms the serving layer dispatches.
+KINDS = ("bfs", "pagerank", "triangles")
+
+
+@dataclass(frozen=True)
+class Query:
+    """One client request: *algorithm* over *resident graph*.
+
+    ``source`` is required for ``bfs`` and meaningless otherwise;
+    ``params`` is a canonical (sorted) tuple of extra keyword pairs so
+    two textually different but semantically identical requests compare
+    (and batch) equal.
+    """
+
+    kind: str
+    graph: str
+    source: int | None = None
+    params: tuple = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise InvalidValueError(
+                f"unknown query kind {self.kind!r}; known: {KINDS}"
+            )
+        if self.kind == "bfs" and self.source is None:
+            raise InvalidValueError("bfs query needs a source vertex")
+        if self.kind != "bfs" and self.source is not None:
+            raise InvalidValueError(
+                f"{self.kind} query takes no source vertex"
+            )
+        object.__setattr__(self, "params", tuple(sorted(self.params)))
+
+    @classmethod
+    def make(cls, kind: str, graph: str, source: int | None = None,
+             **params: Any) -> "Query":
+        return cls(kind, graph, source, tuple(params.items()))
+
+    @property
+    def dedup_key(self) -> tuple:
+        """Identity for exact-duplicate coalescing (same answer)."""
+        return (self.kind, self.graph, self.source, self.params)
+
+
+@dataclass
+class QueryResult:
+    """One completed query: the plain-data answer plus serving metadata."""
+
+    query: Query
+    value: Any
+    tenant: str
+    latency_ms: float = 0.0    # execution wall (batch wall when batched)
+    total_ms: float = 0.0      # client-observed wall incl. queue wait
+    batched: bool = False

@@ -1,0 +1,125 @@
+"""The asyncio front door: admission → queue → batch → dispatch.
+
+``GraphServer`` turns the synchronous :class:`~repro.serve.service.
+GraphService` into a concurrent server: ``submit()`` either sheds
+immediately (:class:`~repro.serve.admission.ServiceOverloadError` —
+the bounded-queue guarantee) or parks the query on an asyncio queue.
+A single dispatcher task drains the queue in *windows*, hands each
+window to the batcher, and runs the coalesced groups on a worker
+thread, resolving per-query futures as results land.
+
+The natural batching dynamic: while one window executes, newly
+submitted queries pile up in the queue, so the next window is as wide
+as the load is heavy — batching effort scales with pressure, which is
+exactly when coalescing pays.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from ..engine.stats import STATS
+from .admission import AdmissionController
+from .query import Query, QueryResult
+from .service import GraphService
+from .session import Session
+
+__all__ = ["GraphServer"]
+
+
+class GraphServer:
+    """Asyncio serving loop over a :class:`GraphService`."""
+
+    def __init__(
+        self,
+        service: GraphService,
+        *,
+        max_pending: int = 64,
+        per_tenant: int = 8,
+        batch_window: int = 16,
+    ):
+        self.service = service
+        self.admission = AdmissionController(max_pending, per_tenant)
+        self.batch_window = max(1, int(batch_window))
+        self._queue: asyncio.Queue | None = None
+        self._task: asyncio.Task | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._task is not None:
+            return
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue()
+        self._task = self._loop.create_task(self._dispatch())
+
+    async def stop(self) -> None:
+        if self._task is None:
+            return
+        await self._queue.put(None)
+        await self._task
+        self._task = None
+        self._queue = None
+
+    async def __aenter__(self) -> "GraphServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc: object) -> bool:
+        await self.stop()
+        return False
+
+    # -- client surface -------------------------------------------------------
+
+    async def submit(self, session: Session, query: Query) -> QueryResult:
+        """Admit, enqueue, and await one query.
+
+        Raises :class:`ServiceOverloadError` *immediately* when the
+        bounded queue or the tenant's concurrency cap is exhausted —
+        shed load never waits.
+        """
+        if self._queue is None:
+            raise RuntimeError("GraphServer.submit before start()")
+        self.admission.try_admit(session.tenant)   # raises when shedding
+        STATS.bump("serve_submitted")
+        session.ctx.local_stats().bump("queries_submitted")
+        fut = self._loop.create_future()
+        await self._queue.put((session, query, fut, time.perf_counter()))
+        return await fut
+
+    # -- dispatcher -----------------------------------------------------------
+
+    async def _dispatch(self) -> None:
+        while True:
+            first = await self._queue.get()
+            drained = [first]
+            while len(drained) < self.batch_window:
+                try:
+                    drained.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            window = [item for item in drained if item is not None]
+            stopping = len(window) != len(drained)
+            if window:
+                entries = [(s, q) for s, q, _, _ in window]
+                try:
+                    results = await self._loop.run_in_executor(
+                        None, self.service.execute_window, entries
+                    )
+                except Exception as exc:  # defensive: executor itself died
+                    results = [exc] * len(window)
+                now = time.perf_counter()
+                for (session, query, fut, t0), res in zip(window, results):
+                    self.admission.release(session.tenant)
+                    if fut.done():
+                        continue
+                    if isinstance(res, Exception):
+                        fut.set_exception(res)
+                    else:
+                        res.total_ms = (now - t0) * 1e3
+                        STATS.bump("serve_completed")
+                        fut.set_result(res)
+            if stopping:
+                return

@@ -1,0 +1,253 @@
+"""The graph service: resident graphs + tenant sessions + group runner.
+
+``GraphService`` owns a small context tree::
+
+    svc-root                     (service root, child of top-level)
+    ├── svc-batch                (shared batch context, own fault domain)
+    ├── sess-<tenant-a>          (one child context per session)
+    └── sess-<tenant-b>
+
+Resident graphs are stored as *committed carriers* (immutable — the
+result of forcing the registering matrix), so handing a tenant a view
+is ``Matrix.from_data``: O(1), no copy, and the §IV same-context rule
+is satisfied because every derived object lives in the viewing
+context.  Shared msbfs submissions run in the batch context, whose
+result memo keeps the graph's pattern block warm across windows.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+from ..core.context import Context, Mode
+from ..core.errors import InvalidValueError
+from ..core.matrix import Matrix
+from ..engine.stats import STATS
+from .batch import Group, coalesce
+from .query import Query, QueryResult
+from .session import Session
+
+__all__ = ["GraphService"]
+
+
+class GraphService:
+    """N resident named graphs served to M tenant sessions."""
+
+    def __init__(self, mode: Mode = Mode.NONBLOCKING, name: str = "svc"):
+        self.name = name
+        self.root = Context.new(mode, name=f"{name}-root")
+        self._batch_ctx = Context.new(
+            mode, parent=self.root,
+            exec_spec={"fault_domain": f"{name}:batch"},
+            name=f"{name}-batch",
+        )
+        self._batch_ctx.local_stats()
+        self._lock = threading.Lock()
+        self._graphs: dict[str, Any] = {}      # name -> committed carrier
+        self._batch_views: dict[str, Matrix] = {}
+        self._sessions: dict[str, Session] = {}
+        self._closed = False
+
+    # -- resident graphs ------------------------------------------------------
+
+    def register_graph(self, name: str, matrix: Matrix) -> dict:
+        """Make *matrix*'s committed value resident under *name*.
+
+        Forces the registering sequence and keeps the immutable carrier;
+        later writes to the caller's matrix do not affect the resident
+        value (re-register to publish a new snapshot).
+        """
+        carrier = matrix._capture()
+        with self._lock:
+            self._check_open()
+            self._graphs[name] = carrier
+            self._batch_views.pop(name, None)
+        return {"name": name, "nrows": carrier.nrows,
+                "ncols": carrier.ncols, "nvals": carrier.nvals}
+
+    def graphs(self) -> dict[str, dict]:
+        with self._lock:
+            return {
+                name: {"nrows": c.nrows, "ncols": c.ncols, "nvals": c.nvals}
+                for name, c in self._graphs.items()
+            }
+
+    def graph_view(self, name: str, ctx: Context) -> Matrix:
+        """A zero-copy view of resident graph *name* in *ctx*."""
+        with self._lock:
+            carrier = self._graphs.get(name)
+        if carrier is None:
+            raise InvalidValueError(f"no resident graph named {name!r}")
+        return Matrix.from_data(carrier, ctx)
+
+    def _batch_view(self, name: str) -> Matrix:
+        with self._lock:
+            view = self._batch_views.get(name)
+        if view is None:
+            view = self.graph_view(name, self._batch_ctx)
+            with self._lock:
+                self._batch_views[name] = view
+        return view
+
+    # -- sessions -------------------------------------------------------------
+
+    def open_session(
+        self,
+        tenant: str,
+        *,
+        nthreads: int | None = None,
+        chunk_rows: int | None = None,
+        memo_capacity: int | None = None,
+    ) -> Session:
+        """Bind *tenant* to a fresh child context with its own quota.
+
+        The spec keys are the tenant's §IV resource scope: worker share
+        (``nthreads``), memo quota (``memo_capacity``), and a fault
+        domain equal to the tenant name so targeted chaos stays inside.
+        """
+        spec: dict[str, Any] = {"fault_domain": tenant}
+        if nthreads is not None:
+            spec["nthreads"] = nthreads
+        if chunk_rows is not None:
+            spec["chunk_rows"] = chunk_rows
+        if memo_capacity is not None:
+            spec["memo_capacity"] = memo_capacity
+        with self._lock:
+            self._check_open()
+            if tenant in self._sessions:
+                raise InvalidValueError(
+                    f"tenant {tenant!r} already has an open session"
+                )
+        ctx = Context.new(
+            self.root.mode, parent=self.root, exec_spec=spec,
+            name=f"sess-{tenant}",
+        )
+        session = Session(self, tenant, ctx)
+        with self._lock:
+            self._sessions[tenant] = session
+        return session
+
+    def _forget_session(self, session: Session) -> None:
+        with self._lock:
+            if self._sessions.get(session.tenant) is session:
+                del self._sessions[session.tenant]
+
+    def sessions(self) -> dict[str, Session]:
+        with self._lock:
+            return dict(self._sessions)
+
+    # -- execution ------------------------------------------------------------
+
+    def execute(self, session: Session, query: Query) -> QueryResult:
+        """Run one query alone in the tenant's context (no batching)."""
+        result = session.run(query)
+        STATS.bump("serve_completed")
+        return result
+
+    def execute_window(self, entries: list) -> list:
+        """Run a window of ``(session, query)`` pairs, coalesced.
+
+        Returns one slot per entry, in submission order: a
+        :class:`QueryResult` on success or the ``Exception`` that query
+        raised (per-query failure isolation — one tenant's error never
+        poisons a sibling's slot).
+        """
+        groups = coalesce(entries)
+        results: list = [None] * len(entries)
+        for group in groups:
+            self._run_group(group, results)
+        return results
+
+    def _run_group(self, group: Group, results: list) -> None:
+        if group.mode == "msbfs" and len(group.entries) > 1:
+            if self._run_msbfs(group, results):
+                return
+        elif group.mode == "dedup" and len(group.entries) > 1:
+            if self._run_dedup(group, results):
+                return
+        # Singles — and the serial fallback when a shared submission
+        # failed: every rider re-runs alone in its own context, so a
+        # fault in the shared path degrades to per-query §V semantics.
+        for idx, session, query in group.entries:
+            if results[idx] is not None:
+                continue
+            try:
+                results[idx] = session.run(query)
+            except Exception as exc:
+                results[idx] = exc
+
+    def _run_msbfs(self, group: Group, results: list) -> bool:
+        """One multi-source traversal answering every rider; False to
+        fall back to serial singles."""
+        graph = group.entries[0][2].graph
+        sources = [int(q.source) for _, _, q in group.entries]
+        t0 = time.perf_counter()
+        try:
+            from ..algorithms import msbfs_levels
+
+            view = self._batch_view(graph)
+            levels = msbfs_levels(view, sources)
+            rows, cols, vals = levels.extract_tuples()
+        except Exception:
+            return False
+        per_row: list[dict[int, int]] = [{} for _ in group.entries]
+        for r, c, v in zip(rows, cols, vals):
+            per_row[int(r)][int(c)] = int(v)
+        latency = (time.perf_counter() - t0) * 1e3
+        for (idx, session, query), value in zip(group.entries, per_row):
+            result = QueryResult(
+                query, value, session.tenant,
+                latency_ms=latency, batched=True,
+            )
+            session.record(result)
+            results[idx] = result
+        return True
+
+    def _run_dedup(self, group: Group, results: list) -> bool:
+        """Execute one representative; every rider shares the answer."""
+        idx0, rep_session, rep_query = group.entries[0]
+        t0 = time.perf_counter()
+        try:
+            value = rep_session._dispatch(rep_query)
+        except Exception:
+            return False
+        latency = (time.perf_counter() - t0) * 1e3
+        for idx, session, query in group.entries:
+            result = QueryResult(
+                query, value, session.tenant,
+                latency_ms=latency, batched=True,
+            )
+            session.record(result)
+            results[idx] = result
+        return True
+
+    # -- introspection / teardown ---------------------------------------------
+
+    def tenant_stats(self) -> dict[str, dict]:
+        """Per-tenant rollups (the serving ``engine_stats()`` story)."""
+        out = {
+            tenant: session.stats()
+            for tenant, session in self.sessions().items()
+        }
+        out["<batch>"] = self._batch_ctx.local_stats().snapshot()
+        return out
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InvalidValueError(f"service {self.name!r} is closed")
+
+    def close(self) -> None:
+        """Free every session and the service's context tree."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+            self._graphs.clear()
+            self._batch_views.clear()
+        for session in sessions:
+            session.ctx.free()
+        self.root.free()

@@ -1,0 +1,140 @@
+"""One client's binding to the service: a tenant-scoped child context.
+
+A session owns a child :class:`~repro.core.context.Context` whose
+resource spec carries the tenant's worker share (``nthreads``), memo
+quota (``memo_capacity``), and fault domain (``fault_domain`` =
+tenant name).  Resident graphs are materialized into the session as
+zero-copy *views* (``Matrix.from_data`` over the shared immutable
+carrier), so every derived object, memo entry, and degradation flag is
+tenant-local while the graph bytes are shared — the §IV same-context
+rule holds without duplicating data.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+from ..algorithms import bfs_levels, pagerank, triangle_count
+from ..core.context import Context
+from ..core.errors import InvalidValueError
+from .query import Query, QueryResult
+
+__all__ = ["Session", "percentile"]
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (0.0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    if q <= 0:
+        return sorted_values[0]
+    rank = max(1, min(len(sorted_values),
+                      int(round(q / 100.0 * len(sorted_values) + 0.5))))
+    return sorted_values[rank - 1]
+
+
+class Session:
+    """A tenant's serving handle (created via ``GraphService.open_session``)."""
+
+    def __init__(self, service, tenant: str, ctx: Context):
+        self.service = service
+        self.tenant = tenant
+        self.ctx = ctx
+        self._lock = threading.Lock()
+        self._views: dict[str, Any] = {}
+        self._latencies_ms: list[float] = []
+        self._closed = False
+        # Eager rollup: the scheduler attributes kernel time and reuse
+        # events only to contexts that already carry a ContextStats.
+        ctx.local_stats()
+
+    # -- graph access ---------------------------------------------------------
+
+    def view(self, graph: str):
+        """This session's zero-copy view of a resident graph."""
+        with self._lock:
+            if self._closed:
+                raise InvalidValueError(
+                    f"session {self.tenant!r} is closed"
+                )
+            mat = self._views.get(graph)
+            if mat is None:
+                mat = self.service.graph_view(graph, self.ctx)
+                self._views[graph] = mat
+            return mat
+
+    # -- execution (synchronous; the server wraps this in its loop) -----------
+
+    def run(self, query: Query) -> QueryResult:
+        """Execute one query in this session's own context, timed."""
+        t0 = time.perf_counter()
+        value = self._dispatch(query)
+        latency = (time.perf_counter() - t0) * 1e3
+        result = QueryResult(query, value, self.tenant, latency_ms=latency)
+        self.record(result)
+        return result
+
+    def _dispatch(self, query: Query) -> Any:
+        # Answers are plain Python data (no numpy scalars, no GrB
+        # objects): results must cross context — and process —
+        # boundaries freely.
+        view = self.view(query.graph)
+        params = dict(query.params)
+        if query.kind == "bfs":
+            levels = bfs_levels(view, int(query.source))
+            return {int(k): int(v) for k, v in levels.to_dict().items()}
+        if query.kind == "pagerank":
+            ranks, iters = pagerank(view, **params)
+            return {
+                "ranks": {int(k): float(v)
+                          for k, v in ranks.to_dict().items()},
+                "iterations": int(iters),
+            }
+        if query.kind == "triangles":
+            return int(triangle_count(view))
+        raise InvalidValueError(f"unknown query kind {query.kind!r}")
+
+    def record(self, result: QueryResult) -> None:
+        """Fold one completed query into the tenant's latency record."""
+        stats = self.ctx.local_stats()
+        stats.bump("queries_completed")
+        if result.batched:
+            stats.bump("queries_batched")
+        with self._lock:
+            self._latencies_ms.append(result.latency_ms)
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def is_degraded(self) -> bool:
+        return self.ctx.is_degraded
+
+    def stats(self) -> dict:
+        """Tenant rollup: engine attribution + serving latency percentiles."""
+        snap = self.ctx.local_stats().snapshot()
+        with self._lock:
+            lat = sorted(self._latencies_ms)
+        snap["queries_recorded"] = len(lat)
+        snap["latency_p50_ms"] = percentile(lat, 50.0)
+        snap["latency_p99_ms"] = percentile(lat, 99.0)
+        snap["degraded"] = self.ctx.is_degraded
+        snap["fault_domain"] = self.ctx.fault_domain
+        memo = self.ctx.result_memo(create=False)
+        snap["memo_entries"] = 0 if memo is None else len(memo)
+        return snap
+
+    def close(self) -> None:
+        """Release the tenant context (views, memo, pool die with it)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._views.clear()
+        self.ctx.free()
+        self.service._forget_session(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else "open"
+        return f"Session({self.tenant!r}, {state})"

@@ -21,7 +21,7 @@ bench_gate = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(bench_gate)
 
 
-def _results(mm=0.5, cse=0.8, algo=0.1):
+def _results(mm=0.5, cse=0.8, algo=0.1, serve=0.4, p99=0.5):
     """A full fresh/baseline results dict with the given gated ratios
     (blocking_ms pinned to 100 so ratio == optimized ms / 100)."""
     return {
@@ -36,6 +36,14 @@ def _results(mm=0.5, cse=0.8, algo=0.1):
         "repeated_algorithm": {
             "blocking_ms": 100.0, "nb_warm_ms": algo * 100.0,
             "algo_memo_hits": 10,
+        },
+        "serving": {
+            "blocking_ms": 100.0, "nb_batched_ms": serve * 100.0,
+            "serve_batched_queries": 24,
+        },
+        "serving_p99": {
+            "blocking_ms": 100.0, "nb_batched_ms": p99 * 100.0,
+            "serve_batches": 6,
         },
     }
 
@@ -107,12 +115,20 @@ class TestCliHistory:
         base = tmp_path / "base.json"
         hist = tmp_path / "hist" / "ratios.json"
         base.write_text(json.dumps(_results()))
+        # Hermetic serving inputs so a stray BENCH_serving.json in the
+        # working directory can't leak into the subprocess runs.
+        serving = tmp_path / "serving.json"
+        serving.write_text(json.dumps(
+            {k: _results()[k] for k in ("serving", "serving_p99")}
+        ))
 
         def run(algo):
             fresh.write_text(json.dumps(_results(algo=algo)))
             return subprocess.run(
                 [sys.executable, str(ROOT / "tools" / "bench_gate.py"),
                  "--fresh", str(fresh), "--baseline", str(base),
+                 "--fresh-serving", str(serving),
+                 "--baseline-serving", str(serving),
                  "--tolerance", "10.0",          # per-run gate out of the way
                  "--append-history", str(hist)],
                 capture_output=True, text=True,

@@ -58,6 +58,14 @@ class TestCli:
         assert "3 x 3, nvals=3" in text
         assert "self-loops: 2" in text
 
+    def test_serve(self):
+        code, text = _run(["serve", "--scale", "6", "--tenants", "2",
+                           "--queries", "8"])
+        assert code == 0
+        assert "served 8/8 queries" in text
+        # Per-tenant stat lines from the hierarchical contexts.
+        assert "tenant-0" in text and "tenant-1" in text
+
     def test_parser_rejects_unknown_demo(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["demo", "nonsense"])

@@ -36,6 +36,7 @@ def _run(script: str, *args: str) -> subprocess.CompletedProcess:
         ("distributed_bfs.py", (), "match single-node BFS"),
         ("pythonic_analytics.py", (), "sssp from hub"),
         ("sparse_dnn.py", ("256", "4"), "inference:"),
+        ("serve_demo.py", (), "serve demo: OK"),
     ],
     ids=lambda x: x if isinstance(x, str) and x.endswith(".py") else "",
 )
@@ -58,6 +59,7 @@ def test_example_inventory_complete():
         "triangle_census.py", "bfs_roadmap.py",
         "serialization_pipeline.py", "distributed_bfs.py",
         "pythonic_analytics.py", "sparse_dnn.py",
+        "serve_demo.py",
     }
     assert on_disk == tested, (
         f"untested examples: {on_disk - tested}; stale: {tested - on_disk}"

@@ -479,3 +479,105 @@ class TestModeParityHypothesis:
             return mat_to_dict(c)
 
         assert run(_nb()) == run(_bl())
+
+
+# ---------------------------------------------------------------------------
+# Admission policy (MEMO_ADMISSION): skip stores cheaper than a republish
+# ---------------------------------------------------------------------------
+
+
+class TestMemoAdmission:
+    """Cost-model-driven admission: an *estimated* store whose rebuild
+    savings undercut the measured republish overhead is a strict loss
+    and is skipped.  Direct battery over :mod:`repro.engine.memo`'s
+    overhead EWMA plus the ``store(..., estimated=True)`` gate."""
+
+    U = 2 * 10 ** 9
+
+    @pytest.fixture(autouse=True)
+    def admission_on(self):
+        # Pinned on so the battery holds under the MEMO_ADMISSION=0
+        # ablation job; the knob test flips it off explicitly.
+        with config.option("MEMO_ADMISSION", True):
+            yield
+
+    @staticmethod
+    def _memo(capacity=8):
+        from repro.engine.memo import ResultMemo
+        return ResultMemo(capacity=capacity)
+
+    def test_overhead_ewma_tracks_measured_commits(self):
+        from repro.engine.memo import commit_overhead_ms, record_commit_ms
+        assert commit_overhead_ms() == 0.0  # evidence-gated: starts cold
+        record_commit_ms(2.0)
+        assert commit_overhead_ms() == pytest.approx(2.0)  # first sample
+        record_commit_ms(4.0)  # then EWMA (alpha=0.3)
+        assert commit_overhead_ms() == pytest.approx(2.0 + 0.3 * 2.0)
+
+    def test_stats_reset_clears_the_overhead_average(self):
+        from repro.engine.memo import commit_overhead_ms, record_commit_ms
+        record_commit_ms(5.0)
+        assert commit_overhead_ms() > 0.0
+        STATS.reset()
+        assert commit_overhead_ms() == 0.0
+
+    def test_cheap_estimated_store_skipped_once_overhead_known(self):
+        from repro.engine.memo import record_commit_ms
+        memo = self._memo()
+        record_commit_ms(3.0)
+        before = STATS.snapshot()["memo_admission_skips"]
+        memo.store(("t", 1), "cheap", (self.U + 1,),
+                   cost_ms=0.5, estimated=True)
+        assert memo.lookup(("t", 1)) is None
+        assert STATS.snapshot()["memo_admission_skips"] == before + 1
+        # A store whose savings beat the overhead is admitted.
+        memo.store(("t", 2), "worth-it", (self.U + 2,),
+                   cost_ms=9.0, estimated=True)
+        assert memo.lookup(("t", 2)) == "worth-it"
+
+    def test_nothing_skipped_before_overhead_is_measured(self):
+        memo = self._memo()
+        memo.store(("t", 1), "v", (self.U + 1,),
+                   cost_ms=0.001, estimated=True)
+        assert memo.lookup(("t", 1)) == "v"
+        assert STATS.snapshot()["memo_admission_skips"] == 0
+
+    def test_measured_stores_bypass_the_gate(self):
+        # Algorithm building blocks store *measured* build times
+        # (estimated=False): never gated, however cheap.
+        from repro.engine.memo import record_commit_ms
+        memo = self._memo()
+        record_commit_ms(50.0)
+        memo.store(("t", 1), "measured", (self.U + 1,), cost_ms=0.01)
+        assert memo.lookup(("t", 1)) == "measured"
+
+    def test_zero_cost_estimate_is_always_admitted(self):
+        # cost_ms == 0 means "no estimate", not "free to rebuild".
+        from repro.engine.memo import record_commit_ms
+        memo = self._memo()
+        record_commit_ms(50.0)
+        memo.store(("t", 1), "v", (self.U + 1,), cost_ms=0.0,
+                   estimated=True)
+        assert memo.lookup(("t", 1)) == "v"
+
+    def test_knob_disables_the_gate(self):
+        from repro.engine.memo import record_commit_ms
+        memo = self._memo()
+        record_commit_ms(10.0)
+        with config.option("MEMO_ADMISSION", False):
+            memo.store(("t", 1), "v", (self.U + 1,),
+                       cost_ms=0.5, estimated=True)
+        assert memo.lookup(("t", 1)) == "v"
+        assert STATS.snapshot()["memo_admission_skips"] == 0
+
+    def test_republish_feeds_the_overhead_average(self):
+        # End to end: a real memo hit measures its republish wall and
+        # feeds the admission model.
+        from repro.engine.memo import commit_overhead_ms
+        ctx = _nb()
+        a = _graph(ctx, seed=3)
+        _product(ctx, a)
+        assert commit_overhead_ms() == 0.0
+        _product(ctx, a)  # second forcing republishes from the memo
+        assert STATS.snapshot()["memo_reused"] == 1
+        assert commit_overhead_ms() > 0.0

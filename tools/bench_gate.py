@@ -13,6 +13,15 @@ against the committed baseline ratios in
 * ``dup_subexpression.nb_cse_ms / blocking_ms`` — hash-consing (CSE)
 * ``repeated_algorithm.nb_warm_ms / blocking_ms`` — algo-block memo
 
+``benchmarks/bench_serving.py`` additionally writes
+``BENCH_serving.json`` (throughput and tail latency of the multi-tenant
+serving layer vs naive one-context-per-query serial dispatch); when
+that file is present two more ratios are gated against the committed
+``benchmarks/BENCH_serving.json``:
+
+* ``serving.nb_batched_ms / blocking_ms``     — batched throughput
+* ``serving_p99.nb_batched_ms / blocking_ms`` — p99 latency under load
+
 The gate fails (exit 1) when a fresh ratio regresses more than the
 tolerance (default 25%) over the baseline ratio, or when the workload's
 optimizer counters show the optimization did not fire at all.  Run from
@@ -45,7 +54,13 @@ GATED = (
     ("masked_mxm", "nb_pushed_ms", "masks_pushed"),
     ("dup_subexpression", "nb_cse_ms", "cse_reused"),
     ("repeated_algorithm", "nb_warm_ms", "algo_memo_hits"),
+    ("serving", "nb_batched_ms", "serve_batched_queries"),
+    ("serving_p99", "nb_batched_ms", "serve_batches"),
 )
+
+#: workloads sourced from the serving bench (BENCH_serving.json) rather
+#: than the planner bench — gated only when its results are present
+SERVING_WORKLOADS = ("serving", "serving_p99")
 
 
 def _ratio(results: dict, workload: str, key: str) -> float:
@@ -56,10 +71,11 @@ def _ratio(results: dict, workload: str, key: str) -> float:
     return float(entry[key]) / blocking
 
 
-def check(fresh: dict, baseline: dict, tolerance: float) -> list[str]:
+def check(fresh: dict, baseline: dict, tolerance: float,
+          gated=GATED) -> list[str]:
     """Return a list of human-readable failures (empty = gate passes)."""
     failures = []
-    for workload, key, counter in GATED:
+    for workload, key, counter in gated:
         if workload not in fresh:
             failures.append(f"{workload}: missing from fresh results")
             continue
@@ -88,10 +104,10 @@ def check(fresh: dict, baseline: dict, tolerance: float) -> list[str]:
     return failures
 
 
-def fresh_ratios(fresh: dict) -> dict[str, float]:
+def fresh_ratios(fresh: dict, gated=GATED) -> dict[str, float]:
     """The gated ratios of one benchmark run, keyed ``workload.key``."""
     out = {}
-    for workload, key, _ in GATED:
+    for workload, key, _ in gated:
         if workload in fresh:
             out[f"{workload}.{key}"] = _ratio(fresh, workload, key)
     return out
@@ -149,6 +165,17 @@ def main(argv: list[str] | None = None) -> int:
         help="committed baseline results",
     )
     p.add_argument(
+        "--fresh-serving", type=Path, default=Path("BENCH_serving.json"),
+        help="results from the serving benchmark run under test "
+             "(serving workloads are skipped when the file is absent)",
+    )
+    p.add_argument(
+        "--baseline-serving", type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "benchmarks" / "BENCH_serving.json",
+        help="committed serving baseline results",
+    )
+    p.add_argument(
         "--tolerance", type=float, default=0.25,
         help="allowed relative regression of each ratio (default 0.25)",
     )
@@ -178,16 +205,30 @@ def main(argv: list[str] | None = None) -> int:
         print(f"bench_gate: cannot read baseline: {exc}", file=sys.stderr)
         return 2
 
+    gated = GATED
+    if args.fresh_serving.exists():
+        try:
+            fresh.update(json.loads(args.fresh_serving.read_text()))
+            baseline.update(json.loads(args.baseline_serving.read_text()))
+        except OSError as exc:
+            print(f"bench_gate: cannot read serving results: {exc}",
+                  file=sys.stderr)
+            return 2
+    else:
+        print(f"bench_gate: {args.fresh_serving} absent — "
+              f"serving workloads not gated this run")
+        gated = tuple(g for g in GATED if g[0] not in SERVING_WORKLOADS)
+
     print(f"bench_gate: {args.fresh} vs {args.baseline} "
           f"(tolerance {args.tolerance:.0%})")
-    failures = check(fresh, baseline, args.tolerance)
+    failures = check(fresh, baseline, args.tolerance, gated)
 
     if args.append_history is not None:
         try:
             history = json.loads(args.append_history.read_text())
         except (OSError, ValueError):
             history = {}
-        append_history(history, fresh_ratios(fresh))
+        append_history(history, fresh_ratios(fresh, gated))
         args.append_history.parent.mkdir(parents=True, exist_ok=True)
         args.append_history.write_text(
             json.dumps(history, indent=2, sort_keys=True) + "\n"

@@ -81,6 +81,7 @@ The spec rows that are *behaviour*, not symbols, and where each lives:
 | §V persistent faults | exhaust the ladder, then defer like any execution error | scheduler/parallel/cluster degradation: `Context.is_degraded`, serial mxm fallback, `Cluster.run_resilient` |
 | §V fault observability | error handling must be testable deterministically | `faults/plane.py` seeded site injection (incl. `planner.*` pass-boundary sites) + `Context.engine_stats()` fault counters |
 | §V optimization transparency on failure | an optimized chain that fails re-runs unoptimized with exact deferred-error state | `engine/scheduler.py::_run_deoptimized_fallback` (unfuse, strip pushed masks, recompute filtered producers clean) |
+| §IV multi-tenant serving on hierarchical contexts | N resident graphs served to sessions on child contexts, each with its own worker share, memo quota, and fault domain | `serve/` (`GraphService`/`Session` zero-copy per-tenant views, `AdmissionController` typed `GrB_INSUFFICIENT_SPACE` load shedding, `batch.py` msbfs/dedup window coalescing, `server.py` asyncio front door); per-tenant rollups in `engine/stats.py::ContextStats`, domain-scoped chaos in `faults/plane.py` |
 """
 
 
