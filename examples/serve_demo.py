@@ -13,13 +13,18 @@ translates ``GET /query?...`` into submissions on the
   multi-source (msbfs) submission through a single planner pass;
 * overload is shed with HTTP 503 carrying the §V-typed
   ``GrB_INSUFFICIENT_SPACE`` rejection instead of queueing forever;
-* per-tenant stats come back from the hierarchical contexts.
+* per-tenant stats come back from the hierarchical contexts;
+* on shutdown the service checkpoints to disk (§VII blobs + journal)
+  and a fresh process-worth of state is rebuilt via
+  ``GraphService.restore`` — warm restart with answer parity.
 
 Run:  python examples/serve_demo.py
 """
 
 import asyncio
 import json
+import shutil
+import tempfile
 import urllib.parse
 
 import numpy as np
@@ -130,7 +135,8 @@ async def http_get(port: int, path: str) -> tuple[int, dict]:
 async def main() -> None:
     grb.init(grb.Mode.NONBLOCKING)
     n, graph = build_graph()
-    service = GraphService()
+    ckpt_dir = tempfile.mkdtemp(prefix="serve-ckpt-")
+    service = GraphService(checkpoint_dir=ckpt_dir)
     meta = service.register_graph("demo", graph)
     print(f"resident graph: {meta['nrows']} vertices, {meta['nvals']} edges")
     sessions = {}
@@ -177,6 +183,19 @@ async def main() -> None:
         print(f"overload: {len(shed)} queries shed with "
               f"GrB_INSUFFICIENT_SPACE (transient; client may retry)")
 
+        # Deadlines: an impossible per-query budget expires while the
+        # query is queued and surfaces the transient GrB_TIMEOUT.
+        from repro.core.errors import TimeoutExpiredError
+
+        t1 = sessions["t1"]
+        try:
+            await server.submit(
+                t1, Query.make("pagerank", "demo", deadline_ms=0.01)
+            )
+            raise AssertionError("deadline did not fire")
+        except TimeoutExpiredError as exc:
+            print(f"deadline: {exc.info.name} (transient={exc.transient})")
+
         http.close()
         await http.wait_closed()
 
@@ -185,7 +204,21 @@ async def main() -> None:
         print(f"  {tenant:<8} completed={snap.get('queries_completed', 0)} "
               f"batched={snap.get('queries_batched', 0)} "
               f"p99={snap.get('latency_p99_ms', 0.0):.1f} ms")
+
+    # Durability: checkpoint the live service, then rebuild a "new
+    # process" from the directory and check it serves the same answers.
+    manifest = service.checkpoint()
+    print(f"checkpoint gen {manifest['gen']}: "
+          f"{len(manifest['graphs'])} graphs, "
+          f"{len(manifest['blocks'])} warm blocks -> {ckpt_dir}")
     service.close()
+    restored = GraphService.restore(ckpt_dir)
+    s = restored.open_session("t-restore", nthreads=2)
+    warm = s.run(Query.make("bfs", "demo", source=3)).value
+    assert {str(k): int(v) for k, v in warm.items()} == oracle
+    print("restored service answers match the pre-restart oracle")
+    restored.close()
+    shutil.rmtree(ckpt_dir, ignore_errors=True)
     grb.finalize()
     print("serve demo: OK")
 

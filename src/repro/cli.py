@@ -93,6 +93,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="concurrent tenant sessions (default 3)")
     serve.add_argument("--queries", type=int, default=24,
                        help="total queries in the scripted load (default 24)")
+    serve.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="per-query deadline; expired queries fail with the "
+             "transient GrB_TIMEOUT (default: QUERY_DEADLINE_MS knob)",
+    )
+    serve.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="durability plane: warm-restart from DIR when it holds a "
+             "checkpoint, journal mutations to it while serving, and "
+             "write a fresh checkpoint on shutdown",
+    )
     return p
 
 
@@ -216,18 +227,33 @@ def _cmd_selftest(out) -> int:
     return 0
 
 
-def _cmd_serve(scale: int, seed: int, tenants: int, queries: int, out) -> int:
+def _cmd_serve(
+    scale: int,
+    seed: int,
+    tenants: int,
+    queries: int,
+    out,
+    *,
+    deadline_ms: float | None = None,
+    checkpoint_dir: str | None = None,
+) -> int:
     import asyncio
 
     from repro.core import types as T
     from repro.generators import rmat, to_matrix
-    from repro.serve import GraphServer, GraphService, Query
+    from repro.serve import CheckpointStore, GraphServer, GraphService, Query
 
-    n, rows, cols, _ = rmat(scale, 8, seed=seed)
-    graph = to_matrix(n, rows, cols, np.ones(len(rows)), T.FP64,
-                      make_undirected=True, no_self_loops=True)
-    service = GraphService()
-    meta = service.register_graph("demo", graph)
+    if checkpoint_dir and CheckpointStore(checkpoint_dir).has_state():
+        service = GraphService.restore(checkpoint_dir)
+        meta = service.graphs()["demo"]
+        out.write(f"warm restart from {checkpoint_dir}\n")
+    else:
+        n_, rows, cols, _ = rmat(scale, 8, seed=seed)
+        graph = to_matrix(n_, rows, cols, np.ones(len(rows)), T.FP64,
+                          make_undirected=True, no_self_loops=True)
+        service = GraphService(checkpoint_dir=checkpoint_dir)
+        meta = service.register_graph("demo", graph)
+    n = meta["nrows"]
     out.write(f"serving graph 'demo': {meta['nrows']} vertices, "
               f"{meta['nvals']} edges\n")
     sessions = [
@@ -243,7 +269,9 @@ def _cmd_serve(scale: int, seed: int, tenants: int, queries: int, out) -> int:
         return Query.make("bfs", "demo", (i * 37) % n)
 
     async def run_load() -> list:
-        async with GraphServer(service, batch_window=8) as server:
+        async with GraphServer(
+            service, batch_window=8, deadline_ms=deadline_ms
+        ) as server:
             jobs = [
                 server.submit(sessions[i % len(sessions)], plan(i))
                 for i in range(max(1, queries))
@@ -271,6 +299,14 @@ def _cmd_serve(scale: int, seed: int, tenants: int, queries: int, out) -> int:
             f"memo={snap.get('memo_entries', 0)} "
             f"degraded={snap.get('degraded', False)}\n"
         )
+    if checkpoint_dir:
+        manifest = service.checkpoint()
+        if manifest is not None:
+            out.write(
+                f"checkpoint gen {manifest['gen']} -> "
+                f"{checkpoint_dir} ({len(manifest['graphs'])} graphs, "
+                f"{len(manifest.get('blocks', []))} warm blocks)\n"
+            )
     service.close()
     return 0 if ok == len(results) else 1
 
@@ -305,7 +341,9 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             return _cmd_selftest(out)
         if args.command == "serve":
             return _cmd_serve(
-                args.scale, args.seed, args.tenants, args.queries, out
+                args.scale, args.seed, args.tenants, args.queries, out,
+                deadline_ms=args.deadline_ms,
+                checkpoint_dir=args.checkpoint_dir,
             )
         return 2  # pragma: no cover - argparse enforces choices
     finally:

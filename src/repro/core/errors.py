@@ -40,6 +40,7 @@ __all__ = [
     "InvalidObjectError",
     "IndexOutOfBoundsError",
     "EmptyObjectError",
+    "TimeoutExpiredError",
     "DuplicateIndexError",
     "NoValue",
     "api_error_for",
@@ -138,6 +139,24 @@ class EmptyObjectError(ExecutionError):
     info = Info.EMPTY_OBJECT
 
 
+class TimeoutExpiredError(ExecutionError):
+    """A query's deadline expired or the client abandoned it (GrB_TIMEOUT).
+
+    Transient in the §V sense *to the caller*: re-invocation with a fresh
+    deadline may succeed.  The internal retry ladder must never retry it
+    — the deadline that expired stays expired — so ``faults/retry.py``
+    special-cases this type.  Cancellation is cooperative: the raise
+    happens at a kernel or pass boundary, before the transactional commit
+    gate, so outputs keep their last-committed value.
+    """
+
+    info = Info.TIMEOUT
+
+    def __init__(self, message: str = "", info: Info | None = None):
+        super().__init__(message, info)
+        self.transient = True
+
+
 class DuplicateIndexError(ExecutionError):
     """Duplicate (i, j) supplied to ``build`` with a NULL ``dup``.
 
@@ -178,6 +197,7 @@ _EXEC_BY_INFO = {
     Info.INVALID_OBJECT: InvalidObjectError,
     Info.INDEX_OUT_OF_BOUNDS: IndexOutOfBoundsError,
     Info.EMPTY_OBJECT: EmptyObjectError,
+    Info.TIMEOUT: TimeoutExpiredError,
     # INVALID_VALUE doubles as an execution-error code in §IX: build
     # with a NULL ``dup`` reports duplicates as a (deferrable)
     # DuplicateIndexError carrying GrB_INVALID_VALUE.

@@ -54,6 +54,12 @@ class Info(enum.IntEnum):
     INVALID_OBJECT = 104
     INDEX_OUT_OF_BOUNDS = 105
     EMPTY_OBJECT = 106
+    #: Implementation extension (serving layer): a query's deadline
+    #: expired or the client abandoned it mid-execution.  Modeled on the
+    #: §V *transient* execution errors — re-invocation (with a fresh
+    #: deadline) may succeed — and deliberately given a value above the
+    #: spec-pinned range so future spec codes cannot collide.
+    TIMEOUT = 107
 
 
 #: API errors are never deferred and never modify program data.
@@ -80,6 +86,7 @@ EXECUTION_ERRORS = frozenset(
         Info.INVALID_OBJECT,
         Info.INDEX_OUT_OF_BOUNDS,
         Info.EMPTY_OBJECT,
+        Info.TIMEOUT,
     }
 )
 

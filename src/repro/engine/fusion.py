@@ -34,6 +34,7 @@ from __future__ import annotations
 import time
 
 from ..faults.plane import armed, maybe_inject
+from . import cancel
 from .dag import GRAPH_LOCK, PENDING, Node, Source
 from .stats import STATS
 
@@ -207,6 +208,10 @@ def plan_subgraph(nodes: list) -> None:
     ir = PlanIR.initial(nodes)
     with GRAPH_LOCK:
         for name, pass_fn in _passes():
+            # Pass boundary = cancellation boundary.  Deliberately
+            # outside the try below: a tripped deadline must propagate,
+            # not be absorbed as a planner-pass failure.
+            cancel.checkpoint(f"planner.{name}")
             t0 = time.perf_counter()
             fusions_before = len(ir.fusions)
             try:

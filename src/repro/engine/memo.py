@@ -259,6 +259,16 @@ class ResultMemo:
         half_life = float(max(1, self.capacity))
         return max(cost_ms, 1e-9) * 0.5 ** (age / half_life)
 
+    def entries(self) -> list[tuple[tuple, Any, float]]:
+        """Point-in-time ``(key, carrier, cost_ms)`` snapshot.
+
+        The durability plane walks this to persist warm algorithm
+        blocks at checkpoint time; carriers are committed (immutable)
+        so sharing the references outside the lock is safe.
+        """
+        with self._lock:
+            return [(k, e[0], e[3]) for k, e in self._entries.items()]
+
     def invalidate(self, uid: int) -> int:
         """Drop every entry depending on handle *uid*; returns count."""
         with self._lock:

@@ -64,6 +64,7 @@ from .ir import PlanIR
 __all__ = [
     "run", "estimate_nnz", "calibrated_rates", "entry_savings_ms",
     "record_plan_overhead", "partition_count", "record_partition_sample",
+    "export_calibration", "seed_calibration",
 ]
 
 #: Static per-element rates (ms) used until calibration has data:
@@ -89,18 +90,47 @@ _estimated_elems = {"product": 0.0, "stage": 0.0}
 _plan_overhead = {"ms": 0.0, "chains": 0}
 #: Per-context SpGEMM split telemetry: ctx key -> {nblocks: [elems, s]}.
 _partition_samples: dict = {}
+#: Warm-restart priors (checkpoint rehydration): measured rates from a
+#: previous process image, used instead of the static ``_BASE_*``
+#: defaults until *this* process has its own measurements.
+_seeded_rates: dict = {}
 
 
 def _reset_calibration() -> None:
     """Stats epoch rolled over (``STATS.reset``): drop the estimate
     accumulators so the ratio against the freshly-zeroed kernel times
-    stays consistent, along with the bookkeeping/split telemetry."""
+    stays consistent, along with the bookkeeping/split telemetry and
+    any warm-restart priors."""
     with _cal_lock:
         _estimated_elems["product"] = 0.0
         _estimated_elems["stage"] = 0.0
         _plan_overhead["ms"] = 0.0
         _plan_overhead["chains"] = 0
         _partition_samples.clear()
+        _seeded_rates.clear()
+
+
+def export_calibration() -> dict:
+    """The current calibrated rates, as a checkpoint-manifest payload."""
+    product_ms, stage_ms = calibrated_rates()
+    return {"product_ms": product_ms, "stage_ms": stage_ms}
+
+
+def seed_calibration(rates: dict) -> None:
+    """Install measured rates from a checkpoint as warm priors.
+
+    Seeded rates replace the static defaults in
+    :func:`calibrated_rates` until live measurements exist; a stats
+    reset clears them (a new epoch starts genuinely cold).
+    """
+    with _cal_lock:
+        for bucket in ("product_ms", "stage_ms"):
+            try:
+                value = float(rates.get(bucket, 0.0))
+            except (TypeError, ValueError):
+                continue
+            if value > 0.0:
+                _seeded_rates[bucket] = value
 
 
 register_reset_hook(_reset_calibration)
@@ -196,8 +226,9 @@ def calibrated_rates() -> tuple[float, float]:
     snap = STATS.snapshot()
     with _cal_lock:
         est = dict(_estimated_elems)
-    product_ms = _BASE_PRODUCT_MS
-    stage_ms = _BASE_STAGE_MS
+        seeded = dict(_seeded_rates)
+    product_ms = seeded.get("product_ms", _BASE_PRODUCT_MS)
+    stage_ms = seeded.get("stage_ms", _BASE_STAGE_MS)
     spgemm_ms = sum(
         snap["kernel_time"].get(k, 0.0) * 1e3
         for k in ("mxm", "mxv", "vxm")

@@ -35,6 +35,7 @@ from ..faults.retry import with_retry
 from ..internals.applyselect import run_stages
 from ..internals.containers import VecData
 from ..internals.maskaccum import mat_mask_keys, vec_mask_keys
+from . import cancel
 from .dag import DONE, ELIDED, FAILED, PENDING, Node
 from .stats import STATS
 from .txn import commit as _txn_commit
@@ -84,9 +85,14 @@ def force(tail: Node):
             from .fusion import plan_subgraph
 
             t0 = time.perf_counter()
-            executed = _collect(tail)
-            plan_subgraph(executed)
-            _execute(executed)
+            # Republish the caller's cancel token process-wide so kernel
+            # boundaries reached on pool worker threads observe it too
+            # (safe: _EXEC_LOCK serializes forcings).
+            with cancel.forcing_scope():
+                cancel.checkpoint(f"force:{tail.label}")
+                executed = _collect(tail)
+                plan_subgraph(executed)
+                _execute(executed)
             STATS.span(
                 f"force:{tail.label}", "force", t0,
                 time.perf_counter() - t0, {"nodes": len(executed)},
@@ -306,8 +312,13 @@ def _resolve_prev(node: Node):
 
 
 def _run_node(node: Node) -> None:
-    """Execute one node.  Never raises: failures are recorded on the
-    node (and the owner's error string, per §V) for ``force`` to surface."""
+    """Execute one node.  Failures are recorded on the node (and the
+    owner's error string, per §V) for ``force`` to surface — the single
+    exception is cooperative cancellation: a tripped deadline checkpoint
+    raises ``GrB_TIMEOUT`` *before* any kernel or commit runs, so the
+    node stays PENDING (deferred) and every carrier keeps its
+    last-committed value."""
+    cancel.checkpoint(node.label)
     for dep in node.dep_nodes():
         if dep.state == FAILED:
             node.state = FAILED

@@ -182,6 +182,19 @@ _COUNTERS = (
     "serve_rejected",
     "serve_batches",
     "serve_batched_queries",
+    "serve_timeouts",
+    "serve_shutdown_rejected",
+    "cancel_stops",
+    "breaker_open_rejected",
+    "breaker_trips",
+    "breaker_probes",
+    "breaker_recoveries",
+    "journal_appends",
+    "journal_replayed",
+    "checkpoints_written",
+    "restores",
+    "restored_graphs",
+    "restored_blocks",
     "spans_dropped",
 )
 
@@ -197,6 +210,8 @@ CTX_COUNTERS = (
     "queries_completed",
     "queries_rejected",
     "queries_batched",
+    "queries_failed",
+    "queries_timeout",
 )
 
 #: Trace-span buffer bound; past it spans are counted in

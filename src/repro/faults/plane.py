@@ -78,6 +78,7 @@ __all__ = [
     "FaultSpec",
     "FaultPlane",
     "PLANE",
+    "SimulatedCrash",
     "is_transient",
     "maybe_inject",
     "should_drop",
@@ -86,6 +87,22 @@ __all__ = [
     "enable_chaos",
     "configure_from_env",
 ]
+
+
+class SimulatedCrash(BaseException):
+    """A crash-kill fault: the process "dies" at this site.
+
+    Deliberately a :class:`BaseException` so that no resilience envelope
+    — retry loops, deoptimized fallbacks, per-entry ``except Exception``
+    recovery in the serving layer — can absorb it.  It propagates to the
+    recovery harness the way SIGKILL propagates to an init system: the
+    only valid response is to discard the in-memory state and
+    ``GraphService.restore()`` from the checkpoint + journal.
+    """
+
+    def __init__(self, site: str = "", message: str = ""):
+        super().__init__(message or f"simulated crash-kill at {site!r}")
+        self.site = site
 
 #: Error classes the resilience machinery treats as *transient* by
 #: default — plausibly induced by resource pressure that may clear on a
@@ -116,15 +133,16 @@ class FaultSpec:
     site: str                      # fnmatch pattern over site names
     rate: float = 1.0              # injection probability per visit
     error: type[ExecutionError] = OutOfMemoryError   # for kind="error"
-    kind: str = "error"            # "error" | "slow" | "drop"
+    kind: str = "error"            # "error" | "slow" | "drop" | "crash"
     transient: bool = False        # retryable (recovers on re-execution)?
     max_hits: int | None = None    # stop firing after this many injections
     delay: float = 0.002           # sleep duration for kind="slow"
     where: dict = field(default_factory=dict)   # fire() kwargs that must match
+    skip: int = 0                  # let this many matching visits pass first
     hits: int = 0                  # injections so far (owned by the plane)
 
     def __post_init__(self) -> None:
-        if self.kind not in ("error", "slow", "drop"):
+        if self.kind not in ("error", "slow", "drop", "crash"):
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if not 0.0 <= self.rate <= 1.0:
             raise ValueError(f"rate must be in [0, 1], got {self.rate}")
@@ -257,6 +275,13 @@ class FaultPlane:
                     continue
                 if not self._decide(spec, site, visit):
                     continue
+                if spec.skip > 0:
+                    # Kill-at-every-boundary harness: let the first
+                    # ``skip`` matching visits pass, then fire.  Each
+                    # harness iteration bumps ``skip`` by one to walk the
+                    # crash point across every boundary of the workload.
+                    spec.skip -= 1
+                    continue
                 spec.hits += 1
                 self.injected[site] = self.injected.get(site, 0) + 1
                 domain = ctx.get("domain")
@@ -272,6 +297,8 @@ class FaultPlane:
         if todo is None:
             return None
         STATS.bump("faults_injected")
+        if todo.kind == "crash":
+            raise SimulatedCrash(site)
         if todo.kind == "slow":
             time.sleep(todo.delay)
             return None

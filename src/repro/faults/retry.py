@@ -25,7 +25,7 @@ from __future__ import annotations
 import time
 from typing import Callable, TypeVar
 
-from ..core.errors import ExecutionError
+from ..core.errors import ExecutionError, TimeoutExpiredError
 from ..engine.stats import STATS
 from ..internals import config
 from .plane import armed, is_transient
@@ -44,6 +44,12 @@ def with_retry(fn: Callable[[], T], label: str = "") -> T:
         try:
             with armed():
                 result = fn()
+        except TimeoutExpiredError:
+            # Transient *to the caller* (a fresh deadline may succeed),
+            # but never retried internally: the deadline that expired
+            # stays expired, and every backoff sleep would burn wall
+            # clock the cancelled query no longer has.
+            raise
         except ExecutionError as exc:
             if not is_transient(exc):
                 raise

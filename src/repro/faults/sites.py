@@ -35,6 +35,15 @@ SITES: dict[str, tuple[str, str]] = {
     "scheduler.worker": ("engine", "pool worker node failure (engine/scheduler)"),
     "scheduler.slow": ("engine", "straggling pool worker (kind='slow')"),
     "parallel.worker": ("engine", "row-block worker (internals/parallel)"),
+    # -- durability plane (serve/recovery.py) -------------------------------
+    # Crash-kill schedules (kind="crash") target these plus any of the
+    # kernel/planner/engine boundaries above: a SimulatedCrash at the
+    # site hard-terminates the service mid-operation, and the recovery
+    # harness then proves restore() parity against an uncrashed oracle.
+    "journal.append": ("durability", "WAL record framed + written (serve/recovery)"),
+    "journal.commit": ("durability", "WAL record flushed/fsynced — the ack point"),
+    "checkpoint.write": ("durability", "snapshot blob/manifest write (serve/recovery)"),
+    "restore.replay": ("durability", "journal record replay during restore"),
     # -- distributed (distributed/comm.py) ----------------------------------
     "comm.send": ("comm", "point-to-point send"),
     "comm.recv": ("comm", "point-to-point receive"),

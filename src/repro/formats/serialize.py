@@ -46,6 +46,9 @@ __all__ = [
     "vector_serialize_size",
     "vector_serialize",
     "vector_deserialize",
+    "carrier_serialize",
+    "carrier_deserialize",
+    "blob_digest",
 ]
 
 _MAGIC = b"RGRB"
@@ -131,7 +134,10 @@ def _header_int(header: dict, key: str, lo: int = 0) -> int:
 # ---------------------------------------------------------------------------
 
 def _matrix_blob(A: Matrix) -> bytes:
-    d: MatData = A._capture()
+    return _mat_data_blob(A._capture())
+
+
+def _mat_data_blob(d: MatData) -> bytes:
     vals, flags = _encode_values(d.type, d.values)
     header = {
         "type": d.type.name,
@@ -174,6 +180,10 @@ def matrix_serialize(A: Matrix, buf: bytearray | None = None) -> bytes:
 
 def matrix_deserialize(data: bytes, ctx: Context | None = None) -> Matrix:
     """``GrB_Matrix_deserialize`` — reconstruct a matrix from a blob."""
+    return Matrix.from_data(_mat_data_from(data), ctx)
+
+
+def _mat_data_from(data: bytes) -> MatData:
     header, body, flags = _unpack(data, _KIND_MATRIX)
     t = _resolve_type(header)
     nrows = _header_int(header, "nrows")
@@ -194,7 +204,7 @@ def matrix_deserialize(data: bytes, ctx: Context | None = None) -> Matrix:
         data_.check()
     except AssertionError as exc:
         raise InvalidObjectError(f"deserialized matrix invalid: {exc}") from None
-    return Matrix.from_data(data_, ctx)
+    return data_
 
 
 # ---------------------------------------------------------------------------
@@ -202,7 +212,10 @@ def matrix_deserialize(data: bytes, ctx: Context | None = None) -> Matrix:
 # ---------------------------------------------------------------------------
 
 def _vector_blob(u: Vector) -> bytes:
-    d: VecData = u._capture()
+    return _vec_data_blob(u._capture())
+
+
+def _vec_data_blob(d: VecData) -> bytes:
     if d.type.is_udt:
         raise InvalidObjectError(
             "user-defined types serialize only within one process image"
@@ -238,6 +251,10 @@ def vector_serialize(u: Vector, buf: bytearray | None = None) -> bytes:
 
 def vector_deserialize(data: bytes, ctx: Context | None = None) -> Vector:
     """``GrB_Vector_deserialize``."""
+    return Vector.from_data(_vec_data_from(data), ctx)
+
+
+def _vec_data_from(data: bytes) -> VecData:
     header, body, flags = _unpack(data, _KIND_VECTOR)
     t = _resolve_type(header)
     size = _header_int(header, "size")
@@ -252,4 +269,40 @@ def vector_deserialize(data: bytes, ctx: Context | None = None) -> Vector:
         data_.check()
     except AssertionError as exc:
         raise InvalidObjectError(f"deserialized vector invalid: {exc}") from None
-    return Vector.from_data(data_, ctx)
+    return data_
+
+
+# ---------------------------------------------------------------------------
+# Carriers (the durability plane's handle-free entry points)
+# ---------------------------------------------------------------------------
+
+def carrier_serialize(d: MatData | VecData) -> bytes:
+    """Serialize a committed carrier directly (no handle, no context).
+
+    Same opaque §VII stream as :func:`matrix_serialize` /
+    :func:`vector_serialize` — a checkpoint blob of a resident graph is
+    byte-identical to serializing a handle wrapping the same carrier.
+    """
+    if isinstance(d, MatData):
+        return _mat_data_blob(d)
+    if isinstance(d, VecData):
+        return _vec_data_blob(d)
+    raise InvalidObjectError(
+        f"cannot serialize carrier of type {type(d).__name__}"
+    )
+
+
+def carrier_deserialize(data: bytes) -> MatData | VecData:
+    """Reconstruct a carrier from a §VII stream (kind self-identified)."""
+    if len(data) >= _PREFIX.size:
+        kind = _PREFIX.unpack_from(data, 0)[2]
+        if kind == _KIND_VECTOR:
+            return _vec_data_from(data)
+    return _mat_data_from(data)
+
+
+def blob_digest(blob: bytes) -> str:
+    """Content digest of a serialized blob (checkpoint store keys)."""
+    import hashlib
+
+    return hashlib.blake2b(blob, digest_size=16).hexdigest()

@@ -68,6 +68,30 @@ Resilience knobs (the fault plane's retry/degradation policy,
 * ``DEGRADE_WORKER_FAULTS`` — worker faults a Context absorbs before
   degrading its parallel paths to serial execution.
 
+Durability & recovery knobs (:mod:`repro.serve.recovery`,
+:mod:`repro.serve.health`):
+
+* ``CHECKPOINT_DIR`` — when non-empty, every ``GraphService`` attaches
+  a checkpoint + write-ahead-journal store rooted here; empty (the
+  default) means durability is off unless a directory is passed
+  explicitly.  Env: ``REPRO_CHECKPOINT_DIR``.
+* ``JOURNAL_FSYNC`` — fsync every journal record before acknowledging
+  the write (the zero-lost-acknowledged-mutations guarantee extends to
+  OS crashes, not just process kills).  Disable for throughput when a
+  torn tail on power loss is acceptable — replay already truncates at
+  the first corrupt record.  Env: ``REPRO_JOURNAL_FSYNC``.
+* ``QUERY_DEADLINE_MS`` — default per-query deadline applied by the
+  serving layer when a ``Query`` carries none; ``0`` (default) means
+  unbounded.  A query past its deadline stops at the next kernel or
+  planner-pass boundary with a transient ``GrB_TIMEOUT``.  Env:
+  ``REPRO_QUERY_DEADLINE_MS``.
+* ``BREAKER_THRESHOLD`` — consecutive per-tenant query failures (or
+  timeouts) that trip that tenant's circuit breaker; ``0`` disables
+  breakers.  Env: ``REPRO_BREAKER_THRESHOLD``.
+* ``BREAKER_COOLDOWN`` — seconds an open breaker sheds load before
+  half-opening to admit one probe query.  Env:
+  ``REPRO_BREAKER_COOLDOWN``.
+
 All default on; flip via :func:`set_option` (thread-safe enough for
 benchmarks: reads are plain attribute loads).  Values are coerced to
 the type of the option's default.
@@ -96,6 +120,17 @@ def _env_str(name: str, default: str, allowed: tuple[str, ...]) -> str:
     return raw if raw in allowed else default
 
 
+def _env_num(name: str, default):
+    """Resolve a numeric knob from the environment (bad value → default)."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return type(default)(raw)
+    except ValueError:
+        return default
+
+
 # Every engine knob reads its own environment variable at import so the
 # CI ablation matrix (and ad-hoc `ENGINE_CSE=0 pytest` runs) can flip a
 # single optimization off without touching code.
@@ -117,6 +152,11 @@ RETRY_MAX: int = 3
 RETRY_BASE_DELAY: float = 0.002
 COMM_TIMEOUT: float = 10.0
 DEGRADE_WORKER_FAULTS: int = 2
+CHECKPOINT_DIR: str = os.environ.get("REPRO_CHECKPOINT_DIR", "")
+JOURNAL_FSYNC: bool = _env_flag(("REPRO_JOURNAL_FSYNC", "JOURNAL_FSYNC"), True)
+QUERY_DEADLINE_MS: float = _env_num("REPRO_QUERY_DEADLINE_MS", 0.0)
+BREAKER_THRESHOLD: int = _env_num("REPRO_BREAKER_THRESHOLD", 5)
+BREAKER_COOLDOWN: float = _env_num("REPRO_BREAKER_COOLDOWN", 1.0)
 
 _DEFAULTS = {
     "MASK_PUSHDOWN": True,
@@ -137,6 +177,11 @@ _DEFAULTS = {
     "RETRY_BASE_DELAY": 0.002,
     "COMM_TIMEOUT": 10.0,
     "DEGRADE_WORKER_FAULTS": 2,
+    "CHECKPOINT_DIR": CHECKPOINT_DIR,
+    "JOURNAL_FSYNC": JOURNAL_FSYNC,
+    "QUERY_DEADLINE_MS": QUERY_DEADLINE_MS,
+    "BREAKER_THRESHOLD": BREAKER_THRESHOLD,
+    "BREAKER_COOLDOWN": BREAKER_COOLDOWN,
 }
 _KNOWN = tuple(_DEFAULTS)
 

@@ -18,6 +18,14 @@ context hierarchy was designed to carry:
   analytics into one shared execution — so one planner pass serves
   many clients (the Julia nonblocking-GraphBLAS motivation).
 
+* :mod:`~repro.serve.recovery` is the durability plane — §VII
+  serialize streams as checkpoint blobs plus a write-ahead journal of
+  acknowledged mutations; ``GraphService.restore`` replays
+  journal-over-snapshot with zero lost acknowledged writes.
+* :mod:`~repro.serve.health` closes the resilience loop with
+  per-tenant circuit breakers: trip on failure streaks, shed typed and
+  transient, half-open with a probe, restore the context on recovery.
+
 Isolation story: graph carriers are immutable, so per-tenant views
 (``Matrix.from_data``) share the bytes while every derived object,
 memo entry, worker pool, and degradation flag lives in the tenant's
@@ -27,14 +35,21 @@ execution; its siblings keep their threads, caches, and results.
 
 from .admission import AdmissionController, ServiceOverloadError
 from .batch import coalesce
+from .health import CircuitBreaker, HealthMonitor, TenantBreakerOpenError
 from .query import Query, QueryResult
-from .server import GraphServer
+from .recovery import CheckpointStore
+from .server import GraphServer, ServiceShutdownError
 from .service import GraphService
 from .session import Session
 
 __all__ = [
     "AdmissionController",
     "ServiceOverloadError",
+    "ServiceShutdownError",
+    "TenantBreakerOpenError",
+    "CircuitBreaker",
+    "HealthMonitor",
+    "CheckpointStore",
     "coalesce",
     "Query",
     "QueryResult",

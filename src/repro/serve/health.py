@@ -1,0 +1,209 @@
+"""Per-tenant health scoring and circuit breakers.
+
+The resilience layer's only per-tenant response used to be one-way:
+enough worker faults and a context serially demotes, forever.  This
+module closes the loop with the classic breaker lifecycle:
+
+* **closed** — queries flow; consecutive execution failures (including
+  deadline timeouts) are counted from the per-context rollups that
+  :mod:`repro.engine.stats` already keeps.
+* **open** — ``BREAKER_THRESHOLD`` consecutive failures trip the
+  breaker; the tenant's queries are shed *immediately* at the front
+  door with a typed, transient :class:`TenantBreakerOpenError` (the
+  §V ``GrB_INSUFFICIENT_SPACE`` contract: retry later may succeed) —
+  no kernel time is spent on a tenant whose work keeps dying.
+* **half-open** — after ``BREAKER_COOLDOWN`` seconds exactly one probe
+  query is admitted.  Success closes the breaker *and* restores the
+  tenant's context (:meth:`Context.restore` — undoing any serial
+  demotion the failure streak caused); failure re-opens it for another
+  cooldown.
+
+Only execution outcomes move a breaker: admission sheds and shutdown
+rejections say nothing about the tenant's workload health.  A breaker
+never touches another tenant — hierarchical contexts already isolate
+resources; this isolates *failure response*.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from ..core.errors import InsufficientSpaceError
+from ..engine.stats import STATS
+from ..internals import config
+
+__all__ = ["TenantBreakerOpenError", "CircuitBreaker", "HealthMonitor"]
+
+
+class TenantBreakerOpenError(InsufficientSpaceError):
+    """Typed shed for a tenant whose circuit breaker is open.
+
+    Transient by construction: the breaker half-opens after its
+    cooldown, so "re-invocation may succeed" (§V) is literally the
+    recovery protocol.  ``retry_after_s`` tells a well-behaved client
+    when the next probe slot opens.
+    """
+
+    def __init__(self, message: str, tenant: str = "", retry_after_s: float = 0.0):
+        super().__init__(message)
+        self.transient = True
+        self.tenant = tenant
+        self.retry_after_s = retry_after_s
+
+
+class CircuitBreaker:
+    """One tenant's failure-streak state machine (thread-safe)."""
+
+    __slots__ = (
+        "_lock", "state", "consecutive_failures", "_opened_at",
+        "_probe_inflight", "_probe_at", "trips", "recoveries",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        self._probe_at = 0.0
+        self.trips = 0
+        self.recoveries = 0
+
+    @staticmethod
+    def _threshold() -> int:
+        return int(config.get_option("BREAKER_THRESHOLD"))
+
+    @staticmethod
+    def _cooldown() -> float:
+        return float(config.get_option("BREAKER_COOLDOWN"))
+
+    def admit(self, now: float | None = None) -> str:
+        """Gate one query: ``"ok"``, ``"probe"``, or ``"open"``.
+
+        ``"open"`` means shed (the caller raises the typed error);
+        ``"probe"`` admits the half-open state's single trial query.
+        """
+        if self._threshold() <= 0:
+            return "ok"
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            if self.state == "closed":
+                return "ok"
+            if self.state == "open":
+                if now - self._opened_at < self._cooldown():
+                    return "open"
+                self.state = "half-open"
+                self._probe_inflight = False
+            # Half-open: exactly one probe at a time.  A probe whose
+            # outcome never came back (shed downstream, shutdown) frees
+            # its slot after a cooldown so the breaker cannot wedge.
+            if self._probe_inflight and now - self._probe_at < self._cooldown():
+                return "open"
+            self._probe_inflight = True
+            self._probe_at = now
+            return "probe"
+
+    def record(self, ok: bool, now: float | None = None) -> str | None:
+        """Record one execution outcome; returns the lifecycle event it
+        caused (``"tripped"`` | ``"recovered"``) or ``None``."""
+        threshold = self._threshold()
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            if self.state == "half-open":
+                self._probe_inflight = False
+                if ok:
+                    self.state = "closed"
+                    self.consecutive_failures = 0
+                    self.recoveries += 1
+                    return "recovered"
+                self.state = "open"
+                self._opened_at = now
+                return None
+            if ok:
+                self.consecutive_failures = 0
+                return None
+            self.consecutive_failures += 1
+            if (
+                self.state == "closed"
+                and threshold > 0
+                and self.consecutive_failures >= threshold
+            ):
+                self.state = "open"
+                self._opened_at = now
+                self.trips += 1
+                return "tripped"
+            return None
+
+    def retry_after_s(self, now: float | None = None) -> float:
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            if self.state != "open":
+                return 0.0
+            return max(0.0, self._cooldown() - (now - self._opened_at))
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "state": self.state,
+                "consecutive_failures": self.consecutive_failures,
+                "trips": self.trips,
+                "recoveries": self.recoveries,
+            }
+
+
+class HealthMonitor:
+    """Tenant name → breaker, plus the health scores behind them."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def breaker(self, tenant: str) -> CircuitBreaker:
+        with self._lock:
+            br = self._breakers.get(tenant)
+            if br is None:
+                br = self._breakers[tenant] = CircuitBreaker()
+            return br
+
+    def admit(self, tenant: str) -> str:
+        """Front-door gate: raises :class:`TenantBreakerOpenError` when
+        the tenant's breaker sheds; returns ``"ok"`` or ``"probe"``."""
+        verdict = self.breaker(tenant).admit()
+        if verdict == "open":
+            STATS.bump("breaker_open_rejected")
+            retry = self.breaker(tenant).retry_after_s()
+            raise TenantBreakerOpenError(
+                f"tenant {tenant!r} circuit breaker open "
+                f"(retry in {retry:.3f}s)",
+                tenant=tenant, retry_after_s=retry,
+            )
+        if verdict == "probe":
+            STATS.bump("breaker_probes")
+        return verdict
+
+    def record(self, tenant: str, ok: bool) -> str | None:
+        """Record an execution outcome; bumps the lifecycle counters and
+        returns the event so the service can act (context restore)."""
+        event = self.breaker(tenant).record(ok)
+        if event == "tripped":
+            STATS.bump("breaker_trips")
+        elif event == "recovered":
+            STATS.bump("breaker_recoveries")
+        return event
+
+    @staticmethod
+    def score(ctx_stats: dict) -> float:
+        """Health in [0, 1] from a per-context stats rollup: the
+        failure+timeout share of completed queries, inverted."""
+        done = float(ctx_stats.get("queries_completed", 0) or 0)
+        bad = float(ctx_stats.get("queries_failed", 0) or 0)
+        bad += float(ctx_stats.get("queries_timeout", 0) or 0)
+        total = done + bad
+        if total <= 0:
+            return 1.0
+        return max(0.0, 1.0 - bad / total)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {t: b.snapshot() for t, b in self._breakers.items()}

@@ -35,6 +35,11 @@ class Query:
     graph: str
     source: int | None = None
     params: tuple = field(default=())
+    #: Client deadline in milliseconds (``None`` = server default, which
+    #: itself defaults to the ``QUERY_DEADLINE_MS`` knob; 0 disables).
+    #: Not part of :attr:`dedup_key` — two queries that want the same
+    #: answer coalesce regardless of how long each is willing to wait.
+    deadline_ms: float | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -47,12 +52,16 @@ class Query:
             raise InvalidValueError(
                 f"{self.kind} query takes no source vertex"
             )
+        if self.deadline_ms is not None and self.deadline_ms < 0:
+            raise InvalidValueError(
+                f"query deadline must be >= 0, got {self.deadline_ms!r}"
+            )
         object.__setattr__(self, "params", tuple(sorted(self.params)))
 
     @classmethod
     def make(cls, kind: str, graph: str, source: int | None = None,
-             **params: Any) -> "Query":
-        return cls(kind, graph, source, tuple(params.items()))
+             deadline_ms: float | None = None, **params: Any) -> "Query":
+        return cls(kind, graph, source, tuple(params.items()), deadline_ms)
 
     @property
     def dedup_key(self) -> tuple:

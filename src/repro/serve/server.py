@@ -3,7 +3,9 @@
 ``GraphServer`` turns the synchronous :class:`~repro.serve.service.
 GraphService` into a concurrent server: ``submit()`` either sheds
 immediately (:class:`~repro.serve.admission.ServiceOverloadError` —
-the bounded-queue guarantee) or parks the query on an asyncio queue.
+the bounded-queue guarantee, or
+:class:`~repro.serve.health.TenantBreakerOpenError` when the tenant's
+circuit breaker is open) or parks the query on an asyncio queue.
 A single dispatcher task drains the queue in *windows*, hands each
 window to the batcher, and runs the coalesced groups on a worker
 thread, resolving per-query futures as results land.
@@ -12,6 +14,19 @@ The natural batching dynamic: while one window executes, newly
 submitted queries pile up in the queue, so the next window is as wide
 as the load is heavy — batching effort scales with pressure, which is
 exactly when coalescing pays.
+
+Deadlines: each submission gets a :class:`~repro.engine.cancel.
+CancelToken` (query deadline, else the server default, else the
+``QUERY_DEADLINE_MS`` knob).  The waiter enforces it on the asyncio
+side (``wait_for``), the engine enforces it cooperatively at every
+kernel and planner-pass boundary, and both surface the same transient
+``GrB_TIMEOUT``.  An expired or abandoned query frees its admission
+slot immediately — a stuck kernel cannot starve admission.
+
+Shutdown: ``stop()`` drains within a bounded grace period; queries
+still queued when it elapses fail with the typed, transient
+:class:`ServiceShutdownError`, as do submissions arriving during or
+after shutdown.  No dispatcher task or future is leaked.
 """
 
 from __future__ import annotations
@@ -19,13 +34,48 @@ from __future__ import annotations
 import asyncio
 import time
 
+from ..engine import cancel
 from ..engine.stats import STATS
-from .admission import AdmissionController
+from ..internals import config
+from .admission import AdmissionController, ServiceOverloadError
 from .query import Query, QueryResult
 from .service import GraphService
 from .session import Session
 
-__all__ = ["GraphServer"]
+__all__ = ["GraphServer", "ServiceShutdownError"]
+
+
+class ServiceShutdownError(ServiceOverloadError):
+    """Typed rejection for submissions to a stopping/stopped server.
+
+    A flavour of load shedding (§V transient): the replica is going
+    away, a re-invocation against a restarted or sibling replica may
+    succeed.  Replaces the bare ``RuntimeError`` clients used to get.
+    """
+
+    def __init__(self, message: str, tenant: str = ""):
+        super().__init__(message, tenant=tenant, reason="shutdown")
+
+
+class _Pending:
+    """One queued submission (future + token + slot bookkeeping)."""
+
+    __slots__ = ("session", "query", "fut", "t0", "token", "released")
+
+    def __init__(self, session: Session, query: Query, fut, token):
+        self.session = session
+        self.query = query
+        self.fut = fut
+        self.t0 = time.perf_counter()
+        self.token = token
+        self.released = False
+
+
+def _consume_exception(fut) -> None:
+    """Retrieve an abandoned future's exception so asyncio never logs
+    'exception was never retrieved' for a query whose client timed out."""
+    if not fut.cancelled():
+        fut.exception()
 
 
 class GraphServer:
@@ -38,13 +88,18 @@ class GraphServer:
         max_pending: int = 64,
         per_tenant: int = 8,
         batch_window: int = 16,
+        deadline_ms: float | None = None,
     ):
         self.service = service
         self.admission = AdmissionController(max_pending, per_tenant)
         self.batch_window = max(1, int(batch_window))
+        #: Server-wide default deadline; ``None`` falls through to the
+        #: ``QUERY_DEADLINE_MS`` knob (0 = unbounded).
+        self.deadline_ms = deadline_ms
         self._queue: asyncio.Queue | None = None
         self._task: asyncio.Task | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
+        self._stopping = False
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -53,13 +108,51 @@ class GraphServer:
             return
         self._loop = asyncio.get_running_loop()
         self._queue = asyncio.Queue()
+        self._stopping = False
         self._task = self._loop.create_task(self._dispatch())
 
-    async def stop(self) -> None:
+    async def stop(self, grace: float | None = 5.0) -> None:
+        """Drain and stop within *grace* seconds (``None`` = wait forever).
+
+        Sets the server rejecting first (new submissions get
+        :class:`ServiceShutdownError`), lets the dispatcher finish the
+        queue, and on grace expiry cancels it and fails whatever was
+        still queued — every future resolves, every admission slot is
+        released, no task leaks.
+        """
+        self._stopping = True
         if self._task is None:
+            self._queue = None
             return
         await self._queue.put(None)
-        await self._task
+        try:
+            if grace is None:
+                await self._task
+            else:
+                await asyncio.wait_for(asyncio.shield(self._task), grace)
+        except asyncio.TimeoutError:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+        # Fail anything the dispatcher never got to.
+        while True:
+            try:
+                entry = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if entry is None:
+                continue
+            self._release_once(entry)
+            if not entry.fut.done():
+                STATS.bump("serve_shutdown_rejected")
+                entry.fut.set_exception(ServiceShutdownError(
+                    f"server stopped before query ran "
+                    f"(tenant {entry.session.tenant!r})",
+                    tenant=entry.session.tenant,
+                ))
+                entry.fut.add_done_callback(_consume_exception)
         self._task = None
         self._queue = None
 
@@ -73,21 +166,72 @@ class GraphServer:
 
     # -- client surface -------------------------------------------------------
 
+    def _effective_deadline_ms(self, query: Query) -> float | None:
+        if query.deadline_ms is not None:
+            return query.deadline_ms
+        if self.deadline_ms is not None:
+            return self.deadline_ms
+        return float(config.get_option("QUERY_DEADLINE_MS"))
+
+    def _release_once(self, entry: _Pending) -> None:
+        # Single event loop thread: no lock needed for the flag.
+        if not entry.released:
+            entry.released = True
+            self.admission.release(entry.session.tenant)
+
     async def submit(self, session: Session, query: Query) -> QueryResult:
         """Admit, enqueue, and await one query.
 
-        Raises :class:`ServiceOverloadError` *immediately* when the
-        bounded queue or the tenant's concurrency cap is exhausted —
-        shed load never waits.
+        Sheds *immediately* — typed, transient, without queueing — when
+        the server is stopping (:class:`ServiceShutdownError`), the
+        tenant's breaker is open (:class:`~repro.serve.health.
+        TenantBreakerOpenError`), or the bounded queue / tenant cap is
+        exhausted (:class:`~repro.serve.admission.
+        ServiceOverloadError`).  A deadline that expires while the
+        query is queued or running raises the transient
+        ``GrB_TIMEOUT`` and frees the admission slot at once.
         """
-        if self._queue is None:
-            raise RuntimeError("GraphServer.submit before start()")
+        if self._queue is None or self._stopping:
+            STATS.bump("serve_shutdown_rejected")
+            raise ServiceShutdownError(
+                f"server is {'stopping' if self._stopping else 'not started'}"
+                f" (tenant {session.tenant!r})",
+                tenant=session.tenant,
+            )
+        self.service.health.admit(session.tenant)  # breaker gate
         self.admission.try_admit(session.tenant)   # raises when shedding
         STATS.bump("serve_submitted")
         session.ctx.local_stats().bump("queries_submitted")
-        fut = self._loop.create_future()
-        await self._queue.put((session, query, fut, time.perf_counter()))
-        return await fut
+        token = cancel.CancelToken.after_ms(
+            self._effective_deadline_ms(query),
+            label=f"{session.tenant}:{query.kind}",
+        )
+        entry = _Pending(session, query, self._loop.create_future(), token)
+        await self._queue.put(entry)
+        try:
+            if token.deadline is None:
+                return await entry.fut
+            return await asyncio.wait_for(
+                asyncio.shield(entry.fut), token.remaining_s()
+            )
+        except asyncio.TimeoutError:
+            # Deadline hit while queued or mid-execution: flag the token
+            # (the engine stops at its next kernel/pass boundary and
+            # rolls back to last-committed state), free the slot now,
+            # and surface the same transient timeout the engine would.
+            token.cancel("deadline expired")
+            self._release_once(entry)
+            STATS.bump("serve_timeouts")
+            session.ctx.local_stats().bump("queries_timeout")
+            entry.fut.add_done_callback(_consume_exception)
+            raise token.error("await") from None
+        except asyncio.CancelledError:
+            # Client abandoned the await: same cooperative stop, then
+            # propagate the cancellation per asyncio convention.
+            token.cancel("client abandoned query")
+            self._release_once(entry)
+            entry.fut.add_done_callback(_consume_exception)
+            raise
 
     # -- dispatcher -----------------------------------------------------------
 
@@ -100,26 +244,39 @@ class GraphServer:
                     drained.append(self._queue.get_nowait())
                 except asyncio.QueueEmpty:
                     break
-            window = [item for item in drained if item is not None]
-            stopping = len(window) != len(drained)
+            stopping = any(item is None for item in drained)
+            window: list[_Pending] = []
+            for entry in drained:
+                if entry is None:
+                    continue
+                if entry.token.should_stop():
+                    # Expired (or abandoned) while queued: don't waste a
+                    # worker on it — its slot is already reusable.
+                    self._release_once(entry)
+                    if not entry.fut.done():
+                        entry.fut.set_exception(entry.token.error("queued"))
+                        entry.fut.add_done_callback(_consume_exception)
+                    continue
+                window.append(entry)
             if window:
-                entries = [(s, q) for s, q, _, _ in window]
+                entries = [(e.session, e.query) for e in window]
+                tokens = [e.token for e in window]
                 try:
                     results = await self._loop.run_in_executor(
-                        None, self.service.execute_window, entries
+                        None, self.service.execute_window, entries, tokens
                     )
                 except Exception as exc:  # defensive: executor itself died
                     results = [exc] * len(window)
                 now = time.perf_counter()
-                for (session, query, fut, t0), res in zip(window, results):
-                    self.admission.release(session.tenant)
-                    if fut.done():
+                for entry, res in zip(window, results):
+                    self._release_once(entry)
+                    if entry.fut.done():
                         continue
                     if isinstance(res, Exception):
-                        fut.set_exception(res)
+                        entry.fut.set_exception(res)
                     else:
-                        res.total_ms = (now - t0) * 1e3
+                        res.total_ms = (now - entry.t0) * 1e3
                         STATS.bump("serve_completed")
-                        fut.set_result(res)
+                        entry.fut.set_result(res)
             if stopping:
                 return

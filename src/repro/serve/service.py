@@ -13,6 +13,21 @@ is ``Matrix.from_data``: O(1), no copy, and the §IV same-context rule
 is satisfied because every derived object lives in the viewing
 context.  Shared msbfs submissions run in the batch context, whose
 result memo keeps the graph's pattern block warm across windows.
+
+Durability: when a checkpoint directory is configured (ctor argument or
+the ``CHECKPOINT_DIR`` knob) the service attaches a
+:class:`~repro.serve.recovery.CheckpointStore`.  Registrations and
+mutations are write-ahead journaled *before* they are acknowledged,
+``checkpoint()`` compacts journal-into-snapshot (optionally carrying
+warm algo-memo blocks and calibration rates), and
+:meth:`GraphService.restore` rebuilds a bit-identical service from the
+directory — snapshot plus journal replay, zero lost acknowledged
+writes.
+
+Health: :class:`~repro.serve.health.HealthMonitor` keeps a circuit
+breaker per tenant; every execution outcome lands in
+:meth:`_record_outcome`, and a breaker recovery restores the tenant's
+context (clearing serial demotion) — the full degrade/recover loop.
 """
 
 from __future__ import annotations
@@ -25,8 +40,11 @@ from ..core.context import Context, Mode
 from ..core.errors import InvalidValueError
 from ..core.matrix import Matrix
 from ..engine.stats import STATS
+from ..internals import config
 from .batch import Group, coalesce
+from .health import HealthMonitor
 from .query import Query, QueryResult
+from .recovery import CheckpointStore, apply_edges
 from .session import Session
 
 __all__ = ["GraphService"]
@@ -35,7 +53,12 @@ __all__ = ["GraphService"]
 class GraphService:
     """N resident named graphs served to M tenant sessions."""
 
-    def __init__(self, mode: Mode = Mode.NONBLOCKING, name: str = "svc"):
+    def __init__(
+        self,
+        mode: Mode = Mode.NONBLOCKING,
+        name: str = "svc",
+        checkpoint_dir: str | None = None,
+    ):
         self.name = name
         self.root = Context.new(mode, name=f"{name}-root")
         self._batch_ctx = Context.new(
@@ -46,9 +69,27 @@ class GraphService:
         self._batch_ctx.local_stats()
         self._lock = threading.Lock()
         self._graphs: dict[str, Any] = {}      # name -> committed carrier
+        self._graph_gen: dict[str, int] = {}   # name -> publish generation
         self._batch_views: dict[str, Matrix] = {}
         self._sessions: dict[str, Session] = {}
+        #: view uid -> (graph name, id(carrier)): lets the checkpointer
+        #: attribute algo-memo entries (keyed by view uid) to the
+        #: resident graph they were built over.
+        self._view_uids: dict[int, tuple[str, int]] = {}
+        #: (graph, kind, params) -> (carrier, cost_ms): warm blocks from
+        #: a restore, seeded into each context that views the graph.
+        self._warm_blocks: dict[tuple, tuple] = {}
+        self.health = HealthMonitor()
         self._closed = False
+        #: Serializes WAL-append + in-memory publish against
+        #: snapshot + journal rotation, so a checkpoint can never fold
+        #: away a journaled-but-unpublished write.
+        self._dur_lock = threading.RLock()
+        self._store: CheckpointStore | None = None
+        if checkpoint_dir is None:
+            checkpoint_dir = str(config.get_option("CHECKPOINT_DIR")) or None
+        if checkpoint_dir:
+            self._store = CheckpointStore(checkpoint_dir)
 
     # -- resident graphs ------------------------------------------------------
 
@@ -57,15 +98,57 @@ class GraphService:
 
         Forces the registering sequence and keeps the immutable carrier;
         later writes to the caller's matrix do not affect the resident
-        value (re-register to publish a new snapshot).
+        value (re-register to publish a new snapshot).  With a
+        checkpoint store attached, the registration is journaled (full
+        §VII blob) before this call returns.
         """
         carrier = matrix._capture()
-        with self._lock:
-            self._check_open()
-            self._graphs[name] = carrier
-            self._batch_views.pop(name, None)
+        with self._dur_lock:
+            with self._lock:
+                self._check_open()
+            if self._store is not None:
+                from ..formats.serialize import carrier_serialize
+
+                self._store.journal_register(name, carrier_serialize(carrier))
+            self._publish_carrier(name, carrier)
         return {"name": name, "nrows": carrier.nrows,
                 "ncols": carrier.ncols, "nvals": carrier.nvals}
+
+    def mutate_graph(self, name: str, rows, cols, vals) -> dict:
+        """Upsert a batch of weighted edges into resident graph *name*.
+
+        The mutation is validated and applied to a *new* carrier
+        (resident carriers are immutable — live views keep reading the
+        old one), write-ahead journaled, then published.  The ack a
+        caller gets implies durability: a crash any instant later
+        replays the write.  Sessions pick up the new value at their
+        next ``view`` call (generation bump).
+        """
+        with self._dur_lock:
+            with self._lock:
+                self._check_open()
+                carrier = self._graphs.get(name)
+            if carrier is None:
+                raise InvalidValueError(f"no resident graph named {name!r}")
+            new = apply_edges(carrier, rows, cols, vals)
+            if self._store is not None:
+                self._store.journal_mutate(
+                    name, rows, cols, vals, carrier.type.name
+                )
+            self._publish_carrier(name, new)
+        return {"name": name, "nrows": new.nrows,
+                "ncols": new.ncols, "nvals": new.nvals}
+
+    def _publish_carrier(self, name: str, carrier: Any) -> None:
+        with self._lock:
+            self._graphs[name] = carrier
+            self._batch_views.pop(name, None)
+            self._graph_gen[name] = self._graph_gen.get(name, 0) + 1
+
+    def graph_generation(self, name: str) -> int:
+        """Publish generation of graph *name* (0 = never registered)."""
+        with self._lock:
+            return self._graph_gen.get(name, 0)
 
     def graphs(self) -> dict[str, dict]:
         with self._lock:
@@ -75,12 +158,36 @@ class GraphService:
             }
 
     def graph_view(self, name: str, ctx: Context) -> Matrix:
-        """A zero-copy view of resident graph *name* in *ctx*."""
+        """A zero-copy view of resident graph *name* in *ctx*.
+
+        Side effects for the durability plane: the view's uid is mapped
+        back to the graph (so the checkpointer can attribute algo-memo
+        blocks), and any warm blocks a restore brought along are seeded
+        into *ctx*'s result memo under this view's key — the first
+        pagerank/BFS/triangles on a restored replica skips its setup
+        kernels exactly as if the process had never died.
+        """
         with self._lock:
             carrier = self._graphs.get(name)
+            warm = [
+                (key, blk) for key, blk in self._warm_blocks.items()
+                if key[0] == name
+            ]
         if carrier is None:
             raise InvalidValueError(f"no resident graph named {name!r}")
-        return Matrix.from_data(carrier, ctx)
+        mat = Matrix.from_data(carrier, ctx)
+        uid, version = mat._uid, mat._version
+        with self._lock:
+            self._view_uids[uid] = (name, id(carrier))
+        if warm and config.get_option("ENGINE_ALGO_MEMO"):
+            memo = ctx.result_memo(create=True)
+            if memo is not None:
+                for (_, kind, params), (block, cost_ms) in warm:
+                    memo.store(
+                        ("algo", kind, (uid, version), params),
+                        block, deps=(uid,), cost_ms=cost_ms,
+                    )
+        return mat
 
     def _batch_view(self, name: str) -> Matrix:
         with self._lock:
@@ -146,21 +253,27 @@ class GraphService:
         STATS.bump("serve_completed")
         return result
 
-    def execute_window(self, entries: list) -> list:
+    def execute_window(self, entries: list, tokens: list | None = None) -> list:
         """Run a window of ``(session, query)`` pairs, coalesced.
 
         Returns one slot per entry, in submission order: a
         :class:`QueryResult` on success or the ``Exception`` that query
         raised (per-query failure isolation — one tenant's error never
-        poisons a sibling's slot).
+        poisons a sibling's slot).  ``tokens`` (parallel to *entries*)
+        carries each query's cancellation token; solo executions run
+        inside their token's scope, while *shared* submissions (msbfs,
+        dedup) deliberately run unscoped — one rider's deadline must
+        never kill an answer its siblings are still entitled to.
         """
         groups = coalesce(entries)
         results: list = [None] * len(entries)
         for group in groups:
-            self._run_group(group, results)
+            self._run_group(group, results, tokens)
         return results
 
-    def _run_group(self, group: Group, results: list) -> None:
+    def _run_group(
+        self, group: Group, results: list, tokens: list | None = None
+    ) -> None:
         if group.mode == "msbfs" and len(group.entries) > 1:
             if self._run_msbfs(group, results):
                 return
@@ -173,8 +286,9 @@ class GraphService:
         for idx, session, query in group.entries:
             if results[idx] is not None:
                 continue
+            token = tokens[idx] if tokens is not None else None
             try:
-                results[idx] = session.run(query)
+                results[idx] = session.run(query, token=token)
             except Exception as exc:
                 results[idx] = exc
 
@@ -223,14 +337,113 @@ class GraphService:
             results[idx] = result
         return True
 
+    # -- durability: checkpoint / restore -------------------------------------
+
+    def checkpoint(self) -> dict | None:
+        """Compact journal-into-snapshot; returns the manifest.
+
+        Persists every resident carrier (digest-keyed §VII blobs), the
+        warm algo-memo blocks attributable to resident graphs, and the
+        cost model's calibrated rates, then rotates to a fresh journal
+        generation.  No-op (``None``) without a checkpoint store.
+        """
+        if self._store is None:
+            return None
+        from ..engine.passes import cost
+
+        with self._dur_lock:
+            with self._lock:
+                self._check_open()
+                graphs = dict(self._graphs)
+            return self._store.write_checkpoint(
+                graphs,
+                blocks=self._collect_warm_blocks(graphs),
+                calibration=cost.export_calibration(),
+                service=self.name,
+            )
+
+    def _collect_warm_blocks(self, graphs: dict[str, Any]) -> dict:
+        """Algo-memo entries attributable to a *current* resident graph,
+        keyed portably as ``(graph name, block kind, params)``."""
+        contexts = [self._batch_ctx]
+        contexts.extend(s.ctx for s in self.sessions().values())
+        with self._lock:
+            view_uids = dict(self._view_uids)
+        out: dict[tuple, tuple] = dict(self._warm_blocks)
+        for ctx in contexts:
+            memo = ctx.result_memo(create=False)
+            if memo is None:
+                continue
+            for key, carrier, cost_ms in memo.entries():
+                if not (isinstance(key, tuple) and len(key) == 4
+                        and key[0] == "algo"):
+                    continue
+                _, kind, vkey, params = key
+                if not (isinstance(vkey, tuple) and len(vkey) == 2):
+                    continue
+                mapped = view_uids.get(vkey[0])
+                if mapped is None:
+                    continue
+                gname, carrier_id = mapped
+                if gname not in graphs or id(graphs[gname]) != carrier_id:
+                    continue  # block belongs to a superseded carrier
+                out[(gname, kind, params)] = (carrier, cost_ms)
+        return out
+
+    @classmethod
+    def restore(
+        cls,
+        checkpoint_dir: str,
+        mode: Mode = Mode.NONBLOCKING,
+        name: str = "svc",
+    ) -> "GraphService":
+        """Rebuild a service from its checkpoint directory.
+
+        Journal-over-snapshot replay through the *same*
+        ``apply_edges`` path the live service uses, so the restored
+        carriers are bit-identical to a replica that never crashed —
+        zero lost acknowledged writes.  Warm blocks and calibration
+        rates rehydrate lazily (blocks seed each context's memo as
+        views are created).
+        """
+        svc = cls(mode, name=name, checkpoint_dir=checkpoint_dir)
+        assert svc._store is not None
+        state = svc._store.load()
+        with svc._dur_lock:
+            for gname, carrier in state.graphs.items():
+                svc._publish_carrier(gname, carrier)
+            with svc._lock:
+                svc._warm_blocks = dict(state.blocks)
+        if state.calibration:
+            from ..engine.passes import cost
+
+            cost.seed_calibration(state.calibration)
+        STATS.bump("restores")
+        if state.graphs:
+            STATS.bump("restored_graphs", len(state.graphs))
+        if state.blocks:
+            STATS.bump("restored_blocks", len(state.blocks))
+        return svc
+
+    # -- health ---------------------------------------------------------------
+
+    def _record_outcome(self, session: Session, ok: bool) -> None:
+        """Feed one execution outcome to the tenant's circuit breaker;
+        a successful probe restores the context (clears demotion)."""
+        event = self.health.record(session.tenant, ok)
+        if event == "recovered":
+            session.ctx.restore()
+
     # -- introspection / teardown ---------------------------------------------
 
     def tenant_stats(self) -> dict[str, dict]:
         """Per-tenant rollups (the serving ``engine_stats()`` story)."""
-        out = {
-            tenant: session.stats()
-            for tenant, session in self.sessions().items()
-        }
+        out = {}
+        for tenant, session in self.sessions().items():
+            snap = session.stats()
+            snap["breaker"] = self.health.breaker(tenant).snapshot()
+            snap["health_score"] = HealthMonitor.score(snap)
+            out[tenant] = snap
         out["<batch>"] = self._batch_ctx.local_stats().snapshot()
         return out
 
@@ -248,6 +461,10 @@ class GraphService:
             self._sessions.clear()
             self._graphs.clear()
             self._batch_views.clear()
+            self._view_uids.clear()
+            self._warm_blocks.clear()
         for session in sessions:
             session.ctx.free()
         self.root.free()
+        if self._store is not None:
+            self._store.close()

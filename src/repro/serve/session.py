@@ -18,7 +18,10 @@ from typing import Any
 
 from ..algorithms import bfs_levels, pagerank, triangle_count
 from ..core.context import Context
-from ..core.errors import InvalidValueError
+from ..core.errors import InvalidValueError, TimeoutExpiredError
+from ..engine import cancel
+from ..engine.stats import STATS
+from ..internals import config
 from .query import Query, QueryResult
 
 __all__ = ["Session", "percentile"]
@@ -53,24 +56,58 @@ class Session:
     # -- graph access ---------------------------------------------------------
 
     def view(self, graph: str):
-        """This session's zero-copy view of a resident graph."""
+        """This session's zero-copy view of a resident graph.
+
+        Views are cached per generation: a ``mutate_graph`` bumps the
+        resident graph's generation, and the next ``view`` call wraps
+        the new carrier (the old view's memo entries die with its uid).
+        """
+        gen = self.service.graph_generation(graph)
         with self._lock:
             if self._closed:
                 raise InvalidValueError(
                     f"session {self.tenant!r} is closed"
                 )
-            mat = self._views.get(graph)
-            if mat is None:
-                mat = self.service.graph_view(graph, self.ctx)
-                self._views[graph] = mat
-            return mat
+            cached = self._views.get(graph)
+            if cached is not None and cached[1] == gen:
+                return cached[0]
+        mat = self.service.graph_view(graph, self.ctx)
+        with self._lock:
+            self._views[graph] = (mat, gen)
+        return mat
 
     # -- execution (synchronous; the server wraps this in its loop) -----------
 
-    def run(self, query: Query) -> QueryResult:
-        """Execute one query in this session's own context, timed."""
+    def run(self, query: Query, token: cancel.CancelToken | None = None) -> QueryResult:
+        """Execute one query in this session's own context, timed.
+
+        When a cancellation *token* is supplied (or the query/config
+        carries a deadline), the dispatch runs inside its scope: the
+        engine checks it at every kernel and planner-pass boundary and
+        raises a transient ``GrB_TIMEOUT`` the moment it trips, leaving
+        carriers at their last-committed state.  Outcomes — success,
+        failure, timeout — feed the tenant's circuit breaker.
+        """
+        if token is None:
+            ms = query.deadline_ms
+            if ms is None:
+                ms = float(config.get_option("QUERY_DEADLINE_MS"))
+            token = cancel.CancelToken.after_ms(
+                ms, label=f"{self.tenant}:{query.kind}"
+            )
         t0 = time.perf_counter()
-        value = self._dispatch(query)
+        try:
+            with cancel.cancel_scope(token):
+                value = self._dispatch(query)
+        except TimeoutExpiredError:
+            STATS.bump("serve_timeouts")
+            self.ctx.local_stats().bump("queries_timeout")
+            self.service._record_outcome(self, ok=False)
+            raise
+        except Exception:
+            self.ctx.local_stats().bump("queries_failed")
+            self.service._record_outcome(self, ok=False)
+            raise
         latency = (time.perf_counter() - t0) * 1e3
         result = QueryResult(query, value, self.tenant, latency_ms=latency)
         self.record(result)
@@ -97,13 +134,18 @@ class Session:
         raise InvalidValueError(f"unknown query kind {query.kind!r}")
 
     def record(self, result: QueryResult) -> None:
-        """Fold one completed query into the tenant's latency record."""
+        """Fold one completed query into the tenant's latency record.
+
+        Every completion path (solo and batched) lands here, so this is
+        also where a success feeds the tenant's circuit breaker.
+        """
         stats = self.ctx.local_stats()
         stats.bump("queries_completed")
         if result.batched:
             stats.bump("queries_batched")
         with self._lock:
             self._latencies_ms.append(result.latency_ms)
+        self.service._record_outcome(self, ok=True)
 
     # -- introspection --------------------------------------------------------
 

@@ -21,7 +21,7 @@ bench_gate = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(bench_gate)
 
 
-def _results(mm=0.5, cse=0.8, algo=0.1, serve=0.4, p99=0.5):
+def _results(mm=0.5, cse=0.8, algo=0.1, serve=0.4, p99=0.5, recov=0.5):
     """A full fresh/baseline results dict with the given gated ratios
     (blocking_ms pinned to 100 so ratio == optimized ms / 100)."""
     return {
@@ -44,6 +44,10 @@ def _results(mm=0.5, cse=0.8, algo=0.1, serve=0.4, p99=0.5):
         "serving_p99": {
             "blocking_ms": 100.0, "nb_batched_ms": p99 * 100.0,
             "serve_batches": 6,
+        },
+        "recovery": {
+            "blocking_ms": 100.0, "nb_warm_ms": recov * 100.0,
+            "restored_graphs": 1,
         },
     }
 

@@ -66,6 +66,21 @@ class TestCli:
         # Per-tenant stat lines from the hierarchical contexts.
         assert "tenant-0" in text and "tenant-1" in text
 
+    def test_serve_checkpoint_cold_then_warm(self, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        code, text = _run(["serve", "--scale", "6", "--tenants", "2",
+                           "--queries", "8", "--checkpoint-dir", ckpt,
+                           "--deadline-ms", "30000"])
+        assert code == 0
+        assert "checkpoint gen 1" in text
+        # Second run restores from the checkpoint instead of rebuilding.
+        code, text = _run(["serve", "--scale", "6", "--tenants", "2",
+                           "--queries", "8", "--checkpoint-dir", ckpt])
+        assert code == 0
+        assert "warm restart" in text
+        assert "served 8/8 queries" in text
+        assert "checkpoint gen 2" in text
+
     def test_parser_rejects_unknown_demo(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["demo", "nonsense"])

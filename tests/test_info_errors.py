@@ -157,3 +157,50 @@ class TestInfoRoundTrip:
             exc = E.api_error_for(info, "msg")
             assert type(exc) is cls
             assert exc.info == info
+
+
+class TestTimeoutCode:
+    """§V extension: the serving layer's GrB_TIMEOUT (Info.TIMEOUT=107)
+    is a *transient* execution error, and every cancellation-adjacent
+    exception maps onto it consistently (asyncio or not)."""
+
+    def test_timeout_is_execution_error_and_transient(self):
+        assert int(Info.TIMEOUT) == 107
+        assert is_execution_error(Info.TIMEOUT)
+        assert not is_api_error(Info.TIMEOUT)
+        exc = E.TimeoutExpiredError("deadline")
+        assert exc.transient
+        assert isinstance(exc, E.ExecutionError)
+
+    def test_timeout_round_trips_both_directions(self):
+        # code -> class
+        exc = E.execution_error_for(Info.TIMEOUT, "deadline expired")
+        assert type(exc) is E.TimeoutExpiredError
+        # class -> code
+        assert E.TimeoutExpiredError("x").info == Info.TIMEOUT
+
+    def test_cancellation_exceptions_map_to_timeout(self):
+        import asyncio
+
+        from repro.engine.cancel import as_execution_error
+
+        for raw in (asyncio.CancelledError(), TimeoutError("t"),
+                    asyncio.TimeoutError()):
+            mapped = as_execution_error(raw, "q")
+            assert type(mapped) is E.TimeoutExpiredError
+            assert mapped.info == Info.TIMEOUT
+            assert mapped.transient
+
+    def test_unknown_exceptions_map_to_panic(self):
+        from repro.engine.cancel import as_execution_error
+
+        mapped = as_execution_error(ValueError("surprise"), "q")
+        assert type(mapped) is E.PanicError
+        assert mapped.info == Info.PANIC
+        assert not getattr(mapped, "transient", False)
+
+    def test_execution_errors_pass_through_unchanged(self):
+        from repro.engine.cancel import as_execution_error
+
+        original = E.OutOfMemoryError("oom")
+        assert as_execution_error(original, "q") is original

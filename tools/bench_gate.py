@@ -22,6 +22,13 @@ that file is present two more ratios are gated against the committed
 * ``serving.nb_batched_ms / blocking_ms``     — batched throughput
 * ``serving_p99.nb_batched_ms / blocking_ms`` — p99 latency under load
 
+``benchmarks/bench_recovery.py`` writes ``BENCH_recovery.json``
+(replica time-to-first-answer: warm restart from a checkpoint vs cold
+rebuild from the edge list); when present one more ratio is gated
+against the committed ``benchmarks/BENCH_recovery.json``:
+
+* ``recovery.nb_warm_ms / blocking_ms``       — durability-plane restart
+
 The gate fails (exit 1) when a fresh ratio regresses more than the
 tolerance (default 25%) over the baseline ratio, or when the workload's
 optimizer counters show the optimization did not fire at all.  Run from
@@ -56,11 +63,16 @@ GATED = (
     ("repeated_algorithm", "nb_warm_ms", "algo_memo_hits"),
     ("serving", "nb_batched_ms", "serve_batched_queries"),
     ("serving_p99", "nb_batched_ms", "serve_batches"),
+    ("recovery", "nb_warm_ms", "restored_graphs"),
 )
 
 #: workloads sourced from the serving bench (BENCH_serving.json) rather
 #: than the planner bench — gated only when its results are present
 SERVING_WORKLOADS = ("serving", "serving_p99")
+
+#: workloads sourced from the recovery bench (BENCH_recovery.json) —
+#: gated only when its results are present
+RECOVERY_WORKLOADS = ("recovery",)
 
 
 def _ratio(results: dict, workload: str, key: str) -> float:
@@ -176,6 +188,17 @@ def main(argv: list[str] | None = None) -> int:
         help="committed serving baseline results",
     )
     p.add_argument(
+        "--fresh-recovery", type=Path, default=Path("BENCH_recovery.json"),
+        help="results from the recovery benchmark run under test "
+             "(recovery workloads are skipped when the file is absent)",
+    )
+    p.add_argument(
+        "--baseline-recovery", type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "benchmarks" / "BENCH_recovery.json",
+        help="committed recovery baseline results",
+    )
+    p.add_argument(
         "--tolerance", type=float, default=0.25,
         help="allowed relative regression of each ratio (default 0.25)",
     )
@@ -217,7 +240,20 @@ def main(argv: list[str] | None = None) -> int:
     else:
         print(f"bench_gate: {args.fresh_serving} absent — "
               f"serving workloads not gated this run")
-        gated = tuple(g for g in GATED if g[0] not in SERVING_WORKLOADS)
+        gated = tuple(g for g in gated if g[0] not in SERVING_WORKLOADS)
+
+    if args.fresh_recovery.exists():
+        try:
+            fresh.update(json.loads(args.fresh_recovery.read_text()))
+            baseline.update(json.loads(args.baseline_recovery.read_text()))
+        except OSError as exc:
+            print(f"bench_gate: cannot read recovery results: {exc}",
+                  file=sys.stderr)
+            return 2
+    else:
+        print(f"bench_gate: {args.fresh_recovery} absent — "
+              f"recovery workloads not gated this run")
+        gated = tuple(g for g in gated if g[0] not in RECOVERY_WORKLOADS)
 
     print(f"bench_gate: {args.fresh} vs {args.baseline} "
           f"(tolerance {args.tolerance:.0%})")
