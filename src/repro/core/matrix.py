@@ -1,8 +1,12 @@
 """``GrB_Matrix`` — the opaque sparse matrix object.
 
-Wraps a CSR :class:`~repro.internals.containers.MatData` carrier behind
-the sequence/completion machinery.  Constructors accept the optional
-``GrB_Context`` argument introduced in 2.0 (§IV, Fig. 2):
+Wraps a CSR :class:`~repro.internals.containers.MatData` or hypersparse
+DCSR :class:`~repro.internals.containers.DcsrData` carrier behind the
+sequence/completion machinery; the format policy
+(:func:`~repro.internals.containers.choose_mat_format`) picks between
+them from the shape/occupancy, so row counts past the CSR pointer limit
+work transparently when ``FORMAT_AUTO`` is on.  Constructors accept the
+optional ``GrB_Context`` argument introduced in 2.0 (§IV, Fig. 2):
 
     ``GrB_Matrix_new(&A, type, nrows, ncols, ctx)``
 """
@@ -14,7 +18,14 @@ from typing import Any, Iterable
 import numpy as np
 
 from ..internals.build import build_matrix
-from ..internals.containers import MatData, empty_mat, insert_value
+from ..internals.containers import (
+    DcsrData,
+    MatData,
+    empty_mat_auto,
+    insert_value,
+    mat_from_coo,
+    row_gather,
+)
 from .binaryop import BinaryOp
 from .context import Context
 from .errors import (
@@ -45,13 +56,13 @@ class Matrix(OpaqueObject):
             raise NullPointerError("matrix type is NULL")
         if nrows < 0 or ncols < 0:
             raise InvalidValueError(f"matrix shape must be >= 0, got {(nrows, ncols)}")
-        from ..internals.containers import check_nrows_limit
-        check_nrows_limit(nrows)
         super().__init__(ctx)
         self._type = t
         self._nrows = int(nrows)
         self._ncols = int(ncols)
-        self._data = empty_mat(self._nrows, self._ncols, t)
+        # Raises the documented resource-limit error when the policy
+        # pins CSR (FORMAT_AUTO=0) and nrows exceeds the pointer limit.
+        self._data = empty_mat_auto(self._nrows, self._ncols, t)
 
     # -- constructors ------------------------------------------------------------
 
@@ -70,7 +81,9 @@ class Matrix(OpaqueObject):
         return out
 
     @classmethod
-    def from_data(cls, data: MatData, ctx: Context | None = None) -> "Matrix":
+    def from_data(
+        cls, data: "MatData | DcsrData", ctx: Context | None = None
+    ) -> "Matrix":
         """Internal/advanced: wrap an existing carrier (no copy)."""
         out = cls(data.type, data.nrows, data.ncols, ctx)
         out._data = data
@@ -152,7 +165,30 @@ class Matrix(OpaqueObject):
         coerced = self._type.coerce_scalar(value)
         t = self._type
 
-        def thunk(d: MatData) -> MatData:
+        def thunk(d):
+            if isinstance(d, DcsrData):
+                # Hypersparse: locate the row by binary search over the
+                # nonempty-row list; an absent row is spliced in.
+                ri = int(np.searchsorted(d.row_ids, row))
+                if ri < len(d.row_ids) and d.row_ids[ri] == row:
+                    lo, hi = int(d.indptr[ri]), int(d.indptr[ri + 1])
+                    pos = lo + int(np.searchsorted(d.col_indices[lo:hi], col))
+                    if pos < hi and d.col_indices[pos] == col:
+                        vals = d.values.copy()
+                        vals[pos] = coerced
+                        return DcsrData(d.nrows, d.ncols, t, d.row_ids,
+                                        d.indptr, d.col_indices, vals)
+                    row_ids = d.row_ids
+                    indptr = d.indptr.copy()
+                else:
+                    pos = int(d.indptr[ri])
+                    row_ids = np.insert(d.row_ids, ri, row).astype(_INT)
+                    indptr = np.insert(d.indptr, ri, d.indptr[ri]).astype(_INT)
+                indptr[ri + 1:] += 1
+                cols = np.insert(d.col_indices, pos, col).astype(_INT)
+                vals = insert_value(d.values, pos, coerced, t)
+                return DcsrData(d.nrows, d.ncols, t, row_ids, indptr,
+                                cols, vals)
             lo, hi = d.indptr[row], d.indptr[row + 1]
             pos = lo + int(np.searchsorted(d.col_indices[lo:hi], col))
             if pos < hi and d.col_indices[pos] == col:
@@ -173,7 +209,29 @@ class Matrix(OpaqueObject):
         self._check_coords(row, col)
         t = self._type
 
-        def thunk(d: MatData) -> MatData:
+        def thunk(d):
+            if isinstance(d, DcsrData):
+                ri = int(np.searchsorted(d.row_ids, row))
+                if ri >= len(d.row_ids) or d.row_ids[ri] != row:
+                    return d
+                lo, hi = int(d.indptr[ri]), int(d.indptr[ri + 1])
+                pos = lo + int(np.searchsorted(d.col_indices[lo:hi], col))
+                if pos >= hi or d.col_indices[pos] != col:
+                    return d
+                cols = np.delete(d.col_indices, pos)
+                vals = np.delete(d.values, pos)
+                if hi - lo == 1:
+                    # Last element of the row: the row leaves the
+                    # nonempty-row list (DCSR stores no empty rows).
+                    row_ids = np.delete(d.row_ids, ri)
+                    indptr = np.delete(d.indptr, ri)
+                    indptr[ri:] -= 1
+                else:
+                    row_ids = d.row_ids
+                    indptr = d.indptr.copy()
+                    indptr[ri + 1:] -= 1
+                return DcsrData(d.nrows, d.ncols, t, row_ids, indptr,
+                                cols, vals)
             lo, hi = d.indptr[row], d.indptr[row + 1]
             pos = lo + int(np.searchsorted(d.col_indices[lo:hi], col))
             if pos < hi and d.col_indices[pos] == col:
@@ -197,7 +255,8 @@ class Matrix(OpaqueObject):
         row, col = int(row), int(col)
         self._check_coords(row, col)
         d = self._capture()
-        lo, hi = d.indptr[row], d.indptr[row + 1]
+        lo_a, hi_a = row_gather(d, [row])
+        lo, hi = int(lo_a[0]), int(hi_a[0])
         pos = lo + int(np.searchsorted(d.col_indices[lo:hi], col))
         present = pos < hi and d.col_indices[pos] == col
         if out is not None:
@@ -215,8 +274,8 @@ class Matrix(OpaqueObject):
     def clear(self) -> None:
         """``GrB_Matrix_clear``."""
         nrows, ncols, t = self._nrows, self._ncols, self._type
-        self._submit(lambda _d: empty_mat(nrows, ncols, t), "Matrix_clear",
-                     can_raise=False)
+        self._submit(lambda _d: empty_mat_auto(nrows, ncols, t),
+                     "Matrix_clear", can_raise=False)
 
     def resize(self, nrows: int, ncols: int) -> None:
         """``GrB_Matrix_resize`` — shrink drops out-of-range elements."""
@@ -225,11 +284,12 @@ class Matrix(OpaqueObject):
             raise InvalidValueError("shape must be >= 0")
         t = self._type
 
-        def thunk(d: MatData) -> MatData:
+        def thunk(d):
             rows = d.row_indices()
             keep = (rows < nrows) & (d.col_indices < ncols)
-            from ..internals.containers import coo_to_csr
-            return coo_to_csr(
+            # Policy-choosing assembly: growing past the CSR row limit
+            # (or shrinking back under it) switches format here.
+            return mat_from_coo(
                 nrows, ncols, t,
                 rows[keep], d.col_indices[keep], d.values[keep],
                 presorted=True,

@@ -197,6 +197,8 @@ class OpaqueObject:
         mask_info: Any = None,
         pushable: bool = False,
         push_targets: tuple | None = None,
+        batch_key: tuple | None = None,
+        batch_compute: Callable | None = None,
     ) -> None:
         """Submit an operations-layer method (the fusable node shape).
 
@@ -247,9 +249,15 @@ class OpaqueObject:
                 mask_info=mask_info,
                 pushable=pushable,
                 push_targets=push_targets,
+                batch_key=batch_key,
+                batch_compute=batch_compute,
             )
             self._materialized = False
             self._advance()
+            if batch_key is not None:
+                from ..engine import opbatch
+
+                opbatch.register(self._tail)
 
     def _run_now(self, label: str, fn: Callable[[], Any]) -> Any:
         """Blocking-mode execution with the §V error wrapping.

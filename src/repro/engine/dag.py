@@ -135,10 +135,12 @@ class Node:
     """One deferred method invocation in the expression DAG."""
 
     __slots__ = (
+        "__weakref__",  # the small-op batch registry tracks nodes weakly
         "kind", "label", "owner", "prev", "inputs",
         "thunk", "compute", "writeback", "stages", "pipe_input",
         "out_type", "pure", "complete_safe",
         "opkey", "cse_safe", "mask_info", "pushable", "push_targets",
+        "batch_key", "batch_compute",
         "state", "result", "exc", "exc_raised", "nrefs",
         "plan", "alias_of", "pushed_mask", "pushed_into",
         "memo_result", "memo_entry",
@@ -165,6 +167,8 @@ class Node:
         mask_info: MaskInfo | None = None,
         pushable: bool = False,
         push_targets: tuple | None = None,
+        batch_key: tuple | None = None,
+        batch_compute: Callable | None = None,
     ):
         self.kind = kind
         self.label = label
@@ -184,6 +188,12 @@ class Node:
         self.mask_info = mask_info
         self.pushable = pushable
         self.push_targets = push_targets
+        # Small-op batching (scheduler): nodes sharing an equal
+        # ``batch_key`` compute independent single-vector products over
+        # the *same* committed matrix; ``batch_compute(carrier, us)``
+        # is the blocked multi-vector kernel that runs them together.
+        self.batch_key = batch_key
+        self.batch_compute = batch_compute
         self.state = PENDING
         self.result: Any = None
         self.exc: BaseException | None = None
@@ -246,6 +256,18 @@ class Node:
 # still collide.
 
 
+def _data_format(data: Any) -> str | None:
+    """Storage-format tag of a captured matrix carrier (``None`` for
+    vectors/scalars).  Keys that carry it distinguish the same logical
+    content held in different tiers — a format auto-switch on commit
+    then misses instead of republishing a carrier of the old shape."""
+    if getattr(data, "row_ids", None) is not None:
+        return "dcsr"
+    if getattr(data, "indptr", None) is not None:
+        return "csr"
+    return None
+
+
 def source_identity(src: Source, canon: dict[int, int] | None = None) -> tuple:
     """Hashable identity of a captured input."""
     if src.node is not None:
@@ -253,7 +275,7 @@ def source_identity(src: Source, canon: dict[int, int] | None = None) -> tuple:
         if canon is not None:
             nid = canon.get(nid, nid)
         return ("n", nid)
-    return ("d", id(src.data))
+    return ("d", id(src.data), _data_format(src.data))
 
 
 def _scalar_key(s: Any) -> tuple:
@@ -361,7 +383,7 @@ def memo_key(node: Node) -> tuple[tuple, frozenset] | None:
             idents.append(("n", sub[0]))
             deps.update(sub[1])
         elif src.vkey is not None:
-            idents.append(("d", src.vkey))
+            idents.append(("d", src.vkey, _data_format(src.data)))
             deps.add(src.vkey[0])
         else:
             return None  # anonymous capture: no cross-forcing identity

@@ -1,0 +1,109 @@
+"""Small-op batching registry (the scheduler's coalescing layer).
+
+Serving and analytics workloads submit many *tiny* independent
+operations over the same committed graph — one ``mxv`` per query
+source, one per seed set, one per algorithm restart.  Each costs a full
+kernel entry: A's row-stream expansion, commit bookkeeping, stats
+spans.  For a hypersparse or large matrix the shared structure work
+dwarfs the per-vector math, so the engine coalesces them: pending
+unmasked ``mxv`` nodes over the *same* committed matrix and semiring
+share an equal ``Node.batch_key``, and when the scheduler reaches the
+first of them it claims the rest of the group and runs one blocked
+multi-vector kernel (``Node.batch_compute`` →
+:func:`~repro.internals.mxm.mxv_multi`) instead of N single ones.
+
+This module is only the *registry*: a process-wide map from batch key
+to the weakly-held set of pending candidate nodes.  Weak references
+keep registration free of lifetime obligations — a node that runs
+normally, fails, is fused away, or whose owner is collected simply
+stops qualifying; nothing here pins it.  Claiming is the scheduler's
+transaction: claimed peers leave the group before any kernel runs, and
+a failed batch attempt *surrenders* them back so every node still runs
+(singly) through the normal §V path.
+
+Gated by the ``ENGINE_OP_BATCH`` knob (the scheduler checks it at claim
+time, so the CI ablation row disables coalescing without touching
+submission).
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+
+from .dag import DONE, PENDING, Node
+
+__all__ = ["register", "claim_peers", "surrender", "BATCH_CAP"]
+
+#: Most peers one batch claims (bounds the blocked kernel's working set
+#: and the damage radius of a mid-batch fault).
+BATCH_CAP = 64
+
+_LOCK = threading.Lock()
+#: batch key -> weakly-held pending candidate nodes.
+_GROUPS: dict[tuple, "weakref.WeakSet[Node]"] = {}
+
+
+def register(node: Node) -> None:
+    """Enroll a freshly submitted batchable node (sequence layer)."""
+    if node.batch_key is None:
+        return
+    with _LOCK:
+        group = _GROUPS.get(node.batch_key)
+        if group is None:
+            group = _GROUPS[node.batch_key] = weakref.WeakSet()
+        group.add(node)
+
+
+def surrender(node: Node) -> None:
+    """Return a claimed-but-unrun peer to its group (batch run failed);
+    it will execute singly through the normal scheduler path."""
+    register(node)
+
+
+def _plain(n: Node) -> bool:
+    """Only *plain* pending nodes may ride a batch: any planner
+    decoration (CSE alias, fused pipeline, memo republish, pushed mask)
+    has its own execution path with its own fallback semantics."""
+    return (
+        n.state == PENDING
+        and n.alias_of is None
+        and n.plan is None
+        and n.memo_result is None
+        and n.pushed_mask is None
+        and n.pushed_into is None
+    )
+
+
+def claim_peers(node: Node) -> list[Node]:
+    """Atomically claim *node*'s ready batch peers (and drop stale
+    group entries).  A claimed peer is out of the registry for good —
+    the scheduler either completes it or surrenders it back."""
+    key = node.batch_key
+    if key is None:
+        return []
+    with _LOCK:
+        group = _GROUPS.get(key)
+        if not group:
+            _GROUPS.pop(key, None)
+            return []
+        peers: list[Node] = []
+        stale: list[Node] = []
+        for n in list(group):
+            if n.state != PENDING:
+                stale.append(n)
+                continue
+            if n is node:
+                continue
+            if len(peers) < BATCH_CAP and _plain(n) and all(
+                d.state == DONE for d in n.dep_nodes()
+            ):
+                peers.append(n)
+        for n in stale:
+            group.discard(n)
+        for n in peers:
+            group.discard(n)
+        group.discard(node)
+        if not group:
+            _GROUPS.pop(key, None)
+        return peers

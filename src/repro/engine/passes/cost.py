@@ -57,6 +57,13 @@ from __future__ import annotations
 import threading
 
 from ...internals import config
+from ...internals.containers import (
+    DcsrData,
+    MatData,
+    choose_mat_format,
+    dcsr_from_csr,
+    mat_format,
+)
 from ..dag import PENDING, Node
 from ..stats import STATS, register_reset_hook
 from .ir import PlanIR
@@ -64,7 +71,7 @@ from .ir import PlanIR
 __all__ = [
     "run", "estimate_nnz", "calibrated_rates", "entry_savings_ms",
     "record_plan_overhead", "partition_count", "record_partition_sample",
-    "export_calibration", "seed_calibration",
+    "export_calibration", "seed_calibration", "commit_format",
 ]
 
 #: Static per-element rates (ms) used until calibration has data:
@@ -327,6 +334,46 @@ def partition_count(ctx_key: int, nthreads: int, est_elems: float) -> int:
              "est_elems": round(est_elems, 1)},
         )
     return best
+
+
+def commit_format(label: str, carrier):
+    """Cost-model format decision at the transaction commit gate.
+
+    Kernels assemble scratch carriers through the density policy
+    already, but a committed matrix is the long-lived artifact iterated
+    by every later forcing — so the *commit* is where the format choice
+    is authoritative.  Applies :func:`~...internals.containers.
+    choose_mat_format` (the calibrated density threshold behind the
+    ``FORMAT_AUTO`` knob) to the carrier's final shape, repacking when
+    the kernel's choice disagrees.  Deterministic in (nrows, nnz), so
+    journal replay re-derives bit-identical formats.  Every repack
+    emits a ``cost:format`` instant; every doubly-compressed commit
+    bumps ``format_dcsr_commits``.
+    """
+    if not isinstance(carrier, (MatData, DcsrData)):
+        return carrier
+    current = mat_format(carrier)
+    target = choose_mat_format(carrier.nrows, carrier.nvals)
+    if target == current:
+        if current == "dcsr":
+            STATS.bump("format_dcsr_commits")
+        return carrier
+    if target == "dcsr":
+        out = dcsr_from_csr(carrier)
+        STATS.bump("format_dcsr_commits")
+    else:
+        out = carrier.to_csr()
+    STATS.instant(
+        f"cost:format:{label}", "planner",
+        {
+            "label": label,
+            "nrows": carrier.nrows,
+            "nvals": carrier.nvals,
+            "from": current,
+            "to": target,
+        },
+    )
+    return out
 
 
 def _conflict_pairs(ir: PlanIR):

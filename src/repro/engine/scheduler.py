@@ -318,6 +318,8 @@ def _run_node(node: Node) -> None:
     raises ``GrB_TIMEOUT`` *before* any kernel or commit runs, so the
     node stays PENDING (deferred) and every carrier keeps its
     last-committed value."""
+    if node.state == DONE:
+        return  # completed early by a small-op batch (another leader)
     cancel.checkpoint(node.label)
     for dep in node.dep_nodes():
         if dep.state == FAILED:
@@ -411,6 +413,9 @@ def _run_node(node: Node) -> None:
             # attribute the error to the node that actually fails.
             _run_deoptimized_fallback(node)
         return
+    if node.batch_key is not None and node.batch_compute is not None \
+            and _run_batch(node, t0):
+        return
     try:
         result = _checked_evaluate(node)
     except ExecutionError as exc:
@@ -444,6 +449,66 @@ def _run_node(node: Node) -> None:
         {"node": node.label},
     )
     _memo_store(node)
+
+
+def _run_batch(node: Node, t0: float) -> bool:
+    """Coalesce *node* with its pending small-op batch peers.
+
+    ``node`` is the group leader the scheduler happened to reach first.
+    Its peers — other plain pending nodes sharing its ``batch_key``,
+    i.e. independent single-vector products over the very same
+    committed matrix — are claimed from the registry and run through
+    one blocked multi-vector kernel, then each result passes the usual
+    transactional commit gate.  Running a peer ahead of its own forcing
+    is exactly the reordering freedom §III grants deferred sequences:
+    the nodes are pure, their inputs are settled snapshots, and their
+    owners observe only a completed result.  Returns ``False`` (and
+    surrenders the peers) when there is nothing to coalesce or any part
+    of the batch fails — every node then runs singly through the
+    normal §V path, so batching is failure-transparent.
+    """
+    from ..internals import config
+
+    if not config.ENGINE_OP_BATCH:
+        return False
+    from . import opbatch
+
+    peers = opbatch.claim_peers(node)
+    if not peers:
+        return False
+    group = [node] + peers
+    try:
+        carrier = node.inputs[0].resolve()
+        us = [n.inputs[1].resolve() for n in group]
+        ts = node.batch_compute(carrier, us)
+        committed = [
+            with_retry(
+                lambda n=n, t=t: _txn_commit(n.label, n.writeback(None, t)),
+                n.label,
+            )
+            for n, t in zip(group, ts)
+        ]
+    except Exception:
+        for p in peers:
+            opbatch.surrender(p)
+        return False
+    elapsed = time.perf_counter() - t0
+    STATS.bump("batch_groups")
+    STATS.bump("engine_batched_ops", len(group))
+    STATS.kernel("mxv_batch", elapsed)
+    STATS.span(
+        "mxv_batch", "kernel", t0, elapsed,
+        {"node": node.label, "batched": len(group)},
+    )
+    share = elapsed / len(group)
+    for n, res in zip(group, committed):
+        n.result = res
+        n.state = DONE
+        local = _node_stats(n)
+        if local is not None:
+            local.kernel(share)
+        _memo_store(n)
+    return True
 
 
 def _memo_store(node: Node) -> None:

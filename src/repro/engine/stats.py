@@ -83,6 +83,16 @@ optimizer actually do anything?".  Counters:
 * ``serve_batches`` / ``serve_batched_queries`` — coalesced
   multi-source submissions the serving batcher formed, and how many
   client queries rode in them.
+* ``format_dcsr_commits`` — matrix commits the format policy packed
+  (or kept) doubly-compressed (hypersparse DCSR tier); each repack
+  emits a ``cost:format`` instant with the shape and decision.
+* ``format_densify_fallbacks`` — hypersparse carriers densified to CSR
+  for a kernel family with no native DCSR path (each emits a
+  ``format:densify:<family>`` instant with the conversion time).
+* ``batch_groups`` / ``engine_batched_ops`` — small-op batches the
+  scheduler coalesced into one blocked multi-vector kernel, and how
+  many pending ops rode in them (the ops saved kernel entries, row
+  expansions, and per-op commit bookkeeping).
 * ``spans_dropped``    — trace spans discarded after the in-memory
   buffer filled (the counters above are never dropped).
 
@@ -195,6 +205,10 @@ _COUNTERS = (
     "restores",
     "restored_graphs",
     "restored_blocks",
+    "format_dcsr_commits",
+    "format_densify_fallbacks",
+    "batch_groups",
+    "engine_batched_ops",
     "spans_dropped",
 )
 

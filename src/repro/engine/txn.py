@@ -35,6 +35,26 @@ __all__ = ["commit", "validate_carrier"]
 def validate_carrier(carrier: Any) -> None:
     """Cheap structural invariants on a scratch carrier (O(1) checks —
     full value validation is ``validate.check_object``'s job)."""
+    row_ids = getattr(carrier, "row_ids", None)
+    if row_ids is not None:  # DcsrData-shaped (hypersparse tier)
+        indptr = carrier.indptr
+        if len(indptr) != len(row_ids) + 1:
+            raise InvalidObjectError(
+                f"refusing to commit corrupt scratch state: dcsr indptr "
+                f"length {len(indptr)} != nonempty rows+1 ({len(row_ids) + 1})"
+            )
+        if len(indptr) and (indptr[0] != 0
+                            or indptr[-1] != len(carrier.col_indices)):
+            raise InvalidObjectError(
+                "refusing to commit corrupt scratch state: dcsr indptr does "
+                "not span col_indices"
+            )
+        if len(carrier.col_indices) != len(carrier.values):
+            raise InvalidObjectError(
+                "refusing to commit corrupt scratch state: col/value length "
+                "mismatch"
+            )
+        return
     indptr = getattr(carrier, "indptr", None)
     if indptr is not None:  # MatData-shaped
         nrows = carrier.nrows
@@ -65,7 +85,18 @@ def validate_carrier(carrier: Any) -> None:
 
 def commit(label: str, carrier: Any) -> Any:
     """The transaction's commit gate: fault point + validation, then
-    hand the scratch carrier back for the (atomic) reference store."""
+    hand the scratch carrier back for the (atomic) reference store.
+
+    Matrix carriers additionally pass the cost model's format decision
+    (:func:`~repro.engine.passes.cost.commit_format`): the committed
+    artifact is what every later forcing iterates, so the CSR-vs-DCSR
+    choice is re-derived here from the final (nrows, nnz) shape and the
+    scratch carrier repacked if the kernel's assembly disagreed."""
     maybe_inject("txn.commit", label=label)
+    if getattr(carrier, "ncols", None) is not None and \
+            getattr(carrier, "col_indices", None) is not None:
+        from .passes.cost import commit_format
+
+        carrier = commit_format(label, carrier)
     validate_carrier(carrier)
     return carrier

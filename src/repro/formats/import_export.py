@@ -14,6 +14,17 @@ export most cheaply — ours is CSR (the internal storage), so the hint is
 always ``Format.CSR_MATRIX`` for matrices and ``Format.SPARSE_VECTOR``
 for vectors; a conforming implementation may instead refuse with
 ``GrB_NO_VALUE`` (we expose that path for testing via ``refuse=True``).
+
+Table III deliberately contains only *non-opaque* exchange formats, and
+their row pointers are dense in ``nrows`` — there is no hypersparse row
+in the table.  A matrix the engine carries as DCSR therefore densifies
+at this boundary (``DcsrData.to_csr``): cheap below ``MAX_NROWS``, and
+past it the defined ``GrB_OUT_OF_MEMORY`` — the exchange format itself
+cannot represent such a matrix.  Round-tripping hypersparse data keeps
+O(nnz) cost only through the opaque §VII-B serialization, which has a
+DCSR blob kind.  Imports are format-agnostic: the assembly funnel
+re-applies the engine's format policy, so importing a huge sparse COO
+lands on the DCSR carrier automatically.
 """
 
 from __future__ import annotations
@@ -33,7 +44,7 @@ from ..core.matrix import Matrix
 from ..core.types import Type
 from ..core.vector import Vector
 from ..internals.build import build_matrix, build_vector
-from ..internals.containers import MatData, VecData, coo_to_csr
+from ..internals.containers import DcsrData, VecData, mat_from_coo
 from .formats import MATRIX_FORMATS, VECTOR_FORMATS, Format
 
 __all__ = [
@@ -89,7 +100,7 @@ def matrix_import(
             raise InvalidValueError("CSR indptr/indices/values are inconsistent")
         rows = np.repeat(np.arange(nrows, dtype=_INT), np.diff(indptr))
         # Rows need not be sorted by column on import (Table III).
-        data = coo_to_csr(nrows, ncols, t, rows, cols, t.coerce_array(values))
+        data = mat_from_coo(nrows, ncols, t, rows, cols, t.coerce_array(values))
     elif fmt == Format.CSC_MATRIX:
         indptr = np.asarray(indptr, dtype=_INT)
         rows = np.asarray(indices, dtype=_INT)
@@ -98,7 +109,7 @@ def matrix_import(
         if indptr[-1] != len(rows) or len(rows) != len(values):
             raise InvalidValueError("CSC indptr/indices/values are inconsistent")
         cols = np.repeat(np.arange(ncols, dtype=_INT), np.diff(indptr))
-        data = coo_to_csr(nrows, ncols, t, rows, cols, t.coerce_array(values))
+        data = mat_from_coo(nrows, ncols, t, rows, cols, t.coerce_array(values))
     elif fmt == Format.COO_MATRIX:
         # Table III: indptr carries the COLUMN indices, indices the ROW
         # indices, in any order; duplicates are invalid for import.
@@ -116,7 +127,7 @@ def matrix_import(
         order = "C" if fmt == Format.DENSE_ROW_MATRIX else "F"
         dense = np.reshape(values, (nrows, ncols), order=order)
         rows, cols = np.divmod(np.arange(nrows * ncols, dtype=_INT), ncols)
-        data = coo_to_csr(
+        data = mat_from_coo(
             nrows, ncols, t, rows, cols,
             t.coerce_array(np.ascontiguousarray(dense).reshape(-1)),
             presorted=True,
@@ -134,7 +145,7 @@ def matrix_import(
 def matrix_export_size(A: Matrix, fmt: Format) -> tuple[int, int, int]:
     """``GrB_Matrix_exportSize`` → (len(indptr), len(indices), len(values))."""
     fmt = _check_format(fmt, MATRIX_FORMATS, "matrix")
-    d: MatData = A._capture()
+    d = A._capture()
     nnz = d.nvals
     if fmt == Format.CSR_MATRIX:
         return (d.nrows + 1, nnz, nnz)
@@ -185,9 +196,14 @@ def matrix_export(
     Returns ``(indptr, indices, values)`` with unused slots ``None``.
     """
     fmt = _check_format(fmt, MATRIX_FORMATS, "matrix")
-    d: MatData = A._capture()
+    d = A._capture()
 
     if fmt == Format.CSR_MATRIX:
+        # Table III's CSR has a dense nrows+1 pointer: a hypersparse
+        # carrier must densify here, and past the CSR row limit that
+        # raises the documented resource error (no CSR form exists).
+        if isinstance(d, DcsrData):
+            d = d.to_csr()
         return (
             _fill(indptr, d.indptr, "indptr"),
             _fill(indices, d.col_indices, "indices"),
@@ -195,6 +211,8 @@ def matrix_export(
         )
     if fmt == Format.CSC_MATRIX:
         tr = d.transpose()
+        if isinstance(tr, DcsrData):
+            tr = tr.to_csr()
         return (
             _fill(indptr, tr.indptr, "indptr"),
             _fill(indices, tr.col_indices, "indices"),

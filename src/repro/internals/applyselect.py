@@ -22,7 +22,8 @@ from ..core.indexunaryop import IndexUnaryOp
 from ..core.types import Type
 from ..core.unaryop import UnaryOp
 from ..faults.plane import maybe_inject
-from .containers import MatData, VecData, csr_to_coo_rows
+from .containers import DcsrData, MatData, VecData, mat_from_coo
+from .dispatch import register
 
 __all__ = [
     "vec_apply_unary",
@@ -53,13 +54,14 @@ def vec_apply_unary(u: VecData, op: UnaryOp, out_type: Type) -> VecData:
     return VecData(u.size, out_type, u.indices, out_type.coerce_array(vals))
 
 
-def mat_apply_unary(a: MatData, op: UnaryOp, out_type: Type) -> MatData:
+def mat_apply_unary(
+    a: "MatData | DcsrData", op: UnaryOp, out_type: Type
+) -> "MatData | DcsrData":
     maybe_inject("kernel.apply")
     vals = op.vec(op.in_type.coerce_array(a.values))
-    return MatData(
-        a.nrows, a.ncols, out_type,
-        a.indptr, a.col_indices, out_type.coerce_array(vals),
-    )
+    # Value-only rewrite: the structure (and so the storage format) is
+    # preserved whatever the carrier tier.
+    return a.with_values(out_type, out_type.coerce_array(vals))
 
 
 # ---------------------------------------------------------------------------
@@ -90,16 +92,18 @@ def vec_apply_bind2nd(u: VecData, s: Any, op: BinaryOp, out_type: Type) -> VecDa
     return VecData(u.size, out_type, u.indices, _bind2nd(op, u.values, s, out_type))
 
 
-def mat_apply_bind1st(s: Any, a: MatData, op: BinaryOp, out_type: Type) -> MatData:
+def mat_apply_bind1st(
+    s: Any, a: "MatData | DcsrData", op: BinaryOp, out_type: Type
+) -> "MatData | DcsrData":
     maybe_inject("kernel.apply")
-    return MatData(a.nrows, a.ncols, out_type, a.indptr, a.col_indices,
-                   _bind1st(op, s, a.values, out_type))
+    return a.with_values(out_type, _bind1st(op, s, a.values, out_type))
 
 
-def mat_apply_bind2nd(a: MatData, s: Any, op: BinaryOp, out_type: Type) -> MatData:
+def mat_apply_bind2nd(
+    a: "MatData | DcsrData", s: Any, op: BinaryOp, out_type: Type
+) -> "MatData | DcsrData":
     maybe_inject("kernel.apply")
-    return MatData(a.nrows, a.ncols, out_type, a.indptr, a.col_indices,
-                   _bind2nd(op, a.values, s, out_type))
+    return a.with_values(out_type, _bind2nd(op, a.values, s, out_type))
 
 
 # ---------------------------------------------------------------------------
@@ -130,14 +134,13 @@ def vec_apply_index(
 
 
 def mat_apply_index(
-    a: MatData, op: IndexUnaryOp, s: Any, out_type: Type
-) -> MatData:
+    a: "MatData | DcsrData", op: IndexUnaryOp, s: Any, out_type: Type
+) -> "MatData | DcsrData":
     """C = f(A, ind(A), 2, s) — §VIII-B matrix variant."""
     maybe_inject("kernel.apply")
-    rows = csr_to_coo_rows(a.indptr, a.nrows)
+    rows = a.row_indices()
     vals = _index_op_values(op, a.values, rows, a.col_indices, s)
-    return MatData(a.nrows, a.ncols, out_type, a.indptr, a.col_indices,
-                   out_type.coerce_array(vals))
+    return a.with_values(out_type, out_type.coerce_array(vals))
 
 
 def vec_select(u: VecData, op: IndexUnaryOp, s: Any) -> VecData:
@@ -150,21 +153,20 @@ def vec_select(u: VecData, op: IndexUnaryOp, s: Any) -> VecData:
     return VecData(u.size, u.type, u.indices[keep], u.values[keep])
 
 
-def mat_select(a: MatData, op: IndexUnaryOp, s: Any) -> MatData:
+def mat_select(
+    a: "MatData | DcsrData", op: IndexUnaryOp, s: Any
+) -> "MatData | DcsrData":
     """C = A⟨f(A, ind(A), 2, s)⟩ — §VIII-C matrix variant."""
     maybe_inject("kernel.select")
-    rows = csr_to_coo_rows(a.indptr, a.nrows)
+    rows = a.row_indices()
     keep = np.asarray(
         _index_op_values(op, a.values, rows, a.col_indices, s), dtype=bool
     )
-    new_cols = a.col_indices[keep]
-    new_vals = a.values[keep]
-    kept_rows = rows[keep]
-    indptr = np.zeros(a.nrows + 1, dtype=_INT)
-    if len(kept_rows):
-        counts = np.bincount(kept_rows, minlength=a.nrows)
-        np.cumsum(counts, out=indptr[1:])
-    return MatData(a.nrows, a.ncols, a.type, indptr, new_cols, new_vals)
+    return mat_from_coo(
+        a.nrows, a.ncols, a.type,
+        rows[keep], a.col_indices[keep], a.values[keep],
+        presorted=True,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -229,33 +231,33 @@ def vec_pipeline(u: VecData, stages: list) -> VecData:
     return VecData(u.size, t, indices, values)
 
 
-def mat_pipeline(a: MatData, stages: list) -> MatData:
-    """Run a fused stage list over a matrix carrier.
+def mat_pipeline(a: "MatData | DcsrData", stages: list) -> "MatData | DcsrData":
+    """Run a fused stage list over a matrix carrier (either tier).
 
     COO row indices are materialized lazily (first coordinate-reading
-    stage) and the CSR row pointer is rebuilt only when a filter changed
+    stage) and the row pointer is rebuilt only when a filter changed
     the structure — once at the end, or at a transpose boundary.
+    Value-only chains preserve the input carrier's storage format;
+    structure-dirtying chains reassemble through the format policy.
     """
     maybe_inject("kernel.pipeline")
+    cur = a         # structure donor (carrier whose pointer is current)
     nrows, ncols, t = a.nrows, a.ncols, a.type
-    indptr, cols, values = a.indptr, a.col_indices, a.values
-    rows = None     # COO rows; materialized on demand while indptr is valid
-    dirty = False   # True once a select invalidated indptr
+    cols, values = a.col_indices, a.values
+    rows = None     # COO rows; materialized on demand while cur is valid
+    dirty = False   # True once a select invalidated cur's structure
 
     def _coo_rows():
         nonlocal rows
         if rows is None:
-            rows = csr_to_coo_rows(indptr, nrows)
+            rows = cur.row_indices()
         return rows
 
-    def _finalize() -> MatData:
-        nonlocal indptr
+    def _finalize() -> "MatData | DcsrData":
         if dirty:
-            indptr = np.zeros(nrows + 1, dtype=_INT)
-            if len(rows):
-                counts = np.bincount(rows, minlength=nrows)
-                np.cumsum(counts, out=indptr[1:])
-        return MatData(nrows, ncols, t, indptr, cols, values)
+            return mat_from_coo(nrows, ncols, t, rows, cols, values,
+                                presorted=True)
+        return cur.with_values(t, values)
 
     for st in stages:
         kind = st[0]
@@ -288,8 +290,9 @@ def mat_pipeline(a: MatData, stages: list) -> MatData:
             dirty = True
         elif kind == "transpose":
             m = _finalize().transpose()
+            cur = m
             nrows, ncols, t = m.nrows, m.ncols, m.type
-            indptr, cols, values = m.indptr, m.col_indices, m.values
+            cols, values = m.col_indices, m.values
             rows = None
             dirty = False
         elif kind == "cast":
@@ -307,3 +310,12 @@ def run_stages(carrier, stages: list):
     if isinstance(carrier, VecData):
         return vec_pipeline(carrier, stages)
     return mat_pipeline(carrier, stages)
+
+
+# apply/select/pipeline are native on both storage tiers: value-only
+# rewrites preserve the carrier, structural filters reassemble through
+# the format policy.
+register("apply", "csr", "dcsr")(mat_apply_unary)
+register("apply_index", "csr", "dcsr")(mat_apply_index)
+register("select", "csr", "dcsr")(mat_select)
+register("pipeline", "csr", "dcsr")(mat_pipeline)

@@ -16,6 +16,14 @@ Semantics captured here:
 * The scalar variants fill *every* position of the region — Table II's
   ``GrB_assign(…, GrB_Scalar, …)`` lands here with an empty scalar
   meaning "delete the region" when unaccumulated.
+
+Assign is the one kernel family with **no native hypersparse path**:
+its region rewrite walks whole row extents, which is inherently
+row-pointer shaped.  Doubly-compressed inputs densify through the
+measured-and-traced :func:`~.dispatch.as_csr` fallback (counted in
+``format_densify_fallbacks``, emitted as ``format:densify:assign``
+trace instants) and raise the documented resource-limit error above the
+CSR row ceiling.
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ from ..core.errors import InvalidIndexError
 from ..core.types import Type
 from ..faults.plane import maybe_inject
 from .containers import MatData, VecData, coo_to_csr, csr_to_coo_rows
+from .dispatch import as_csr, register
 from .ewise import mat_union, vec_union
 
 __all__ = [
@@ -179,6 +188,8 @@ def mat_assign(
 ) -> MatData:
     """Z for ``C(I,J) = [accum] A``."""
     maybe_inject("kernel.assign")
+    c = as_csr(c, "assign")
+    a = as_csr(a, "assign")
     ridx = _indices_or_all(row_indices, c.nrows, "row")
     cidx = _indices_or_all(col_indices, c.ncols, "column")
     nr = c.nrows if ridx is None else len(ridx)
@@ -206,6 +217,7 @@ def mat_assign_scalar(
 ) -> MatData:
     """Z for ``C(I,J) = [accum] s`` — the region densifies to |I|·|J|."""
     maybe_inject("kernel.assign")
+    c = as_csr(c, "assign")
     ridx = _indices_or_all(row_indices, c.nrows, "row")
     cidx = _indices_or_all(col_indices, c.ncols, "column")
     rows_arr = np.arange(c.nrows, dtype=_INT) if ridx is None else ridx
@@ -236,6 +248,7 @@ def mat_assign_row(
 ) -> MatData:
     """Z for ``C(i, J) = [accum] u`` (``GrB_Row_assign``)."""
     maybe_inject("kernel.assign")
+    c = as_csr(c, "assign")
     if not (0 <= row < c.nrows):
         raise InvalidIndexError(f"row {row} out of range [0, {c.nrows})")
     cidx = _indices_or_all(col_indices, c.ncols, "column")
@@ -262,6 +275,7 @@ def mat_assign_col(
 ) -> MatData:
     """Z for ``C(I, j) = [accum] u`` (``GrB_Col_assign``)."""
     maybe_inject("kernel.assign")
+    c = as_csr(c, "assign")
     if not (0 <= col < c.ncols):
         raise InvalidIndexError(f"column {col} out of range [0, {c.ncols})")
     ridx = _indices_or_all(row_indices, c.nrows, "row")
@@ -276,3 +290,8 @@ def mat_assign_col(
         c, new_rows, new_cols, out_type.coerce_array(u.values),
         ridx, np.array([col], dtype=_INT), accum, out_type,
     )
+
+
+# CSR-only: hypersparse inputs densify through the traced as_csr
+# fallback at each kernel's entry (see module docstring).
+register("assign", "csr")(mat_assign)

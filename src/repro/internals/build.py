@@ -18,7 +18,8 @@ from ..core.binaryop import BinaryOp
 from ..core.errors import DuplicateIndexError, IndexOutOfBoundsError
 from ..core.types import Type
 from ..faults.plane import maybe_inject
-from .containers import MatData, VecData, coo_to_csr, pair_keys
+from .containers import DcsrData, MatData, VecData, mat_from_coo, pair_keys
+from .dispatch import register
 
 __all__ = ["build_vector", "build_matrix", "dedup_sorted"]
 
@@ -121,8 +122,12 @@ def build_matrix(
     cols: Any,
     values: Any,
     dup: BinaryOp | None,
-) -> MatData:
-    """``GrB_Matrix_build`` kernel."""
+) -> "MatData | DcsrData":
+    """``GrB_Matrix_build`` kernel.
+
+    Output assembly goes through the format policy: hypersparse shapes
+    (huge dimension, few tuples) come out doubly-compressed instead of
+    paying an O(nrows) pointer."""
     maybe_inject("kernel.build")
     r = np.asarray(rows, dtype=_INT).reshape(-1)
     c = np.asarray(cols, dtype=_INT).reshape(-1)
@@ -147,4 +152,8 @@ def build_matrix(
         # the run start, matching the folded values order.
         r = r[keep]
         c = c[keep]
-    return coo_to_csr(nrows, ncols, t, r, c, vals, presorted=True)
+    return mat_from_coo(nrows, ncols, t, r, c, vals, presorted=True)
+
+
+# build assembles through the format policy — native on both tiers.
+register("build", "csr", "dcsr")(build_matrix)

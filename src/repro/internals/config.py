@@ -56,6 +56,27 @@ DESIGN.md's ablation benches flip these to measure the design choices:
   Context from measured span scaling instead of always using
   ``nthreads`` blocks.
 
+Hypersparse-tier knobs (:mod:`repro.internals.containers`,
+:mod:`repro.internals.dispatch`, :mod:`repro.engine.opbatch`):
+
+* ``FORMAT_AUTO`` — let the commit-time format policy pick between the
+  CSR carrier and the doubly-compressed hypersparse ``DcsrData``
+  carrier by row count vs occupancy (decisions traced as ``cost:``
+  instants).  Off pins every matrix to CSR — the pre-hypersparse
+  behavior, where row counts past ``MAX_NROWS`` raise the documented
+  ``GrB_OUT_OF_MEMORY``.  Env: ``FORMAT_AUTO`` (CI ablation row).
+* ``FORMAT_DCSR_MIN_ROWS`` — row count below which the policy never
+  picks DCSR (small matrices stay CSR regardless of density: the dense
+  row pointer is cheap and the kernels' direct indexing is faster).
+* ``FORMAT_DCSR_FACTOR`` — density threshold: a matrix at or above the
+  row floor goes DCSR when ``nnz * FACTOR < nrows`` (fewer than one
+  stored entry per FACTOR rows).
+* ``ENGINE_OP_BATCH`` — let the nonblocking scheduler coalesce many
+  pending single-vector products over the *same* committed matrix into
+  one blocked multi-vector kernel (the serve-layer batching idea pushed
+  down into the engine, so plain library users get it too).  Env:
+  ``ENGINE_OP_BATCH`` (CI ablation row).
+
 Resilience knobs (the fault plane's retry/degradation policy,
 :mod:`repro.faults`):
 
@@ -148,6 +169,10 @@ ENGINE_COSTMODEL: bool = _env_flag(("ENGINE_COSTMODEL",), True)
 ENGINE_ALGO_MEMO: bool = _env_flag(("ENGINE_ALGO_MEMO",), True)
 COST_ADAPTIVE_FUSION: bool = _env_flag(("COST_ADAPTIVE_FUSION",), True)
 COST_ADAPTIVE_PARTITIONS: bool = _env_flag(("COST_ADAPTIVE_PARTITIONS",), True)
+FORMAT_AUTO: bool = _env_flag(("FORMAT_AUTO",), True)
+FORMAT_DCSR_MIN_ROWS: int = _env_num("FORMAT_DCSR_MIN_ROWS", 1 << 20)
+FORMAT_DCSR_FACTOR: int = _env_num("FORMAT_DCSR_FACTOR", 16)
+ENGINE_OP_BATCH: bool = _env_flag(("ENGINE_OP_BATCH",), True)
 RETRY_MAX: int = 3
 RETRY_BASE_DELAY: float = 0.002
 COMM_TIMEOUT: float = 10.0
@@ -173,6 +198,10 @@ _DEFAULTS = {
     "ENGINE_ALGO_MEMO": ENGINE_ALGO_MEMO,
     "COST_ADAPTIVE_FUSION": COST_ADAPTIVE_FUSION,
     "COST_ADAPTIVE_PARTITIONS": COST_ADAPTIVE_PARTITIONS,
+    "FORMAT_AUTO": FORMAT_AUTO,
+    "FORMAT_DCSR_MIN_ROWS": FORMAT_DCSR_MIN_ROWS,
+    "FORMAT_DCSR_FACTOR": FORMAT_DCSR_FACTOR,
+    "ENGINE_OP_BATCH": ENGINE_OP_BATCH,
     "RETRY_MAX": 3,
     "RETRY_BASE_DELAY": 0.002,
     "COMM_TIMEOUT": 10.0,

@@ -12,6 +12,17 @@ every kernel allocates fresh output arrays.
 which makes the row-major (row, col) stream globally sorted — the
 property the merge-based eWise kernels and mask membership tests rely
 on.  ``VecData`` stores sorted unique indices plus parallel values.
+
+``DcsrData`` is the *hypersparse* tier: doubly-compressed sparse row
+(CombBLAS-style DCSC transposed), storing only the **nonempty** rows
+(``row_ids``, strictly increasing) with a row pointer compressed to
+``nrr + 1`` entries.  Storage and iteration are O(nnz) — independent of
+``nrows`` — which is what makes a 2^32-row graph with a few thousand
+edges representable.  Both matrix carriers expose the same polymorphic
+surface (``row_indices()``, ``astype``, ``with_values``, ``transpose``,
+``nvals``) so kernels written against the sorted COO row stream work on
+either; :func:`mat_from_coo` assembles whichever format
+:func:`choose_mat_format` picks for the output shape.
 """
 
 from __future__ import annotations
@@ -22,16 +33,26 @@ from typing import Any
 import numpy as np
 
 from ..core.types import Type
+from . import config
 
 __all__ = [
     "VecData",
     "MatData",
+    "DcsrData",
     "coo_to_csr",
+    "coo_to_dcsr",
     "csr_to_coo_rows",
+    "dcsr_from_csr",
+    "mat_from_coo",
+    "choose_mat_format",
+    "mat_format",
+    "empty_mat_auto",
+    "row_gather",
     "pair_keys",
     "in_sorted",
     "empty_vec",
     "empty_mat",
+    "empty_dcsr",
     "MAX_NROWS",
     "check_nrows_limit",
 ]
@@ -126,11 +147,15 @@ class MatData:
         assert len(self.indptr) == self.nrows + 1
         assert self.indptr[0] == 0 and self.indptr[-1] == len(self.col_indices)
         assert len(self.col_indices) == len(self.values)
-        assert np.all(np.diff(self.indptr) >= 0)
-        if len(self.col_indices):
-            assert self.col_indices.min() >= 0
-            assert self.col_indices.max() < self.ncols
         nnz = len(self.col_indices)
+        if nnz == 0:
+            # Empty matrix: nothing else to scan.  Skipping the O(nrows)
+            # monotonicity diff matters — restore/validate paths check()
+            # freshly-created empties of arbitrary dimension.
+            return
+        assert np.all(np.diff(self.indptr) >= 0)
+        assert self.col_indices.min() >= 0
+        assert self.col_indices.max() < self.ncols
         if nnz > 1:
             # Strictly increasing within every row, vectorized: the only
             # positions allowed to be non-increasing are row boundaries.
@@ -148,6 +173,13 @@ class MatData:
             self.indptr, self.col_indices, t.coerce_array(self.values),
         )
 
+    def with_values(self, t: Type, values: np.ndarray) -> "MatData":
+        """Same structure, new values (value-only apply fast path)."""
+        return MatData(
+            self.nrows, self.ncols, t,
+            self.indptr, self.col_indices, values,
+        )
+
     def row_lengths(self) -> np.ndarray:
         return np.diff(self.indptr)
 
@@ -159,13 +191,136 @@ class MatData:
         lo, hi = self.indptr[i], self.indptr[i + 1]
         return self.col_indices[lo:hi], self.values[lo:hi]
 
-    def transpose(self) -> "MatData":
-        """Explicit CSR transpose (counting sort by column)."""
+    def transpose(self) -> "MatData | DcsrData":
+        """Explicit transpose (counting sort by column).  The output
+        format follows the *transposed* shape: transposing a wide
+        matrix yields a tall one, which may need the hypersparse tier."""
         rows = self.row_indices()
-        return coo_to_csr(
+        return mat_from_coo(
             self.ncols, self.nrows, self.type,
             self.col_indices, rows, self.values,
             presorted=False,
+        )
+
+    def to_dense(self, fill: Any = None) -> np.ndarray:
+        out = np.full(
+            (self.nrows, self.ncols),
+            self.type.default if fill is None else fill,
+            dtype=self.type.np_dtype,
+        )
+        out[self.row_indices(), self.col_indices] = self.values
+        return out
+
+
+@dataclass(frozen=True)
+class DcsrData:
+    """Doubly-compressed (hypersparse) matrix: only nonempty rows stored.
+
+    ``row_ids`` lists the nonempty rows (strictly increasing) and
+    ``indptr`` is the row pointer *compressed to those rows* (length
+    ``nrr + 1``).  Every stored row is nonempty by invariant, so the
+    (row, col) stream is globally row-major sorted exactly like CSR —
+    all merge/membership kernels written against ``row_indices()`` work
+    unchanged.  Total storage is O(nnz): ``nrows`` is just a bound.
+    """
+
+    nrows: int
+    ncols: int
+    type: Type
+    row_ids: np.ndarray      # int64[nrr], strictly increasing, all nonempty
+    indptr: np.ndarray       # int64[nrr+1], compressed row pointer
+    col_indices: np.ndarray  # int64[nnz]
+    values: np.ndarray       # type.np_dtype[nnz]
+
+    @property
+    def nvals(self) -> int:
+        return len(self.col_indices)
+
+    @property
+    def nrr(self) -> int:
+        """Number of nonempty rows (CombBLAS calls this nzr)."""
+        return len(self.row_ids)
+
+    def check(self) -> None:
+        assert self.row_ids.dtype == _INT and self.indptr.dtype == _INT
+        assert self.col_indices.dtype == _INT
+        assert len(self.indptr) == len(self.row_ids) + 1
+        assert len(self.col_indices) == len(self.values)
+        nnz = len(self.col_indices)
+        if nnz == 0:
+            assert len(self.row_ids) == 0
+            return
+        assert self.indptr[0] == 0 and self.indptr[-1] == nnz
+        lens = np.diff(self.indptr)
+        assert np.all(lens > 0), "empty row listed in row_ids"
+        assert self.row_ids[0] >= 0
+        assert self.row_ids[-1] < self.nrows
+        assert np.all(np.diff(self.row_ids) > 0), "row_ids not strictly sorted"
+        assert self.col_indices.min() >= 0
+        assert self.col_indices.max() < self.ncols
+        if nnz > 1:
+            ok = np.diff(self.col_indices) > 0
+            starts = self.indptr[1:-1]
+            starts = starts[(starts > 0) & (starts < nnz)]
+            ok[starts - 1] = True
+            assert bool(ok.all()), "columns not strictly sorted within a row"
+
+    def astype(self, t: Type) -> "DcsrData":
+        if t == self.type:
+            return self
+        return DcsrData(
+            self.nrows, self.ncols, t, self.row_ids,
+            self.indptr, self.col_indices, t.coerce_array(self.values),
+        )
+
+    def with_values(self, t: Type, values: np.ndarray) -> "DcsrData":
+        """Same structure, new values (value-only apply fast path)."""
+        return DcsrData(
+            self.nrows, self.ncols, t, self.row_ids,
+            self.indptr, self.col_indices, values,
+        )
+
+    def row_indices(self) -> np.ndarray:
+        """COO row stream — O(nnz), never touches ``nrows``."""
+        if len(self.row_ids) == 0:
+            return np.empty(0, dtype=_INT)
+        return np.repeat(self.row_ids, np.diff(self.indptr))
+
+    def row_window(self, i: int) -> tuple[int, int]:
+        """[lo, hi) extent of row ``i`` in the value arrays (empty rows
+        yield an empty window)."""
+        pos = int(np.searchsorted(self.row_ids, i))
+        if pos >= len(self.row_ids) or self.row_ids[pos] != i:
+            return 0, 0
+        return int(self.indptr[pos]), int(self.indptr[pos + 1])
+
+    def row_slice(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        lo, hi = self.row_window(i)
+        return self.col_indices[lo:hi], self.values[lo:hi]
+
+    def transpose(self) -> "MatData | DcsrData":
+        rows = self.row_indices()
+        return mat_from_coo(
+            self.ncols, self.nrows, self.type,
+            self.col_indices, rows, self.values,
+            presorted=False,
+        )
+
+    def to_csr(self) -> MatData:
+        """Densify the row pointer (the dispatch layer's fallback path).
+
+        Raises the defined resource-limit error when ``nrows`` exceeds
+        the CSR limit — a hypersparse matrix past that bound has no CSR
+        representation at all.
+        """
+        check_nrows_limit(self.nrows)
+        indptr = np.zeros(self.nrows + 1, dtype=_INT)
+        if len(self.row_ids):
+            indptr[self.row_ids + 1] = np.diff(self.indptr)
+            np.cumsum(indptr, out=indptr)
+        return MatData(
+            self.nrows, self.ncols, self.type,
+            indptr, self.col_indices, self.values,
         )
 
     def to_dense(self, fill: Any = None) -> np.ndarray:
@@ -191,8 +346,57 @@ def empty_mat(nrows: int, ncols: int, t: Type) -> MatData:
     )
 
 
+def empty_dcsr(nrows: int, ncols: int, t: Type) -> DcsrData:
+    """O(1) empty hypersparse carrier — any ``nrows`` up to 2^60."""
+    return DcsrData(
+        nrows, ncols, t,
+        np.empty(0, dtype=_INT),
+        np.zeros(1, dtype=_INT),
+        np.empty(0, dtype=_INT),
+        t.empty(0),
+    )
+
+
+def mat_format(d: Any) -> str:
+    """``"dcsr"`` | ``"csr"`` — the carrier's storage format tag."""
+    return "dcsr" if isinstance(d, DcsrData) else "csr"
+
+
+def choose_mat_format(nrows: int, nnz: int) -> str:
+    """Format policy for a matrix of the given shape/occupancy.
+
+    Pure and deterministic (same inputs + knobs → same format), so a
+    journal replay rebuilds byte-identical carriers.  DCSR is chosen
+    when CSR physically cannot represent the row count, or when the
+    dense row pointer would dominate storage: ``nrows`` at least
+    ``FORMAT_DCSR_MIN_ROWS`` *and* fewer than one stored entry per
+    ``FORMAT_DCSR_FACTOR`` rows.  ``FORMAT_AUTO=0`` pins everything to
+    CSR (the pre-hypersparse behavior; row counts past ``MAX_NROWS``
+    then raise the documented resource-limit error downstream).
+    """
+    if not config.FORMAT_AUTO:
+        return "csr"
+    if nrows > MAX_NROWS:
+        return "dcsr"
+    if nrows >= config.FORMAT_DCSR_MIN_ROWS \
+            and nnz * config.FORMAT_DCSR_FACTOR < nrows:
+        return "dcsr"
+    return "csr"
+
+
+def empty_mat_auto(nrows: int, ncols: int, t: Type) -> "MatData | DcsrData":
+    """Format-aware empty carrier (``Matrix.new`` / ``clear``)."""
+    if choose_mat_format(nrows, 0) == "dcsr":
+        return empty_dcsr(nrows, ncols, t)
+    check_nrows_limit(nrows)
+    return empty_mat(nrows, ncols, t)
+
+
 def csr_to_coo_rows(indptr: np.ndarray, nrows: int) -> np.ndarray:
     """Row index of every stored element, from the CSR row pointer."""
+    if nrows == 0 or len(indptr) == 0 or indptr[-1] == 0:
+        # Empty matrix: skip the O(nrows) repeat/diff entirely.
+        return np.empty(0, dtype=_INT)
     return np.repeat(np.arange(nrows, dtype=_INT), np.diff(indptr))
 
 
@@ -218,11 +422,110 @@ def coo_to_csr(
         rows = rows[order]
         cols = cols[order]
         values = values[order]
-    indptr = np.zeros(nrows + 1, dtype=_INT)
-    if len(rows):
-        counts = np.bincount(rows, minlength=nrows)
-        np.cumsum(counts, out=indptr[1:])
+    if len(rows) == 0:
+        return empty_mat(nrows, ncols, t)
+    # One uninitialized nrows+1 buffer instead of zeros + a second
+    # bincount temporary: cumsum writes every slot past 0 exactly once.
+    indptr = np.empty(nrows + 1, dtype=_INT)
+    indptr[0] = 0
+    np.cumsum(np.bincount(rows, minlength=nrows), out=indptr[1:])
     return MatData(nrows, ncols, t, indptr, cols, t.coerce_array(values))
+
+
+def coo_to_dcsr(
+    nrows: int,
+    ncols: int,
+    t: Type,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    values: np.ndarray,
+    *,
+    presorted: bool = False,
+) -> DcsrData:
+    """Assemble DCSR from COO triples with **unique** (row, col) pairs.
+
+    O(nnz log nnz) worst case and O(nnz) memory — ``nrows`` is never
+    allocated against, which is the whole point of the format.
+    """
+    rows = _as_index_array(rows)
+    cols = _as_index_array(cols)
+    if not presorted and len(rows) > 1:
+        order = np.lexsort((cols, rows))
+        rows = rows[order]
+        cols = cols[order]
+        values = values[order]
+    if len(rows) == 0:
+        return empty_dcsr(nrows, ncols, t)
+    row_ids, counts = np.unique(rows, return_counts=True)
+    indptr = np.empty(len(row_ids) + 1, dtype=_INT)
+    indptr[0] = 0
+    np.cumsum(counts, out=indptr[1:])
+    return DcsrData(
+        nrows, ncols, t, row_ids.astype(_INT, copy=False),
+        indptr, cols, t.coerce_array(values),
+    )
+
+
+def dcsr_from_csr(d: MatData) -> DcsrData:
+    """Compress a CSR carrier's row pointer (commit-time repack)."""
+    lens = np.diff(d.indptr)
+    row_ids = np.flatnonzero(lens).astype(_INT, copy=False)
+    indptr = np.empty(len(row_ids) + 1, dtype=_INT)
+    indptr[0] = 0
+    np.cumsum(lens[row_ids], out=indptr[1:])
+    return DcsrData(
+        d.nrows, d.ncols, d.type, row_ids,
+        indptr, d.col_indices, d.values,
+    )
+
+
+def mat_from_coo(
+    nrows: int,
+    ncols: int,
+    t: Type,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    values: np.ndarray,
+    *,
+    presorted: bool = False,
+) -> "MatData | DcsrData":
+    """Assemble whichever matrix format :func:`choose_mat_format` picks.
+
+    This is the kernel layer's output funnel: kernels produce sorted
+    COO streams and let the policy decide the carrier, so a hypersparse
+    result never materializes an ``nrows + 1`` pointer even transiently.
+    """
+    if choose_mat_format(nrows, len(rows)) == "dcsr":
+        return coo_to_dcsr(
+            nrows, ncols, t, rows, cols, values, presorted=presorted
+        )
+    check_nrows_limit(nrows)
+    return coo_to_csr(
+        nrows, ncols, t, rows, cols, values, presorted=presorted
+    )
+
+
+def row_gather(d: "MatData | DcsrData", keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-key row extents ``(lo, hi)`` into ``d``'s value arrays.
+
+    ``keys`` are arbitrary (possibly repeated, unsorted) row numbers;
+    a missing row yields an empty ``[lo, lo)`` window.  CSR answers by
+    direct row-pointer indexing; DCSR by binary search over the
+    nonempty-row list — O(len(keys) · log nrr), never O(nrows).
+    """
+    keys = _as_index_array(keys)
+    if isinstance(d, DcsrData):
+        nrr = len(d.row_ids)
+        if nrr == 0:
+            z = np.zeros(len(keys), dtype=_INT)
+            return z, z
+        pos = np.searchsorted(d.row_ids, keys)
+        safe = np.minimum(pos, nrr - 1)
+        hit = d.row_ids[safe] == keys
+        lo = np.where(hit, d.indptr[safe], 0)
+        hi = np.where(hit, d.indptr[safe + 1], 0)
+        return lo, hi
+    return d.indptr[keys], d.indptr[keys + 1]
 
 
 def insert_value(arr: np.ndarray, pos: int, value: Any, t: Type) -> np.ndarray:

@@ -1,0 +1,82 @@
+"""Format-aware kernel dispatch (the hypersparse tier's switchboard).
+
+Kernels used to assume CSR (``MatData``) everywhere.  With the
+doubly-compressed ``DcsrData`` carrier beside it, each kernel family
+registers one implementation per storage format it handles natively:
+
+    @register("reduce_rows", "csr", "dcsr")
+    def _reduce_rows(a, monoid): ...
+
+``resolve(family, carrier)`` returns the registered implementation for
+the carrier's format.  Families without a native hypersparse path run
+through :func:`as_csr` instead — a **measured and traced** densify
+fallback: the conversion is counted (``format_densify_fallbacks``),
+timed, and emitted as a ``format:densify`` trace instant, so a workload
+silently paying O(nrows) conversions shows up in ``--trace-out`` and in
+the bench gate's counter checks rather than hiding in the wall time.
+
+Most families in this codebase are *polymorphic* over the sorted COO
+row stream (``carrier.row_indices()`` + :func:`~.containers.mat_from_coo`)
+and register the same callable for both formats; the registry still
+records that fact so coverage is auditable (`registered_formats`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+from ..engine.stats import STATS
+from .containers import DcsrData, MatData, mat_format
+
+__all__ = ["register", "resolve", "as_csr", "registered_formats", "mat_format"]
+
+#: (family, format) -> kernel implementation
+_REGISTRY: dict[tuple[str, str], Callable] = {}
+
+
+def register(family: str, *formats: str):
+    """Class the decorated callable as *family*'s impl for *formats*."""
+    def deco(fn: Callable) -> Callable:
+        for fmt in formats:
+            _REGISTRY[(family, fmt)] = fn
+        return fn
+    return deco
+
+
+def resolve(family: str, carrier: Any) -> Callable | None:
+    """The registered implementation for the carrier's format, if any."""
+    return _REGISTRY.get((family, mat_format(carrier)))
+
+
+def registered_formats(family: str) -> tuple[str, ...]:
+    """Which formats *family* handles natively (docs/tests audit hook)."""
+    return tuple(
+        fmt for (fam, fmt) in sorted(_REGISTRY) if fam == family
+    )
+
+
+def as_csr(d: "MatData | DcsrData", family: str) -> MatData:
+    """Densify a hypersparse carrier for a CSR-only kernel family.
+
+    The escape hatch for families with no native DCSR path (assign's
+    region rewrite).  Never silent: bumps ``format_densify_fallbacks``
+    and emits a ``format:densify`` trace instant with the family and
+    shape, and raises the documented resource-limit error when the row
+    count has no CSR representation at all.
+    """
+    if isinstance(d, MatData):
+        return d
+    t0 = time.perf_counter()
+    out = d.to_csr()
+    STATS.bump("format_densify_fallbacks")
+    STATS.instant(
+        f"format:densify:{family}", "kernel",
+        {
+            "family": family,
+            "nrows": d.nrows,
+            "nvals": d.nvals,
+            "densify_ms": round((time.perf_counter() - t0) * 1e3, 3),
+        },
+    )
+    return out

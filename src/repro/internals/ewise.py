@@ -9,9 +9,11 @@ Both operate on the sorted index streams of the carriers:
   the GraphBLAS ``eWiseAdd`` definition requires (the "add" op is only
   applied where both are present).
 
-The matrix kernels exploit that a canonical CSR's (row, col) stream is
-globally sorted, reducing matrix eWise to the vector merge over scalar
-pair-keys.
+The matrix kernels exploit that a canonical carrier's (row, col)
+stream is globally sorted — true of CSR *and* of the hypersparse DCSR
+tier — reducing matrix eWise to the vector merge over scalar pair-keys;
+the whole family is format-polymorphic via ``carrier.row_indices()``
+and assembles its output through the format policy.
 
 The *intersection* kernels accept an optional planner-pushed mask
 filter (``mask_keys`` — sorted keys in the output coordinate space,
@@ -30,13 +32,14 @@ from ..core.binaryop import BinaryOp
 from ..core.types import Type
 from ..faults.plane import maybe_inject
 from .containers import (
+    DcsrData,
     MatData,
     VecData,
-    coo_to_csr,
-    csr_to_coo_rows,
     in_sorted,
+    mat_from_coo,
     pair_keys,
 )
+from .dispatch import register
 
 __all__ = [
     "vec_intersect",
@@ -129,17 +132,17 @@ def vec_union(
 
 
 def mat_intersect(
-    a: MatData,
-    b: MatData,
+    a: "MatData | DcsrData",
+    b: "MatData | DcsrData",
     op: BinaryOp,
     out_type: Type,
     mask_keys: np.ndarray | None = None,
     mask_complement: bool = False,
-) -> MatData:
+) -> "MatData | DcsrData":
     """C = A .* B over the structural intersection."""
     maybe_inject("kernel.ewise")
-    a_keys = pair_keys(csr_to_coo_rows(a.indptr, a.nrows), a.col_indices, a.ncols)
-    b_keys = pair_keys(csr_to_coo_rows(b.indptr, b.nrows), b.col_indices, b.ncols)
+    a_keys = pair_keys(a.row_indices(), a.col_indices, a.ncols)
+    b_keys = pair_keys(b.row_indices(), b.col_indices, b.ncols)
     common, ia, ib = _intersect_sorted(a_keys, b_keys)
     common, ia, ib = _filter_common(
         common, ia, ib, mask_keys, mask_complement, a.nrows * a.ncols
@@ -147,20 +150,24 @@ def mat_intersect(
     vals = _merged_values(op, out_type, a.values[ia], b.values[ib])
     rows = (common // a.ncols).astype(_INT)
     cols = (common % a.ncols).astype(_INT)
-    return coo_to_csr(a.nrows, a.ncols, out_type, rows, cols, vals, presorted=True)
+    return mat_from_coo(a.nrows, a.ncols, out_type, rows, cols, vals,
+                        presorted=True)
 
 
 def mat_union(
-    a: MatData, b: MatData, op: BinaryOp, out_type: Type
-) -> MatData:
+    a: "MatData | DcsrData",
+    b: "MatData | DcsrData",
+    op: BinaryOp,
+    out_type: Type,
+) -> "MatData | DcsrData":
     """C = A + B over the structural union."""
     maybe_inject("kernel.ewise")
     if a.nvals == 0:
         return b.astype(out_type)
     if b.nvals == 0:
         return a.astype(out_type)
-    a_keys = pair_keys(csr_to_coo_rows(a.indptr, a.nrows), a.col_indices, a.ncols)
-    b_keys = pair_keys(csr_to_coo_rows(b.indptr, b.nrows), b.col_indices, b.ncols)
+    a_keys = pair_keys(a.row_indices(), a.col_indices, a.ncols)
+    b_keys = pair_keys(b.row_indices(), b.col_indices, b.ncols)
     union = np.union1d(a_keys, b_keys)
     in_a = np.isin(union, a_keys, assume_unique=True)
     in_b = np.isin(union, b_keys, assume_unique=True)
@@ -180,4 +187,11 @@ def mat_union(
         out_vals[both] = _merged_values(op, out_type, av, bv)
     rows = (union // a.ncols).astype(_INT)
     cols = (union % a.ncols).astype(_INT)
-    return coo_to_csr(a.nrows, a.ncols, out_type, rows, cols, out_vals, presorted=True)
+    return mat_from_coo(a.nrows, a.ncols, out_type, rows, cols, out_vals,
+                        presorted=True)
+
+
+# eWise merges run over pair keys of the sorted row stream — native on
+# both storage tiers.
+register("ewise_intersect", "csr", "dcsr")(mat_intersect)
+register("ewise_union", "csr", "dcsr")(mat_union)

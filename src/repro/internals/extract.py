@@ -16,7 +16,8 @@ import numpy as np
 
 from ..core.errors import InvalidIndexError
 from ..faults.plane import maybe_inject
-from .containers import MatData, VecData, coo_to_csr, csr_to_coo_rows
+from .containers import DcsrData, MatData, VecData, mat_from_coo, row_gather
+from .dispatch import register
 
 __all__ = ["vec_extract", "mat_extract", "mat_extract_col"]
 
@@ -71,29 +72,31 @@ def vec_extract(u: VecData, indices: np.ndarray | None) -> VecData:
 
 
 def mat_extract(
-    a: MatData,
+    a: "MatData | DcsrData",
     row_indices: np.ndarray | None,
     col_indices: np.ndarray | None,
-) -> MatData:
+) -> "MatData | DcsrData":
     """C = A(I, J) with duplicates allowed in both index lists."""
     maybe_inject("kernel.extract")
     if row_indices is None and col_indices is None:
-        return MatData(a.nrows, a.ncols, a.type, a.indptr, a.col_indices, a.values)
+        # Fresh carrier sharing arrays, whichever tier A lives in.
+        return a.with_values(a.type, a.values)
 
-    # Row phase: gather the selected rows (with repetition).
+    # Row phase: gather the selected rows (with repetition), driven by
+    # the per-format row-window gather (missing DCSR rows gather empty).
     if row_indices is None:
         out_nrows = a.nrows
-        rows = csr_to_coo_rows(a.indptr, a.nrows)
+        rows = a.row_indices()
         cols = a.col_indices
         vals = a.values
     else:
         ridx = _validate(row_indices, a.nrows, "row")
         out_nrows = len(ridx)
-        lens = a.row_lengths()
-        counts = lens[ridx]
+        lo, hi = row_gather(a, ridx)
+        counts = (hi - lo).astype(_INT)
         total = int(counts.sum())
         if total:
-            starts = a.indptr[ridx]
+            starts = lo.astype(_INT)
             excl = np.concatenate(([0], np.cumsum(counts)[:-1])).astype(_INT)
             offsets = np.arange(total, dtype=_INT) - np.repeat(excl, counts)
             flat = np.repeat(starts, counts) + offsets
@@ -119,16 +122,25 @@ def mat_extract(
         out_cols = out_pos
         out_vals = vals[src_entry]
 
-    return coo_to_csr(out_nrows, out_ncols, a.type, out_rows, out_cols, out_vals)
+    return mat_from_coo(out_nrows, out_ncols, a.type, out_rows, out_cols,
+                        out_vals)
 
 
-def mat_extract_col(a: MatData, col: int, row_indices: np.ndarray | None) -> VecData:
+def mat_extract_col(
+    a: "MatData | DcsrData", col: int, row_indices: np.ndarray | None
+) -> VecData:
     """w = A(I, j) — one column as a vector (``Col_extract``)."""
     maybe_inject("kernel.extract")
     if not (0 <= col < a.ncols):
         raise InvalidIndexError(f"column {col} out of range [0, {a.ncols})")
     hit = a.col_indices == col
-    rows = csr_to_coo_rows(a.indptr, a.nrows)[hit]
+    rows = a.row_indices()[hit]
     vals = a.values[hit]
     column = VecData(a.nrows, a.type, rows, vals)
     return vec_extract(column, row_indices)
+
+
+# Extraction is native on both storage tiers: row windows come from the
+# polymorphic gather, outputs reassemble through the format policy.
+register("extract", "csr", "dcsr")(mat_extract)
+register("extract_col", "csr", "dcsr")(mat_extract_col)

@@ -12,21 +12,25 @@ import numpy as np
 from ..core.binaryop import BinaryOp
 from ..core.types import Type
 from ..faults.plane import maybe_inject
-from .containers import MatData, coo_to_csr, csr_to_coo_rows, empty_mat
+from .containers import DcsrData, MatData, empty_mat_auto, mat_from_coo
+from .dispatch import register
 
 __all__ = ["kronecker"]
 
 _INT = np.int64
 
 
-def kronecker(a: MatData, b: MatData, op: BinaryOp, out_type: Type) -> MatData:
+def kronecker(
+    a: "MatData | DcsrData", b: "MatData | DcsrData",
+    op: BinaryOp, out_type: Type,
+) -> "MatData | DcsrData":
     maybe_inject("kernel.kron")
     nrows = a.nrows * b.nrows
     ncols = a.ncols * b.ncols
     if a.nvals == 0 or b.nvals == 0:
-        return empty_mat(nrows, ncols, out_type)
-    a_rows = csr_to_coo_rows(a.indptr, a.nrows)
-    b_rows = csr_to_coo_rows(b.indptr, b.nrows)
+        return empty_mat_auto(nrows, ncols, out_type)
+    a_rows = a.row_indices()
+    b_rows = b.row_indices()
     na, nb = a.nvals, b.nvals
     rows = np.repeat(a_rows * b.nrows, nb) + np.tile(b_rows, na)
     cols = np.repeat(a.col_indices * b.ncols, nb) + np.tile(b.col_indices, na)
@@ -36,5 +40,12 @@ def kronecker(a: MatData, b: MatData, op: BinaryOp, out_type: Type) -> MatData:
     # A and B streams are row-major sorted, and the Kron index map is
     # monotone in (A-entry, B-entry) lexicographic order per output row
     # block — but across blocks ordering interleaves, so sort generally.
-    return coo_to_csr(nrows, ncols, out_type, rows, cols,
-                      out_type.coerce_array(vals))
+    # The output dimension is the *product* of the input dimensions, so
+    # Kron is where a modest pair of hypersparse operands can exceed the
+    # CSR row ceiling — assembling through the policy keeps it O(nnz).
+    return mat_from_coo(nrows, ncols, out_type, rows, cols,
+                        out_type.coerce_array(vals))
+
+
+# The repeat/tile expansion reads only COO streams — native both tiers.
+register("kron", "csr", "dcsr")(kronecker)

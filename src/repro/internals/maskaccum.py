@@ -24,13 +24,14 @@ import numpy as np
 from ..core.binaryop import BinaryOp
 from ..core.types import BOOL, Type
 from .containers import (
+    DcsrData,
     MatData,
     VecData,
-    coo_to_csr,
-    csr_to_coo_rows,
     in_sorted,
+    mat_from_coo,
     pair_keys,
 )
+from .dispatch import register
 from .ewise import mat_union, vec_union
 
 __all__ = [
@@ -86,14 +87,15 @@ def vec_mask_keys(mask: VecData | None, structure: bool) -> np.ndarray | None:
     return _memo(mask, structure, compute)
 
 
-def mat_mask_keys(mask: MatData | None, structure: bool) -> np.ndarray | None:
+def mat_mask_keys(
+    mask: "MatData | DcsrData | None", structure: bool
+) -> np.ndarray | None:
     """Sorted pair-keys where the (uncomplemented) matrix mask is true."""
     if mask is None:
         return None
 
     def compute():
-        rows = csr_to_coo_rows(mask.indptr, mask.nrows)
-        keys = pair_keys(rows, mask.col_indices, mask.ncols)
+        keys = pair_keys(mask.row_indices(), mask.col_indices, mask.ncols)
         if structure:
             return keys
         truth = np.asarray(BOOL.coerce_array(mask.values), dtype=bool)
@@ -161,16 +163,16 @@ def vec_write_back(
 
 
 def mat_write_back(
-    c: MatData,
-    t: MatData,
+    c: "MatData | DcsrData",
+    t: "MatData | DcsrData",
     out_type: Type,
-    mask: MatData | None,
+    mask: "MatData | DcsrData | None",
     accum: BinaryOp | None,
     *,
     complement: bool = False,
     structure: bool = False,
     replace: bool = False,
-) -> MatData:
+) -> "MatData | DcsrData":
     """Apply the full ``C⟨M, r⟩ = C ⊙ T`` write-back rule."""
     z = t.astype(out_type) if accum is None else mat_union(
         c.astype(out_type) if c.type != out_type else c, t, accum, out_type
@@ -179,14 +181,14 @@ def mat_write_back(
         return z
     mk = mat_mask_keys(mask, structure)
     space = c.nrows * c.ncols
-    z_rows = csr_to_coo_rows(z.indptr, z.nrows)
+    z_rows = z.row_indices()
     z_keys = pair_keys(z_rows, z.col_indices, z.ncols)
     keep_z = membership(z_keys, mk, complement, space=space)
     new_rows = z_rows[keep_z]
     new_cols = z.col_indices[keep_z]
     new_vals = out_type.coerce_array(z.values[keep_z])
     if not replace:
-        c_rows = csr_to_coo_rows(c.indptr, c.nrows)
+        c_rows = c.row_indices()
         c_keys = pair_keys(c_rows, c.col_indices, c.ncols)
         keep_c = ~membership(c_keys, mk, complement, space=space)
         if keep_c.any():
@@ -195,4 +197,10 @@ def mat_write_back(
             new_vals = np.concatenate(
                 [new_vals, out_type.coerce_array(c.values[keep_c])]
             )
-    return coo_to_csr(c.nrows, c.ncols, out_type, new_rows, new_cols, new_vals)
+    return mat_from_coo(c.nrows, c.ncols, out_type, new_rows, new_cols,
+                        new_vals)
+
+
+# Write-back merges run over the sorted COO streams of both carriers —
+# native on both storage tiers.
+register("mask_write_back", "csr", "dcsr")(mat_write_back)

@@ -17,6 +17,16 @@ linear-algebraic formulation suited to vectorized execution:
 ``mxv`` filters A's entries by membership of the column in u (a
 ``searchsorted`` membership test) and segment-reduces by row, which is
 already sorted order in CSR.
+
+Every kernel here is **format-polymorphic**: inputs may be CSR
+(``MatData``) or hypersparse DCSR (``DcsrData``).  Row streams come
+from ``carrier.row_indices()`` and row-window gathers from
+:func:`~.containers.row_gather` (binary search over the nonempty-row
+list for DCSR — O(nnz log nrr), never O(nrows)), and outputs assemble
+through :func:`~.containers.mat_from_coo`, which picks the output
+format by the committed density policy.  ``mxv_multi`` is the blocked
+multi-vector kernel the scheduler's small-op batcher targets: one
+shared pass over A's structure amortized across many right-hand sides.
 """
 
 from __future__ import annotations
@@ -29,34 +39,38 @@ from ..core.types import Type
 from ..faults.plane import maybe_inject
 from . import config
 from .containers import (
+    DcsrData,
     MatData,
     VecData,
-    coo_to_csr,
-    csr_to_coo_rows,
-    empty_mat,
+    empty_mat_auto,
     empty_vec,
     in_sorted,
+    mat_from_coo,
     pair_keys,
+    row_gather,
 )
+from .dispatch import register
 
-__all__ = ["mxm", "mxv", "vxm", "segment_reduce_sorted"]
+__all__ = ["mxm", "mxv", "vxm", "mxv_multi", "segment_reduce_sorted"]
 
 _INT = np.int64
 
 
 def _gather_expand(
-    src_indptr: np.ndarray, keys: np.ndarray
+    src: "MatData | DcsrData", keys: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray]:
-    """For each key k, produce the index range src_indptr[k]:src_indptr[k+1].
+    """For each row key k, produce the index range of src's row k.
 
     Returns (flat_gather_indices, expansion_counts).  Fully vectorized:
-    the classic "ragged arange" construction.
+    the classic "ragged arange" construction, driven by the per-format
+    row-window gather (missing DCSR rows expand to nothing).
     """
-    counts = (src_indptr[keys + 1] - src_indptr[keys]).astype(_INT)
+    lo, hi = row_gather(src, keys)
+    counts = (hi - lo).astype(_INT)
     total = int(counts.sum())
     if total == 0:
         return np.empty(0, dtype=_INT), counts
-    starts = src_indptr[keys].astype(_INT)
+    starts = lo.astype(_INT)
     # offsets within each segment: arange(total) - repeat(exclusive_cumsum)
     excl = np.concatenate(([0], np.cumsum(counts)[:-1])).astype(_INT)
     offsets = np.arange(total, dtype=_INT) - np.repeat(excl, counts)
@@ -106,17 +120,17 @@ def mxm(
     maybe_inject("kernel.mxm")
     out_type = semiring.out_type
     if a.nvals == 0 or b.nvals == 0:
-        return empty_mat(a.nrows, b.ncols, out_type)
+        return empty_mat_auto(a.nrows, b.ncols, out_type)
     if mask_keys is not None and len(mask_keys) == 0:
         if mask_complement:
             mask_keys = None  # complement of nothing keeps everything
         else:
-            return empty_mat(a.nrows, b.ncols, out_type)
+            return empty_mat_auto(a.nrows, b.ncols, out_type)
 
-    a_rows = csr_to_coo_rows(a.indptr, a.nrows)
-    flat, counts = _gather_expand(b.indptr, a.col_indices)
+    a_rows = a.row_indices()
+    flat, counts = _gather_expand(b, a.col_indices)
     if len(flat) == 0:
-        return empty_mat(a.nrows, b.ncols, out_type)
+        return empty_mat_auto(a.nrows, b.ncols, out_type)
 
     out_rows = np.repeat(a_rows, counts)
     out_cols = b.col_indices[flat]
@@ -124,12 +138,12 @@ def mxm(
 
     keep: np.ndarray | None = None
     if mask_keys is not None:
-        # mask_keys come from CSR/vector carriers and are pre-sorted, so
-        # binary-search membership beats np.isin's internal sort.
+        # mask_keys come from matrix/vector carriers and are pre-sorted,
+        # so binary-search membership beats np.isin's internal sort.
         keep = in_sorted(keys, mask_keys, invert=mask_complement,
                          space=a.nrows * b.ncols)
         if not keep.any():
-            return empty_mat(a.nrows, b.ncols, out_type)
+            return empty_mat_auto(a.nrows, b.ncols, out_type)
         keys = keys[keep]
 
     shortcut = _mult_shortcut(semiring.mult.name) if config.MULT_SHORTCUTS \
@@ -166,46 +180,70 @@ def mxm(
     )
     rows = (uniq // b.ncols).astype(_INT)
     cols = (uniq % b.ncols).astype(_INT)
-    return coo_to_csr(a.nrows, b.ncols, out_type, rows, cols, folded,
-                      presorted=True)
+    return mat_from_coo(a.nrows, b.ncols, out_type, rows, cols, folded,
+                        presorted=True)
 
 
 def mxv(
-    a: MatData,
+    a: "MatData | DcsrData",
     u: VecData,
     semiring: Semiring,
     mask_keys: np.ndarray | None = None,
     mask_complement: bool = False,
+    *,
+    a_rows: np.ndarray | None = None,
 ) -> VecData:
-    """w = A ⊕.⊗ u (optional row-index mask push-down)."""
+    """w = A ⊕.⊗ u (optional row-index mask push-down).
+
+    ``a_rows`` optionally supplies A's precomputed COO row stream —
+    the multi-vector batch kernel shares it across right-hand sides.
+    """
     maybe_inject("kernel.mxv")
     out_type = semiring.out_type
     if a.nvals == 0 or u.nvals == 0:
         return empty_vec(a.nrows, out_type)
+    if a_rows is None:
+        a_rows = a.row_indices()
     # Keep A entries whose column is stored in u.
     pos = np.searchsorted(u.indices, a.col_indices)
     pos_clamped = np.minimum(pos, len(u.indices) - 1)
     hit = u.indices[pos_clamped] == a.col_indices
     if mask_keys is not None and not (len(mask_keys) == 0 and mask_complement):
-        all_rows = csr_to_coo_rows(a.indptr, a.nrows)
-        hit &= in_sorted(all_rows, mask_keys, invert=mask_complement,
+        hit &= in_sorted(a_rows, mask_keys, invert=mask_complement,
                          space=a.nrows)
     if not hit.any():
         return empty_vec(a.nrows, out_type)
-    rows = csr_to_coo_rows(a.indptr, a.nrows)[hit]
+    rows = a_rows[hit]
     av = semiring.mult.in1_type.coerce_array(a.values[hit])
     uv = semiring.mult.in2_type.coerce_array(u.values[pos_clamped[hit]])
     prod = semiring.mult.vec(av, uv)
-    # CSR order means `rows` is already sorted.
+    # Row-major carrier order means `rows` is already sorted.
     uniq, folded = segment_reduce_sorted(
         rows, semiring.add.type.coerce_array(prod), semiring.add, out_type
     )
     return VecData(a.nrows, out_type, uniq, folded)
 
 
+def mxv_multi(
+    a: "MatData | DcsrData",
+    us: "list[VecData]",
+    semiring: Semiring,
+) -> "list[VecData]":
+    """Blocked multi-vector product: w_k = A ⊕.⊗ u_k for every u_k.
+
+    The scheduler's small-op batcher funnels many pending unmasked
+    ``mxv`` nodes over the *same* committed A into one call, so A's
+    row-stream expansion (O(nrows + nnz) for CSR) and kernel entry
+    bookkeeping are paid once instead of once per vector.
+    """
+    maybe_inject("kernel.mxv_multi")
+    a_rows = a.row_indices() if a.nvals else None
+    return [mxv(a, u, semiring, a_rows=a_rows) for u in us]
+
+
 def vxm(
     u: VecData,
-    a: MatData,
+    a: "MatData | DcsrData",
     semiring: Semiring,
     mask_keys: np.ndarray | None = None,
     mask_complement: bool = False,
@@ -216,7 +254,7 @@ def vxm(
     out_type = semiring.out_type
     if a.nvals == 0 or u.nvals == 0:
         return empty_vec(a.ncols, out_type)
-    flat, counts = _gather_expand(a.indptr, u.indices)
+    flat, counts = _gather_expand(a, u.indices)
     if len(flat) == 0:
         return empty_vec(a.ncols, out_type)
     out_cols = a.col_indices[flat]
@@ -239,3 +277,11 @@ def vxm(
         semiring.add, out_type,
     )
     return VecData(a.ncols, out_type, uniq, folded)
+
+
+# The whole mxm family is native on both storage tiers: every access
+# goes through the polymorphic row stream / row-window gather above.
+register("mxm", "csr", "dcsr")(mxm)
+register("mxv", "csr", "dcsr")(mxv)
+register("mxv_multi", "csr", "dcsr")(mxv_multi)
+register("vxm", "csr", "dcsr")(vxm)

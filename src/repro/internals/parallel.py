@@ -64,6 +64,9 @@ def concat_row_blocks(blocks: Sequence[MatData], ncols: int) -> MatData:
     """Vertically stack row-block results back into one CSR matrix."""
     if not blocks:
         raise ValueError("no blocks to concatenate")
+    # Kernels assemble through the format policy, so a sparse block can
+    # come back doubly-compressed; the pointer fix-up below is CSR math.
+    blocks = [b if isinstance(b, MatData) else b.to_csr() for b in blocks]
     t = blocks[0].type
     nrows = sum(b.nrows for b in blocks)
     indptr = np.zeros(nrows + 1, dtype=_INT)
@@ -110,7 +113,10 @@ def parallel_mxm(
     re-based per row block so the masked-SpGEMM push-down composes with
     the parallel split.
     """
-    if nthreads <= 1 or a.nrows < 2:
+    if nthreads <= 1 or a.nrows < 2 or not isinstance(a, MatData):
+        # Hypersparse A: the row-block slicer is CSR pointer arithmetic
+        # and a doubly-compressed A has too little work per row block to
+        # amortize it — run the (DCSR-native) kernel serially.
         return kernel(a, b, semiring, mask_keys, mask_complement)
     # Expected multiply-stream length: the uniform SpGEMM model the
     # cost pass uses, here sizing the split and its throughput samples.

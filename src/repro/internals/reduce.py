@@ -21,7 +21,8 @@ from ..core.binaryop import BinaryOp
 from ..core.monoid import Monoid
 from ..core.types import Type
 from ..faults.plane import maybe_inject
-from .containers import MatData, VecData
+from .containers import DcsrData, MatData, VecData
+from .dispatch import register
 
 __all__ = [
     "mat_reduce_rows",
@@ -33,9 +34,9 @@ __all__ = [
 _INT = np.int64
 
 
-def mat_reduce_rows(a: MatData, monoid: Monoid, out_type: Type) -> VecData:
+@register("reduce_rows", "csr")
+def _csr_reduce_rows(a: MatData, monoid: Monoid, out_type: Type) -> VecData:
     """w(i) = ⊕_j A(i,j): fold each CSR row segment (empty rows absent)."""
-    maybe_inject("kernel.reduce")
     lens = a.row_lengths()
     nonempty = np.flatnonzero(lens > 0).astype(_INT)
     if len(nonempty) == 0:
@@ -45,7 +46,30 @@ def mat_reduce_rows(a: MatData, monoid: Monoid, out_type: Type) -> VecData:
     return VecData(a.nrows, out_type, nonempty, out_type.coerce_array(vals))
 
 
-def mat_reduce_scalar(a: MatData, monoid: Monoid) -> Any | None:
+@register("reduce_rows", "dcsr")
+def _dcsr_reduce_rows(a: DcsrData, monoid: Monoid, out_type: Type) -> VecData:
+    """Native hypersparse row reduction: the nonempty-row list *is* the
+    output index set, and the compressed pointer's leading entries are
+    the reduceat segment starts — O(nnz), no row scan."""
+    if a.nvals == 0:
+        return VecData(a.nrows, out_type, np.empty(0, dtype=_INT),
+                       out_type.empty(0))
+    starts = a.indptr[:-1]
+    vals = monoid.reduceat(monoid.type.coerce_array(a.values), starts)
+    return VecData(a.nrows, out_type, a.row_ids, out_type.coerce_array(vals))
+
+
+def mat_reduce_rows(
+    a: "MatData | DcsrData", monoid: Monoid, out_type: Type
+) -> VecData:
+    """Format-dispatched w(i) = ⊕_j A(i,j)."""
+    maybe_inject("kernel.reduce")
+    from .dispatch import resolve
+
+    return resolve("reduce_rows", a)(a, monoid, out_type)
+
+
+def mat_reduce_scalar(a: "MatData | DcsrData", monoid: Monoid) -> Any | None:
     """⊕ over all stored values; ``None`` when the matrix is empty."""
     maybe_inject("kernel.reduce")
     if a.nvals == 0:

@@ -164,6 +164,20 @@ def mxv(
         True, w.type, mask_src, accum,
         complement=comp, structure=struct, replace=d.replace,
     )
+
+    # Small-op batching eligibility: a pure (unmasked, unaccumulated),
+    # untransposed builtin-semiring product over a *committed* matrix
+    # capture.  Equal keys ⇒ the very same committed carrier (versioned
+    # handle identity) and semiring, so many such nodes coalesce into
+    # one blocked multi-vector kernel at scheduling time.
+    batch_key = batch_compute = None
+    if (pure and not tran0 and semiring.is_builtin
+            and a_src.node is None and a_src.vkey is not None):
+        batch_key = ("mxv", a_src.vkey, id(semiring))
+
+        def batch_compute(a, us):
+            return _k.mxv_multi(a, us, semiring)
+
     inputs = [a_src, u_src] if mask_src is None else [a_src, u_src, mask_src]
     w._submit_op(
         kind="mxv", label="mxv", inputs=inputs,
@@ -176,6 +190,8 @@ def mxv(
             complement=comp, structure=struct, replace=d.replace,
         ),
         pushable=True,
+        batch_key=batch_key,
+        batch_compute=batch_compute,
     )
     return w
 

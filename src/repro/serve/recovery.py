@@ -66,7 +66,7 @@ from ..engine.stats import STATS
 from ..faults.plane import maybe_inject
 from ..formats.serialize import blob_digest, carrier_deserialize, carrier_serialize
 from ..internals import config
-from ..internals.containers import MatData
+from ..internals.containers import mat_from_coo
 
 __all__ = [
     "CheckpointStore",
@@ -168,13 +168,16 @@ def iter_records(
 # Mutations as pure carrier transforms
 # ---------------------------------------------------------------------------
 
-def apply_edges(d: MatData, rows, cols, vals) -> MatData:
+def apply_edges(d, rows, cols, vals):
     """Upsert a batch of weighted edges into a committed carrier.
 
     Pure and deterministic — the *same function* runs on the live write
     path and on journal replay, which is what makes a restored replica
     bit-identical to one that never crashed.  Last write wins on
     duplicates (within the delta and against the existing entries).
+    The output format follows the deterministic
+    :func:`~repro.internals.containers.choose_mat_format` policy, so a
+    hypersparse tenant graph stays hypersparse through replay.
     """
     t = d.type
     r1 = np.asarray(rows, dtype=np.int64)
@@ -200,9 +203,7 @@ def apply_edges(d: MatData, rows, cols, vals) -> MatData:
         keep = np.ones(len(r), dtype=bool)
         keep[:-1] = (r[1:] != r[:-1]) | (c[1:] != c[:-1])
         r, c, v = r[keep], c[keep], v[keep]
-    indptr = np.zeros(d.nrows + 1, dtype=np.int64)
-    np.cumsum(np.bincount(r, minlength=d.nrows), out=indptr[1:])
-    out = MatData(d.nrows, d.ncols, t, indptr, c, v)
+    out = mat_from_coo(d.nrows, d.ncols, t, r, c, v, presorted=True)
     out.check()
     return out
 

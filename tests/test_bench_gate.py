@@ -21,7 +21,8 @@ bench_gate = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(bench_gate)
 
 
-def _results(mm=0.5, cse=0.8, algo=0.1, serve=0.4, p99=0.5, recov=0.5):
+def _results(mm=0.5, cse=0.8, algo=0.1, serve=0.4, p99=0.5, recov=0.5,
+             hyp=0.01, batch=0.6):
     """A full fresh/baseline results dict with the given gated ratios
     (blocking_ms pinned to 100 so ratio == optimized ms / 100)."""
     return {
@@ -48,6 +49,14 @@ def _results(mm=0.5, cse=0.8, algo=0.1, serve=0.4, p99=0.5, recov=0.5):
         "recovery": {
             "blocking_ms": 100.0, "nb_warm_ms": recov * 100.0,
             "restored_graphs": 1,
+        },
+        "hypersparse_mxv": {
+            "blocking_ms": 100.0, "nb_dcsr_ms": hyp * 100.0,
+            "format_dcsr_commits": 3,
+        },
+        "op_batching": {
+            "blocking_ms": 100.0, "nb_batched_ms": batch * 100.0,
+            "engine_batched_ops": 48,
         },
     }
 
@@ -125,6 +134,10 @@ class TestCliHistory:
         serving.write_text(json.dumps(
             {k: _results()[k] for k in ("serving", "serving_p99")}
         ))
+        hyper = tmp_path / "hypersparse.json"
+        hyper.write_text(json.dumps(
+            {k: _results()[k] for k in ("hypersparse_mxv", "op_batching")}
+        ))
 
         def run(algo):
             fresh.write_text(json.dumps(_results(algo=algo)))
@@ -133,6 +146,8 @@ class TestCliHistory:
                  "--fresh", str(fresh), "--baseline", str(base),
                  "--fresh-serving", str(serving),
                  "--baseline-serving", str(serving),
+                 "--fresh-hypersparse", str(hyper),
+                 "--baseline-hypersparse", str(hyper),
                  "--tolerance", "10.0",          # per-run gate out of the way
                  "--append-history", str(hist)],
                 capture_output=True, text=True,

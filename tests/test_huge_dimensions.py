@@ -170,10 +170,28 @@ class TestHugeVectors:
 
 class TestRowLimit:
     def test_exceeding_nrows_is_defined_out_of_memory(self):
-        """Not a MemoryError crash: a spec-shaped resource-limit error."""
-        with pytest.raises(OutOfMemoryError) as ei:
-            Matrix.new(T.FP64, MAX_NROWS + 1, 4)
+        """With the hypersparse tier disabled (``FORMAT_AUTO=0``), a row
+        count past the CSR pointer limit is still the defined
+        ``GrB_OUT_OF_MEMORY`` — never a MemoryError crash."""
+        from repro.internals import config
+
+        with config.option("FORMAT_AUTO", 0):
+            with pytest.raises(OutOfMemoryError) as ei:
+                Matrix.new(T.FP64, MAX_NROWS + 1, 4)
         assert "hypersparse" in str(ei.value)
+
+    def test_exceeding_nrows_defaults_to_hypersparse(self):
+        """With ``FORMAT_AUTO`` on (the default — pinned here so the
+        ``FORMAT_AUTO=0`` CI ablation doesn't flip it), the same shape
+        simply constructs on the DCSR carrier — O(nnz) memory, no
+        limit."""
+        from repro.internals import config
+
+        with config.option("FORMAT_AUTO", 1):
+            m = Matrix.new(T.FP64, MAX_NROWS + 1, 4)
+            m.set_element(1.5, MAX_NROWS, 3)
+            assert m.nvals() == 1
+            assert m.extract_element(MAX_NROWS, 3) == 1.5
 
     def test_limit_is_generous_for_real_graphs(self):
         assert MAX_NROWS >= 100_000_000

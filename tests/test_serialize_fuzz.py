@@ -210,3 +210,66 @@ class TestGoldenJournal:
         assert (carrier.nrows, carrier.ncols, carrier.nvals) == (4, 4, 4)
         mut_header = records[1][1]
         assert mut_header["vtype"] == "FP64" and mut_header["n"] == 2
+
+    def test_golden_fixture_is_previous_version(self):
+        """The journal fixture's embedded carrier blob predates the
+        hypersparse tier (stream version 2): loading it IS the
+        old-version canary — v3 writers must keep reading v2 blobs."""
+        import pathlib
+
+        from repro.formats.serialize import _PREFIX
+        from repro.serve.recovery import iter_records
+
+        blob = (pathlib.Path(__file__).parent / self.GOLDEN).read_bytes()
+        records = list(iter_records(blob, strict=True))
+        version = _PREFIX.unpack_from(records[0][2], 0)[1]
+        assert version == 2
+
+
+class TestGoldenDcsr:
+    """Committed v3 hypersparse blob: the DCSR wire section (kind 3,
+    ``nrr`` header, compressed row list) is a compatibility surface
+    from this version on — a break needs a version bump, not a fixture
+    refresh."""
+
+    GOLDEN = "data/golden_dcsr_v3.bin"
+
+    def test_golden_dcsr_fixture_loads(self):
+        import pathlib
+
+        from repro.formats.serialize import (
+            _KIND_DCSR_MATRIX,
+            _PREFIX,
+            carrier_deserialize,
+            carrier_serialize,
+        )
+        from repro.internals.containers import DcsrData
+
+        blob = (pathlib.Path(__file__).parent / self.GOLDEN).read_bytes()
+        magic, version, kind, _, _, _ = _PREFIX.unpack_from(blob, 0)
+        assert version == 3 and kind == _KIND_DCSR_MATRIX
+        d = carrier_deserialize(blob)
+        assert isinstance(d, DcsrData)
+        assert (d.nrows, d.ncols, d.nvals) == (1 << 40, 16, 6)
+        assert d.row_ids.tolist() == [3, 1 << 20, 1 << 35, (1 << 40) - 1]
+        assert d.values.tolist() == [1.5, -2.25, 3.0, 0.5, 4.0, -8.125]
+        # Writer determinism: re-encoding reproduces the fixture bytes.
+        assert carrier_serialize(d) == blob
+
+    def test_dcsr_blob_mutations_never_crash(self):
+        """The fuzz contract extends to the new kind: any single-byte
+        flip either still decodes to a valid carrier or raises
+        INVALID_OBJECT."""
+        import pathlib
+
+        from repro.formats.serialize import carrier_deserialize
+
+        blob = (pathlib.Path(__file__).parent / self.GOLDEN).read_bytes()
+        for pos in range(len(blob)):
+            mutated = bytearray(blob)
+            mutated[pos] ^= 0x41
+            try:
+                out = carrier_deserialize(bytes(mutated))
+            except InvalidObjectError:
+                continue
+            out.check()

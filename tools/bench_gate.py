@@ -29,6 +29,15 @@ against the committed ``benchmarks/BENCH_recovery.json``:
 
 * ``recovery.nb_warm_ms / blocking_ms``       — durability-plane restart
 
+``benchmarks/bench_hypersparse.py`` writes ``BENCH_hypersparse.json``
+(time-to-first-answer on a 2^30-row graph, DCSR vs a forced-CSR
+handicap at 2^24 rows, plus small-op batching of independent mxv
+queries); when present two more ratios are gated against the committed
+``benchmarks/BENCH_hypersparse.json``:
+
+* ``hypersparse_mxv.nb_dcsr_ms / blocking_ms`` — hypersparse carrier
+* ``op_batching.nb_batched_ms / blocking_ms``  — small-op coalescing
+
 The gate fails (exit 1) when a fresh ratio regresses more than the
 tolerance (default 25%) over the baseline ratio, or when the workload's
 optimizer counters show the optimization did not fire at all.  Run from
@@ -64,6 +73,8 @@ GATED = (
     ("serving", "nb_batched_ms", "serve_batched_queries"),
     ("serving_p99", "nb_batched_ms", "serve_batches"),
     ("recovery", "nb_warm_ms", "restored_graphs"),
+    ("hypersparse_mxv", "nb_dcsr_ms", "format_dcsr_commits"),
+    ("op_batching", "nb_batched_ms", "engine_batched_ops"),
 )
 
 #: workloads sourced from the serving bench (BENCH_serving.json) rather
@@ -73,6 +84,10 @@ SERVING_WORKLOADS = ("serving", "serving_p99")
 #: workloads sourced from the recovery bench (BENCH_recovery.json) —
 #: gated only when its results are present
 RECOVERY_WORKLOADS = ("recovery",)
+
+#: workloads sourced from the hypersparse bench
+#: (BENCH_hypersparse.json) — gated only when its results are present
+HYPERSPARSE_WORKLOADS = ("hypersparse_mxv", "op_batching")
 
 
 def _ratio(results: dict, workload: str, key: str) -> float:
@@ -199,6 +214,18 @@ def main(argv: list[str] | None = None) -> int:
         help="committed recovery baseline results",
     )
     p.add_argument(
+        "--fresh-hypersparse", type=Path,
+        default=Path("BENCH_hypersparse.json"),
+        help="results from the hypersparse benchmark run under test "
+             "(hypersparse workloads are skipped when the file is absent)",
+    )
+    p.add_argument(
+        "--baseline-hypersparse", type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "benchmarks" / "BENCH_hypersparse.json",
+        help="committed hypersparse baseline results",
+    )
+    p.add_argument(
         "--tolerance", type=float, default=0.25,
         help="allowed relative regression of each ratio (default 0.25)",
     )
@@ -254,6 +281,20 @@ def main(argv: list[str] | None = None) -> int:
         print(f"bench_gate: {args.fresh_recovery} absent — "
               f"recovery workloads not gated this run")
         gated = tuple(g for g in gated if g[0] not in RECOVERY_WORKLOADS)
+
+    if args.fresh_hypersparse.exists():
+        try:
+            fresh.update(json.loads(args.fresh_hypersparse.read_text()))
+            baseline.update(
+                json.loads(args.baseline_hypersparse.read_text()))
+        except OSError as exc:
+            print(f"bench_gate: cannot read hypersparse results: {exc}",
+                  file=sys.stderr)
+            return 2
+    else:
+        print(f"bench_gate: {args.fresh_hypersparse} absent — "
+              f"hypersparse workloads not gated this run")
+        gated = tuple(g for g in gated if g[0] not in HYPERSPARSE_WORKLOADS)
 
     print(f"bench_gate: {args.fresh} vs {args.baseline} "
           f"(tolerance {args.tolerance:.0%})")
