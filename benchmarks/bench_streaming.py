@@ -1,0 +1,249 @@
+"""S4 — streaming delta ingest + incremental recomputation.
+
+Two workloads, both written to ``BENCH_streaming.json`` and gated by
+``tools/bench_gate.py`` against the committed baseline:
+
+* ``streaming_pagerank`` — a small edge delta lands on a scale-12 RMAT
+  graph that already has a converged pagerank.  Cold (``blocking_ms``,
+  ``ENGINE_DELTA=0``): the write drops every memo block and the next
+  pagerank rebuilds its pattern/degree blocks and iterates from the
+  uniform vector.  Warm (``nb_warm_ms``): the delta tier patches the
+  blocks from the write set and the iteration restarts from the prior
+  fixpoint, converging in a handful of sweeps.  The fixpoint is unique
+  for ``0 < damping < 1`` so both answers agree within ``tol``; the
+  acceptance bar is **≥ 3×** in the warm path's favour.  Proof
+  counter: ``memo_delta_patches`` (the patch tier actually fired).
+
+* ``streaming_ingest`` — sustained edge ingest into a served graph
+  with warm pagerank queries interleaved.  One-at-a-time
+  ``mutate_graph`` per edge (``blocking_ms``) pays a full carrier
+  merge, a publish, and a generation bump per edge; buffered
+  ``ingest_edges`` (``nb_batched_ms``) commits the same edge stream in
+  query-boundary flushes — one carrier build and one journal record
+  per batch, with a flush before each query so both paths answer over
+  identical graph states (read-your-writes).  Final graphs are
+  asserted identical.  Proof counter: ``ingest_batches``.  The result
+  rows also report sustained edges/sec for both paths.
+
+Run from the repository root:
+
+    PYTHONPATH=src python -m pytest -q benchmarks/bench_streaming.py
+    python tools/bench_gate.py
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table, rmat_graph
+from repro.algorithms import pagerank
+from repro.core import types as T
+from repro.core.matrix import Matrix
+from repro.engine.stats import STATS
+from repro.internals import config
+
+SCALE = 13              # 8192 vertices, ~edge_factor*8192 edges
+DELTA_EDGES = 8         # the streamed write: tiny vs the graph
+TOL = 3e-4
+WARM_SPEEDUP_FLOOR = 3.0
+N_STREAM = 384          # edges ingested by the sustained-ingest workload
+QUERY_EVERY = 48        # warm query cadence during ingest
+INGEST_N = 1024         # served graph: 2^10 vertices
+REPS = 3
+
+_RESULTS: dict = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_results():
+    yield
+    if _RESULTS:
+        Path("BENCH_streaming.json").write_text(
+            json.dumps(_RESULTS, indent=2, sort_keys=True) + "\n"
+        )
+
+
+def _delta(n: int, k: int, seed: int):
+    rng = np.random.default_rng(seed)
+    return (rng.integers(0, n, k, dtype=np.int64),
+            rng.integers(0, n, k, dtype=np.int64),
+            rng.random(k) + 0.5)
+
+
+@pytest.mark.benchmark(group="S4-streaming")
+class TestStreamingPagerank:
+    def test_warm_delta_vs_cold_rebuild(self):
+        base = rmat_graph(SCALE, 8, undirected=True)
+        carrier = base._capture()
+        n = carrier.nrows
+
+        warm_ms = cold_ms = None
+        iters_warm = iters_cold = 0
+        patched = 0
+        d_warm = d_cold = None
+        for rep in range(REPS):
+            rows, cols, vals = _delta(n, DELTA_EDGES, seed=7000 + rep)
+
+            # -- warm: converged ranks already stored, delta patches --
+            m = Matrix.from_data(carrier, base.context)
+            pagerank(m, tol=TOL)              # prime (not timed)
+            before = STATS.snapshot()
+            m.update_batch(rows, cols, vals)
+            t0 = time.perf_counter()
+            r_w, iters_warm = pagerank(m, tol=TOL)
+            wall = (time.perf_counter() - t0) * 1e3
+            patched = max(
+                patched,
+                STATS.snapshot().get("memo_delta_patches", 0)
+                - before.get("memo_delta_patches", 0),
+            )
+            if warm_ms is None or wall < warm_ms:
+                warm_ms, d_warm = wall, r_w.to_dict()
+            post = m._capture()
+
+            # -- cold: same post-delta graph, tier off, fresh uid --
+            with config.option("ENGINE_DELTA", 0):
+                mc = Matrix.from_data(post, base.context)
+                t0 = time.perf_counter()
+                r_c, iters_cold = pagerank(mc, tol=TOL)
+                wall = (time.perf_counter() - t0) * 1e3
+            if cold_ms is None or wall < cold_ms:
+                cold_ms, d_cold = wall, r_c.to_dict()
+
+        assert patched >= 1, "the delta patch tier never fired"
+        assert set(d_warm) == set(d_cold)
+        worst = max(abs(d_warm[k] - d_cold[k]) for k in d_warm)
+        assert worst < 10 * TOL, f"warm/cold ranks diverged by {worst}"
+
+        speedup = cold_ms / warm_ms if warm_ms > 0 else float("inf")
+        _RESULTS["streaming_pagerank"] = {
+            "blocking_ms": cold_ms,
+            "nb_warm_ms": warm_ms,
+            "vertices": n,
+            "delta_edges": DELTA_EDGES,
+            "iters_cold": iters_cold,
+            "iters_warm": iters_warm,
+            "speedup": round(speedup, 2),
+            "memo_delta_patches": patched,
+        }
+        print_table(
+            f"S4  pagerank after an {DELTA_EDGES}-edge delta "
+            f"(scale-{SCALE} RMAT, tol={TOL:g})",
+            ["path", "wall ms", "iters", "proof"],
+            [["cold rebuild", f"{cold_ms:.2f}", iters_cold, ""],
+             ["warm delta", f"{warm_ms:.2f}", iters_warm,
+              f"patches={patched} speedup={speedup:.1f}x"]],
+        )
+        assert speedup >= WARM_SPEEDUP_FLOOR, (
+            f"warm-delta pagerank is only {speedup:.1f}x the cold rebuild "
+            f"(need >= {WARM_SPEEDUP_FLOOR:.0f}x)"
+        )
+
+
+@pytest.mark.benchmark(group="S4-streaming")
+class TestStreamingIngest:
+    def _base_edges(self):
+        rng = np.random.default_rng(42)
+        rows = rng.integers(0, INGEST_N, 6000, dtype=np.int64)
+        cols = rng.integers(0, INGEST_N, 6000, dtype=np.int64)
+        keep = rows != cols
+        return rows[keep], cols[keep], np.ones(int(keep.sum()))
+
+    def _service(self):
+        from repro.core.context import Mode
+        from repro.serve.service import GraphService
+
+        svc = GraphService(Mode.NONBLOCKING, name="bench-stream")
+        rows, cols, vals = self._base_edges()
+        from repro.core.binaryop import SECOND
+
+        m = Matrix.new(T.FP64, INGEST_N, INGEST_N, svc.root)
+        m.build(rows, cols, vals, dup=SECOND[T.FP64])
+        svc.register_graph("g", m)
+        return svc
+
+    def _stream(self, svc, batched: bool) -> float:
+        """Ingest N_STREAM edges with warm queries interleaved; wall ms.
+
+        The batched path flushes before each query — read-your-writes
+        at query boundaries — so both paths answer over the *same*
+        graph state at the same points in the stream, and the batched
+        path's queries restart warm through the delta-patched view
+        exactly like the per-edge path's do.
+        """
+        rows, cols, vals = _delta(INGEST_N, N_STREAM, seed=4242)
+        sess = svc.open_session("bench-tenant")
+        t0 = time.perf_counter()
+        for i in range(N_STREAM):
+            if batched:
+                svc.ingest_edges("g", [rows[i]], [cols[i]], [vals[i]])
+            else:
+                svc.mutate_graph("g", [rows[i]], [cols[i]], [vals[i]])
+            if (i + 1) % QUERY_EVERY == 0:
+                if batched:
+                    svc.flush_ingest()
+                pagerank(sess.view("g"), tol=TOL)
+        svc.flush_ingest()
+        wall = (time.perf_counter() - t0) * 1e3
+        sess.close()
+        return wall
+
+    def test_batched_ingest_vs_per_edge_mutate(self):
+        serial_ms = batched_ms = None
+        batches = 0
+        final_serial = final_batched = None
+        for _ in range(REPS):
+            svc = self._service()
+            wall = self._stream(svc, batched=False)
+            if serial_ms is None or wall < serial_ms:
+                serial_ms = wall
+            final_serial = svc._graphs["g"]
+            svc.close()
+
+            svc = self._service()
+            before = STATS.snapshot()
+            with config.option("INGEST_BATCH", 128):
+                wall = self._stream(svc, batched=True)
+            batches = max(
+                batches,
+                STATS.snapshot().get("ingest_batches", 0)
+                - before.get("ingest_batches", 0),
+            )
+            if batched_ms is None or wall < batched_ms:
+                batched_ms = wall
+            final_batched = svc._graphs["g"]
+            svc.close()
+
+        assert batches >= 1, "buffered ingest never committed a batch"
+        np.testing.assert_array_equal(
+            final_serial.row_indices(), final_batched.row_indices())
+        np.testing.assert_array_equal(
+            final_serial.col_indices, final_batched.col_indices)
+        np.testing.assert_array_equal(
+            final_serial.values, final_batched.values)
+
+        eps_serial = N_STREAM / (serial_ms / 1e3)
+        eps_batched = N_STREAM / (batched_ms / 1e3)
+        _RESULTS["streaming_ingest"] = {
+            "blocking_ms": serial_ms,
+            "nb_batched_ms": batched_ms,
+            "edges": N_STREAM,
+            "queries": N_STREAM // QUERY_EVERY,
+            "edges_per_sec_serial": round(eps_serial),
+            "edges_per_sec_batched": round(eps_batched),
+            "ingest_batches": batches,
+        }
+        print_table(
+            f"S4  {N_STREAM} streamed edges + "
+            f"{N_STREAM // QUERY_EVERY} warm queries",
+            ["path", "wall ms", "edges/s", "proof"],
+            [["per-edge mutate", f"{serial_ms:.1f}", f"{eps_serial:,.0f}", ""],
+             ["buffered ingest", f"{batched_ms:.1f}", f"{eps_batched:,.0f}",
+              f"batches={batches} "
+              f"({serial_ms / batched_ms:.2f}x)"]],
+        )
+        assert batched_ms < serial_ms, \
+            "buffered ingest lost to per-edge mutation"

@@ -7,6 +7,7 @@ triangle extraction (Fig. 3), ``apply(ROWINDEX)`` for parent/label
 propagation (§VIII), masks + descriptors throughout.
 """
 
+from . import delta as _delta  # noqa: F401 — installs the memo patch rules
 from .bc import betweenness_centrality
 from .bfs import bfs_levels, bfs_parents
 from .components import connected_components

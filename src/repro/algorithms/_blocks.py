@@ -61,6 +61,7 @@ from ..ops.select import select
 __all__ = [
     "memoized_matrix", "memoized_vector",
     "pattern_matrix", "degree_vector", "lower_triangle",
+    "load_warm", "store_warm",
 ]
 
 
@@ -148,6 +149,67 @@ def memoized_matrix(a, kind: str, build: Callable, params: tuple = ()):
 def memoized_vector(a, kind: str, build: Callable, params: tuple = ()):
     """Vector-valued twin of :func:`memoized_matrix`."""
     return _cached(a, kind, params, build, Vector.from_data)
+
+
+# -- warm fixpoints (ENGINE_DELTA) -------------------------------------------
+#
+# A warm block is an algorithm's *result* (prior rank vector, component
+# labels, triangle count) stored so the next run on a delta-mutated
+# graph can start from it instead of cold.  Values are ``(payload,
+# meta)`` tuples under kind ``"warm:<algo>"`` — the same versioned
+# "algo" keys as the building blocks, so a plain write drops them and
+# a batched delta write routes them through the patch rules in
+# :mod:`repro.algorithms.delta`.  The ``warm:`` prefix also tells the
+# serving layer's checkpoint walk to skip them (tuple values are not
+# serializable carriers).
+
+
+def load_warm(a, kind: str, params: tuple = ()):
+    """The stored ``(payload, meta)`` warm entry for *kind*, or ``None``.
+
+    Only entries the delta tier carried across a write (meta
+    ``patched=True``, set by the ``warm:*`` patch rules) are served:
+    the entry a cold run stored for its *own* version is not a restart
+    seed, so repeated calls on an unchanged graph keep their exact
+    cold iteration counts and kernel schedule.
+    """
+    if not config.ENGINE_DELTA:
+        return None
+    memo = _memo_for(a)
+    if memo is None:
+        return None
+    entry = memo.lookup(_key(a, "warm:" + kind, params))
+    if entry is None or not entry[1].get("patched"):
+        return None
+    STATS.bump("algo_warm_hits")
+    STATS.instant(
+        f"algo-warm:{kind}", "memo",
+        {"kind": kind, "stale": entry[1].get("stale", 0)},
+    )
+    return entry
+
+
+def store_warm(
+    a, kind: str, payload, meta: dict | None = None,
+    params: tuple = (), cost_ms: float = 0.0,
+) -> None:
+    """Record an algorithm result as the warm seed for the next run."""
+    if not config.ENGINE_DELTA:
+        return
+    memo = _memo_for(a)
+    if memo is None:
+        return
+    with a._lock:
+        deps = (a._uid,)
+    try:
+        memo.store(
+            _key(a, "warm:" + kind, params),
+            (payload, dict(meta or {})),
+            deps, owner_uid=None, cost_ms=max(0.0, float(cost_ms)),
+        )
+        STATS.bump("algo_warm_stores")
+    except Exception:
+        pass  # best-effort, like the building-block stores
 
 
 # -- the shared blocks --------------------------------------------------------

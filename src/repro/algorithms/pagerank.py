@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..core import types as _t
@@ -31,6 +33,12 @@ def pagerank(
     uniformly, the standard correction.  Iteration is
     ``r ← (1-d)/n + d·(rᵀ D⁻¹ A + sink_mass/n)`` until the L1 change
     drops below ``tol``.
+
+    Incremental (``ENGINE_DELTA``): the converged ranks are stored as a
+    warm block; after a batched delta write the next call seeds the
+    iteration from the prior fixpoint instead of the uniform vector and
+    converges in a handful of sweeps.  The fixpoint is unique for
+    ``0 < damping < 1``, so warm and cold runs agree to within ``tol``.
     """
     if not (0.0 < damping < 1.0):
         raise InvalidValueError(f"damping must be in (0, 1), got {damping}")
@@ -38,6 +46,7 @@ def pagerank(
         raise InvalidValueError("max_iters must be >= 1")
     n = a.nrows
     ctx = a.context
+    t0 = time.perf_counter()
 
     # Pattern matrix (weights ignored) and out-degrees (row sums) —
     # memoized building blocks: a repeated pagerank on an unchanged
@@ -46,10 +55,14 @@ def pagerank(
     pat = _blocks.pattern_matrix(a, _t.FP64)
     deg = _blocks.degree_vector(a, _t.FP64)
 
-    # r0 = 1/n everywhere
-    r = Vector.new(_t.FP64, n, ctx)
     from ..ops.assign import assign
-    assign(r, None, None, 1.0 / n, None)
+    warm = _blocks.load_warm(a, "pagerank", (float(damping),))
+    if warm is not None:
+        r = Vector.from_data(warm[0], ctx)
+    else:
+        # r0 = 1/n everywhere
+        r = Vector.new(_t.FP64, n, ctx)
+        assign(r, None, None, 1.0 / n, None)
 
     teleport = (1.0 - damping) / n
     iters = 0
@@ -77,6 +90,15 @@ def pagerank(
         r = r_new
         if delta < tol:
             break
+    try:
+        _blocks.store_warm(
+            a, "pagerank", r._capture(),
+            meta={"stale": 0, "base_nnz": a.nvals()},
+            params=(float(damping),),
+            cost_ms=(time.perf_counter() - t0) * 1e3,
+        )
+    except Exception:
+        pass  # best-effort: warmth must never fail the algorithm
     return r, iters
 
 

@@ -53,7 +53,11 @@ import threading
 from typing import Any, Callable, Sequence
 
 from ..engine.dag import DONE, FAILED, Node, Source
-from ..engine.memo import invalidate_handle, release_handle
+from ..engine.memo import (
+    invalidate_handle,
+    patch_handle_blocks,
+    release_handle,
+)
 from ..engine.stats import STATS
 from ..engine.txn import commit as _txn_commit
 from ..faults.retry import with_retry
@@ -127,11 +131,20 @@ class OpaqueObject:
             return Source.of_node(self._tail)
         return Source.of_data(self._data, vkey=(self._uid, self._version))
 
-    def _advance(self) -> None:
+    def _advance(self, delta=None) -> None:
         """A write happened: bump the handle version and drop memo
-        entries that depended on the previous committed state."""
+        entries that depended on the previous committed state.
+
+        A batched write may pass its :class:`~repro.internals.stream.
+        WriteDelta` so the memo's delta tier can *patch* dependent
+        blocks across the version bump instead of dropping them.
+        """
+        old = self._version
         self._version += 1
-        invalidate_handle(self._uid)
+        if delta is not None:
+            patch_handle_blocks(self._uid, old, self._version, delta)
+        else:
+            invalidate_handle(self._uid)
 
     def _as_source(self) -> Source:
         """Capture this object as an *input* of a deferred operation.

@@ -50,6 +50,18 @@ algorithm building blocks store *measured* build times and bypass the
 gate entirely.  A stats reset clears the average (reset hook), keeping
 tests and benches deterministic.
 
+Delta tier (``ENGINE_DELTA``): eager invalidation has one refinement —
+when a write arrives as a batched delta (``Matrix.update_batch``), the
+sequence layer calls :func:`patch_handle_blocks` instead of
+:func:`invalidate_handle`.  Algorithm-block entries keyed at exactly
+the pre-write version whose kind has a registered patch rule
+(:mod:`repro.algorithms.delta`: degree vectors, pattern matrices,
+tril, warm fixpoints) are updated from the write set and re-keyed at
+the post-write version; everything else drops as before.  Soundness is
+inherited: a patched entry exists only under the new version's key,
+and patching happens before the write returns, so no forcing can
+observe a stale carrier under a live key.
+
 Eviction policy (``MEMO_EVICTION``): capacity pressure used to evict by
 recency alone, which throws away an expensive SpGEMM product to keep a
 trivial apply just because the apply came later.  The default ``cost``
@@ -76,6 +88,7 @@ from .stats import STATS, register_reset_hook
 __all__ = [
     "ResultMemo", "invalidate_handle", "release_handle",
     "record_commit_ms", "commit_overhead_ms",
+    "register_patch_resolver", "patch_handle_blocks",
 ]
 
 #: EWMA of measured memo-republish (commit) overhead in ms, and the
@@ -274,6 +287,75 @@ class ResultMemo:
         with self._lock:
             return self._invalidate_index(self._by_dep, uid)
 
+    def patch(
+        self, uid: int, old_version: int, new_version: int,
+        delta: Any, resolver: Any,
+    ) -> tuple[int, int]:
+        """Delta-invalidation: a write to *uid* arrived as a delta.
+
+        Entries depending on *uid* whose key is an algorithm block at
+        exactly ``(uid, old_version)`` and whose kind has a patch rule
+        are *updated* from the write set and re-keyed at
+        ``(uid, new_version)`` — deps, owner, and cost metadata carry
+        over, so the block stays warm across the write.  Everything
+        else (expression entries, stale versions, kinds without a
+        rule, rules that decline) drops exactly as
+        :meth:`invalidate` would have dropped it.
+
+        Rules run under the memo lock: they must be pure array code
+        over the cached value and the delta — no memo re-entry, no
+        forcing.  A rule returning ``None`` (or raising) declines and
+        the entry is dropped.  Returns ``(patched, dropped)``.
+        """
+        patched = dropped = 0
+        with self._lock:
+            keys = self._by_dep.get(uid)
+            if not keys:
+                return 0, 0
+            for key in list(keys):
+                entry = self._entries.get(key)
+                if entry is None:
+                    continue
+                new_value = None
+                if (
+                    isinstance(key, tuple) and len(key) == 5
+                    and key[0] == "algo"
+                    and key[2] == (uid, old_version)
+                ):
+                    rule = resolver(key[1])
+                    if rule is not None:
+                        try:
+                            new_value = rule(entry[0], key[3], delta)
+                        except Exception:
+                            new_value = None
+                carrier, deps, owner_uid, cost_ms, _ = entry
+                self._drop(key)
+                if new_value is None:
+                    dropped += 1
+                    continue
+                new_key = (key[0], key[1], (uid, new_version), key[3], key[4])
+                self._tick += 1
+                self._entries[new_key] = [
+                    new_value, deps, owner_uid, cost_ms, self._tick,
+                ]
+                for dep in deps:
+                    self._by_dep.setdefault(dep, set()).add(new_key)
+                if owner_uid is not None:
+                    self._by_owner.setdefault(owner_uid, set()).add(new_key)
+                patched += 1
+        if patched:
+            STATS.bump("memo_delta_patches", patched)
+        if dropped:
+            STATS.bump("memo_delta_drops", dropped)
+            STATS.bump("memo_invalidations", dropped)
+        if patched or dropped:
+            STATS.instant(
+                "memo:patch", "memo",
+                {"uid": uid, "patched": patched, "dropped": dropped,
+                 "delta_nnz": int(getattr(delta, "n", 0))},
+            )
+        return patched, dropped
+
     def release(self, uid: int) -> int:
         """Handle *uid* was freed: drop entries depending on it *and*
         entries whose cached carrier was committed to it."""
@@ -331,6 +413,39 @@ def invalidate_handle(uid: int) -> None:
         memos = list(_MEMOS)
     for memo in memos:
         memo.invalidate(uid)
+
+
+#: The registered kind → patch-rule resolver (one process-wide slot,
+#: installed by :mod:`repro.algorithms.delta` at import).  Keeping the
+#: rules out of this module avoids an engine → algorithms import cycle;
+#: until the algorithms package is imported no patchable entries exist
+#: anyway, so the unregistered state degrades to plain invalidation.
+_PATCH_RESOLVER = None
+
+
+def register_patch_resolver(resolver) -> None:
+    """Install the ``kind -> rule | None`` resolver the patch tier
+    consults (idempotent; last registration wins)."""
+    global _PATCH_RESOLVER
+    _PATCH_RESOLVER = resolver
+
+
+def patch_handle_blocks(
+    uid: int, old_version: int, new_version: int, delta: Any,
+) -> None:
+    """A handle advanced via a batched *delta* write: give every live
+    memo the chance to patch dependent blocks in place instead of
+    dropping them.  Falls back to :func:`invalidate_handle` when the
+    delta tier is ablated or no resolver is registered."""
+    if uid not in _TRACKED_UIDS:
+        return
+    if not config.ENGINE_DELTA or _PATCH_RESOLVER is None:
+        invalidate_handle(uid)
+        return
+    with _MEMOS_LOCK:
+        memos = list(_MEMOS)
+    for memo in memos:
+        memo.patch(uid, old_version, new_version, delta, _PATCH_RESOLVER)
 
 
 def release_handle(uid: int) -> None:

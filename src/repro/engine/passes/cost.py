@@ -72,6 +72,7 @@ __all__ = [
     "run", "estimate_nnz", "calibrated_rates", "entry_savings_ms",
     "record_plan_overhead", "partition_count", "record_partition_sample",
     "export_calibration", "seed_calibration", "commit_format",
+    "should_delta_patch",
 ]
 
 #: Static per-element rates (ms) used until calibration has data:
@@ -374,6 +375,29 @@ def commit_format(label: str, carrier):
         },
     )
     return out
+
+
+def should_delta_patch(kind: str, delta_nnz: int, base_nnz: int) -> bool:
+    """Patch-vs-rebuild arbitration for the memo's delta tier.
+
+    Patching a block costs O(delta) array work under the memo lock;
+    rebuilding costs a full kernel pass over the base.  The crossover
+    is linear in the size ratio, so the rule is a single calibratable
+    threshold (``DELTA_PATCH_LIMIT``) with an absolute floor of 16
+    edges — tiny deltas always patch, even into tiny graphs.  Every
+    decision emits a ``cost:delta-patch`` instant.
+    """
+    if not config.ENGINE_DELTA:
+        return False
+    limit = float(config.DELTA_PATCH_LIMIT)
+    patch = float(delta_nnz) <= max(16.0, limit * float(base_nnz))
+    STATS.instant(
+        "cost:delta-patch", "planner",
+        {"kind": kind, "delta_nnz": int(delta_nnz),
+         "base_nnz": int(base_nnz),
+         "decision": "patch" if patch else "rebuild"},
+    )
+    return patch
 
 
 def _conflict_pairs(ir: PlanIR):

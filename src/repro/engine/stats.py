@@ -89,6 +89,25 @@ optimizer actually do anything?".  Counters:
 * ``format_densify_fallbacks`` — hypersparse carriers densified to CSR
   for a kernel family with no native DCSR path (each emits a
   ``format:densify:<family>`` instant with the conversion time).
+* ``memo_delta_patches`` / ``memo_delta_drops`` — dependent memo
+  entries updated *in place* from a batched write's delta (patch rule
+  applied, entry re-keyed at the new handle version; each patched
+  handle emits a ``memo:patch`` instant) vs dropped the classic way
+  (no rule, wrong version, or the cost model preferred a rebuild).
+* ``algo_warm_hits`` / ``algo_warm_stores`` / ``algo_warm_fallbacks``
+  — warm-fixpoint blocks (prior pagerank ranks, component labels,
+  triangle counts) served to an incremental algorithm run, recorded
+  after a converged run, and warm entries that failed to apply (the
+  algorithm recomputed cold).
+* ``ingest_batches`` / ``ingest_edges_committed`` — streaming-ingest
+  flushes (one merged ``apply_edges`` + one coalesced journal record
+  + one publish each) and the edges they committed.
+* ``ingest_fast_merges`` — batched edge writes applied by the sorted
+  positional merge in :mod:`repro.internals.stream` (O(nnz + d log d))
+  instead of the full COO re-sort.
+* ``serve_views_patched`` — stale cached tenant views advanced to the
+  current graph generation by replaying recorded deltas in place
+  (handle identity preserved, so warm blocks survive the write).
 * ``batch_groups`` / ``engine_batched_ops`` — small-op batches the
   scheduler coalesced into one blocked multi-vector kernel, and how
   many pending ops rode in them (the ops saved kernel entries, row
@@ -207,6 +226,15 @@ _COUNTERS = (
     "restored_blocks",
     "format_dcsr_commits",
     "format_densify_fallbacks",
+    "memo_delta_patches",
+    "memo_delta_drops",
+    "algo_warm_hits",
+    "algo_warm_stores",
+    "algo_warm_fallbacks",
+    "ingest_batches",
+    "ingest_edges_committed",
+    "ingest_fast_merges",
+    "serve_views_patched",
     "batch_groups",
     "engine_batched_ops",
     "spans_dropped",

@@ -17,13 +17,15 @@ Semantics captured here:
   ``GrB_assign(…, GrB_Scalar, …)`` lands here with an empty scalar
   meaning "delete the region" when unaccumulated.
 
-Assign is the one kernel family with **no native hypersparse path**:
-its region rewrite walks whole row extents, which is inherently
-row-pointer shaped.  Doubly-compressed inputs densify through the
-measured-and-traced :func:`~.dispatch.as_csr` fallback (counted in
-``format_densify_fallbacks``, emitted as ``format:densify:assign``
-trace instants) and raise the documented resource-limit error above the
-CSR row ceiling.
+All variants are format-polymorphic: the region rewrite works on the
+COO row stream (``row_indices()``), which both CSR and doubly-
+compressed carriers expose in row-major order, and results re-assemble
+through :func:`~.containers.mat_from_coo` so the density policy picks
+the output format.  Hypersparse graphs therefore survive streaming
+writes without the old ``as_csr`` densify fallback; the one inherently
+dense case left is a GrB_ALL *scalar fill* (the region is every row),
+which raises the documented resource-limit error above the CSR row
+ceiling instead of materializing an O(nrows) index range.
 """
 
 from __future__ import annotations
@@ -36,8 +38,14 @@ from ..core.binaryop import BinaryOp
 from ..core.errors import InvalidIndexError
 from ..core.types import Type
 from ..faults.plane import maybe_inject
-from .containers import MatData, VecData, coo_to_csr, csr_to_coo_rows
-from .dispatch import as_csr, register
+from .containers import (
+    DcsrData,
+    MatData,
+    VecData,
+    check_nrows_limit,
+    mat_from_coo,
+)
+from .dispatch import register
 from .ewise import mat_union, vec_union
 
 __all__ = [
@@ -147,7 +155,7 @@ def vec_assign_scalar(
 # ---------------------------------------------------------------------------
 
 def _mat_region_update(
-    c: MatData,
+    c: "MatData | DcsrData",
     new_rows: np.ndarray,
     new_cols: np.ndarray,
     new_vals: np.ndarray,
@@ -155,12 +163,14 @@ def _mat_region_update(
     col_region: np.ndarray | None,
     accum: BinaryOp | None,
     out_type: Type,
-) -> MatData:
+) -> "MatData | DcsrData":
     """Common tail: overwrite-or-merge the region entries into C."""
-    mapped = coo_to_csr(c.nrows, c.ncols, out_type, new_rows, new_cols, new_vals)
+    mapped = mat_from_coo(
+        c.nrows, c.ncols, out_type, new_rows, new_cols, new_vals
+    )
     if accum is not None:
         return mat_union(c.astype(out_type), mapped, accum, out_type)
-    c_rows = csr_to_coo_rows(c.indptr, c.nrows)
+    c_rows = c.row_indices()
     in_rows = (
         np.ones(c.nvals, dtype=bool) if row_region is None
         else np.isin(c_rows, row_region)
@@ -175,21 +185,19 @@ def _mat_region_update(
     vals = np.concatenate(
         [out_type.coerce_array(c.values[keep]), out_type.coerce_array(new_vals)]
     )
-    return coo_to_csr(c.nrows, c.ncols, out_type, rows, cols, vals)
+    return mat_from_coo(c.nrows, c.ncols, out_type, rows, cols, vals)
 
 
 def mat_assign(
-    c: MatData,
-    a: MatData,
+    c: "MatData | DcsrData",
+    a: "MatData | DcsrData",
     row_indices,
     col_indices,
     accum: BinaryOp | None,
     out_type: Type,
-) -> MatData:
+) -> "MatData | DcsrData":
     """Z for ``C(I,J) = [accum] A``."""
     maybe_inject("kernel.assign")
-    c = as_csr(c, "assign")
-    a = as_csr(a, "assign")
     ridx = _indices_or_all(row_indices, c.nrows, "row")
     cidx = _indices_or_all(col_indices, c.ncols, "column")
     nr = c.nrows if ridx is None else len(ridx)
@@ -198,7 +206,7 @@ def mat_assign(
         raise InvalidIndexError(
             f"assign source shape {(a.nrows, a.ncols)} != region shape {(nr, nc)}"
         )
-    a_rows = csr_to_coo_rows(a.indptr, a.nrows)
+    a_rows = a.row_indices()
     new_rows = a_rows if ridx is None else ridx[a_rows]
     new_cols = a.col_indices if cidx is None else cidx[a.col_indices]
     new_vals = out_type.coerce_array(a.values)
@@ -208,20 +216,17 @@ def mat_assign(
 
 
 def mat_assign_scalar(
-    c: MatData,
+    c: "MatData | DcsrData",
     value: Any | None,
     row_indices,
     col_indices,
     accum: BinaryOp | None,
     out_type: Type,
-) -> MatData:
+) -> "MatData | DcsrData":
     """Z for ``C(I,J) = [accum] s`` — the region densifies to |I|·|J|."""
     maybe_inject("kernel.assign")
-    c = as_csr(c, "assign")
     ridx = _indices_or_all(row_indices, c.nrows, "row")
     cidx = _indices_or_all(col_indices, c.ncols, "column")
-    rows_arr = np.arange(c.nrows, dtype=_INT) if ridx is None else ridx
-    cols_arr = np.arange(c.ncols, dtype=_INT) if cidx is None else cidx
     if value is None:
         if accum is not None:
             return c.astype(out_type)
@@ -229,6 +234,13 @@ def mat_assign_scalar(
             c, np.empty(0, dtype=_INT), np.empty(0, dtype=_INT),
             out_type.empty(0), ridx, cidx, None, out_type,
         )
+    # A GrB_ALL scalar fill densifies the region to every row: past the
+    # CSR pointer ceiling that is O(nrows) storage no format can carry,
+    # so it keeps the documented resource-limit error.
+    if ridx is None:
+        check_nrows_limit(c.nrows)
+    rows_arr = np.arange(c.nrows, dtype=_INT) if ridx is None else ridx
+    cols_arr = np.arange(c.ncols, dtype=_INT) if cidx is None else cidx
     grid_rows = np.repeat(rows_arr, len(cols_arr))
     grid_cols = np.tile(cols_arr, len(rows_arr))
     fill = np.full(len(grid_rows), out_type.coerce_scalar(value),
@@ -239,16 +251,15 @@ def mat_assign_scalar(
 
 
 def mat_assign_row(
-    c: MatData,
+    c: "MatData | DcsrData",
     u: VecData,
     row: int,
     col_indices,
     accum: BinaryOp | None,
     out_type: Type,
-) -> MatData:
+) -> "MatData | DcsrData":
     """Z for ``C(i, J) = [accum] u`` (``GrB_Row_assign``)."""
     maybe_inject("kernel.assign")
-    c = as_csr(c, "assign")
     if not (0 <= row < c.nrows):
         raise InvalidIndexError(f"row {row} out of range [0, {c.nrows})")
     cidx = _indices_or_all(col_indices, c.ncols, "column")
@@ -266,16 +277,15 @@ def mat_assign_row(
 
 
 def mat_assign_col(
-    c: MatData,
+    c: "MatData | DcsrData",
     u: VecData,
     row_indices,
     col: int,
     accum: BinaryOp | None,
     out_type: Type,
-) -> MatData:
+) -> "MatData | DcsrData":
     """Z for ``C(I, j) = [accum] u`` (``GrB_Col_assign``)."""
     maybe_inject("kernel.assign")
-    c = as_csr(c, "assign")
     if not (0 <= col < c.ncols):
         raise InvalidIndexError(f"column {col} out of range [0, {c.ncols})")
     ridx = _indices_or_all(row_indices, c.nrows, "row")
@@ -292,6 +302,6 @@ def mat_assign_col(
     )
 
 
-# CSR-only: hypersparse inputs densify through the traced as_csr
-# fallback at each kernel's entry (see module docstring).
-register("assign", "csr")(mat_assign)
+# Native on both formats: the region rewrite runs on the COO row
+# stream, which CSR and DCSR carriers expose identically.
+register("assign", "csr", "dcsr")(mat_assign)

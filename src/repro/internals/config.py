@@ -77,6 +77,28 @@ Hypersparse-tier knobs (:mod:`repro.internals.containers`,
   down into the engine, so plain library users get it too).  Env:
   ``ENGINE_OP_BATCH`` (CI ablation row).
 
+Streaming-delta knobs (:mod:`repro.internals.stream`,
+:mod:`repro.engine.memo` patch tier, :mod:`repro.algorithms.delta`):
+
+* ``ENGINE_DELTA`` — treat batched writes (``Matrix.update_batch`` /
+  ``GraphService.ingest_edges``) as *deltas*: memo entries whose kind
+  declares a patch rule (degree vectors, pattern matrices, tril, warm
+  fixpoints) are updated from the write set instead of dropped, warm
+  pagerank/components/triangles restart from the previous
+  fixpoint/count, and serving sessions patch their cached tenant views
+  in place across generations.  Off reproduces the pre-delta behavior:
+  every write invalidates every dependent block and all analytics
+  recompute cold.  Env: ``ENGINE_DELTA`` (CI ablation row).
+* ``DELTA_PATCH_LIMIT`` — patch-vs-rebuild arbitration threshold: a
+  delta is patched only while ``delta_nnz <= max(16, base_nnz *
+  DELTA_PATCH_LIMIT)``; past it the cost model declares a rebuild
+  cheaper and the entry is dropped (cold fallback).  Decisions traced
+  as ``cost:delta-patch`` instants.
+* ``INGEST_BATCH`` — edges ``GraphService.ingest_edges`` accumulates
+  per graph before an automatic flush (one merged ``apply_edges``, one
+  coalesced journal record, one publish).  Explicit ``flush_ingest()``
+  / ``checkpoint()`` / ``mutate_graph()`` flush earlier.
+
 Resilience knobs (the fault plane's retry/degradation policy,
 :mod:`repro.faults`):
 
@@ -173,6 +195,9 @@ FORMAT_AUTO: bool = _env_flag(("FORMAT_AUTO",), True)
 FORMAT_DCSR_MIN_ROWS: int = _env_num("FORMAT_DCSR_MIN_ROWS", 1 << 20)
 FORMAT_DCSR_FACTOR: int = _env_num("FORMAT_DCSR_FACTOR", 16)
 ENGINE_OP_BATCH: bool = _env_flag(("ENGINE_OP_BATCH",), True)
+ENGINE_DELTA: bool = _env_flag(("ENGINE_DELTA",), True)
+DELTA_PATCH_LIMIT: float = _env_num("DELTA_PATCH_LIMIT", 0.25)
+INGEST_BATCH: int = _env_num("INGEST_BATCH", 1024)
 RETRY_MAX: int = 3
 RETRY_BASE_DELAY: float = 0.002
 COMM_TIMEOUT: float = 10.0
@@ -202,6 +227,9 @@ _DEFAULTS = {
     "FORMAT_DCSR_MIN_ROWS": FORMAT_DCSR_MIN_ROWS,
     "FORMAT_DCSR_FACTOR": FORMAT_DCSR_FACTOR,
     "ENGINE_OP_BATCH": ENGINE_OP_BATCH,
+    "ENGINE_DELTA": ENGINE_DELTA,
+    "DELTA_PATCH_LIMIT": DELTA_PATCH_LIMIT,
+    "INGEST_BATCH": INGEST_BATCH,
     "RETRY_MAX": 3,
     "RETRY_BASE_DELAY": 0.002,
     "COMM_TIMEOUT": 10.0,

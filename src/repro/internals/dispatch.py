@@ -59,8 +59,10 @@ def registered_formats(family: str) -> tuple[str, ...]:
 def as_csr(d: "MatData | DcsrData", family: str) -> MatData:
     """Densify a hypersparse carrier for a CSR-only kernel family.
 
-    The escape hatch for families with no native DCSR path (assign's
-    region rewrite).  Never silent: bumps ``format_densify_fallbacks``
+    The escape hatch for families with no native DCSR path (since the
+    assign rewrite went polymorphic, every built-in family is native on
+    both formats — this remains for third-party/UDK kernels and as the
+    audited slow path).  Never silent: bumps ``format_densify_fallbacks``
     and emits a ``format:densify`` trace instant with the family and
     shape, and raises the documented resource-limit error when the row
     count has no CSR representation at all.

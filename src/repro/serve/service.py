@@ -28,26 +28,45 @@ Health: :class:`~repro.serve.health.HealthMonitor` keeps a circuit
 breaker per tenant; every execution outcome lands in
 :meth:`_record_outcome`, and a breaker recovery restores the tenant's
 context (clearing serial demotion) — the full degrade/recover loop.
+
+Streaming ingest: :meth:`ingest_edges` *buffers* edge batches per graph
+and commits them in bulk — one merged carrier build, **one** journal
+record, one publish — either when the buffer reaches ``INGEST_BATCH``
+edges or at an explicit :meth:`flush_ingest` (mutations, checkpoints,
+and close flush implicitly).  Each publish records its normalized write
+set in a bounded per-generation history, so a tenant session whose
+cached view is a few generations behind can *patch* it forward in
+place (``Matrix.update_batch``) instead of dropping the view — keeping
+the view's uid, and with it every delta-patched algo-memo block, warm
+across the write.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from collections import OrderedDict
 from typing import Any
+
+import numpy as np
 
 from ..core.context import Context, Mode
 from ..core.errors import InvalidValueError
 from ..core.matrix import Matrix
 from ..engine.stats import STATS
 from ..internals import config
+from ..internals.stream import apply_delta, build_delta, coerce_edges
 from .batch import Group, coalesce
 from .health import HealthMonitor
 from .query import Query, QueryResult
-from .recovery import CheckpointStore, apply_edges
+from .recovery import CheckpointStore
 from .session import Session
 
 __all__ = ["GraphService"]
+
+#: Publish generations of write-set history kept per graph; a session
+#: further behind than this refetches the full carrier.
+_DELTA_HISTORY = 64
 
 
 class GraphService:
@@ -79,6 +98,13 @@ class GraphService:
         #: (graph, kind, params) -> (carrier, cost_ms): warm blocks from
         #: a restore, seeded into each context that views the graph.
         self._warm_blocks: dict[tuple, tuple] = {}
+        #: name -> [(rows, cols, vals), ...]: accepted-but-uncommitted
+        #: ingest batches (validated on admission, durable at flush).
+        self._ingest: dict[str, list] = {}
+        self._ingest_pending: dict[str, int] = {}
+        #: name -> OrderedDict[gen, (rows, cols, vals)]: the normalized
+        #: write set that produced each publish generation.
+        self._graph_deltas: dict[str, OrderedDict] = {}
         self.health = HealthMonitor()
         self._closed = False
         #: Serializes WAL-append + in-memory publish against
@@ -106,6 +132,9 @@ class GraphService:
         with self._dur_lock:
             with self._lock:
                 self._check_open()
+            # Buffered ingest against the old value commits first: an
+            # accepted edge write is never silently superseded.
+            self.flush_ingest(name)
             if self._store is not None:
                 from ..formats.serialize import carrier_serialize
 
@@ -122,28 +151,148 @@ class GraphService:
         old one), write-ahead journaled, then published.  The ack a
         caller gets implies durability: a crash any instant later
         replays the write.  Sessions pick up the new value at their
-        next ``view`` call (generation bump).
+        next ``view`` call (generation bump) — patching a cached view
+        forward from the recorded write set when the history allows.
+        Any buffered ingest for *name* commits first, preserving write
+        order.
         """
         with self._dur_lock:
+            self.flush_ingest(name)
             with self._lock:
                 self._check_open()
                 carrier = self._graphs.get(name)
             if carrier is None:
                 raise InvalidValueError(f"no resident graph named {name!r}")
-            new = apply_edges(carrier, rows, cols, vals)
-            if self._store is not None:
-                self._store.journal_mutate(
-                    name, rows, cols, vals, carrier.type.name
-                )
-            self._publish_carrier(name, new)
+            new = self._commit_edges(name, carrier, rows, cols, vals)
         return {"name": name, "nrows": new.nrows,
                 "ncols": new.ncols, "nvals": new.nvals}
 
-    def _publish_carrier(self, name: str, carrier: Any) -> None:
+    def _commit_edges(self, name: str, carrier, rows, cols, vals):
+        """Merge + journal + publish one edge batch (holds ``_dur_lock``)."""
+        delta = build_delta(carrier, rows, cols, vals)
+        new = apply_delta(carrier, delta)
+        if new is not carrier:
+            new.check()
+        if self._store is not None:
+            self._store.journal_mutate(
+                name, rows, cols, vals, carrier.type.name
+            )
+        self._publish_carrier(
+            name, new, delta=(delta.rows, delta.cols, delta.vals)
+        )
+        return new
+
+    # -- streaming ingest -----------------------------------------------------
+
+    def ingest_edges(self, name: str, rows, cols, vals) -> dict:
+        """Buffer an edge batch against graph *name* for bulk commit.
+
+        The batch is validated (shape, bounds, dtype) on admission —
+        a bad write is rejected while the caller's stack is live — and
+        committed when the buffer reaches ``INGEST_BATCH`` edges, at an
+        explicit :meth:`flush_ingest`, or implicitly before any
+        ``mutate_graph``/``register_graph``/``checkpoint``/``close``.
+        A flush is one merged carrier build and **one** journal record
+        no matter how many calls filled the buffer; the ``durable``
+        field of the ack says whether this call triggered it.
+        """
+        with self._lock:
+            self._check_open()
+            carrier = self._graphs.get(name)
+        if carrier is None:
+            raise InvalidValueError(f"no resident graph named {name!r}")
+        r, c, v = coerce_edges(carrier, rows, cols, vals)
+        with self._lock:
+            self._check_open()
+            self._ingest.setdefault(name, []).append((r, c, v))
+            pending = self._ingest_pending.get(name, 0) + len(r)
+            self._ingest_pending[name] = pending
+        flushed = False
+        if pending >= int(config.get_option("INGEST_BATCH")):
+            flushed = name in self.flush_ingest(name)
+        return {"name": name, "accepted": int(len(r)),
+                "pending": 0 if flushed else pending, "durable": flushed}
+
+    def flush_ingest(self, name: str | None = None) -> dict:
+        """Commit buffered ingest batches (every graph, or just *name*).
+
+        Returns ``{graph: edges_committed}`` for the graphs that had a
+        non-empty buffer.  Idempotent and safe to call anytime; a
+        closed service is a no-op.
+        """
+        with self._dur_lock:
+            with self._lock:
+                if self._closed:
+                    return {}
+                names = [name] if name is not None else list(self._ingest)
+                pending: dict[str, list] = {}
+                for n in names:
+                    batches = self._ingest.pop(n, None)
+                    self._ingest_pending.pop(n, None)
+                    if batches:
+                        pending[n] = batches
+            out: dict[str, int] = {}
+            for n, batches in pending.items():
+                with self._lock:
+                    carrier = self._graphs.get(n)
+                if carrier is None:
+                    continue
+                rows = np.concatenate([b[0] for b in batches])
+                cols = np.concatenate([b[1] for b in batches])
+                vals = np.concatenate([b[2] for b in batches])
+                self._commit_edges(n, carrier, rows, cols, vals)
+                STATS.bump("ingest_batches")
+                STATS.bump("ingest_edges_committed", int(len(rows)))
+                out[n] = int(len(rows))
+            return out
+
+    def _publish_carrier(
+        self, name: str, carrier: Any, delta: tuple | None = None
+    ) -> None:
         with self._lock:
             self._graphs[name] = carrier
             self._batch_views.pop(name, None)
-            self._graph_gen[name] = self._graph_gen.get(name, 0) + 1
+            gen = self._graph_gen.get(name, 0) + 1
+            self._graph_gen[name] = gen
+            if delta is None:
+                # Full replacement: history before it cannot advance a
+                # stale view to this value.
+                self._graph_deltas.pop(name, None)
+            else:
+                hist = self._graph_deltas.setdefault(name, OrderedDict())
+                hist[gen] = delta
+                while len(hist) > _DELTA_HISTORY:
+                    hist.popitem(last=False)
+
+    def deltas_between(
+        self, name: str, from_gen: int, to_gen: int
+    ) -> list | None:
+        """The write sets advancing *name* from one generation to
+        another, oldest first — or ``None`` when the history cannot
+        bridge the span (evicted, or a full republish in between)."""
+        if to_gen <= from_gen:
+            return []
+        with self._lock:
+            hist = self._graph_deltas.get(name)
+            if hist is None:
+                return None
+            out = []
+            for gen in range(from_gen + 1, to_gen + 1):
+                delta = hist.get(gen)
+                if delta is None:
+                    return None
+                out.append(delta)
+            return out
+
+    def _note_view_patched(self, uid: int, name: str, gen: int) -> None:
+        """Re-attribute a patched view's uid to the carrier it now
+        matches, so its algo-memo blocks stay checkpointable."""
+        with self._lock:
+            if self._graph_gen.get(name, 0) != gen:
+                return  # the service moved on; attribution would be stale
+            carrier = self._graphs.get(name)
+            if carrier is not None:
+                self._view_uids[uid] = (name, id(carrier))
 
     def graph_generation(self, name: str) -> int:
         """Publish generation of graph *name* (0 = never registered)."""
@@ -358,6 +507,9 @@ class GraphService:
         from ..engine.passes import cost
 
         with self._dur_lock:
+            # Buffered ingest folds into the snapshot, not the next
+            # journal generation.
+            self.flush_ingest()
             with self._lock:
                 self._check_open()
                 graphs = dict(self._graphs)
@@ -385,6 +537,10 @@ class GraphService:
                         and key[0] == "algo"):
                     continue
                 _, kind, vkey, params, _fp = key
+                if isinstance(kind, str) and kind.startswith("warm:"):
+                    # Warm fixpoint payloads are (value, meta) tuples,
+                    # not §VII carrier streams — rebuilt, not restored.
+                    continue
                 if not (isinstance(vkey, tuple) and len(vkey) == 2):
                     continue
                 mapped = view_uids.get(vkey[0])
@@ -459,6 +615,12 @@ class GraphService:
 
     def close(self) -> None:
         """Free every session and the service's context tree."""
+        try:
+            # Accepted ingest becomes durable before teardown; a flush
+            # failure must not leave the service half-closed.
+            self.flush_ingest()
+        except Exception:
+            pass
         with self._lock:
             if self._closed:
                 return
@@ -469,6 +631,9 @@ class GraphService:
             self._batch_views.clear()
             self._view_uids.clear()
             self._warm_blocks.clear()
+            self._ingest.clear()
+            self._ingest_pending.clear()
+            self._graph_deltas.clear()
         for session in sessions:
             session.ctx.free()
         self.root.free()

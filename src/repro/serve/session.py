@@ -58,9 +58,15 @@ class Session:
     def view(self, graph: str):
         """This session's zero-copy view of a resident graph.
 
-        Views are cached per generation: a ``mutate_graph`` bumps the
-        resident graph's generation, and the next ``view`` call wraps
-        the new carrier (the old view's memo entries die with its uid).
+        Views are cached per generation: a write bumps the resident
+        graph's generation, and the next ``view`` call advances the
+        cache.  Under ``ENGINE_DELTA``, a view that is only a few
+        generations behind is *patched forward in place* from the
+        service's recorded write sets (``Matrix.update_batch``) instead
+        of re-wrapped — same uid, so delta-patched algo-memo blocks
+        (warm pagerank ranks, component labels, the pattern block)
+        survive the write.  A history gap, a full republish, or a
+        patch failure falls back to a fresh view (the old path).
         """
         gen = self.service.graph_generation(graph)
         with self._lock:
@@ -71,6 +77,23 @@ class Session:
             cached = self._views.get(graph)
             if cached is not None and cached[1] == gen:
                 return cached[0]
+            if (cached is not None and cached[1] < gen
+                    and config.get_option("ENGINE_DELTA")):
+                deltas = self.service.deltas_between(graph, cached[1], gen)
+                if deltas is not None:
+                    mat = cached[0]
+                    try:
+                        for rows, cols, vals in deltas:
+                            mat.update_batch(rows, cols, vals)
+                    except Exception:
+                        pass  # fall through to a fresh view
+                    else:
+                        self._views[graph] = (mat, gen)
+                        STATS.bump("serve_views_patched")
+                        self.service._note_view_patched(
+                            mat._uid, graph, gen
+                        )
+                        return mat
         mat = self.service.graph_view(graph, self.ctx)
         with self._lock:
             self._views[graph] = (mat, gen)

@@ -22,7 +22,7 @@ _spec.loader.exec_module(bench_gate)
 
 
 def _results(mm=0.5, cse=0.8, algo=0.1, serve=0.4, p99=0.5, recov=0.5,
-             hyp=0.01, batch=0.6):
+             hyp=0.01, batch=0.6, warm=0.2, ingest=0.3):
     """A full fresh/baseline results dict with the given gated ratios
     (blocking_ms pinned to 100 so ratio == optimized ms / 100)."""
     return {
@@ -57,6 +57,14 @@ def _results(mm=0.5, cse=0.8, algo=0.1, serve=0.4, p99=0.5, recov=0.5,
         "op_batching": {
             "blocking_ms": 100.0, "nb_batched_ms": batch * 100.0,
             "engine_batched_ops": 48,
+        },
+        "streaming_pagerank": {
+            "blocking_ms": 100.0, "nb_warm_ms": warm * 100.0,
+            "memo_delta_patches": 3,
+        },
+        "streaming_ingest": {
+            "blocking_ms": 100.0, "nb_batched_ms": ingest * 100.0,
+            "ingest_batches": 3,
         },
     }
 
@@ -138,6 +146,11 @@ class TestCliHistory:
         hyper.write_text(json.dumps(
             {k: _results()[k] for k in ("hypersparse_mxv", "op_batching")}
         ))
+        streaming = tmp_path / "streaming.json"
+        streaming.write_text(json.dumps(
+            {k: _results()[k]
+             for k in ("streaming_pagerank", "streaming_ingest")}
+        ))
 
         def run(algo):
             fresh.write_text(json.dumps(_results(algo=algo)))
@@ -148,6 +161,8 @@ class TestCliHistory:
                  "--baseline-serving", str(serving),
                  "--fresh-hypersparse", str(hyper),
                  "--baseline-hypersparse", str(hyper),
+                 "--fresh-streaming", str(streaming),
+                 "--baseline-streaming", str(streaming),
                  "--tolerance", "10.0",          # per-run gate out of the way
                  "--append-history", str(hist)],
                 capture_output=True, text=True,

@@ -6,7 +6,8 @@ Battery structure:
   stream and the DCSR invariants at dimensions up to 2^32, with O(nnz)
   allocation (Hypothesis);
 * dispatch coverage — every registered kernel family declares its
-  native formats; ``assign`` is the one documented densify family;
+  native formats (``assign`` included, since the region rewrite went
+  format-polymorphic); the ``as_csr`` escape hatch still counts;
 * kernel parity — every family's DCSR path produces results identical
   to the CSR oracle, driven through the public ops surface with the
   format policy forced each way;
@@ -198,17 +199,15 @@ class TestDispatchCoverage:
         "ewise_intersect", "ewise_union",
         "apply", "apply_index", "select", "pipeline",
         "reduce_rows", "build", "mask_write_back",
-        "extract", "extract_col", "kron",
+        "extract", "extract_col", "kron", "assign",
     )
 
     def test_every_family_handles_both_formats(self):
         for family in self.NATIVE_BOTH:
             assert registered_formats(family) == ("csr", "dcsr"), family
 
-    def test_assign_is_the_documented_densify_family(self):
-        assert registered_formats("assign") == ("csr",)
-
-    def test_densify_fallback_is_counted(self):
+    def test_assign_stays_hypersparse(self):
+        """The region rewrite is native: no densify, output keeps DCSR."""
         with force_dcsr():
             c = mat_from_dict({(0, 0): 1.0, (2, 1): 2.0}, 4, 4)
             assert isinstance(c._capture(), DcsrData)
@@ -217,7 +216,26 @@ class TestDispatchCoverage:
             assign(c, None, None, a, [0, 2], [0, 1])
             c.wait()
             after = STATS.snapshot().get("format_densify_fallbacks", 0)
-        assert after > before
+            assert after == before
+            assert isinstance(c._capture(), DcsrData)
+            # (2,1) sits inside the region and A is empty there:
+            # unaccumulated assign overwrites the region.
+            assert mat_to_dict(c) == {(0, 0): 9.0}
+
+    def test_densify_fallback_is_counted(self):
+        """as_csr remains the audited escape hatch for CSR-only kernels."""
+        from repro.internals.dispatch import as_csr
+
+        d = coo_to_dcsr(
+            4, 4, T.FP64,
+            np.array([0, 2]), np.array([0, 1]), np.array([1.0, 2.0]),
+        )
+        before = STATS.snapshot().get("format_densify_fallbacks", 0)
+        out = as_csr(d, "test_family")
+        after = STATS.snapshot().get("format_densify_fallbacks", 0)
+        assert after == before + 1
+        assert isinstance(out, MatData)
+        assert out.nvals == 2
 
 
 # ---------------------------------------------------------------------------

@@ -38,6 +38,15 @@ queries); when present two more ratios are gated against the committed
 * ``hypersparse_mxv.nb_dcsr_ms / blocking_ms`` — hypersparse carrier
 * ``op_batching.nb_batched_ms / blocking_ms``  — small-op coalescing
 
+``benchmarks/bench_streaming.py`` writes ``BENCH_streaming.json``
+(pagerank after a small edge delta, warm delta-patched restart vs
+``ENGINE_DELTA=0`` cold rebuild, plus sustained edge ingest with
+buffered batches vs per-edge mutation); when present two more ratios
+are gated against the committed ``benchmarks/BENCH_streaming.json``:
+
+* ``streaming_pagerank.nb_warm_ms / blocking_ms``   — warm fixpoint
+* ``streaming_ingest.nb_batched_ms / blocking_ms``  — batched ingest
+
 The gate fails (exit 1) when a fresh ratio regresses more than the
 tolerance (default 25%) over the baseline ratio, or when the workload's
 optimizer counters show the optimization did not fire at all.  Run from
@@ -75,6 +84,8 @@ GATED = (
     ("recovery", "nb_warm_ms", "restored_graphs"),
     ("hypersparse_mxv", "nb_dcsr_ms", "format_dcsr_commits"),
     ("op_batching", "nb_batched_ms", "engine_batched_ops"),
+    ("streaming_pagerank", "nb_warm_ms", "memo_delta_patches"),
+    ("streaming_ingest", "nb_batched_ms", "ingest_batches"),
 )
 
 #: workloads sourced from the serving bench (BENCH_serving.json) rather
@@ -88,6 +99,10 @@ RECOVERY_WORKLOADS = ("recovery",)
 #: workloads sourced from the hypersparse bench
 #: (BENCH_hypersparse.json) — gated only when its results are present
 HYPERSPARSE_WORKLOADS = ("hypersparse_mxv", "op_batching")
+
+#: workloads sourced from the streaming bench (BENCH_streaming.json) —
+#: gated only when its results are present
+STREAMING_WORKLOADS = ("streaming_pagerank", "streaming_ingest")
 
 
 def _ratio(results: dict, workload: str, key: str) -> float:
@@ -226,6 +241,18 @@ def main(argv: list[str] | None = None) -> int:
         help="committed hypersparse baseline results",
     )
     p.add_argument(
+        "--fresh-streaming", type=Path,
+        default=Path("BENCH_streaming.json"),
+        help="results from the streaming benchmark run under test "
+             "(streaming workloads are skipped when the file is absent)",
+    )
+    p.add_argument(
+        "--baseline-streaming", type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "benchmarks" / "BENCH_streaming.json",
+        help="committed streaming baseline results",
+    )
+    p.add_argument(
         "--tolerance", type=float, default=0.25,
         help="allowed relative regression of each ratio (default 0.25)",
     )
@@ -295,6 +322,20 @@ def main(argv: list[str] | None = None) -> int:
         print(f"bench_gate: {args.fresh_hypersparse} absent — "
               f"hypersparse workloads not gated this run")
         gated = tuple(g for g in gated if g[0] not in HYPERSPARSE_WORKLOADS)
+
+    if args.fresh_streaming.exists():
+        try:
+            fresh.update(json.loads(args.fresh_streaming.read_text()))
+            baseline.update(
+                json.loads(args.baseline_streaming.read_text()))
+        except OSError as exc:
+            print(f"bench_gate: cannot read streaming results: {exc}",
+                  file=sys.stderr)
+            return 2
+    else:
+        print(f"bench_gate: {args.fresh_streaming} absent — "
+              f"streaming workloads not gated this run")
+        gated = tuple(g for g in gated if g[0] not in STREAMING_WORKLOADS)
 
     print(f"bench_gate: {args.fresh} vs {args.baseline} "
           f"(tolerance {args.tolerance:.0%})")
