@@ -86,6 +86,21 @@ def _format_fingerprint() -> tuple:
     )
 
 
+def _ensure_store_digest(a) -> None:
+    """Register *a*'s content digest with the warm-start store tier
+    (:mod:`repro.store`), so this graph's block keys can be derived on
+    disk and a fresh process computing the same graph finds them.
+    No-op without an active store; one dict probe per later call."""
+    if not (config.STORE_ENABLE and config.STORE_DIR):
+        return
+    try:
+        from ..store import tier
+
+        tier.ensure_digest(a)
+    except Exception:
+        pass  # best-effort, like the block stores themselves
+
+
 def _key(a, kind: str, params: tuple) -> tuple:
     # The "algo" discriminator keeps these keys disjoint from the
     # expression keys (dag.memo_key tuples start with "op"/"stages").
@@ -105,6 +120,7 @@ def _cached(a, kind: str, params: tuple, build: Callable, wrap: Callable):
     memo = _memo_for(a)
     if memo is None:
         return build()
+    _ensure_store_digest(a)
     key = _key(a, kind, params)
     cached = memo.lookup(key)
     if cached is not None:

@@ -50,12 +50,20 @@ def triangle_count(a: Matrix) -> int:
     if warm is not None:
         return int(warm[0])
     t0 = time.perf_counter()
-    low = lower_triangle(a, _t.INT64, -1)            # Fig. 3 idiom
-    c = Matrix.new(_t.INT64, a.nrows, a.ncols, a.context)
-    # C⟨L,structure⟩ = L ⊕.⊗ Lᵀ — mask prunes the product to wedges that
-    # close a triangle.
-    mxm(c, low, None, PLUS_TIMES_SEMIRING[_t.INT64], low, low,
-        desc=_DESC_ST1)
+
+    def build_wedges():
+        low = lower_triangle(a, _t.INT64, -1)        # Fig. 3 idiom
+        c = Matrix.new(_t.INT64, a.nrows, a.ncols, a.context)
+        # C⟨L,structure⟩ = L ⊕.⊗ Lᵀ — mask prunes the product to wedges
+        # that close a triangle.
+        mxm(c, low, None, PLUS_TIMES_SEMIRING[_t.INT64], low, low,
+            desc=_DESC_ST1)
+        return c
+
+    # The wedge matrix is by far the most expensive pure derivative of
+    # ``a`` in the whole algorithm suite — exactly what the block memo
+    # (and, through it, the persistent warm-start store) is for.
+    c = _blocks.memoized_matrix(a, "wedges", build_wedges)
     total = int(reduce_scalar(PLUS_MONOID[_t.INT64], c))
     try:
         if _delta.pattern_symmetric(a._capture()):

@@ -57,6 +57,13 @@ def build_parser() -> argparse.ArgumentParser:
              "REPRO_RESULT_CACHE=0)",
     )
     p.add_argument(
+        "--store-dir", metavar="DIR", default=None,
+        help="attach the persistent warm-start store rooted at DIR "
+             "(same as REPRO_STORE_DIR): memoized algo blocks and "
+             "kernel calibration persist across runs, so repeating a "
+             "demo/serve command starts warm",
+    )
+    p.add_argument(
         "--chaos", type=int, metavar="SEED", default=None,
         help="run under deterministic transient fault injection with this "
              "seed (results must still be exact)",
@@ -326,6 +333,11 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
 
         memo_was = config.get_option("ENGINE_MEMO")
         config.set_option("ENGINE_MEMO", False)
+    store_was = None
+    if args.store_dir:
+        from repro.internals import config
+
+        store_was = config.set_option("STORE_DIR", args.store_dir)
     if args.chaos is not None:
         from repro import faults
 
@@ -365,5 +377,12 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             from repro.internals import config
 
             config.set_option("ENGINE_MEMO", memo_was)
+        if store_was is not None:
+            # Calibration learned this run warms the next one.
+            from repro.internals import config
+            from repro.store import tier as store_tier
+
+            store_tier.save_calibration()
+            config.set_option("STORE_DIR", store_was)
         if owned and is_initialized():
             finalize()

@@ -88,6 +88,7 @@ from .stats import STATS, register_reset_hook
 __all__ = [
     "ResultMemo", "invalidate_handle", "release_handle",
     "record_commit_ms", "commit_overhead_ms",
+    "export_admission", "seed_admission",
     "register_patch_resolver", "patch_handle_blocks",
 ]
 
@@ -118,6 +119,38 @@ def commit_overhead_ms() -> float:
     """The measured republish overhead (0.0 until first observation)."""
     with _OVERHEAD_LOCK:
         return _commit_overhead_ms if _commit_samples else 0.0
+
+
+def export_admission() -> dict:
+    """The admission model's state, as a warm-start store sidecar
+    payload (:mod:`repro.store`)."""
+    with _OVERHEAD_LOCK:
+        return {"overhead_ms": _commit_overhead_ms,
+                "samples": _commit_samples}
+
+
+def seed_admission(data: dict) -> None:
+    """Install a persisted republish-overhead EWMA as a warm prior.
+
+    Only when this process has no measurements of its own — live
+    observations always win, and a stats reset clears the seed (the
+    same contract as :func:`repro.engine.passes.cost.seed_calibration`).
+    The seed counts as one observation: the admission gate's
+    evidence requirement is satisfied by the previous process's
+    evidence, which is the point of persisting it.
+    """
+    global _commit_overhead_ms, _commit_samples
+    try:
+        ms = float(data.get("overhead_ms", 0.0))
+        samples = int(data.get("samples", 0))
+    except (TypeError, ValueError, AttributeError):
+        return
+    if ms <= 0.0 or samples < 1:
+        return
+    with _OVERHEAD_LOCK:
+        if _commit_samples == 0:
+            _commit_overhead_ms = ms
+            _commit_samples = 1
 
 
 def _reset_overhead() -> None:
@@ -181,16 +214,65 @@ class ResultMemo:
         """The cached carrier for *key*, or ``None`` (counted as a miss).
         A hit refreshes the entry's recency (LRU position and cost-score
         age); the *hit* counter is bumped by the schedule pass when the
-        decision is committed."""
+        decision is committed.
+
+        On an in-memory miss, algorithm-block keys fall through to the
+        persistent warm-start store (:mod:`repro.store`): a disk hit is
+        re-inserted through :meth:`store` — so it persists nothing new
+        (content-addressed) but becomes an ordinary entry — and
+        returned as if it had been here all along.  The probe happens
+        outside the memo lock; the store layer is safe under
+        concurrent readers.
+        """
         with self._lock:
             entry = self._entries.get(key)
-            if entry is None:
-                STATS.bump("memo_misses")
-                return None
-            self._entries.move_to_end(key)
-            self._tick += 1
-            entry[4] = self._tick
-            return entry[0]
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._tick += 1
+                entry[4] = self._tick
+                return entry[0]
+        warm = self._probe_store(key)
+        if warm is not None:
+            carrier, cost_ms = warm
+            self.store(key, carrier, deps=(key[2][0],), cost_ms=cost_ms)
+            return carrier
+        STATS.bump("memo_misses")
+        return None
+
+    @staticmethod
+    def _storable_key(key: tuple) -> bool:
+        """Keys the persistent tier can address: versioned algo blocks."""
+        return (isinstance(key, tuple) and len(key) == 5
+                and key[0] == "algo"
+                and isinstance(key[2], tuple) and len(key[2]) == 2)
+
+    def _probe_store(self, key: tuple):
+        """``(carrier, cost_ms)`` from the warm-start store, or ``None``
+        — a cheap attribute check when no store is configured."""
+        if not (config.STORE_ENABLE and config.STORE_DIR):
+            return None
+        if not self._storable_key(key):
+            return None
+        try:
+            from ..store import tier
+
+            return tier.probe(key)
+        except Exception:
+            return None  # the store may speed things up, never break them
+
+    def _persist_store(self, key: tuple, carrier: Any,
+                       cost_ms: float) -> None:
+        """Store-behind: mirror a fresh algo-block entry to disk."""
+        if not (config.STORE_ENABLE and config.STORE_DIR):
+            return
+        if not self._storable_key(key):
+            return
+        try:
+            from ..store import tier
+
+            tier.persist(key, carrier, cost_ms)
+        except Exception:
+            pass
 
     def store(
         self,
@@ -239,6 +321,7 @@ class ResultMemo:
             cap = self.capacity
             while len(self._entries) > cap:
                 self._evict_one(key)
+        self._persist_store(key, carrier, cost_ms)
 
     def _evict_one(self, just_stored: tuple) -> None:
         # Caller holds self._lock; len(self._entries) > 1 is guaranteed

@@ -71,8 +71,9 @@ from .ir import PlanIR
 __all__ = [
     "run", "estimate_nnz", "calibrated_rates", "entry_savings_ms",
     "record_plan_overhead", "partition_count", "record_partition_sample",
-    "export_calibration", "seed_calibration", "commit_format",
-    "should_delta_patch",
+    "export_calibration", "seed_calibration",
+    "export_partition_samples", "seed_partition_samples",
+    "commit_format", "should_delta_patch",
 ]
 
 #: Static per-element rates (ms) used until calibration has data:
@@ -102,6 +103,12 @@ _partition_samples: dict = {}
 #: previous process image, used instead of the static ``_BASE_*``
 #: defaults until *this* process has its own measurements.
 _seeded_rates: dict = {}
+#: Warm-restart partition priors: merged split-throughput samples from
+#: a previous process (``nblocks -> [elems, seconds]``), consulted by
+#: :func:`partition_count` under live per-context samples — so a fresh
+#: process skips the explore ladder and goes straight to the split the
+#: previous image found best.
+_seeded_partitions: dict = {}
 
 
 def _reset_calibration() -> None:
@@ -116,6 +123,7 @@ def _reset_calibration() -> None:
         _plan_overhead["chains"] = 0
         _partition_samples.clear()
         _seeded_rates.clear()
+        _seeded_partitions.clear()
 
 
 def export_calibration() -> dict:
@@ -139,6 +147,47 @@ def seed_calibration(rates: dict) -> None:
                 continue
             if value > 0.0:
                 _seeded_rates[bucket] = value
+
+
+def export_partition_samples() -> dict:
+    """Measured SpGEMM split throughput, merged across contexts and
+    keyed by block count (JSON-portable: ``{"4": [elems, seconds]}``).
+
+    Context keys are process-local uids, so the per-context structure
+    does not survive a restart — but the *physics* (how this machine's
+    throughput scales with split count) does, and that is what the
+    warm-start store persists.
+    """
+    with _cal_lock:
+        merged: dict[int, list[float]] = {}
+        buckets = list(_partition_samples.values())
+        buckets.append(_seeded_partitions)
+        for bucket in buckets:
+            for nblocks, cell in bucket.items():
+                out = merged.setdefault(int(nblocks), [0.0, 0.0])
+                out[0] += float(cell[0])
+                out[1] += float(cell[1])
+    return {str(k): [v[0], v[1]] for k, v in sorted(merged.items())}
+
+
+def seed_partition_samples(samples: dict) -> None:
+    """Install persisted split-throughput samples as warm priors.
+
+    Live per-context measurements always shadow them, and a stats
+    reset clears them — same contract as :func:`seed_calibration`.
+    Malformed cells are skipped (the sidecar may come from any disk).
+    """
+    with _cal_lock:
+        for key, cell in samples.items():
+            try:
+                nblocks = int(key)
+                elems = float(cell[0])
+                seconds = float(cell[1])
+            except (TypeError, ValueError, IndexError, KeyError):
+                continue
+            if nblocks < 2 or elems <= 0.0 or seconds <= 0.0:
+                continue
+            _seeded_partitions[nblocks] = [elems, seconds]
 
 
 register_reset_hook(_reset_calibration)
@@ -323,6 +372,13 @@ def partition_count(ctx_key: int, nthreads: int, est_elems: float) -> int:
         c = max(2, c // 2)
     with _cal_lock:
         bucket = _partition_samples.get(ctx_key, {})
+        if _seeded_partitions:
+            # Warm-restart priors fill unexplored rungs of the ladder
+            # (a seeded process skips straight to exploit); live
+            # measurements for the same split shadow them.
+            merged = dict(_seeded_partitions)
+            merged.update(bucket)
+            bucket = merged
         for cand in candidates:
             if cand not in bucket:
                 return cand  # explore: measure this split at least once

@@ -231,6 +231,12 @@ _COUNTERS = (
     "algo_warm_hits",
     "algo_warm_stores",
     "algo_warm_fallbacks",
+    "store_hits",
+    "store_misses",
+    "store_stores",
+    "store_corrupt",
+    "store_evictions",
+    "store_admission_skips",
     "ingest_batches",
     "ingest_edges_committed",
     "ingest_fast_merges",

@@ -44,6 +44,12 @@ SITES: dict[str, tuple[str, str]] = {
     "journal.commit": ("durability", "WAL record flushed/fsynced — the ack point"),
     "checkpoint.write": ("durability", "snapshot blob/manifest write (serve/recovery)"),
     "restore.replay": ("durability", "journal record replay during restore"),
+    # -- warm-start store (store/store.py) ----------------------------------
+    # Both sites degrade, never surface: an injected read fault is a
+    # store miss (cold rebuild), an injected write fault skips the
+    # store-behind (the entry is simply not persisted).
+    "store.read": ("store", "warm-start store entry probe (store/store)"),
+    "store.write": ("store", "warm-start store entry persist (store/store)"),
     # -- distributed (distributed/comm.py) ----------------------------------
     "comm.send": ("comm", "point-to-point send"),
     "comm.recv": ("comm", "point-to-point receive"),

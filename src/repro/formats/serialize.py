@@ -49,6 +49,7 @@ __all__ = [
     "carrier_serialize",
     "carrier_deserialize",
     "blob_digest",
+    "SERIALIZATION_VERSION",
 ]
 
 _MAGIC = b"RGRB"
@@ -57,6 +58,11 @@ _MAGIC = b"RGRB"
 # load, so checkpoints taken before the hypersparse tier replay as-is.
 _VERSION = 3
 _SUPPORTED_VERSIONS = frozenset({2, 3})
+#: Public alias of the current stream version — part of every
+#: warm-start store key (:mod:`repro.store`), so bumping the format
+#: silently invalidates every persisted entry instead of asking an old
+#: blob to deserialize under new rules.
+SERIALIZATION_VERSION = _VERSION
 _KIND_MATRIX = 1
 _KIND_VECTOR = 2
 _KIND_DCSR_MATRIX = 3

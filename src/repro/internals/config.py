@@ -99,6 +99,28 @@ Streaming-delta knobs (:mod:`repro.internals.stream`,
   coalesced journal record, one publish).  Explicit ``flush_ingest()``
   / ``checkpoint()`` / ``mutate_graph()`` flush earlier.
 
+Persistent warm-start store knobs (:mod:`repro.store`):
+
+* ``STORE_ENABLE`` — consult (and feed) the on-disk warm-start store:
+  committed algo-memo blocks round-trip through content-addressed §VII
+  blobs under ``STORE_DIR``, so a *fresh process* — a restarted
+  replica, a CLI run, the next CI job — answers its first
+  pagerank/BFS/triangles on an unchanged graph with zero setup
+  kernels.  Off reproduces the process-local behavior exactly (the CI
+  ablation row sets it to ``0``).  Env: ``REPRO_STORE``.
+* ``STORE_DIR`` — root directory of the warm-start store; empty (the
+  default) means no store is attached unless a directory is passed
+  explicitly (``GraphService(store_dir=...)``, ``--store-dir``).
+  Entries are written via atomic rename and read via checksum-verified
+  §VII deserialize, so concurrent readers and a writer — or CI's
+  parallel jobs sharing an actions cache — never observe a torn
+  entry; a corrupt entry degrades to a miss (``store:corrupt``
+  instant), never an error on the hot path.  Env: ``REPRO_STORE_DIR``.
+* ``STORE_MAX_BYTES`` — on-disk budget for store entries; when a write
+  pushes the total past it, least-recently-*used* entries (by atime,
+  best effort) are evicted under an advisory lock.  Env:
+  ``REPRO_STORE_MAX_BYTES`` (or ``STORE_MAX_BYTES``).
+
 Resilience knobs (the fault plane's retry/degradation policy,
 :mod:`repro.faults`):
 
@@ -196,6 +218,11 @@ FORMAT_DCSR_MIN_ROWS: int = _env_num("FORMAT_DCSR_MIN_ROWS", 1 << 20)
 FORMAT_DCSR_FACTOR: int = _env_num("FORMAT_DCSR_FACTOR", 16)
 ENGINE_OP_BATCH: bool = _env_flag(("ENGINE_OP_BATCH",), True)
 ENGINE_DELTA: bool = _env_flag(("ENGINE_DELTA",), True)
+STORE_ENABLE: bool = _env_flag(("REPRO_STORE",), True)
+STORE_DIR: str = os.environ.get("REPRO_STORE_DIR", "")
+STORE_MAX_BYTES: int = _env_num(
+    "REPRO_STORE_MAX_BYTES", _env_num("STORE_MAX_BYTES", 1 << 28)
+)
 DELTA_PATCH_LIMIT: float = _env_num("DELTA_PATCH_LIMIT", 0.25)
 INGEST_BATCH: int = _env_num("INGEST_BATCH", 1024)
 RETRY_MAX: int = 3
@@ -228,6 +255,9 @@ _DEFAULTS = {
     "FORMAT_DCSR_FACTOR": FORMAT_DCSR_FACTOR,
     "ENGINE_OP_BATCH": ENGINE_OP_BATCH,
     "ENGINE_DELTA": ENGINE_DELTA,
+    "STORE_ENABLE": STORE_ENABLE,
+    "STORE_DIR": STORE_DIR,
+    "STORE_MAX_BYTES": STORE_MAX_BYTES,
     "DELTA_PATCH_LIMIT": DELTA_PATCH_LIMIT,
     "INGEST_BATCH": INGEST_BATCH,
     "RETRY_MAX": 3,

@@ -77,6 +77,7 @@ class GraphService:
         mode: Mode = Mode.NONBLOCKING,
         name: str = "svc",
         checkpoint_dir: str | None = None,
+        store_dir: str | None = None,
     ):
         self.name = name
         self.root = Context.new(mode, name=f"{name}-root")
@@ -116,6 +117,18 @@ class GraphService:
             checkpoint_dir = str(config.get_option("CHECKPOINT_DIR")) or None
         if checkpoint_dir:
             self._store = CheckpointStore(checkpoint_dir)
+        # Warm-start store: opened at startup so a *fresh replica* —
+        # no checkpoint of its own — still answers its first
+        # pagerank/BFS with zero setup kernels from the cross-process
+        # tier, and starts with seeded calibration.  Complementary to
+        # the checkpoint store above, which only helps the same
+        # deployment.
+        from ..store import tier as store_tier
+
+        if store_dir:
+            self._warm_store = store_tier.activate(store_dir)
+        else:
+            self._warm_store = store_tier.active_store()
 
     # -- resident graphs ------------------------------------------------------
 
@@ -502,6 +515,7 @@ class GraphService:
         cost model's calibrated rates, then rotates to a fresh journal
         generation.  No-op (``None``) without a checkpoint store.
         """
+        self._save_warm_calibration()
         if self._store is None:
             return None
         from ..engine.passes import cost
@@ -613,8 +627,21 @@ class GraphService:
         if self._closed:
             raise InvalidValueError(f"service {self.name!r} is closed")
 
+    def _save_warm_calibration(self) -> None:
+        """Persist live calibration into the warm-start store sidecar
+        (best effort — the store must never fail a checkpoint/close)."""
+        if self._warm_store is None:
+            return
+        try:
+            from ..store import tier as store_tier
+
+            store_tier.save_calibration()
+        except Exception:
+            pass
+
     def close(self) -> None:
         """Free every session and the service's context tree."""
+        self._save_warm_calibration()
         try:
             # Accepted ingest becomes durable before teardown; a flush
             # failure must not leave the service half-closed.

@@ -22,7 +22,7 @@ _spec.loader.exec_module(bench_gate)
 
 
 def _results(mm=0.5, cse=0.8, algo=0.1, serve=0.4, p99=0.5, recov=0.5,
-             hyp=0.01, batch=0.6, warm=0.2, ingest=0.3):
+             hyp=0.01, batch=0.6, warm=0.2, ingest=0.3, store=0.3):
     """A full fresh/baseline results dict with the given gated ratios
     (blocking_ms pinned to 100 so ratio == optimized ms / 100)."""
     return {
@@ -65,6 +65,10 @@ def _results(mm=0.5, cse=0.8, algo=0.1, serve=0.4, p99=0.5, recov=0.5,
         "streaming_ingest": {
             "blocking_ms": 100.0, "nb_batched_ms": ingest * 100.0,
             "ingest_batches": 3,
+        },
+        "store": {
+            "blocking_ms": 100.0, "nb_warm_ms": store * 100.0,
+            "store_hits": 2,
         },
     }
 
@@ -151,6 +155,8 @@ class TestCliHistory:
             {k: _results()[k]
              for k in ("streaming_pagerank", "streaming_ingest")}
         ))
+        store = tmp_path / "store.json"
+        store.write_text(json.dumps({"store": _results()["store"]}))
 
         def run(algo):
             fresh.write_text(json.dumps(_results(algo=algo)))
@@ -163,6 +169,8 @@ class TestCliHistory:
                  "--baseline-hypersparse", str(hyper),
                  "--fresh-streaming", str(streaming),
                  "--baseline-streaming", str(streaming),
+                 "--fresh-store", str(store),
+                 "--baseline-store", str(store),
                  "--tolerance", "10.0",          # per-run gate out of the way
                  "--append-history", str(hist)],
                 capture_output=True, text=True,
@@ -177,3 +185,65 @@ class TestCliHistory:
         assert "drifted" in proc.stderr
         history = json.loads(hist.read_text())
         assert len(history["runs"]) == 5
+
+
+class TestHistoryRobustness:
+    """A clean first run must be a no-op, not a hard error: CI's cache
+    restore can hand the gate an absent, empty, or arbitrarily mangled
+    history file, and none of those should fail the gate before a
+    single ratio is compared."""
+
+    def _load(self, tmp_path, content=None):
+        path = tmp_path / "ratios.json"
+        if content is not None:
+            path.write_text(content)
+        return bench_gate._load_history(path)
+
+    def test_absent_file_starts_fresh(self, tmp_path):
+        assert self._load(tmp_path) == {}
+
+    def test_empty_file_starts_fresh(self, tmp_path):
+        assert self._load(tmp_path, "") == {}
+
+    def test_json_null_starts_fresh(self, tmp_path):
+        assert self._load(tmp_path, "null") == {}
+
+    def test_json_array_starts_fresh(self, tmp_path):
+        assert self._load(tmp_path, "[]") == {}
+
+    def test_json_scalar_starts_fresh(self, tmp_path):
+        assert self._load(tmp_path, "42") == {}
+
+    def test_malformed_runs_starts_fresh(self, tmp_path):
+        assert self._load(tmp_path, '{"runs": "nope"}') == {}
+        assert self._load(tmp_path, '{"runs": [1, 2]}') == {}
+
+    def test_well_formed_history_is_kept(self, tmp_path):
+        h = {"runs": [{"m": 0.1}, {"m": 0.2}]}
+        assert self._load(tmp_path, json.dumps(h)) == h
+
+    def test_cli_survives_mangled_restored_history(self, tmp_path):
+        """End to end: the gate exits 0 on a mangled history and leaves
+        a well-formed single-run file behind (the CI first-run path)."""
+        fresh = tmp_path / "fresh.json"
+        base = tmp_path / "base.json"
+        fresh.write_text(json.dumps(_results()))
+        base.write_text(json.dumps(_results()))
+        absent = tmp_path / "absent.json"
+        for mangled in ("", "null", "[]", '{"runs": 7}'):
+            hist = tmp_path / "ratios.json"
+            hist.write_text(mangled)
+            proc = subprocess.run(
+                [sys.executable, str(ROOT / "tools" / "bench_gate.py"),
+                 "--fresh", str(fresh), "--baseline", str(base),
+                 "--fresh-serving", str(absent),
+                 "--fresh-recovery", str(absent),
+                 "--fresh-hypersparse", str(absent),
+                 "--fresh-streaming", str(absent),
+                 "--fresh-store", str(absent),
+                 "--append-history", str(hist)],
+                capture_output=True, text=True,
+            )
+            assert proc.returncode == 0, proc.stderr
+            assert "starting fresh" in proc.stdout
+            assert len(json.loads(hist.read_text())["runs"]) == 1

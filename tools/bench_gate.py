@@ -47,6 +47,14 @@ are gated against the committed ``benchmarks/BENCH_streaming.json``:
 * ``streaming_pagerank.nb_warm_ms / blocking_ms``   — warm fixpoint
 * ``streaming_ingest.nb_batched_ms / blocking_ms``  — batched ingest
 
+``benchmarks/bench_store.py`` writes ``BENCH_store.json`` (pagerank
+time-to-first-answer in a fresh context backed by a seeded on-disk
+warm-start store vs the same cold start with the store disabled); when
+present one more ratio is gated against the committed
+``benchmarks/BENCH_store.json``:
+
+* ``store.nb_warm_ms / blocking_ms``          — persistent warm start
+
 The gate fails (exit 1) when a fresh ratio regresses more than the
 tolerance (default 25%) over the baseline ratio, or when the workload's
 optimizer counters show the optimization did not fire at all.  Run from
@@ -86,6 +94,7 @@ GATED = (
     ("op_batching", "nb_batched_ms", "engine_batched_ops"),
     ("streaming_pagerank", "nb_warm_ms", "memo_delta_patches"),
     ("streaming_ingest", "nb_batched_ms", "ingest_batches"),
+    ("store", "nb_warm_ms", "store_hits"),
 )
 
 #: workloads sourced from the serving bench (BENCH_serving.json) rather
@@ -103,6 +112,10 @@ HYPERSPARSE_WORKLOADS = ("hypersparse_mxv", "op_batching")
 #: workloads sourced from the streaming bench (BENCH_streaming.json) —
 #: gated only when its results are present
 STREAMING_WORKLOADS = ("streaming_pagerank", "streaming_ingest")
+
+#: workloads sourced from the warm-start store bench (BENCH_store.json)
+#: — gated only when its results are present
+STORE_WORKLOADS = ("store",)
 
 
 def _ratio(results: dict, workload: str, key: str) -> float:
@@ -194,6 +207,36 @@ def check_drift(history: dict, window: int = 5,
     return failures
 
 
+def _load_history(path: Path) -> dict:
+    """The persisted ratio history, or a fresh one.
+
+    The first CI run restores nothing (or an empty file from a cache
+    miss), and a corrupted cache can restore *anything* — none of which
+    should fail the gate before a single ratio is compared.  Any
+    unreadable, non-object, or wrong-shape payload starts a new history
+    with a printed notice; only a well-formed ``{"runs": [dict, ...]}``
+    is carried forward.
+    """
+    try:
+        history = json.loads(path.read_text())
+    except OSError:
+        print(f"bench_gate: no history at {path} — starting fresh")
+        return {}
+    except ValueError:
+        print(f"bench_gate: unparseable history at {path} — starting fresh")
+        return {}
+    if not isinstance(history, dict):
+        print(f"bench_gate: malformed history at {path} "
+              f"(not an object) — starting fresh")
+        return {}
+    runs = history.get("runs", [])
+    if not (isinstance(runs, list) and all(isinstance(r, dict) for r in runs)):
+        print(f"bench_gate: malformed history at {path} "
+              f"(bad \"runs\") — starting fresh")
+        return {}
+    return history
+
+
 def main(argv: list[str] | None = None) -> int:
     p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     p.add_argument(
@@ -251,6 +294,18 @@ def main(argv: list[str] | None = None) -> int:
         default=Path(__file__).resolve().parent.parent
         / "benchmarks" / "BENCH_streaming.json",
         help="committed streaming baseline results",
+    )
+    p.add_argument(
+        "--fresh-store", type=Path,
+        default=Path("BENCH_store.json"),
+        help="results from the warm-start store benchmark run under test "
+             "(store workloads are skipped when the file is absent)",
+    )
+    p.add_argument(
+        "--baseline-store", type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "benchmarks" / "BENCH_store.json",
+        help="committed warm-start store baseline results",
     )
     p.add_argument(
         "--tolerance", type=float, default=0.25,
@@ -337,15 +392,25 @@ def main(argv: list[str] | None = None) -> int:
               f"streaming workloads not gated this run")
         gated = tuple(g for g in gated if g[0] not in STREAMING_WORKLOADS)
 
+    if args.fresh_store.exists():
+        try:
+            fresh.update(json.loads(args.fresh_store.read_text()))
+            baseline.update(json.loads(args.baseline_store.read_text()))
+        except OSError as exc:
+            print(f"bench_gate: cannot read store results: {exc}",
+                  file=sys.stderr)
+            return 2
+    else:
+        print(f"bench_gate: {args.fresh_store} absent — "
+              f"store workloads not gated this run")
+        gated = tuple(g for g in gated if g[0] not in STORE_WORKLOADS)
+
     print(f"bench_gate: {args.fresh} vs {args.baseline} "
           f"(tolerance {args.tolerance:.0%})")
     failures = check(fresh, baseline, args.tolerance, gated)
 
     if args.append_history is not None:
-        try:
-            history = json.loads(args.append_history.read_text())
-        except (OSError, ValueError):
-            history = {}
+        history = _load_history(args.append_history)
         append_history(history, fresh_ratios(fresh, gated))
         args.append_history.parent.mkdir(parents=True, exist_ok=True)
         args.append_history.write_text(
